@@ -1,0 +1,236 @@
+//! Leighton's column sort — the related-work algorithm of Chapter 6.
+//!
+//! "Like bitonic sort, column sort alternates between local sort and key
+//! distribution phases, but only four phases of each are required. Two of
+//! the communication phases are similar to cyclic-to-blocked and
+//! blocked-to-cyclic remaps … Like the cyclic-blocked bitonic sort, column
+//! sort requires that `N >= P^3`."
+//!
+//! The matrix has `s = P` columns (one per processor) and `r = n` rows.
+//! With power-of-two dimensions the transpose/untranspose distributions of
+//! steps 2 and 4 are *bit rotations* of the relative address — the same
+//! [`bitonic_core::BitLayout`] machinery as every other remap in this
+//! workspace. The final boundary fix-up (steps 6–8, the half-column shift)
+//! is realized as one even/odd round of pairwise merge–splits between
+//! adjacent columns, which dominates the shifted sort whenever Leighton's
+//! `r >= 2(s−1)^2` condition holds.
+
+use bitonic_core::layout::blocked;
+use bitonic_core::{BitLayout, RemapPlan};
+use bitonic_network::Direction;
+use local_sorts::merge::{merge_two_into, Run};
+use local_sorts::{local_sort, RadixKey};
+use spmd::{Comm, Phase};
+
+/// The step-2 "transpose and reshape" distribution as a layout: read the
+/// `r × s` matrix in column-major order and write back in row-major order.
+/// The element at column-major rank `g` moves to relative address
+/// `((g mod s) << lg r) | (g div s)` — a rotation of the address bits by
+/// `lg s` (the same rotation as the thesis's blocked→cyclic remap).
+#[must_use]
+pub fn transpose_layout(lg_total: u32, lg_r: u32) -> BitLayout {
+    let lg_s = lg_total - lg_r;
+    let src = (0..lg_total).map(|k| (k + lg_s) % lg_total).collect();
+    BitLayout::new(src, lg_r)
+}
+
+/// The step-4 inverse distribution (read row-major, write column-major):
+/// the rotation by `lg r` the other way — the cyclic→blocked direction.
+#[must_use]
+pub fn untranspose_layout(lg_total: u32, lg_r: u32) -> BitLayout {
+    let src = (0..lg_total).map(|k| (k + lg_r) % lg_total).collect();
+    BitLayout::new(src, lg_r)
+}
+
+/// Merge this rank's sorted column with `partner`'s and keep the lower or
+/// upper half (lower rank keeps the minima) — the distributed
+/// merge–split primitive completing steps 6–8.
+fn merge_split<K: RadixKey>(comm: &mut Comm<K>, local: &mut Vec<K>, partner: usize) {
+    let n = local.len();
+    let received = comm.sendrecv(partner, local.clone());
+    comm.timed(Phase::Compute, |c| {
+        let mut merged = Vec::with_capacity(2 * n);
+        merge_two_into(
+            Run::asc(local),
+            Run::asc(&received),
+            Direction::Ascending,
+            &mut merged,
+        );
+        let keep_low = c.rank() < partner;
+        local.clear();
+        if keep_low {
+            local.extend_from_slice(&merged[..n]);
+        } else {
+            local.extend_from_slice(&merged[n..]);
+        }
+    });
+}
+
+/// Sort the machine's keys by column sort. `local` is this rank's column;
+/// the output is the globally sorted sequence in blocked (column-major)
+/// order, balanced across ranks.
+///
+/// # Panics
+/// Panics unless `n` is a power of two with `n >= 2(P−1)^2` (Leighton's
+/// `r >= 2(s−1)^2` requirement, implying `N ≳ P^3`).
+pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> Vec<K> {
+    let p = comm.procs();
+    let me = comm.rank();
+    let n = local.len();
+    assert!(
+        n.is_power_of_two(),
+        "rows per column must be a power of two"
+    );
+    if p == 1 {
+        comm.timed(Phase::Compute, |_| {
+            local_sort(&mut local, Direction::Ascending)
+        });
+        return local;
+    }
+    assert!(
+        n >= 2 * (p - 1) * (p - 1),
+        "column sort needs r >= 2(s-1)^2 (n = {n}, P = {p})"
+    );
+    let lg_n = bitonic_network::lg(n);
+    let lg_p = bitonic_network::lg(p);
+    let lg_total = lg_n + lg_p;
+    let identity = blocked(lg_total, lg_n);
+
+    // Step 1: sort columns.
+    comm.timed(Phase::Compute, |_| {
+        local_sort(&mut local, Direction::Ascending)
+    });
+    // Step 2: transpose (distribute each column round-robin over all).
+    let plan = RemapPlan::new(&identity, &transpose_layout(lg_total, lg_n), me);
+    local = plan.apply(comm, &local);
+    // Step 3: sort columns.
+    comm.timed(Phase::Compute, |_| {
+        local_sort(&mut local, Direction::Ascending)
+    });
+    // Step 4: untranspose.
+    let plan = RemapPlan::new(&identity, &untranspose_layout(lg_total, lg_n), me);
+    local = plan.apply(comm, &local);
+    // Step 5: sort columns.
+    comm.timed(Phase::Compute, |_| {
+        local_sort(&mut local, Direction::Ascending)
+    });
+    // Steps 6–8 (shift, sort, unshift) as an even/odd merge–split round:
+    // even boundary first (columns 2k | 2k+1), then odd (2k+1 | 2k+2).
+    let even_partner = me ^ 1;
+    if even_partner < p {
+        merge_split(comm, &mut local, even_partner);
+    }
+    let odd_partner = if me.is_multiple_of(2) {
+        me.wrapping_sub(1)
+    } else {
+        me + 1
+    };
+    if odd_partner < p {
+        merge_split(comm, &mut local, odd_partner);
+    }
+    comm.barrier();
+    local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use spmd::{run_spmd, MessageMode};
+
+    fn run_column(keys: Vec<u32>, p: usize) -> Vec<u32> {
+        let n = keys.len() / p;
+        let results = run_spmd::<u32, _, _>(p, MessageMode::Long, move |comm| {
+            let me = comm.rank();
+            parallel_column_sort(comm, keys[me * n..(me + 1) * n].to_vec())
+        });
+        results.into_iter().flat_map(|r| r.output).collect()
+    }
+
+    fn check(keys: Vec<u32>, p: usize) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(run_column(keys, p), expect, "P={p}");
+    }
+
+    #[test]
+    fn sorts_across_machine_sizes() {
+        for (n, p) in [(32usize, 4usize), (128, 8), (512, 16), (64, 2), (256, 1)] {
+            let keys: Vec<u32> = (0..(n * p) as u32)
+                .map(|i| i.wrapping_mul(2654435761))
+                .collect();
+            check(keys, p);
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        for p in [4usize, 8] {
+            let n = 2 * (p - 1) * (p - 1);
+            let n = n.next_power_of_two();
+            let total = n * p;
+            check((0..total as u32).rev().collect(), p); // reverse sorted
+            check(vec![7; total], p); // constant
+            check((0..total as u32).map(|i| i % 3).collect(), p); // few values
+                                                                  // Block-reversed: already column-sorted but globally scrambled.
+            let v: Vec<u32> = (0..total as u32).collect();
+            let scrambled: Vec<u32> = v.chunks(n).rev().flat_map(|c| c.iter().copied()).collect();
+            check(scrambled, p);
+        }
+    }
+
+    #[test]
+    fn transpose_layouts_are_inverse_rotations() {
+        let t = transpose_layout(8, 5);
+        let u = untranspose_layout(8, 5);
+        for rel in 0..256usize {
+            // Applying transpose then untranspose as movements returns home:
+            // σ(a) = t.rel_of(a); σ'(σ(a)) with σ' = u.rel_of must be a.
+            assert_eq!(u.rel_of(t.rel_of(rel)), rel);
+        }
+    }
+
+    #[test]
+    fn communication_step_count_is_four() {
+        // Two remaps + two merge-split exchanges (interior ranks).
+        let keys: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(97)).collect();
+        let results = run_spmd::<u32, _, _>(4, MessageMode::Long, move |comm| {
+            let me = comm.rank();
+            parallel_column_sort(comm, keys[me * 256..(me + 1) * 256].to_vec());
+        });
+        for r in &results {
+            let steps = r.stats.remap_count();
+            assert!(
+                (3..=4).contains(&steps),
+                "rank {}: {} steps (boundary ranks skip one merge-split)",
+                r.rank,
+                steps
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "r >= 2(s-1)^2")]
+    fn rejects_undersized_columns() {
+        let keys: Vec<u32> = (0..64).collect();
+        let _ = run_column(keys, 8); // n = 8 < 2·49
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn sorts_random_inputs(seed in any::<u64>(), lg_p in 1u32..4) {
+            let p = 1usize << lg_p;
+            let n = (2 * (p - 1) * (p - 1)).next_power_of_two().max(8);
+            let mut x = seed | 1;
+            let keys: Vec<u32> = (0..n * p).map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u32
+            }).collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(run_column(keys, p), expect);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The comparison sorts of Section 5.5: parallel sample sort and parallel
+//! radix sort, on the same SPMD substrate as the bitonic algorithms.
+//!
+//! Both studies the thesis builds on (\[BLM+91\], \[CDMS94\]) compare bitonic
+//! sort against these two; the thesis compares against the long-message
+//! implementations of \[AISS95\]. The versions here follow the same
+//! structure: a single splitter-driven all-to-all for sample sort, one
+//! counting + redistribution round per digit for radix sort.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column_sort;
+pub mod radix_sort;
+pub mod sample_sort;
+
+pub use column_sort::parallel_column_sort;
+pub use radix_sort::parallel_radix_sort;
+pub use sample_sort::parallel_sample_sort;
+
+use local_sorts::RadixKey;
+use spmd::{run_spmd, MessageMode, RankResult};
+use std::time::{Duration, Instant};
+
+/// Which baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Splitter-based sample sort (one data exchange).
+    Sample,
+    /// LSD radix sort (one data exchange per digit pass).
+    Radix,
+    /// Leighton's column sort (Chapter 6 related work; needs N >~ P^3).
+    Column,
+}
+
+/// Result of a baseline run: outputs may be unbalanced for sample sort, so
+/// the gathered output is returned flat.
+#[derive(Debug)]
+pub struct BaselineRun<K> {
+    /// Globally sorted keys (concatenation of the per-rank outputs).
+    pub output: Vec<K>,
+    /// Per-rank statistics.
+    pub ranks: Vec<RankResult<()>>,
+    /// Wall-clock of the machine run.
+    pub elapsed: Duration,
+}
+
+/// Scatter `keys` block-wise, run the chosen baseline, gather the output.
+pub fn run_baseline<K: RadixKey>(
+    keys: &[K],
+    p: usize,
+    mode: MessageMode,
+    which: Baseline,
+) -> BaselineRun<K> {
+    assert!(
+        p >= 1 && keys.len().is_multiple_of(p),
+        "keys must divide evenly over ranks"
+    );
+    let n = keys.len() / p;
+    let t0 = Instant::now();
+    let results = run_spmd::<K, Vec<K>, _>(p, mode, |comm| {
+        let me = comm.rank();
+        let local = keys[me * n..(me + 1) * n].to_vec();
+        match which {
+            Baseline::Sample => parallel_sample_sort(comm, local),
+            Baseline::Radix => parallel_radix_sort(comm, local),
+            Baseline::Column => parallel_column_sort(comm, local),
+        }
+    });
+    let elapsed = t0.elapsed();
+    let mut output = Vec::with_capacity(keys.len());
+    let mut ranks = Vec::with_capacity(p);
+    for r in results {
+        output.extend(r.output);
+        ranks.push(RankResult {
+            rank: r.rank,
+            output: (),
+            stats: r.stats,
+        });
+    }
+    BaselineRun {
+        output,
+        ranks,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize, seed: u64) -> Vec<u32> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) & 0x7FFF_FFFF) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn both_baselines_sort() {
+        for which in [Baseline::Sample, Baseline::Radix] {
+            for (total, p) in [(1usize << 10, 4usize), (1 << 9, 8), (256, 1), (128, 2)] {
+                let input = keys(total, 7);
+                let mut expect = input.clone();
+                expect.sort_unstable();
+                let run = run_baseline(&input, p, MessageMode::Long, which);
+                assert_eq!(run.output, expect, "{which:?} N={total} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_entropy_input_skews_sample_sort() {
+        // Section 5.5: "a low entropy input set may lead to unbalanced
+        // communication and contention. Bitonic sort on the other hand is
+        // oblivious to the input distribution."
+        let mut input = vec![5u32; 1024];
+        input[0] = 1; // a single outlier
+        let run = run_baseline(&input, 4, MessageMode::Long, Baseline::Sample);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(run.output, expect);
+        // All duplicates land in one bucket: some rank sent (nearly)
+        // everything, some almost nothing.
+        let sent: Vec<u64> = run.ranks.iter().map(|r| r.stats.elements_sent).collect();
+        let spread = sent.iter().max().unwrap() - sent.iter().min().unwrap();
+        assert!(
+            spread >= 200,
+            "expected skewed communication, sent = {sent:?}"
+        );
+    }
+}

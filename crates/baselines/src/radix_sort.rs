@@ -1,0 +1,188 @@
+//! Parallel LSD radix sort.
+//!
+//! One round per 8-bit digit: count local digit frequencies, all-to-all
+//! the 256-entry count vectors so every rank knows the global digit
+//! histogram and every other rank's contribution, then redistribute keys
+//! so the machine is globally stable-sorted by the digit. Because both
+//! sides can compute every element's global position from the shared
+//! counts, keys travel without address headers: the sender emits digits in
+//! ascending order and the receiver places each (source, digit) run at its
+//! computed slot range.
+//!
+//! Passes whose digit is constant across the whole machine (e.g. the top
+//! byte of the thesis's 31-bit keys is never ≥ 128) are detected from the
+//! global histogram and skipped by all ranks symmetrically.
+
+use local_sorts::RadixKey;
+use spmd::{Comm, Phase};
+
+const RADIX: usize = 256;
+
+/// Sort the machine's keys by parallel radix sort. `local` is this rank's
+/// blocked slice; every rank must hold the same number of keys, and the
+/// output is again balanced and blocked.
+pub fn parallel_radix_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> Vec<K> {
+    let p = comm.procs();
+    let me = comm.rank();
+    let n = local.len();
+    if p == 1 {
+        comm.timed(Phase::Compute, |_| local_sorts::radix_sort(&mut local));
+        return local;
+    }
+    let total = (n * p) as u64;
+
+    for pass in 0..K::PASSES {
+        // Local digit histogram.
+        let counts: Vec<u64> = comm.timed(Phase::Compute, |_| {
+            let mut c = vec![0u64; RADIX];
+            for &k in &local {
+                c[k.digit(pass)] += 1;
+            }
+            c
+        });
+
+        // Share histograms: every rank learns count[r][d] for all r, d.
+        let per_rank = comm.exchange_meta(vec![counts; p]);
+
+        // F(d) = #keys with digit < d (global); C(r, d) = #keys with digit
+        // d on ranks < r.
+        let mut totals = vec![0u64; RADIX];
+        for row in &per_rank {
+            for (d, &c) in row.iter().enumerate() {
+                totals[d] += c;
+            }
+        }
+        if totals.contains(&total) {
+            // Constant digit: the stable redistribution is the identity.
+            continue;
+        }
+        let mut f = vec![0u64; RADIX + 1];
+        for d in 0..RADIX {
+            f[d + 1] = f[d] + totals[d];
+        }
+        // c_before[r][d] lazily as prefix over ranks.
+        let mut c_before = vec![vec![0u64; RADIX]; p];
+        for r in 1..p {
+            for d in 0..RADIX {
+                c_before[r][d] = c_before[r - 1][d] + per_rank[r - 1][d];
+            }
+        }
+
+        // Pack: walk digits in ascending order (stability); each element's
+        // global slot is F(d) + C(me, d) + its index among my digit-d keys.
+        let outgoing: Vec<Vec<K>> = comm.timed(Phase::Pack, |_| {
+            let mut by_digit: Vec<Vec<K>> = (0..RADIX).map(|_| Vec::new()).collect();
+            for &k in &local {
+                by_digit[k.digit(pass)].push(k);
+            }
+            let mut out: Vec<Vec<K>> = (0..p).map(|_| Vec::new()).collect();
+            for (d, keys) in by_digit.into_iter().enumerate() {
+                let base = f[d] + c_before[me][d];
+                for (i, k) in keys.into_iter().enumerate() {
+                    let slot = base + i as u64;
+                    out[(slot / n as u64) as usize].push(k);
+                }
+            }
+            out
+        });
+
+        let arrivals = comm.exchange(outgoing);
+
+        // Unpack: from source r, digit-d keys arrive as one contiguous run
+        // occupying the intersection of [F(d)+C(r,d), F(d)+C(r,d)+count)
+        // with my slot range.
+        local = comm.timed(Phase::Unpack, |_| {
+            let my_lo = (me * n) as u64;
+            let my_hi = my_lo + n as u64;
+            let mut out = vec![local[0]; n];
+            let mut filled = 0usize;
+            for (r, arrived) in arrivals.iter().enumerate() {
+                let mut cursor = 0usize;
+                for d in 0..RADIX {
+                    let start = f[d] + c_before[r][d];
+                    let end = start + per_rank[r][d];
+                    let lo = start.max(my_lo);
+                    let hi = end.min(my_hi);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let run_len = (hi - lo) as usize;
+                    let dst = (lo - my_lo) as usize;
+                    out[dst..dst + run_len].copy_from_slice(&arrived[cursor..cursor + run_len]);
+                    cursor += run_len;
+                    filled += run_len;
+                }
+                debug_assert_eq!(cursor, arrived.len(), "run reconstruction must consume all");
+            }
+            assert_eq!(filled, n, "every slot must be filled exactly once");
+            out
+        });
+    }
+    local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmd::{run_spmd, MessageMode};
+
+    fn run_radix(keys: Vec<u32>, p: usize) -> Vec<u32> {
+        let n = keys.len() / p;
+        let results = run_spmd::<u32, _, _>(p, MessageMode::Long, move |comm| {
+            let me = comm.rank();
+            parallel_radix_sort(comm, keys[me * n..(me + 1) * n].to_vec())
+        });
+        results.into_iter().flat_map(|r| r.output).collect()
+    }
+
+    #[test]
+    fn sorts_uniform_keys_balanced() {
+        let keys: Vec<u32> = (0..1024u32)
+            .map(|i| i.wrapping_mul(2654435761) & 0x7FFF_FFFF)
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(run_radix(keys, 8), expect);
+    }
+
+    #[test]
+    fn sorts_with_heavy_duplicates() {
+        let keys: Vec<u32> = (0..512u32).map(|i| i % 3).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(run_radix(keys, 4), expect);
+    }
+
+    #[test]
+    fn top_byte_pass_is_skipped_for_31_bit_keys() {
+        // Keys below 2^24: the top byte is constant, so its data exchange
+        // is skipped by every rank symmetrically.
+        let keys: Vec<u32> = (0..512u32)
+            .map(|i| i.wrapping_mul(77_777) & 0xFF_FFFF)
+            .collect();
+        let n = keys.len() / 4;
+        let keys2 = keys.clone();
+        let results = run_spmd::<u32, _, _>(4, MessageMode::Long, move |comm| {
+            let me = comm.rank();
+            parallel_radix_sort(comm, keys2[me * n..(me + 1) * n].to_vec())
+        });
+        // 4 meta exchanges + 3 data exchanges = 7 communication steps.
+        for r in &results {
+            assert_eq!(r.stats.remap_count(), 7, "rank {}", r.rank);
+        }
+        let flat: Vec<u32> = results.into_iter().flat_map(|r| r.output).collect();
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn single_extreme_values() {
+        let mut keys = vec![0u32; 256];
+        keys[17] = u32::MAX;
+        keys[200] = 1;
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(run_radix(keys, 2), expect);
+    }
+}

@@ -1,0 +1,126 @@
+//! Parallel sample sort (one-round splitter-based sort).
+//!
+//! Structure of the \[AISS95\]-style long-message implementation: sort
+//! locally, agree on `P − 1` splitters by regular sampling, partition the
+//! sorted array into per-destination buckets, one all-to-all of the
+//! buckets, then a p-way merge of the received sorted runs. A single data
+//! exchange makes it the communication-lightest of the sorts compared in
+//! Section 5.5 — but bucket sizes, and hence balance, depend on the input
+//! distribution.
+
+use bitonic_network::Direction;
+use local_sorts::merge::Run;
+use local_sorts::pway_merge::pway_merge_into;
+use local_sorts::{local_sort, RadixKey};
+use spmd::{Comm, Phase};
+
+/// Sort the machine's keys by sample sort.
+///
+/// `local` is this rank's blocked slice of the input. The output is
+/// globally sorted across ranks in rank order, but — unlike the bitonic
+/// sorts — per-rank sizes vary with the key distribution.
+pub fn parallel_sample_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> Vec<K> {
+    let p = comm.procs();
+    let n = local.len();
+    comm.timed(Phase::Compute, |_| {
+        local_sort(&mut local, Direction::Ascending)
+    });
+    if p == 1 {
+        return local;
+    }
+
+    // Regular sampling: p − 1 evenly spaced local samples, broadcast to
+    // everyone, so every rank derives identical splitters locally.
+    let samples: Vec<K> = (1..p).map(|i| local[i * n / p]).collect();
+    let incoming = comm.exchange(vec![samples; p]);
+    let splitters: Vec<K> = comm.timed(Phase::Compute, |_| {
+        let mut all: Vec<K> = incoming.into_iter().flatten().collect();
+        all.sort_unstable();
+        (1..p).map(|i| all[i * all.len() / p]).collect()
+    });
+
+    // Partition the sorted local run at the splitters (bucket b gets keys
+    // in (splitters[b-1], splitters[b]]).
+    let buckets: Vec<Vec<K>> = comm.timed(Phase::Pack, |_| {
+        let mut buckets = Vec::with_capacity(p);
+        let mut start = 0usize;
+        for s in &splitters {
+            let end = start + local[start..].partition_point(|k| k <= s);
+            buckets.push(local[start..end].to_vec());
+            start = end;
+        }
+        buckets.push(local[start..].to_vec());
+        buckets
+    });
+
+    let incoming = comm.exchange(buckets);
+    comm.timed(Phase::Compute, |_| {
+        let runs: Vec<Run<'_, K>> = incoming.iter().map(|v| Run::asc(v)).collect();
+        let mut out = Vec::new();
+        pway_merge_into(&runs, Direction::Ascending, &mut out);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmd::{run_spmd, MessageMode};
+
+    #[test]
+    fn sorts_uniform_keys() {
+        let total = 1usize << 11;
+        let keys: Vec<u32> = (0..total as u32)
+            .map(|i| i.wrapping_mul(2654435761) & 0x7FFF_FFFF)
+            .collect();
+        let keys2 = keys.clone();
+        let results = run_spmd::<u32, _, _>(8, MessageMode::Long, move |comm| {
+            let me = comm.rank();
+            let n = keys2.len() / 8;
+            parallel_sample_sort(comm, keys2[me * n..(me + 1) * n].to_vec())
+        });
+        let flat: Vec<u32> = results.into_iter().flat_map(|r| r.output).collect();
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn regular_sampling_bounds_imbalance() {
+        // With uniform input, regular sampling keeps bucket sizes near n.
+        let total = 1usize << 12;
+        let p = 8;
+        let keys: Vec<u32> = (0..total as u32)
+            .map(|i| i.wrapping_mul(0x9E3779B9))
+            .collect();
+        let keys2 = keys.clone();
+        let results = run_spmd::<u32, _, _>(p, MessageMode::Long, move |comm| {
+            let me = comm.rank();
+            let n = keys2.len() / p;
+            parallel_sample_sort(comm, keys2[me * n..(me + 1) * n].to_vec()).len()
+        });
+        let n = total / p;
+        for r in &results {
+            assert!(
+                r.output <= 2 * n,
+                "regular sampling guarantees <= 2n per rank, rank {} got {}",
+                r.rank,
+                r.output
+            );
+        }
+        assert_eq!(results.iter().map(|r| r.output).sum::<usize>(), total);
+    }
+
+    #[test]
+    fn exchange_count_is_two() {
+        // One sample broadcast + one data exchange.
+        let keys: Vec<u32> = (0..256u32).collect();
+        let results = run_spmd::<u32, _, _>(4, MessageMode::Long, move |comm| {
+            let me = comm.rank();
+            parallel_sample_sort(comm, keys[me * 64..(me + 1) * 64].to_vec());
+        });
+        for r in &results {
+            assert_eq!(r.stats.remap_count(), 2);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! merge-based local phases vs compare-exchange simulation, and the smart
+//! schedule vs cyclic-blocked remapping at equal computation.
+
+use bitonic_bench::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmd::MessageMode;
+
+fn bench_ablation(c: &mut Criterion) {
+    let p = 8;
+    let n = 1usize << 12;
+    let keys = uniform_keys(n * p, 6);
+    let mut group = c.benchmark_group("ablation_local_strategy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements((n * p) as u64));
+    for (label, strategy) in [
+        ("merges_theorem_2_3", LocalStrategy::Merges),
+        ("one_sort_per_phase_fig_4_5", LocalStrategy::FullSort),
+        ("canonical_compare_exchange", LocalStrategy::Canonical),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, n), &keys, |b, keys| {
+            b.iter(|| run_parallel_sort(keys, p, MessageMode::Long, Algorithm::Smart, strategy))
+        });
+    }
+    group.finish();
+
+    // Remap-count ablation: same merge-based computation, different
+    // remapping strategies — plus the §4.3 fused pipeline.
+    let mut group = c.benchmark_group("ablation_remap_strategy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements((n * p) as u64));
+    for algo in [
+        Algorithm::Smart,
+        Algorithm::SmartFused,
+        Algorithm::CyclicBlocked,
+    ] {
+        group.bench_with_input(BenchmarkId::new(algo.name(), n), &keys, |b, keys| {
+            b.iter(|| run_parallel_sort(keys, p, MessageMode::Long, algo, LocalStrategy::Merges))
+        });
+    }
+    group.finish();
+
+    // Lemma 5 shifting ablation: Head vs Tail remap placement.
+    use bitonic_core::shift::{shifted_smart_sort, ShiftStrategy};
+    use spmd::run_spmd;
+    let mut group = c.benchmark_group("ablation_shift_strategy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements((n * p) as u64));
+    for (label, strategy) in [("head", ShiftStrategy::Head), ("tail", ShiftStrategy::Tail)] {
+        group.bench_with_input(BenchmarkId::new(label, n), &keys, |b, keys| {
+            b.iter(|| {
+                run_spmd::<u32, _, _>(p, MessageMode::Long, |comm| {
+                    let me = comm.rank();
+                    shifted_smart_sort(comm, keys[me * n..(me + 1) * n].to_vec(), strategy)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 5.4: isolating the computation phases.
+
+use bitonic_bench::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use local_sorts::radix_sort;
+use spmd::MessageMode;
+
+fn bench_breakdown(c: &mut Criterion) {
+    let p = 8;
+    let n = 1usize << 12;
+    let keys = uniform_keys(n * p, 3);
+    let mut group = c.benchmark_group("fig5_4_breakdown");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements((n * p) as u64));
+    // The initial local computation alone (what the first lg n stages cost).
+    group.bench_with_input(BenchmarkId::new("local_radix_only", n), &keys, |b, keys| {
+        b.iter(|| {
+            let mut v = keys.clone();
+            for chunk in v.chunks_mut(n) {
+                radix_sort(chunk);
+            }
+            v
+        })
+    });
+    // The full sort (communication + computation).
+    group.bench_with_input(BenchmarkId::new("full_smart_sort", n), &keys, |b, keys| {
+        b.iter(|| {
+            run_parallel_sort(
+                keys,
+                p,
+                MessageMode::Long,
+                Algorithm::Smart,
+                LocalStrategy::Merges,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

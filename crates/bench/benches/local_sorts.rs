@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the Chapter 4 local routines.
+
+use bitonic_network::sequence::generate;
+use bitonic_network::{bitonic_merge, Direction};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use local_sorts::bitonic_min::bitonic_min_index_with_stats;
+use local_sorts::{radix_sort, sort_bitonic};
+
+fn bench_local_sorts(c: &mut Criterion) {
+    let n = 1usize << 14;
+    let bitonic_input = generate::rotated((0..n as u64).collect(), 2 * n / 3, n / 5);
+    let mut group = c.benchmark_group("local_sorts");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements(n as u64));
+    // O(n) bitonic merge sort vs the O(n log n) comparator network vs the
+    // general-purpose sorts, on the same bitonic input.
+    group.bench_function(BenchmarkId::new("bitonic_merge_sort", n), |b| {
+        b.iter(|| {
+            let mut v = bitonic_input.clone();
+            sort_bitonic(&mut v, Direction::Ascending);
+            v
+        })
+    });
+    group.bench_function(BenchmarkId::new("network_bitonic_merge", n), |b| {
+        b.iter(|| {
+            let mut v = bitonic_input.clone();
+            bitonic_merge(&mut v, Direction::Ascending);
+            v
+        })
+    });
+    group.bench_function(BenchmarkId::new("radix_sort", n), |b| {
+        b.iter(|| {
+            let mut v = bitonic_input.clone();
+            radix_sort(&mut v);
+            v
+        })
+    });
+    group.bench_function(BenchmarkId::new("std_sort_unstable", n), |b| {
+        b.iter(|| {
+            let mut v = bitonic_input.clone();
+            v.sort_unstable();
+            v
+        })
+    });
+    group.finish();
+
+    // Algorithm 2: O(log n) minimum vs linear scan.
+    let mut group = c.benchmark_group("bitonic_minimum");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.bench_function(BenchmarkId::new("splitter_search", n), |b| {
+        b.iter(|| bitonic_min_index_with_stats(&bitonic_input).0)
+    });
+    group.bench_function(BenchmarkId::new("linear_scan", n), |b| {
+        b.iter(|| bitonic_network::sequence::min_index_linear(&bitonic_input))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_sorts);
+criterion_main!(benches);

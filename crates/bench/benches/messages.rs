@@ -1,0 +1,27 @@
+//! Criterion bench for Table 5.3 / Figure 5.5: short vs long messages.
+
+use bitonic_bench::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmd::MessageMode;
+
+fn bench_messages(c: &mut Criterion) {
+    let p = 4;
+    let n = 1usize << 10;
+    let keys = uniform_keys(n * p, 4);
+    let mut group = c.benchmark_group("table5_3_messages");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements((n * p) as u64));
+    for (label, mode) in [("short", MessageMode::Short), ("long", MessageMode::Long)] {
+        group.bench_with_input(BenchmarkId::new(label, n), &keys, |b, keys| {
+            b.iter(|| run_parallel_sort(keys, p, mode, Algorithm::Smart, LocalStrategy::Merges))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_messages);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for Figures 5.7/5.8: bitonic vs radix vs sample sort.
+
+use baselines::{run_baseline, Baseline};
+use bitonic_bench::workloads::{keys, Distribution};
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmd::MessageMode;
+
+fn bench_other_sorts(c: &mut Criterion) {
+    let p = 8;
+    let n = 1usize << 12;
+    let mut group = c.benchmark_group("fig5_7_other_sorts");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements((n * p) as u64));
+    for dist in [Distribution::Uniform31, Distribution::LowEntropy] {
+        let input = keys(n * p, dist, 5);
+        group.bench_with_input(
+            BenchmarkId::new("bitonic_smart", dist.name()),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    run_parallel_sort(
+                        input,
+                        p,
+                        MessageMode::Long,
+                        Algorithm::Smart,
+                        LocalStrategy::Merges,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("radix", dist.name()),
+            &input,
+            |b, input| b.iter(|| run_baseline(input, p, MessageMode::Long, Baseline::Radix)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sample", dist.name()),
+            &input,
+            |b, input| b.iter(|| run_baseline(input, p, MessageMode::Long, Baseline::Sample)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_other_sorts);
+criterion_main!(benches);

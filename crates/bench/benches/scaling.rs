@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 5.3: fixed total size, varying P.
+
+use bitonic_bench::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmd::MessageMode;
+
+fn bench_scaling(c: &mut Criterion) {
+    let total = 1usize << 14;
+    let keys = uniform_keys(total, 2);
+    let mut group = c.benchmark_group("fig5_3_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements(total as u64));
+    for p in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                run_parallel_sort(
+                    &keys,
+                    p,
+                    MessageMode::Long,
+                    Algorithm::Smart,
+                    LocalStrategy::Merges,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Tables 5.1/5.2: the three bitonic variants.
+
+use bitonic_bench::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmd::MessageMode;
+
+fn bench_strategies(c: &mut Criterion) {
+    let p = 8;
+    let mut group = c.benchmark_group("table5_1_strategies");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    for lgn in [10u32, 12] {
+        let n = 1usize << lgn;
+        let keys = uniform_keys(n * p, 1);
+        group.throughput(Throughput::Elements((n * p) as u64));
+        for algo in [
+            Algorithm::BlockedMerge,
+            Algorithm::CyclicBlocked,
+            Algorithm::Smart,
+        ] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &keys, |b, keys| {
+                b.iter(|| {
+                    run_parallel_sort(keys, p, MessageMode::Long, algo, LocalStrategy::Merges)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

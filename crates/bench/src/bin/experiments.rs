@@ -1,0 +1,48 @@
+//! Regenerate the Chapter 5 tables and figures.
+//!
+//! ```text
+//! experiments                  # run everything at host scale
+//! experiments table5_1 fig5_7  # run selected experiments
+//! experiments --full all       # measured runs at paper scale (slow!)
+//! ```
+
+use bitonic_bench::experiments::{all, by_id, Scale, IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_host();
+    let mut ids: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--full" => scale = Scale::full(),
+            "--help" | "-h" => {
+                println!("usage: experiments [--full] [all | {}]", IDS.join(" | "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    let run_all = ids.is_empty() || ids.iter().any(|i| i == "all");
+
+    let experiments = if run_all {
+        all(scale)
+    } else {
+        ids.iter()
+            .map(|id| {
+                by_id(id, scale).unwrap_or_else(|| {
+                    eprintln!("unknown experiment '{id}'; known: {}", IDS.join(", "));
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    println!(
+        "# Chapter 5 reproduction ({} scale)\n",
+        if scale.shrink == 1 { "paper" } else { "host" }
+    );
+    for e in experiments {
+        println!("## {} [{}]\n", e.title, e.id);
+        println!("{}", e.body);
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 5.4: breakdown of communication vs computation, 16 processors.
+
+use super::Experiment;
+use super::Scale;
+use crate::report::{f2, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use logp::predict::{predict, CostModel, Messages, StrategyKind};
+use logp::LogGpParams;
+use spmd::runtime::critical_path_stats;
+use spmd::{MessageMode, Phase};
+
+const P: usize = 16;
+
+/// Figure 5.4 — per-key split between computation and communication as the
+/// data grows. The thesis's observation: computation's share grows with
+/// the per-processor working set (cache effects).
+#[must_use]
+pub fn fig5_4(scale: Scale) -> Experiment {
+    let params = LogGpParams::meiko_cs2(P);
+    let model = CostModel::meiko_cs2();
+    let mut t = Table::new(vec![
+        "keys/proc (K, paper)",
+        "model comp µs",
+        "model comm µs",
+        "model comp %",
+        "live comp %",
+        "live comm %",
+    ]);
+    for kk in [16usize, 64, 256, 1024] {
+        let n_model = kk * 1024;
+        let pred = predict(
+            StrategyKind::Smart,
+            n_model,
+            P,
+            &params,
+            &model,
+            Messages::Long { fused: true },
+        );
+        let n_live = (n_model / scale.shrink).max(64);
+        let keys = uniform_keys(n_live * P, 21);
+        let run = run_parallel_sort(
+            &keys,
+            P,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+        let crit = critical_path_stats(&run.ranks);
+        let comp = crit.time(Phase::Compute).as_secs_f64();
+        let comm = crit.communication_time().as_secs_f64();
+        t.row(vec![
+            kk.to_string(),
+            f2(pred.compute_us),
+            f2(pred.comm_us()),
+            f2(100.0 * pred.compute_us / pred.total_us()),
+            f2(100.0 * comp / (comp + comm)),
+            f2(100.0 * comm / (comp + comm)),
+        ]);
+    }
+    Experiment {
+        id: "fig5_4",
+        title: "Fig 5.4: computation vs communication share, P=16",
+        body: t.render(),
+    }
+}

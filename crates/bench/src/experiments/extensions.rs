@@ -1,0 +1,221 @@
+//! Extension experiments beyond the Chapter 5 figures: the fat-tree
+//! contention claim (Section 3.2.1, footnote 2), the Section 4.3 fusion,
+//! and the Lemma 5 remap-shifting strategies.
+
+use super::{Experiment, Scale};
+use crate::report::{f2, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use bitonic_core::shift::{remaining_steps, ShiftStrategy, ShiftedSchedule};
+use logp::fattree::{cyclic_blocked_root_traffic, smart_root_traffic, FatTree};
+use spmd::runtime::critical_path_stats;
+use spmd::{MessageMode, Phase};
+
+/// Fat-tree link loads per remap: the smart schedule's aligned groups keep
+/// all but the widest remaps off the top of the tree.
+#[must_use]
+pub fn ext_fattree() -> Experiment {
+    let (n, p) = (1usize << 16, 16usize);
+    let tree = FatTree::new(p);
+    let mut t = Table::new(vec!["remap", "group size", "level-1 load", "root load"]);
+    for (i, info) in logp::metrics::smart_schedule(n, p).iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            (1u64 << info.bits_changed).to_string(),
+            f2(tree.group_exchange_load(n, info.bits_changed, 1)),
+            f2(tree.root_load_group(n, info.bits_changed)),
+        ]);
+    }
+    let mut body = t.render();
+    body.push_str(&format!(
+        "\nTotal root traffic (elements/uplink): smart {:.0} vs cyclic-blocked {:.0} ({:.1}x less)\n",
+        smart_root_traffic(n, p),
+        cyclic_blocked_root_traffic(n, p),
+        cyclic_blocked_root_traffic(n, p) / smart_root_traffic(n, p).max(1.0),
+    ));
+    Experiment {
+        id: "ext_fattree",
+        title: "Extension: fat-tree top-switch contention (§3.2.1 fn.2)",
+        body,
+    }
+}
+
+/// Section 4.3 fusion and Figure 4.5 fast path, measured live: identical
+/// R/V/M, but the pack/unpack wall-clock migrates into computation.
+#[must_use]
+pub fn ext_fusion(scale: Scale) -> Experiment {
+    let p = 16;
+    let n = (1usize << 18) / scale.shrink.max(1);
+    let n = n.max(1 << 10);
+    let keys = uniform_keys(n * p, 77);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let mut t = Table::new(vec![
+        "pipeline",
+        "R",
+        "V/n",
+        "pack ms",
+        "unpack ms",
+        "compute ms",
+        "sorted",
+    ]);
+    let configs: [(&str, Algorithm, LocalStrategy); 4] = [
+        ("merges (Thm 2-3)", Algorithm::Smart, LocalStrategy::Merges),
+        (
+            "one sort/phase (Fig 4.5)",
+            Algorithm::Smart,
+            LocalStrategy::FullSort,
+        ),
+        (
+            "canonical steps",
+            Algorithm::Smart,
+            LocalStrategy::Canonical,
+        ),
+        (
+            "fused pack+merge (§4.3)",
+            Algorithm::SmartFused,
+            LocalStrategy::Merges,
+        ),
+    ];
+    for (label, algo, strategy) in configs {
+        let run = run_parallel_sort(&keys, p, MessageMode::Long, algo, strategy);
+        let crit = critical_path_stats(&run.ranks);
+        t.row(vec![
+            label.to_string(),
+            crit.remap_count().to_string(),
+            format!("{:.2}", crit.elements_sent as f64 / n as f64),
+            f2(crit.time(Phase::Pack).as_secs_f64() * 1e3),
+            f2(crit.time(Phase::Unpack).as_secs_f64() * 1e3),
+            f2(crit.time(Phase::Compute).as_secs_f64() * 1e3),
+            (run.output == expect).to_string(),
+        ]);
+    }
+    Experiment {
+        id: "ext_fusion",
+        title: "Extension: fusing pack/unpack into computation (§4.3, Fig 4.5)",
+        body: t.render(),
+    }
+}
+
+/// Lemma 5: total volume under the four remap-shifting strategies.
+#[must_use]
+pub fn ext_shifting() -> Experiment {
+    let mut t = Table::new(vec![
+        "lg n",
+        "lg P",
+        "V_Head/n",
+        "V_Tail/n",
+        "V_Middle1/n",
+        "V_Middle2/n",
+    ]);
+    for (lgn, lgp) in [(4u32, 3u32), (5, 4), (6, 4), (8, 5), (10, 5)] {
+        let n_total = 1usize << (lgn + lgp);
+        let p = 1usize << lgp;
+        let n = (n_total / p) as f64;
+        let rem = remaining_steps(lgn, lgp);
+        let vol =
+            |s: ShiftStrategy| ShiftedSchedule::new(n_total, p, s).metrics().volume as f64 / n;
+        let m1 = if rem >= 2 {
+            f2(vol(ShiftStrategy::Middle1 { head: rem / 2 }))
+        } else {
+            "n/a".to_string()
+        };
+        let m2 = if lgn >= 2 && rem >= 1 {
+            f2(vol(ShiftStrategy::Middle2 {
+                head: (lgn - 1).min(rem.max(1)),
+            }))
+        } else {
+            "n/a".to_string()
+        };
+        t.row(vec![
+            lgn.to_string(),
+            lgp.to_string(),
+            f2(vol(ShiftStrategy::Head)),
+            f2(vol(ShiftStrategy::Tail)),
+            m1,
+            m2,
+        ]);
+    }
+    Experiment {
+        id: "ext_shifting",
+        title: "Extension: Lemma 5 remap shifting — volume per strategy",
+        body: t.render(),
+    }
+}
+
+/// Trace-driven LogGP simulation: replay each live run's per-rank
+/// communication records through the cost model. Unlike the closed forms,
+/// this makes sample sort's input sensitivity visible as *time* while the
+/// oblivious bitonic sort is flat across distributions (Section 5.5).
+#[must_use]
+pub fn ext_simulated(scale: Scale) -> Experiment {
+    use crate::workloads::{keys, Distribution};
+    use baselines::{run_baseline, Baseline};
+    let p = 16;
+    let n = ((1usize << 18) / scale.shrink.max(1)).max(1 << 10);
+    let params = logp::LogGpParams::meiko_cs2(p);
+    let compute = 0.05; // µs per held key per phase — one O(n) pass
+    let mut t = Table::new(vec!["algorithm", "input", "sim µs/key", "max recv skew"]);
+    for dist in [Distribution::Uniform31, Distribution::LowEntropy] {
+        let input = keys(n * p, dist, 123);
+        let runs: Vec<(&str, Vec<Vec<logp::simulate::StepTrace>>)> = vec![
+            (
+                "Smart bitonic",
+                run_parallel_sort(
+                    &input,
+                    p,
+                    MessageMode::Long,
+                    Algorithm::Smart,
+                    LocalStrategy::Merges,
+                )
+                .ranks
+                .iter()
+                .map(|r| super::trace_of(&r.stats))
+                .collect(),
+            ),
+            (
+                "Sample",
+                run_baseline(&input, p, MessageMode::Long, Baseline::Sample)
+                    .ranks
+                    .iter()
+                    .map(|r| super::trace_of(&r.stats))
+                    .collect(),
+            ),
+            (
+                "Radix",
+                run_baseline(&input, p, MessageMode::Long, Baseline::Radix)
+                    .ranks
+                    .iter()
+                    .map(|r| super::trace_of(&r.stats))
+                    .collect(),
+            ),
+        ];
+        for (name, trace) in runs {
+            let sim = logp::simulate::makespan_us_per_key(&trace, &params, compute, n * p);
+            let max_recv = trace
+                .iter()
+                .flat_map(|rank| rank.iter().map(|s| s.received))
+                .max()
+                .unwrap_or(0);
+            let mean_recv = {
+                let (sum, cnt) = trace
+                    .iter()
+                    .flatten()
+                    .fold((0u64, 0u64), |(s, c), st| (s + st.received, c + 1));
+                (sum as f64 / cnt.max(1) as f64).max(1.0)
+            };
+            t.row(vec![
+                name.to_string(),
+                dist.name().to_string(),
+                format!("{sim:.3}"),
+                format!("{:.1}x", max_recv as f64 / mean_recv),
+            ]);
+        }
+    }
+    Experiment {
+        id: "ext_simulated",
+        title: "Extension: trace-driven LogGP simulation (skew becomes time)",
+        body: t.render(),
+    }
+}

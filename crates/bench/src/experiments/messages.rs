@@ -1,0 +1,162 @@
+//! Tables 5.3/5.4 and Figures 5.5/5.6: short vs long messages and the
+//! pack/transfer/unpack breakdown, 16 processors.
+
+use super::{metrics_of, Experiment, Scale};
+use crate::paper;
+use crate::report::{f2, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use logp::cost::{loggp_total_us, logp_total_us};
+use logp::predict::KEY_BYTES;
+use logp::LogGpParams;
+use spmd::runtime::critical_path_stats;
+use spmd::{MessageMode, Phase};
+
+const P: usize = 16;
+
+/// Table 5.3 / Figure 5.5 — communication time per key, short vs long
+/// messages. The model column evaluates the *measured* counters of a live
+/// run under the Meiko LogP/LogGP parameters; the live column is the
+/// thread-machine wall clock (reported for completeness — channel
+/// overheads, not network ones).
+#[must_use]
+pub fn table5_3(scale: Scale) -> Experiment {
+    let params = LogGpParams::meiko_cs2(P);
+    let mut t = Table::new(vec![
+        "keys/proc (K, paper)",
+        "short model",
+        "short paper",
+        "long model",
+        "long paper",
+        "live short wall",
+        "live long wall",
+    ]);
+    for (i, &(kk, short_paper, long_paper)) in paper::TABLE_5_3.iter().enumerate() {
+        let _ = i;
+        let n_model = kk * 1024;
+        // Live runs: short messages are expensive even on channels, so
+        // shrink harder.
+        let n_live = (n_model / (scale.shrink * 4)).max(64);
+        let keys = uniform_keys(n_live * P, 33);
+
+        let run_long = run_parallel_sort(
+            &keys,
+            P,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+        let run_short = run_parallel_sort(
+            &keys,
+            P,
+            MessageMode::Short,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+
+        // Model: scale the measured per-key counters up to paper size —
+        // V/n and R are size-independent for fixed P (R only moves when
+        // lg n changes, which barely affects the per-key cost).
+        let m_long = metrics_of(&run_long.ranks[0].stats);
+        let m_short = metrics_of(&run_short.ranks[0].stats);
+        let scale_up = n_model as f64 / n_live as f64;
+        let scaled = |m: logp::CommMetrics, msgs_like_volume: bool| logp::CommMetrics {
+            remaps: m.remaps,
+            volume: (m.volume as f64 * scale_up) as u64,
+            messages: if msgs_like_volume {
+                (m.volume as f64 * scale_up) as u64
+            } else {
+                m.messages
+            },
+        };
+        let short_model = logp_total_us(&params, scaled(m_short, true)) / n_model as f64;
+        // The long-message version of Section 5.4 does *not* fuse packing
+        // and unpacking into the computation, so its communication time
+        // includes both (≈80% of the phase, Table 5.4).
+        let model = logp::predict::CostModel::meiko_cs2();
+        let long_model = loggp_total_us(&params, scaled(m_long, false), KEY_BYTES) / n_model as f64
+            + m_long.remaps as f64 * (model.pack_us + model.unpack_us);
+
+        let crit_s = critical_path_stats(&run_short.ranks);
+        let crit_l = critical_path_stats(&run_long.ranks);
+        t.row(vec![
+            kk.to_string(),
+            f2(short_model),
+            f2(short_paper),
+            f2(long_model),
+            f2(long_paper),
+            f2(crit_s.communication_time().as_secs_f64() * 1e6 / n_live as f64),
+            f2(crit_l.communication_time().as_secs_f64() * 1e6 / n_live as f64),
+        ]);
+    }
+    Experiment {
+        id: "table5_3",
+        title: "Table 5.3 / Fig 5.5: communication µs/key, short vs long messages, P=16",
+        body: t.render(),
+    }
+}
+
+/// Table 5.4 / Figure 5.6 — pack/transfer/unpack split of the long-message
+/// communication phase.
+#[must_use]
+pub fn table5_4(scale: Scale) -> Experiment {
+    let params = LogGpParams::meiko_cs2(P);
+    let model = logp::predict::CostModel::meiko_cs2();
+    let mut t = Table::new(vec![
+        "keys/proc (K, paper)",
+        "pack model",
+        "pack paper",
+        "transfer model",
+        "transfer paper",
+        "unpack model",
+        "unpack paper",
+        "live pack %",
+        "live transfer %",
+        "live unpack %",
+    ]);
+    for &(kk, pack_paper, transfer_paper, unpack_paper) in &paper::TABLE_5_4 {
+        let n_model = kk * 1024;
+        let pred = logp::predict::predict(
+            logp::predict::StrategyKind::Smart,
+            n_model,
+            P,
+            &params,
+            &model,
+            logp::predict::Messages::Long { fused: false },
+        );
+        let n_live = (n_model / scale.shrink).max(64);
+        let keys = uniform_keys(n_live * P, 44);
+        let run = run_parallel_sort(
+            &keys,
+            P,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+        let crit = critical_path_stats(&run.ranks);
+        let (pk, tr, up) = (
+            crit.time(Phase::Pack).as_secs_f64(),
+            crit.time(Phase::Transfer).as_secs_f64(),
+            crit.time(Phase::Unpack).as_secs_f64(),
+        );
+        let tot = (pk + tr + up).max(f64::EPSILON);
+        t.row(vec![
+            kk.to_string(),
+            f2(pred.pack_us),
+            f2(pack_paper),
+            f2(pred.transfer_us),
+            f2(transfer_paper),
+            f2(pred.unpack_us),
+            f2(unpack_paper),
+            f2(100.0 * pk / tot),
+            f2(100.0 * tr / tot),
+            f2(100.0 * up / tot),
+        ]);
+    }
+    Experiment {
+        id: "table5_4",
+        title: "Table 5.4 / Fig 5.6: long-message communication breakdown, P=16",
+        body: t.render(),
+    }
+}

@@ -1,0 +1,126 @@
+//! One module per Chapter 5 table/figure group.
+
+pub mod breakdown;
+pub mod extensions;
+pub mod messages;
+pub mod other_sorts;
+pub mod scaling;
+pub mod strategies;
+
+use spmd::CommStats;
+
+/// A rendered experiment, ready to print or paste into EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Identifier matching the thesis ("table5_1", "fig5_3", …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Rendered body (tables + notes).
+    pub body: String,
+}
+
+/// Scale at which *measured* runs execute (the model always runs at paper
+/// scale).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Divide the paper's keys-per-processor by this factor for live runs.
+    pub shrink: usize,
+}
+
+impl Scale {
+    /// Default for CI-class hosts: 1/64 of the paper's keys per processor.
+    #[must_use]
+    pub fn default_host() -> Self {
+        Scale { shrink: 64 }
+    }
+
+    /// Paper scale (use only on a machine with memory and patience).
+    #[must_use]
+    pub fn full() -> Self {
+        Scale { shrink: 1 }
+    }
+}
+
+/// Convert a rank's measured remap records into a simulator trace row.
+#[must_use]
+pub fn trace_of(stats: &CommStats) -> Vec<logp::simulate::StepTrace> {
+    stats
+        .remaps
+        .iter()
+        .map(|r| logp::simulate::StepTrace {
+            sent: r.elements_sent,
+            messages: r.messages_sent,
+            received: r.elements_received,
+            kept: r.elements_kept,
+        })
+        .collect()
+}
+
+/// Convert measured SPMD counters into the LogP/LogGP metric triple.
+#[must_use]
+pub fn metrics_of(stats: &CommStats) -> logp::CommMetrics {
+    logp::CommMetrics {
+        remaps: stats.remap_count(),
+        volume: stats.elements_sent,
+        messages: stats.messages_sent,
+    }
+}
+
+/// Run every experiment in thesis order.
+#[must_use]
+pub fn all(scale: Scale) -> Vec<Experiment> {
+    vec![
+        strategies::table5_1(),
+        strategies::table5_2(),
+        strategies::measured(scale),
+        scaling::fig5_3(scale),
+        breakdown::fig5_4(scale),
+        messages::table5_3(scale),
+        messages::table5_4(scale),
+        other_sorts::fig5_7(scale),
+        other_sorts::fig5_8(scale),
+        extensions::ext_fattree(),
+        extensions::ext_fusion(scale),
+        extensions::ext_shifting(),
+        extensions::ext_simulated(scale),
+    ]
+}
+
+/// Look an experiment up by id.
+#[must_use]
+pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
+    match id {
+        "table5_1" | "fig5_2" => Some(strategies::table5_1()),
+        "table5_2" | "fig5_1" => Some(strategies::table5_2()),
+        "strategies_measured" => Some(strategies::measured(scale)),
+        "fig5_3" => Some(scaling::fig5_3(scale)),
+        "fig5_4" => Some(breakdown::fig5_4(scale)),
+        "table5_3" | "fig5_5" => Some(messages::table5_3(scale)),
+        "table5_4" | "fig5_6" => Some(messages::table5_4(scale)),
+        "fig5_7" => Some(other_sorts::fig5_7(scale)),
+        "fig5_8" => Some(other_sorts::fig5_8(scale)),
+        "ext_fattree" => Some(extensions::ext_fattree()),
+        "ext_fusion" => Some(extensions::ext_fusion(scale)),
+        "ext_shifting" => Some(extensions::ext_shifting()),
+        "ext_simulated" => Some(extensions::ext_simulated(scale)),
+        _ => None,
+    }
+}
+
+/// All experiment ids accepted by [`by_id`].
+pub const IDS: [&str; 13] = [
+    "table5_1",
+    "table5_2",
+    "strategies_measured",
+    "fig5_3",
+    "fig5_4",
+    "table5_3",
+    "table5_4",
+    "fig5_7",
+    "fig5_8",
+    "ext_fattree",
+    "ext_fusion",
+    "ext_shifting",
+    "ext_simulated",
+];

@@ -1,0 +1,80 @@
+//! Figures 5.7/5.8: bitonic vs radix vs sample sort on 16 and 32
+//! processors.
+
+use super::{Experiment, Scale};
+use crate::report::{f2, Table};
+use crate::workloads::uniform_keys;
+use baselines::{run_baseline, Baseline};
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use logp::predict::{predict, CostModel, Messages, StrategyKind};
+use logp::LogGpParams;
+use spmd::MessageMode;
+
+fn comparison(p: usize, id: &'static str, title: &'static str, scale: Scale) -> Experiment {
+    let params = LogGpParams::meiko_cs2(p);
+    let model = CostModel::meiko_cs2();
+    let fused = Messages::Long { fused: true };
+    let mut t = Table::new(vec![
+        "keys/proc (K, paper)",
+        "bitonic model",
+        "radix model",
+        "sample model",
+        "live bitonic ok",
+        "live radix ok",
+        "live sample ok",
+    ]);
+    for kk in [16usize, 64, 256, 1024] {
+        let n_model = kk * 1024;
+        let us = |kind| f2(predict(kind, n_model, p, &params, &model, fused).total_us());
+        let n_live = (n_model / scale.shrink).max(64);
+        let keys = uniform_keys(n_live * p, 55);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let bitonic = run_parallel_sort(
+            &keys,
+            p,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+        let radix = run_baseline(&keys, p, MessageMode::Long, Baseline::Radix);
+        let sample = run_baseline(&keys, p, MessageMode::Long, Baseline::Sample);
+        t.row(vec![
+            kk.to_string(),
+            us(StrategyKind::Smart),
+            us(StrategyKind::RadixSort),
+            us(StrategyKind::SampleSort),
+            (bitonic.output == expect).to_string(),
+            (radix.output == expect).to_string(),
+            (sample.output == expect).to_string(),
+        ]);
+    }
+    Experiment {
+        id,
+        title,
+        body: t.render(),
+    }
+}
+
+/// Figure 5.7 — P = 16: bitonic beats radix across the sweep; sample wins.
+#[must_use]
+pub fn fig5_7(scale: Scale) -> Experiment {
+    comparison(
+        16,
+        "fig5_7",
+        "Fig 5.7: sample/radix/bitonic µs per key, P=16",
+        scale,
+    )
+}
+
+/// Figure 5.8 — P = 32: bitonic beats radix only for small data sets.
+#[must_use]
+pub fn fig5_8(scale: Scale) -> Experiment {
+    comparison(
+        32,
+        "fig5_8",
+        "Fig 5.8: sample/radix/bitonic µs per key, P=32",
+        scale,
+    )
+}

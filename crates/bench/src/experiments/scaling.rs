@@ -1,0 +1,69 @@
+//! Figure 5.3: total sorting time and speedup for 1M keys on 2–32
+//! processors.
+
+use super::{Experiment, Scale};
+use crate::report::{f2, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use logp::predict::{predict, CostModel, Messages, StrategyKind};
+use logp::LogGpParams;
+use spmd::MessageMode;
+
+/// Figure 5.3 — fixed total problem size, varying P. The model reproduces
+/// the speedup curve; live runs at host scale verify the counters and
+/// correctness per machine size (wall-clock speedup is meaningless on a
+/// single-core host, so it is reported but not compared).
+#[must_use]
+pub fn fig5_3(scale: Scale) -> Experiment {
+    let model = CostModel::meiko_cs2();
+    let total_model = 1usize << 20; // 1M keys as in the figure
+    let total_live = (total_model / scale.shrink).max(1024);
+
+    let mut t = Table::new(vec![
+        "P",
+        "model total (s)",
+        "model speedup",
+        "live total (s)",
+        "live R",
+        "live sorted",
+    ]);
+    let mut base_model = None;
+    for p in [2usize, 4, 8, 16, 32] {
+        let n_model = total_model / p;
+        let params = LogGpParams::meiko_cs2(p);
+        let secs = predict(
+            StrategyKind::Smart,
+            n_model,
+            p,
+            &params,
+            &model,
+            Messages::Long { fused: true },
+        )
+        .total_seconds(n_model);
+        let base = *base_model.get_or_insert(secs * 2.0); // P=2 baseline → speedup 2 at P=2
+        let keys = uniform_keys(total_live, 11);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let run = run_parallel_sort(
+            &keys,
+            p,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+        t.row(vec![
+            p.to_string(),
+            format!("{secs:.3}"),
+            f2(base / secs),
+            format!("{:.3}", run.elapsed.as_secs_f64()),
+            run.ranks[0].stats.remap_count().to_string(),
+            (run.output == expect).to_string(),
+        ]);
+    }
+    Experiment {
+        id: "fig5_3",
+        title: "Fig 5.3: sorting 1M keys on 2..32 processors (time + speedup)",
+        body: t.render(),
+    }
+}

@@ -1,0 +1,138 @@
+//! Tables 5.1/5.2 and Figures 5.1/5.2: the three bitonic variants on 32
+//! processors, 128K–1M keys per processor.
+
+use super::{metrics_of, Experiment, Scale};
+use crate::paper;
+use crate::report::{f2, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use logp::predict::{predict, CostModel, Messages, StrategyKind};
+use logp::LogGpParams;
+use spmd::MessageMode;
+
+const P: usize = 32;
+const PAPER_SIZES_K: [usize; 4] = [128, 256, 512, 1024];
+
+fn model_prediction(kind: StrategyKind, n: usize) -> f64 {
+    let params = LogGpParams::meiko_cs2(P);
+    let model = CostModel::meiko_cs2();
+    predict(kind, n, P, &params, &model, Messages::Long { fused: true }).total_us()
+}
+
+/// Table 5.1 / Figure 5.2 — µs per key, model at paper scale vs published.
+#[must_use]
+pub fn table5_1() -> Experiment {
+    let mut t = Table::new(vec![
+        "keys/proc (K)",
+        "BM model",
+        "BM paper",
+        "CB model",
+        "CB paper",
+        "Smart model",
+        "Smart paper",
+    ]);
+    for (i, &kk) in PAPER_SIZES_K.iter().enumerate() {
+        let n = kk * 1024;
+        let (_, bm_p, cb_p, s_p) = paper::TABLE_5_1[i];
+        t.row(vec![
+            kk.to_string(),
+            f2(model_prediction(StrategyKind::BlockedMerge, n)),
+            f2(bm_p),
+            f2(model_prediction(StrategyKind::CyclicBlocked, n)),
+            f2(cb_p),
+            f2(model_prediction(StrategyKind::Smart, n)),
+            f2(s_p),
+        ]);
+    }
+    Experiment {
+        id: "table5_1",
+        title: "Table 5.1 / Fig 5.2: execution time per key (µs), P=32",
+        body: t.render(),
+    }
+}
+
+/// Table 5.2 / Figure 5.1 — total seconds, model at paper scale vs
+/// published.
+#[must_use]
+pub fn table5_2() -> Experiment {
+    let params = LogGpParams::meiko_cs2(P);
+    let model = CostModel::meiko_cs2();
+    let mut t = Table::new(vec![
+        "keys/proc (K)",
+        "BM model",
+        "BM paper",
+        "CB model",
+        "CB paper",
+        "Smart model",
+        "Smart paper",
+    ]);
+    for (i, &kk) in PAPER_SIZES_K.iter().enumerate() {
+        let n = kk * 1024;
+        let (_, bm_p, cb_p, s_p) = paper::TABLE_5_2[i];
+        // The thesis's totals are per-key × total keys N = n·P (its per-key
+        // figures divide the makespan by N).
+        let secs = |kind| {
+            predict(kind, n, P, &params, &model, Messages::Long { fused: true })
+                .total_seconds(n * P)
+        };
+        t.row(vec![
+            kk.to_string(),
+            f2(secs(StrategyKind::BlockedMerge)),
+            f2(bm_p),
+            f2(secs(StrategyKind::CyclicBlocked)),
+            f2(cb_p),
+            f2(secs(StrategyKind::Smart)),
+            f2(s_p),
+        ]);
+    }
+    Experiment {
+        id: "table5_2",
+        title: "Table 5.2 / Fig 5.1: total execution time (s), P=32",
+        body: t.render(),
+    }
+}
+
+/// Live runs of the three algorithms at host scale: exact R/V/M counters
+/// (these match the thesis formulas regardless of hardware) plus measured
+/// wall-clock per key on the thread machine.
+#[must_use]
+pub fn measured(scale: Scale) -> Experiment {
+    let mut t = Table::new(vec![
+        "keys/proc",
+        "algorithm",
+        "R",
+        "V/n",
+        "M",
+        "wall µs/key",
+        "sorted",
+    ]);
+    for &kk in &PAPER_SIZES_K[..2] {
+        let n = (kk * 1024 / scale.shrink).max(64);
+        let keys = uniform_keys(n * P, 42);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        for algo in [
+            Algorithm::BlockedMerge,
+            Algorithm::CyclicBlocked,
+            Algorithm::Smart,
+        ] {
+            let run = run_parallel_sort(&keys, P, MessageMode::Long, algo, LocalStrategy::Merges);
+            let m = metrics_of(&run.ranks[0].stats);
+            t.row(vec![
+                n.to_string(),
+                algo.name().to_string(),
+                m.remaps.to_string(),
+                format!("{:.2}", m.volume as f64 / n as f64),
+                m.messages.to_string(),
+                f2(run.elapsed.as_secs_f64() * 1e6 / (n * P) as f64),
+                (run.output == expect).to_string(),
+            ]);
+        }
+    }
+    Experiment {
+        id: "strategies_measured",
+        title: "Live runs (host scale): counters match Section 3.4 exactly",
+        body: t.render(),
+    }
+}

@@ -1,0 +1,76 @@
+//! Experiment harness regenerating every table and figure of Chapter 5.
+//!
+//! Each experiment produces two views:
+//!
+//! * **model** — the LogGP + linear-computation prediction at the paper's
+//!   full scale (P up to 32, 128K–1M keys per processor), using the Meiko
+//!   CS-2 calibration of the `logp` crate. This is what reproduces the
+//!   *shape* of the thesis numbers: who wins, by what factor, where the
+//!   crossovers sit.
+//! * **measured** — real runs of the algorithms on the thread-based SPMD
+//!   machine at a scale the host can handle, reporting the exact
+//!   communication counters (R, V, M — which match the thesis formulas
+//!   *exactly*, independent of hardware) and wall-clock phase splits.
+//!
+//! The `experiments` binary renders both, side by side with the published
+//! numbers where the thesis tabulates them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+/// Paper-published reference values, for side-by-side display.
+pub mod paper {
+    /// Table 5.1 — execution time per key (µs), 32 processors.
+    /// Rows: keys/proc in K (128, 256, 512, 1024);
+    /// columns: Blocked-Merge, Cyclic-Blocked, Smart.
+    pub const TABLE_5_1: [(usize, f64, f64, f64); 4] = [
+        (128, 1.07, 0.68, 0.52),
+        (256, 1.19, 0.75, 0.51),
+        (512, 1.26, 0.89, 0.53),
+        (1024, 1.25, 0.86, 0.59),
+    ];
+
+    /// Table 5.2 — total execution time (s), 32 processors.
+    pub const TABLE_5_2: [(usize, f64, f64, f64); 4] = [
+        (128, 5.52, 2.85, 2.18),
+        (256, 10.04, 6.35, 4.26),
+        (512, 21.14, 14.96, 8.95),
+        (1024, 42.03, 28.58, 20.01),
+    ];
+
+    /// Table 5.3 — communication time per key (µs), 16 processors:
+    /// (keys/proc in K, short messages, long messages).
+    pub const TABLE_5_3: [(usize, f64, f64); 4] = [
+        (128, 13.23, 0.98),
+        (256, 13.25, 1.09),
+        (512, 13.26, 1.12),
+        (1024, 13.74, 1.21),
+    ];
+
+    /// Table 5.4 — breakdown of the long-message communication phase per
+    /// key (µs), 16 processors: (keys/proc in K, packing, transfer,
+    /// unpacking).
+    pub const TABLE_5_4: [(usize, f64, f64, f64); 4] = [
+        (128, 0.35, 0.15, 0.15),
+        (256, 0.37, 0.15, 0.15),
+        (512, 0.38, 0.16, 0.14),
+        (1024, 0.38, 0.16, 0.13),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_tables_are_monotone_in_strategy() {
+        for (_, bm, cb, smart) in super::paper::TABLE_5_1 {
+            assert!(smart < cb && cb < bm);
+        }
+        for (_, short, long) in super::paper::TABLE_5_3 {
+            assert!(long < short / 9.0);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// A simple text table: header row plus data rows, rendered with aligned
+/// columns in GitHub-markdown style so reports can be pasted into
+/// EXPERIMENTS.md verbatim.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; its length must match the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned pipes.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                line.push_str(&format!(" {:>w$} |", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Format a float with 2 decimals (the thesis's table precision).
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a duration as µs per key.
+#[must_use]
+pub fn us_per_key(d: std::time::Duration, keys: usize) -> String {
+    f2(d.as_secs_f64() * 1e6 / keys as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_pipes() {
+        let mut t = Table::new(vec!["n", "value"]);
+        t.row(vec!["1", "10.00"]);
+        t.row(vec!["1024", "0.52"]);
+        let s = t.render();
+        assert!(s.contains("|    n | value |"), "got:\n{s}");
+        assert!(s.lines().count() == 4);
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "all lines same width"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        Table::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(0.519), "0.52");
+        assert_eq!(
+            us_per_key(std::time::Duration::from_micros(5200), 10_000),
+            "0.52"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Workload generators for the experiments.
+//!
+//! The thesis uses "random, uniformly-distributed 32-bit keys … in the
+//! range 0 through 2³¹ − 1" (Section 5.3). We add the low-entropy and
+//! adversarial distributions used to probe sample sort's sensitivity
+//! (Section 5.5 remarks) and the bitonic generators for micro-benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key distributions available to experiments and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform in `[0, 2^31)` — the thesis's standard workload.
+    Uniform31,
+    /// Uniform over `{0, …, 7}` — low entropy, stresses splitter-based
+    /// sorts.
+    LowEntropy,
+    /// All keys identical.
+    Constant,
+    /// Already sorted ascending.
+    Sorted,
+    /// Sorted descending.
+    ReverseSorted,
+}
+
+impl Distribution {
+    /// Human-readable label for tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::Uniform31 => "uniform 31-bit",
+            Distribution::LowEntropy => "low entropy",
+            Distribution::Constant => "constant",
+            Distribution::Sorted => "sorted",
+            Distribution::ReverseSorted => "reverse sorted",
+        }
+    }
+}
+
+/// Generate `n` keys of the given distribution, deterministically from
+/// `seed`.
+#[must_use]
+pub fn keys(n: usize, dist: Distribution, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match dist {
+        Distribution::Uniform31 => (0..n).map(|_| rng.gen_range(0..1u32 << 31)).collect(),
+        Distribution::LowEntropy => (0..n).map(|_| rng.gen_range(0..8u32)).collect(),
+        Distribution::Constant => vec![0x1234_5678 & 0x7FFF_FFFF; n],
+        Distribution::Sorted => (0..n as u32).collect(),
+        Distribution::ReverseSorted => (0..n as u32).rev().collect(),
+    }
+}
+
+/// Uniform 31-bit keys — shorthand for the standard workload.
+#[must_use]
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<u32> {
+    keys(n, Distribution::Uniform31, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(uniform_keys(100, 7), uniform_keys(100, 7));
+        assert_ne!(uniform_keys(100, 7), uniform_keys(100, 8));
+    }
+
+    #[test]
+    fn keys_respect_31_bit_range() {
+        assert!(uniform_keys(10_000, 3).iter().all(|&k| k < (1 << 31)));
+    }
+
+    #[test]
+    fn distributions_have_expected_shape() {
+        let low = keys(1000, Distribution::LowEntropy, 1);
+        assert!(low.iter().all(|&k| k < 8));
+        let sorted = keys(100, Distribution::Sorted, 1);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let rev = keys(100, Distribution::ReverseSorted, 1);
+        assert!(rev.windows(2).all(|w| w[0] >= w[1]));
+        let c = keys(5, Distribution::Constant, 1);
+        assert!(c.iter().all(|&k| k == c[0]));
+    }
+}

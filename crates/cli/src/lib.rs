@@ -1,0 +1,357 @@
+//! Library backing the `bitonic-sort` command-line tool.
+//!
+//! The binary is a thin wrapper over [`run`]; everything interesting —
+//! argument parsing, sentinel padding for non-power-of-two inputs, the
+//! dispatch over algorithms, the statistics report — lives here where it
+//! can be unit-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use baselines::{run_baseline, Baseline};
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use spmd::runtime::critical_path_stats;
+use spmd::{CommStats, MessageMode};
+
+/// Which sorting engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// A bitonic variant from `bitonic-core`.
+    Bitonic(Algorithm),
+    /// A comparison sort from `baselines`.
+    Baseline(Baseline),
+}
+
+impl Engine {
+    /// Parse a user-facing engine name.
+    pub fn parse(name: &str) -> Result<Engine, String> {
+        Ok(match name {
+            "smart" => Engine::Bitonic(Algorithm::Smart),
+            "smart-fused" => Engine::Bitonic(Algorithm::SmartFused),
+            "cyclic-blocked" => Engine::Bitonic(Algorithm::CyclicBlocked),
+            "blocked-merge" => Engine::Bitonic(Algorithm::BlockedMerge),
+            "sample" => Engine::Baseline(Baseline::Sample),
+            "radix" => Engine::Baseline(Baseline::Radix),
+            "column" => Engine::Baseline(Baseline::Column),
+            other => {
+                return Err(format!(
+                    "unknown algorithm '{other}' (try: smart, smart-fused, cyclic-blocked, \
+                     blocked-merge, sample, radix, column)"
+                ))
+            }
+        })
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Sorting engine (default: smart).
+    pub engine: Engine,
+    /// Virtual processors (default 8; any power of two).
+    pub procs: usize,
+    /// Short or long messages (default long).
+    pub mode: MessageMode,
+    /// Print communication statistics to stderr.
+    pub stats: bool,
+    /// Input path (`-` or absent = stdin); binary little-endian u32 unless
+    /// `text`.
+    pub input: Option<String>,
+    /// Output path (`-` or absent = stdout).
+    pub output: Option<String>,
+    /// Line-oriented decimal text instead of binary LE u32.
+    pub text: bool,
+    /// Generate this many random keys instead of reading input.
+    pub random: Option<usize>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            engine: Engine::Bitonic(Algorithm::Smart),
+            procs: 8,
+            mode: MessageMode::Long,
+            stats: false,
+            input: None,
+            output: None,
+            text: false,
+            random: None,
+        }
+    }
+}
+
+/// Parse CLI arguments (excluding `argv[0]`).
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "-a" | "--algorithm" => opts.engine = Engine::parse(&value_for(arg)?)?,
+            "-p" | "--procs" => {
+                opts.procs = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --procs: {e}"))?;
+                if !opts.procs.is_power_of_two() {
+                    return Err("--procs must be a power of two".into());
+                }
+            }
+            "--short-messages" => opts.mode = MessageMode::Short,
+            "--stats" => opts.stats = true,
+            "--text" => opts.text = true,
+            "-i" | "--input" => opts.input = Some(value_for(arg)?),
+            "-o" | "--output" => opts.output = Some(value_for(arg)?),
+            "--random" => {
+                opts.random = Some(
+                    value_for(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad --random: {e}"))?,
+                )
+            }
+            "-h" | "--help" => return Err(usage()),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// The usage string.
+#[must_use]
+pub fn usage() -> String {
+    "usage: bitonic-sort [-a ALGO] [-p PROCS] [--short-messages] [--stats] [--text]\n\
+     \u{20}                   [-i FILE|-] [-o FILE|-] [--random N]\n\
+     ALGO: smart | smart-fused | cyclic-blocked | blocked-merge | sample | radix | column\n\
+     Input is binary little-endian u32 (or decimal lines with --text)."
+        .to_string()
+}
+
+/// Pad `keys` with `u32::MAX` sentinels up to the next power-of-two
+/// multiple of `procs`, returning the padded vector and the original
+/// length. The sorted prefix of the original length is exactly the sorted
+/// input (sentinels are maximal).
+#[must_use]
+pub fn pad_keys(mut keys: Vec<u32>, procs: usize) -> (Vec<u32>, usize) {
+    let len = keys.len();
+    let per = len.div_ceil(procs).next_power_of_two().max(2);
+    keys.resize(per * procs, u32::MAX);
+    (keys, len)
+}
+
+/// Sort `keys` with the chosen engine, returning the sorted keys and the
+/// critical-path communication statistics.
+#[must_use]
+pub fn sort_keys(keys: Vec<u32>, opts: &Options) -> (Vec<u32>, CommStats) {
+    let (padded, len) = pad_keys(keys, opts.procs);
+    let (mut out, stats) = match opts.engine {
+        Engine::Bitonic(algo) => {
+            let run =
+                run_parallel_sort(&padded, opts.procs, opts.mode, algo, LocalStrategy::Merges);
+            (run.output, critical_path_stats(&run.ranks))
+        }
+        Engine::Baseline(which) => {
+            let run = run_baseline(&padded, opts.procs, opts.mode, which);
+            (run.output, critical_path_stats(&run.ranks))
+        }
+    };
+    out.truncate(len);
+    (out, stats)
+}
+
+/// Render the `--stats` report.
+#[must_use]
+pub fn stats_report(stats: &CommStats, keys: usize) -> String {
+    use spmd::Phase;
+    let mut s = String::new();
+    s.push_str(&format!(
+        "keys: {keys}\ncommunication steps (R): {}\nelements sent/proc (V): {}\nmessages sent/proc (M): {}\n",
+        stats.remap_count(),
+        stats.elements_sent,
+        stats.messages_sent
+    ));
+    for (label, phase) in [
+        ("compute", Phase::Compute),
+        ("pack", Phase::Pack),
+        ("transfer", Phase::Transfer),
+        ("unpack", Phase::Unpack),
+        ("barrier", Phase::Barrier),
+    ] {
+        s.push_str(&format!(
+            "{label:>9}: {:.3} ms\n",
+            stats.time(phase).as_secs_f64() * 1e3
+        ));
+    }
+    s
+}
+
+/// Decode keys from bytes (binary LE u32 or decimal lines).
+pub fn decode(bytes: &[u8], text: bool) -> Result<Vec<u32>, String> {
+    if text {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                l.trim()
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad key '{l}': {e}"))
+            })
+            .collect()
+    } else {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(format!(
+                "binary input length {} is not a multiple of 4",
+                bytes.len()
+            ));
+        }
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+/// Encode keys to bytes (binary LE u32 or decimal lines).
+#[must_use]
+pub fn encode(keys: &[u32], text: bool) -> Vec<u8> {
+    if text {
+        let mut s = String::with_capacity(keys.len() * 8);
+        for k in keys {
+            s.push_str(&k.to_string());
+            s.push('\n');
+        }
+        s.into_bytes()
+    } else {
+        keys.iter().flat_map(|k| k.to_le_bytes()).collect()
+    }
+}
+
+/// End-to-end pipeline used by `main`: produce the input keys, sort,
+/// return `(encoded output, optional stats report)`.
+pub fn run(
+    opts: &Options,
+    raw_input: Option<Vec<u8>>,
+) -> Result<(Vec<u8>, Option<String>), String> {
+    let keys = match (opts.random, raw_input) {
+        (Some(n), _) => {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xB170_41C5);
+            (0..n).map(|_| rng.gen_range(0..1u32 << 31)).collect()
+        }
+        (None, Some(bytes)) => decode(&bytes, opts.text)?,
+        (None, None) => return Err("no input: pass --input, pipe stdin, or use --random N".into()),
+    };
+    if keys.is_empty() {
+        return Ok((Vec::new(), opts.stats.then(|| "keys: 0\n".to_string())));
+    }
+    let count = keys.len();
+    let (sorted, stats) = sort_keys(keys, opts);
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let report = opts.stats.then(|| stats_report(&stats, count));
+    Ok((encode(&sorted, opts.text), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_typical_invocations() {
+        let o = parse_args(&args("-a sample -p 4 --stats --text -i in.txt -o out.txt")).unwrap();
+        assert_eq!(o.engine, Engine::Baseline(Baseline::Sample));
+        assert_eq!(o.procs, 4);
+        assert!(o.stats && o.text);
+        assert_eq!(o.input.as_deref(), Some("in.txt"));
+        let o = parse_args(&args("--random 1000")).unwrap();
+        assert_eq!(o.random, Some(1000));
+        assert_eq!(
+            o.engine,
+            Engine::Bitonic(Algorithm::Smart),
+            "default engine"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&args("--bogus")).is_err());
+        assert!(parse_args(&args("-p 7")).is_err(), "non power of two");
+        assert!(parse_args(&args("-a quicksort")).is_err());
+        assert!(parse_args(&args("-i")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn padding_is_minimal_and_truncation_safe() {
+        let (padded, len) = pad_keys(vec![5, 3, 1], 4);
+        assert_eq!(len, 3);
+        assert_eq!(padded.len(), 8, "ceil(3/4)=1 -> 2 per proc minimum");
+        assert!(padded[3..].iter().all(|&k| k == u32::MAX));
+        let (padded, _) = pad_keys((0..100).collect(), 8);
+        assert_eq!(padded.len(), 16 * 8);
+    }
+
+    #[test]
+    fn binary_and_text_round_trip() {
+        let keys = vec![0u32, 1, 42, u32::MAX];
+        assert_eq!(decode(&encode(&keys, false), false).unwrap(), keys);
+        assert_eq!(decode(&encode(&keys, true), true).unwrap(), keys);
+        assert!(decode(&[1, 2, 3], false).is_err(), "ragged binary");
+        assert!(decode(b"12\nnope\n", true).is_err());
+    }
+
+    #[test]
+    fn end_to_end_sorts_text() {
+        let opts = parse_args(&args("--text -p 4 -a smart")).unwrap();
+        let (out, report) = run(&opts, Some(b"9\n3\n7\n1\n1\n".to_vec())).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "1\n1\n3\n7\n9\n");
+        assert!(report.is_none());
+    }
+
+    #[test]
+    fn end_to_end_every_engine() {
+        for engine in [
+            "smart",
+            "smart-fused",
+            "cyclic-blocked",
+            "blocked-merge",
+            "sample",
+            "radix",
+            "column",
+        ] {
+            let opts =
+                parse_args(&args(&format!("-a {engine} -p 4 --random 1000 --stats"))).unwrap();
+            let (out, report) = run(&opts, None).unwrap();
+            let keys = decode(&out, false).unwrap();
+            assert_eq!(keys.len(), 1000, "{engine}");
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "{engine}");
+            assert!(report.unwrap().contains("communication steps"), "{engine}");
+        }
+    }
+
+    #[test]
+    fn keys_containing_sentinel_values_survive() {
+        let opts = parse_args(&args("-p 4")).unwrap();
+        let keys = vec![u32::MAX, 0, u32::MAX, 5];
+        let (sorted, _) = sort_keys(keys, &opts);
+        assert_eq!(sorted, vec![0, 5, u32::MAX, u32::MAX]);
+    }
+
+    proptest! {
+        #[test]
+        fn sorts_arbitrary_lengths(keys in proptest::collection::vec(any::<u32>(), 0..500)) {
+            let opts = Options { procs: 4, ..Default::default() };
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            if keys.is_empty() { return Ok(()); }
+            let (sorted, _) = sort_keys(keys, &opts);
+            prop_assert_eq!(sorted, expect);
+        }
+    }
+}

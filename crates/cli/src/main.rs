@@ -1,0 +1,58 @@
+//! `bitonic-sort` — sort key files with the thesis's parallel algorithms.
+//!
+//! ```text
+//! bitonic-sort --random 1000000 --stats -o sorted.bin
+//! bitonic-sort -a sample -p 16 --text -i keys.txt -o -
+//! generate | bitonic-sort -a smart-fused > sorted.bin
+//! ```
+
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match bitonic_cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Read input only when needed.
+    let raw = if opts.random.is_some() {
+        None
+    } else {
+        let mut buf = Vec::new();
+        let result = match opts.input.as_deref() {
+            None | Some("-") => std::io::stdin().lock().read_to_end(&mut buf),
+            Some(path) => std::fs::File::open(path).and_then(|mut f| f.read_to_end(&mut buf)),
+        };
+        if let Err(e) = result {
+            eprintln!("reading input: {e}");
+            return ExitCode::from(1);
+        }
+        Some(buf)
+    };
+
+    match bitonic_cli::run(&opts, raw) {
+        Ok((bytes, report)) => {
+            if let Some(report) = report {
+                eprint!("{report}");
+            }
+            let write_result = match opts.output.as_deref() {
+                None | Some("-") => std::io::stdout().lock().write_all(&bytes),
+                Some(path) => std::fs::write(path, &bytes),
+            };
+            if let Err(e) = write_result {
+                eprintln!("writing output: {e}");
+                return ExitCode::from(1);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(1)
+        }
+    }
+}

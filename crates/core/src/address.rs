@@ -1,0 +1,287 @@
+//! Absolute and relative addresses (Definition 6) and bit-pattern layouts.
+//!
+//! Every node of the bitonic sorting network carries an *absolute address*
+//! — the row it was initially mapped to, `lg N` bits. After a remap it also
+//! has a *relative address*: the processor number (`lg P` bits) plus the
+//! local address on that processor (`lg n` bits, Figure 3.1).
+//!
+//! Every layout in the thesis — blocked, cyclic, and all the smart layouts
+//! of Definition 7 — converts between the two by *rearranging bit
+//! positions* (Figures 3.2, 3.7, 3.8). [`BitLayout`] captures exactly that:
+//! for each relative bit it records which absolute bit feeds it. This
+//! single representation gives us a uniform remap engine, mechanical
+//! bits-changed analysis (Lemma 3), and cheap bijectivity checks.
+
+/// A data layout expressed as a permutation of address bits.
+///
+/// Relative bits `0 .. lg n` form the local address (bit 0 = least
+/// significant); relative bits `lg n .. lg N` form the processor number.
+///
+/// ```
+/// use bitonic_core::layout::{blocked, cyclic};
+/// // 16 keys on 4 processors.
+/// let b = blocked(4, 2);
+/// assert_eq!(b.proc_of(13), 3);      // key 13 lives on processor ⌊13/4⌋
+/// let c = cyclic(4, 2);
+/// assert_eq!(c.proc_of(13), 1);      // …or on 13 mod 4 under cyclic
+/// // Remapping blocked → cyclic moves lg P = 2 bits into the processor
+/// // part, so each processor keeps n/4 keys (Lemma 3/4).
+/// assert_eq!(b.bits_changed_to(&c), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitLayout {
+    /// `rel_source[j]` = the absolute bit index that feeds relative bit `j`.
+    rel_source: Vec<u32>,
+    /// Number of local-address bits (`lg n`).
+    lg_local: u32,
+}
+
+impl BitLayout {
+    /// Build a layout from the absolute bit feeding each relative bit.
+    ///
+    /// # Panics
+    /// Panics unless `rel_source` is a permutation of `0 .. rel_source.len()`
+    /// and `lg_local <= rel_source.len()`.
+    #[must_use]
+    pub fn new(rel_source: Vec<u32>, lg_local: u32) -> Self {
+        let lg_total = rel_source.len() as u32;
+        assert!(lg_local <= lg_total, "more local bits than address bits");
+        let mut seen = vec![false; rel_source.len()];
+        for &b in &rel_source {
+            assert!(b < lg_total, "absolute bit {b} out of range");
+            assert!(!seen[b as usize], "absolute bit {b} used twice");
+            seen[b as usize] = true;
+        }
+        BitLayout {
+            rel_source,
+            lg_local,
+        }
+    }
+
+    /// Total address width `lg N`.
+    #[must_use]
+    pub fn lg_total(&self) -> u32 {
+        self.rel_source.len() as u32
+    }
+
+    /// Local address width `lg n`.
+    #[must_use]
+    pub fn lg_local(&self) -> u32 {
+        self.lg_local
+    }
+
+    /// Processor address width `lg P`.
+    #[must_use]
+    pub fn lg_proc(&self) -> u32 {
+        self.lg_total() - self.lg_local
+    }
+
+    /// Elements per processor, `n`.
+    #[must_use]
+    pub fn local_size(&self) -> usize {
+        1usize << self.lg_local
+    }
+
+    /// Number of processors, `P`.
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        1usize << self.lg_proc()
+    }
+
+    /// The absolute bit feeding relative bit `j`.
+    #[must_use]
+    pub fn source_of(&self, rel_bit: u32) -> u32 {
+        self.rel_source[rel_bit as usize]
+    }
+
+    /// Relative address of the node with absolute address `abs`.
+    #[must_use]
+    pub fn rel_of(&self, abs: usize) -> usize {
+        let mut rel = 0usize;
+        for (j, &src) in self.rel_source.iter().enumerate() {
+            rel |= ((abs >> src) & 1) << j;
+        }
+        rel
+    }
+
+    /// Absolute address of the node at relative address `rel`.
+    #[must_use]
+    pub fn abs_of(&self, rel: usize) -> usize {
+        let mut abs = 0usize;
+        for (j, &src) in self.rel_source.iter().enumerate() {
+            abs |= ((rel >> j) & 1) << src;
+        }
+        abs
+    }
+
+    /// Processor holding the node with absolute address `abs`.
+    #[must_use]
+    pub fn proc_of(&self, abs: usize) -> usize {
+        self.rel_of(abs) >> self.lg_local
+    }
+
+    /// Local address of the node with absolute address `abs`.
+    #[must_use]
+    pub fn local_of(&self, abs: usize) -> usize {
+        self.rel_of(abs) & (self.local_size() - 1)
+    }
+
+    /// Relative address composed from processor and local parts.
+    #[must_use]
+    pub fn rel(&self, proc: usize, local: usize) -> usize {
+        debug_assert!(local < self.local_size());
+        debug_assert!(proc < self.procs());
+        (proc << self.lg_local) | local
+    }
+
+    /// Absolute address of the node at `(proc, local)`.
+    #[must_use]
+    pub fn abs_at(&self, proc: usize, local: usize) -> usize {
+        self.abs_of(self.rel(proc, local))
+    }
+
+    /// Where absolute bit `abs_bit` sits in the relative address, if
+    /// anywhere (it always does for in-range bits).
+    #[must_use]
+    pub fn position_of(&self, abs_bit: u32) -> Option<u32> {
+        self.rel_source
+            .iter()
+            .position(|&s| s == abs_bit)
+            .map(|p| p as u32)
+    }
+
+    /// Position of `abs_bit` within the *local* address, or `None` if it is
+    /// a processor bit (or out of range). A network step can execute
+    /// locally exactly when its compared bit is local.
+    #[must_use]
+    pub fn local_position_of(&self, abs_bit: u32) -> Option<u32> {
+        match self.position_of(abs_bit) {
+            Some(p) if p < self.lg_local => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Is `abs_bit` part of the processor number under this layout?
+    #[must_use]
+    pub fn is_proc_bit(&self, abs_bit: u32) -> bool {
+        matches!(self.position_of(abs_bit), Some(p) if p >= self.lg_local)
+    }
+
+    /// Number of absolute bits that are local here but become processor
+    /// bits under `next` — `N_BitsChanged` of Lemma 3. Each such bit halves
+    /// the elements a processor keeps across the remap
+    /// (`N_keep = n / 2^{N_BitsChanged}`, Section 3.2.1).
+    #[must_use]
+    pub fn bits_changed_to(&self, next: &BitLayout) -> u32 {
+        assert_eq!(self.lg_total(), next.lg_total());
+        (0..self.lg_total())
+            .filter(|&b| self.local_position_of(b).is_some() && next.is_proc_bit(b))
+            .count() as u32
+    }
+
+    /// The bit pattern rendered in thesis style: most significant absolute
+    /// bit first, processor-part bits bracketed (cf. Figure 3.4).
+    #[must_use]
+    pub fn pattern_string(&self) -> String {
+        let mut out = String::new();
+        for abs_bit in (0..self.lg_total()).rev() {
+            let pos = self
+                .position_of(abs_bit)
+                .expect("permutation covers all bits");
+            if pos >= self.lg_local {
+                out.push_str(&format!("[p{}]", pos - self.lg_local));
+            } else {
+                out.push_str(&format!(" l{pos} "));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity(lg_total: u32, lg_local: u32) -> BitLayout {
+        BitLayout::new((0..lg_total).collect(), lg_local)
+    }
+
+    #[test]
+    fn rel_abs_roundtrip_identity() {
+        let l = identity(6, 3);
+        for abs in 0..64 {
+            assert_eq!(l.rel_of(abs), abs);
+            assert_eq!(l.abs_of(abs), abs);
+        }
+    }
+
+    #[test]
+    fn rel_abs_roundtrip_arbitrary_permutation() {
+        let l = BitLayout::new(vec![3, 0, 4, 1, 5, 2], 3);
+        for abs in 0..64 {
+            assert_eq!(l.abs_of(l.rel_of(abs)), abs, "abs_of ∘ rel_of = id");
+        }
+        for rel in 0..64 {
+            assert_eq!(l.rel_of(l.abs_of(rel)), rel, "rel_of ∘ abs_of = id");
+        }
+    }
+
+    #[test]
+    fn proc_and_local_split_rel() {
+        let l = BitLayout::new(vec![2, 3, 0, 1], 2); // local <- abs{2,3}, proc <- abs{0,1}
+                                                     // abs = 0b1101: local bits from abs2=1, abs3=1 -> 0b11; proc from abs0=1, abs1=0 -> 0b01.
+        assert_eq!(l.local_of(0b1101), 0b11);
+        assert_eq!(l.proc_of(0b1101), 0b01);
+        assert_eq!(l.abs_at(0b01, 0b11), 0b1101);
+    }
+
+    #[test]
+    fn positions_and_regions() {
+        let l = BitLayout::new(vec![4, 2, 0, 1, 3], 3);
+        assert_eq!(l.local_position_of(4), Some(0));
+        assert_eq!(l.local_position_of(0), Some(2));
+        assert_eq!(l.local_position_of(1), None, "abs bit 1 is a proc bit");
+        assert!(l.is_proc_bit(1));
+        assert!(l.is_proc_bit(3));
+        assert!(!l.is_proc_bit(4));
+        assert_eq!(l.position_of(3), Some(4));
+    }
+
+    #[test]
+    fn bits_changed_counts_local_to_proc_moves() {
+        let a = identity(4, 2); // local {0,1}, proc {2,3}
+        let b = BitLayout::new(vec![2, 3, 0, 1], 2); // local {2,3}, proc {0,1}
+        assert_eq!(a.bits_changed_to(&b), 2, "both local bits become proc bits");
+        assert_eq!(b.bits_changed_to(&a), 2);
+        assert_eq!(a.bits_changed_to(&a), 0, "no-op remap changes nothing");
+    }
+
+    #[test]
+    fn every_proc_gets_equal_share() {
+        let l = BitLayout::new(vec![5, 1, 3, 0, 2, 4], 3);
+        let mut counts = vec![0usize; l.procs()];
+        for abs in 0..64 {
+            counts[l.proc_of(abs)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == l.local_size()));
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn duplicate_sources_rejected() {
+        let _ = BitLayout::new(vec![0, 0, 1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_rejected() {
+        let _ = BitLayout::new(vec![0, 3], 1);
+    }
+
+    #[test]
+    fn pattern_string_shades_proc_bits() {
+        let l = BitLayout::new(vec![0, 1, 2, 3], 2);
+        let s = l.pattern_string();
+        assert!(s.contains("[p1]") && s.contains("l0"), "pattern: {s}");
+    }
+}

@@ -1,0 +1,82 @@
+//! The blocked-merge baseline (\[BLM+91\], Section 5.3).
+//!
+//! The data stays in a blocked layout throughout. For stage `lg n + k`,
+//! the first `k` steps compare keys on different processors: each such
+//! step pairs processor `me` with `me ⊕ 2^{bit}`, the pair swap their full
+//! arrays, and each side keeps the element-wise minima or maxima — a
+//! distributed compare-exchange. The remaining `lg n` steps of the stage
+//! run locally as one sort. Fewest messages of the three strategies
+//! (one `n`-element message per remote step) but by far the largest
+//! volume, `V = n · lgP(lgP+1)/2`.
+
+use crate::layout::blocked;
+use crate::local::{initial_direction, stage_direction};
+use bitonic_network::Direction;
+use local_sorts::bitonic_merge::sort_bitonic_with_scratch;
+use local_sorts::{local_sort, RadixKey};
+use spmd::{Comm, Phase};
+
+/// Sort with the fixed blocked layout and pairwise merge-exchange steps.
+///
+/// # Panics
+/// Panics if `local.len()` is not a power of two.
+pub fn blocked_merge_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> Vec<K> {
+    let p = comm.procs();
+    let me = comm.rank();
+    let n = local.len();
+    assert!(
+        n.is_power_of_two(),
+        "keys per processor must be a power of two"
+    );
+    if p == 1 {
+        comm.timed(Phase::Compute, |_| {
+            local_sort(&mut local, Direction::Ascending)
+        });
+        return local;
+    }
+
+    let lg_n = bitonic_network::lg(n);
+    let lg_p = bitonic_network::lg(p);
+    let blocked_layout = blocked(lg_n + lg_p, lg_n);
+    let mut scratch: Vec<K> = Vec::with_capacity(n);
+
+    // First lg n stages: one local sort.
+    comm.timed(Phase::Compute, |_| {
+        local_sort(&mut local, initial_direction(&blocked_layout, me));
+    });
+
+    for k in 1..=lg_p {
+        let stage = lg_n + k;
+        let dir = stage_direction(&blocked_layout, me, stage)
+            .expect("stage bit is a processor bit under blocked");
+        // k remote steps: bits lg n + k − 1 down to lg n, i.e. processor
+        // bits k − 1 down to 0.
+        for proc_bit in (0..k).rev() {
+            let partner = me ^ (1usize << proc_bit);
+            let received = comm.sendrecv(partner, local.clone());
+            comm.timed(Phase::Compute, |_| {
+                // The pair (me, partner) holds rows differing only in the
+                // step bit; the node on the bit-0 side keeps the minima of
+                // an ascending block.
+                let i_keep_min = (me < partner) == (dir == Direction::Ascending);
+                for (mine, theirs) in local.iter_mut().zip(received) {
+                    let out_of_order = if i_keep_min {
+                        *mine > theirs
+                    } else {
+                        *mine < theirs
+                    };
+                    if out_of_order {
+                        *mine = theirs;
+                    }
+                }
+            });
+        }
+        // Remaining lg n steps of the stage: the local array is a bitonic
+        // sequence (Lemma 7); sort it in the stage direction.
+        comm.timed(Phase::Compute, |_| {
+            sort_bitonic_with_scratch(&mut local, &mut scratch, dir);
+        });
+    }
+    comm.barrier();
+    local
+}

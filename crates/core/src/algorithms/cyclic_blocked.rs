@@ -1,0 +1,187 @@
+//! The cyclic–blocked baseline (Section 2.3, \[CDMS94\]).
+//!
+//! For each of the last `lg P` stages: remap blocked→cyclic, run the first
+//! `k` steps locally, remap cyclic→blocked, run the remaining `lg n` steps
+//! locally. Two remaps per stage, each a full `P`-way all-to-all of
+//! `n(1 − 1/P)` elements — the strategy the smart layout halves.
+//!
+//! Requires `N >= P^2` (at least `P` keys per processor): both layouts can
+//! cover at most `lg(N/P)` steps each, so the final stage's `lg N` steps
+//! only fit if `lg N <= 2 lg(N/P)`.
+
+use crate::layout::{blocked, cyclic};
+use crate::local::{initial_direction, stage_direction};
+use crate::remap::RemapPlan;
+use local_sorts::bitonic_merge::sort_bitonic_with_scratch;
+use local_sorts::{local_sort, RadixKey};
+use spmd::{Comm, Phase};
+
+/// Sort with periodic cyclic↔blocked remapping.
+///
+/// # Panics
+/// Panics if `n < P` (the `N >= P^2` restriction) or `n` is not a power of
+/// two.
+pub fn cyclic_blocked_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> Vec<K> {
+    let p = comm.procs();
+    let me = comm.rank();
+    let n = local.len();
+    assert!(
+        n.is_power_of_two(),
+        "keys per processor must be a power of two"
+    );
+    if p == 1 {
+        comm.timed(Phase::Compute, |_| {
+            local_sort(&mut local, bitonic_network::Direction::Ascending)
+        });
+        return local;
+    }
+    assert!(
+        n >= p,
+        "cyclic-blocked remapping requires N >= P^2 (n >= P)"
+    );
+
+    let lg_n = bitonic_network::lg(n);
+    let lg_p = bitonic_network::lg(p);
+    let lg_total = lg_n + lg_p;
+    let blocked_layout = blocked(lg_total, lg_n);
+    let cyclic_layout = cyclic(lg_total, lg_n);
+    // The two remaps are the same every stage; plan them once.
+    let to_cyclic = RemapPlan::new(&blocked_layout, &cyclic_layout, me);
+    let to_blocked = RemapPlan::new(&cyclic_layout, &blocked_layout, me);
+    let mut scratch: Vec<K> = Vec::with_capacity(n);
+
+    // First lg n stages under the blocked layout: one local sort.
+    comm.timed(Phase::Compute, |_| {
+        local_sort(&mut local, initial_direction(&blocked_layout, me));
+    });
+
+    for k in 1..=lg_p {
+        let stage = lg_n + k;
+        // Remap to cyclic; the first k steps of the stage are now local.
+        local = to_cyclic.apply(comm, &local);
+        comm.timed(Phase::Compute, |_| {
+            cyclic_phase(&cyclic_layout, me, &mut local, stage, k, &mut scratch);
+        });
+        // Remap back to blocked; the remaining lg n steps sort the local
+        // bitonic sequence (Lemma 7 at column lg n).
+        local = to_blocked.apply(comm, &local);
+        comm.timed(Phase::Compute, |_| {
+            let dir = stage_direction(&blocked_layout, me, stage)
+                .expect("stage bit is a processor bit under blocked");
+            sort_bitonic_with_scratch(&mut local, &mut scratch, dir);
+        });
+    }
+    comm.barrier();
+    local
+}
+
+/// The local computation of a cyclic phase: steps `lg n + k .. lg n + 1`
+/// of stage `lg n + k` under the cyclic layout.
+///
+/// "The computation performed under the cyclic layout consists of bitonic
+/// merges" (\[CDMS94\], Section 5.3): the `k` steps touch local bits
+/// `[lg n − lg P, lg n − lg P + k)`, so for every fixed value of the other
+/// local bits they form a complete bitonic merge of a stride-`2^{lgn−lgP}`
+/// subsequence of length `2^k` — which the `O(2^k)` bitonic merge sort
+/// replaces. The merge direction is constant per subsequence (the stage's
+/// direction bit sits among the fixed bits or in the processor part).
+fn cyclic_phase<K: RadixKey>(
+    cyclic_layout: &crate::address::BitLayout,
+    me: usize,
+    local: &mut [K],
+    stage: u32,
+    k: u32,
+    scratch: &mut Vec<K>,
+) {
+    let lg_n = cyclic_layout.lg_local();
+    let lg_p = cyclic_layout.lg_total() - lg_n;
+    let stride = 1usize << (lg_n - lg_p);
+    let run = 1usize << k;
+    debug_assert_eq!(
+        cyclic_layout.local_position_of(lg_n),
+        Some(lg_n - lg_p),
+        "step lg n + 1 must sit at local bit lg n − lg P under cyclic"
+    );
+
+    let mut gathered: Vec<K> = Vec::with_capacity(run);
+    // Iterate every assignment of the fixed local bits: low part
+    // `c_lo < stride`, high part `c_hi` above the k merge bits.
+    let high_count = local.len() / (stride * run);
+    for c_hi in 0..high_count {
+        for c_lo in 0..stride {
+            let base = c_hi * stride * run + c_lo;
+            gathered.clear();
+            gathered.extend((0..run).map(|j| local[base + j * stride]));
+            // Direction of this subsequence: the stage's direction bit of
+            // any of its members (constant across the subsequence).
+            let dir = match stage_direction(cyclic_layout, me, stage) {
+                Some(d) => d,
+                None => {
+                    let sigma = cyclic_layout
+                        .local_position_of(stage)
+                        .expect("direction bit is local in this branch");
+                    if (base >> sigma) & 1 == 0 {
+                        bitonic_network::Direction::Ascending
+                    } else {
+                        bitonic_network::Direction::Descending
+                    }
+                }
+            };
+            debug_assert!(bitonic_network::is_bitonic(&gathered));
+            sort_bitonic_with_scratch(&mut gathered, scratch, dir);
+            for (j, &v) in gathered.iter().enumerate() {
+                local[base + j * stride] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::run_step_canonical;
+    use bitonic_network::network::StepId;
+    use bitonic_network::BitonicNetwork;
+
+    /// The strided-merge cyclic phase must equal the canonical
+    /// compare-exchange execution of the same steps, state for state, on
+    /// every valid network state (i.e. the flat array as it actually looks
+    /// at the start of each stage).
+    #[test]
+    fn cyclic_phase_matches_canonical_steps_on_valid_states() {
+        for (lg_n, lg_p) in [(3u32, 2u32), (4, 3), (5, 3), (4, 4)] {
+            let lg_total = lg_n + lg_p;
+            let n_total = 1usize << lg_total;
+            let p = 1usize << lg_p;
+            let n = 1usize << lg_n;
+            let cyclic_layout = cyclic(lg_total, lg_n);
+            let net = BitonicNetwork::new(n_total);
+
+            // Drive the flat network to the start of each tail stage.
+            let mut flat: Vec<u64> = (0..n_total as u64)
+                .map(|i| (i.wrapping_mul(2654435761)) % 4096)
+                .collect();
+            for stage in 1..=lg_n {
+                net.apply_stage(&mut flat, stage);
+            }
+            for k in 1..=lg_p {
+                let stage = lg_n + k;
+                for me in 0..p {
+                    // Project this rank's cyclic-layout view of the state.
+                    let mut a: Vec<u64> =
+                        (0..n).map(|x| flat[cyclic_layout.abs_at(me, x)]).collect();
+                    let mut b = a.clone();
+                    let mut scratch = Vec::new();
+                    for step in ((lg_n + 1)..=stage).rev() {
+                        run_step_canonical(&cyclic_layout, me, &mut a, StepId { stage, step });
+                    }
+                    cyclic_phase(&cyclic_layout, me, &mut b, stage, k, &mut scratch);
+                    assert_eq!(a, b, "lgn={lg_n} lgp={lg_p} k={k} me={me}");
+                }
+                // Advance the flat state through the whole stage for the
+                // next iteration.
+                net.apply_stage(&mut flat, stage);
+            }
+        }
+    }
+}

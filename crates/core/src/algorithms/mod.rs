@@ -1,0 +1,404 @@
+//! The three remap-based parallel bitonic sort algorithms of Chapter 5.
+//!
+//! * [`smart`] — Algorithm 1: the thesis's contribution; minimum number of
+//!   remaps, merge-based local phases.
+//! * [`cyclic_blocked`] — the previous state of the art (\[CDMS94\]):
+//!   blocked↔cyclic remaps, two per stage.
+//! * [`blocked_merge`] — the \[BLM+91\] baseline: fixed blocked layout,
+//!   pairwise merge-exchange steps.
+//!
+//! All three start and finish under a blocked layout and produce the same
+//! globally sorted (ascending) sequence; they differ in when and how data
+//! moves — exactly the comparison of Tables 5.1/5.2.
+
+pub mod blocked_merge;
+pub mod cyclic_blocked;
+pub mod smart;
+
+pub use blocked_merge::blocked_merge_sort;
+pub use cyclic_blocked::cyclic_blocked_sort;
+pub use smart::{smart_sort, smart_sort_fused};
+
+use crate::local::LocalStrategy;
+use local_sorts::RadixKey;
+use spmd::{run_spmd, Comm, MessageMode, RankResult};
+use std::time::{Duration, Instant};
+
+/// Which parallel sort to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 1 (smart layout).
+    Smart,
+    /// Cyclic–blocked remapping.
+    CyclicBlocked,
+    /// Fixed blocked layout with merge-exchange steps.
+    BlockedMerge,
+    /// Algorithm 1 with the Section 4.3 pack/unpack-into-computation
+    /// fusion.
+    SmartFused,
+}
+
+impl Algorithm {
+    /// Display name matching the thesis tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Smart => "Smart",
+            Algorithm::CyclicBlocked => "Cyclic-Blocked",
+            Algorithm::BlockedMerge => "Blocked-Merge",
+            Algorithm::SmartFused => "Smart-Fused",
+        }
+    }
+
+    /// Run this algorithm on an open communicator.
+    pub fn sort<K: RadixKey>(
+        self,
+        comm: &mut Comm<K>,
+        local: Vec<K>,
+        strategy: LocalStrategy,
+    ) -> Vec<K> {
+        match self {
+            Algorithm::Smart => smart_sort(comm, local, strategy),
+            Algorithm::CyclicBlocked => cyclic_blocked_sort(comm, local),
+            Algorithm::BlockedMerge => blocked_merge_sort(comm, local),
+            Algorithm::SmartFused => smart_sort_fused(comm, local),
+        }
+    }
+}
+
+/// Result of a full parallel sort over the SPMD machine.
+#[derive(Debug)]
+pub struct SortRun<K> {
+    /// The sorted keys, gathered back in blocked order.
+    pub output: Vec<K>,
+    /// Per-rank results (local outputs have been moved into `output`).
+    pub ranks: Vec<RankResult<()>>,
+    /// Wall-clock of the whole machine run.
+    pub elapsed: Duration,
+}
+
+/// Scatter `keys` block-wise over `p` ranks, sort with `algo`, gather.
+///
+/// # Panics
+/// Panics unless `keys.len()` is a power-of-two multiple of `p` with at
+/// least two keys per rank (for `p > 1`).
+pub fn run_parallel_sort<K: RadixKey>(
+    keys: &[K],
+    p: usize,
+    mode: MessageMode,
+    algo: Algorithm,
+    strategy: LocalStrategy,
+) -> SortRun<K> {
+    assert!(
+        p >= 1 && keys.len().is_multiple_of(p),
+        "keys must divide evenly over ranks"
+    );
+    let n = keys.len() / p;
+    let t0 = Instant::now();
+    let results = run_spmd::<K, Vec<K>, _>(p, mode, |comm| {
+        let me = comm.rank();
+        let local = keys[me * n..(me + 1) * n].to_vec();
+        algo.sort(comm, local, strategy)
+    });
+    let elapsed = t0.elapsed();
+    let mut output = Vec::with_capacity(keys.len());
+    let mut ranks = Vec::with_capacity(p);
+    for r in results {
+        output.extend(r.output);
+        ranks.push(RankResult {
+            rank: r.rank,
+            output: (),
+            stats: r.stats,
+        });
+    }
+    SortRun {
+        output,
+        ranks,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmd::runtime::critical_path_stats;
+
+    fn keys(n: usize, seed: u64) -> Vec<u32> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) & 0x7FFF_FFFF) as u32 // 31-bit keys as in the thesis
+            })
+            .collect()
+    }
+
+    fn check_sorted(algo: Algorithm, total: usize, p: usize, seed: u64) {
+        let input = keys(total, seed);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let run = run_parallel_sort(&input, p, MessageMode::Long, algo, LocalStrategy::Merges);
+        assert_eq!(run.output, expect, "{algo:?} N={total} P={p}");
+    }
+
+    #[test]
+    fn all_algorithms_sort_various_machines() {
+        for algo in [
+            Algorithm::Smart,
+            Algorithm::CyclicBlocked,
+            Algorithm::BlockedMerge,
+        ] {
+            check_sorted(algo, 1 << 10, 4, 11);
+            check_sorted(algo, 1 << 8, 8, 12);
+            check_sorted(algo, 1 << 12, 16, 13);
+            check_sorted(algo, 64, 2, 14);
+            check_sorted(algo, 512, 1, 15);
+        }
+    }
+
+    #[test]
+    fn smart_handles_n_less_than_p() {
+        // No N >= P^2 restriction (Theorem 1's remark) — the other two
+        // strategies require n >= P.
+        check_sorted(Algorithm::Smart, 128, 32, 16);
+        check_sorted(Algorithm::Smart, 64, 16, 17);
+        check_sorted(Algorithm::Smart, 1 << 12, 64, 18);
+    }
+
+    #[test]
+    fn smart_counters_match_complexity_profiles() {
+        let (total, p) = (1usize << 10, 8usize);
+        let input = keys(total, 19);
+        let run = run_parallel_sort(
+            &input,
+            p,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+        let expect = crate::complexity::smart_metrics(total, p);
+        for rank in &run.ranks {
+            assert_eq!(
+                rank.stats.remap_count(),
+                expect.remaps,
+                "R on rank {}",
+                rank.rank
+            );
+            assert_eq!(
+                rank.stats.elements_sent, expect.volume,
+                "V on rank {}",
+                rank.rank
+            );
+            assert_eq!(
+                rank.stats.messages_sent, expect.messages,
+                "M on rank {}",
+                rank.rank
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_blocked_counters_match_closed_forms() {
+        let (total, p) = (1usize << 10, 8usize);
+        let n = total / p;
+        let input = keys(total, 20);
+        let run = run_parallel_sort(
+            &input,
+            p,
+            MessageMode::Long,
+            Algorithm::CyclicBlocked,
+            LocalStrategy::Merges,
+        );
+        let expect = logp::metrics::cyclic_blocked(n, p);
+        let crit = critical_path_stats(&run.ranks);
+        assert_eq!(crit.remap_count(), expect.remaps);
+        assert_eq!(crit.elements_sent, expect.volume);
+        assert_eq!(crit.messages_sent, expect.messages);
+    }
+
+    #[test]
+    fn blocked_merge_counters_match_closed_forms() {
+        let (total, p) = (1usize << 10, 8usize);
+        let n = total / p;
+        let input = keys(total, 21);
+        let run = run_parallel_sort(
+            &input,
+            p,
+            MessageMode::Long,
+            Algorithm::BlockedMerge,
+            LocalStrategy::Merges,
+        );
+        let expect = logp::metrics::blocked(n, p);
+        let crit = critical_path_stats(&run.ranks);
+        assert_eq!(crit.remap_count(), expect.remaps);
+        assert_eq!(crit.elements_sent, expect.volume);
+        assert_eq!(crit.messages_sent, expect.messages);
+    }
+
+    #[test]
+    fn short_messages_produce_same_output() {
+        let input = keys(512, 22);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        for algo in [
+            Algorithm::Smart,
+            Algorithm::CyclicBlocked,
+            Algorithm::BlockedMerge,
+        ] {
+            let run = run_parallel_sort(&input, 4, MessageMode::Short, algo, LocalStrategy::Merges);
+            assert_eq!(run.output, expect, "{algo:?} with short messages");
+        }
+    }
+
+    #[test]
+    fn fullsort_fast_path_sorts_in_common_regime() {
+        // lg n large enough that the schedule is inside-then-crossings:
+        // the Figure 4.5 fast path applies to every phase.
+        for (total, p, seed) in [(1usize << 12, 4usize, 30u64), (1 << 13, 8, 31)] {
+            let input = keys(total, seed);
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            let run = run_parallel_sort(
+                &input,
+                p,
+                MessageMode::Long,
+                Algorithm::Smart,
+                LocalStrategy::FullSort,
+            );
+            assert_eq!(run.output, expect, "N={total} P={p}");
+            let sched = crate::schedule::SmartSchedule::new(total, p);
+            assert!(
+                crate::local::fullsort_valid(&sched),
+                "precondition of the test"
+            );
+        }
+    }
+
+    #[test]
+    fn fullsort_falls_back_outside_its_regime() {
+        // N=256, P=16 has a crossing remap followed by an inside remap
+        // (Figure 3.3), so the fast path is invalid and smart_sort must
+        // fall back — and still sort.
+        let sched = crate::schedule::SmartSchedule::new(256, 16);
+        assert!(!crate::local::fullsort_valid(&sched));
+        let input = keys(256, 32);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let run = run_parallel_sort(
+            &input,
+            16,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::FullSort,
+        );
+        assert_eq!(run.output, expect);
+    }
+
+    #[test]
+    fn fused_pipeline_sorts_and_moves_the_same_volume() {
+        // Section 4.3 fusion must not change what travels — only when the
+        // pack/unpack work happens.
+        for (total, p, seed) in [
+            (1usize << 12, 8usize, 40u64),
+            (1 << 10, 4, 41),
+            (256, 16, 42),
+        ] {
+            let input = keys(total, seed);
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            let fused = run_parallel_sort(
+                &input,
+                p,
+                MessageMode::Long,
+                Algorithm::SmartFused,
+                LocalStrategy::Merges,
+            );
+            assert_eq!(fused.output, expect, "N={total} P={p}");
+            let plain = run_parallel_sort(
+                &input,
+                p,
+                MessageMode::Long,
+                Algorithm::Smart,
+                LocalStrategy::Merges,
+            );
+            assert_eq!(
+                fused.ranks[0].stats.elements_sent,
+                plain.ranks[0].stats.elements_sent
+            );
+            assert_eq!(
+                fused.ranks[0].stats.remap_count(),
+                plain.ranks[0].stats.remap_count()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_pipeline_spends_no_unpack_time() {
+        use spmd::Phase;
+        let input = keys(1 << 12, 43);
+        let run = run_parallel_sort(
+            &input,
+            8,
+            MessageMode::Long,
+            Algorithm::SmartFused,
+            LocalStrategy::Merges,
+        );
+        for rank in &run.ranks {
+            assert_eq!(rank.stats.time(Phase::Unpack), std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn all_three_strategies_agree() {
+        let input = keys(1 << 12, 33);
+        let mut outputs = Vec::new();
+        for strategy in [
+            LocalStrategy::Canonical,
+            LocalStrategy::Merges,
+            LocalStrategy::FullSort,
+        ] {
+            outputs.push(
+                run_parallel_sort(&input, 8, MessageMode::Long, Algorithm::Smart, strategy).output,
+            );
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn canonical_strategy_sorts_too() {
+        let input = keys(1 << 9, 23);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let run = run_parallel_sort(
+            &input,
+            8,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Canonical,
+        );
+        assert_eq!(run.output, expect);
+    }
+
+    #[test]
+    fn duplicate_and_degenerate_inputs() {
+        for algo in [
+            Algorithm::Smart,
+            Algorithm::CyclicBlocked,
+            Algorithm::BlockedMerge,
+        ] {
+            let all_same = vec![42u32; 256];
+            let run =
+                run_parallel_sort(&all_same, 4, MessageMode::Long, algo, LocalStrategy::Merges);
+            assert_eq!(run.output, all_same);
+
+            let mut reverse: Vec<u32> = (0..256u32).rev().collect();
+            let run =
+                run_parallel_sort(&reverse, 4, MessageMode::Long, algo, LocalStrategy::Merges);
+            reverse.sort_unstable();
+            assert_eq!(run.output, reverse);
+        }
+    }
+}

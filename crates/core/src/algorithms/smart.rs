@@ -1,0 +1,178 @@
+//! Algorithm 1: smart-layout parallel bitonic sort.
+//!
+//! "The parallel bitonic sort algorithm for sorting N elements on P
+//! processors starts with a blocked data layout and executes the first
+//! `lg n` stages entirely local. For the last `lg P` stages it periodically
+//! remaps to a smart data layout and executes `lg n` steps before remapping
+//! again." — and, by Theorem 1, no algorithm without data replication can
+//! use fewer remaps.
+
+use crate::local::{initial_direction, run_phase, stage_direction, LocalStrategy};
+use crate::remap::RemapPlan;
+use crate::schedule::{RemapPhase, SmartSchedule};
+use crate::smart::RemapKind;
+use bitonic_network::Direction;
+use local_sorts::merge::Run;
+use local_sorts::pway_merge::pway_merge_into;
+use local_sorts::{local_sort, RadixKey};
+use spmd::{Comm, Phase};
+
+/// Sort the machine's keys with the smart remapping strategy.
+///
+/// `local` is this rank's blocked slice of the input (all ranks must pass
+/// slices of equal power-of-two length); the return value is this rank's
+/// blocked slice of the globally ascending output. Unlike the
+/// cyclic–blocked strategy, no `N >= P^2` restriction applies.
+///
+/// # Panics
+/// Panics if `local.len()` is not a power of two (or zero for `P > 1`).
+pub fn smart_sort<K: RadixKey>(
+    comm: &mut Comm<K>,
+    mut local: Vec<K>,
+    strategy: LocalStrategy,
+) -> Vec<K> {
+    let p = comm.procs();
+    let me = comm.rank();
+    let n = local.len();
+    assert!(
+        n.is_power_of_two(),
+        "keys per processor must be a power of two"
+    );
+    if p == 1 {
+        comm.timed(Phase::Compute, |_| {
+            local_sort(&mut local, bitonic_network::Direction::Ascending)
+        });
+        return local;
+    }
+
+    let sched = SmartSchedule::new(n * p, p);
+    // The Figure 4.5 fast path needs "no crossing remap followed by an
+    // inside remap" (Section 4.1); outside that regime fall back to the
+    // structured Theorem 2/3 phases.
+    let strategy = if strategy == LocalStrategy::FullSort && !crate::local::fullsort_valid(&sched) {
+        LocalStrategy::Merges
+    } else {
+        strategy
+    };
+    let blocked = sched.blocked_layout();
+    let mut scratch: Vec<K> = Vec::with_capacity(n);
+
+    // First lg n stages: one local sort, ascending on even ranks (Lemma 6).
+    comm.timed(Phase::Compute, |_| {
+        local_sort(&mut local, initial_direction(&blocked, me));
+    });
+
+    // Last lg P stages: remap, run lg n steps locally, repeat.
+    let mut prev = blocked;
+    for phase in &sched.phases {
+        let plan = RemapPlan::new(&prev, &phase.layout, me);
+        local = plan.apply(comm, &local);
+        comm.timed(Phase::Compute, |_| {
+            run_phase(strategy, phase, me, &mut local, &mut scratch);
+        });
+        prev = crate::local::layout_after_for(strategy, phase);
+    }
+    comm.barrier();
+    local
+}
+
+/// Direction in which the [`LocalStrategy::FullSort`] phase leaves rank
+/// `rank`'s array — needed by [`smart_sort_fused`] receivers to treat each
+/// arrival as a sorted run.
+fn fullsort_direction(phase: &RemapPhase, rank: usize) -> Direction {
+    match phase.params.kind {
+        RemapKind::Inside => {
+            let stage = phase.steps[0].stage;
+            stage_direction(&phase.layout, rank, stage)
+                .expect("inside-phase direction bit is a processor bit")
+        }
+        RemapKind::Crossing => {
+            let stage2 = phase.steps.last().expect("crossing phase has steps").stage;
+            stage_direction(&phase.layout, rank, stage2)
+                .expect("crossing-phase next-stage direction bit is a processor bit")
+        }
+        RemapKind::Last => Direction::Ascending,
+    }
+}
+
+/// Algorithm 1 with the Section 4.3 fusion: packing and unpacking are
+/// absorbed into the local computation.
+///
+/// Every local phase of the fast path is a full sort (Figure 4.5), so the
+/// sender packs each destination's elements *in sorted order* (a gather
+/// over the sorted array), and the receiver replaces
+/// unpack-then-sort by a single p-way merge of the arriving sorted runs
+/// (it derives each source's run direction from the schedule — no key
+/// travels with a header). "For our implementation we have modified …
+/// the merges to perform the sort and packing in a single step."
+///
+/// Falls back to [`smart_sort`] with [`LocalStrategy::Merges`] on
+/// schedules where the fast path is invalid (a crossing remap followed by
+/// an inside remap).
+pub fn smart_sort_fused<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> Vec<K> {
+    let p = comm.procs();
+    let me = comm.rank();
+    let n = local.len();
+    assert!(
+        n.is_power_of_two(),
+        "keys per processor must be a power of two"
+    );
+    if p == 1 {
+        comm.timed(Phase::Compute, |_| {
+            local_sort(&mut local, Direction::Ascending)
+        });
+        return local;
+    }
+    let sched = SmartSchedule::new(n * p, p);
+    if !crate::local::fullsort_valid(&sched) {
+        return smart_sort(comm, local, LocalStrategy::Merges);
+    }
+    let blocked = sched.blocked_layout();
+
+    comm.timed(Phase::Compute, |_| {
+        local_sort(&mut local, initial_direction(&blocked, me));
+    });
+
+    let mut prev_layout = blocked.clone();
+    // Direction each rank's array is sorted in after the previous phase.
+    let mut dir_of: Vec<Direction> = (0..p).map(|r| initial_direction(&blocked, r)).collect();
+
+    for phase in &sched.phases {
+        let plan = RemapPlan::new(&prev_layout, &phase.layout, me);
+        // Fused pack: one linear pass over the (sorted) array, appending
+        // each element to its destination's buffer — every message is then
+        // a sorted run by construction.
+        let outgoing: Vec<Vec<K>> = comm.timed(Phase::Pack, |_| {
+            let dest = plan.destinations();
+            let mut out: Vec<Vec<K>> = (0..p)
+                .map(|d| Vec::with_capacity(plan.gather_indices(d).len()))
+                .collect();
+            for (&k, &d) in local.iter().zip(dest.iter()) {
+                out[d as usize].push(k);
+            }
+            out
+        });
+        let incoming = comm.exchange(outgoing);
+        // Fused unpack + compute: one p-way merge replaces scatter + sort.
+        let my_dir = fullsort_direction(phase, me);
+        local = comm.timed(Phase::Compute, |_| {
+            let runs: Vec<Run<'_, K>> = incoming
+                .iter()
+                .enumerate()
+                .map(|(src, data)| Run {
+                    data,
+                    dir: dir_of[src],
+                })
+                .collect();
+            let mut merged = Vec::with_capacity(n);
+            pway_merge_into(&runs, my_dir, &mut merged);
+            merged
+        });
+        for (r, d) in dir_of.iter_mut().enumerate() {
+            *d = fullsort_direction(phase, r);
+        }
+        prev_layout = phase.layout.clone();
+    }
+    comm.barrier();
+    local
+}

@@ -1,0 +1,129 @@
+//! Communication complexity of the smart remap (Section 3.2.1), computed
+//! from the actual layouts and cross-checked against the closed forms.
+//!
+//! Every quantity here is derived from the schedule's layout chain — the
+//! masks say how many bits change at each remap, Lemma 4 turns that into
+//! kept/sent element counts and group sizes — so these numbers are the
+//! ground truth the `logp` closed forms and the live [`spmd`] counters are
+//! both tested against.
+
+use crate::masks::MaskInfo;
+use crate::schedule::SmartSchedule;
+use logp::metrics::CommMetrics;
+
+/// Per-remap communication profile of a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapProfile {
+    /// `N_BitsChanged` at this remap (Lemma 3).
+    pub bits_changed: u32,
+    /// Elements each processor keeps, `n / 2^r`.
+    pub kept: usize,
+    /// Elements each processor sends, `n − n / 2^r` (its contribution to `V`).
+    pub sent: usize,
+    /// Messages each processor sends with long messages, `2^r − 1`.
+    pub messages: usize,
+}
+
+/// Profile every remap of the smart schedule for `n_total` keys on `p`
+/// processors.
+#[must_use]
+pub fn smart_profiles(n_total: usize, p: usize) -> Vec<RemapProfile> {
+    let sched = SmartSchedule::new(n_total, p);
+    profiles_of(&sched)
+}
+
+/// Profile the remaps of an existing schedule.
+#[must_use]
+pub fn profiles_of(sched: &SmartSchedule) -> Vec<RemapProfile> {
+    let n = 1usize << sched.lg_n();
+    let mut prev = sched.blocked_layout();
+    let mut out = Vec::with_capacity(sched.phases.len());
+    for phase in &sched.phases {
+        let info = MaskInfo::new(&prev, &phase.layout);
+        let r = info.bits_changed;
+        out.push(RemapProfile {
+            bits_changed: r,
+            kept: n >> r,
+            sent: n - (n >> r),
+            messages: (1usize << r) - 1,
+        });
+        prev = phase.layout_after.clone();
+    }
+    out
+}
+
+/// Total `R`/`V`/`M` of the smart strategy, from the layouts.
+#[must_use]
+pub fn smart_metrics(n_total: usize, p: usize) -> CommMetrics {
+    let profiles = smart_profiles(n_total, p);
+    CommMetrics {
+        remaps: profiles.len() as u64,
+        volume: profiles.iter().map(|r| r.sent as u64).sum(),
+        messages: profiles.iter().map(|r| r.messages as u64).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_derived_metrics_match_arithmetic_walker() {
+        // Two fully independent derivations of V and M — the bit-pattern
+        // layouts here, the (k, s) recurrence in logp — must agree
+        // everywhere, including the n < P regimes.
+        for lgn in 1..9u32 {
+            for lgp in 1..7u32 {
+                let n_total = 1usize << (lgn + lgp);
+                let p = 1usize << lgp;
+                assert_eq!(
+                    smart_metrics(n_total, p),
+                    logp::metrics::smart_exact(1 << lgn, p),
+                    "lgn={lgn} lgp={lgp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn common_regime_volume_is_n_lg_p() {
+        // Section 3.2.1: for lgP(lgP+1)/2 <= lg n, V_smart = n lg P.
+        for (lgn, lgp) in [(15u32, 5u32), (10, 4), (6, 3)] {
+            let n = 1usize << lgn;
+            let m = smart_metrics(n << lgp, 1 << lgp);
+            assert_eq!(m.volume, (n as u64) * u64::from(lgp));
+        }
+    }
+
+    #[test]
+    fn smart_transfers_less_than_cyclic_blocked_per_remap_sequence() {
+        // "at each remap we transfer less elements than in the case of a
+        // cyclic-blocked remap" — each smart remap sends n(1 − 1/2^r) with
+        // r <= lgP, while every cyclic-blocked remap sends n(1 − 1/P).
+        let (n_total, p) = (256usize, 16usize);
+        let n = n_total / p;
+        let cb_per_remap = n - n / p;
+        for profile in smart_profiles(n_total, p) {
+            assert!(profile.sent <= cb_per_remap);
+        }
+    }
+
+    #[test]
+    fn figure_3_4_profiles() {
+        let profiles = smart_profiles(256, 16);
+        let bits: Vec<u32> = profiles.iter().map(|r| r.bits_changed).collect();
+        assert_eq!(bits, vec![1, 2, 3, 3, 4, 4, 2]);
+        assert_eq!(profiles[0].kept, 8);
+        assert_eq!(profiles[0].sent, 8);
+        assert_eq!(profiles[0].messages, 1);
+        assert_eq!(profiles[4].kept, 1);
+        assert_eq!(profiles[4].messages, 15);
+    }
+
+    #[test]
+    fn kept_plus_sent_is_n() {
+        for profile in smart_profiles(1 << 12, 32) {
+            assert_eq!(profile.kept + profile.sent, 1 << 7);
+        }
+    }
+}

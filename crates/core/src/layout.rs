@@ -1,0 +1,92 @@
+//! The classic layouts of Chapter 2: blocked (Definition 4) and cyclic
+//! (Definition 5), as [`BitLayout`] bit patterns.
+
+use crate::address::BitLayout;
+
+/// Blocked layout: key `i` lives on processor `⌊i/n⌋`.
+///
+/// The processor number is the top `lg P` bits of the absolute address and
+/// the local address the low `lg n` bits, so the relative address *is* the
+/// absolute address (the identity bit pattern of Figure 3.2's left side).
+#[must_use]
+pub fn blocked(lg_total: u32, lg_local: u32) -> BitLayout {
+    BitLayout::new((0..lg_total).collect(), lg_local)
+}
+
+/// Cyclic layout: key `i` lives on processor `i mod P`.
+///
+/// The processor number is the *low* `lg P` bits of the absolute address
+/// and the local address the top `lg n` bits — a rotation of the blocked
+/// pattern by `lg P` (Figure 3.2).
+#[must_use]
+pub fn cyclic(lg_total: u32, lg_local: u32) -> BitLayout {
+    let lg_proc = lg_total - lg_local;
+    let rel_source = (0..lg_total).map(|j| (j + lg_proc) % lg_total).collect();
+    BitLayout::new(rel_source, lg_local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_matches_definition_4() {
+        // N = 16, P = 4: key i goes to processor floor(i/4).
+        let l = blocked(4, 2);
+        for i in 0..16usize {
+            assert_eq!(l.proc_of(i), i / 4);
+            assert_eq!(l.local_of(i), i % 4);
+        }
+    }
+
+    #[test]
+    fn cyclic_matches_definition_5() {
+        // N = 16, P = 4: key i goes to processor i mod 4 (the thesis writes
+        // "i mod n", a typo for i mod P — its Figure 2.6 shows i mod P).
+        let l = cyclic(4, 2);
+        for i in 0..16usize {
+            assert_eq!(l.proc_of(i), i % 4);
+            assert_eq!(l.local_of(i), i / 4);
+        }
+    }
+
+    #[test]
+    fn blocked_localizes_low_steps_cyclic_localizes_high_steps() {
+        // Under blocked, steps touching bits < lg n are local; under cyclic,
+        // steps touching bits >= lg P are local (Figures 2.5/2.6).
+        let (lg_total, lg_local) = (8, 5);
+        let b = blocked(lg_total, lg_local);
+        let c = cyclic(lg_total, lg_local);
+        for bit in 0..lg_total {
+            assert_eq!(b.local_position_of(bit).is_some(), bit < lg_local);
+            assert_eq!(
+                c.local_position_of(bit).is_some(),
+                bit >= lg_total - lg_local
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_to_cyclic_changes_lg_p_bits() {
+        // A blocked→cyclic remap always moves lg P bits from local to proc
+        // (when n >= P), which is why the cyclic-blocked strategy transfers
+        // n(1 - 1/P) elements at every remap.
+        for (lg_total, lg_local) in [(6u32, 4u32), (8, 5), (10, 7)] {
+            let b = blocked(lg_total, lg_local);
+            let c = cyclic(lg_total, lg_local);
+            let lg_p = lg_total - lg_local;
+            assert_eq!(b.bits_changed_to(&c), lg_p);
+            assert_eq!(c.bits_changed_to(&b), lg_p);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_processor() {
+        let b = blocked(4, 4);
+        let c = cyclic(4, 4);
+        assert_eq!(b, c, "with P = 1 the two layouts coincide");
+        for i in 0..16usize {
+            assert_eq!(b.proc_of(i), 0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Pack/unpack mask analysis (Section 3.3.1).
+//!
+//! A remap between two bit-pattern layouts is described by its *pack mask*:
+//! the local-address bit positions whose absolute bits become processor
+//! bits under the new layout ("shaded" in Figures 3.18–3.19). With `r`
+//! shaded bits, the mask implies the whole communication structure of
+//! Lemma 4:
+//!
+//! * each processor keeps `n / 2^r` elements,
+//! * processors exchange within aligned groups of `2^r` consecutive ranks,
+//! * the `i`-th block on group-offset `j` goes to group member `i` as its
+//!   `j`-th block (Figure 3.20).
+//!
+//! The executable gather/scatter realization lives in
+//! [`crate::remap::RemapPlan`]; this module exposes the mask structure
+//! itself for analysis, the layout explorer, and the Lemma 4 tests.
+
+use crate::address::BitLayout;
+
+/// Structure of one remap's pack mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskInfo {
+    /// `N_BitsChanged` — number of shaded bits, `r`.
+    pub bits_changed: u32,
+    /// Old-layout local bit positions that are shaded (become processor
+    /// bits under the new layout), ascending.
+    pub shaded_local_bits: Vec<u32>,
+    /// Old-layout local bit positions that stay local, ascending — these
+    /// index elements *within* a long message.
+    pub unshaded_local_bits: Vec<u32>,
+    /// Elements each processor keeps, `n / 2^r`.
+    pub kept_per_proc: usize,
+    /// Size of each communication group, `2^r`.
+    pub group_size: usize,
+}
+
+impl MaskInfo {
+    /// Analyze the remap `old → new`.
+    ///
+    /// # Panics
+    /// Panics if the layouts disagree on dimensions.
+    #[must_use]
+    pub fn new(old: &BitLayout, new: &BitLayout) -> Self {
+        assert_eq!(old.lg_total(), new.lg_total());
+        assert_eq!(old.lg_local(), new.lg_local());
+        let mut shaded = Vec::new();
+        let mut unshaded = Vec::new();
+        for pos in 0..old.lg_local() {
+            let abs_bit = old.source_of(pos);
+            if new.is_proc_bit(abs_bit) {
+                shaded.push(pos);
+            } else {
+                unshaded.push(pos);
+            }
+        }
+        let r = shaded.len() as u32;
+        MaskInfo {
+            bits_changed: r,
+            shaded_local_bits: shaded,
+            unshaded_local_bits: unshaded,
+            kept_per_proc: old.local_size() >> r,
+            group_size: 1usize << r,
+        }
+    }
+
+    /// First rank of the communication group containing `me` —
+    /// `2^r · ⌊me / 2^r⌋` when groups are aligned (Lemma 4).
+    #[must_use]
+    pub fn group_base(&self, me: usize) -> usize {
+        (me / self.group_size) * self.group_size
+    }
+
+    /// Render the pack mask thesis-style: local bits from most to least
+    /// significant, shaded positions bracketed (cf. Figure 3.18).
+    #[must_use]
+    pub fn pack_mask_string(&self) -> String {
+        let lg_local = (self.shaded_local_bits.len() + self.unshaded_local_bits.len()) as u32;
+        (0..lg_local)
+            .rev()
+            .map(|pos| {
+                if self.shaded_local_bits.contains(&pos) {
+                    format!("[{pos}]")
+                } else {
+                    format!(" {pos} ")
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{blocked, cyclic};
+    use crate::schedule::SmartSchedule;
+
+    #[test]
+    fn blocked_to_cyclic_shades_low_bits() {
+        // All lg P low local bits become processor bits.
+        let (lg_total, lg_local) = (8u32, 5u32);
+        let info = MaskInfo::new(&blocked(lg_total, lg_local), &cyclic(lg_total, lg_local));
+        assert_eq!(info.bits_changed, 3);
+        assert_eq!(info.shaded_local_bits, vec![0, 1, 2]);
+        assert_eq!(info.unshaded_local_bits, vec![3, 4]);
+        assert_eq!(info.kept_per_proc, 4);
+        assert_eq!(info.group_size, 8, "blocked->cyclic is a full all-to-all");
+    }
+
+    #[test]
+    fn identity_remap_has_empty_mask() {
+        let b = blocked(6, 3);
+        let info = MaskInfo::new(&b, &b);
+        assert_eq!(info.bits_changed, 0);
+        assert!(info.shaded_local_bits.is_empty());
+        assert_eq!(info.kept_per_proc, 8);
+        assert_eq!(info.group_size, 1);
+    }
+
+    #[test]
+    fn mask_info_agrees_with_schedule_walker() {
+        // Figure 3.4's bits-changed sequence, recovered from the masks.
+        let sched = SmartSchedule::new(256, 16);
+        let mut prev = sched.blocked_layout();
+        let mut bits = Vec::new();
+        for phase in &sched.phases {
+            bits.push(MaskInfo::new(&prev, &phase.layout).bits_changed);
+            prev = phase.layout_after.clone();
+        }
+        assert_eq!(bits, vec![1, 2, 3, 3, 4, 4, 2]);
+    }
+
+    #[test]
+    fn groups_are_aligned_along_the_schedule() {
+        // Lemma 4: each processor's partner set is exactly the rest of its
+        // aligned 2^r group; verified against explicit destination sets.
+        for (n_total, p) in [(256usize, 16usize), (512, 8)] {
+            let sched = SmartSchedule::new(n_total, p);
+            let n = n_total / p;
+            let mut prev = sched.blocked_layout();
+            for phase in &sched.phases {
+                let info = MaskInfo::new(&prev, &phase.layout);
+                for me in 0..p {
+                    let mut dests: Vec<usize> = (0..n)
+                        .map(|x| phase.layout.proc_of(prev.abs_at(me, x)))
+                        .collect();
+                    dests.sort_unstable();
+                    dests.dedup();
+                    let base = info.group_base(me);
+                    let expect: Vec<usize> = (base..base + info.group_size).collect();
+                    assert_eq!(dests, expect, "rank {me} at {:?}", phase.info);
+                }
+                prev = phase.layout_after.clone();
+            }
+        }
+    }
+
+    #[test]
+    fn pack_mask_string_brackets_shaded_bits() {
+        let info = MaskInfo::new(&blocked(4, 2), &cyclic(4, 2));
+        let s = info.pack_mask_string();
+        assert!(s.contains("[0]") && s.contains("[1]"), "mask: {s}");
+    }
+}

@@ -1,0 +1,297 @@
+//! The remap schedule of Algorithm 1.
+//!
+//! The sort starts under a blocked layout (first `lg n` stages are fully
+//! local) and then, for the last `lg P` stages, installs one smart layout
+//! per `lg n` network steps. This module materializes that plan: for each
+//! remap, the layout it installs, the layout the phase ends in, and the
+//! exact network steps executed locally in between.
+//!
+//! The *positions* of the remaps come from the `NextStage`/`NextStep`
+//! recurrence, shared with the `logp` crate
+//! ([`logp::metrics::smart_schedule`]) so that the arithmetic walker and
+//! this layout-producing builder cross-validate each other.
+
+use crate::address::BitLayout;
+use crate::layout::blocked;
+use crate::smart::{RemapKind, SmartParams};
+use bitonic_network::network::StepId;
+use logp::metrics::{smart_schedule, SmartRemapInfo};
+
+/// One remap plus the local phase that follows it.
+#[derive(Debug, Clone)]
+pub struct RemapPhase {
+    /// Position and bits-changed data from the schedule walker.
+    pub info: SmartRemapInfo,
+    /// The Definition 7 parameters of this remap.
+    pub params: SmartParams,
+    /// Layout installed by the remap (phase-1 order for crossing remaps).
+    pub layout: BitLayout,
+    /// Local arrangement at the end of the phase (differs from `layout`
+    /// only for crossing remaps, via the Theorem 3 transpose).
+    pub layout_after: BitLayout,
+    /// The network steps executed locally during this phase, in order.
+    pub steps: Vec<StepId>,
+}
+
+impl RemapPhase {
+    /// How many of [`Self::steps`] run before the mid-phase transpose
+    /// (crossing remaps only; equals `steps.len()` otherwise).
+    #[must_use]
+    pub fn steps_before_transpose(&self) -> usize {
+        match self.params.kind {
+            RemapKind::Crossing => self.params.a as usize,
+            _ => self.steps.len(),
+        }
+    }
+}
+
+/// The complete remap plan for sorting `N = n·P` keys on `P` processors.
+///
+/// ```
+/// use bitonic_core::SmartSchedule;
+/// // The Figure 3.3 example: N = 256, P = 16 needs only 7 remaps where
+/// // cyclic–blocked needs 8.
+/// let sched = SmartSchedule::new(256, 16);
+/// assert_eq!(sched.remap_count(), 7);
+/// println!("{sched}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmartSchedule {
+    lg_n: u32,
+    lg_p: u32,
+    /// The remap phases covering the last `lg P` stages, in order.
+    pub phases: Vec<RemapPhase>,
+}
+
+impl SmartSchedule {
+    /// Build the schedule for `n_total` keys on `p` processors.
+    ///
+    /// # Panics
+    /// Panics unless both are powers of two with `n_total >= 2 p` (at
+    /// least two keys per processor) — the thesis's standing assumptions.
+    #[must_use]
+    pub fn new(n_total: usize, p: usize) -> Self {
+        let lg_total = bitonic_network::lg(n_total);
+        let lg_p = bitonic_network::lg(p);
+        assert!(lg_total > lg_p, "need at least two keys per processor");
+        let lg_n = lg_total - lg_p;
+
+        let phases = smart_schedule(1usize << lg_n, p)
+            .into_iter()
+            .map(|info| {
+                let k = info.stage as u32 - lg_n;
+                let params = SmartParams::new(lg_n, lg_p, k, info.step as u32);
+                let step_count = if info.is_last {
+                    info.step as usize
+                } else {
+                    lg_n as usize
+                };
+                let mut steps = Vec::with_capacity(step_count);
+                let mut cur = Some(StepId {
+                    stage: info.stage as u32,
+                    step: info.step as u32,
+                });
+                for _ in 0..step_count {
+                    let id = cur.expect("schedule walked past the end of the network");
+                    steps.push(id);
+                    cur = id.next(lg_total);
+                }
+                RemapPhase {
+                    info,
+                    layout: params.layout(lg_n, lg_p),
+                    layout_after: params.layout_after(lg_n, lg_p),
+                    params,
+                    steps,
+                }
+            })
+            .collect();
+        SmartSchedule { lg_n, lg_p, phases }
+    }
+
+    /// Local-address width `lg n`.
+    #[must_use]
+    pub fn lg_n(&self) -> u32 {
+        self.lg_n
+    }
+
+    /// Processor-address width `lg P`.
+    #[must_use]
+    pub fn lg_p(&self) -> u32 {
+        self.lg_p
+    }
+
+    /// The blocked layout the sort starts and ends in.
+    #[must_use]
+    pub fn blocked_layout(&self) -> BitLayout {
+        blocked(self.lg_n + self.lg_p, self.lg_n)
+    }
+
+    /// Number of remaps (`R_Smart`).
+    #[must_use]
+    pub fn remap_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+impl std::fmt::Display for SmartSchedule {
+    /// The Figure 3.3/3.4 view: one line per remap with its position,
+    /// Definition 7 parameters and absolute-address bit pattern.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "smart schedule: lg n = {}, lg P = {}, {} remaps",
+            self.lg_n,
+            self.lg_p,
+            self.phases.len()
+        )?;
+        for (i, phase) in self.phases.iter().enumerate() {
+            writeln!(
+                f,
+                "  remap {i}: stage {:>2} step {:>2}  {:?}  (k,s,a,b,t)=({},{},{},{},{})  {}",
+                phase.info.stage,
+                phase.info.step,
+                phase.params.kind,
+                phase.params.k,
+                phase.params.s,
+                phase.params.a,
+                phase.params.b,
+                phase.params.t,
+                phase.layout.pattern_string()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitonic_network::BitonicNetwork;
+
+    #[test]
+    fn steps_tile_the_tail_of_the_network() {
+        // Initial blocked stages 1..=lg n plus all phase steps must equal
+        // the full network schedule, in order, exactly once.
+        for (lg_n, lg_p) in [(4u32, 4u32), (5, 3), (3, 5), (2, 2), (1, 3), (6, 1)] {
+            let n_total = 1usize << (lg_n + lg_p);
+            let sched = SmartSchedule::new(n_total, 1 << lg_p);
+            let net = BitonicNetwork::new(n_total);
+            let mut expected = net.steps();
+            // Blocked prefix: stages 1..=lg n.
+            for stage in 1..=lg_n {
+                for step in (1..=stage).rev() {
+                    assert_eq!(expected.next(), Some(StepId { stage, step }));
+                }
+            }
+            for phase in &sched.phases {
+                for &s in &phase.steps {
+                    assert_eq!(expected.next(), Some(s), "lgn={lg_n} lgp={lg_p}");
+                }
+            }
+            assert_eq!(expected.next(), None, "no steps may remain");
+        }
+    }
+
+    #[test]
+    fn every_phase_step_is_local_in_its_layout() {
+        for (lg_n, lg_p) in [(4u32, 4u32), (5, 3), (3, 5), (2, 6)] {
+            let sched = SmartSchedule::new(1usize << (lg_n + lg_p), 1 << lg_p);
+            for phase in &sched.phases {
+                let before = phase.steps_before_transpose();
+                for (i, s) in phase.steps.iter().enumerate() {
+                    let layout = if i < before {
+                        &phase.layout
+                    } else {
+                        &phase.layout_after
+                    };
+                    assert!(
+                        layout.local_position_of(s.bit()).is_some(),
+                        "lgn={lg_n} lgp={lg_p} phase {:?} step {s:?} not local",
+                        phase.info
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_bits_changed_matches_the_arithmetic_walker() {
+        // Lemma 3 via two independent routes: the layout diff and the
+        // closed-form bits_changed of the logp walker.
+        for (lg_n, lg_p) in [(4u32, 4u32), (5, 3), (3, 5), (2, 6), (10, 5)] {
+            let sched = SmartSchedule::new(1usize << (lg_n + lg_p), 1 << lg_p);
+            let mut prev = sched.blocked_layout();
+            for phase in &sched.phases {
+                assert_eq!(
+                    prev.bits_changed_to(&phase.layout),
+                    phase.info.bits_changed,
+                    "lgn={lg_n} lgp={lg_p} phase {:?}",
+                    phase.info
+                );
+                prev = phase.layout_after.clone();
+            }
+        }
+    }
+
+    #[test]
+    fn figure_3_3_example_seven_phases() {
+        let sched = SmartSchedule::new(256, 16);
+        assert_eq!(sched.remap_count(), 7);
+        let kinds: Vec<RemapKind> = sched.phases.iter().map(|p| p.params.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RemapKind::Inside,
+                RemapKind::Crossing,
+                RemapKind::Crossing,
+                RemapKind::Inside,
+                RemapKind::Crossing,
+                RemapKind::Inside,
+                RemapKind::Last,
+            ]
+        );
+    }
+
+    #[test]
+    fn last_phase_ends_blocked() {
+        for (n_total, p) in [(256usize, 16usize), (1 << 12, 8), (64, 4)] {
+            let sched = SmartSchedule::new(n_total, p);
+            let last = sched.phases.last().unwrap();
+            assert_eq!(last.params.kind, RemapKind::Last);
+            assert_eq!(last.layout_after, sched.blocked_layout());
+        }
+    }
+
+    #[test]
+    fn single_processor_has_no_phases() {
+        let sched = SmartSchedule::new(64, 1);
+        assert!(sched.phases.is_empty());
+    }
+
+    #[test]
+    fn common_regime_is_one_inside_then_crossings() {
+        // Section 4.1: for lgP(lgP+1)/2 <= lg n there is an initial inside
+        // remap and then only crossing remaps (plus the last one).
+        let sched = SmartSchedule::new(1usize << 25, 32); // lg n = 20, lg P = 5
+        assert_eq!(sched.phases[0].params.kind, RemapKind::Inside);
+        for phase in &sched.phases[1..sched.phases.len() - 1] {
+            assert_eq!(phase.params.kind, RemapKind::Crossing);
+        }
+        assert_eq!(sched.phases.last().unwrap().params.kind, RemapKind::Last);
+    }
+
+    #[test]
+    fn display_lists_every_remap() {
+        let sched = SmartSchedule::new(256, 16);
+        let text = format!("{sched}");
+        assert_eq!(text.matches("remap ").count(), 7);
+        assert!(text.contains("Crossing"));
+        assert!(text.contains("(k,s,a,b,t)=(1,5,0,4,1)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "two keys per processor")]
+    fn rejects_one_key_per_processor() {
+        let _ = SmartSchedule::new(8, 8);
+    }
+}

@@ -1,0 +1,421 @@
+//! Remap shifting strategies (Section 3.2.2, Lemma 5).
+//!
+//! The canonical schedule (*HeadRemap*) runs `lg n` steps after every remap
+//! and leaves the short tail of
+//! `N_RemainingSteps = lgP(lgP+1)/2 mod lg n` steps for the last phase.
+//! Shifting the remaps changes which phase is short — and with it the
+//! total volume transferred:
+//!
+//! * **Head** — short phase last (the Algorithm 1 default);
+//! * **Tail** — short phase first;
+//! * **Middle1** — split the short phase across the first and last phases
+//!   (one *extra* remap);
+//! * **Middle2** — shift left so first + last phases share
+//!   `lg n + N_RemainingSteps` steps (same remap count).
+//!
+//! Lemma 5 proves `V_Tail <= V_Head < V_Middle1` and
+//! `V_Tail <= V_Middle2` for `n >= P²`, with `V_Head = V_Tail` in the
+//! common regime — all verified as tests here over the whole grid, from
+//! the actual layouts rather than the closed forms.
+//!
+//! Shifted phases may execute fewer than `lg n` steps under a layout built
+//! for a full block, so the local computation uses the canonical
+//! compare-exchange engine (the crossing layouts keep *both* step windows
+//! local, making the Theorem 3 transpose unnecessary here).
+
+use crate::address::BitLayout;
+use crate::layout::blocked;
+use crate::local::run_step_canonical;
+use crate::remap::RemapPlan;
+use crate::smart::SmartParams;
+use bitonic_network::network::StepId;
+use local_sorts::{local_sort, RadixKey};
+use logp::metrics::CommMetrics;
+use spmd::{Comm, Phase};
+
+/// Where the short phase(s) sit (Lemma 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftStrategy {
+    /// Short phase last — the Algorithm 1 default.
+    Head,
+    /// Short phase first.
+    Tail,
+    /// Short phase split `head + tail = N_RemainingSteps`; adds one remap.
+    Middle1 {
+        /// Steps executed after the very first remap (`N_StepsHead > 0`).
+        head: u32,
+    },
+    /// First + last phases share `lg n + N_RemainingSteps` steps; remap
+    /// count unchanged.
+    Middle2 {
+        /// Steps executed after the very first remap (`0 < head < lg n`).
+        head: u32,
+    },
+}
+
+/// `N_RemainingSteps` of Lemma 5.
+#[must_use]
+pub fn remaining_steps(lg_n: u32, lg_p: u32) -> u32 {
+    (lg_p * (lg_p + 1) / 2) % lg_n
+}
+
+/// The per-phase step counts a strategy induces. Empty for `P = 1`.
+///
+/// # Panics
+/// Panics when the strategy's preconditions don't hold (e.g. `Middle1`
+/// with `N_RemainingSteps < 2`, or out-of-range `head` values).
+#[must_use]
+pub fn phase_lengths(lg_n: u32, lg_p: u32, strategy: ShiftStrategy) -> Vec<u32> {
+    assert!(lg_n >= 1);
+    if lg_p == 0 {
+        return Vec::new();
+    }
+    let total = lg_p * lg_n + lg_p * (lg_p + 1) / 2;
+    let rem = remaining_steps(lg_n, lg_p);
+    let full_phases = (total - rem) / lg_n;
+    let mut lens = match strategy {
+        ShiftStrategy::Head => {
+            let mut v = vec![lg_n; full_phases as usize];
+            if rem > 0 {
+                v.push(rem);
+            }
+            v
+        }
+        ShiftStrategy::Tail => {
+            let mut v = Vec::with_capacity(full_phases as usize + 1);
+            if rem > 0 {
+                v.push(rem);
+            }
+            v.extend(std::iter::repeat_n(lg_n, full_phases as usize));
+            v
+        }
+        ShiftStrategy::Middle1 { head } => {
+            assert!(rem >= 2, "Middle1 needs N_RemainingSteps >= 2, got {rem}");
+            assert!(head >= 1 && head < rem, "need 0 < head < {rem}");
+            let tail = rem - head;
+            let mut v = vec![head];
+            v.extend(std::iter::repeat_n(lg_n, full_phases as usize));
+            v.push(tail);
+            v
+        }
+        ShiftStrategy::Middle2 { head } => {
+            assert!(full_phases >= 1, "Middle2 needs at least one full phase");
+            assert!(head >= 1 && head < lg_n, "need 0 < head < lg n");
+            let tail = lg_n + rem - head;
+            assert!(
+                tail >= 1 && tail <= lg_n,
+                "tail {tail} out of range; pick a larger head"
+            );
+            let mut v = vec![head];
+            v.extend(std::iter::repeat_n(lg_n, full_phases as usize - 1));
+            v.push(tail);
+            v
+        }
+    };
+    // Degenerate splits can produce zero-length phases; drop them.
+    lens.retain(|&l| l > 0);
+    debug_assert_eq!(lens.iter().sum::<u32>(), total);
+    lens
+}
+
+/// One phase of a shifted schedule.
+#[derive(Debug, Clone)]
+pub struct ShiftedPhase {
+    /// Layout installed by this phase's remap.
+    pub layout: BitLayout,
+    /// The network steps executed locally (≤ `lg n` of them).
+    pub steps: Vec<StepId>,
+}
+
+/// A shifted remap schedule.
+#[derive(Debug, Clone)]
+pub struct ShiftedSchedule {
+    lg_n: u32,
+    lg_p: u32,
+    /// Phases in execution order.
+    pub phases: Vec<ShiftedPhase>,
+}
+
+impl ShiftedSchedule {
+    /// Build the shifted schedule for `n_total` keys on `p` processors.
+    #[must_use]
+    pub fn new(n_total: usize, p: usize, strategy: ShiftStrategy) -> Self {
+        let lg_total = bitonic_network::lg(n_total);
+        let lg_p = bitonic_network::lg(p);
+        assert!(lg_total > lg_p, "need at least two keys per processor");
+        let lg_n = lg_total - lg_p;
+        let lengths = phase_lengths(lg_n, lg_p, strategy);
+
+        let mut phases = Vec::with_capacity(lengths.len());
+        let mut cursor = Some(StepId {
+            stage: lg_n + 1,
+            step: lg_n + 1,
+        });
+        for len in lengths {
+            let start = cursor.expect("lengths must tile the tail of the network");
+            let k = start.stage - lg_n;
+            let layout = if k == lg_p && start.step <= lg_n {
+                blocked(lg_total, lg_n)
+            } else {
+                SmartParams::new(lg_n, lg_p, k, start.step).layout(lg_n, lg_p)
+            };
+            let mut steps = Vec::with_capacity(len as usize);
+            let mut cur = Some(start);
+            for _ in 0..len {
+                let id = cur.expect("phase ran past the end of the network");
+                steps.push(id);
+                cur = id.next(lg_total);
+            }
+            cursor = cur;
+            phases.push(ShiftedPhase { layout, steps });
+        }
+        assert!(cursor.is_none(), "phases must consume the whole network");
+        ShiftedSchedule { lg_n, lg_p, phases }
+    }
+
+    /// The blocked layout the sort starts in.
+    #[must_use]
+    pub fn blocked_layout(&self) -> BitLayout {
+        blocked(self.lg_n + self.lg_p, self.lg_n)
+    }
+
+    /// Total `R`/`V`/`M` per processor, derived from the layout chain. The
+    /// final remap back to blocked (if the last phase does not already end
+    /// blocked) is *not* included, matching the accounting of Section
+    /// 3.2.2 (all strategies end identically).
+    #[must_use]
+    pub fn metrics(&self) -> CommMetrics {
+        let n = 1u64 << self.lg_n;
+        let mut m = CommMetrics {
+            remaps: 0,
+            volume: 0,
+            messages: 0,
+        };
+        let mut prev = self.blocked_layout();
+        for phase in &self.phases {
+            let r = prev.bits_changed_to(&phase.layout);
+            m.remaps += 1;
+            m.volume += n - (n >> r);
+            m.messages += (1u64 << r) - 1;
+            prev = phase.layout.clone();
+        }
+        m
+    }
+}
+
+/// Sort with a shifted smart schedule. Local phases use the canonical
+/// compare-exchange engine; a final remap back to the blocked layout
+/// delivers the standard output placement.
+pub fn shifted_smart_sort<K: RadixKey>(
+    comm: &mut Comm<K>,
+    mut local: Vec<K>,
+    strategy: ShiftStrategy,
+) -> Vec<K> {
+    let p = comm.procs();
+    let me = comm.rank();
+    let n = local.len();
+    assert!(
+        n.is_power_of_two(),
+        "keys per processor must be a power of two"
+    );
+    if p == 1 {
+        comm.timed(Phase::Compute, |_| {
+            local_sort(&mut local, bitonic_network::Direction::Ascending);
+        });
+        return local;
+    }
+    let sched = ShiftedSchedule::new(n * p, p, strategy);
+    let blocked_layout = sched.blocked_layout();
+
+    comm.timed(Phase::Compute, |_| {
+        local_sort(
+            &mut local,
+            crate::local::initial_direction(&blocked_layout, me),
+        );
+    });
+
+    let mut prev = blocked_layout.clone();
+    for phase in &sched.phases {
+        let plan = RemapPlan::new(&prev, &phase.layout, me);
+        local = plan.apply(comm, &local);
+        comm.timed(Phase::Compute, |_| {
+            for &step in &phase.steps {
+                run_step_canonical(&phase.layout, me, &mut local, step);
+            }
+        });
+        prev = phase.layout.clone();
+    }
+    // Deliver the output in the blocked layout (a no-op when the last
+    // phase already ended blocked).
+    if prev != blocked_layout {
+        let plan = RemapPlan::new(&prev, &blocked_layout, me);
+        local = plan.apply(comm, &local);
+    }
+    comm.barrier();
+    local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmd::{run_spmd, MessageMode};
+
+    fn volume(n_total: usize, p: usize, strategy: ShiftStrategy) -> u64 {
+        ShiftedSchedule::new(n_total, p, strategy).metrics().volume
+    }
+
+    #[test]
+    fn head_matches_the_canonical_schedule() {
+        // The Head strategy *is* Algorithm 1's schedule: same phase count,
+        // same volumes.
+        for (lgn, lgp) in [(4u32, 4u32), (6, 3), (5, 5), (3, 2)] {
+            let n_total = 1usize << (lgn + lgp);
+            let p = 1usize << lgp;
+            let head = ShiftedSchedule::new(n_total, p, ShiftStrategy::Head);
+            let canonical = crate::complexity::smart_metrics(n_total, p);
+            assert_eq!(head.metrics(), canonical, "lgn={lgn} lgp={lgp}");
+        }
+    }
+
+    #[test]
+    fn lemma_5_inequalities() {
+        // V_Tail <= V_Head < V_Middle1 and V_Tail <= V_Middle2, n >= P^2.
+        for (lgn, lgp) in [(4u32, 3u32), (5, 3), (6, 4), (7, 4), (8, 5), (10, 5)] {
+            if lgn < lgp {
+                continue;
+            }
+            let n_total = 1usize << (lgn + lgp);
+            let p = 1usize << lgp;
+            let rem = remaining_steps(lgn, lgp);
+            let v_head = volume(n_total, p, ShiftStrategy::Head);
+            let v_tail = volume(n_total, p, ShiftStrategy::Tail);
+            assert!(
+                v_tail <= v_head,
+                "lgn={lgn} lgp={lgp}: tail {v_tail} vs head {v_head}"
+            );
+            if rem >= 2 {
+                for head in 1..rem {
+                    let v_m1 = volume(n_total, p, ShiftStrategy::Middle1 { head });
+                    assert!(
+                        v_head < v_m1,
+                        "lgn={lgn} lgp={lgp} head={head}: head {v_head} vs middle1 {v_m1}"
+                    );
+                }
+            }
+            for head in 1..lgn {
+                let tail = lgn + rem - head;
+                if tail == 0 || tail > lgn || tail < rem {
+                    continue; // outside Lemma 5's Middle2 constraints
+                }
+                let v_m2 = volume(n_total, p, ShiftStrategy::Middle2 { head });
+                assert!(
+                    v_tail <= v_m2,
+                    "lgn={lgn} lgp={lgp} head={head}: tail {v_tail} vs middle2 {v_m2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn head_equals_tail_in_common_regime() {
+        // lgP(lgP+1)/2 <= lg n  ⇒  V_Head = V_Tail = n lg P.
+        for (lgn, lgp) in [(10u32, 4u32), (15, 5), (6, 3)] {
+            let n_total = 1usize << (lgn + lgp);
+            let p = 1usize << lgp;
+            let vh = volume(n_total, p, ShiftStrategy::Head);
+            let vt = volume(n_total, p, ShiftStrategy::Tail);
+            assert_eq!(vh, vt);
+            assert_eq!(vh, (1u64 << lgn) * u64::from(lgp));
+        }
+    }
+
+    #[test]
+    fn phase_lengths_tile_and_respect_lemma_1() {
+        for (lgn, lgp) in [(4u32, 4u32), (3, 5), (6, 3)] {
+            let rem = remaining_steps(lgn, lgp);
+            let total = lgp * lgn + lgp * (lgp + 1) / 2;
+            let mut strategies = vec![ShiftStrategy::Head, ShiftStrategy::Tail];
+            if rem >= 2 {
+                strategies.push(ShiftStrategy::Middle1 { head: 1 });
+            }
+            if rem >= 1 && lgn >= 2 {
+                // pick a head satisfying tail <= lg n.
+                strategies.push(ShiftStrategy::Middle2 {
+                    head: rem.max(1).min(lgn - 1),
+                });
+            }
+            for s in strategies {
+                let lens = phase_lengths(lgn, lgp, s);
+                assert_eq!(lens.iter().sum::<u32>(), total, "{s:?}");
+                assert!(lens.iter().all(|&l| l >= 1 && l <= lgn), "{s:?}: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_shifted_step_is_local() {
+        for strategy in [
+            ShiftStrategy::Head,
+            ShiftStrategy::Tail,
+            ShiftStrategy::Middle2 { head: 2 },
+        ] {
+            let sched = ShiftedSchedule::new(256, 16, strategy);
+            for phase in &sched.phases {
+                for s in &phase.steps {
+                    assert!(
+                        phase.layout.local_position_of(s.bit()).is_some(),
+                        "{strategy:?}: step {s:?} not local"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_sort_on_the_machine() {
+        let total = 512usize;
+        let p = 8;
+        let mut keys: Vec<u32> = (0..total as u32)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect();
+        let expect = {
+            let mut e = keys.clone();
+            e.sort_unstable();
+            e
+        };
+        let rem = remaining_steps(bitonic_network::lg(total / p), bitonic_network::lg(p));
+        let mut strategies = vec![ShiftStrategy::Head, ShiftStrategy::Tail];
+        if rem >= 2 {
+            strategies.push(ShiftStrategy::Middle1 { head: 1 });
+        }
+        strategies.push(ShiftStrategy::Middle2 { head: 2 });
+        for strategy in strategies {
+            let keys2 = keys.clone();
+            let results = run_spmd::<u32, _, _>(p, MessageMode::Long, move |comm| {
+                let me = comm.rank();
+                let n = keys2.len() / 8;
+                shifted_smart_sort(comm, keys2[me * n..(me + 1) * n].to_vec(), strategy)
+            });
+            let flat: Vec<u32> = results.into_iter().flat_map(|r| r.output).collect();
+            assert_eq!(flat, expect, "{strategy:?}");
+        }
+        keys.sort_unstable();
+    }
+
+    #[test]
+    fn middle1_adds_exactly_one_remap() {
+        // lg n = 4, lg P = 4: rem = 10 mod 4 = 2.
+        let head = ShiftedSchedule::new(256, 16, ShiftStrategy::Head);
+        let m1 = ShiftedSchedule::new(256, 16, ShiftStrategy::Middle1 { head: 1 });
+        assert_eq!(m1.phases.len(), head.phases.len() + 1);
+        let m2 = ShiftedSchedule::new(256, 16, ShiftStrategy::Middle2 { head: 2 });
+        assert_eq!(m2.phases.len(), head.phases.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "Middle1 needs")]
+    fn middle1_requires_remainder() {
+        // lg n = 5, lg P = 5: rem = 15 mod 5 = 0.
+        let _ = phase_lengths(5, 5, ShiftStrategy::Middle1 { head: 1 });
+    }
+}

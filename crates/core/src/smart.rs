@@ -1,0 +1,329 @@
+//! The smart data layout (Definition 7).
+//!
+//! Given the network position `(stage = lg n + k, step = s)` at which a
+//! remap occurs, the smart layout is the 5-tuple `(k, s, a, b, t)` with
+//!
+//! ```text
+//! a = 0, b = lg n, t = s − lg n          if s >= lg n   (inside remap)
+//! a = s, b = lg n − a, t = s + k + 1     if s <  lg n   (crossing remap)
+//! a = lg n, b = 0, t = lg n              if k = lg P and s <= lg n (last)
+//! ```
+//!
+//! all measured in steps of the network. The absolute-address bit patterns
+//! of Figures 3.7/3.8 translate directly into [`BitLayout`]s:
+//!
+//! * **inside** — local bits are absolute bits `[t, t + lg n)`; the
+//!   processor number concatenates the high part `A` (bits `[t + lg n,
+//!   lg N)`) over the low part `C` (bits `[0, t)`).
+//! * **crossing** — local bits are the low `a` bits (region `D`, the steps
+//!   still to run in stage `lg n + k`) plus bits `[t, t + b)` (region `B`,
+//!   the steps to run in stage `lg n + k + 1`); the processor number
+//!   concatenates `A = [t + b, lg N)` over `C = [a, t)`.
+//!
+//! A crossing phase uses two local bit orders: the remap installs
+//! `(B << a) | D` so the first `a` steps act on contiguous chunks, and
+//! after those steps the processor transposes to `(D << b) | B` so the
+//! remaining `b` steps do too — "we change the local remap by
+//! interchanging the first `b` bits of the local address with the last
+//! `a` bits" (Theorem 3).
+
+use crate::address::BitLayout;
+use crate::layout::blocked;
+
+/// Classification of a smart remap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemapKind {
+    /// All `lg n` following steps stay within one stage (`s >= lg n`).
+    Inside,
+    /// The following steps cross into the next stage (`s < lg n`).
+    Crossing,
+    /// The final remap back to a blocked layout (`k = lg P`, `s <= lg n`).
+    Last,
+}
+
+/// The 5-tuple of Definition 7 plus its classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmartParams {
+    /// Stage offset: the remap's stage is `lg n + k`.
+    pub k: u32,
+    /// Step within the stage at which the remap occurs.
+    pub s: u32,
+    /// Steps executed in the remap's own stage after the remap (crossing)
+    /// — 0 for inside remaps.
+    pub a: u32,
+    /// Steps executed in the following stage (crossing) or within the
+    /// stage (inside).
+    pub b: u32,
+    /// Offset parameter: remaining steps after the `lg n`-step block.
+    pub t: u32,
+    /// Which case of Definition 7 applies.
+    pub kind: RemapKind,
+}
+
+impl SmartParams {
+    /// Compute the 5-tuple for a remap at `(stage = lg n + k, step = s)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are outside the ranges of Definition 7
+    /// (`0 < k <= lg p`, `0 < s <= lg n + k`).
+    #[must_use]
+    pub fn new(lg_n: u32, lg_p: u32, k: u32, s: u32) -> Self {
+        assert!(
+            k >= 1 && k <= lg_p,
+            "stage offset k={k} out of range 1..={lg_p}"
+        );
+        assert!(
+            s >= 1 && s <= lg_n + k,
+            "step s={s} out of range 1..={}",
+            lg_n + k
+        );
+        if k == lg_p && s <= lg_n {
+            SmartParams {
+                k,
+                s,
+                a: lg_n,
+                b: 0,
+                t: lg_n,
+                kind: RemapKind::Last,
+            }
+        } else if s >= lg_n {
+            SmartParams {
+                k,
+                s,
+                a: 0,
+                b: lg_n,
+                t: s - lg_n,
+                kind: RemapKind::Inside,
+            }
+        } else {
+            SmartParams {
+                k,
+                s,
+                a: s,
+                b: lg_n - s,
+                t: s + k + 1,
+                kind: RemapKind::Crossing,
+            }
+        }
+    }
+
+    /// The layout installed *by* this remap — what the pack masks target.
+    /// For crossing remaps this is the phase-1 order `(B << a) | D`.
+    #[must_use]
+    pub fn layout(&self, lg_n: u32, lg_p: u32) -> BitLayout {
+        let lg_total = lg_n + lg_p;
+        match self.kind {
+            RemapKind::Last => blocked(lg_total, lg_n),
+            RemapKind::Inside => inside_layout(lg_n, lg_p, self.t),
+            RemapKind::Crossing => {
+                crossing_layout(lg_n, lg_p, self.a, self.b, self.t, CrossingOrder::Phase1)
+            }
+        }
+    }
+
+    /// The local arrangement at the *end* of the phase — identical to
+    /// [`Self::layout`] except for crossing remaps, where it is the
+    /// transposed phase-2 order `(D << b) | B`.
+    #[must_use]
+    pub fn layout_after(&self, lg_n: u32, lg_p: u32) -> BitLayout {
+        match self.kind {
+            RemapKind::Crossing => {
+                crossing_layout(lg_n, lg_p, self.a, self.b, self.t, CrossingOrder::Phase2)
+            }
+            _ => self.layout(lg_n, lg_p),
+        }
+    }
+}
+
+/// Which of the two local bit orders of a crossing phase (Theorem 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossingOrder {
+    /// `(B << a) | D`: region `D` (the low `a` absolute bits) occupies the
+    /// low local bits — the order the remap installs.
+    Phase1,
+    /// `(D << b) | B`: region `B` occupies the low local bits — the order
+    /// after the mid-phase transpose.
+    Phase2,
+}
+
+/// Inside-remap layout (Figure 3.7): local = absolute bits `[t, t+lg n)`,
+/// processor = `A` (top) over `C` (bottom `t` bits).
+#[must_use]
+pub fn inside_layout(lg_n: u32, lg_p: u32, t: u32) -> BitLayout {
+    let lg_total = lg_n + lg_p;
+    assert!(t + lg_n <= lg_total, "inside window [t, t+lg n) must fit");
+    let mut src = Vec::with_capacity(lg_total as usize);
+    // Local bits: the window being merged.
+    for j in 0..lg_n {
+        src.push(t + j);
+    }
+    // Processor bits, low to high: C = [0, t), then A = [t + lg n, lg N).
+    for j in 0..t {
+        src.push(j);
+    }
+    for j in (t + lg_n)..lg_total {
+        src.push(j);
+    }
+    BitLayout::new(src, lg_n)
+}
+
+/// Crossing-remap layout (Figure 3.8): local = `D ∪ B` in the requested
+/// order, processor = `A` (top) over `C = [a, t)`.
+#[must_use]
+pub fn crossing_layout(
+    lg_n: u32,
+    lg_p: u32,
+    a: u32,
+    b: u32,
+    t: u32,
+    order: CrossingOrder,
+) -> BitLayout {
+    let lg_total = lg_n + lg_p;
+    assert_eq!(
+        a + b,
+        lg_n,
+        "crossing regions D and B must cover the local address"
+    );
+    assert!(
+        a < t && t + b <= lg_total,
+        "crossing windows must fit: a={a} b={b} t={t}"
+    );
+    let mut src = Vec::with_capacity(lg_total as usize);
+    match order {
+        CrossingOrder::Phase1 => {
+            // D at the bottom, B above it.
+            for j in 0..a {
+                src.push(j);
+            }
+            for j in 0..b {
+                src.push(t + j);
+            }
+        }
+        CrossingOrder::Phase2 => {
+            // B at the bottom, D above it.
+            for j in 0..b {
+                src.push(t + j);
+            }
+            for j in 0..a {
+                src.push(j);
+            }
+        }
+    }
+    // Processor bits, low to high: C = [a, t), then A = [t + b, lg N).
+    for j in a..t {
+        src.push(j);
+    }
+    for j in (t + b)..lg_total {
+        src.push(j);
+    }
+    BitLayout::new(src, lg_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definition_7_cases() {
+        // lg n = 4, lg P = 4 (the Figure 3.3 example).
+        let p = SmartParams::new(4, 4, 1, 5);
+        assert_eq!((p.a, p.b, p.t, p.kind), (0, 4, 1, RemapKind::Inside));
+        let p = SmartParams::new(4, 4, 1, 1);
+        assert_eq!((p.a, p.b, p.t, p.kind), (1, 3, 3, RemapKind::Crossing));
+        let p = SmartParams::new(4, 4, 2, 3);
+        assert_eq!((p.a, p.b, p.t, p.kind), (3, 1, 6, RemapKind::Crossing));
+        let p = SmartParams::new(4, 4, 4, 2);
+        assert_eq!((p.a, p.b, p.t, p.kind), (4, 0, 4, RemapKind::Last));
+    }
+
+    #[test]
+    fn inside_layout_window_is_local() {
+        // lg n = 3, lg P = 3, t = 2: local = abs bits {2,3,4}.
+        let l = inside_layout(3, 3, 2);
+        for bit in 0..6 {
+            assert_eq!(
+                l.local_position_of(bit).is_some(),
+                (2..5).contains(&bit),
+                "bit {bit}"
+            );
+        }
+        // Processor = A (bit 5) over C (bits 0,1): for abs with bit5=1,
+        // bit1=0, bit0=1 the processor is 0b101.
+        assert_eq!(l.proc_of(0b100001), 0b101);
+    }
+
+    #[test]
+    fn crossing_layout_regions() {
+        // lg n = 4, lg P = 4, a = 1, b = 3, t = 3 (k = 1): D = {0},
+        // B = {3,4,5}, C = {1,2}, A = {6,7}.
+        let l1 = crossing_layout(4, 4, 1, 3, 3, CrossingOrder::Phase1);
+        for bit in [0u32, 3, 4, 5] {
+            assert!(
+                l1.local_position_of(bit).is_some(),
+                "bit {bit} should be local"
+            );
+        }
+        for bit in [1u32, 2, 6, 7] {
+            assert!(l1.is_proc_bit(bit), "bit {bit} should be a proc bit");
+        }
+        // Phase 1: D occupies local bit 0; B occupies local bits 1..4.
+        assert_eq!(l1.local_position_of(0), Some(0));
+        assert_eq!(l1.local_position_of(3), Some(1));
+        // Phase 2: B occupies local bits 0..3; D occupies local bit 3.
+        let l2 = crossing_layout(4, 4, 1, 3, 3, CrossingOrder::Phase2);
+        assert_eq!(l2.local_position_of(3), Some(0));
+        assert_eq!(l2.local_position_of(0), Some(3));
+        // The two orders agree on which processor owns which node.
+        for abs in 0..256 {
+            assert_eq!(l1.proc_of(abs), l2.proc_of(abs));
+        }
+    }
+
+    #[test]
+    fn phase_transpose_changes_local_only() {
+        let p = SmartParams::new(4, 4, 2, 3);
+        let before = p.layout(4, 4);
+        let after = p.layout_after(4, 4);
+        assert_ne!(before, after);
+        assert_eq!(
+            before.bits_changed_to(&after),
+            0,
+            "transpose moves no bits to proc"
+        );
+        for abs in 0..256 {
+            assert_eq!(before.proc_of(abs), after.proc_of(abs));
+        }
+    }
+
+    #[test]
+    fn inside_and_last_need_no_transpose() {
+        let inside = SmartParams::new(4, 4, 1, 5);
+        assert_eq!(inside.layout(4, 4), inside.layout_after(4, 4));
+        let last = SmartParams::new(4, 4, 4, 2);
+        assert_eq!(last.layout(4, 4), last.layout_after(4, 4));
+        assert_eq!(last.layout(4, 4), crate::layout::blocked(8, 4));
+    }
+
+    #[test]
+    fn figure_3_3_first_remap_pattern() {
+        // First remap of the N=256, P=16 example: inside at stage 5, step 5
+        // → t = 1, local = abs bits {1,2,3,4}, proc = {5,6,7} over {0}.
+        let p = SmartParams::new(4, 4, 1, 5);
+        let l = p.layout(4, 4);
+        for bit in 1..5u32 {
+            assert!(l.local_position_of(bit).is_some());
+        }
+        assert!(l.is_proc_bit(0));
+        assert!(l.is_proc_bit(7));
+        // Only one bit differs from the preceding blocked layout (the
+        // Figure 3.4 "1 bit changed" entry): bit 0 leaves the local part.
+        let blocked = crate::layout::blocked(8, 4);
+        assert_eq!(blocked.bits_changed_to(&l), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_stage_offset() {
+        let _ = SmartParams::new(4, 4, 5, 2);
+    }
+}

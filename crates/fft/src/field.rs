@@ -1,0 +1,149 @@
+//! Arithmetic in the Goldilocks prime field `F_p`, `p = 2^64 − 2^32 + 1`.
+//!
+//! `p − 1 = 2^32 · 3 · 5 · 17 · 257 · 65537`, so the field has `2^32`-th
+//! roots of unity — enough for any transform size this crate will ever
+//! see — and every operation is exact, which lets the parallel FFT be
+//! verified bit-for-bit against its sequential reference.
+
+/// The Goldilocks prime, `2^64 − 2^32 + 1`.
+pub const P: u64 = 0xFFFF_FFFF_0000_0001;
+
+/// A smallest generator of the multiplicative group of `F_p`.
+pub const GENERATOR: u64 = 7;
+
+/// `lg` of the largest power-of-two subgroup (`2^32 | p − 1`).
+pub const TWO_ADICITY: u32 = 32;
+
+/// Addition in `F_p`.
+#[inline]
+#[must_use]
+pub fn add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    let (s, carry) = a.overflowing_add(b);
+    let mut s = s;
+    if carry || s >= P {
+        s = s.wrapping_sub(P);
+    }
+    s
+}
+
+/// Subtraction in `F_p`.
+#[inline]
+#[must_use]
+pub fn sub(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    let (d, borrow) = a.overflowing_sub(b);
+    if borrow {
+        d.wrapping_add(P)
+    } else {
+        d
+    }
+}
+
+/// Multiplication in `F_p` via 128-bit widening.
+#[inline]
+#[must_use]
+pub fn mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    ((u128::from(a) * u128::from(b)) % u128::from(P)) as u64
+}
+
+/// Exponentiation by squaring.
+#[must_use]
+pub fn pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= P;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse by Fermat's little theorem.
+///
+/// # Panics
+/// Panics on zero.
+#[must_use]
+pub fn inv(a: u64) -> u64 {
+    assert!(!a.is_multiple_of(P), "zero has no inverse");
+    pow(a, P - 2)
+}
+
+/// A primitive `2^lg_order`-th root of unity.
+///
+/// # Panics
+/// Panics if `lg_order > 32`.
+#[must_use]
+pub fn root_of_unity(lg_order: u32) -> u64 {
+    assert!(
+        lg_order <= TWO_ADICITY,
+        "field only has 2^32-th roots of unity"
+    );
+    pow(GENERATOR, (P - 1) >> lg_order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(P, u64::MAX - (1 << 32) + 2);
+        // g^(p-1) = 1 but g^((p-1)/2) = -1 (g is a non-residue generator).
+        assert_eq!(pow(GENERATOR, P - 1), 1);
+        assert_eq!(pow(GENERATOR, (P - 1) / 2), P - 1);
+    }
+
+    #[test]
+    fn roots_have_exact_order() {
+        for lg in [1u32, 2, 8, 16, 32] {
+            let w = root_of_unity(lg);
+            assert_eq!(pow(w, 1 << lg), 1, "w^(2^{lg}) = 1");
+            if lg > 0 {
+                assert_ne!(pow(w, 1 << (lg - 1)), 1, "w is primitive");
+            }
+        }
+        assert_eq!(root_of_unity(0), 1);
+    }
+
+    #[test]
+    fn edge_values() {
+        assert_eq!(add(P - 1, 1), 0);
+        assert_eq!(sub(0, 1), P - 1);
+        assert_eq!(mul(P - 1, P - 1), 1, "(-1)^2 = 1");
+        assert_eq!(inv(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_rejected() {
+        let _ = inv(0);
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a in 0..P, b in 0..P, c in 0..P) {
+            prop_assert_eq!(add(a, b), add(b, a));
+            prop_assert_eq!(mul(a, b), mul(b, a));
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+            prop_assert_eq!(sub(add(a, b), b), a);
+            prop_assert_eq!(add(a, 0), a);
+            prop_assert_eq!(mul(a, 1), a);
+        }
+
+        #[test]
+        fn inverse_is_inverse(a in 1..P) {
+            prop_assert_eq!(mul(a, inv(a)), 1);
+        }
+
+        #[test]
+        fn pow_respects_addition_of_exponents(a in 1..P, x in 0u64..1000, y in 0u64..1000) {
+            prop_assert_eq!(mul(pow(a, x), pow(a, y)), pow(a, x + y));
+        }
+    }
+}

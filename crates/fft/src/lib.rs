@@ -1,0 +1,34 @@
+//! `butterfly-fft` — the thesis's future-work application, realized.
+//!
+//! Chapter 7 of *Optimizing Parallel Bitonic Sort* closes with: "our
+//! optimizations … are applicable in a large variety of applications …
+//! We can mention here the FFT which is based on a butterfly network
+//! (i.e. a stage of the bitonic sorting network) … for which similar
+//! remapping techniques can be applied."
+//!
+//! This crate takes that literally. It implements an exact FFT — a
+//! number-theoretic transform over the Goldilocks field, so results are
+//! bit-for-bit verifiable — and distributes it over the same SPMD machine
+//! using the *same* [`bitonic_core::BitLayout`] / [`bitonic_core::RemapPlan`]
+//! machinery the sort uses: a blocked→cyclic remap localizes the top
+//! `lg n` butterfly levels, cyclic→blocked the remaining `lg P`, and the
+//! final DIF bit reversal is expressed as just another bit-pattern layout.
+//!
+//! ```
+//! use butterfly_fft::{ntt, intt};
+//! let mut v: Vec<u64> = (0..16).collect();
+//! let orig = v.clone();
+//! ntt(&mut v);
+//! intt(&mut v);
+//! assert_eq!(v, orig);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod ntt;
+pub mod parallel;
+
+pub use ntt::{intt, naive_dft, ntt, polymul};
+pub use parallel::{bit_reversal_layout, parallel_intt, parallel_ntt};

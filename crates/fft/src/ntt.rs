@@ -1,0 +1,253 @@
+//! Sequential number-theoretic transform — the reference the distributed
+//! version is verified against.
+//!
+//! The forward transform is decimation-in-frequency (Gentleman–Sande):
+//! levels walk the address bits from most to least significant, so the
+//! natural-order input produces bit-reversed output, which a final
+//! permutation restores. This is exactly one stage of the bitonic network's
+//! butterfly shape (Figure 2.2) with MIN/MAX replaced by an
+//! add/subtract-twiddle pair — the structural kinship the thesis's future
+//! work section points at.
+
+use crate::field::{add, inv, mul, pow, root_of_unity, sub};
+
+/// Reverse the low `bits` bits of `i`.
+#[must_use]
+pub fn bit_reverse(i: usize, bits: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Permute `data` into bit-reversed order.
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    if n <= 2 {
+        return;
+    }
+    let bits = n.trailing_zeros();
+    assert!(n.is_power_of_two());
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// One DIF butterfly level over an arbitrary local window of the global
+/// array.
+///
+/// Globally, level `level` pairs addresses differing in absolute bit
+/// `level`, and the twiddle of the pair with lower address `i` is
+/// `w_N^{(i mod 2^level) · 2^{lgN−1−level}}`. Under a data layout, that
+/// absolute bit sits at some *local* bit `local_bit`, and `abs_of` maps
+/// local indices back to absolute addresses for the twiddle computation —
+/// the same local-window trick the bitonic phases use.
+pub fn dif_level_mapped(
+    data: &mut [u64],
+    lg_n: u32,
+    level: u32,
+    local_bit: u32,
+    w_n: u64,
+    abs_of: impl Fn(usize) -> usize,
+) {
+    let dist = 1usize << local_bit;
+    let half_abs = 1usize << level;
+    let stride_exp = 1u64 << (lg_n - 1 - level);
+    for x in (0..data.len()).filter(|x| x & dist == 0) {
+        let abs = abs_of(x);
+        debug_assert_eq!(
+            abs & half_abs,
+            0,
+            "layout must keep pairs aligned on the level bit"
+        );
+        let tw_exp = ((abs & (half_abs - 1)) as u64) * stride_exp;
+        let (a, b) = (data[x], data[x | dist]);
+        data[x] = add(a, b);
+        data[x | dist] = mul(sub(a, b), pow(w_n, tw_exp));
+    }
+}
+
+/// One DIF butterfly level of the sequential transform (identity layout).
+pub fn dif_level(
+    data: &mut [u64],
+    lg_n: u32,
+    level: u32,
+    w_n: u64,
+    abs_of: impl Fn(usize) -> usize,
+) {
+    dif_level_mapped(data, lg_n, level, level, w_n, abs_of);
+}
+
+/// Forward NTT of a power-of-two-length array, in place, natural order in
+/// and natural order out.
+///
+/// # Panics
+/// Panics if the length is not a power of two or exceeds `2^32`.
+pub fn ntt(data: &mut [u64]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "NTT length must be a power of two");
+    let lg_n = n.trailing_zeros();
+    let w_n = root_of_unity(lg_n);
+    for level in (0..lg_n).rev() {
+        dif_level(data, lg_n, level, w_n, |x| x);
+    }
+    bit_reverse_permute(data);
+}
+
+/// Inverse NTT, in place, natural order in and out.
+pub fn intt(data: &mut [u64]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two());
+    let lg_n = n.trailing_zeros();
+    // Inverse transform = forward transform with w^{-1}, scaled by 1/n.
+    let w_inv = inv(root_of_unity(lg_n));
+    for level in (0..lg_n).rev() {
+        dif_level(data, lg_n, level, w_inv, |x| x);
+    }
+    bit_reverse_permute(data);
+    let n_inv = inv(n as u64);
+    for v in data.iter_mut() {
+        *v = mul(*v, n_inv);
+    }
+}
+
+/// Naive `O(n^2)` DFT over the field — ground truth for small sizes.
+#[must_use]
+pub fn naive_dft(data: &[u64]) -> Vec<u64> {
+    let n = data.len();
+    assert!(n.is_power_of_two());
+    let w = root_of_unity(n.trailing_zeros());
+    (0..n)
+        .map(|k| {
+            let mut acc = 0u64;
+            for (j, &x) in data.iter().enumerate() {
+                acc = add(acc, mul(x, pow(w, (j as u64) * (k as u64))));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Multiply two polynomials (coefficient vectors) exactly, via the
+/// convolution theorem. The result length is `a.len() + b.len() - 1`,
+/// computed in the smallest sufficient power-of-two transform.
+#[must_use]
+pub fn polymul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = out_len.next_power_of_two();
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    fa.resize(n, 0);
+    fb.resize(n, 0);
+    ntt(&mut fa);
+    ntt(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = mul(*x, *y);
+    }
+    intt(&mut fa);
+    fa.truncate(out_len);
+    fa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::P;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let data: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9) % P)
+                .collect();
+            let mut fast = data.clone();
+            ntt(&mut fast);
+            assert_eq!(fast, naive_dft(&data), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let data: Vec<u64> = (0..256u64).map(|i| pow(i + 3, 5)).collect();
+        let mut v = data.clone();
+        ntt(&mut v);
+        intt(&mut v);
+        assert_eq!(v, data);
+    }
+
+    #[test]
+    fn transform_of_delta_is_all_ones() {
+        let mut v = vec![0u64; 32];
+        v[0] = 1;
+        ntt(&mut v);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn transform_of_constant_is_scaled_delta() {
+        let mut v = vec![3u64; 16];
+        ntt(&mut v);
+        assert_eq!(v[0], 48);
+        assert!(v[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn bit_reversal_is_involutive() {
+        let mut v: Vec<u32> = (0..64).collect();
+        let orig = v.clone();
+        bit_reverse_permute(&mut v);
+        assert_ne!(v, orig);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn polymul_small_example() {
+        // (1 + 2x)(3 + 4x) = 3 + 10x + 8x^2.
+        assert_eq!(polymul(&[1, 2], &[3, 4]), vec![3, 10, 8]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn polymul_matches_schoolbook(
+            a in proptest::collection::vec(0u64..1_000_000, 1..24),
+            b in proptest::collection::vec(0u64..1_000_000, 1..24),
+        ) {
+            let fast = polymul(&a, &b);
+            let mut slow = vec![0u64; a.len() + b.len() - 1];
+            for (i, &x) in a.iter().enumerate() {
+                for (j, &y) in b.iter().enumerate() {
+                    slow[i + j] = add(slow[i + j], mul(x, y));
+                }
+            }
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn linearity(
+            a in proptest::collection::vec(0..P, 16),
+            b in proptest::collection::vec(0..P, 16),
+        ) {
+            let mut fa = a.clone();
+            let mut fb = b.clone();
+            ntt(&mut fa);
+            ntt(&mut fb);
+            let mut sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add(x, y)).collect();
+            ntt(&mut sum);
+            let expect: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| add(x, y)).collect();
+            prop_assert_eq!(sum, expect);
+        }
+    }
+}

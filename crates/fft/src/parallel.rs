@@ -1,0 +1,232 @@
+//! The distributed NTT — the thesis's remap machinery applied to its
+//! declared future-work target.
+//!
+//! "We can mention here the FFT which is based on a butterfly network
+//! (i.e. a stage of the bitonic sorting network) … for which similar
+//! remapping techniques can be applied" (Chapter 7). The transform is one
+//! `lg N`-level butterfly, so the cyclic↔blocked technique of
+//! \[CKP+93\] covers it with *two* remaps (for `N >= P²`):
+//!
+//! 1. remap blocked → **cyclic**: absolute bits `lg P .. lg N` are local,
+//!    so the top `lg n` DIF levels run on-processor;
+//! 2. remap cyclic → **blocked**: bits `0 .. lg n` are local, so the
+//!    remaining `lg P` levels run on-processor;
+//! 3. the DIF output is bit-reversed — and a bit-reversal is *itself* just
+//!    another [`BitLayout`], so the final reordering is a third generic
+//!    remap rather than special-cased code.
+//!
+//! Everything — layouts, gather/scatter plans, counters — is reused from
+//! `bitonic-core` unchanged, which is precisely the thesis's point.
+
+use crate::field::{inv, mul, root_of_unity};
+use crate::ntt::dif_level_mapped;
+use bitonic_core::layout::{blocked, cyclic};
+use bitonic_core::{BitLayout, RemapPlan};
+use spmd::{Comm, Phase};
+
+/// The bit-reversal layout: the node with absolute address `i` lives at
+/// relative address `rev(i)` (processor = high bits of the reversed
+/// address, as blocked).
+#[must_use]
+pub fn bit_reversal_layout(lg_total: u32, lg_local: u32) -> BitLayout {
+    // Relative bit j reads absolute bit (lg_total - 1 - j).
+    BitLayout::new((0..lg_total).map(|j| lg_total - 1 - j).collect(), lg_local)
+}
+
+/// Forward NTT of the machine's data, natural (blocked) order in and out.
+///
+/// `local` is this rank's blocked slice of the coefficient vector; all
+/// ranks must hold equally many coefficients.
+///
+/// # Panics
+/// Panics unless the per-rank length is a power of two with `n >= P`
+/// (`N >= P²`, the cyclic–blocked coverage condition).
+pub fn parallel_ntt(comm: &mut Comm<u64>, local: Vec<u64>) -> Vec<u64> {
+    parallel_transform(comm, local, false)
+}
+
+/// Inverse NTT, natural (blocked) order in and out.
+pub fn parallel_intt(comm: &mut Comm<u64>, local: Vec<u64>) -> Vec<u64> {
+    parallel_transform(comm, local, true)
+}
+
+fn parallel_transform(comm: &mut Comm<u64>, mut local: Vec<u64>, inverse: bool) -> Vec<u64> {
+    let p = comm.procs();
+    let me = comm.rank();
+    let n = local.len();
+    assert!(
+        n.is_power_of_two(),
+        "coefficients per rank must be a power of two"
+    );
+    let lg_n = n.trailing_zeros();
+    let lg_p = p.trailing_zeros();
+    let lg_total = lg_n + lg_p;
+    assert!(p.is_power_of_two());
+
+    let w_n = if inverse {
+        inv(root_of_unity(lg_total))
+    } else {
+        root_of_unity(lg_total)
+    };
+
+    if p == 1 {
+        comm.timed(Phase::Compute, |_| {
+            for level in (0..lg_total).rev() {
+                dif_level_mapped(&mut local, lg_total, level, level, w_n, |x| x);
+            }
+            crate::ntt::bit_reverse_permute(&mut local);
+            if inverse {
+                let n_inv = inv(n as u64);
+                for v in local.iter_mut() {
+                    *v = mul(*v, n_inv);
+                }
+            }
+        });
+        return local;
+    }
+    assert!(lg_n >= lg_p, "the two-remap FFT needs N >= P^2 (n >= P)");
+
+    let blocked_layout = blocked(lg_total, lg_n);
+    let cyclic_layout = cyclic(lg_total, lg_n);
+
+    // Remap 1: blocked -> cyclic; top lg n levels are local (absolute bit
+    // `level` sits at local bit `level - lg P` under cyclic).
+    let plan = RemapPlan::new(&blocked_layout, &cyclic_layout, me);
+    local = plan.apply(comm, &local);
+    comm.timed(Phase::Compute, |_| {
+        for level in (lg_p..lg_total).rev() {
+            let local_bit = cyclic_layout
+                .local_position_of(level)
+                .expect("top levels are local under cyclic");
+            let cy = &cyclic_layout;
+            dif_level_mapped(&mut local, lg_total, level, local_bit, w_n, |x| {
+                cy.abs_at(me, x)
+            });
+        }
+    });
+
+    // Remap 2: cyclic -> blocked; remaining lg P levels are local.
+    let plan = RemapPlan::new(&cyclic_layout, &blocked_layout, me);
+    local = plan.apply(comm, &local);
+    comm.timed(Phase::Compute, |_| {
+        for level in (0..lg_p).rev() {
+            let bl = &blocked_layout;
+            dif_level_mapped(&mut local, lg_total, level, level, w_n, |x| {
+                bl.abs_at(me, x)
+            });
+        }
+    });
+
+    // Remap 3: undo the DIF bit reversal with a bit-reversal layout. The
+    // element at absolute (storage) address i holds X[rev(i)]; placing the
+    // element from storage address rev(k) at position k yields X[k].
+    let rev_layout = bit_reversal_layout(lg_total, lg_n);
+    let plan = RemapPlan::new(&blocked_layout, &rev_layout, me);
+    local = plan.apply(comm, &local);
+
+    if inverse {
+        comm.timed(Phase::Compute, |_| {
+            let n_inv = inv((n * p) as u64);
+            for v in local.iter_mut() {
+                *v = mul(*v, n_inv);
+            }
+        });
+    }
+    comm.barrier();
+    local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::P;
+    use crate::ntt::{intt, ntt};
+    use spmd::{run_spmd, MessageMode};
+
+    fn run_parallel(data: &[u64], p: usize, inverse: bool) -> Vec<u64> {
+        let n = data.len() / p;
+        let data = data.to_vec();
+        let results = run_spmd::<u64, _, _>(p, MessageMode::Long, move |comm| {
+            let me = comm.rank();
+            let local = data[me * n..(me + 1) * n].to_vec();
+            if inverse {
+                parallel_intt(comm, local)
+            } else {
+                parallel_ntt(comm, local)
+            }
+        });
+        results.into_iter().flat_map(|r| r.output).collect()
+    }
+
+    fn sample(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                x % P
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_across_machine_sizes() {
+        for (total, p) in [(64usize, 4usize), (256, 8), (1024, 16), (64, 8), (128, 1)] {
+            let data = sample(total, 42);
+            let mut expect = data.clone();
+            ntt(&mut expect);
+            assert_eq!(run_parallel(&data, p, false), expect, "N={total} P={p}");
+        }
+    }
+
+    #[test]
+    fn parallel_round_trip() {
+        let data = sample(512, 7);
+        let forward = run_parallel(&data, 8, false);
+        let back = run_parallel(&forward, 8, true);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn parallel_inverse_matches_sequential() {
+        let data = sample(256, 9);
+        let mut expect = data.clone();
+        intt(&mut expect);
+        assert_eq!(run_parallel(&data, 4, true), expect);
+    }
+
+    #[test]
+    fn bit_reversal_layout_is_a_permutation() {
+        let l = bit_reversal_layout(6, 3);
+        let mut seen = [false; 64];
+        for abs in 0..64 {
+            let rel = l.rel_of(abs);
+            assert!(!seen[rel]);
+            seen[rel] = true;
+            assert_eq!(rel, crate::ntt::bit_reverse(abs, 6));
+        }
+    }
+
+    #[test]
+    fn exactly_three_remaps() {
+        let data = sample(256, 11);
+        let results = run_spmd::<u64, _, _>(4, MessageMode::Long, move |comm| {
+            let me = comm.rank();
+            parallel_ntt(comm, data[me * 64..(me + 1) * 64].to_vec());
+        });
+        for r in &results {
+            assert_eq!(
+                r.stats.remap_count(),
+                3,
+                "blocked->cyclic, ->blocked, ->bitrev"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "N >= P^2")]
+    fn rejects_undersized_problems() {
+        let _ = run_parallel(&sample(16, 1), 8, false);
+    }
+}

@@ -1,0 +1,167 @@
+//! Communication-time formulas (Sections 3.4.2–3.4.3).
+//!
+//! Assuming `2o < g` (true for all parameter sets here), the time a
+//! processor spends communicating at remap `i` is
+//!
+//! * LogP (short messages):  `T_i = L + 2o + g (V_i − 1)`
+//! * LogGP (long messages):  `T_i = L + 2o + G (V_i − M_i) + g (M_i − 1)`
+//!
+//! and summing over all `R` remaps gives
+//!
+//! * LogP:  `T = (L + 2o − g) R + g V`
+//! * LogGP: `T = (L + 2o − g) R + G (V − M) + g M`
+
+use crate::metrics::CommMetrics;
+use crate::params::LogGpParams;
+
+/// LogP time of a single remap transferring `v` elements (µs).
+#[must_use]
+pub fn logp_remap_us(params: &LogGpParams, v: u64) -> f64 {
+    if v == 0 {
+        return 0.0;
+    }
+    params.envelope_us() + params.g_us * (v as f64 - 1.0)
+}
+
+/// LogGP time of a single remap transferring `v` elements in `m` messages
+/// of `key_bytes`-byte keys (µs).
+#[must_use]
+pub fn loggp_remap_us(params: &LogGpParams, v: u64, m: u64, key_bytes: usize) -> f64 {
+    if v == 0 || m == 0 {
+        return 0.0;
+    }
+    debug_assert!(m <= v, "cannot send more messages than elements");
+    params.envelope_us()
+        + params.big_g_per_element(key_bytes) * (v - m) as f64
+        + params.g_us * (m as f64 - 1.0)
+}
+
+/// Total LogP communication time over a whole run (µs):
+/// `(L + 2o − g) R + g V`.
+#[must_use]
+pub fn logp_total_us(params: &LogGpParams, metrics: CommMetrics) -> f64 {
+    (params.envelope_us() - params.g_us) * metrics.remaps as f64
+        + params.g_us * metrics.volume as f64
+}
+
+/// Total LogGP communication time over a whole run (µs):
+/// `(L + 2o − g) R + G (V − M) + g M`.
+#[must_use]
+pub fn loggp_total_us(params: &LogGpParams, metrics: CommMetrics, key_bytes: usize) -> f64 {
+    (params.envelope_us() - params.g_us) * metrics.remaps as f64
+        + params.big_g_per_element(key_bytes) * (metrics.volume - metrics.messages) as f64
+        + params.g_us * metrics.messages as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    const KEY_BYTES: usize = 4;
+
+    #[test]
+    fn totals_are_sums_of_per_remap_times() {
+        let p = LogGpParams::meiko_cs2(4);
+        // Three remaps of equal volume/messages.
+        let (v_i, m_i, r) = (100u64, 3u64, 3u64);
+        let total = loggp_total_us(
+            &p,
+            CommMetrics {
+                remaps: r,
+                volume: r * v_i,
+                messages: r * m_i,
+            },
+            KEY_BYTES,
+        );
+        let per = loggp_remap_us(&p, v_i, m_i, KEY_BYTES);
+        assert!((total - r as f64 * per).abs() < 1e-9);
+
+        let total_short = logp_total_us(
+            &p,
+            CommMetrics {
+                remaps: r,
+                volume: r * v_i,
+                messages: r * v_i,
+            },
+        );
+        let per_short = logp_remap_us(&p, v_i);
+        assert!((total_short - r as f64 * per_short).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loggp_with_m_equal_v_degenerates_to_logp() {
+        // One element per message is exactly the LogP regime.
+        let p = LogGpParams::meiko_cs2(8);
+        let m = CommMetrics {
+            remaps: 5,
+            volume: 1000,
+            messages: 1000,
+        };
+        assert!((loggp_total_us(&p, m, KEY_BYTES) - logp_total_us(&p, m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_messages_are_dramatically_cheaper() {
+        // Section 5.4's contrast: same R and V, long messages collapse M.
+        let p = LogGpParams::meiko_cs2(16);
+        let n: u64 = 1 << 17;
+        let short = CommMetrics {
+            remaps: 5,
+            volume: 4 * n,
+            messages: 4 * n,
+        };
+        let long = CommMetrics {
+            remaps: 5,
+            volume: 4 * n,
+            messages: 5 * 15,
+        };
+        let t_short = logp_total_us(&p, short);
+        let t_long = loggp_total_us(&p, long, KEY_BYTES);
+        assert!(
+            t_short / t_long > 10.0,
+            "expected order-of-magnitude gain, got {:.1}x",
+            t_short / t_long
+        );
+        // Per-key figures in the Table 5.3 regime: ~13 µs vs ~1 µs.
+        let per_key_short = t_short / n as f64;
+        let per_key_long = t_long / n as f64;
+        assert!(
+            (10.0..18.0).contains(&per_key_short),
+            "short: {per_key_short:.2}"
+        );
+        assert!(per_key_long < 1.0, "long: {per_key_long:.2}");
+    }
+
+    #[test]
+    fn smart_wins_communication_time_under_logp() {
+        // Section 3.4.2: smart is optimal on all three metrics with short
+        // messages, hence also on time.
+        let (n, procs) = (1 << 20, 32);
+        let p = LogGpParams::meiko_cs2(procs);
+        let t_smart = logp_total_us(&p, metrics::smart_common_case(n, procs));
+        let t_cb = logp_total_us(&p, metrics::cyclic_blocked(n, procs));
+        let t_blocked = logp_total_us(&p, metrics::blocked(n, procs));
+        assert!(t_smart < t_cb && t_cb < t_blocked);
+    }
+
+    #[test]
+    fn blocked_can_win_for_two_processors_with_long_messages() {
+        // Section 3.4.3: "for a small number of processors, for example
+        // P = 2 we have only one communication step and we send only one
+        // message per processor and usually we achieve the best
+        // communication time among the three versions."
+        let (n, procs) = (1 << 20, 2);
+        let p = LogGpParams::meiko_cs2(procs);
+        let t_blocked = loggp_total_us(&p, metrics::blocked(n, procs), KEY_BYTES);
+        let t_cb = loggp_total_us(&p, metrics::cyclic_blocked(n, procs), KEY_BYTES);
+        assert!(t_blocked <= t_cb);
+    }
+
+    #[test]
+    fn zero_volume_remap_is_free() {
+        let p = LogGpParams::meiko_cs2(4);
+        assert_eq!(logp_remap_us(&p, 0), 0.0);
+        assert_eq!(loggp_remap_us(&p, 0, 0, KEY_BYTES), 0.0);
+    }
+}

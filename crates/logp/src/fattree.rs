@@ -1,0 +1,201 @@
+//! Fat-tree link contention (Section 3.2.1, footnote 2).
+//!
+//! The Meiko CS-2 connects its nodes by a fat tree. The thesis observes
+//! that the smart remap's group structure — all-to-all exchanges confined
+//! to *aligned groups of `2^r` consecutive processors* (Lemma 4) — "is
+//! especially beneficial for network architectures like fat-trees because
+//! we avoid contention at the top switch-router of the fat-tree".
+//!
+//! This module quantifies that: it models a full-bisection binary fat tree
+//! over `P` leaves and computes, per tree level, the number of elements an
+//! uplink carries during one remap, for each remapping strategy. A remap
+//! whose groups span `2^r` processors pushes *zero* traffic above level
+//! `r` — so every smart remap except the largest leaves the upper tree
+//! idle, while every cyclic–blocked remap is a machine-wide all-to-all
+//! that loads the root.
+
+/// A full-bisection binary fat tree over `2^lg_p` leaf processors.
+///
+/// Level `l` (for `l` in `1..=lg_p`) is the set of uplinks leaving
+/// subtrees of `2^{l-1}` leaves toward their level-`l` parent; with full
+/// bisection a subtree of `2^{l-1}` leaves owns `2^{l-1}` uplinks. Level
+/// `lg_p` is the root level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatTree {
+    lg_p: u32,
+}
+
+impl FatTree {
+    /// Tree over `p = 2^lg_p` leaves.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a power of two.
+    #[must_use]
+    pub fn new(p: usize) -> Self {
+        assert!(
+            p.is_power_of_two(),
+            "fat tree needs a power-of-two leaf count"
+        );
+        FatTree {
+            lg_p: p.trailing_zeros(),
+        }
+    }
+
+    /// Number of levels (`lg P`).
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.lg_p
+    }
+
+    /// Elements per uplink at `level` during one *group exchange*: every
+    /// processor sends `n / 2^r` elements to each other member of its
+    /// aligned `2^r` group (the Lemma 4 pattern with `r = bits_changed`).
+    ///
+    /// A subtree of `2^{l-1}` leaves emits, per member, the elements bound
+    /// for the `2^r − 2^{l-1}` group members outside it (zero when the
+    /// group fits inside the subtree), spread over its `2^{l-1}` uplinks.
+    #[must_use]
+    pub fn group_exchange_load(&self, n: usize, r: u32, level: u32) -> f64 {
+        assert!(level >= 1 && level <= self.lg_p, "levels are 1..=lg P");
+        assert!(r <= self.lg_p);
+        let sub = 1u64 << (level - 1); // leaves (and uplinks) per subtree
+        let group = 1u64 << r;
+        if group <= sub {
+            return 0.0; // the whole group sits inside one subtree
+        }
+        let outside = group - sub;
+        let per_member = n as f64 / group as f64;
+        // sub members × outside partners × per-partner volume, over sub links.
+        (sub as f64 * outside as f64 * per_member) / sub as f64
+    }
+
+    /// Elements per uplink at `level` during one *pairwise exchange* at
+    /// hypercube distance `2^d` (every processor swaps its full `n`-element
+    /// array with `rank ⊕ 2^d`) — the blocked-merge remote step.
+    #[must_use]
+    pub fn pairwise_exchange_load(&self, n: usize, d: u32, level: u32) -> f64 {
+        assert!(level >= 1 && level <= self.lg_p);
+        assert!(d < self.lg_p);
+        let sub = 1u64 << (level - 1);
+        if (1u64 << d) < sub {
+            return 0.0; // partner inside the subtree
+        }
+        // Every one of the sub members' messages leaves the subtree.
+        (sub as f64 * n as f64) / sub as f64
+    }
+
+    /// Root-level load of a group exchange — the top-switch contention the
+    /// thesis's footnote is about.
+    #[must_use]
+    pub fn root_load_group(&self, n: usize, r: u32) -> f64 {
+        self.group_exchange_load(n, r, self.lg_p)
+    }
+}
+
+/// Total root-level traffic (elements per root uplink, summed over all
+/// remaps) of the smart strategy.
+#[must_use]
+pub fn smart_root_traffic(n: usize, p: usize) -> f64 {
+    let tree = FatTree::new(p);
+    if tree.levels() == 0 {
+        return 0.0;
+    }
+    crate::metrics::smart_schedule(n, p)
+        .iter()
+        .map(|info| tree.root_load_group(n, info.bits_changed))
+        .sum()
+}
+
+/// Total root-level traffic of the cyclic–blocked strategy: `2 lg P`
+/// machine-wide all-to-alls (`r = lg P`).
+#[must_use]
+pub fn cyclic_blocked_root_traffic(n: usize, p: usize) -> f64 {
+    let tree = FatTree::new(p);
+    if tree.levels() == 0 {
+        return 0.0;
+    }
+    2.0 * f64::from(tree.levels()) * tree.root_load_group(n, tree.levels())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_inside_subtree_is_free() {
+        let tree = FatTree::new(16);
+        // Groups of 2 never cross level-2+ boundaries.
+        assert_eq!(tree.group_exchange_load(1024, 1, 2), 0.0);
+        assert_eq!(tree.group_exchange_load(1024, 1, 4), 0.0);
+        assert!(tree.group_exchange_load(1024, 1, 1) > 0.0);
+    }
+
+    #[test]
+    fn full_all_to_all_loads_every_level() {
+        let tree = FatTree::new(16);
+        for level in 1..=4 {
+            assert!(
+                tree.group_exchange_load(1024, 4, level) > 0.0,
+                "level {level}"
+            );
+        }
+        // Root load of a P-wide all-to-all: each half sends half its data
+        // across: (P/2 · n/2) / (P/2 links) = n/2.
+        assert_eq!(tree.root_load_group(1024, 4), 512.0);
+    }
+
+    #[test]
+    fn smart_loads_the_root_less_than_cyclic_blocked() {
+        for (n, p) in [(1usize << 16, 16usize), (1 << 12, 32), (1 << 10, 8)] {
+            let smart = smart_root_traffic(n, p);
+            let cb = cyclic_blocked_root_traffic(n, p);
+            assert!(
+                smart < cb / 2.0,
+                "n={n} p={p}: smart {smart} vs cyclic-blocked {cb}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_full_width_smart_remaps_touch_the_root() {
+        let tree = FatTree::new(16);
+        let n = 1 << 12;
+        let mut root_hits = 0;
+        for info in crate::metrics::smart_schedule(n, 16) {
+            let load = tree.root_load_group(n, info.bits_changed);
+            if info.bits_changed < 4 {
+                assert_eq!(
+                    load, 0.0,
+                    "group 2^{} must stay below the root",
+                    info.bits_changed
+                );
+            } else {
+                root_hits += 1;
+            }
+        }
+        assert!(root_hits >= 1, "the largest remap does cross the root");
+    }
+
+    #[test]
+    fn pairwise_loads_match_hypercube_distance() {
+        let tree = FatTree::new(8);
+        // Distance 4 (top bit) crosses every level; distance 1 only level 1.
+        assert_eq!(tree.pairwise_exchange_load(100, 2, 3), 100.0);
+        assert_eq!(tree.pairwise_exchange_load(100, 0, 1), 100.0);
+        assert_eq!(tree.pairwise_exchange_load(100, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn load_decreases_up_the_tree_for_group_exchanges() {
+        let tree = FatTree::new(32);
+        let n = 1 << 10;
+        for r in 1..=5u32 {
+            let mut last = f64::INFINITY;
+            for level in 1..=5u32 {
+                let load = tree.group_exchange_load(n, r, level);
+                assert!(load <= last, "r={r}: load must not grow with level");
+                last = load;
+            }
+        }
+    }
+}

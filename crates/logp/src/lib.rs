@@ -1,0 +1,41 @@
+//! LogP and LogGP models of parallel computation (Section 3.4).
+//!
+//! The thesis analyses the communication of remap-based bitonic sort under
+//! two "realistic" models:
+//!
+//! * **LogP** (Culler et al. 1993) — short fixed-size messages,
+//!   parameterized by Latency `L`, overhead `o`, gap `g` and processor
+//!   count `P`;
+//! * **LogGP** (Alexandrov, Ionescu, Schauser, Scheiman 1995) — adds the
+//!   Gap per byte `G` for long messages.
+//!
+//! Three metrics determine communication time: the number of communication
+//! steps `R`, the volume of elements transferred per processor `V`, and the
+//! number of messages `M`. This crate provides:
+//!
+//! * [`params`] — parameter sets, including a Meiko CS-2 calibration;
+//! * [`metrics`] — closed-form `R`/`V`/`M` for the three remapping
+//!   strategies of Sections 3.4.2–3.4.3;
+//! * [`cost`] — the per-remap and total communication-time formulas;
+//! * [`predict`] — an end-to-end µs/key model reproducing the shape of the
+//!   Chapter 5 tables from metrics alone;
+//! * [`fattree`] — per-level link loads on the CS-2's fat tree, showing
+//!   why the Lemma 4 group structure avoids top-switch contention;
+//! * [`simulate`] — trace-driven makespan simulation, so measured per-rank
+//!   imbalance (e.g. sample sort on skewed keys) shows up as time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fattree;
+pub mod metrics;
+pub mod params;
+pub mod predict;
+pub mod simulate;
+
+pub use cost::{loggp_total_us, logp_total_us};
+pub use fattree::FatTree;
+pub use metrics::CommMetrics;
+pub use params::LogGpParams;
+pub use predict::{CostModel, StrategyKind};

@@ -1,0 +1,430 @@
+//! Closed-form communication metrics `R`, `V`, `M` of the three remapping
+//! strategies (Sections 3.4.2–3.4.3).
+//!
+//! `R` counts communication steps (remaps), `V` the elements transferred
+//! per processor over the whole sort, and `M` the messages sent per
+//! processor. The formulas below are the ones derived in the thesis; the
+//! *exact* smart-layout values for arbitrary `n`, `P` (including the
+//! `InRemap` correction term of Section 3.2.1) are computed from the remap
+//! schedule in `bitonic-core::complexity` and tested against these.
+
+/// Per-processor communication totals of one strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommMetrics {
+    /// Number of communication steps (data remaps), `R`.
+    pub remaps: u64,
+    /// Total elements transferred per processor, `V`.
+    pub volume: u64,
+    /// Total messages sent per processor, `M`.
+    pub messages: u64,
+}
+
+fn lg(x: usize) -> u64 {
+    assert!(x.is_power_of_two(), "{x} is not a power of two");
+    u64::from(x.trailing_zeros())
+}
+
+/// Metrics of the *blocked* strategy (fixed blocked layout, pairwise
+/// exchanges): `R = lgP(lgP+1)/2`, `V = n·R`, `M = R`.
+///
+/// Every remote step sends the whole local array of `n` keys to the
+/// hypercube partner as one message.
+#[must_use]
+pub fn blocked(n: usize, p: usize) -> CommMetrics {
+    let lgp = lg(p);
+    let r = lgp * (lgp + 1) / 2;
+    CommMetrics {
+        remaps: r,
+        volume: n as u64 * r,
+        messages: r,
+    }
+}
+
+/// Metrics of the *cyclic–blocked* strategy: `R = 2 lgP`,
+/// `V = 2n(1 − 1/P) lgP`, `M = 2 lgP (P − 1)`.
+///
+/// Each of the two remaps per stage is an all-to-all in which every
+/// processor sends `n/P` keys to each of the other `P − 1` processors.
+#[must_use]
+pub fn cyclic_blocked(n: usize, p: usize) -> CommMetrics {
+    let lgp = lg(p);
+    let n64 = n as u64;
+    let p64 = p as u64;
+    CommMetrics {
+        remaps: 2 * lgp,
+        volume: 2 * n64 * (p64 - 1) / p64 * lgp,
+        messages: 2 * lgp * (p64 - 1),
+    }
+}
+
+/// Metrics of the *smart* strategy in the common regime
+/// `lgP(lgP+1)/2 <= lg n`: `R = lgP + 1`, `V = n·lgP`, and the Section
+/// 3.4.3 lower bound `M >= 3(P − 1) − lgP` reported as the message count.
+///
+/// # Panics
+/// Panics outside the common regime — use the exact schedule-driven
+/// computation in `bitonic-core` there.
+#[must_use]
+pub fn smart_common_case(n: usize, p: usize) -> CommMetrics {
+    let lgp = lg(p);
+    let lgn = lg(n);
+    assert!(
+        lgp * (lgp + 1) / 2 <= lgn,
+        "closed forms need lgP(lgP+1)/2 <= lg n; use the exact schedule instead"
+    );
+    let p64 = p as u64;
+    CommMetrics {
+        remaps: lgp + 1,
+        volume: n as u64 * lgp,
+        messages: 3 * (p64 - 1) - lgp,
+    }
+}
+
+/// One remap of the smart schedule, produced by walking the
+/// `NextStage`/`NextStep` recurrence of Definition 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmartRemapInfo {
+    /// Stage the remap occurs in (`lg n + k`, 1-indexed).
+    pub stage: u64,
+    /// Step within the stage at which the remap occurs (1-indexed).
+    pub step: u64,
+    /// `N_BitsChanged` of Lemma 3 — bits of the absolute-address pattern
+    /// that move from the local part into the processor part.
+    pub bits_changed: u32,
+    /// Whether this is the final remap back to a blocked layout.
+    pub is_last: bool,
+}
+
+/// Walk the smart remap schedule arithmetically (no layouts involved) and
+/// return one entry per remap, in execution order.
+///
+/// This follows Definition 7 and its `NextStage`/`NextStep` recurrence: the
+/// first remap happens at `(stage, step) = (lg n + 1, lg n + 1)`; an inside
+/// remap (`s >= lg n`) leaves `t = s − lg n` steps in its stage; a crossing
+/// remap (`s < lg n`) ends in the next stage with `t = s + k + 1` steps
+/// remaining. `N_BitsChanged` comes from Lemma 3, clamped by both the local
+/// (`lg n`) and processor (`lg P`) address widths so the `n < P` cases of
+/// the lemma fall out naturally.
+///
+/// # Panics
+/// Panics unless `n >= 2` and both arguments are powers of two.
+#[must_use]
+pub fn smart_schedule(n: usize, p: usize) -> Vec<SmartRemapInfo> {
+    let lgn = lg(n);
+    let lgp = lg(p);
+    assert!(
+        lgn >= 1,
+        "the smart layout needs at least two elements per processor"
+    );
+    let mut remaps = Vec::new();
+    if lgp == 0 {
+        return remaps; // single processor: everything is local
+    }
+    let clamp = |raw: u64| -> u32 { raw.min(lgn).min(lgp) as u32 };
+    let (mut stage, mut step) = (lgn + 1, lgn + 1);
+    loop {
+        let k = stage - lgn;
+        let is_last = k == lgp && step <= lgn;
+        let bits_changed = if is_last {
+            clamp(step)
+        } else if step >= lgn {
+            clamp(k) // inside remap
+        } else {
+            clamp(k + 1) // crossing remap
+        };
+        remaps.push(SmartRemapInfo {
+            stage,
+            step,
+            bits_changed,
+            is_last,
+        });
+        if is_last {
+            break;
+        }
+        // Steps left in the stage the lg n-step block ends in (Definition 7).
+        let t = if step >= lgn {
+            step - lgn
+        } else {
+            step + k + 1
+        };
+        let next_stage = if step > lgn { stage } else { stage + 1 };
+        let next_step = if t == 0 { next_stage } else { t };
+        stage = next_stage;
+        step = next_step;
+        debug_assert!(stage <= lgn + lgp, "schedule walked past the last stage");
+    }
+    remaps
+}
+
+/// Exact `R`/`V`/`M` of the smart strategy for arbitrary `n`, `P`, from the
+/// schedule walk: each remap with `r` changed bits keeps `n / 2^r` elements
+/// and exchanges the rest within a group of `2^r` processors (Lemma 4).
+#[must_use]
+pub fn smart_exact(n: usize, p: usize) -> CommMetrics {
+    let mut m = CommMetrics {
+        remaps: 0,
+        volume: 0,
+        messages: 0,
+    };
+    for info in smart_schedule(n, p) {
+        let r = info.bits_changed;
+        m.remaps += 1;
+        m.volume += n as u64 - (n as u64 >> r);
+        m.messages += (1u64 << r) - 1;
+    }
+    m
+}
+
+/// `R_smart` for arbitrary `n`, `P`:
+/// `⌈lgP + lgP(lgP+1) / (2 lg n)⌉` (Section 3.2.1).
+#[must_use]
+pub fn smart_remap_count(n: usize, p: usize) -> u64 {
+    let lgp = lg(p);
+    let lgn = lg(n);
+    assert!(lgn > 0, "need at least two elements per processor");
+    let total_tail_steps = lgp * lgn + lgp * (lgp + 1) / 2;
+    // ceil(total_tail_steps / lgn)
+    total_tail_steps.div_ceil(lgn)
+}
+
+/// `a_k = k(k−1)/2 mod lg n` — where within stage `lg n + k` the data
+/// layout changes for the first time (Section 3.2.1, Figure 3.14).
+#[must_use]
+pub fn a_k(k: u64, lgn: u64) -> u64 {
+    (k * (k - 1) / 2) % lgn
+}
+
+/// `s_k` — the step at which the first remap within stage `lg n + k`
+/// occurs: `lg n + k` when `a_k = 0` (an inside remap starts right at the
+/// stage boundary), `k + a_k` otherwise.
+#[must_use]
+pub fn s_k(k: u64, lgn: u64) -> u64 {
+    let a = a_k(k, lgn);
+    if a == 0 {
+        lgn + k
+    } else {
+        k + a
+    }
+}
+
+/// The exact closed-form `V_Smart` of Section 3.2.1 (valid for `n >= P`):
+///
+/// ```text
+/// V = n ( lgP + 1/P − 1/2^{N_Last} + Σ_{k : lgn+k > s_k >= lgn} (1 − 1/2^k) )
+/// ```
+///
+/// where the sum counts the stages with an extra `InRemap` and `N_Last`
+/// is the bits changed at the final remap (Lemma 3). Tested equal to the
+/// schedule-walk [`smart_exact`] over the whole grid — i.e., the thesis's
+/// derivation checks out against the layouts.
+#[must_use]
+pub fn smart_volume_formula(n: usize, p: usize) -> u64 {
+    let lgn = lg(n);
+    let lgp = lg(p);
+    assert!(lgn >= lgp, "the Section 3.2.1 formula assumes n >= P");
+    if lgp == 0 {
+        return 0;
+    }
+    let n64 = n as u64;
+    // n·lgP + n/P covers the OutRemaps (one per stage): Σ_{k=1..lgP} n(1 − 1/2^k)
+    // = n·lgP − n(1 − 1/P) = n(lgP − 1) + n/P ... keep the thesis's grouping:
+    let mut v = n64 * lgp + n64 / (p as u64);
+    // minus the last remap's deficit correction: the OutRemap sum already
+    // charged the last stage at 1 − 1/2^{lgP}; the actual last remap
+    // changes N_Last bits.
+    let sched = smart_schedule(n, p);
+    let n_last = sched
+        .last()
+        .expect("lgP >= 1 gives at least one remap")
+        .bits_changed;
+    v -= n64 >> n_last;
+    // plus the InRemaps: stages whose first in-stage remap leaves room for
+    // a second remap ending within the stage. Boundary case the thesis's
+    // accounting leaves implicit: when s_{lgP} = lg n exactly, the final
+    // stage's in-stage remap executes its lg n steps right up to the end of
+    // the network and *is* the last remap — already covered by the
+    // N_Last term — so it must not be charged again.
+    for k in 1..=lgp {
+        let s = s_k(k, lgn);
+        if s >= lgn && s < lgn + k && !(k == lgp && s == lgn) {
+            v += n64 - (n64 >> k.min(lgn));
+        }
+    }
+    v
+}
+
+/// The volume ratio `V_cyclic-blocked / V_smart ≈ 2(1 − 1/P)` highlighted
+/// at the end of Section 3.2.1.
+#[must_use]
+pub fn cyclic_blocked_over_smart_volume(p: usize) -> f64 {
+    2.0 * (1.0 - 1.0 / p as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thesis_example_seven_remaps() {
+        // Figure 3.3: N = 256, P = 16 → n = 16 is *not* in the common
+        // regime (lgP(lgP+1)/2 = 10 > lg n = 4); the schedule executes 7
+        // remaps while cyclic-blocked does 8.
+        assert_eq!(smart_remap_count(16, 16), 7);
+        assert_eq!(cyclic_blocked(16, 16).remaps, 8);
+    }
+
+    #[test]
+    fn common_case_counts() {
+        // P = 32, n = 2^20: lgP(lgP+1)/2 = 15 <= 20.
+        let m = smart_common_case(1 << 20, 32);
+        assert_eq!(m.remaps, 6);
+        assert_eq!(m.volume, 5 << 20);
+        assert_eq!(m.messages, 3 * 31 - 5);
+        assert_eq!(smart_remap_count(1 << 20, 32), 6);
+    }
+
+    #[test]
+    fn smart_beats_cyclic_blocked_on_all_metrics() {
+        for (n, p) in [(1 << 20, 16), (1 << 18, 32), (1 << 16, 8)] {
+            let s = smart_common_case(n, p);
+            let cb = cyclic_blocked(n, p);
+            assert!(s.remaps < cb.remaps, "R: {s:?} vs {cb:?}");
+            assert!(s.volume < cb.volume, "V: {s:?} vs {cb:?}");
+            assert!(s.messages < cb.messages, "M: {s:?} vs {cb:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_sends_fewest_messages_but_most_volume() {
+        // Section 3.4.3's observation: with respect to message count the
+        // blocked version is best, but its volume is the largest.
+        let (n, p) = (1 << 20, 32);
+        let b = blocked(n, p);
+        let s = smart_common_case(n, p);
+        let cb = cyclic_blocked(n, p);
+        assert!(b.messages < s.messages);
+        assert!(b.messages < cb.messages);
+        assert!(b.volume > s.volume);
+        assert!(b.volume > cb.volume);
+    }
+
+    #[test]
+    fn volume_ratio_approaches_two() {
+        assert!((cyclic_blocked_over_smart_volume(2) - 1.0).abs() < 1e-12);
+        assert!((cyclic_blocked_over_smart_volume(32) - 1.9375).abs() < 1e-12);
+        let (n, p) = (1 << 20, 32);
+        let ratio = cyclic_blocked(n, p).volume as f64 / smart_common_case(n, p).volume as f64;
+        assert!((ratio - cyclic_blocked_over_smart_volume(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remap_count_matches_head_strategy_for_small_n() {
+        // n = P = 4: lg n = 2, lgP = 2 → R = ceil(2 + 3/2) = 4.
+        assert_eq!(smart_remap_count(4, 4), 4);
+    }
+
+    #[test]
+    fn figure_3_4_bits_changed_sequence() {
+        // Figure 3.4 / Section 3.2.1 for N = 256, P = 16: the bits changed
+        // at the 7 remaps are 1, 2, 3, 3, 4, 4 and finally 2.
+        let bits: Vec<u32> = smart_schedule(16, 16)
+            .iter()
+            .map(|r| r.bits_changed)
+            .collect();
+        assert_eq!(bits, vec![1, 2, 3, 3, 4, 4, 2]);
+    }
+
+    #[test]
+    fn schedule_walk_matches_closed_forms_in_common_regime() {
+        for (n, p) in [(1usize << 20, 32), (1 << 15, 8), (1 << 10, 4), (1 << 6, 2)] {
+            let exact = smart_exact(n, p);
+            let closed = smart_common_case(n, p);
+            assert_eq!(exact, closed, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn schedule_walk_remap_count_matches_ceiling_formula() {
+        for lgn in 1..12u32 {
+            for lgp in 1..8u32 {
+                let (n, p) = (1usize << lgn, 1usize << lgp);
+                assert_eq!(
+                    smart_schedule(n, p).len() as u64,
+                    smart_remap_count(n, p),
+                    "n={n} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_needs_no_remaps() {
+        assert!(smart_schedule(1 << 10, 1).is_empty());
+        assert_eq!(smart_exact(1 << 10, 1).volume, 0);
+    }
+
+    #[test]
+    fn schedule_executes_every_tail_step_exactly_once() {
+        // The lg n-step blocks after each remap (plus the short tail of the
+        // last one) must tile the last lgP stages: lgP·lgn + lgP(lgP+1)/2
+        // steps in total.
+        for (lgn, lgp) in [(4u64, 4u64), (6, 3), (10, 5), (3, 6), (2, 7)] {
+            let (n, p) = (1usize << lgn, 1usize << lgp);
+            let sched = smart_schedule(n, p);
+            let mut steps = 0u64;
+            for info in &sched {
+                if info.is_last {
+                    steps += info.step; // the tail executes `step` steps
+                } else {
+                    steps += lgn;
+                }
+            }
+            assert_eq!(
+                steps,
+                lgp * lgn + lgp * (lgp + 1) / 2,
+                "lgn={lgn} lgp={lgp}"
+            );
+        }
+    }
+
+    #[test]
+    fn section_3_2_1_closed_form_matches_the_schedule_walk() {
+        // The thesis's exact V_Smart formula vs the mechanical walk, over
+        // the whole n >= P grid.
+        for lgn in 1..12u32 {
+            for lgp in 1..=lgn.min(7) {
+                let (n, p) = (1usize << lgn, 1usize << lgp);
+                assert_eq!(
+                    smart_volume_formula(n, p),
+                    smart_exact(n, p).volume,
+                    "lgn={lgn} lgp={lgp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn s_k_locates_first_in_stage_remap() {
+        // Cross-check s_k against the walked schedule: the first remap
+        // whose position lies within stage lg n + k must be at step s_k.
+        for (lgn, lgp) in [(4u64, 4u64), (6, 3), (10, 5), (5, 5)] {
+            let sched = smart_schedule(1usize << lgn, 1usize << lgp);
+            for k in 1..=lgp {
+                let stage = lgn + k;
+                if let Some(first) = sched.iter().find(|r| r.stage == stage) {
+                    assert_eq!(first.step, s_k(k, lgn), "lgn={lgn} lgp={lgp} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bits_changed_never_exceeds_address_regions() {
+        for (lgn, lgp) in [(4u32, 4u32), (2, 6), (8, 3)] {
+            for info in smart_schedule(1 << lgn, 1 << lgp) {
+                assert!(info.bits_changed <= lgn.min(lgp));
+                assert!(info.bits_changed >= 1);
+            }
+        }
+    }
+}

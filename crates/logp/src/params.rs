@@ -1,0 +1,85 @@
+//! Model parameter sets.
+//!
+//! All times are in microseconds, matching the per-key units of the
+//! Chapter 5 tables.
+
+/// LogGP parameters (`L`, `o`, `g`, `G`, `P`); setting `big_g_us_per_byte`
+/// equal to `g / message_bytes` degenerates to plain LogP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogGpParams {
+    /// Upper bound on network latency for one message (µs).
+    pub l_us: f64,
+    /// Send/receive processor overhead per message (µs).
+    pub o_us: f64,
+    /// Minimum inter-message gap — reciprocal of short-message bandwidth
+    /// (µs per message).
+    pub g_us: f64,
+    /// Gap per byte for long messages — reciprocal of long-message
+    /// bandwidth (µs per byte).
+    pub big_g_us_per_byte: f64,
+    /// Number of processor/memory modules.
+    pub p: usize,
+}
+
+impl LogGpParams {
+    /// Calibrated approximation of the 64-node Meiko CS-2 the thesis
+    /// measured (40 MHz SuperSparc nodes, Elan network co-processor, fat
+    /// tree), restricted to `p` processors.
+    ///
+    /// The thesis does not tabulate its machine's LogGP values, so these
+    /// are calibrated against its measured regimes (see DESIGN.md §6):
+    ///
+    /// * `g` ≈ 3.2 µs makes the short-message smart sort cost ≈13 µs/key of
+    ///   communication at P = 16 (Table 5.3);
+    /// * `G` = 0.01 µs/byte (≈100 MB/s effective) makes the long-message
+    ///   transfer ≈ 0.15 µs/key at P = 16 (Table 5.4);
+    /// * `L` and `o` are in the range reported for Active Messages on the
+    ///   CS-2 (Schauser & Scheiman 1995).
+    #[must_use]
+    pub fn meiko_cs2(p: usize) -> Self {
+        LogGpParams {
+            l_us: 7.5,
+            o_us: 1.7,
+            g_us: 3.2,
+            big_g_us_per_byte: 0.010,
+            p,
+        }
+    }
+
+    /// Gap per *element* for long messages, `G · key_bytes` (µs).
+    #[must_use]
+    pub fn big_g_per_element(&self, key_bytes: usize) -> f64 {
+        self.big_g_us_per_byte * key_bytes as f64
+    }
+
+    /// Fixed per-message cost `L + 2o` (µs): the end-to-end envelope of one
+    /// message with both endpoints' overheads.
+    #[must_use]
+    pub fn envelope_us(&self) -> f64 {
+        self.l_us + 2.0 * self.o_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meiko_preset_is_consistent() {
+        let m = LogGpParams::meiko_cs2(32);
+        assert_eq!(m.p, 32);
+        // Long messages must be far cheaper per element than short ones for
+        // the Section 5.4 contrast to exist.
+        assert!(m.big_g_per_element(4) < m.g_us / 10.0);
+        assert!(
+            m.envelope_us() > m.g_us,
+            "2o + L dominates a single message"
+        );
+    }
+
+    #[test]
+    fn element_gap_scales_with_key_size() {
+        let m = LogGpParams::meiko_cs2(16);
+        assert!((m.big_g_per_element(8) - 2.0 * m.big_g_per_element(4)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Trace-driven LogGP makespan simulation.
+//!
+//! The closed forms of [`crate::cost`] price a *symmetric* communication
+//! pattern. Real runs are not always symmetric: sample sort's bucket sizes
+//! depend on the keys, and a skewed input funnels most of the data through
+//! one processor (the contention caveat of Section 5.5). This module
+//! replays the per-rank, per-step communication *traces* recorded by the
+//! `spmd` machine through the LogGP cost model and computes the resulting
+//! makespan, so imbalance shows up as time the way it would on the wire.
+//!
+//! The model per communication step `i`:
+//!
+//! * every rank first performs its local computation for the phase —
+//!   `compute_us_per_key × (elements it currently holds)`;
+//! * an all-to-all step synchronizes the participants: the step starts
+//!   when the slowest participating rank arrives (bulk exchanges are
+//!   barrier-like on this machine);
+//! * each rank then pays its own LogGP send cost
+//!   `L + 2o + G(v − m) + g(m − 1)` and additionally cannot finish before
+//!   the data it *receives* has been sent into the network.
+
+use crate::params::LogGpParams;
+use crate::predict::KEY_BYTES;
+
+/// One rank's view of one communication step, mirroring
+/// `spmd::RemapRecord` (kept dependency-free: `logp` sits below `spmd`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTrace {
+    /// Elements this rank sent.
+    pub sent: u64,
+    /// Messages this rank sent.
+    pub messages: u64,
+    /// Elements this rank received.
+    pub received: u64,
+    /// Elements this rank kept locally.
+    pub kept: u64,
+}
+
+/// A full per-rank trace: `trace[rank][step]`. Ranks may have differing
+/// step counts only if some ranks idle at the end (shorter traces are
+/// padded with zero steps).
+pub type Trace = Vec<Vec<StepTrace>>;
+
+/// Simulated makespan (µs) of a traced run under `params`, with local
+/// computation charged at `compute_us_per_key` per held element per phase.
+///
+/// # Panics
+/// Panics on an empty trace.
+#[must_use]
+pub fn makespan_us(trace: &Trace, params: &LogGpParams, compute_us_per_key: f64) -> f64 {
+    assert!(!trace.is_empty(), "need at least one rank");
+    let steps = trace.iter().map(Vec::len).max().unwrap_or(0);
+    let g_elem = params.big_g_per_element(KEY_BYTES);
+    let mut clock = vec![0.0f64; trace.len()];
+
+    for step in 0..steps {
+        // Local phase before the exchange: proportional to what the rank
+        // holds going in (kept + sent = its current array).
+        for (r, c) in clock.iter_mut().enumerate() {
+            let t = trace[r].get(step).copied().unwrap_or_default();
+            *c += compute_us_per_key * (t.kept + t.sent) as f64;
+        }
+        // Bulk exchange: starts when every rank has arrived.
+        let start = clock.iter().copied().fold(0.0f64, f64::max);
+        // Send cost per rank; a rank's receive completes no earlier than
+        // the largest per-sender injection the step performs (approximated
+        // by its own receive volume priced at long-message bandwidth).
+        for (r, c) in clock.iter_mut().enumerate() {
+            let t = trace[r].get(step).copied().unwrap_or_default();
+            let send_cost = if t.messages == 0 {
+                0.0
+            } else {
+                params.envelope_us()
+                    + g_elem * (t.sent.saturating_sub(t.messages)) as f64
+                    + params.g_us * (t.messages as f64 - 1.0)
+            };
+            let recv_cost = g_elem * t.received as f64;
+            *c = start + send_cost.max(recv_cost);
+        }
+    }
+    // Final local phase: rank holds kept + received of the last step.
+    let mut finish = 0.0f64;
+    for (r, c) in clock.iter().enumerate() {
+        let last = trace[r].last().copied().unwrap_or_default();
+        let t = c + compute_us_per_key * (last.kept + last.received) as f64;
+        finish = finish.max(t);
+    }
+    finish
+}
+
+/// Convenience: makespan per key (µs) for `total_keys` keys.
+#[must_use]
+pub fn makespan_us_per_key(
+    trace: &Trace,
+    params: &LogGpParams,
+    compute_us_per_key: f64,
+    total_keys: usize,
+) -> f64 {
+    makespan_us(trace, params, compute_us_per_key) / total_keys as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced_trace(p: usize, steps: usize, n: u64) -> Trace {
+        let per = StepTrace {
+            sent: n - n / p as u64,
+            messages: p as u64 - 1,
+            received: n - n / p as u64,
+            kept: n / p as u64,
+        };
+        vec![vec![per; steps]; p]
+    }
+
+    #[test]
+    fn balanced_trace_matches_symmetric_cost_scale() {
+        let params = LogGpParams::meiko_cs2(8);
+        let trace = balanced_trace(8, 4, 1 << 14);
+        let t = makespan_us(&trace, &params, 0.0);
+        // Four identical steps: total ≈ 4 × per-step cost of one rank.
+        let per = crate::cost::loggp_remap_us(
+            &params,
+            (1 << 14) - (1 << 11),
+            7,
+            crate::predict::KEY_BYTES,
+        );
+        assert!((t - 4.0 * per).abs() / t < 0.05, "{t} vs {}", 4.0 * per);
+    }
+
+    #[test]
+    fn skew_increases_makespan() {
+        let params = LogGpParams::meiko_cs2(8);
+        let n = 1u64 << 14;
+        let balanced = balanced_trace(8, 1, n);
+        // Same total volume, but one rank receives everything.
+        let mut skewed = balanced.clone();
+        for (r, rank_trace) in skewed.iter_mut().enumerate() {
+            rank_trace[0].received = if r == 0 { 8 * (n - n / 8) } else { 0 };
+        }
+        let t_bal = makespan_us(&balanced, &params, 0.0);
+        let t_skew = makespan_us(&skewed, &params, 0.0);
+        assert!(
+            t_skew > 2.0 * t_bal,
+            "hot receiver must dominate: {t_skew:.1} vs {t_bal:.1}"
+        );
+    }
+
+    #[test]
+    fn compute_charges_per_held_key() {
+        let params = LogGpParams::meiko_cs2(2);
+        let trace = vec![
+            vec![StepTrace {
+                sent: 0,
+                messages: 0,
+                received: 0,
+                kept: 100,
+            }],
+            vec![StepTrace {
+                sent: 0,
+                messages: 0,
+                received: 0,
+                kept: 100,
+            }],
+        ];
+        let t = makespan_us(&trace, &params, 0.5);
+        // Two phases (before and after the no-op exchange) × 100 keys × 0.5.
+        assert!((t - 100.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn ragged_traces_are_padded() {
+        let params = LogGpParams::meiko_cs2(2);
+        let trace = vec![
+            vec![
+                StepTrace {
+                    sent: 10,
+                    messages: 1,
+                    received: 10,
+                    kept: 0
+                };
+                3
+            ],
+            vec![
+                StepTrace {
+                    sent: 10,
+                    messages: 1,
+                    received: 10,
+                    kept: 0
+                };
+                1
+            ],
+        ];
+        // Must not panic, and the 3-step rank dominates.
+        let t = makespan_us(&trace, &params, 0.0);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn slowest_rank_gates_every_step() {
+        // A rank with heavy compute delays everyone's exchange.
+        let params = LogGpParams::meiko_cs2(4);
+        let mut trace = balanced_trace(4, 2, 1 << 10);
+        trace[2][0].kept = 1 << 20; // rank 2 holds a huge array in phase 0
+        let t_heavy = makespan_us(&trace, &params, 0.01);
+        let t_light = makespan_us(&balanced_trace(4, 2, 1 << 10), &params, 0.01);
+        assert!(t_heavy > t_light + 0.01 * (1 << 20) as f64 * 0.9);
+    }
+}

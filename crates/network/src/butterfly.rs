@@ -1,0 +1,140 @@
+//! Butterfly communication structure of a bitonic merge (Figure 2.2).
+//!
+//! A bitonic merge of size `2^k` is a butterfly with `2^k` rows and `k + 1`
+//! columns; between column `c+1` and column `c` every row `r` is wired to
+//! row `r ⊕ 2^c`. This module materializes that wiring so examples and the
+//! layout explorer can render and reason about which arcs cross processor
+//! boundaries under a given data layout (Figures 2.5–2.7).
+
+use crate::lg;
+
+/// A butterfly of `rows` rows (power of two) and `lg rows + 1` columns.
+#[derive(Debug, Clone)]
+pub struct Butterfly {
+    rows: usize,
+}
+
+/// One wire of the butterfly between two adjacent columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wire {
+    /// Row in the earlier (higher-numbered) column.
+    pub from_row: usize,
+    /// Row in the later column.
+    pub to_row: usize,
+    /// `true` if this is a cross wire (`from_row != to_row`).
+    pub crossing: bool,
+}
+
+impl Butterfly {
+    /// Butterfly for a merge of `rows` keys.
+    ///
+    /// # Panics
+    /// Panics if `rows` is not a power of two.
+    #[must_use]
+    pub fn new(rows: usize) -> Self {
+        let _ = lg(rows);
+        Butterfly { rows }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of comparator columns, `lg rows`.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        lg(self.rows)
+    }
+
+    /// Wires feeding column `column` (0-indexed from the output side, as in
+    /// the thesis: the transition into column `c` flips bit `c`).
+    ///
+    /// Every row receives a straight wire and a cross wire; this iterator
+    /// yields both for each row, `2 * rows` wires total.
+    pub fn wires_into_column(&self, column: u32) -> impl Iterator<Item = Wire> + '_ {
+        assert!(column < self.levels(), "columns with inputs are 0..levels");
+        let bit = 1usize << column;
+        (0..self.rows).flat_map(move |r| {
+            [
+                Wire {
+                    from_row: r,
+                    to_row: r,
+                    crossing: false,
+                },
+                Wire {
+                    from_row: r ^ bit,
+                    to_row: r,
+                    crossing: true,
+                },
+            ]
+        })
+    }
+
+    /// Count wires into `column` whose endpoints live on different
+    /// processors when `rows` keys are spread over `procs` processors with
+    /// the given address-to-processor map.
+    ///
+    /// This is how Figures 2.5/2.6 shade remote (black) vs local (grey)
+    /// arcs for the blocked and cyclic layouts.
+    pub fn remote_wires(
+        &self,
+        column: u32,
+        proc_of: impl Fn(usize) -> usize,
+        _procs: usize,
+    ) -> usize {
+        self.wires_into_column(column)
+            .filter(|w| w.crossing && proc_of(w.from_row) != proc_of(w.to_row))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_8_butterfly_shape() {
+        let b = Butterfly::new(8);
+        assert_eq!(b.levels(), 3);
+        assert_eq!(b.wires_into_column(2).count(), 16);
+    }
+
+    #[test]
+    fn cross_wires_flip_exactly_one_bit() {
+        let b = Butterfly::new(16);
+        for col in 0..b.levels() {
+            for w in b.wires_into_column(col) {
+                if w.crossing {
+                    assert_eq!(w.from_row ^ w.to_row, 1usize << col);
+                } else {
+                    assert_eq!(w.from_row, w.to_row);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_layout_top_columns_are_remote() {
+        // 16 rows on 4 processors, blocked: proc = row / 4. Columns 3 and 2
+        // (bits above lg n = 2) cross processors; columns 1 and 0 are local.
+        let b = Butterfly::new(16);
+        let proc_of = |r: usize| r / 4;
+        assert!(b.remote_wires(3, proc_of, 4) > 0);
+        assert!(b.remote_wires(2, proc_of, 4) > 0);
+        assert_eq!(b.remote_wires(1, proc_of, 4), 0);
+        assert_eq!(b.remote_wires(0, proc_of, 4), 0);
+    }
+
+    #[test]
+    fn cyclic_layout_reverses_locality() {
+        // Cyclic: proc = row mod 4. Now the *low* columns are remote.
+        let b = Butterfly::new(16);
+        let proc_of = |r: usize| r % 4;
+        assert_eq!(b.remote_wires(3, proc_of, 4), 0);
+        assert_eq!(b.remote_wires(2, proc_of, 4), 0);
+        assert!(b.remote_wires(1, proc_of, 4) > 0);
+        assert!(b.remote_wires(0, proc_of, 4) > 0);
+    }
+}

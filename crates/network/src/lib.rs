@@ -1,0 +1,177 @@
+//! Batcher's bitonic sorting network.
+//!
+//! This crate implements the sorting-network substrate of the thesis
+//! *Optimizing Parallel Bitonic Sort* (Ionescu, 1996 / IPPS'97): bitonic
+//! sequences, the bitonic split and merge primitives (Definitions 1–2), and
+//! the full bitonic sorting network of Definition 3 in both of its dual
+//! views:
+//!
+//! * the **network view** — an explicit graph of `(stage, column, row)`
+//!   MIN/MAX nodes wired as a concatenation of butterflies ([`node`],
+//!   [`butterfly`]);
+//! * the **algorithmic view** — each column of the network is an array of
+//!   all data elements and the primitive operation is a *compare-exchange*
+//!   between addresses that differ in exactly one bit ([`network`]).
+//!
+//! Everything downstream (data layouts, remap schedules, local-phase
+//! optimizations) is defined in terms of `(stage, step)` coordinates of this
+//! network, so this crate is the reference semantics the rest of the
+//! workspace is tested against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod butterfly;
+pub mod merge;
+pub mod network;
+pub mod node;
+pub mod render;
+pub mod sequence;
+pub mod split;
+
+pub use merge::bitonic_merge;
+pub use network::BitonicNetwork;
+pub use sequence::is_bitonic;
+pub use split::bitonic_split;
+
+/// Sort direction of a monotonic run or a merge network.
+///
+/// The thesis writes increasing merges as `BM⊕` and decreasing merges as
+/// `BM⊖` (Figure 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Monotonically non-decreasing (`BM⊕`).
+    Ascending,
+    /// Monotonically non-increasing (`BM⊖`).
+    Descending,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[must_use]
+    pub fn reverse(self) -> Self {
+        match self {
+            Direction::Ascending => Direction::Descending,
+            Direction::Descending => Direction::Ascending,
+        }
+    }
+
+    /// Direction of the merge block containing `row` during `stage`
+    /// (1-indexed, as in Definition 3).
+    ///
+    /// Stage `s` consists of `N/2^s` alternating merges of size `2^s`; the
+    /// block is increasing exactly when bit `s` (0-indexed) of the row
+    /// address is zero — the `(r div 2^s) mod 2` test of Definition 3.
+    #[must_use]
+    pub fn of_block(stage: u32, row: usize) -> Self {
+        if (row >> stage) & 1 == 0 {
+            Direction::Ascending
+        } else {
+            Direction::Descending
+        }
+    }
+
+    /// `true` for [`Direction::Ascending`].
+    #[must_use]
+    pub fn is_ascending(self) -> bool {
+        matches!(self, Direction::Ascending)
+    }
+}
+
+/// Base-2 logarithm of a power of two.
+///
+/// # Panics
+/// Panics if `x` is zero or not a power of two; network sizes, processor
+/// counts and per-processor element counts are all required to be powers of
+/// two throughout the thesis (Section 2.1.3).
+#[must_use]
+pub fn lg(x: usize) -> u32 {
+    assert!(x.is_power_of_two(), "{x} is not a power of two");
+    x.trailing_zeros()
+}
+
+/// Compare-exchange two array slots so that `data[lo] <= data[hi]` holds for
+/// an ascending pair (and the reverse for a descending pair).
+#[inline]
+pub fn compare_exchange<T: Ord>(data: &mut [T], lo: usize, hi: usize, dir: Direction) {
+    debug_assert!(lo < hi);
+    let out_of_order = match dir {
+        Direction::Ascending => data[lo] > data[hi],
+        Direction::Descending => data[lo] < data[hi],
+    };
+    if out_of_order {
+        data.swap(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lg_of_powers() {
+        assert_eq!(lg(1), 0);
+        assert_eq!(lg(2), 1);
+        assert_eq!(lg(1024), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn lg_rejects_non_powers() {
+        let _ = lg(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn lg_rejects_zero() {
+        let _ = lg(0);
+    }
+
+    #[test]
+    fn block_direction_alternates() {
+        // Stage 1 on 8 rows: blocks of size 2, alternating.
+        let dirs: Vec<Direction> = (0..8).map(|r| Direction::of_block(1, r)).collect();
+        assert_eq!(
+            dirs,
+            vec![
+                Direction::Ascending,
+                Direction::Ascending,
+                Direction::Descending,
+                Direction::Descending,
+                Direction::Ascending,
+                Direction::Ascending,
+                Direction::Descending,
+                Direction::Descending,
+            ]
+        );
+    }
+
+    #[test]
+    fn final_stage_is_ascending() {
+        // The last stage of an N-input network has a single increasing merge.
+        for r in 0..16 {
+            assert_eq!(Direction::of_block(4, r), Direction::Ascending);
+        }
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        assert_eq!(
+            Direction::Ascending.reverse().reverse(),
+            Direction::Ascending
+        );
+        assert_eq!(Direction::Descending.reverse(), Direction::Ascending);
+    }
+
+    #[test]
+    fn compare_exchange_orders_pairs() {
+        let mut v = [3, 1];
+        compare_exchange(&mut v, 0, 1, Direction::Ascending);
+        assert_eq!(v, [1, 3]);
+        compare_exchange(&mut v, 0, 1, Direction::Descending);
+        assert_eq!(v, [3, 1]);
+        // Already in order: untouched.
+        compare_exchange(&mut v, 0, 1, Direction::Descending);
+        assert_eq!(v, [3, 1]);
+    }
+}

@@ -1,0 +1,128 @@
+//! The bitonic merge — `lg n` recursive bitonic splits (Section 2.1.2).
+//!
+//! A bitonic merge takes a bitonic sequence of power-of-two length and sorts
+//! it by applying a bitonic split, then recursing into each half. Its
+//! communication structure is the butterfly of Figure 2.2.
+
+use crate::{split::bitonic_split, Direction};
+
+/// Sort the bitonic sequence `data` in place in direction `dir` by repeated
+/// bitonic splits (`BM⊕` / `BM⊖`, Figure 2.2).
+///
+/// This is the comparator-network merge: `lg n` split rounds of `n/2`
+/// compare-exchanges each, i.e. `O(n log n)` comparisons. The `local-sorts`
+/// crate provides the `O(n)` *bitonic merge sort* of Chapter 4 that replaces
+/// it on each processor; this version is the network-faithful reference.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two (network sizes are powers of
+/// two throughout the thesis).
+pub fn bitonic_merge<T: Ord>(data: &mut [T], dir: Direction) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(
+        n.is_power_of_two(),
+        "bitonic merge needs a power-of-two length"
+    );
+    let mut width = n;
+    while width > 1 {
+        for chunk in data.chunks_mut(width) {
+            bitonic_split(chunk, dir);
+        }
+        width /= 2;
+    }
+}
+
+/// Merge two sorted runs (`lo` ascending, `hi` descending — i.e. their
+/// concatenation is bitonic) into one sorted sequence of direction `dir`.
+///
+/// This is how stage `k` of the sorting network consumes the output of stage
+/// `k − 1`: two neighbouring monotonic sequences form the bitonic input of
+/// the next, twice-as-large merge (Definition 3).
+#[must_use]
+pub fn merge_opposed_runs<T: Ord + Clone>(lo: &[T], hi: &[T], dir: Direction) -> Vec<T> {
+    let mut v: Vec<T> = lo.iter().chain(hi.iter()).cloned().collect();
+    bitonic_merge(&mut v, dir);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::{generate, is_sorted, is_sorted_asc, is_sorted_desc, rotate_left};
+
+    #[test]
+    fn merges_every_rotation_of_a_mountain() {
+        for len in [2usize, 8, 32, 128] {
+            let m = generate::distinct_mountain(len, len / 2);
+            for shift in (0..len).step_by(3) {
+                let mut r = m.clone();
+                rotate_left(&mut r, shift);
+                let mut expect = r.clone();
+                expect.sort_unstable();
+
+                let mut asc = r.clone();
+                bitonic_merge(&mut asc, Direction::Ascending);
+                assert_eq!(asc, expect);
+
+                let mut desc = r;
+                bitonic_merge(&mut desc, Direction::Descending);
+                expect.reverse();
+                assert_eq!(desc, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_2_2_size_8_example() {
+        // An increasing bitonic merge of size 8 as in Figure 2.2.
+        let mut v = [3u32, 5, 8, 9, 7, 4, 2, 1];
+        bitonic_merge(&mut v, Direction::Ascending);
+        assert_eq!(v, [1, 2, 3, 4, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn merge_with_duplicates() {
+        let mut v = [2u32, 7, 7, 9, 9, 7, 2, 2];
+        bitonic_merge(&mut v, Direction::Ascending);
+        assert!(is_sorted_asc(&v));
+        assert_eq!(v.iter().filter(|&&x| x == 7).count(), 3);
+    }
+
+    #[test]
+    fn merge_opposed_runs_forms_sorted_output() {
+        let lo = [1u32, 4, 6, 7];
+        let hi = [9u32, 8, 3, 0];
+        let out = merge_opposed_runs(&lo, &hi, Direction::Ascending);
+        assert_eq!(out, vec![0, 1, 3, 4, 6, 7, 8, 9]);
+        let out = merge_opposed_runs(&lo, &hi, Direction::Descending);
+        assert!(is_sorted_desc(&out));
+    }
+
+    #[test]
+    fn singleton_and_empty_are_noops() {
+        let mut one = [42u8];
+        bitonic_merge(&mut one, Direction::Ascending);
+        assert_eq!(one, [42]);
+        let mut none: [u8; 0] = [];
+        bitonic_merge(&mut none, Direction::Descending);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let mut v = [3u32, 1, 2];
+        bitonic_merge(&mut v, Direction::Ascending);
+    }
+
+    #[test]
+    fn direction_dispatch() {
+        for dir in [Direction::Ascending, Direction::Descending] {
+            let mut v = generate::rotated((0..64).collect(), 40, 13);
+            bitonic_merge(&mut v, dir);
+            assert!(is_sorted(&v, dir));
+        }
+    }
+}

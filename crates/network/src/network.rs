@@ -1,0 +1,303 @@
+//! The full bitonic sorting network (Definition 3) and its algorithmic view.
+//!
+//! The network for `N` keys has `lg N` stages; stage `s` runs steps
+//! `s, s−1, …, 1`, and step `j` compare-exchanges every address pair that
+//! differs exactly in bit `j − 1`. This module provides the step schedule,
+//! an executor over arrays, and small-N exhaustive verification helpers
+//! (zero–one principle).
+
+use crate::node::Comparator;
+use crate::{lg, Direction};
+
+/// Coordinates of one step of the network: `(stage, step)`, both 1-indexed,
+/// with `1 <= step <= stage <= lg N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StepId {
+    /// Stage number (`1 ..= lg N`).
+    pub stage: u32,
+    /// Step inside the stage (`stage ..= 1`, executed in decreasing order).
+    pub step: u32,
+}
+
+impl StepId {
+    /// The address bit (0-indexed) in which compared pairs differ at this
+    /// step: `step − 1`.
+    #[must_use]
+    pub fn bit(&self) -> u32 {
+        self.step - 1
+    }
+
+    /// The address bit (0-indexed) that determines the merge direction of
+    /// this step's stage.
+    #[must_use]
+    pub fn direction_bit(&self) -> u32 {
+        self.stage
+    }
+
+    /// The step that follows this one in network order, if any, for a
+    /// network of `lg_n_total` = `lg N` stages.
+    #[must_use]
+    pub fn next(&self, lg_n_total: u32) -> Option<StepId> {
+        if self.step > 1 {
+            Some(StepId {
+                stage: self.stage,
+                step: self.step - 1,
+            })
+        } else if self.stage < lg_n_total {
+            Some(StepId {
+                stage: self.stage + 1,
+                step: self.stage + 1,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// The bitonic sorting network for a fixed power-of-two size.
+#[derive(Debug, Clone)]
+pub struct BitonicNetwork {
+    n: usize,
+    stages: u32,
+}
+
+impl BitonicNetwork {
+    /// Build the network schedule for `n` keys.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let stages = lg(n);
+        BitonicNetwork { n, stages }
+    }
+
+    /// Number of keys the network sorts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate 1-key network.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// Number of stages, `lg N`.
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Total number of steps, `lg N (lg N + 1) / 2`.
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        let s = self.stages as usize;
+        s * (s + 1) / 2
+    }
+
+    /// Total number of comparators, `N/2` per step.
+    #[must_use]
+    pub fn comparator_count(&self) -> usize {
+        self.step_count() * self.n / 2
+    }
+
+    /// All steps in execution order: stage 1 step 1, stage 2 steps 2 then 1, …
+    pub fn steps(&self) -> impl Iterator<Item = StepId> + '_ {
+        (1..=self.stages)
+            .flat_map(|stage| (1..=stage).rev().map(move |step| StepId { stage, step }))
+    }
+
+    /// The comparators of one step, each touching a disjoint address pair.
+    pub fn comparators(&self, id: StepId) -> impl Iterator<Item = Comparator> + '_ {
+        let bit = id.bit();
+        let stage = id.stage;
+        (0..self.n)
+            .filter(move |r| (r >> bit) & 1 == 0)
+            .map(move |lo| Comparator::for_pair(stage, bit + 1, lo))
+    }
+
+    /// Apply one step of the network to `data` (algorithmic view).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn apply_step<T: Ord>(&self, data: &mut [T], id: StepId) {
+        assert_eq!(data.len(), self.n);
+        for cmp in self.comparators(id) {
+            cmp.apply(data);
+        }
+    }
+
+    /// Run the whole network over `data`, sorting it ascending.
+    pub fn sort<T: Ord>(&self, data: &mut [T]) {
+        for id in self.steps() {
+            self.apply_step(data, id);
+        }
+    }
+
+    /// Run only the given stage (all of its steps, in order).
+    pub fn apply_stage<T: Ord>(&self, data: &mut [T], stage: u32) {
+        assert!(stage >= 1 && stage <= self.stages);
+        for step in (1..=stage).rev() {
+            self.apply_step(data, StepId { stage, step });
+        }
+    }
+
+    /// Verify the network sorts *every* 0/1 input of its size — by the
+    /// zero–one principle this proves it sorts every input. Exponential in
+    /// `n`; intended for `n <= 2^16` in tests.
+    #[must_use]
+    pub fn satisfies_zero_one_principle(&self) -> bool {
+        let n = self.n;
+        assert!(n <= 20, "zero-one check is exponential; keep n small");
+        for mask in 0u64..(1u64 << n) {
+            let mut v: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+            self.sort(&mut v);
+            if !crate::sequence::is_sorted_asc(&v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Direction of the merge block containing `row` during `stage` — re-export
+/// of the Definition 3 rule at network level.
+#[must_use]
+pub fn step_direction(stage: u32, row: usize) -> Direction {
+    Direction::of_block(stage, row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::is_sorted_asc;
+
+    #[test]
+    fn step_schedule_matches_definition() {
+        let net = BitonicNetwork::new(8);
+        let steps: Vec<(u32, u32)> = net.steps().map(|s| (s.stage, s.step)).collect();
+        assert_eq!(
+            steps,
+            vec![(1, 1), (2, 2), (2, 1), (3, 3), (3, 2), (3, 1)],
+            "N=8: 3 stages, stage i has i steps, counted right-to-left"
+        );
+        assert_eq!(net.step_count(), 6);
+        assert_eq!(net.comparator_count(), 6 * 4);
+    }
+
+    #[test]
+    fn zero_one_principle_small_sizes() {
+        for n in [1usize, 2, 4, 8, 16] {
+            assert!(
+                BitonicNetwork::new(n).satisfies_zero_one_principle(),
+                "network of size {n} failed the 0-1 principle"
+            );
+        }
+    }
+
+    #[test]
+    fn sorts_random_permutations() {
+        let net = BitonicNetwork::new(64);
+        // A fixed linear-congruential stream keeps the test deterministic.
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        for _ in 0..20 {
+            let mut v: Vec<u64> = (0..64)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    x >> 33
+                })
+                .collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            net.sort(&mut v);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn stage_output_is_alternating_sorted_runs() {
+        // Lemma 6: after stage k the array is 2^(lgN−k) alternating sorted
+        // runs of length 2^k.
+        let net = BitonicNetwork::new(32);
+        let mut v: Vec<u32> = (0..32u32)
+            .map(|i| i.wrapping_mul(2654435761) >> 16)
+            .collect();
+        for stage in 1..=net.stages() {
+            net.apply_stage(&mut v, stage);
+            let run = 1usize << stage;
+            for (b, chunk) in v.chunks(run).enumerate() {
+                let dir = Direction::of_block(stage, b * run);
+                assert!(
+                    crate::sequence::is_sorted(chunk, dir),
+                    "after stage {stage}, run {b} not sorted {dir:?}: {chunk:?}"
+                );
+            }
+        }
+        assert!(is_sorted_asc(&v));
+    }
+
+    #[test]
+    fn lemma_7_columns_hold_bitonic_sequences() {
+        // The data array at column s of stage k consists of 2^(lgN − s)
+        // bitonic sequences of length 2^s.
+        let net = BitonicNetwork::new(64);
+        let mut v: Vec<u32> = (0..64u32)
+            .map(|i| i.wrapping_mul(2654435761) >> 8)
+            .collect();
+        for id in net.steps() {
+            net.apply_step(&mut v, id);
+            // After executing step `s` we are at column s − 1: sequences of
+            // length 2^(s−1) are bitonic (and at s = 1, trivially so).
+            let len = 1usize << (id.step - 1);
+            for chunk in v.chunks(len) {
+                assert!(
+                    crate::sequence::is_bitonic(chunk),
+                    "after {id:?}: {chunk:?} not bitonic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_id_next_walks_whole_network() {
+        let net = BitonicNetwork::new(16);
+        let mut walked = vec![];
+        let mut cur = Some(StepId { stage: 1, step: 1 });
+        while let Some(id) = cur {
+            walked.push(id);
+            cur = id.next(net.stages());
+        }
+        let expect: Vec<StepId> = net.steps().collect();
+        assert_eq!(walked, expect);
+    }
+
+    #[test]
+    fn bits_of_steps() {
+        let id = StepId { stage: 5, step: 3 };
+        assert_eq!(id.bit(), 2);
+        assert_eq!(id.direction_bit(), 5);
+    }
+
+    #[test]
+    fn apply_step_only_touches_its_bit_pairs() {
+        let net = BitonicNetwork::new(8);
+        let mut v: Vec<u32> = vec![7, 6, 5, 4, 3, 2, 1, 0];
+        // Stage 3 step 3 pairs (i, i+4).
+        net.apply_step(&mut v, StepId { stage: 3, step: 3 });
+        assert_eq!(v, vec![3, 2, 1, 0, 7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn sort_is_idempotent() {
+        let net = BitonicNetwork::new(16);
+        let mut v: Vec<i32> = (0..16).rev().collect();
+        net.sort(&mut v);
+        let once = v.clone();
+        net.sort(&mut v);
+        assert_eq!(v, once);
+    }
+}

@@ -1,0 +1,196 @@
+//! The network view: `(stage, column, row)` nodes and their wiring
+//! (Definition 3 and Figure 2.4).
+//!
+//! Each node of the bitonic sorting network is identified by a 3-tuple
+//! `(s, c, r)`: the stage, the column inside the stage and the row. Stage
+//! `s` has columns `s, s−1, …, 0`; the transition from column `c` to column
+//! `c − 1` is *step* `c`. Node `(s, c, r)` receives its inputs from nodes
+//! `(s, c+1, r)` and `(s, c+1, r ⊕ 2^c)` and keeps the minimum of the two
+//! exactly when `(r div 2^c) mod 2 = (r div 2^s) mod 2`.
+
+use crate::Direction;
+
+/// A node of the bitonic sorting network in the network view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node {
+    /// Stage number, `1 ..= lg N` (1-indexed as in the thesis).
+    pub stage: u32,
+    /// Column inside the stage, `stage ..= 0`; column 0 is the stage output.
+    pub column: u32,
+    /// Row — the absolute address of the key slot, `0 .. N`.
+    pub row: usize,
+}
+
+/// Whether a node keeps the minimum or the maximum of its two inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Shaded node in Figures 2.2/2.4: keeps the smaller key.
+    Min,
+    /// Unshaded node: keeps the larger key.
+    Max,
+}
+
+impl Node {
+    /// Create a node, validating the coordinate ranges of Definition 3.
+    ///
+    /// # Panics
+    /// Panics if `column > stage` or `stage == 0`.
+    #[must_use]
+    pub fn new(stage: u32, column: u32, row: usize) -> Self {
+        assert!(stage >= 1, "stages are numbered from 1");
+        assert!(column <= stage, "stage {stage} has columns {stage}..=0");
+        Node { stage, column, row }
+    }
+
+    /// The row of the *other* input feeding this node: `r ⊕ 2^c`.
+    ///
+    /// Only defined for comparator columns (`column < stage`); column
+    /// `stage` is the input column of the stage and has no comparator.
+    #[must_use]
+    pub fn partner_row(&self) -> usize {
+        debug_assert!(self.column < self.stage);
+        self.row ^ (1usize << self.column)
+    }
+
+    /// MIN/MAX classification per Definition 3:
+    /// min iff `(r div 2^c) mod 2 == (r div 2^s) mod 2`.
+    #[must_use]
+    pub fn kind(&self) -> NodeKind {
+        debug_assert!(self.column < self.stage);
+        let c_bit = (self.row >> self.column) & 1;
+        let s_bit = (self.row >> self.stage) & 1;
+        if c_bit == s_bit {
+            NodeKind::Min
+        } else {
+            NodeKind::Max
+        }
+    }
+
+    /// Direction of the merge block this node belongs to.
+    #[must_use]
+    pub fn block_direction(&self) -> Direction {
+        Direction::of_block(self.stage, self.row)
+    }
+}
+
+/// The compare-exchange performed by a MIN/MAX node pair, in the
+/// algorithmic view: addresses `lo < hi` differing in exactly one bit, with
+/// the minimum placed at `lo` when `ascending`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparator {
+    /// Lower address of the pair.
+    pub lo: usize,
+    /// Higher address (`lo ^ 2^bit`).
+    pub hi: usize,
+    /// Direction: `Ascending` places the minimum at `lo`.
+    pub dir: Direction,
+}
+
+impl Comparator {
+    /// The comparator realized by the node pair at `(stage, column, row)` and
+    /// `(stage, column, row ⊕ 2^column)`.
+    ///
+    /// `step` is the 1-indexed step number (`column + 1`); the pair differs
+    /// in bit `column = step − 1`.
+    #[must_use]
+    pub fn for_pair(stage: u32, step: u32, row_with_zero_bit: usize) -> Self {
+        debug_assert!(step >= 1 && step <= stage);
+        let bit = step - 1;
+        debug_assert_eq!(
+            (row_with_zero_bit >> bit) & 1,
+            0,
+            "row must have a 0 at the step bit"
+        );
+        let lo = row_with_zero_bit;
+        let hi = lo | (1usize << bit);
+        // The lower-address node keeps the minimum exactly when its stage bit
+        // is 0 (NodeKind::Min with c_bit = 0), i.e. the block is ascending.
+        Comparator {
+            lo,
+            hi,
+            dir: Direction::of_block(stage, lo),
+        }
+    }
+
+    /// Apply this comparator to `data`.
+    pub fn apply<T: Ord>(&self, data: &mut [T]) {
+        crate::compare_exchange(data, self.lo, self.hi, self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partner_differs_in_one_bit() {
+        let node = Node::new(3, 1, 0b101);
+        assert_eq!(node.partner_row(), 0b111);
+        assert_eq!((node.row ^ node.partner_row()).count_ones(), 1);
+    }
+
+    #[test]
+    fn min_max_rule_matches_figure_2_4() {
+        // Figure 2.4, N = 8, stage 3 (the final increasing merge): every
+        // lower row of a pair keeps the minimum because bit 3 of any row < 8
+        // is 0.
+        for row in 0..8usize {
+            for column in 0..3u32 {
+                let node = Node::new(3, column, row);
+                let expect = if (row >> column) & 1 == 0 {
+                    NodeKind::Min
+                } else {
+                    NodeKind::Max
+                };
+                assert_eq!(node.kind(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_one_alternates_pair_direction() {
+        // Stage 1 on 8 rows: pairs (0,1) asc, (2,3) desc, (4,5) asc, (6,7) desc.
+        let dirs: Vec<Direction> = (0..4)
+            .map(|p| Comparator::for_pair(1, 1, 2 * p).dir)
+            .collect();
+        assert_eq!(
+            dirs,
+            vec![
+                Direction::Ascending,
+                Direction::Descending,
+                Direction::Ascending,
+                Direction::Descending
+            ]
+        );
+    }
+
+    #[test]
+    fn comparator_apply_respects_direction() {
+        let mut data = vec![9u32, 1, 2, 8];
+        // stage 1: pair (0,1) ascending, pair (2,3) descending.
+        Comparator::for_pair(1, 1, 0).apply(&mut data);
+        Comparator::for_pair(1, 1, 2).apply(&mut data);
+        assert_eq!(data, vec![1, 9, 8, 2]);
+    }
+
+    #[test]
+    fn kind_consistent_with_comparator_dir() {
+        // For every pair, the lower node is Min iff the comparator ascends.
+        for stage in 1..=4u32 {
+            for step in 1..=stage {
+                let bit = step - 1;
+                for lo in (0..16usize).filter(|r| (r >> bit) & 1 == 0) {
+                    let node = Node::new(stage, bit, lo);
+                    let cmp = Comparator::for_pair(stage, step, lo);
+                    assert_eq!(node.kind() == NodeKind::Min, cmp.dir.is_ascending());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn column_out_of_range_rejected() {
+        let _ = Node::new(2, 3, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Rendering the sorting network — Figures 2.4, 2.5 and 2.6 as text.
+//!
+//! The thesis's figures draw the network with one horizontal line per key
+//! address and one vertical comparator arc per compare-exchange, shading
+//! arcs by whether their endpoints share a processor under a given data
+//! layout (grey = local, black = remote). [`ascii`] reproduces that view
+//! in a terminal; [`dot`] emits Graphviz for papers and docs.
+
+use crate::network::{BitonicNetwork, StepId};
+use crate::node::Comparator;
+
+/// How a comparator is classified under a data layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArcKind {
+    /// Both endpoints on the same processor (grey arcs in Figure 2.5).
+    Local,
+    /// Endpoints on different processors (black arcs).
+    Remote,
+}
+
+/// Classify every comparator of every step under `proc_of` (the address →
+/// processor map of some layout). Returns, per step, the number of
+/// `(local, remote)` comparators — the data behind Figures 2.5/2.6.
+#[must_use]
+pub fn classify_steps(
+    net: &BitonicNetwork,
+    proc_of: &dyn Fn(usize) -> usize,
+) -> Vec<(StepId, usize, usize)> {
+    net.steps()
+        .map(|id| {
+            let (mut local, mut remote) = (0usize, 0usize);
+            for c in net.comparators(id) {
+                if proc_of(c.lo) == proc_of(c.hi) {
+                    local += 1;
+                } else {
+                    remote += 1;
+                }
+            }
+            (id, local, remote)
+        })
+        .collect()
+}
+
+/// ASCII rendering of the network: rows are key addresses, one column
+/// block per step. `o--o` marks an ascending comparator (minimum at the
+/// top, as the shaded nodes of Figure 2.4), `x--x` a descending one;
+/// remote comparators (under `proc_of`) are drawn with `=` instead of `-`.
+///
+/// Intended for small `N` (each step adds 5 columns).
+#[must_use]
+pub fn ascii(net: &BitonicNetwork, proc_of: &dyn Fn(usize) -> usize) -> String {
+    let n = net.len();
+    let steps: Vec<StepId> = net.steps().collect();
+    // grid[row][step] = cell of width 4.
+    let mut grid = vec![vec!["    ".to_string(); steps.len()]; n];
+    for (col, &id) in steps.iter().enumerate() {
+        // Endpoints first, then span markers into still-blank cells only —
+        // overlapping comparators must not erase each other's endpoints.
+        for c in net.comparators(id) {
+            let remote = proc_of(c.lo) != proc_of(c.hi);
+            let line = if remote { '=' } else { '-' };
+            let glyph = if c.dir.is_ascending() { 'o' } else { 'x' };
+            grid[c.lo][col] = format!("{glyph}{line}{line}{line}");
+            grid[c.hi][col] = format!("{glyph}{line}{line}{line}");
+        }
+        for c in net.comparators(id) {
+            let remote = proc_of(c.lo) != proc_of(c.hi);
+            let line = if remote { '=' } else { '-' };
+            for row in grid[c.lo + 1..c.hi].iter_mut() {
+                if row[col].starts_with(' ') {
+                    row[col] = format!("|{line}{line}{line}");
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    // Header: stage.step labels.
+    out.push_str("addr ");
+    for id in &steps {
+        out.push_str(&format!("{}.{}  ", id.stage, id.step));
+    }
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        out.push_str(&format!("{r:>3}  "));
+        for cell in row {
+            out.push_str(cell);
+            out.push(' ');
+        }
+        out.push_str(&format!(" p{}\n", proc_of(r)));
+    }
+    out
+}
+
+/// Graphviz DOT rendering: one node per `(step, address)` wire point, one
+/// edge per comparator, remote edges bold. Layout-agnostic tooling can
+/// then draw the butterfly structure of Figure 2.4.
+#[must_use]
+pub fn dot(net: &BitonicNetwork, proc_of: &dyn Fn(usize) -> usize) -> String {
+    let mut out = String::from("digraph bitonic {\n  rankdir=LR;\n  node [shape=point];\n");
+    let steps: Vec<StepId> = net.steps().collect();
+    for r in 0..net.len() {
+        for (i, _) in steps.iter().enumerate() {
+            out.push_str(&format!("  n{r}_{i};\n"));
+        }
+        // Horizontal wires.
+        for i in 1..steps.len() {
+            out.push_str(&format!(
+                "  n{r}_{} -> n{r}_{i} [arrowhead=none,color=gray];\n",
+                i - 1
+            ));
+        }
+    }
+    for (i, &id) in steps.iter().enumerate() {
+        for Comparator { lo, hi, dir } in net.comparators(id) {
+            let remote = proc_of(lo) != proc_of(hi);
+            let style = if remote { "penwidth=2" } else { "color=gray50" };
+            let arrow = if dir.is_ascending() { "normal" } else { "inv" };
+            out.push_str(&format!(
+                "  n{lo}_{i} -> n{hi}_{i} [arrowhead={arrow},{style}];\n"
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_5_blocked_counts() {
+        // N = 16 on P = 4 blocked: stages 1..2 fully local; stage
+        // lg n + k has k remote steps of N/2 comparators each.
+        let net = BitonicNetwork::new(16);
+        let proc_of = |r: usize| r / 4;
+        let counts = classify_steps(&net, &proc_of);
+        for (id, local, remote) in counts {
+            let expect_remote = id.bit() >= 2; // bits 2,3 are proc bits
+            assert_eq!(remote > 0, expect_remote, "{id:?}");
+            assert_eq!(local + remote, 8);
+            if expect_remote {
+                assert_eq!(remote, 8, "remote steps are fully remote under blocked");
+            }
+        }
+    }
+
+    #[test]
+    fn figure_2_6_cyclic_counts_are_complementary() {
+        // Under cyclic the classification flips: low-bit steps are remote.
+        let net = BitonicNetwork::new(16);
+        let blocked = |r: usize| r / 4;
+        let cyclic = |r: usize| r % 4;
+        for ((id, l_b, _), (_, l_c, _)) in classify_steps(&net, &blocked)
+            .into_iter()
+            .zip(classify_steps(&net, &cyclic))
+        {
+            let bit = id.bit();
+            if bit < 2 {
+                assert_eq!(l_b, 8, "low steps local under blocked");
+                assert_eq!(l_c, 0, "low steps remote under cyclic");
+            } else {
+                assert_eq!(l_b, 0);
+                assert_eq!(l_c, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_renders_all_rows_and_steps() {
+        let net = BitonicNetwork::new(8);
+        let art = ascii(&net, &|r| r / 2);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 9, "header + 8 address rows");
+        assert!(
+            art.contains("o---") || art.contains("o==="),
+            "comparator glyphs present"
+        );
+        assert!(art.contains("x"), "descending comparators present");
+        assert!(art.contains("==="), "remote arcs marked");
+        assert!(lines[1].ends_with("p0"));
+        assert!(lines[8].ends_with("p3"));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let net = BitonicNetwork::new(8);
+        let g = dot(&net, &|r| r / 4);
+        assert!(g.starts_with("digraph bitonic {"));
+        assert!(g.trim_end().ends_with('}'));
+        // 6 steps × 4 comparators = 24 comparator edges.
+        assert_eq!(
+            g.matches("arrowhead=normal").count() + g.matches("arrowhead=inv").count(),
+            24
+        );
+        assert!(g.contains("penwidth=2"), "remote edges emphasized");
+    }
+
+    #[test]
+    fn single_processor_has_no_remote_arcs() {
+        let net = BitonicNetwork::new(8);
+        let counts = classify_steps(&net, &|_| 0);
+        assert!(counts.iter().all(|&(_, _, remote)| remote == 0));
+        let art = ascii(&net, &|_| 0);
+        assert!(!art.contains('='));
+    }
+}

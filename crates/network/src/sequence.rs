@@ -1,0 +1,254 @@
+//! Bitonic sequences (Definition 1) — predicates, analysis and generators.
+//!
+//! A sequence is *bitonic* if it first monotonically increases and then
+//! monotonically decreases, or if it is a cyclic shift of such a sequence
+//! (Figure 2.1). Equivalently: walking around the sequence circularly, the
+//! comparison sign between neighbours changes at most twice.
+
+use crate::Direction;
+
+/// Is `data` monotonically non-decreasing?
+#[must_use]
+pub fn is_sorted_asc<T: Ord>(data: &[T]) -> bool {
+    data.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Is `data` monotonically non-increasing?
+#[must_use]
+pub fn is_sorted_desc<T: Ord>(data: &[T]) -> bool {
+    data.windows(2).all(|w| w[0] >= w[1])
+}
+
+/// Is `data` sorted in direction `dir`?
+#[must_use]
+pub fn is_sorted<T: Ord>(data: &[T], dir: Direction) -> bool {
+    match dir {
+        Direction::Ascending => is_sorted_asc(data),
+        Direction::Descending => is_sorted_desc(data),
+    }
+}
+
+/// Is `data` a bitonic sequence in the full sense of Definition 1, i.e.
+/// including every cyclic shift of an increasing-then-decreasing sequence?
+///
+/// The test counts sign alternations of the circular neighbour differences:
+/// after discarding ties, a bitonic sequence changes comparison direction at
+/// most twice around the circle (once at the maximum, once at the minimum).
+#[must_use]
+pub fn is_bitonic<T: Ord>(data: &[T]) -> bool {
+    let n = data.len();
+    if n <= 2 {
+        return true;
+    }
+    let mut changes = 0usize;
+    let mut last_sign: Option<bool> = None; // true = rising edge
+    for i in 0..n {
+        let a = &data[i];
+        let b = &data[(i + 1) % n];
+        let sign = match a.cmp(b) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => continue,
+        };
+        if let Some(prev) = last_sign {
+            if prev != sign {
+                changes += 1;
+            }
+        }
+        last_sign = Some(sign);
+    }
+    // Close the circle: compare the final run direction with the first one.
+    // The loop above walked the full circle (index n-1 -> 0 included), so
+    // `changes` already counts the wrap-around alternation.
+    changes <= 2
+}
+
+/// Is `data` increasing-then-decreasing *without* any cyclic shift — the
+/// canonical "mountain" shape on the left of Figure 2.1?
+#[must_use]
+pub fn is_mountain<T: Ord>(data: &[T]) -> bool {
+    let n = data.len();
+    let mut i = 1;
+    while i < n && data[i - 1] <= data[i] {
+        i += 1;
+    }
+    while i < n && data[i - 1] >= data[i] {
+        i += 1;
+    }
+    i == n
+}
+
+/// Index of a minimum element of a bitonic sequence, found by linear scan.
+///
+/// This is the `O(n)` reference against which the `O(log n)` splitter search
+/// of Algorithm 2 (implemented in the `local-sorts` crate) is verified.
+#[must_use]
+pub fn min_index_linear<T: Ord>(data: &[T]) -> usize {
+    assert!(!data.is_empty());
+    let mut best = 0;
+    for i in 1..data.len() {
+        if data[i] < data[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Rotate `data` left by `k` positions (a cyclic shift, as used in
+/// Definition 1's second clause).
+pub fn rotate_left<T>(data: &mut [T], k: usize) {
+    if !data.is_empty() {
+        let k = k % data.len();
+        data.rotate_left(k);
+    }
+}
+
+/// Deterministic bitonic-sequence generators used by tests, examples and
+/// benches.
+pub mod generate {
+    use crate::Direction;
+
+    /// Build the canonical mountain: `values` sorted ascending for the first
+    /// `peak` slots and descending afterwards. `values` may contain
+    /// duplicates; all of them appear in the output.
+    #[must_use]
+    pub fn mountain(mut values: Vec<u64>, peak: usize) -> Vec<u64> {
+        let peak = peak.min(values.len());
+        values.sort_unstable();
+        let mut out = Vec::with_capacity(values.len());
+        // Ascending part takes every element at an even index of the sorted
+        // order; descending part the rest — this keeps both parts monotonic.
+        let (up, down): (Vec<_>, Vec<_>) = {
+            let mut up = Vec::with_capacity(peak);
+            let mut down = Vec::with_capacity(values.len() - peak);
+            for (i, v) in values.into_iter().enumerate() {
+                if i < peak {
+                    up.push(v);
+                } else {
+                    down.push(v);
+                }
+            }
+            (up, down)
+        };
+        // `up` is ascending already; `down` must descend and every element of
+        // the descending tail may be anything (the mountain only requires
+        // monotonicity of each side).
+        out.extend(up);
+        let mut down = down;
+        down.sort_unstable_by(|a, b| b.cmp(a));
+        out.extend(down);
+        out
+    }
+
+    /// A bitonic sequence obtained by rotating a mountain built from
+    /// `values`; `peak` and `shift` select the shape.
+    #[must_use]
+    pub fn rotated(values: Vec<u64>, peak: usize, shift: usize) -> Vec<u64> {
+        let mut m = mountain(values, peak);
+        super::rotate_left(&mut m, shift);
+        m
+    }
+
+    /// `len` distinct keys forming a mountain with the peak at `peak`.
+    #[must_use]
+    pub fn distinct_mountain(len: usize, peak: usize) -> Vec<u64> {
+        mountain((0..len as u64).collect(), peak)
+    }
+
+    /// A pair of sorted runs (first ascending, second descending) whose
+    /// concatenation is bitonic — the input shape of each merge stage
+    /// (Lemma 6).
+    #[must_use]
+    pub fn alternating_runs(values: Vec<u64>, first: Direction) -> Vec<u64> {
+        let mid = values.len() / 2;
+        let mut v = values;
+        v.sort_unstable();
+        let (lo, hi) = v.split_at(mid);
+        let mut out = Vec::with_capacity(v.len());
+        match first {
+            Direction::Ascending => {
+                out.extend_from_slice(lo);
+                let mut hi = hi.to_vec();
+                hi.reverse();
+                out.extend(hi);
+            }
+            Direction::Descending => {
+                let mut lo = lo.to_vec();
+                lo.reverse();
+                out.extend(lo);
+                out.extend_from_slice(hi);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thesis_examples_are_bitonic() {
+        // The two examples given right after Definition 1.
+        let a = [2, 3, 4, 5, 6, 7, 8, 8, 7, 5, 3, 2, 1];
+        let b = [6, 7, 8, 8, 7, 5, 3, 2, 1, 2, 3, 4, 5];
+        assert!(is_bitonic(&a));
+        assert!(is_bitonic(&b));
+        assert!(is_mountain(&a));
+        assert!(!is_mountain(&b));
+    }
+
+    #[test]
+    fn sorted_sequences_are_bitonic() {
+        assert!(is_bitonic(&[1, 2, 3, 4]));
+        assert!(is_bitonic(&[4, 3, 2, 1]));
+        assert!(is_bitonic(&[5, 5, 5]));
+        assert!(is_bitonic::<i32>(&[]));
+        assert!(is_bitonic(&[1]));
+    }
+
+    #[test]
+    fn zigzag_is_not_bitonic() {
+        assert!(!is_bitonic(&[1, 3, 1, 3]));
+        assert!(!is_bitonic(&[0, 2, 0, 2, 0, 2]));
+        assert!(!is_bitonic(&[5, 1, 4, 2, 3]));
+    }
+
+    #[test]
+    fn every_rotation_of_a_mountain_is_bitonic() {
+        let m = generate::distinct_mountain(16, 9);
+        for shift in 0..m.len() {
+            let mut r = m.clone();
+            rotate_left(&mut r, shift);
+            assert!(is_bitonic(&r), "rotation by {shift} should stay bitonic");
+        }
+    }
+
+    #[test]
+    fn min_index_linear_finds_minimum() {
+        let m = generate::rotated((0..32).collect(), 20, 7);
+        let idx = min_index_linear(&m);
+        assert_eq!(m[idx], *m.iter().min().unwrap());
+    }
+
+    #[test]
+    fn alternating_runs_shape() {
+        let v = generate::alternating_runs((0..16).collect(), Direction::Ascending);
+        assert!(is_sorted_asc(&v[..8]));
+        assert!(is_sorted_desc(&v[8..]));
+        assert!(is_bitonic(&v));
+    }
+
+    #[test]
+    fn is_sorted_direction_dispatch() {
+        assert!(is_sorted(&[1, 2, 3], Direction::Ascending));
+        assert!(!is_sorted(&[1, 2, 3], Direction::Descending));
+        assert!(is_sorted(&[3, 2, 2], Direction::Descending));
+    }
+
+    #[test]
+    fn two_element_sequences_always_bitonic() {
+        assert!(is_bitonic(&[1, 2]));
+        assert!(is_bitonic(&[2, 1]));
+    }
+}

@@ -1,0 +1,104 @@
+//! The bitonic split (Definition 2).
+//!
+//! Given a bitonic sequence of even length `n`, a split compare-exchanges
+//! element `i` with element `i + n/2`. The two halves that result are both
+//! bitonic, and every element of the first half is `<=` every element of the
+//! second (for an ascending split; the reverse for a descending one).
+
+use crate::{compare_exchange, Direction};
+
+/// Perform one in-place bitonic split on `data`.
+///
+/// After the call, for an [ascending](Direction::Ascending) split,
+/// `data[..n/2]` holds the element-wise minima and `data[n/2..]` the maxima
+/// of the pairs `(data[i], data[i + n/2])` — the sequences `s1` and `s2` of
+/// Definition 2.
+///
+/// # Panics
+/// Panics if `data.len()` is odd.
+pub fn bitonic_split<T: Ord>(data: &mut [T], dir: Direction) {
+    let n = data.len();
+    assert!(
+        n.is_multiple_of(2),
+        "bitonic split needs an even-length sequence"
+    );
+    let half = n / 2;
+    for i in 0..half {
+        compare_exchange(data, i, i + half, dir);
+    }
+}
+
+/// Split `data` and return the two halves as fresh vectors (`(s1, s2)`),
+/// leaving the input untouched. Convenience wrapper used in examples and
+/// tests that want to inspect both halves.
+#[must_use]
+pub fn bitonic_split_copy<T: Ord + Clone>(data: &[T], dir: Direction) -> (Vec<T>, Vec<T>) {
+    let mut owned: Vec<T> = data.to_vec();
+    bitonic_split(&mut owned, dir);
+    let hi = owned.split_off(owned.len() / 2);
+    (owned, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::{generate, is_bitonic};
+
+    fn check_split_properties(input: &[u64]) {
+        assert!(is_bitonic(input), "precondition: input must be bitonic");
+        let (s1, s2) = bitonic_split_copy(input, Direction::Ascending);
+        // Property 1 of Definition 2: both halves are bitonic.
+        assert!(is_bitonic(&s1), "s1 not bitonic: {s1:?} from {input:?}");
+        assert!(is_bitonic(&s2), "s2 not bitonic: {s2:?} from {input:?}");
+        // Property 2: max(s1) <= min(s2).
+        if let (Some(max1), Some(min2)) = (s1.iter().max(), s2.iter().min()) {
+            assert!(max1 <= min2, "split halves overlap: {s1:?} | {s2:?}");
+        }
+        // The split permutes the input.
+        let mut all: Vec<u64> = s1.iter().chain(s2.iter()).copied().collect();
+        all.sort_unstable();
+        let mut orig = input.to_vec();
+        orig.sort_unstable();
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn split_fundamental_properties_on_rotations() {
+        for len in [2usize, 4, 8, 16, 64] {
+            for peak in [0, len / 3, len / 2, len - 1] {
+                let m = generate::distinct_mountain(len, peak);
+                for shift in 0..len {
+                    let mut r = m.clone();
+                    crate::sequence::rotate_left(&mut r, shift);
+                    check_split_properties(&r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_with_duplicates() {
+        check_split_properties(&[1, 3, 3, 7, 7, 3, 3, 1]);
+        check_split_properties(&[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn descending_split_reverses_halves() {
+        let input = [1u64, 4, 6, 7, 5, 3, 2, 0];
+        let (s1, s2) = bitonic_split_copy(&input, Direction::Descending);
+        assert!(s1.iter().min() >= s2.iter().max());
+    }
+
+    #[test]
+    #[should_panic(expected = "even-length")]
+    fn odd_length_rejected() {
+        let mut v = [1, 2, 3];
+        bitonic_split(&mut v, Direction::Ascending);
+    }
+
+    #[test]
+    fn empty_split_is_noop() {
+        let mut v: [u32; 0] = [];
+        bitonic_split(&mut v, Direction::Ascending);
+    }
+}

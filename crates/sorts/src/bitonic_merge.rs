@@ -1,0 +1,200 @@
+//! The `O(n)` bitonic merge sort of Section 4.2.
+//!
+//! "For a bitonic input sequence, the fastest way to sort it is to use a
+//! merge sort instead of simulating the last stage of a bitonic sorting
+//! network. This consists of two phases: first the minimum element of the
+//! bitonic sequence is found, and second we use mergesort to merge the keys
+//! to the left and right of the minimum."
+//!
+//! Viewed circularly, the keys starting at the minimum and walking forward
+//! form one ascending run, and the keys walking *backward* from the minimum
+//! form the other; a single two-pointer circular merge produces the sorted
+//! output in `n − 1` comparisons (Lemma 9: `O(n)` vs `O(n log n)` for the
+//! comparator network).
+
+use crate::bitonic_min::bitonic_min_index;
+use bitonic_network::Direction;
+
+/// Sort the bitonic sequence `data` in place, in direction `dir`.
+///
+/// Allocates a scratch buffer; use [`sort_bitonic_with_scratch`] in hot
+/// loops. The result is unspecified if `data` is not bitonic (use
+/// [`bitonic_network::is_bitonic`] to validate in debug paths).
+///
+/// ```
+/// use local_sorts::{sort_bitonic, Direction};
+/// let mut v = vec![4, 7, 9, 6, 2, 1, 0, 3]; // bitonic (cyclic shift)
+/// sort_bitonic(&mut v, Direction::Ascending);
+/// assert_eq!(v, vec![0, 1, 2, 3, 4, 6, 7, 9]);
+/// ```
+pub fn sort_bitonic<T: Ord + Copy>(data: &mut [T], dir: Direction) {
+    let mut scratch = Vec::new();
+    sort_bitonic_with_scratch(data, &mut scratch, dir);
+}
+
+/// Sort the bitonic sequence `data` in place using a caller-provided
+/// scratch buffer (cleared and refilled; capacity is reused).
+pub fn sort_bitonic_with_scratch<T: Ord + Copy>(
+    data: &mut [T],
+    scratch: &mut Vec<T>,
+    dir: Direction,
+) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let start = bitonic_min_index(data);
+    scratch.clear();
+    scratch.reserve(n);
+    merge_circular_into(data, start, scratch);
+    match dir {
+        Direction::Ascending => data.copy_from_slice(scratch),
+        Direction::Descending => {
+            for (slot, &v) in data.iter_mut().zip(scratch.iter().rev()) {
+                *slot = v;
+            }
+        }
+    }
+}
+
+/// Sort the bitonic sequence `src` into `out` (appended), ascending.
+///
+/// This is the allocation-free core used by the fused
+/// sort-and-pack path of Section 4.3.
+pub fn sort_bitonic_into<T: Ord + Copy>(src: &[T], out: &mut Vec<T>) {
+    let n = src.len();
+    if n == 0 {
+        return;
+    }
+    let start = bitonic_min_index(src);
+    merge_circular_into(src, start, out);
+}
+
+/// Two-pointer circular merge: `i` walks forward from the minimum through
+/// the ascending region, `j` walks backward from the minimum through the
+/// (reversed) descending region; both converge on the maximum.
+fn merge_circular_into<T: Ord + Copy>(data: &[T], min_idx: usize, out: &mut Vec<T>) {
+    let n = data.len();
+    let before = out.len();
+    let mut i = min_idx;
+    let mut j = (min_idx + n - 1) % n;
+    for _ in 0..n {
+        if i == j {
+            out.push(data[i]);
+            break;
+        }
+        if data[i] <= data[j] {
+            out.push(data[i]);
+            i = (i + 1) % n;
+        } else {
+            out.push(data[j]);
+            j = (j + n - 1) % n;
+        }
+    }
+    debug_assert_eq!(out.len() - before, n, "merge must emit exactly n elements");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitonic_network::sequence::{generate, is_sorted, rotate_left};
+    use bitonic_network::{bitonic_merge, is_bitonic};
+    use proptest::prelude::*;
+
+    fn check_both_directions(input: &[u64]) {
+        assert!(is_bitonic(input), "precondition violated: {input:?}");
+        for dir in [Direction::Ascending, Direction::Descending] {
+            let mut v = input.to_vec();
+            sort_bitonic(&mut v, dir);
+            assert!(
+                is_sorted(&v, dir),
+                "not sorted {dir:?}: {v:?} from {input:?}"
+            );
+            let mut a = v.clone();
+            let mut b = input.to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "output is not a permutation of the input");
+        }
+    }
+
+    #[test]
+    fn rotations_of_mountains() {
+        for len in [1usize, 2, 3, 8, 17, 64] {
+            let m = generate::distinct_mountain(len, len / 2);
+            for shift in 0..len {
+                let mut r = m.clone();
+                rotate_left(&mut r, shift);
+                check_both_directions(&r);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs() {
+        check_both_directions(&[1, 1, 2, 1]);
+        check_both_directions(&[5, 5, 5, 5]);
+        check_both_directions(&[3, 3, 7, 7, 7, 3]);
+        check_both_directions(&[0, 9, 0]);
+    }
+
+    #[test]
+    fn agrees_with_network_bitonic_merge() {
+        // The O(n) merge sort must produce exactly what the comparator
+        // butterfly produces (both are stable-free sorts of the same keys).
+        for shift in [0usize, 5, 31, 63] {
+            let input = generate::rotated((0..64).collect(), 40, shift);
+            let mut fast = input.clone();
+            sort_bitonic(&mut fast, Direction::Ascending);
+            let mut reference = input;
+            bitonic_merge(&mut reference, Direction::Ascending);
+            assert_eq!(fast, reference);
+        }
+    }
+
+    #[test]
+    fn sort_into_appends() {
+        let mut out = vec![99u64];
+        sort_bitonic_into(&[3, 7, 5, 1], &mut out);
+        assert_eq!(out, vec![99, 1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn scratch_capacity_reused() {
+        let mut scratch: Vec<u64> = Vec::new();
+        let mut v = generate::distinct_mountain(128, 50);
+        sort_bitonic_with_scratch(&mut v, &mut scratch, Direction::Ascending);
+        let cap = scratch.capacity();
+        let mut v2 = generate::distinct_mountain(128, 90);
+        sort_bitonic_with_scratch(&mut v2, &mut scratch, Direction::Descending);
+        assert_eq!(scratch.capacity(), cap, "scratch should not reallocate");
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bitonic_sequences(
+            values in proptest::collection::vec(any::<u64>(), 1..200),
+            peak_frac in 0.0f64..1.0,
+            shift_frac in 0.0f64..1.0,
+        ) {
+            let len = values.len();
+            let peak = ((len as f64) * peak_frac) as usize;
+            let shift = ((len as f64) * shift_frac) as usize;
+            let m = generate::rotated(values, peak, shift);
+            check_both_directions(&m);
+        }
+
+        #[test]
+        fn low_entropy_bitonic_sequences(
+            values in proptest::collection::vec(0u64..4, 1..100),
+            peak_frac in 0.0f64..1.0,
+            shift_frac in 0.0f64..1.0,
+        ) {
+            let len = values.len();
+            let peak = ((len as f64) * peak_frac) as usize;
+            let shift = ((len as f64) * shift_frac) as usize;
+            let m = generate::rotated(values, peak, shift);
+            check_both_directions(&m);
+        }
+    }
+}

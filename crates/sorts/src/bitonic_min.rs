@@ -1,0 +1,252 @@
+//! Algorithm 2: find the minimum of a bitonic sequence in `O(log n)` time.
+//!
+//! A bitonic sequence can be viewed circularly (Figure 4.6): it has one
+//! ascending and one descending region, hence a unique minimum "valley" when
+//! elements are distinct. The algorithm keeps a circular arc guaranteed to
+//! contain the minimum, bounded by three splitters `l — m — r` with
+//! `data[m] <= data[l]` and `data[m] <= data[r]`, and halves it per round by
+//! probing the midpoints of the two sub-arcs (Figure 4.7).
+//!
+//! Per Lemma 8 the logarithmic bound requires distinct elements; whenever a
+//! probe triple contains a tie the search falls back to a linear scan of the
+//! remaining arc, exactly as prescribed at the end of Section 4.2.
+
+/// How the minimum was located, for diagnostics and the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinSearchStats {
+    /// Number of splitter-comparison rounds executed.
+    pub rounds: u32,
+    /// Number of element comparisons performed.
+    pub comparisons: usize,
+    /// Whether duplicate splitters forced the linear fallback.
+    pub fell_back_to_linear: bool,
+}
+
+/// Index of a minimum element of the bitonic sequence `data`.
+///
+/// `O(log n)` for duplicate-free inputs; degrades gracefully to `O(n)` when
+/// ties among probed splitters are encountered.
+///
+/// ```
+/// use local_sorts::bitonic_min_index;
+/// let v = [6, 8, 9, 7, 5, 3, 1, 2, 4]; // valley at index 6
+/// assert_eq!(bitonic_min_index(&v), 6);
+/// ```
+///
+/// # Panics
+/// Panics if `data` is empty. The result is unspecified (but still the index
+/// of *some* element) if `data` is not bitonic.
+#[must_use]
+pub fn bitonic_min_index<T: Ord>(data: &[T]) -> usize {
+    bitonic_min_index_with_stats(data).0
+}
+
+/// As [`bitonic_min_index`], additionally reporting search statistics.
+#[must_use]
+pub fn bitonic_min_index_with_stats<T: Ord>(data: &[T]) -> (usize, MinSearchStats) {
+    assert!(
+        !data.is_empty(),
+        "cannot take the minimum of an empty sequence"
+    );
+    let n = data.len();
+    let mut stats = MinSearchStats {
+        rounds: 0,
+        comparisons: 0,
+        fell_back_to_linear: false,
+    };
+    if n <= 3 {
+        stats.comparisons = n.saturating_sub(1);
+        return (min_of_arc(data, 0, n), stats);
+    }
+
+    // Circular arc arithmetic: the arc from `a` to `b` going forward.
+    let arc_len = |a: usize, b: usize| -> usize { (b + n - a) % n };
+    let mid = |a: usize, b: usize| -> usize { (a + arc_len(a, b) / 2) % n };
+
+    // Step 1: three splitters at thirds of the circle; relabel so `m` is the
+    // strict minimum of the three. The true minimum then lies on the arc
+    // l -> m -> r (the arc avoiding `m` cannot contain it).
+    let (s0, s1, s2) = (0usize, n / 3, 2 * n / 3);
+    stats.comparisons += 2;
+    let (mut l, mut m, mut r) = match strict_argmin3(data, s0, s1, s2) {
+        Some(0) => (s2, s0, s1),
+        Some(1) => (s0, s1, s2),
+        Some(2) => (s1, s2, s0),
+        Some(_) => unreachable!("strict_argmin3 returns indices 0..3"),
+        None => {
+            stats.fell_back_to_linear = true;
+            return (min_of_arc(data, 0, n), stats);
+        }
+    };
+
+    // Step 2, iterated: probe midpoints x of (l, m) and y of (m, r).
+    while arc_len(l, r) > 3 {
+        stats.rounds += 1;
+        let x = mid(l, m);
+        let y = mid(m, r);
+        // Degenerate sub-arc (x == m or y == m) still shrinks below.
+        stats.comparisons += 2;
+        match strict_argmin3(data, x, m, y) {
+            Some(0) => {
+                // min = x: restrict to [l, x] and [x, m].
+                r = m;
+                m = x;
+            }
+            Some(1) => {
+                // min = m: restrict to [x, m] and [m, y].
+                l = x;
+                r = y;
+            }
+            Some(2) => {
+                // min = y: restrict to [m, y] and [y, r].
+                l = m;
+                m = y;
+            }
+            Some(_) => unreachable!("strict_argmin3 returns indices 0..3"),
+            None => {
+                // Two equal minimum splitters: sequential search on the
+                // remaining interval (Section 4.2).
+                stats.fell_back_to_linear = true;
+                let len = arc_len(l, r) + 1;
+                stats.comparisons += len.saturating_sub(1);
+                return (min_of_arc(data, l, len), stats);
+            }
+        }
+    }
+    let len = arc_len(l, r) + 1;
+    stats.comparisons += len.saturating_sub(1);
+    (min_of_arc(data, l, len), stats)
+}
+
+/// Index (into `data`) of the minimum over the circular arc of `len`
+/// elements starting at `start`.
+fn min_of_arc<T: Ord>(data: &[T], start: usize, len: usize) -> usize {
+    let n = data.len();
+    let mut best = start % n;
+    for off in 1..len {
+        let i = (start + off) % n;
+        if data[i] < data[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Which of the three indices holds the strict minimum, or `None` when the
+/// minimum value is attained by two or more of them.
+fn strict_argmin3<T: Ord>(data: &[T], a: usize, b: usize, c: usize) -> Option<usize> {
+    use std::cmp::Ordering::*;
+    let (va, vb, vc) = (&data[a], &data[b], &data[c]);
+    match (va.cmp(vb), va.cmp(vc), vb.cmp(vc)) {
+        (Less, Less, _) => Some(0),
+        (Greater, _, Less) => Some(1),
+        (_, Greater, Greater) => Some(2),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitonic_network::sequence::{generate, min_index_linear, rotate_left};
+    use proptest::prelude::*;
+
+    fn check(data: &[u64]) {
+        let expect = data[min_index_linear(data)];
+        let (idx, _) = bitonic_min_index_with_stats(data);
+        assert_eq!(data[idx], expect, "wrong min for {data:?}");
+    }
+
+    #[test]
+    fn all_rotations_of_distinct_mountains() {
+        for len in [4usize, 5, 8, 16, 33, 64, 100] {
+            for peak in [0, 1, len / 2, len - 1] {
+                let m = generate::distinct_mountain(len, peak);
+                for shift in 0..len {
+                    let mut r = m.clone();
+                    rotate_left(&mut r, shift);
+                    check(&r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logarithmic_on_distinct_elements() {
+        // For a million distinct elements, the search must use O(log n)
+        // comparisons, not O(n).
+        let m = generate::rotated((0..1_000_000).collect(), 700_000, 123_456);
+        let (idx, stats) = bitonic_min_index_with_stats(&m);
+        assert_eq!(m[idx], 0);
+        assert!(!stats.fell_back_to_linear);
+        assert!(
+            stats.comparisons < 200,
+            "expected O(log n) comparisons, got {}",
+            stats.comparisons
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_sequences_fall_back_correctly() {
+        check(&[5, 5, 5, 5, 5]);
+        check(&[1, 1, 2, 1]);
+        check(&[3, 3, 3, 1, 3]);
+        check(&[0, 0, 5, 0]);
+        check(&[5, 0, 5, 6, 7, 8, 8, 8, 8, 8, 8, 8]);
+        check(&[2, 1, 2, 3, 3, 2]);
+    }
+
+    #[test]
+    fn tiny_sequences() {
+        check(&[7]);
+        check(&[7, 3]);
+        check(&[3, 7]);
+        check(&[2, 9, 4]);
+    }
+
+    #[test]
+    fn sorted_and_reverse_sorted() {
+        check(&(0..100).collect::<Vec<_>>());
+        check(&(0..100).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_report_rounds() {
+        let m = generate::distinct_mountain(1024, 600);
+        let (_, stats) = bitonic_min_index_with_stats(&m);
+        assert!(stats.rounds >= 1);
+        assert!(
+            stats.rounds <= 20,
+            "1024 elements need ~10 rounds, got {}",
+            stats.rounds
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn random_rotated_mountains(
+            len in 1usize..200,
+            peak_frac in 0.0f64..1.0,
+            shift_frac in 0.0f64..1.0,
+        ) {
+            let peak = ((len as f64) * peak_frac) as usize;
+            let shift = ((len as f64) * shift_frac) as usize;
+            let m = generate::rotated((0..len as u64).collect(), peak, shift);
+            check(&m);
+        }
+
+        #[test]
+        fn random_mountains_with_duplicates(
+            values in proptest::collection::vec(0u64..8, 1..80),
+            peak_frac in 0.0f64..1.0,
+            shift_frac in 0.0f64..1.0,
+        ) {
+            let len = values.len();
+            let peak = ((len as f64) * peak_frac) as usize;
+            let shift = ((len as f64) * shift_frac) as usize;
+            let m = generate::rotated(values, peak, shift);
+            prop_assert!(bitonic_network::is_bitonic(&m));
+            check(&m);
+        }
+    }
+}

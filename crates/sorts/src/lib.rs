@@ -1,0 +1,145 @@
+//! Local computation routines of Chapter 4 (*Optimizing Computation*).
+//!
+//! On a coarse-grained machine each processor holds `n = N/P` keys, and the
+//! thesis replaces the naive simulation of compare-exchange steps with much
+//! faster local routines that exploit the special format of the data at
+//! each column of the network:
+//!
+//! * [`radix`] — LSD radix sort, used for the first `lg n` stages and as the
+//!   general-purpose local sort (Section 4.4);
+//! * [`bitonic_min`] — Algorithm 2, finding the minimum of a bitonic
+//!   sequence in `O(log n)` time;
+//! * [`bitonic_merge`] — the `O(n)` *bitonic merge sort* of Section 4.2
+//!   (find the minimum, then merge the two circular monotonic runs);
+//! * [`pway_merge`] — p-way merging of the alternating sorted runs produced
+//!   by the packing of long messages (Section 4.3).
+//!
+//! All routines support both sort directions because merge blocks of the
+//! bitonic network alternate between increasing and decreasing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic_merge;
+pub mod bitonic_min;
+pub mod merge;
+pub mod pway_merge;
+pub mod radix;
+
+pub use bitonic_merge::{sort_bitonic, sort_bitonic_with_scratch};
+pub use bitonic_min::bitonic_min_index;
+pub use bitonic_network::Direction;
+pub use radix::radix_sort;
+
+/// An unsigned key type sortable by the LSD radix sort.
+///
+/// The thesis sorts uniformly distributed 31-bit keys ("random,
+/// uniformly-distributed 32-bit keys … in the range 0 through 2³¹ − 1",
+/// Section 5.3); we additionally support 64-bit keys.
+pub trait RadixKey: Copy + Ord + Send + Sync + 'static {
+    /// Number of radix passes of [`Self::DIGIT_BITS`] bits each.
+    const PASSES: u32;
+    /// Width of one radix digit in bits.
+    const DIGIT_BITS: u32 = 8;
+    /// Extract digit `pass` (0 = least significant).
+    fn digit(self, pass: u32) -> usize;
+}
+
+impl RadixKey for u32 {
+    const PASSES: u32 = 4;
+    #[inline]
+    fn digit(self, pass: u32) -> usize {
+        ((self >> (pass * Self::DIGIT_BITS)) & 0xFF) as usize
+    }
+}
+
+impl RadixKey for u64 {
+    const PASSES: u32 = 8;
+    #[inline]
+    fn digit(self, pass: u32) -> usize {
+        ((self >> (pass * Self::DIGIT_BITS)) & 0xFF) as usize
+    }
+}
+
+impl RadixKey for u16 {
+    const PASSES: u32 = 2;
+    #[inline]
+    fn digit(self, pass: u32) -> usize {
+        usize::from((self >> (pass * Self::DIGIT_BITS)) & 0xFF)
+    }
+}
+
+// Signed keys: flipping the sign bit maps i32/i64 order-preservingly onto
+// u32/u64, so the same byte-wise digits sort them correctly.
+impl RadixKey for i32 {
+    const PASSES: u32 = 4;
+    #[inline]
+    fn digit(self, pass: u32) -> usize {
+        ((self as u32 ^ 0x8000_0000) >> (pass * Self::DIGIT_BITS)) as usize & 0xFF
+    }
+}
+
+impl RadixKey for i64 {
+    const PASSES: u32 = 8;
+    #[inline]
+    fn digit(self, pass: u32) -> usize {
+        (((self as u64 ^ 0x8000_0000_0000_0000) >> (pass * Self::DIGIT_BITS)) & 0xFF) as usize
+    }
+}
+
+/// Sort `data` in `dir` using the fastest applicable local routine
+/// (radix sort; descending output is produced by an ascending sort plus a
+/// reversal, which stays `O(n)`).
+pub fn local_sort<K: RadixKey>(data: &mut [K], dir: Direction) {
+    radix::radix_sort(data);
+    if dir == Direction::Descending {
+        data.reverse();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_of_u32() {
+        let k: u32 = 0xAABBCCDD;
+        assert_eq!(k.digit(0), 0xDD);
+        assert_eq!(k.digit(1), 0xCC);
+        assert_eq!(k.digit(2), 0xBB);
+        assert_eq!(k.digit(3), 0xAA);
+    }
+
+    #[test]
+    fn digits_of_u64() {
+        let k: u64 = 0x0102030405060708;
+        assert_eq!(k.digit(0), 0x08);
+        assert_eq!(k.digit(7), 0x01);
+    }
+
+    #[test]
+    fn signed_keys_sort_across_zero() {
+        let mut v: Vec<i32> = vec![5, -1, i32::MIN, 0, i32::MAX, -7];
+        local_sort(&mut v, Direction::Ascending);
+        assert_eq!(v, vec![i32::MIN, -7, -1, 0, 5, i32::MAX]);
+        let mut v: Vec<i64> = vec![1, -1, 0, i64::MIN, i64::MAX];
+        local_sort(&mut v, Direction::Ascending);
+        assert_eq!(v, vec![i64::MIN, -1, 0, 1, i64::MAX]);
+    }
+
+    #[test]
+    fn u16_keys_sort() {
+        let mut v: Vec<u16> = vec![500, 3, u16::MAX, 256, 255];
+        local_sort(&mut v, Direction::Ascending);
+        assert_eq!(v, vec![3, 255, 256, 500, u16::MAX]);
+    }
+
+    #[test]
+    fn local_sort_both_directions() {
+        let mut v: Vec<u32> = vec![5, 1, 9, 1, 7];
+        local_sort(&mut v, Direction::Ascending);
+        assert_eq!(v, vec![1, 1, 5, 7, 9]);
+        local_sort(&mut v, Direction::Descending);
+        assert_eq!(v, vec![9, 7, 5, 1, 1]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Two-way merging of sorted runs.
+//!
+//! The remap phases of the smart algorithm deliver data as sorted runs
+//! (Lemma 6 / Section 4.3); merging them is `O(n)` and replaces the
+//! compare-exchange simulation. Runs may arrive in either direction, so the
+//! merge accepts a direction tag per input run and a direction for the
+//! output.
+
+use bitonic_network::Direction;
+
+/// A sorted run with its direction, borrowed from a larger buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Run<'a, T> {
+    /// The keys; sorted according to `dir`.
+    pub data: &'a [T],
+    /// Which way `data` is sorted.
+    pub dir: Direction,
+}
+
+impl<'a, T> Run<'a, T> {
+    /// An ascending run.
+    #[must_use]
+    pub fn asc(data: &'a [T]) -> Self {
+        Run {
+            data,
+            dir: Direction::Ascending,
+        }
+    }
+
+    /// A descending run.
+    #[must_use]
+    pub fn desc(data: &'a [T]) -> Self {
+        Run {
+            data,
+            dir: Direction::Descending,
+        }
+    }
+
+    /// Iterate the run in ascending order regardless of its storage order.
+    fn iter_asc(&self) -> RunIter<'a, T> {
+        RunIter {
+            data: self.data,
+            dir: self.dir,
+            next: 0,
+        }
+    }
+}
+
+struct RunIter<'a, T> {
+    data: &'a [T],
+    dir: Direction,
+    next: usize,
+}
+
+impl<'a, T> Iterator for RunIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        if self.next >= self.data.len() {
+            return None;
+        }
+        let idx = match self.dir {
+            Direction::Ascending => self.next,
+            Direction::Descending => self.data.len() - 1 - self.next,
+        };
+        self.next += 1;
+        Some(&self.data[idx])
+    }
+}
+
+/// Merge two sorted runs into `out` (cleared first), sorted in `out_dir`.
+pub fn merge_two_into<T: Ord + Copy>(
+    a: Run<'_, T>,
+    b: Run<'_, T>,
+    out_dir: Direction,
+    out: &mut Vec<T>,
+) {
+    out.clear();
+    out.reserve(a.data.len() + b.data.len());
+    let mut ia = a.iter_asc().peekable();
+    let mut ib = b.iter_asc().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    out.push(*x);
+                    ia.next();
+                } else {
+                    out.push(*y);
+                    ib.next();
+                }
+            }
+            (Some(&x), None) => {
+                out.push(*x);
+                ia.next();
+            }
+            (None, Some(&y)) => {
+                out.push(*y);
+                ib.next();
+            }
+            (None, None) => break,
+        }
+    }
+    if out_dir == Direction::Descending {
+        out.reverse();
+    }
+}
+
+/// Merge two sorted runs, returning a fresh vector.
+#[must_use]
+pub fn merge_two<T: Ord + Copy>(a: Run<'_, T>, b: Run<'_, T>, out_dir: Direction) -> Vec<T> {
+    let mut out = Vec::new();
+    merge_two_into(a, b, out_dir, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitonic_network::sequence::{is_sorted_asc, is_sorted_desc};
+    use proptest::prelude::*;
+
+    #[test]
+    fn merges_opposed_runs() {
+        let out = merge_two(
+            Run::asc(&[1, 4, 6]),
+            Run::desc(&[9, 5, 2]),
+            Direction::Ascending,
+        );
+        assert_eq!(out, vec![1, 2, 4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn descending_output() {
+        let out = merge_two(
+            Run::asc(&[1, 4, 6]),
+            Run::asc(&[2, 5]),
+            Direction::Descending,
+        );
+        assert_eq!(out, vec![6, 5, 4, 2, 1]);
+    }
+
+    #[test]
+    fn empty_runs() {
+        let empty: [u32; 0] = [];
+        let out = merge_two(Run::asc(&empty), Run::desc(&[3, 1]), Direction::Ascending);
+        assert_eq!(out, vec![1, 3]);
+        let out = merge_two(Run::asc(&empty), Run::asc(&empty), Direction::Ascending);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_is_stable_on_ties() {
+        let out = merge_two(
+            Run::asc(&[2, 2, 2]),
+            Run::asc(&[2, 2]),
+            Direction::Ascending,
+        );
+        assert_eq!(out, vec![2, 2, 2, 2, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sort(
+            mut a in proptest::collection::vec(any::<u32>(), 0..100),
+            mut b in proptest::collection::vec(any::<u32>(), 0..100),
+            a_desc: bool,
+            b_desc: bool,
+            out_desc: bool,
+        ) {
+            a.sort_unstable();
+            b.sort_unstable();
+            if a_desc { a.reverse(); }
+            if b_desc { b.reverse(); }
+            let ra = if a_desc { Run::desc(&a) } else { Run::asc(&a) };
+            let rb = if b_desc { Run::desc(&b) } else { Run::asc(&b) };
+            let dir = if out_desc { Direction::Descending } else { Direction::Ascending };
+            let out = merge_two(ra, rb, dir);
+            prop_assert_eq!(out.len(), a.len() + b.len());
+            if out_desc {
+                prop_assert!(is_sorted_desc(&out));
+            } else {
+                prop_assert!(is_sorted_asc(&out));
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! p-way merging of sorted runs (Section 4.3).
+//!
+//! After a long-message remap, the local data is a concatenation of sorted
+//! runs — one per sending processor, the first half of them increasing and
+//! the second half decreasing ("we will have `2^{k−1}` increasing sequences
+//! and `2^{k−1}` decreasing sequences"). The thesis eliminates the unpack
+//! phase by merging those runs directly with a fast p-way merge.
+//!
+//! The implementation uses a binary heap of run cursors (a tournament among
+//! run heads), giving `O(n log p)` comparisons for `n` total elements in
+//! `p` runs.
+
+use crate::merge::Run;
+use bitonic_network::Direction;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Merge `runs` into `out` (cleared first), sorted in `out_dir`.
+///
+/// Each input run carries its own direction; runs may be empty.
+pub fn pway_merge_into<T: Ord + Copy>(runs: &[Run<'_, T>], out_dir: Direction, out: &mut Vec<T>) {
+    out.clear();
+    let total: usize = runs.iter().map(|r| r.data.len()).sum();
+    out.reserve(total);
+
+    // Heap entries: (key, run index, position-within-run counted in
+    // ascending order). Run index breaks ties deterministically.
+    let mut heap: BinaryHeap<Reverse<(T, usize, usize)>> = BinaryHeap::with_capacity(runs.len());
+    let key_at = |run: &Run<'_, T>, pos: usize| -> T {
+        match run.dir {
+            Direction::Ascending => run.data[pos],
+            Direction::Descending => run.data[run.data.len() - 1 - pos],
+        }
+    };
+    for (ri, run) in runs.iter().enumerate() {
+        if !run.data.is_empty() {
+            heap.push(Reverse((key_at(run, 0), ri, 0)));
+        }
+    }
+    while let Some(Reverse((key, ri, pos))) = heap.pop() {
+        out.push(key);
+        let next = pos + 1;
+        if next < runs[ri].data.len() {
+            heap.push(Reverse((key_at(&runs[ri], next), ri, next)));
+        }
+    }
+    if out_dir == Direction::Descending {
+        out.reverse();
+    }
+}
+
+/// Merge equally sized chunks of `data` — `runs` contiguous runs of length
+/// `data.len() / runs` — where the first half of the runs is sorted
+/// ascending and the second half descending (the post-remap layout of
+/// Section 4.3). Returns the merged, `out_dir`-sorted vector.
+#[must_use]
+pub fn merge_half_asc_half_desc<T: Ord + Copy>(
+    data: &[T],
+    runs: usize,
+    out_dir: Direction,
+) -> Vec<T> {
+    assert!(
+        runs >= 1 && data.len().is_multiple_of(runs),
+        "data must split evenly into runs"
+    );
+    let run_len = data.len() / runs;
+    let run_views: Vec<Run<'_, T>> = data
+        .chunks(run_len)
+        .enumerate()
+        .map(|(i, chunk)| {
+            if i < runs / 2 || runs == 1 {
+                Run::asc(chunk)
+            } else {
+                Run::desc(chunk)
+            }
+        })
+        .collect();
+    let mut out = Vec::new();
+    pway_merge_into(&run_views, out_dir, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitonic_network::sequence::{is_sorted, is_sorted_asc};
+    use proptest::prelude::*;
+
+    #[test]
+    fn merges_four_mixed_runs() {
+        let a = [1u32, 5, 9];
+        let b = [2u32, 6];
+        let c = [8u32, 4, 0];
+        let d: [u32; 0] = [];
+        let mut out = Vec::new();
+        pway_merge_into(
+            &[Run::asc(&a), Run::asc(&b), Run::desc(&c), Run::asc(&d)],
+            Direction::Ascending,
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn single_run_pass_through() {
+        let a = [1u32, 2, 3];
+        let mut out = Vec::new();
+        pway_merge_into(&[Run::asc(&a)], Direction::Ascending, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn no_runs_yields_empty() {
+        let mut out: Vec<u32> = vec![7];
+        pway_merge_into::<u32>(&[], Direction::Ascending, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn half_asc_half_desc_shape() {
+        // 4 runs of 4: first two ascending, last two descending.
+        let data = [0u32, 2, 4, 6, 1, 3, 5, 7, 15, 13, 11, 9, 14, 12, 10, 8];
+        let out = merge_half_asc_half_desc(&data, 4, Direction::Ascending);
+        assert_eq!(out, (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn descending_output_direction() {
+        let data = [0u32, 1, 3, 2];
+        let out = merge_half_asc_half_desc(&data, 2, Direction::Descending);
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_flat_sort(
+            chunks in proptest::collection::vec(
+                proptest::collection::vec(any::<u32>(), 0..40), 0..8),
+            dirs in proptest::collection::vec(any::<bool>(), 0..8),
+            out_desc: bool,
+        ) {
+            let mut sorted_chunks = Vec::new();
+            for (i, mut c) in chunks.into_iter().enumerate() {
+                c.sort_unstable();
+                let desc = dirs.get(i).copied().unwrap_or(false);
+                if desc { c.reverse(); }
+                sorted_chunks.push((c, desc));
+            }
+            let runs: Vec<Run<'_, u32>> = sorted_chunks
+                .iter()
+                .map(|(c, desc)| if *desc { Run::desc(c) } else { Run::asc(c) })
+                .collect();
+            let dir = if out_desc { Direction::Descending } else { Direction::Ascending };
+            let mut out = Vec::new();
+            pway_merge_into(&runs, dir, &mut out);
+            let mut expect: Vec<u32> =
+                sorted_chunks.iter().flat_map(|(c, _)| c.iter().copied()).collect();
+            expect.sort_unstable();
+            prop_assert!(is_sorted(&out, dir));
+            let mut got = out;
+            got.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn power_of_two_runs_merge(
+            exp in 0u32..5,
+            seed in any::<u64>(),
+        ) {
+            let runs = 1usize << exp;
+            let run_len = 8usize;
+            let mut x = seed | 1;
+            let mut data = Vec::with_capacity(runs * run_len);
+            for r in 0..runs {
+                let mut chunk: Vec<u32> = (0..run_len).map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 33) as u32
+                }).collect();
+                chunk.sort_unstable();
+                if r >= runs / 2 && runs > 1 { chunk.reverse(); }
+                data.extend(chunk);
+            }
+            let out = merge_half_asc_half_desc(&data, runs, Direction::Ascending);
+            prop_assert!(is_sorted_asc(&out));
+            prop_assert_eq!(out.len(), data.len());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A sense-reversing barrier.
+//!
+//! SPMD programs alternate between compute and communication phases, and
+//! every remap is fenced by a barrier (the Split-C `barrier()` primitive).
+//! This is the classic two-phase *sense-reversing* construction: a shared
+//! count plus a generation ("sense") flag, so the barrier is immediately
+//! reusable without a second synchronization round. Waiters block on a
+//! condition variable rather than spinning — on the single-core CI machine
+//! a spinning barrier with 32 ranks would livelock the scheduler.
+
+use parking_lot::{Condvar, Mutex};
+
+struct State {
+    /// Ranks still missing in the current generation.
+    remaining: usize,
+    /// Flips every time the barrier opens; waiters wait for a flip rather
+    /// than for a count, which makes the barrier reusable.
+    sense: bool,
+}
+
+/// A reusable barrier for a fixed set of participants.
+pub struct SenseBarrier {
+    parties: usize,
+    state: Mutex<State>,
+    condvar: Condvar,
+}
+
+impl SenseBarrier {
+    /// Barrier for `parties` participants.
+    ///
+    /// # Panics
+    /// Panics if `parties == 0`.
+    #[must_use]
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one participant");
+        SenseBarrier {
+            parties,
+            state: Mutex::new(State {
+                remaining: parties,
+                sense: false,
+            }),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    #[must_use]
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Block until all `parties` ranks have arrived. Returns `true` on the
+    /// last rank to arrive (the one that released the others), mirroring
+    /// `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        let mut state = self.state.lock();
+        let my_sense = state.sense;
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            // Last arrival: reset for the next generation and release.
+            state.remaining = self.parties;
+            state.sense = !state.sense;
+            drop(state);
+            self.condvar.notify_all();
+            true
+        } else {
+            while state.sense == my_sense {
+                self.condvar.wait(&mut state);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn phases_do_not_interleave() {
+        // Each thread increments a phase counter between barrier crossings;
+        // if the barrier leaked a generation, some thread would observe a
+        // counter from the wrong phase.
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 50;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        let seen = counter.load(Ordering::SeqCst);
+                        assert_eq!(seen, (round + 1) * THREADS, "barrier admitted a rank early");
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        const THREADS: usize = 6;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_parties_rejected() {
+        let _ = SenseBarrier::new(0);
+    }
+}

@@ -1,0 +1,437 @@
+//! The per-rank communicator: point-to-point mesh, all-to-all exchange,
+//! pairwise bulk exchange, and barriers — with Section 3.4's metrics
+//! recorded on every operation.
+
+use crate::barrier::SenseBarrier;
+use crate::counters::{CommStats, Phase, RemapRecord};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Transfer regime for remaps (Section 5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageMode {
+    /// One key per message — the LogP regime. Every element costs a message
+    /// (`M = V`), which is why Table 5.3 shows ≈13 µs/key of communication.
+    Short,
+    /// One packed message per destination — the LogGP regime enabled by the
+    /// pack/unpack machinery of Section 3.3.
+    Long,
+}
+
+pub(crate) enum Payload<K> {
+    /// Announces how many single-element messages follow (short mode).
+    Header(usize),
+    /// A packed long message, or one element in short mode.
+    Data(Vec<K>),
+    /// Control metadata (histograms, counts) — always one message
+    /// regardless of mode, like the small bookkeeping messages real
+    /// implementations piggyback on the network.
+    Meta(Vec<u64>),
+}
+
+pub(crate) struct Envelope<K> {
+    src: usize,
+    payload: Payload<K>,
+}
+
+/// A rank's endpoint into the SPMD machine.
+///
+/// Created by [`crate::run_spmd`]; one per thread. All operations are
+/// *collective over the set of ranks that call them* — `exchange` and
+/// `barrier` must be called by every rank, `sendrecv` by both partners —
+/// mirroring Split-C's bulk operations.
+pub struct Comm<K> {
+    rank: usize,
+    procs: usize,
+    mode: MessageMode,
+    senders: Vec<Sender<Envelope<K>>>,
+    receiver: Receiver<Envelope<K>>,
+    barrier: Arc<SenseBarrier>,
+    /// Early arrivals buffered per source rank (channels are shared FIFOs;
+    /// a fast sender's messages may land before we ask for them).
+    pending: Vec<VecDeque<Payload<K>>>,
+    /// Metrics for this rank; harvested by the runtime when the program
+    /// returns.
+    pub stats: CommStats,
+}
+
+impl<K: Send + 'static> Comm<K> {
+    pub(crate) fn new(
+        rank: usize,
+        mode: MessageMode,
+        senders: Vec<Sender<Envelope<K>>>,
+        receiver: Receiver<Envelope<K>>,
+        barrier: Arc<SenseBarrier>,
+    ) -> Self {
+        let procs = senders.len();
+        Comm {
+            rank,
+            procs,
+            mode,
+            senders,
+            receiver,
+            barrier,
+            pending: (0..procs).map(|_| VecDeque::new()).collect(),
+            stats: CommStats::new(),
+        }
+    }
+
+    /// This rank's id, `0 .. procs`.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the machine (`P`).
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The transfer regime this machine was started with.
+    #[must_use]
+    pub fn mode(&self) -> MessageMode {
+        self.mode
+    }
+
+    /// Run `f` and charge its wall-clock to `phase`.
+    pub fn timed<T>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> T) -> T {
+        let t0 = Instant::now();
+        let out = f(self);
+        self.stats.add_time(phase, t0.elapsed());
+        out
+    }
+
+    /// Wait for all ranks; time spent is charged to [`Phase::Barrier`].
+    pub fn barrier(&mut self) {
+        let t0 = Instant::now();
+        self.barrier.wait();
+        self.stats.add_time(Phase::Barrier, t0.elapsed());
+    }
+
+    /// All-to-all personalized exchange: `outgoing[dst]` is delivered to
+    /// rank `dst`; the returned vector holds `incoming[src]` from each rank
+    /// (`incoming[self.rank()]` is `outgoing[self.rank()]`, untouched).
+    ///
+    /// One call is one *communication step* — a [`RemapRecord`] is pushed,
+    /// and transfer wall-clock is charged to [`Phase::Transfer`]. In
+    /// [`MessageMode::Short`] every element travels as its own message; in
+    /// [`MessageMode::Long`] each non-empty destination gets one message.
+    ///
+    /// # Panics
+    /// Panics if `outgoing.len() != self.procs()` or a peer disappeared.
+    pub fn exchange(&mut self, mut outgoing: Vec<Vec<K>>) -> Vec<Vec<K>> {
+        assert_eq!(
+            outgoing.len(),
+            self.procs,
+            "one outgoing buffer per rank required"
+        );
+        let t0 = Instant::now();
+        let mut record = RemapRecord::default();
+        let mut partners = 0u64;
+
+        // Keep own slice aside; send everything else before receiving so
+        // the exchange cannot deadlock (channels are unbounded).
+        let own = std::mem::take(&mut outgoing[self.rank]);
+        record.elements_kept = own.len() as u64;
+
+        for (dst, data) in outgoing.into_iter().enumerate() {
+            if dst == self.rank {
+                continue;
+            }
+            let len = data.len();
+            if len > 0 {
+                partners += 1;
+                record.elements_sent += len as u64;
+            }
+            match self.mode {
+                MessageMode::Long => {
+                    if len > 0 {
+                        record.messages_sent += 1;
+                    }
+                    self.send_to(dst, Payload::Data(data));
+                }
+                MessageMode::Short => {
+                    record.messages_sent += len as u64;
+                    self.send_to(dst, Payload::Header(len));
+                    for k in data {
+                        self.send_to(dst, Payload::Data(vec![k]));
+                    }
+                }
+            }
+        }
+
+        let mut incoming: Vec<Vec<K>> = (0..self.procs).map(|_| Vec::new()).collect();
+        incoming[self.rank] = own;
+        let me = self.rank;
+        for src in (0..self.procs).filter(|&s| s != me) {
+            let received = match self.mode {
+                MessageMode::Long => match self.recv_payload(src) {
+                    Payload::Data(v) => v,
+                    _ => panic!("unexpected payload in long-message mode"),
+                },
+                MessageMode::Short => {
+                    let count = match self.recv_payload(src) {
+                        Payload::Header(c) => c,
+                        _ => panic!("missing header in short-message mode"),
+                    };
+                    let mut buf = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        match self.recv_payload(src) {
+                            Payload::Data(mut v) => buf.append(&mut v),
+                            _ => panic!("unexpected payload after header"),
+                        }
+                    }
+                    buf
+                }
+            };
+            record.elements_received += received.len() as u64;
+            incoming[src] = received;
+        }
+
+        record.group_size = partners + 1;
+        self.stats.add_time(Phase::Transfer, t0.elapsed());
+        self.stats.push_remap(record);
+        incoming
+    }
+
+    /// Pairwise bulk exchange with `partner`: send `data`, receive the
+    /// partner's buffer. This is the hypercube-step primitive of the
+    /// blocked-merge baseline (Section 5.3), where at each remote step
+    /// "processors communicate in pairs … each processor sends one big
+    /// message of size n".
+    pub fn sendrecv(&mut self, partner: usize, data: Vec<K>) -> Vec<K> {
+        assert_ne!(partner, self.rank, "cannot sendrecv with self");
+        let t0 = Instant::now();
+        let mut record = RemapRecord {
+            elements_sent: data.len() as u64,
+            group_size: 2,
+            ..Default::default()
+        };
+        match self.mode {
+            MessageMode::Long => {
+                record.messages_sent = u64::from(!data.is_empty());
+                self.send_to(partner, Payload::Data(data));
+            }
+            MessageMode::Short => {
+                record.messages_sent = data.len() as u64;
+                self.send_to(partner, Payload::Header(data.len()));
+                for k in data {
+                    self.send_to(partner, Payload::Data(vec![k]));
+                }
+            }
+        }
+        let received = match self.mode {
+            MessageMode::Long => match self.recv_payload(partner) {
+                Payload::Data(v) => v,
+                _ => panic!("unexpected payload in long-message mode"),
+            },
+            MessageMode::Short => {
+                let count = match self.recv_payload(partner) {
+                    Payload::Header(c) => c,
+                    _ => panic!("missing header in short-message mode"),
+                };
+                let mut buf = Vec::with_capacity(count);
+                for _ in 0..count {
+                    match self.recv_payload(partner) {
+                        Payload::Data(mut v) => buf.append(&mut v),
+                        _ => panic!("unexpected payload after header"),
+                    }
+                }
+                buf
+            }
+        };
+        record.elements_received = received.len() as u64;
+        self.stats.add_time(Phase::Transfer, t0.elapsed());
+        self.stats.push_remap(record);
+        received
+    }
+
+    /// All-to-all exchange of control metadata (e.g. the per-digit
+    /// histograms of parallel radix sort). Metadata always travels as one
+    /// message per destination, independent of [`MessageMode`]; the
+    /// exchange is recorded as a communication step whose volume counts
+    /// the `u64` words sent.
+    pub fn exchange_meta(&mut self, mut outgoing: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+        assert_eq!(
+            outgoing.len(),
+            self.procs,
+            "one outgoing buffer per rank required"
+        );
+        let t0 = Instant::now();
+        let mut record = RemapRecord::default();
+        let own = std::mem::take(&mut outgoing[self.rank]);
+        record.elements_kept = own.len() as u64;
+        for (dst, data) in outgoing.into_iter().enumerate() {
+            if dst == self.rank {
+                continue;
+            }
+            if !data.is_empty() {
+                record.elements_sent += data.len() as u64;
+                record.messages_sent += 1;
+            }
+            self.send_to(dst, Payload::Meta(data));
+        }
+        let mut incoming: Vec<Vec<u64>> = (0..self.procs).map(|_| Vec::new()).collect();
+        incoming[self.rank] = own;
+        let me = self.rank;
+        for src in (0..self.procs).filter(|&s| s != me) {
+            incoming[src] = match self.recv_payload(src) {
+                Payload::Meta(v) => v,
+                _ => panic!("expected metadata payload"),
+            };
+            record.elements_received += incoming[src].len() as u64;
+        }
+        record.group_size = self.procs as u64;
+        self.stats.add_time(Phase::Transfer, t0.elapsed());
+        self.stats.push_remap(record);
+        incoming
+    }
+
+    fn send_to(&self, dst: usize, payload: Payload<K>) {
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                payload,
+            })
+            .expect("peer rank hung up mid-exchange");
+    }
+
+    fn recv_payload(&mut self, src: usize) -> Payload<K> {
+        loop {
+            if let Some(p) = self.pending[src].pop_front() {
+                return p;
+            }
+            let env = self
+                .receiver
+                .recv()
+                .expect("all peers hung up while receiving");
+            if env.src == src {
+                return env.payload;
+            }
+            self.pending[env.src].push_back(env.payload);
+        }
+    }
+}
+
+/// Per-rank sender fan-out plus each rank's receiver endpoint.
+pub(crate) type Mesh<K> = (Vec<Vec<Sender<Envelope<K>>>>, Vec<Receiver<Envelope<K>>>);
+
+pub(crate) fn make_mesh<K>(procs: usize) -> Mesh<K> {
+    let mut txs = Vec::with_capacity(procs);
+    let mut rxs = Vec::with_capacity(procs);
+    for _ in 0..procs {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let per_rank_senders: Vec<Vec<Sender<Envelope<K>>>> = (0..procs).map(|_| txs.clone()).collect();
+    (per_rank_senders, rxs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_spmd;
+
+    #[test]
+    fn exchange_counts_volume_and_messages_long() {
+        let results = run_spmd::<u32, _, _>(4, MessageMode::Long, |comm| {
+            let me = comm.rank() as u32;
+            // Send 2 elements to each other rank, keep 2.
+            let outgoing: Vec<Vec<u32>> = (0..4).map(|_| vec![me, me]).collect();
+            let _ = comm.exchange(outgoing);
+        });
+        for r in &results {
+            assert_eq!(r.stats.remap_count(), 1);
+            assert_eq!(r.stats.elements_sent, 6);
+            assert_eq!(
+                r.stats.messages_sent, 3,
+                "long mode: one message per partner"
+            );
+            assert_eq!(r.stats.remaps[0].elements_kept, 2);
+            assert_eq!(r.stats.remaps[0].group_size, 4);
+        }
+    }
+
+    #[test]
+    fn exchange_counts_messages_short() {
+        let results = run_spmd::<u32, _, _>(4, MessageMode::Short, |comm| {
+            let me = comm.rank() as u32;
+            let outgoing: Vec<Vec<u32>> = (0..4).map(|_| vec![me, me]).collect();
+
+            comm.exchange(outgoing)
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(
+                r.stats.messages_sent, 6,
+                "short mode: one message per element"
+            );
+            for (src, v) in r.output.iter().enumerate() {
+                assert_eq!(v, &vec![src as u32, src as u32], "rank {rank} from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_destinations_send_no_messages() {
+        let results = run_spmd::<u32, _, _>(3, MessageMode::Long, |comm| {
+            let outgoing: Vec<Vec<u32>> = vec![Vec::new(); 3];
+            let incoming = comm.exchange(outgoing);
+            incoming.iter().map(Vec::len).sum::<usize>()
+        });
+        for r in &results {
+            assert_eq!(r.output, 0);
+            assert_eq!(r.stats.messages_sent, 0);
+            assert_eq!(r.stats.elements_sent, 0);
+            assert_eq!(r.stats.remaps[0].group_size, 1);
+        }
+    }
+
+    #[test]
+    fn sendrecv_swaps_buffers() {
+        for mode in [MessageMode::Long, MessageMode::Short] {
+            let results = run_spmd::<u64, _, _>(4, mode, |comm| {
+                let partner = comm.rank() ^ 1;
+                let mine: Vec<u64> = vec![comm.rank() as u64; 3];
+                comm.sendrecv(partner, mine)
+            });
+            for (rank, r) in results.iter().enumerate() {
+                assert_eq!(r.output, vec![(rank ^ 1) as u64; 3]);
+                assert_eq!(r.stats.elements_sent, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_exchanges_stay_ordered() {
+        // Two back-to-back exchanges: buffered early arrivals must not leak
+        // between rounds.
+        let results = run_spmd::<u32, _, _>(4, MessageMode::Long, |comm| {
+            let me = comm.rank() as u32;
+            let first = comm.exchange((0..4).map(|_| vec![me]).collect());
+            let second = comm.exchange((0..4).map(|_| vec![me + 100]).collect());
+            (first, second)
+        });
+        for r in &results {
+            let (first, second) = &r.output;
+            for src in 0..4 {
+                assert_eq!(first[src], vec![src as u32]);
+                assert_eq!(second[src], vec![src as u32 + 100]);
+            }
+            assert_eq!(r.stats.remap_count(), 2);
+        }
+    }
+
+    #[test]
+    fn timed_charges_phase() {
+        let results = run_spmd::<u32, _, _>(1, MessageMode::Long, |comm| {
+            comm.timed(Phase::Compute, |_| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            });
+        });
+        assert!(results[0].stats.time(Phase::Compute) >= std::time::Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-rank instrumentation: the communication metrics of Section 3.4.
+//!
+//! The thesis evaluates remapping strategies by three metrics — the number
+//! of communication steps (`R`), the total volume of elements transferred
+//! per processor (`V`), and the number of messages sent (`M`) — plus the
+//! wall-clock split between computation and communication phases
+//! (Figure 5.4) and, within communication, between packing, transfer and
+//! unpacking (Table 5.4). [`CommStats`] records all of them.
+
+use std::time::Duration;
+
+/// The execution phases whose durations the experiments break down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Purely local computation (sorts, merges, compare-exchange steps).
+    Compute,
+    /// Gathering elements into per-destination long messages (Section 3.3).
+    Pack,
+    /// The channel transfer itself (send + receive).
+    Transfer,
+    /// Scattering received elements to their local addresses.
+    Unpack,
+    /// Time blocked in barriers.
+    Barrier,
+}
+
+impl Phase {
+    /// All phases, in reporting order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Compute,
+        Phase::Pack,
+        Phase::Transfer,
+        Phase::Unpack,
+        Phase::Barrier,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Compute => 0,
+            Phase::Pack => 1,
+            Phase::Transfer => 2,
+            Phase::Unpack => 3,
+            Phase::Barrier => 4,
+        }
+    }
+}
+
+/// What one remap (communication step) cost this rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemapRecord {
+    /// Elements sent to other ranks (the per-remap contribution to `V`).
+    pub elements_sent: u64,
+    /// Elements kept locally (`N_keep` of Section 3.2.1).
+    pub elements_kept: u64,
+    /// Non-empty messages sent (the per-remap contribution to `M`).
+    pub messages_sent: u64,
+    /// Elements received from other ranks during this step.
+    pub elements_received: u64,
+    /// Size of the communication group (`2^{N_BitsChanged}`, Lemma 4);
+    /// zero when not applicable (e.g. pairwise exchanges).
+    pub group_size: u64,
+}
+
+/// Cumulative per-rank statistics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct CommStats {
+    /// One record per communication step, in order — `R = remaps.len()`.
+    pub remaps: Vec<RemapRecord>,
+    /// Total elements sent (`V`).
+    pub elements_sent: u64,
+    /// Total non-empty messages sent (`M`).
+    pub messages_sent: u64,
+    /// Wall-clock spent per phase.
+    phase_time: [Duration; 5],
+}
+
+impl CommStats {
+    /// Fresh, all-zero statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of communication steps performed (`R` of Section 3.4.2).
+    #[must_use]
+    pub fn remap_count(&self) -> u64 {
+        self.remaps.len() as u64
+    }
+
+    /// Record a completed remap.
+    pub fn push_remap(&mut self, record: RemapRecord) {
+        self.elements_sent += record.elements_sent;
+        self.messages_sent += record.messages_sent;
+        self.remaps.push(record);
+    }
+
+    /// Accrue `d` into `phase`.
+    pub fn add_time(&mut self, phase: Phase, d: Duration) {
+        self.phase_time[phase.index()] += d;
+    }
+
+    /// Wall-clock accumulated in `phase`.
+    #[must_use]
+    pub fn time(&self, phase: Phase) -> Duration {
+        self.phase_time[phase.index()]
+    }
+
+    /// Total communication wall-clock: pack + transfer + unpack + barrier.
+    #[must_use]
+    pub fn communication_time(&self) -> Duration {
+        self.time(Phase::Pack)
+            + self.time(Phase::Transfer)
+            + self.time(Phase::Unpack)
+            + self.time(Phase::Barrier)
+    }
+
+    /// Merge another rank's stats into a fleet-wide maximum view: counters
+    /// take the per-rank maximum (the critical path), matching how the
+    /// thesis reports per-processor volumes.
+    pub fn max_merge(&mut self, other: &CommStats) {
+        self.elements_sent = self.elements_sent.max(other.elements_sent);
+        self.messages_sent = self.messages_sent.max(other.messages_sent);
+        if other.remaps.len() > self.remaps.len() {
+            self.remaps = other.remaps.clone();
+        }
+        for p in Phase::ALL {
+            if other.time(p) > self.time(p) {
+                self.phase_time[p.index()] = other.phase_time[p.index()];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_remap_accumulates_totals() {
+        let mut s = CommStats::new();
+        s.push_remap(RemapRecord {
+            elements_sent: 10,
+            elements_kept: 6,
+            messages_sent: 3,
+            group_size: 4,
+            ..Default::default()
+        });
+        s.push_remap(RemapRecord {
+            elements_sent: 5,
+            elements_kept: 11,
+            messages_sent: 1,
+            group_size: 2,
+            ..Default::default()
+        });
+        assert_eq!(s.remap_count(), 2);
+        assert_eq!(s.elements_sent, 15);
+        assert_eq!(s.messages_sent, 4);
+    }
+
+    #[test]
+    fn phase_times_are_separate() {
+        let mut s = CommStats::new();
+        s.add_time(Phase::Pack, Duration::from_millis(5));
+        s.add_time(Phase::Transfer, Duration::from_millis(7));
+        s.add_time(Phase::Pack, Duration::from_millis(1));
+        assert_eq!(s.time(Phase::Pack), Duration::from_millis(6));
+        assert_eq!(s.time(Phase::Transfer), Duration::from_millis(7));
+        assert_eq!(s.time(Phase::Unpack), Duration::ZERO);
+        assert_eq!(s.communication_time(), Duration::from_millis(13));
+    }
+
+    #[test]
+    fn max_merge_takes_critical_path() {
+        let mut a = CommStats::new();
+        a.push_remap(RemapRecord {
+            elements_sent: 10,
+            ..Default::default()
+        });
+        a.add_time(Phase::Compute, Duration::from_millis(3));
+        let mut b = CommStats::new();
+        b.push_remap(RemapRecord {
+            elements_sent: 4,
+            ..Default::default()
+        });
+        b.add_time(Phase::Compute, Duration::from_millis(9));
+        a.max_merge(&b);
+        assert_eq!(a.elements_sent, 10);
+        assert_eq!(a.time(Phase::Compute), Duration::from_millis(9));
+    }
+}

@@ -1,0 +1,58 @@
+//! A channel-based SPMD runtime — the parallel-machine substrate.
+//!
+//! The thesis implements its algorithms in Split-C on a 64-node Meiko CS-2
+//! (Sections 5.1–5.2). Neither is available here, so this crate provides
+//! the same programming model on one address space: `P` "processors" run as
+//! threads, each executing the same program over its own slice of the data
+//! (*single program, multiple data*), communicating through a full
+//! point-to-point channel mesh.
+//!
+//! The primitives mirror what the Split-C implementation uses:
+//!
+//! * [`run_spmd`] — spawn `P` ranks and run a program to completion;
+//! * [`Comm::exchange`] — the all-to-all personalized exchange performed by
+//!   every data remap (Figure 3.17: pack → transfer → unpack);
+//! * [`Comm::sendrecv`] — the pairwise bulk exchange used by the
+//!   blocked-merge baseline;
+//! * [`Comm::barrier`] — a sense-reversing barrier separating phases;
+//! * [`MessageMode`] — *short messages* (one key per message) versus *long
+//!   messages* (one packed message per destination), the two regimes
+//!   contrasted in Section 5.4.
+//!
+//! Every rank keeps [`CommStats`]: the number of communication steps
+//! (remaps), messages, and elements transferred, plus wall-clock per phase.
+//! These are exactly the metrics the LogP/LogGP analysis of Section 3.4
+//! consumes, so the `logp` crate can turn a run on this substrate into a
+//! predicted Meiko CS-2 execution time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod comm;
+pub mod counters;
+pub mod runtime;
+
+pub use barrier::SenseBarrier;
+pub use comm::{Comm, MessageMode};
+pub use counters::{CommStats, Phase, RemapRecord};
+pub use runtime::{run_spmd, RankResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_exchange_identity() {
+        let results = run_spmd::<u32, _, _>(4, MessageMode::Long, |comm| {
+            let me = comm.rank();
+            let outgoing: Vec<Vec<u32>> = (0..4).map(|dst| vec![(me * 10 + dst) as u32]).collect();
+            let incoming = comm.exchange(outgoing);
+            incoming.into_iter().flatten().collect::<Vec<u32>>()
+        });
+        for (rank, r) in results.iter().enumerate() {
+            let expect: Vec<u32> = (0..4).map(|src| (src * 10 + rank) as u32).collect();
+            assert_eq!(r.output, expect, "rank {rank}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Layout explorer: prints the smart remap schedule of Figure 3.3 and the
+//! absolute-address bit patterns of Figure 3.4, for any (N, P).
+//!
+//! ```text
+//! cargo run --example layout_explorer -- 256 16
+//! ```
+
+use bitonic_core::masks::MaskInfo;
+use bitonic_core::schedule::SmartSchedule;
+use bitonic_core::smart::RemapKind;
+use bitonic_network::render;
+use bitonic_network::BitonicNetwork;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_total: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let p: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let sched = SmartSchedule::new(n_total, p);
+    let n = n_total / p;
+    println!("Smart remap schedule for N = {n_total}, P = {p} (n = {n}):");
+    println!(
+        "  lg n = {}, lg P = {}; R_smart = {} remaps",
+        sched.lg_n(),
+        sched.lg_p(),
+        sched.remap_count()
+    );
+    println!("  (cyclic-blocked would use {} remaps)\n", 2 * sched.lg_p());
+
+    let mut prev = sched.blocked_layout();
+    println!("start: blocked layout   {}", prev.pattern_string());
+    for (i, phase) in sched.phases.iter().enumerate() {
+        let info = MaskInfo::new(&prev, &phase.layout);
+        let kind = match phase.params.kind {
+            RemapKind::Inside => "inside ",
+            RemapKind::Crossing => "crossing",
+            RemapKind::Last => "last    ",
+        };
+        println!(
+            "\nremap {i}: {kind} at stage {:>2}, step {:>2}   (k,s,a,b,t) = ({},{},{},{},{})",
+            phase.info.stage,
+            phase.info.step,
+            phase.params.k,
+            phase.params.s,
+            phase.params.a,
+            phase.params.b,
+            phase.params.t
+        );
+        println!("  pattern: {}", phase.layout.pattern_string());
+        println!(
+            "  bits changed: {}   keeps n/2^{} = {} of {} keys   group of {} procs",
+            info.bits_changed, info.bits_changed, info.kept_per_proc, n, info.group_size
+        );
+        println!("  pack mask: {}", info.pack_mask_string());
+        println!(
+            "  local steps: {:?}",
+            phase
+                .steps
+                .iter()
+                .map(|s| (s.stage, s.step))
+                .collect::<Vec<_>>()
+        );
+        prev = phase.layout_after.clone();
+    }
+    println!("\nend: blocked layout, globally sorted.");
+
+    if n_total <= 32 {
+        // Figures 2.4/2.5: the network itself, with remote arcs (under the
+        // starting blocked layout) drawn with '=' instead of '-'.
+        println!("\nNetwork (o = ascending, x = descending, '=' = remote under blocked):\n");
+        let net = BitonicNetwork::new(n_total);
+        let n_local = n_total / p;
+        print!("{}", render::ascii(&net, &|r| r / n_local));
+        let counts = render::classify_steps(&net, &|r| r / n_local);
+        let remote_steps = counts.iter().filter(|&&(_, _, rem)| rem > 0).count();
+        println!(
+            "\n{remote_steps} of {} steps need communication under a fixed blocked layout.",
+            counts.len()
+        );
+    } else {
+        println!("\n(run with N <= 32 to draw the network, e.g. `-- 16 4`)");
+    }
+}

@@ -1,0 +1,84 @@
+//! Reproduce the Chapter 5 headline tables from the LogGP model alone —
+//! what the thesis's own Section 3.4 analysis predicts for its Meiko CS-2.
+//!
+//! ```text
+//! cargo run --example meiko_prediction
+//! ```
+
+use logp::predict::{predict, CostModel, Messages, StrategyKind};
+use logp::LogGpParams;
+
+fn main() {
+    let model = CostModel::meiko_cs2();
+    println!("LogGP prediction, Meiko CS-2 calibration (see logp::params)\n");
+
+    println!("Execution time per key (µs) on 32 processors (cf. Table 5.1):");
+    println!(
+        "{:>14} {:>14} {:>15} {:>8}",
+        "keys/proc", "Blocked-Merge", "Cyclic-Blocked", "Smart"
+    );
+    let params = LogGpParams::meiko_cs2(32);
+    for lgn in [17u32, 18, 19, 20] {
+        let n = 1usize << lgn;
+        let us =
+            |kind| predict(kind, n, 32, &params, &model, Messages::Long { fused: true }).total_us();
+        println!(
+            "{:>13}K {:>14.2} {:>15.2} {:>8.2}",
+            n / 1024,
+            us(StrategyKind::BlockedMerge),
+            us(StrategyKind::CyclicBlocked),
+            us(StrategyKind::Smart)
+        );
+    }
+
+    println!("\nCommunication µs/key, 16 processors, short vs long messages (cf. Table 5.3):");
+    let params16 = LogGpParams::meiko_cs2(16);
+    let n = 1usize << 18;
+    let short = predict(
+        StrategyKind::Smart,
+        n,
+        16,
+        &params16,
+        &model,
+        Messages::Short,
+    );
+    let long = predict(
+        StrategyKind::Smart,
+        n,
+        16,
+        &params16,
+        &model,
+        Messages::Long { fused: false },
+    );
+    println!("  short messages: {:>6.2}", short.comm_us());
+    println!(
+        "  long messages : {:>6.2}  (pack {:.2} + transfer {:.2} + unpack {:.2})",
+        long.comm_us(),
+        long.pack_us,
+        long.transfer_us,
+        long.unpack_us
+    );
+    println!(
+        "  speedup from long messages: {:.1}x",
+        short.comm_us() / long.comm_us()
+    );
+
+    println!("\nSpeedup sorting 1M keys on 2..32 processors (cf. Fig 5.3):");
+    let total = 1usize << 20;
+    let mut base = None;
+    for p in [2usize, 4, 8, 16, 32] {
+        let n = total / p;
+        let pr = LogGpParams::meiko_cs2(p);
+        let t = predict(
+            StrategyKind::Smart,
+            n,
+            p,
+            &pr,
+            &model,
+            Messages::Long { fused: true },
+        )
+        .total_seconds(n);
+        let b = *base.get_or_insert(t * 2.0);
+        println!("  P = {p:>2}: {t:>7.3}s   speedup {:>5.2}", b / t);
+    }
+}

@@ -1,0 +1,72 @@
+//! Race every parallel sort in the workspace on the same input and report
+//! wall-clock, counters and correctness — the Section 5.5 comparison, live.
+//!
+//! ```text
+//! cargo run --release --example sort_race -- [total_keys] [procs]
+//! ```
+
+use baselines::{run_baseline, Baseline};
+use bitonic_bench::workloads::{keys, Distribution};
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use spmd::MessageMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let total: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+    let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    assert!(total.is_power_of_two() && procs.is_power_of_two());
+
+    for dist in [Distribution::Uniform31, Distribution::LowEntropy] {
+        println!(
+            "\n=== {} keys, {} procs, {} input ===",
+            total,
+            procs,
+            dist.name()
+        );
+        println!(
+            "{:<18} {:>10} {:>6} {:>12} {:>10} {:>7}",
+            "algorithm", "wall (ms)", "R", "V (elems)", "M", "sorted"
+        );
+        let input = keys(total, dist, 99);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+
+        let report =
+            |name: &str, output: &[u32], elapsed: std::time::Duration, stats: &spmd::CommStats| {
+                println!(
+                    "{:<18} {:>10.2} {:>6} {:>12} {:>10} {:>7}",
+                    name,
+                    elapsed.as_secs_f64() * 1e3,
+                    stats.remap_count(),
+                    stats.elements_sent,
+                    stats.messages_sent,
+                    output == expect
+                );
+            };
+
+        for algo in [
+            Algorithm::Smart,
+            Algorithm::SmartFused,
+            Algorithm::CyclicBlocked,
+            Algorithm::BlockedMerge,
+        ] {
+            let run = run_parallel_sort(
+                &input,
+                procs,
+                MessageMode::Long,
+                algo,
+                LocalStrategy::Merges,
+            );
+            report(algo.name(), &run.output, run.elapsed, &run.ranks[0].stats);
+        }
+        let mut baselines = vec![("Radix", Baseline::Radix), ("Sample", Baseline::Sample)];
+        if total / procs >= 2 * (procs - 1) * (procs - 1) {
+            baselines.push(("Column", Baseline::Column));
+        }
+        for (name, which) in baselines {
+            let run = run_baseline(&input, procs, MessageMode::Long, which);
+            report(name, &run.output, run.elapsed, &run.ranks[0].stats);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end randomized testing of every sort in the workspace, across
+//! machine sizes, message modes and input distributions.
+
+use baselines::{run_baseline, Baseline};
+use bitonic_bench::workloads::{keys, Distribution};
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use proptest::prelude::*;
+use spmd::MessageMode;
+
+const DISTS: [Distribution; 5] = [
+    Distribution::Uniform31,
+    Distribution::LowEntropy,
+    Distribution::Constant,
+    Distribution::Sorted,
+    Distribution::ReverseSorted,
+];
+
+#[test]
+fn every_algorithm_every_distribution() {
+    for dist in DISTS {
+        let input = keys(1 << 10, dist, 5);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        for p in [1usize, 4, 16] {
+            for algo in [
+                Algorithm::Smart,
+                Algorithm::CyclicBlocked,
+                Algorithm::BlockedMerge,
+            ] {
+                let run =
+                    run_parallel_sort(&input, p, MessageMode::Long, algo, LocalStrategy::Merges);
+                assert_eq!(run.output, expect, "{algo:?} P={p} {}", dist.name());
+            }
+            for which in [Baseline::Radix, Baseline::Sample] {
+                let run = run_baseline(&input, p, MessageMode::Long, which);
+                assert_eq!(run.output, expect, "{which:?} P={p} {}", dist.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn short_and_long_messages_agree() {
+    let input = keys(1 << 9, Distribution::Uniform31, 6);
+    for algo in [
+        Algorithm::Smart,
+        Algorithm::CyclicBlocked,
+        Algorithm::BlockedMerge,
+    ] {
+        let long = run_parallel_sort(&input, 8, MessageMode::Long, algo, LocalStrategy::Merges);
+        let short = run_parallel_sort(&input, 8, MessageMode::Short, algo, LocalStrategy::Merges);
+        assert_eq!(long.output, short.output, "{algo:?}");
+        // Same elements move either way; short mode sends one message per
+        // element.
+        assert_eq!(
+            long.ranks[0].stats.elements_sent,
+            short.ranks[0].stats.elements_sent
+        );
+        assert_eq!(
+            short.ranks[0].stats.messages_sent, short.ranks[0].stats.elements_sent,
+            "short messages: M = V"
+        );
+        assert!(long.ranks[0].stats.messages_sent < short.ranks[0].stats.messages_sent);
+    }
+}
+
+#[test]
+fn canonical_and_merges_strategies_agree_end_to_end() {
+    let input = keys(1 << 10, Distribution::Uniform31, 7);
+    let a = run_parallel_sort(
+        &input,
+        8,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Canonical,
+    );
+    let b = run_parallel_sort(
+        &input,
+        8,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+    );
+    assert_eq!(a.output, b.output);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn smart_sorts_arbitrary_inputs(
+        lg_total in 4u32..11,
+        lg_p in 0u32..4,
+        seed in any::<u64>(),
+        dist_idx in 0usize..DISTS.len(),
+    ) {
+        // Keep at least 2 keys per processor.
+        let lg_p = lg_p.min(lg_total - 1);
+        let total = 1usize << lg_total;
+        let p = 1usize << lg_p;
+        let input = keys(total, DISTS[dist_idx], seed);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let run = run_parallel_sort(&input, p, MessageMode::Long, Algorithm::Smart,
+                                    LocalStrategy::Merges);
+        prop_assert_eq!(run.output, expect);
+    }
+
+    #[test]
+    fn baselines_sort_arbitrary_inputs(
+        lg_total in 6u32..11,
+        lg_p in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let lg_p = lg_p.min(lg_total - 1);
+        let total = 1usize << lg_total;
+        let p = 1usize << lg_p;
+        let input = keys(total, Distribution::Uniform31, seed);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        for which in [Baseline::Radix, Baseline::Sample] {
+            let run = run_baseline(&input, p, MessageMode::Long, which);
+            prop_assert_eq!(&run.output, &expect, "{:?}", which);
+        }
+    }
+}

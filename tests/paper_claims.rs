@@ -1,0 +1,154 @@
+//! The thesis's quantitative claims, as executable assertions.
+
+use bitonic_core::schedule::SmartSchedule;
+use bitonic_core::RemapKind;
+use logp::cost::{loggp_total_us, logp_total_us};
+use logp::metrics;
+use logp::LogGpParams;
+
+/// Theorem 1 via Lemma 1: no phase of the smart schedule executes more
+/// than lg n steps, and every phase except possibly the last executes
+/// exactly lg n — so the number of remaps meets the lower bound
+/// ⌈(#tail steps) / lg n⌉.
+#[test]
+fn theorem_1_minimum_number_of_remaps() {
+    for lgn in 1..10u32 {
+        for lgp in 1..7u32 {
+            let n_total = 1usize << (lgn + lgp);
+            let p = 1usize << lgp;
+            let sched = SmartSchedule::new(n_total, p);
+            let tail_steps: u64 =
+                u64::from(lgp) * u64::from(lgn) + u64::from(lgp) * (u64::from(lgp) + 1) / 2;
+            for (i, phase) in sched.phases.iter().enumerate() {
+                assert!(
+                    phase.steps.len() as u64 <= u64::from(lgn),
+                    "Lemma 1 violated"
+                );
+                if i + 1 != sched.phases.len() {
+                    assert_eq!(phase.steps.len() as u64, u64::from(lgn));
+                }
+            }
+            let lower_bound = tail_steps.div_ceil(u64::from(lgn));
+            assert_eq!(
+                sched.remap_count() as u64,
+                lower_bound,
+                "lgn={lgn} lgp={lgp}"
+            );
+        }
+    }
+}
+
+/// Section 3.2: R_smart ≈ lgP + 1 in the common regime vs 2·lgP for
+/// cyclic-blocked — about half.
+#[test]
+fn smart_halves_the_remap_count() {
+    for lgp in 1..6u32 {
+        let p = 1usize << lgp;
+        let n = 1usize << 20;
+        let r_smart = metrics::smart_exact(n, p).remaps;
+        let r_cb = metrics::cyclic_blocked(n, p).remaps;
+        assert_eq!(r_smart, u64::from(lgp) + 1);
+        assert_eq!(r_cb, 2 * u64::from(lgp));
+    }
+}
+
+/// Section 3.2.1: V_cyclic-blocked / V_smart ≈ 2(1 − 1/P).
+#[test]
+fn volume_ratio_is_two_ish() {
+    for lgp in 1..6u32 {
+        let p = 1usize << lgp;
+        let n = 1usize << 20;
+        let ratio =
+            metrics::cyclic_blocked(n, p).volume as f64 / metrics::smart_exact(n, p).volume as f64;
+        let expect = 2.0 * (1.0 - 1.0 / p as f64);
+        assert!((ratio - expect).abs() < 1e-9, "P={p}: {ratio} vs {expect}");
+    }
+}
+
+/// Theorem 1 remark: the smart layout has no N >= P^2 restriction; the
+/// schedule exists and sorts even when n < P.
+#[test]
+fn no_n_ge_p_squared_restriction() {
+    let sched = SmartSchedule::new(64, 32); // n = 2 << P = 32
+    assert!(sched.remap_count() > 0);
+    // And cyclic-blocked genuinely cannot cover the final stage locally:
+    // lg N = 6 > 2·lg n = 2.
+    let lg_n = sched.lg_n();
+    let lg_total = sched.lg_n() + sched.lg_p();
+    assert!(lg_total > 2 * lg_n);
+}
+
+/// Section 4.1: in the common regime the schedule is one inside remap,
+/// then crossings — so every local phase is just a sort.
+#[test]
+fn common_regime_phase_kinds() {
+    let sched = SmartSchedule::new(1usize << 25, 32);
+    let kinds: Vec<RemapKind> = sched.phases.iter().map(|ph| ph.params.kind).collect();
+    assert_eq!(kinds[0], RemapKind::Inside);
+    assert!(kinds[1..kinds.len() - 1]
+        .iter()
+        .all(|k| *k == RemapKind::Crossing));
+    assert_eq!(*kinds.last().unwrap(), RemapKind::Last);
+}
+
+/// Section 3.4.2: under LogP (short messages), smart wins on all three
+/// metrics simultaneously, hence on time.
+#[test]
+fn smart_is_logp_optimal() {
+    for (n, p) in [(1usize << 20, 32usize), (1 << 18, 16), (1 << 14, 8)] {
+        let params = LogGpParams::meiko_cs2(p);
+        let s = metrics::smart_exact(n, p);
+        let cb = metrics::cyclic_blocked(n, p);
+        let b = metrics::blocked(n, p);
+        assert!(s.remaps <= cb.remaps && s.volume <= cb.volume && s.messages <= cb.messages);
+        let t = |m: metrics::CommMetrics| logp_total_us(&params, m);
+        assert!(t(s) < t(cb) && t(cb) < t(b));
+    }
+}
+
+/// Section 3.4.3: under LogGP, blocked sends the fewest messages, and for
+/// P = 2 it can win outright.
+#[test]
+fn loggp_can_favor_blocked_for_two_processors() {
+    let (n, p) = (1usize << 20, 2usize);
+    let params = LogGpParams::meiko_cs2(p);
+    let t = |m: metrics::CommMetrics| loggp_total_us(&params, m, 4);
+    assert!(t(metrics::blocked(n, p)) <= t(metrics::smart_exact(n, p)));
+    assert!(t(metrics::blocked(n, p)) <= t(metrics::cyclic_blocked(n, p)));
+}
+
+/// Section 5.4: long messages cut communication time by an order of
+/// magnitude at P = 16 (Table 5.3's ~13x).
+#[test]
+fn long_messages_order_of_magnitude() {
+    let (n, p) = (1usize << 18, 16usize);
+    let params = LogGpParams::meiko_cs2(p);
+    let m = metrics::smart_exact(n, p);
+    let short = logp_total_us(
+        &params,
+        metrics::CommMetrics {
+            messages: m.volume,
+            ..m
+        },
+    );
+    let long = loggp_total_us(&params, m, 4);
+    let ratio = short / long;
+    assert!(ratio > 10.0, "got {ratio:.1}x");
+}
+
+/// Figure 3.3's headline: 7 remaps instead of cyclic-blocked's 8 for
+/// N = 256, P = 16 — and fewer elements transferred at each remap.
+#[test]
+fn figure_3_3_improvements() {
+    let (n_total, p) = (256usize, 16usize);
+    let n = n_total / p;
+    let s = bitonic_core::complexity::smart_metrics(n_total, p);
+    let cb = metrics::cyclic_blocked(n, p);
+    assert_eq!(s.remaps, 7);
+    assert_eq!(cb.remaps, 8);
+    assert!(s.volume < cb.volume);
+    let per_remap_cb = n as u64 - (n / p) as u64;
+    for prof in bitonic_core::complexity::smart_profiles(n_total, p) {
+        assert!(prof.sent as u64 <= per_remap_cb);
+    }
+}

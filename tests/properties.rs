@@ -1,0 +1,177 @@
+//! Cross-cutting properties: obliviousness, determinism, wide keys, and
+//! runtime failure behavior.
+
+use bitonic_bench::workloads::{keys, Distribution};
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use proptest::prelude::*;
+use spmd::{run_spmd, MessageMode};
+
+/// Section 5.5: "Bitonic sort … is oblivious to the input distribution" —
+/// the communication pattern (R, V, M, per-remap volumes) is *identical*
+/// for every input, unlike sample sort's.
+#[test]
+fn bitonic_communication_is_input_oblivious() {
+    let (total, p) = (1usize << 10, 8usize);
+    let mut reference: Option<Vec<(u64, u64)>> = None;
+    for dist in [
+        Distribution::Uniform31,
+        Distribution::LowEntropy,
+        Distribution::Constant,
+        Distribution::Sorted,
+        Distribution::ReverseSorted,
+    ] {
+        let input = keys(total, dist, 3);
+        let run = run_parallel_sort(
+            &input,
+            p,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+        let profile: Vec<(u64, u64)> = run.ranks[0]
+            .stats
+            .remaps
+            .iter()
+            .map(|r| (r.elements_sent, r.messages_sent))
+            .collect();
+        match &reference {
+            None => reference = Some(profile),
+            Some(expect) => {
+                assert_eq!(&profile, expect, "{} changed the pattern", dist.name());
+            }
+        }
+    }
+}
+
+/// Same seed, same machine → bit-identical outputs and counters across
+/// repeated runs (the channel nondeterminism must not leak).
+#[test]
+fn runs_are_deterministic() {
+    let input = keys(1 << 10, Distribution::Uniform31, 9);
+    let a = run_parallel_sort(
+        &input,
+        8,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+    );
+    let b = run_parallel_sort(
+        &input,
+        8,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+    );
+    assert_eq!(a.output, b.output);
+    for (ra, rb) in a.ranks.iter().zip(&b.ranks) {
+        assert_eq!(ra.stats.remaps, rb.stats.remaps);
+    }
+}
+
+/// 64-bit keys flow through the whole stack (RadixKey is generic).
+#[test]
+fn sorts_u64_keys_end_to_end() {
+    let mut x = 42u64;
+    let input: Vec<u64> = (0..1 << 10)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        })
+        .collect();
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    for algo in [
+        Algorithm::Smart,
+        Algorithm::SmartFused,
+        Algorithm::CyclicBlocked,
+    ] {
+        let run = run_parallel_sort(&input, 8, MessageMode::Long, algo, LocalStrategy::Merges);
+        assert_eq!(run.output, expect, "{algo:?}");
+    }
+}
+
+/// Signed 32-bit keys (via the order-preserving sign-flip RadixKey impl)
+/// sort correctly end to end, including across zero.
+#[test]
+fn sorts_signed_keys_end_to_end() {
+    let mut x = 7u64;
+    let input: Vec<i32> = (0..1 << 10)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as i32 - (1 << 30)
+        })
+        .collect();
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    let run = run_parallel_sort(
+        &input,
+        8,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+    );
+    assert_eq!(run.output, expect);
+    assert!(run.output.first().unwrap() < &0 && run.output.last().unwrap() > &0);
+}
+
+/// A rank panic propagates out of run_spmd instead of hanging the machine.
+#[test]
+fn rank_panic_propagates() {
+    let result = std::panic::catch_unwind(|| {
+        run_spmd::<u32, _, _>(4, MessageMode::Long, |comm| {
+            if comm.rank() == 2 {
+                panic!("rank 2 exploded");
+            }
+            // Other ranks return without communicating (they would block if
+            // they tried to talk to rank 2).
+        })
+    });
+    assert!(result.is_err(), "the panic must surface");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fused pipeline equals the plain smart sort on arbitrary inputs
+    /// and machine shapes.
+    #[test]
+    fn fused_equals_plain(
+        lg_total in 6u32..11,
+        lg_p in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let lg_p = lg_p.min(lg_total - 1);
+        let total = 1usize << lg_total;
+        let p = 1usize << lg_p;
+        let input = keys(total, Distribution::Uniform31, seed);
+        let plain =
+            run_parallel_sort(&input, p, MessageMode::Long, Algorithm::Smart, LocalStrategy::Merges);
+        let fused = run_parallel_sort(
+            &input, p, MessageMode::Long, Algorithm::SmartFused, LocalStrategy::Merges);
+        prop_assert_eq!(plain.output, fused.output);
+    }
+
+    /// FullSort equals Merges wherever the Figure 4.5 regime holds (and
+    /// falls back identically where it doesn't).
+    #[test]
+    fn fullsort_equals_merges(
+        lg_total in 6u32..11,
+        lg_p in 0u32..5,
+        seed in any::<u64>(),
+    ) {
+        let lg_p = lg_p.min(lg_total - 1);
+        let total = 1usize << lg_total;
+        let p = 1usize << lg_p;
+        let input = keys(total, Distribution::Uniform31, seed);
+        let merges =
+            run_parallel_sort(&input, p, MessageMode::Long, Algorithm::Smart, LocalStrategy::Merges);
+        let fullsort = run_parallel_sort(
+            &input, p, MessageMode::Long, Algorithm::Smart, LocalStrategy::FullSort);
+        prop_assert_eq!(merges.output, fullsort.output);
+    }
+}

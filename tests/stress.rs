@@ -1,0 +1,94 @@
+//! Large-scale and exhaustive-grid tests.
+//!
+//! The grid sweep runs in the normal suite; the paper-scale runs are
+//! `#[ignore]`d (minutes of single-core time) — run them with
+//! `cargo test --release --test stress -- --ignored`.
+
+use bitonic_bench::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use spmd::MessageMode;
+
+/// Every (lg n, lg P) cell of a small grid, deterministic keys: the smart
+/// sort must work at every shape, including every n < P cell.
+#[test]
+fn exhaustive_machine_grid() {
+    for lg_p in 0..=5u32 {
+        for lg_n in 1..=6u32 {
+            let p = 1usize << lg_p;
+            let total = 1usize << (lg_n + lg_p);
+            let input = uniform_keys(total, u64::from(lg_n * 31 + lg_p));
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            let run = run_parallel_sort(
+                &input,
+                p,
+                MessageMode::Long,
+                Algorithm::Smart,
+                LocalStrategy::Merges,
+            );
+            assert_eq!(run.output, expect, "lg n = {lg_n}, lg P = {lg_p}");
+        }
+    }
+}
+
+/// All four bitonic pipelines on a moderately large machine in one go.
+#[test]
+fn four_pipelines_quarter_million_keys() {
+    let input = uniform_keys(1 << 18, 99);
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    for algo in [
+        Algorithm::Smart,
+        Algorithm::SmartFused,
+        Algorithm::CyclicBlocked,
+        Algorithm::BlockedMerge,
+    ] {
+        let run = run_parallel_sort(&input, 16, MessageMode::Long, algo, LocalStrategy::Merges);
+        assert_eq!(run.output, expect, "{algo:?}");
+    }
+}
+
+/// Paper-scale: 4M keys on 32 ranks (the Table 5.1 128K-per-proc row).
+#[test]
+#[ignore = "paper-scale run: ~4M keys on 32 threads, minutes on one core"]
+fn paper_scale_table_5_1_row() {
+    let n_per_proc = 128 * 1024;
+    let p = 32;
+    let input = uniform_keys(n_per_proc * p, 5551);
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    let run = run_parallel_sort(
+        &input,
+        p,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+    );
+    assert_eq!(run.output, expect);
+    let stats = &run.ranks[0].stats;
+    assert_eq!(stats.remap_count(), 6, "R = lgP + 1 in the common regime");
+    assert_eq!(stats.elements_sent, 5 * n_per_proc as u64, "V = n lgP");
+    eprintln!(
+        "paper-scale smart sort: {:.2}s wall on this host, R={}, V={}",
+        run.elapsed.as_secs_f64(),
+        stats.remap_count(),
+        stats.elements_sent
+    );
+}
+
+/// Paper-scale fused pipeline at 1M keys per processor on 16 ranks.
+#[test]
+#[ignore = "paper-scale run: 16M keys, minutes on one core"]
+fn paper_scale_fused_16m_keys() {
+    let input = uniform_keys(16 << 20, 777);
+    let run = run_parallel_sort(
+        &input,
+        16,
+        MessageMode::Long,
+        Algorithm::SmartFused,
+        LocalStrategy::Merges,
+    );
+    assert!(run.output.windows(2).all(|w| w[0] <= w[1]));
+    eprintln!("fused 16M keys: {:.2}s wall", run.elapsed.as_secs_f64());
+}
