@@ -1,0 +1,308 @@
+//! Offline compatibility shim for the [`criterion`](https://docs.rs/criterion)
+//! API subset this workspace uses.
+//!
+//! Unlike the other compat shims this one must actually *measure*: the
+//! acceptance criteria for the remap work are stated as criterion
+//! speedups. Each benchmark runs a short warm-up, then `sample_size`
+//! timed samples (each sample auto-scales its iteration count to a
+//! per-sample time slice of `measurement_time / sample_size`), and
+//! prints the median per-iteration time plus throughput. No plots, no
+//! statistics beyond median/min/max, no HTML report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Work-per-iteration declaration used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: Vec<Duration>,
+    /// Iterations per sample, chosen during warm-up.
+    iters_per_sample: u64,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called repeatedly; its return value is passed
+    /// through [`black_box`] so the work is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let sample_count = self.samples.capacity().max(1);
+        for _ in 0..self.iters_per_sample.max(1) {
+            black_box(routine());
+        }
+        for _ in 0..sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample.max(1) {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples of each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up (and calibrating iteration count) per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark that closes over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: BenchmarkId, mut f: F) {
+        // Calibration pass: time one iteration, then scale so each sample
+        // fills its slice of the measurement budget.
+        let mut probe = Bencher {
+            samples: Vec::with_capacity(1),
+            iters_per_sample: 1,
+            _marker: std::marker::PhantomData,
+        };
+        let warm_start = Instant::now();
+        f(&mut probe);
+        let once = probe
+            .samples
+            .first()
+            .copied()
+            .unwrap_or(Duration::from_nanos(1))
+            .max(Duration::from_nanos(1));
+        // Keep warming until the warm-up budget is spent.
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut w = Bencher {
+                samples: Vec::with_capacity(1),
+                iters_per_sample: 1,
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut w);
+        }
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (per_sample / once.as_secs_f64()).floor().clamp(1.0, 1e9) as u64;
+
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: iters,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut bencher);
+
+        let mut per_iter: Vec<Duration> = bencher
+            .samples
+            .iter()
+            .map(|s| *s / u32::try_from(iters).unwrap_or(u32::MAX).max(1))
+            .collect();
+        per_iter.sort_unstable();
+        if per_iter.is_empty() {
+            println!("{}/{}: no samples collected", self.name, id.id);
+            return;
+        }
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / median.as_secs_f64();
+                format!("  thrpt: {:.3} Melem/s", per_sec / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / median.as_secs_f64();
+                format!("  thrpt: {:.3} MiB/s", per_sec / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: time [{} {} {}]{}",
+            self.name,
+            id.id,
+            format_time(lo),
+            format_time(median),
+            format_time(hi),
+            rate
+        );
+    }
+
+    /// End the group (separator line, matching criterion's API shape).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Begin a [`BenchmarkGroup`] named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(BenchmarkId::from(name), &mut f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one name (`criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (`criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(256));
+        group.bench_with_input(BenchmarkId::new("sum", 256), &256u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7 * 6));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+}

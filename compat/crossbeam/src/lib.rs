@@ -1,0 +1,106 @@
+//! Offline compatibility shim for the [`crossbeam`](https://docs.rs/crossbeam)
+//! API surface this workspace uses.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real crate cannot be fetched. The `spmd` runtime only needs
+//! unbounded MPSC channels with cloneable senders; `std::sync::mpsc`
+//! provides exactly that, so this crate re-exports it under crossbeam's
+//! names. Swap the workspace dependency back to the real crate when a
+//! registry is available — no call sites change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels (here: the MPSC subset).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side of a channel is gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug regardless of T, without printing T.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned when all senders of a channel are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of an unbounded channel. Cloneable, so a full
+    /// point-to-point mesh can fan one receiver out to many senders.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, failing only if the receiver has hung up.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives, failing only if every sender has
+        /// hung up.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Receive without blocking, if a value is ready.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Create an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(42u32).unwrap();
+        assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+        });
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+}

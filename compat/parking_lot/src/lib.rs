@@ -1,0 +1,112 @@
+//! Offline compatibility shim for the [`parking_lot`](https://docs.rs/parking_lot)
+//! API surface this workspace uses: a non-poisoning [`Mutex`] whose
+//! `lock()` returns the guard directly, and a [`Condvar`] whose `wait`
+//! takes the guard by `&mut`. Backed by `std::sync`; poisoning is
+//! swallowed (a panicking rank already aborts the whole SPMD run).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard, PoisonError};
+
+/// A mutual-exclusion lock with parking_lot's panic-free `lock()` API.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Internally an `Option` so [`Condvar::wait`] can move the underlying
+/// std guard out and back without unsafe code.
+pub struct MutexGuard<'a, T>(Option<StdGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new mutex.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquire the lock, blocking until it is available. Never panics on
+    /// poisoning — the protected state of a poisoned lock is returned
+    /// as-is.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard is present outside wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard is present outside wait")
+    }
+}
+
+/// A condition variable whose `wait` reborrows the guard in place.
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// New condition variable.
+    #[must_use]
+    pub const fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Atomically release the lock and block until notified; the lock is
+    /// reacquired before returning. Spurious wakeups are possible, as with
+    /// every condvar — callers must re-check their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard is present outside wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Wake every thread blocked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Wake one thread blocked in [`Condvar::wait`].
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_guards_mutation() {
+        let m = Mutex::new(0u32);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            true
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(t.join().unwrap());
+    }
+}

@@ -1,0 +1,391 @@
+//! Offline compatibility shim for the [`proptest`](https://docs.rs/proptest)
+//! API subset this workspace uses.
+//!
+//! Implements the `proptest!` macro, `any::<T>()`, integer/float range
+//! strategies, `Just`, `prop_perturb`, `proptest::collection::vec`, and
+//! `ProptestConfig::with_cases`. Differences from the real crate, accepted
+//! for an offline build:
+//!
+//! * **No shrinking** — a failing case panics with its index; rerun with
+//!   the same binary to reproduce (generation is deterministic per test).
+//! * **`prop_assert!`/`prop_assert_eq!` panic** instead of returning
+//!   `Err(TestCaseError)`; with shrinking gone the distinction is moot.
+//! * Generation draws from SplitMix64, not proptest's RNG, so specific
+//!   generated values differ from the real crate's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner;
+
+pub use test_runner::TestRng;
+
+/// Error type carried by a generated test case's `Result` (kept for
+/// source compatibility with `return Ok(())` in test bodies; this shim's
+/// assertions panic instead of constructing it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case asked to be discarded.
+    Reject(String),
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the heavier machine
+        // tests (thread-per-rank SPMD runs per case) CI-friendly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. The real crate separates strategies from value
+/// trees to support shrinking; without shrinking, a strategy is just a
+/// deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with access to a fork of the RNG
+    /// (proptest's `prop_perturb`).
+    fn prop_perturb<O, F>(self, fun: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> O,
+    {
+        Perturb { inner: self, fun }
+    }
+
+    /// Map generated values through `fun` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, fun: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, fun }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_perturb`].
+#[derive(Debug, Clone)]
+pub struct Perturb<S, F> {
+    inner: S,
+    fun: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value, TestRng) -> O> Strategy for Perturb<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        let value = self.inner.generate(rng);
+        (self.fun)(value, rng.fork())
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    fun: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.fun)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "any value of `T`" strategy.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Permitted sizes for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng as _;
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy and size range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-import surface test modules use.
+pub mod prelude {
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Assert a condition inside a property test (panics in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property test (panics in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property test (panics in this shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` running `body` over generated inputs.
+/// Parameters may also be written `name: Type` as shorthand for
+/// `name in any::<Type>()`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { [$cfg] [$body] [] $($params)* }
+        }
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters munched: run the cases. Values are bound with `let`
+    // patterns (not closure parameters) so their types infer from the
+    // strategy expressions; the body runs in a zero-argument closure to
+    // give `return Ok(())` a `Result` context.
+    ([$cfg:expr] [$body:block] [$(($pat:pat) ($strat:expr))*]) => {{
+        let __config: $crate::ProptestConfig = $cfg;
+        let mut __rng = $crate::test_runner::TestRng::deterministic();
+        for __case in 0..__config.cases {
+            $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
+            #[allow(clippy::redundant_closure_call)]
+            let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+            if let ::std::result::Result::Err(__e) = __result {
+                panic!("proptest case {} failed: {:?}", __case, __e);
+            }
+        }
+    }};
+    // `pat in strategy` (last, optional trailing comma handled by the
+    // empty-tail arm above).
+    ([$cfg:expr] [$body:block] [$($acc:tt)*] $p:pat_param in $s:expr) => {
+        $crate::__proptest_case! { [$cfg] [$body] [$($acc)* ($p) ($s)] }
+    };
+    ([$cfg:expr] [$body:block] [$($acc:tt)*] $p:pat_param in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_case! { [$cfg] [$body] [$($acc)* ($p) ($s)] $($rest)* }
+    };
+    // `name: Type` shorthand.
+    ([$cfg:expr] [$body:block] [$($acc:tt)*] $p:ident : $t:ty) => {
+        $crate::__proptest_case! { [$cfg] [$body] [$($acc)* ($p) ($crate::any::<$t>())] }
+    };
+    ([$cfg:expr] [$body:block] [$($acc:tt)*] $p:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_case! { [$cfg] [$body] [$($acc)* ($p) ($crate::any::<$t>())] $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(any::<u32>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn type_shorthand_and_mut_patterns(mut v in crate::collection::vec(any::<u8>(), 0..9), flag: bool) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            let _ = flag;
+        }
+
+        #[test]
+        fn perturb_provides_rng(x in Just(5u32).prop_perturb(|v, mut rng| v + (rng.next_u32() % 2))) {
+            prop_assert!(x == 5 || x == 6);
+        }
+
+        #[test]
+        fn early_return_ok_compiles(x in 0u32..10) {
+            if x < 100 { return Ok(()); }
+            prop_assert!(false);
+        }
+    }
+
+    #[test]
+    fn fixed_vec_size() {
+        let mut rng = TestRng::deterministic();
+        let s = crate::collection::vec(0u32..4, 16usize);
+        assert_eq!(Strategy::generate(&s, &mut rng).len(), 16);
+    }
+}

@@ -1,0 +1,65 @@
+//! The RNG handed to strategies and `prop_perturb` closures.
+
+/// Deterministic test RNG (SplitMix64, like the `rand` shim's `StdRng`).
+///
+/// Exposes `next_u32`/`next_u64` as inherent methods so `prop_perturb`
+/// closures can draw bits without importing a trait, and also implements
+/// [`rand::RngCore`] so `gen_range` and friends work on it.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The fixed-seed RNG driving a `proptest!` run.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        TestRng {
+            state: 0x5EED_CAFE_F00D_D00D,
+        }
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Split off an independent child RNG (used by `prop_perturb`, which
+    /// receives the fork by value).
+    #[must_use]
+    pub fn fork(&mut self) -> TestRng {
+        TestRng {
+            state: self.next_u64() | 1,
+        }
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        TestRng::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn forks_diverge_from_parent() {
+        let mut a = TestRng::deterministic();
+        let mut fork = a.fork();
+        assert_ne!(a.next_u64(), fork.next_u64());
+    }
+}

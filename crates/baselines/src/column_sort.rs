@@ -16,7 +16,7 @@
 //! `r >= 2(s−1)^2` condition holds.
 
 use bitonic_core::layout::blocked;
-use bitonic_core::{BitLayout, RemapPlan};
+use bitonic_core::{BitLayout, SortContext};
 use bitonic_network::Direction;
 use local_sorts::merge::{merge_two_into, Run};
 use local_sorts::{local_sort, RadixKey};
@@ -45,16 +45,21 @@ pub fn untranspose_layout(lg_total: u32, lg_r: u32) -> BitLayout {
 /// Merge this rank's sorted column with `partner`'s and keep the lower or
 /// upper half (lower rank keeps the minima) — the distributed
 /// merge–split primitive completing steps 6–8.
-fn merge_split<K: RadixKey>(comm: &mut Comm<K>, local: &mut Vec<K>, partner: usize) {
+fn merge_split<K: RadixKey>(
+    comm: &mut Comm<K>,
+    local: &mut Vec<K>,
+    partner: usize,
+    received: &mut Vec<K>,
+    merged: &mut Vec<K>,
+) {
     let n = local.len();
-    let received = comm.sendrecv(partner, local.clone());
+    comm.sendrecv_into(partner, local, received);
     comm.timed(Phase::Compute, |c| {
-        let mut merged = Vec::with_capacity(2 * n);
         merge_two_into(
             Run::asc(local),
-            Run::asc(&received),
+            Run::asc(received),
             Direction::Ascending,
-            &mut merged,
+            merged,
         );
         let keep_low = c.rank() < partner;
         local.clear();
@@ -95,21 +100,35 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
     let lg_p = bitonic_network::lg(p);
     let lg_total = lg_n + lg_p;
     let identity = blocked(lg_total, lg_n);
+    // One context serves both transposes: flat plans, cached by layout
+    // pair, applied through reused pack/transfer/unpack buffers.
+    let mut ctx = SortContext::new();
+    // Scratch for the merge–split round (reused across both boundaries).
+    let mut received: Vec<K> = Vec::with_capacity(n);
+    let mut merged: Vec<K> = Vec::with_capacity(2 * n);
 
     // Step 1: sort columns.
     comm.timed(Phase::Compute, |_| {
         local_sort(&mut local, Direction::Ascending)
     });
     // Step 2: transpose (distribute each column round-robin over all).
-    let plan = RemapPlan::new(&identity, &transpose_layout(lg_total, lg_n), me);
-    local = plan.apply(comm, &local);
+    ctx.remap(
+        comm,
+        &identity,
+        &transpose_layout(lg_total, lg_n),
+        &mut local,
+    );
     // Step 3: sort columns.
     comm.timed(Phase::Compute, |_| {
         local_sort(&mut local, Direction::Ascending)
     });
     // Step 4: untranspose.
-    let plan = RemapPlan::new(&identity, &untranspose_layout(lg_total, lg_n), me);
-    local = plan.apply(comm, &local);
+    ctx.remap(
+        comm,
+        &identity,
+        &untranspose_layout(lg_total, lg_n),
+        &mut local,
+    );
     // Step 5: sort columns.
     comm.timed(Phase::Compute, |_| {
         local_sort(&mut local, Direction::Ascending)
@@ -118,7 +137,7 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
     // even boundary first (columns 2k | 2k+1), then odd (2k+1 | 2k+2).
     let even_partner = me ^ 1;
     if even_partner < p {
-        merge_split(comm, &mut local, even_partner);
+        merge_split(comm, &mut local, even_partner, &mut received, &mut merged);
     }
     let odd_partner = if me.is_multiple_of(2) {
         me.wrapping_sub(1)
@@ -126,7 +145,7 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
         me + 1
     };
     if odd_partner < p {
-        merge_split(comm, &mut local, odd_partner);
+        merge_split(comm, &mut local, odd_partner, &mut received, &mut merged);
     }
     comm.barrier();
     local

@@ -31,6 +31,16 @@ pub fn parallel_radix_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
     }
     let total = (n * p) as u64;
 
+    // Flat buffers reused across every pass: the digit-sorted send buffer,
+    // the flat receive buffer, the double-buffered output, and the count
+    // tables. Steady-state passes allocate only the shared histograms.
+    let mut send: Vec<K> = Vec::new();
+    let mut recv: Vec<K> = Vec::new();
+    let mut out: Vec<K> = Vec::new();
+    let mut digit_cursor = vec![0usize; RADIX];
+    let mut send_counts = vec![0usize; p];
+    let mut recv_counts = vec![0usize; p];
+
     for pass in 0..K::PASSES {
         // Local digit histogram.
         let counts: Vec<u64> = comm.timed(Phase::Compute, |_| {
@@ -68,35 +78,78 @@ pub fn parallel_radix_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
             }
         }
 
-        // Pack: walk digits in ascending order (stability); each element's
-        // global slot is F(d) + C(me, d) + its index among my digit-d keys.
-        let outgoing: Vec<Vec<K>> = comm.timed(Phase::Pack, |_| {
-            let mut by_digit: Vec<Vec<K>> = (0..RADIX).map(|_| Vec::new()).collect();
-            for &k in &local {
-                by_digit[k.digit(pass)].push(k);
+        // Pack: a stable counting sort by digit. Each element's global
+        // slot is F(d) + C(me, d) + its index among my digit-d keys, which
+        // increases monotonically along the (digit, stable index) walk —
+        // so the digit-sorted array is *already* the flat send buffer,
+        // destination segments concatenated in rank order. The segment
+        // sizes come from intersecting each digit run's global slot range
+        // with the destination rank ranges.
+        comm.timed(Phase::Pack, |_| {
+            let mut acc = 0usize;
+            for (cursor, &c) in digit_cursor.iter_mut().zip(per_rank[me].iter()) {
+                *cursor = acc;
+                acc += c as usize;
             }
-            let mut out: Vec<Vec<K>> = (0..p).map(|_| Vec::new()).collect();
-            for (d, keys) in by_digit.into_iter().enumerate() {
-                let base = f[d] + c_before[me][d];
-                for (i, k) in keys.into_iter().enumerate() {
-                    let slot = base + i as u64;
-                    out[(slot / n as u64) as usize].push(k);
+            send.clear();
+            send.resize(n, local[0]);
+            for &k in &local {
+                let d = k.digit(pass);
+                send[digit_cursor[d]] = k;
+                digit_cursor[d] += 1;
+            }
+            send_counts.iter_mut().for_each(|c| *c = 0);
+            for (d, &cnt) in per_rank[me].iter().enumerate() {
+                if cnt == 0 {
+                    continue;
+                }
+                let a = f[d] + c_before[me][d];
+                let b = a + cnt;
+                let mut dst = (a / n as u64) as usize;
+                loop {
+                    let lo = a.max((dst * n) as u64);
+                    let hi = b.min(((dst + 1) * n) as u64);
+                    send_counts[dst] += (hi - lo) as usize;
+                    if b <= ((dst + 1) * n) as u64 {
+                        break;
+                    }
+                    dst += 1;
                 }
             }
-            out
+            // Receive sizes are computable the same way from the shared
+            // histograms — the planned all-to-all needs no size discovery.
+            let my_lo = (me * n) as u64;
+            let my_hi = my_lo + n as u64;
+            for (r, count) in recv_counts.iter_mut().enumerate() {
+                let mut sum = 0usize;
+                for d in 0..RADIX {
+                    let start = f[d] + c_before[r][d];
+                    let end = start + per_rank[r][d];
+                    let lo = start.max(my_lo);
+                    let hi = end.min(my_hi);
+                    if lo < hi {
+                        sum += (hi - lo) as usize;
+                    }
+                }
+                *count = sum;
+            }
         });
 
-        let arrivals = comm.exchange(outgoing);
+        comm.alltoallv(&send, &send_counts, &mut recv, &recv_counts);
 
         // Unpack: from source r, digit-d keys arrive as one contiguous run
         // occupying the intersection of [F(d)+C(r,d), F(d)+C(r,d)+count)
         // with my slot range.
-        local = comm.timed(Phase::Unpack, |_| {
+        comm.timed(Phase::Unpack, |_| {
             let my_lo = (me * n) as u64;
             let my_hi = my_lo + n as u64;
-            let mut out = vec![local[0]; n];
+            out.clear();
+            out.resize(n, local[0]);
             let mut filled = 0usize;
-            for (r, arrived) in arrivals.iter().enumerate() {
+            let mut segment = 0usize;
+            for r in 0..p {
+                let arrived = &recv[segment..segment + recv_counts[r]];
+                segment += recv_counts[r];
                 let mut cursor = 0usize;
                 for d in 0..RADIX {
                     let start = f[d] + c_before[r][d];
@@ -115,8 +168,8 @@ pub fn parallel_radix_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
                 debug_assert_eq!(cursor, arrived.len(), "run reconstruction must consume all");
             }
             assert_eq!(filled, n, "every slot must be filled exactly once");
-            out
         });
+        std::mem::swap(&mut local, &mut out);
     }
     local
 }

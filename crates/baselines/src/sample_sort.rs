@@ -40,22 +40,35 @@ pub fn parallel_sample_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
     });
 
     // Partition the sorted local run at the splitters (bucket b gets keys
-    // in (splitters[b-1], splitters[b]]).
-    let buckets: Vec<Vec<K>> = comm.timed(Phase::Pack, |_| {
-        let mut buckets = Vec::with_capacity(p);
+    // in (splitters[b-1], splitters[b]]). The sorted array already holds
+    // the buckets contiguously in destination-rank order, so it *is* the
+    // flat send buffer — the pack phase only computes the counts.
+    let mut send_counts: Vec<usize> = Vec::with_capacity(p);
+    comm.timed(Phase::Pack, |_| {
         let mut start = 0usize;
         for s in &splitters {
             let end = start + local[start..].partition_point(|k| k <= s);
-            buckets.push(local[start..end].to_vec());
+            send_counts.push(end - start);
             start = end;
         }
-        buckets.push(local[start..].to_vec());
-        buckets
+        send_counts.push(n - start);
     });
 
-    let incoming = comm.exchange(buckets);
+    // Bucket sizes depend on the keys each peer holds, so receive counts
+    // are discovered from the wire.
+    let mut recv = Vec::new();
+    let mut recv_counts = Vec::new();
+    comm.alltoallv_uncounted(&local, &send_counts, &mut recv, &mut recv_counts);
     comm.timed(Phase::Compute, |_| {
-        let runs: Vec<Run<'_, K>> = incoming.iter().map(|v| Run::asc(v)).collect();
+        let mut offset = 0usize;
+        let runs: Vec<Run<'_, K>> = recv_counts
+            .iter()
+            .map(|&c| {
+                let run = Run::asc(&recv[offset..offset + c]);
+                offset += c;
+                run
+            })
+            .collect();
         let mut out = Vec::new();
         pway_merge_into(&runs, Direction::Ascending, &mut out);
         out

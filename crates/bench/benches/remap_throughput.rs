@@ -1,0 +1,69 @@
+//! Criterion bench for the flat-buffer remap engine: the allocation-free
+//! [`bitonic_core::SortContext`] hot path against the legacy nested-Vec
+//! path (a fresh plan plus [`bitonic_core::RemapPlan::apply`] per remap,
+//! as the pre-PR sorts ran), in both message modes.
+//!
+//! Each iteration boots the SPMD machine and drives `ROUNDS`
+//! blocked↔cyclic round trips (2·ROUNDS remaps), the access pattern every
+//! sort in the workspace reduces to.
+
+use bitonic_core::layout::{blocked, cyclic};
+use bitonic_core::{RemapPlan, SortContext};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmd::{run_spmd, MessageMode};
+
+const P: usize = 8;
+const ROUNDS: usize = 4;
+
+/// Run `ROUNDS` blocked↔cyclic round trips on the whole machine and
+/// return a checksum so the work cannot be optimised away.
+fn run_remaps(n: usize, mode: MessageMode, flat: bool) -> u64 {
+    let lg_n = n.trailing_zeros();
+    let lg_p = P.trailing_zeros();
+    let results = run_spmd::<u64, _, _>(P, mode, move |comm| {
+        let me = comm.rank();
+        let b = blocked(lg_n + lg_p, lg_n);
+        let c = cyclic(lg_n + lg_p, lg_n);
+        let mut data: Vec<u64> = (0..n).map(|x| (me * n + x) as u64).collect();
+        if flat {
+            let mut ctx = SortContext::new();
+            for _ in 0..ROUNDS {
+                ctx.remap(comm, &b, &c, &mut data);
+                ctx.remap(comm, &c, &b, &mut data);
+            }
+        } else {
+            // Pre-PR hot path: every remap rebuilt its plan from a layout
+            // walk and packed into freshly allocated nested Vecs.
+            for _ in 0..ROUNDS {
+                data = RemapPlan::new(&b, &c, me).apply(comm, &data);
+                data = RemapPlan::new(&c, &b, me).apply(comm, &data);
+            }
+        }
+        data[0]
+    });
+    results.iter().map(|r| r.output).sum()
+}
+
+fn bench_remap_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remap_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    for (mode_label, mode, n) in [
+        ("long", MessageMode::Long, 1usize << 12),
+        ("short", MessageMode::Short, 1usize << 9),
+    ] {
+        group.throughput(Throughput::Elements((n * P * 2 * ROUNDS) as u64));
+        for (path_label, flat) in [("flat", true), ("legacy", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{path_label}/{mode_label}"), n),
+                &n,
+                |b, &n| b.iter(|| run_remaps(n, mode, flat)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_remap_throughput);
+criterion_main!(benches);

@@ -4,6 +4,7 @@ pub mod breakdown;
 pub mod extensions;
 pub mod messages;
 pub mod other_sorts;
+pub mod remap_bench;
 pub mod scaling;
 pub mod strategies;
 
@@ -84,6 +85,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         extensions::ext_fusion(scale),
         extensions::ext_shifting(),
         extensions::ext_simulated(scale),
+        remap_bench::remap_bench(scale),
     ]
 }
 
@@ -104,12 +106,13 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "ext_fusion" => Some(extensions::ext_fusion(scale)),
         "ext_shifting" => Some(extensions::ext_shifting()),
         "ext_simulated" => Some(extensions::ext_simulated(scale)),
+        "remap_bench" => Some(remap_bench::remap_bench(scale)),
         _ => None,
     }
 }
 
 /// All experiment ids accepted by [`by_id`].
-pub const IDS: [&str; 13] = [
+pub const IDS: [&str; 14] = [
     "table5_1",
     "table5_2",
     "strategies_measured",
@@ -123,4 +126,5 @@ pub const IDS: [&str; 13] = [
     "ext_fusion",
     "ext_shifting",
     "ext_simulated",
+    "remap_bench",
 ];

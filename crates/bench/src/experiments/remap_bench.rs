@@ -1,0 +1,109 @@
+//! `remap_bench` — flat vs legacy remap engine, reported as JSON.
+//!
+//! Measures the PR's hot-path claim directly: blocked↔cyclic round trips
+//! (the access pattern every sort in the workspace reduces to) through
+//! the allocation-free flat path ([`SortContext`]) and through the legacy
+//! nested-Vec path (a fresh [`RemapPlan`] plus [`RemapPlan::apply`] per
+//! remap, exactly as the pre-PR sorts ran), in both message modes, at
+//! the thesis's P = 16 with 64K keys per rank (shrunk by the host scale).
+//! The body is a JSON object so external tooling can track the speedup.
+
+use super::{Experiment, Scale};
+use bitonic_core::layout::{blocked, cyclic};
+use bitonic_core::{RemapPlan, SortContext};
+use spmd::{run_spmd, MessageMode};
+use std::time::Instant;
+
+const P: usize = 16;
+/// Blocked↔cyclic round trips per timed run (2 remaps each).
+const ROUNDS: usize = 8;
+/// Timed runs per configuration; the minimum is reported.
+const SAMPLES: usize = 3;
+
+/// Critical-path seconds for `ROUNDS` round trips at `n` keys per rank
+/// (slowest rank wins; one untimed warm-up round trip first).
+fn run_once(n: usize, mode: MessageMode, flat: bool) -> f64 {
+    let lg_n = n.trailing_zeros();
+    let lg_p = P.trailing_zeros();
+    let results = run_spmd::<u64, _, _>(P, mode, move |comm| {
+        let me = comm.rank();
+        let b = blocked(lg_n + lg_p, lg_n);
+        let c = cyclic(lg_n + lg_p, lg_n);
+        let mut data: Vec<u64> = (0..n).map(|x| (me * n + x) as u64).collect();
+        if flat {
+            let mut ctx = SortContext::new();
+            ctx.remap(comm, &b, &c, &mut data);
+            ctx.remap(comm, &c, &b, &mut data);
+            comm.barrier();
+            let t = Instant::now();
+            for _ in 0..ROUNDS {
+                ctx.remap(comm, &b, &c, &mut data);
+                ctx.remap(comm, &c, &b, &mut data);
+            }
+            comm.barrier();
+            t.elapsed().as_secs_f64()
+        } else {
+            // Pre-PR hot path: every remap rebuilt its plan from a layout
+            // walk and packed into freshly allocated nested Vecs — exactly
+            // what the sorts did before [`SortContext`] existed.
+            data = RemapPlan::new(&b, &c, me).apply(comm, &data);
+            data = RemapPlan::new(&c, &b, me).apply(comm, &data);
+            comm.barrier();
+            let t = Instant::now();
+            for _ in 0..ROUNDS {
+                data = RemapPlan::new(&b, &c, me).apply(comm, &data);
+                data = RemapPlan::new(&c, &b, me).apply(comm, &data);
+            }
+            comm.barrier();
+            t.elapsed().as_secs_f64()
+        }
+    });
+    results.iter().map(|r| r.output).fold(0.0, f64::max)
+}
+
+fn best_of(n: usize, mode: MessageMode, flat: bool) -> f64 {
+    (0..SAMPLES)
+        .map(|_| run_once(n, mode, flat))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Run the benchmark and render its JSON report.
+#[must_use]
+pub fn remap_bench(scale: Scale) -> Experiment {
+    // Thesis configuration: 64K keys per rank; short messages pay per
+    // element, so they get the same extra 4x shrink as Table 5.3.
+    let n_long = (65_536 / scale.shrink).max(256).next_power_of_two();
+    let n_short = (n_long / 4).max(256).next_power_of_two();
+
+    let mut entries = String::new();
+    let mut speedups = String::new();
+    for (mode_label, mode, n) in [
+        ("long", MessageMode::Long, n_long),
+        ("short", MessageMode::Short, n_short),
+    ] {
+        let legacy = best_of(n, mode, false);
+        let flat = best_of(n, mode, true);
+        for (path, secs) in [("legacy", legacy), ("flat", flat)] {
+            let melem = (n * P * 2 * ROUNDS) as f64 / secs / 1e6;
+            entries.push_str(&format!(
+                "    {{\"mode\": \"{mode_label}\", \"path\": \"{path}\", \
+                 \"keys_per_rank\": {n}, \"seconds\": {secs:.6}, \
+                 \"melem_per_s\": {melem:.2}}},\n"
+            ));
+        }
+        speedups.push_str(&format!("    \"{mode_label}\": {:.2},\n", legacy / flat));
+    }
+    entries.truncate(entries.len().saturating_sub(2));
+    speedups.truncate(speedups.len().saturating_sub(2));
+
+    let body = format!(
+        "```json\n{{\n  \"id\": \"remap_bench\",\n  \"procs\": {P},\n  \
+         \"rounds\": {ROUNDS},\n  \"samples\": {SAMPLES},\n  \"results\": [\n{entries}\n  ],\n  \
+         \"speedup_flat_over_legacy\": {{\n{speedups}\n  }}\n}}\n```\n"
+    );
+    Experiment {
+        id: "remap_bench",
+        title: "Remap engine: flat apply_into vs legacy apply, P=16",
+        body,
+    }
+}

@@ -28,7 +28,7 @@
 /// // part, so each processor keeps n/4 keys (Lemma 3/4).
 /// assert_eq!(b.bits_changed_to(&c), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BitLayout {
     /// `rel_source[j]` = the absolute bit index that feeds relative bit `j`.
     rel_source: Vec<u32>,

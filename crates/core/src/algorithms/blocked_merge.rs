@@ -39,6 +39,9 @@ pub fn blocked_merge_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) ->
     let lg_p = bitonic_network::lg(p);
     let blocked_layout = blocked(lg_n + lg_p, lg_n);
     let mut scratch: Vec<K> = Vec::with_capacity(n);
+    // Reused receive buffer for the pairwise swaps: with `sendrecv_into`
+    // no step clones the local array or allocates an arrival buffer.
+    let mut received: Vec<K> = Vec::with_capacity(n);
 
     // First lg n stages: one local sort.
     comm.timed(Phase::Compute, |_| {
@@ -53,13 +56,13 @@ pub fn blocked_merge_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) ->
         // bits k − 1 down to 0.
         for proc_bit in (0..k).rev() {
             let partner = me ^ (1usize << proc_bit);
-            let received = comm.sendrecv(partner, local.clone());
+            comm.sendrecv_into(partner, &local, &mut received);
             comm.timed(Phase::Compute, |_| {
                 // The pair (me, partner) holds rows differing only in the
                 // step bit; the node on the bit-0 side keeps the minima of
                 // an ascending block.
                 let i_keep_min = (me < partner) == (dir == Direction::Ascending);
-                for (mine, theirs) in local.iter_mut().zip(received) {
+                for (mine, &theirs) in local.iter_mut().zip(received.iter()) {
                     let out_of_order = if i_keep_min {
                         *mine > theirs
                     } else {

@@ -9,9 +9,9 @@
 //! cover at most `lg(N/P)` steps each, so the final stage's `lg N` steps
 //! only fit if `lg N <= 2 lg(N/P)`.
 
+use crate::context::SortContext;
 use crate::layout::{blocked, cyclic};
 use crate::local::{initial_direction, stage_direction};
-use crate::remap::RemapPlan;
 use local_sorts::bitonic_merge::sort_bitonic_with_scratch;
 use local_sorts::{local_sort, RadixKey};
 use spmd::{Comm, Phase};
@@ -45,9 +45,11 @@ pub fn cyclic_blocked_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
     let lg_total = lg_n + lg_p;
     let blocked_layout = blocked(lg_total, lg_n);
     let cyclic_layout = cyclic(lg_total, lg_n);
-    // The two remaps are the same every stage; plan them once.
-    let to_cyclic = RemapPlan::new(&blocked_layout, &cyclic_layout, me);
-    let to_blocked = RemapPlan::new(&cyclic_layout, &blocked_layout, me);
+    // The two remaps are the same every stage; the context computes each
+    // plan once and reuses its flat buffers for all 2·lgP applications.
+    let mut ctx = SortContext::new();
+    let to_cyclic = ctx.plan(&blocked_layout, &cyclic_layout, me);
+    let to_blocked = ctx.plan(&cyclic_layout, &blocked_layout, me);
     let mut scratch: Vec<K> = Vec::with_capacity(n);
 
     // First lg n stages under the blocked layout: one local sort.
@@ -58,13 +60,13 @@ pub fn cyclic_blocked_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
     for k in 1..=lg_p {
         let stage = lg_n + k;
         // Remap to cyclic; the first k steps of the stage are now local.
-        local = to_cyclic.apply(comm, &local);
+        ctx.remap_with(comm, &to_cyclic, &mut local);
         comm.timed(Phase::Compute, |_| {
             cyclic_phase(&cyclic_layout, me, &mut local, stage, k, &mut scratch);
         });
         // Remap back to blocked; the remaining lg n steps sort the local
         // bitonic sequence (Lemma 7 at column lg n).
-        local = to_blocked.apply(comm, &local);
+        ctx.remap_with(comm, &to_blocked, &mut local);
         comm.timed(Phase::Compute, |_| {
             let dir = stage_direction(&blocked_layout, me, stage)
                 .expect("stage bit is a processor bit under blocked");

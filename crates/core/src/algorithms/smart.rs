@@ -7,8 +7,8 @@
 //! again." — and, by Theorem 1, no algorithm without data replication can
 //! use fewer remaps.
 
+use crate::context::SortContext;
 use crate::local::{initial_direction, run_phase, stage_direction, LocalStrategy};
-use crate::remap::RemapPlan;
 use crate::schedule::{RemapPhase, SmartSchedule};
 use crate::smart::RemapKind;
 use bitonic_network::Direction;
@@ -62,11 +62,13 @@ pub fn smart_sort<K: RadixKey>(
         local_sort(&mut local, initial_direction(&blocked, me));
     });
 
-    // Last lg P stages: remap, run lg n steps locally, repeat.
+    // Last lg P stages: remap, run lg n steps locally, repeat. All remaps
+    // go through one SortContext: plans are cached per layout pair and the
+    // flat pack/transfer/unpack buffers are reused across the R remaps.
+    let mut ctx = SortContext::new();
     let mut prev = blocked;
     for phase in &sched.phases {
-        let plan = RemapPlan::new(&prev, &phase.layout, me);
-        local = plan.apply(comm, &local);
+        ctx.remap(comm, &prev, &phase.layout, &mut local);
         comm.timed(Phase::Compute, |_| {
             run_phase(strategy, phase, me, &mut local, &mut scratch);
         });
@@ -137,37 +139,57 @@ pub fn smart_sort_fused<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> V
     // Direction each rank's array is sorted in after the previous phase.
     let mut dir_of: Vec<Direction> = (0..p).map(|r| initial_direction(&blocked, r)).collect();
 
+    // Flat double-buffered scratch, reused across all R phases: the packed
+    // send buffer, the flat receive buffer (one segment per source), the
+    // merge output, and the per-destination pack cursors.
+    let mut ctx: SortContext<K> = SortContext::new();
+    let mut send: Vec<K> = Vec::new();
+    let mut recv: Vec<K> = Vec::new();
+    let mut merged: Vec<K> = Vec::new();
+    let mut cursors: Vec<usize> = Vec::with_capacity(p);
+
     for phase in &sched.phases {
-        let plan = RemapPlan::new(&prev_layout, &phase.layout, me);
-        // Fused pack: one linear pass over the (sorted) array, appending
-        // each element to its destination's buffer — every message is then
-        // a sorted run by construction.
-        let outgoing: Vec<Vec<K>> = comm.timed(Phase::Pack, |_| {
-            let dest = plan.destinations();
-            let mut out: Vec<Vec<K>> = (0..p)
-                .map(|d| Vec::with_capacity(plan.gather_indices(d).len()))
-                .collect();
-            for (&k, &d) in local.iter().zip(dest.iter()) {
-                out[d as usize].push(k);
+        let plan = ctx.plan(&prev_layout, &phase.layout, me);
+        // Fused pack: one linear pass over the (sorted) array, writing each
+        // element at its destination segment's cursor — every message is
+        // then a sorted run by construction.
+        comm.timed(Phase::Pack, |_| {
+            cursors.clear();
+            let mut offset = 0usize;
+            for &c in plan.send_counts() {
+                cursors.push(offset);
+                offset += c;
             }
-            out
+            send.clear();
+            send.resize(n, local[0]);
+            for (&k, &d) in local.iter().zip(plan.destinations()) {
+                let slot = &mut cursors[d as usize];
+                send[*slot] = k;
+                *slot += 1;
+            }
         });
-        let incoming = comm.exchange(outgoing);
-        // Fused unpack + compute: one p-way merge replaces scatter + sort.
+        comm.alltoallv(&send, plan.send_counts(), &mut recv, plan.recv_counts());
+        // Fused unpack + compute: one p-way merge over the received
+        // segments replaces scatter + sort.
         let my_dir = fullsort_direction(phase, me);
-        local = comm.timed(Phase::Compute, |_| {
-            let runs: Vec<Run<'_, K>> = incoming
+        comm.timed(Phase::Compute, |_| {
+            let mut offset = 0usize;
+            let runs: Vec<Run<'_, K>> = plan
+                .recv_counts()
                 .iter()
                 .enumerate()
-                .map(|(src, data)| Run {
-                    data,
-                    dir: dir_of[src],
+                .map(|(src, &c)| {
+                    let run = Run {
+                        data: &recv[offset..offset + c],
+                        dir: dir_of[src],
+                    };
+                    offset += c;
+                    run
                 })
                 .collect();
-            let mut merged = Vec::with_capacity(n);
             pway_merge_into(&runs, my_dir, &mut merged);
-            merged
         });
+        std::mem::swap(&mut local, &mut merged);
         for (r, d) in dir_of.iter_mut().enumerate() {
             *d = fullsort_direction(phase, r);
         }

@@ -1,0 +1,193 @@
+//! Per-run sort state: the remap plan cache and the reusable flat
+//! buffers that make the steady-state hot path allocation-free.
+//!
+//! Every parallel algorithm in this crate executes a sequence of remaps.
+//! Before this module existed, each remap recomputed its [`RemapPlan`]
+//! (O(n) address arithmetic plus several allocations) and allocated fresh
+//! pack/unpack buffers. A [`SortContext`] owns both concerns for one
+//! rank: plans are computed once per distinct layout pair and cached, and
+//! the pack/transfer/unpack buffers are double-buffered across remaps so
+//! repeated remaps allocate nothing.
+
+use crate::address::BitLayout;
+use crate::remap::RemapPlan;
+use spmd::Comm;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Cache of [`RemapPlan`]s keyed by `(old layout, new layout, rank)`.
+///
+/// Plans are behind [`Rc`] so a cache hit is a pointer bump, and a caller
+/// can hold a plan while mutably borrowing the rest of its context.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<(BitLayout, BitLayout, usize), Rc<RemapPlan>>,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache {
+            plans: HashMap::new(),
+        }
+    }
+
+    /// The plan for `old → new` as seen from rank `me`, computing and
+    /// caching it on first request.
+    pub fn plan(&mut self, old: &BitLayout, new: &BitLayout, me: usize) -> Rc<RemapPlan> {
+        if let Some(plan) = self.plans.get(&(old.clone(), new.clone(), me)) {
+            return Rc::clone(plan);
+        }
+        let plan = Rc::new(RemapPlan::new(old, new, me));
+        self.plans
+            .insert((old.clone(), new.clone(), me), Rc::clone(&plan));
+        plan
+    }
+
+    /// Number of distinct plans currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+/// One rank's per-run sort state: plan cache plus flat remap buffers.
+///
+/// Create one at the start of a rank's program and thread it through
+/// every remap. [`SortContext::remap`] is the one-call hot path: cached
+/// plan lookup, flat-buffer [`RemapPlan::apply_into`], and a swap that
+/// turns the output buffer into the next remap's spare — so R successive
+/// remaps perform zero steady-state allocations.
+#[derive(Debug, Default)]
+pub struct SortContext<K> {
+    cache: PlanCache,
+    /// Double-buffer partner of the caller's data vector.
+    spare: Vec<K>,
+}
+
+impl<K: Copy + Send + 'static> SortContext<K> {
+    /// Fresh context; buffers grow to working-set size on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SortContext {
+            cache: PlanCache::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// The cached plan for `old → new` from rank `me`.
+    pub fn plan(&mut self, old: &BitLayout, new: &BitLayout, me: usize) -> Rc<RemapPlan> {
+        self.cache.plan(old, new, me)
+    }
+
+    /// Remap `data` in place from layout `old` to layout `new` through the
+    /// flat-buffer path, reusing the cached plan and this context's
+    /// scratch buffers.
+    pub fn remap(
+        &mut self,
+        comm: &mut Comm<K>,
+        old: &BitLayout,
+        new: &BitLayout,
+        data: &mut Vec<K>,
+    ) {
+        let plan = self.cache.plan(old, new, comm.rank());
+        self.remap_with(comm, &plan, data);
+    }
+
+    /// Like [`SortContext::remap`] with a plan the caller already holds
+    /// (e.g. one reused across many stages).
+    pub fn remap_with(&mut self, comm: &mut Comm<K>, plan: &RemapPlan, data: &mut Vec<K>) {
+        plan.apply_into(comm, data, &mut self.spare);
+        std::mem::swap(data, &mut self.spare);
+    }
+
+    /// Number of distinct plans cached so far.
+    #[must_use]
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{blocked, cyclic};
+    use spmd::{run_spmd, MessageMode};
+
+    #[test]
+    fn plan_cache_hits_return_the_same_plan() {
+        let b = blocked(6, 3);
+        let c = cyclic(6, 3);
+        let mut cache = PlanCache::new();
+        let p1 = cache.plan(&b, &c, 0);
+        let p2 = cache.plan(&b, &c, 0);
+        assert!(Rc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.len(), 1);
+        let p3 = cache.plan(&b, &c, 1);
+        assert!(!Rc::ptr_eq(&p1, &p3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn context_remap_round_trips() {
+        let b = blocked(6, 3);
+        let c = cyclic(6, 3);
+        let results = run_spmd::<u64, _, _>(8, MessageMode::Long, |comm| {
+            let me = comm.rank();
+            let b = blocked(6, 3);
+            let c = cyclic(6, 3);
+            let original: Vec<u64> = (0..8).map(|x| b.abs_at(me, x) as u64).collect();
+            let mut ctx = SortContext::new();
+            let mut data = original.clone();
+            for _ in 0..4 {
+                ctx.remap(comm, &b, &c, &mut data);
+                ctx.remap(comm, &c, &b, &mut data);
+            }
+            assert_eq!(ctx.cached_plans(), 2, "two layout pairs, two plans");
+            (original, data)
+        });
+        let _ = (b, c);
+        for r in &results {
+            let (original, data) = &r.output;
+            assert_eq!(original, data, "even number of inverse remaps is identity");
+        }
+    }
+
+    #[test]
+    fn steady_state_remaps_do_not_allocate_send_buffers() {
+        // After one warm-up round trip, the context's flat buffers and the
+        // comm's recycling pool have reached working-set size: further
+        // remaps must never miss the pool (i.e. never allocate a transfer
+        // buffer) again.
+        let results = run_spmd::<u64, _, _>(8, MessageMode::Long, |comm| {
+            let me = comm.rank();
+            let b = blocked(9, 6);
+            let c = cyclic(9, 6);
+            let mut data: Vec<u64> = (0..64).map(|x| b.abs_at(me, x) as u64).collect();
+            let mut ctx = SortContext::new();
+            ctx.remap(comm, &b, &c, &mut data);
+            ctx.remap(comm, &c, &b, &mut data);
+            let after_warmup = comm.pool_misses();
+            for _ in 0..16 {
+                ctx.remap(comm, &b, &c, &mut data);
+                ctx.remap(comm, &c, &b, &mut data);
+            }
+            (after_warmup, comm.pool_misses())
+        });
+        for r in &results {
+            let (warm, done) = r.output;
+            assert_eq!(
+                warm, done,
+                "rank {}: steady state must not allocate",
+                r.rank
+            );
+        }
+    }
+}

@@ -39,6 +39,7 @@
 pub mod address;
 pub mod algorithms;
 pub mod complexity;
+pub mod context;
 pub mod layout;
 pub mod local;
 pub mod masks;
@@ -49,6 +50,7 @@ pub mod smart;
 
 pub use address::BitLayout;
 pub use algorithms::{run_parallel_sort, Algorithm};
+pub use context::{PlanCache, SortContext};
 pub use local::LocalStrategy;
 pub use remap::RemapPlan;
 pub use schedule::SmartSchedule;

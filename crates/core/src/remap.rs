@@ -26,12 +26,32 @@ use spmd::{Comm, Phase};
 pub struct RemapPlan {
     procs: usize,
     local: usize,
-    /// `gather[dst]` — local source indices to pack for `dst`, ordered by
-    /// the element's destination local address (the pack mask).
-    gather: Vec<Vec<u32>>,
-    /// `scatter[src]` — local destination indices for the elements arriving
-    /// from `src`, in the same canonical order (the unpack mask).
-    scatter: Vec<Vec<u32>>,
+    /// Local source indices to pack, concatenated per destination rank in
+    /// rank order; segment `dst` is ordered by the element's destination
+    /// local address (the pack mask). One flat table instead of
+    /// `Vec<Vec<u32>>` keeps the pack loop a single linear walk.
+    gather: Vec<u32>,
+    /// `gather_offsets[d]..gather_offsets[d + 1]` bounds destination `d`'s
+    /// segment of `gather`.
+    gather_offsets: Vec<usize>,
+    /// Local destination indices for arriving elements, concatenated per
+    /// source rank in rank order; segment `src` is in the same canonical
+    /// order the sender packed (the unpack mask). Always a permutation of
+    /// `0..local`.
+    scatter: Vec<u32>,
+    /// `scatter_offsets[s]..scatter_offsets[s + 1]` bounds source `s`'s
+    /// segment of `scatter`.
+    scatter_offsets: Vec<usize>,
+    /// Per-destination segment lengths — exactly the `send_counts` of
+    /// [`spmd::Comm::alltoallv`].
+    send_counts: Vec<usize>,
+    /// Per-source segment lengths — the `recv_counts` of `alltoallv`,
+    /// computable on both sides because the plan is shared knowledge.
+    recv_counts: Vec<usize>,
+    /// `dest[x]` — destination rank of local position `x`; the inverse
+    /// view of `gather`, used by the fused pipeline to pack in array
+    /// order.
+    dest: Vec<u32>,
 }
 
 impl RemapPlan {
@@ -51,36 +71,59 @@ impl RemapPlan {
         let local = old.local_size();
         assert!(me < procs);
 
-        // Pack side: where does each of my current elements go?
+        // Pack side: where does each of my current elements go? Build the
+        // per-destination segments sorted by destination local address,
+        // then flatten them into one table with offsets.
         let mut gather_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); procs];
-        for x in 0..local {
+        let mut dest = vec![0u32; local];
+        for (x, d) in dest.iter_mut().enumerate() {
             let abs = old.abs_at(me, x);
             let dst = new.proc_of(abs);
             let new_local = new.local_of(abs);
+            *d = dst as u32;
             gather_pairs[dst].push((new_local as u32, x as u32));
         }
-        let gather: Vec<Vec<u32>> = gather_pairs
-            .into_iter()
-            .map(|mut v| {
-                v.sort_unstable_by_key(|&(new_local, _)| new_local);
-                v.into_iter().map(|(_, x)| x).collect()
-            })
-            .collect();
+        let mut gather = Vec::with_capacity(local);
+        let mut gather_offsets = Vec::with_capacity(procs + 1);
+        let mut send_counts = Vec::with_capacity(procs);
+        gather_offsets.push(0);
+        for mut segment in gather_pairs {
+            segment.sort_unstable_by_key(|&(new_local, _)| new_local);
+            send_counts.push(segment.len());
+            gather.extend(segment.into_iter().map(|(_, x)| x));
+            gather_offsets.push(gather.len());
+        }
 
         // Unpack side: which of my future elements come from each source?
         // Walking new local addresses in ascending order reproduces the
-        // sender's canonical order without communication.
-        let mut scatter: Vec<Vec<u32>> = vec![Vec::new(); procs];
+        // sender's canonical order without communication. Two passes: count
+        // each source's segment, then fill the flat table in place.
+        let mut recv_counts = vec![0usize; procs];
         for y in 0..local {
-            let abs = new.abs_at(me, y);
-            let src = old.proc_of(abs);
-            scatter[src].push(y as u32);
+            recv_counts[old.proc_of(new.abs_at(me, y))] += 1;
+        }
+        let mut scatter_offsets = Vec::with_capacity(procs + 1);
+        scatter_offsets.push(0);
+        for &c in &recv_counts {
+            scatter_offsets.push(scatter_offsets.last().unwrap() + c);
+        }
+        let mut cursor = scatter_offsets.clone();
+        let mut scatter = vec![0u32; local];
+        for y in 0..local {
+            let src = old.proc_of(new.abs_at(me, y));
+            scatter[cursor[src]] = y as u32;
+            cursor[src] += 1;
         }
         RemapPlan {
             procs,
             local,
             gather,
+            gather_offsets,
             scatter,
+            scatter_offsets,
+            send_counts,
+            recv_counts,
+            dest,
         }
     }
 
@@ -88,7 +131,7 @@ impl RemapPlan {
     /// Section 3.2.1).
     #[must_use]
     pub fn kept(&self, me: usize) -> usize {
-        self.gather[me].len()
+        self.send_counts[me]
     }
 
     /// Number of elements this rank sends away.
@@ -100,34 +143,43 @@ impl RemapPlan {
     /// Ranks this plan actually exchanges data with (non-empty messages).
     pub fn partners(&self, me: usize) -> impl Iterator<Item = usize> + '_ {
         let me_copy = me;
-        (0..self.procs).filter(move |&d| d != me_copy && !self.gather[d].is_empty())
+        (0..self.procs).filter(move |&d| d != me_copy && self.send_counts[d] > 0)
     }
 
     /// The gather indices (pack mask realization) for destination `dst`.
     #[must_use]
     pub fn gather_indices(&self, dst: usize) -> &[u32] {
-        &self.gather[dst]
+        &self.gather[self.gather_offsets[dst]..self.gather_offsets[dst + 1]]
     }
 
     /// The scatter indices (unpack mask realization) for source `src`.
     #[must_use]
     pub fn scatter_indices(&self, src: usize) -> &[u32] {
-        &self.scatter[src]
+        &self.scatter[self.scatter_offsets[src]..self.scatter_offsets[src + 1]]
+    }
+
+    /// Per-destination message sizes — the `send_counts` argument of
+    /// [`spmd::Comm::alltoallv`] for this remap.
+    #[must_use]
+    pub fn send_counts(&self) -> &[usize] {
+        &self.send_counts
+    }
+
+    /// Per-source message sizes — the `recv_counts` argument of
+    /// [`spmd::Comm::alltoallv`] for this remap.
+    #[must_use]
+    pub fn recv_counts(&self) -> &[usize] {
+        &self.recv_counts
     }
 
     /// Destination rank of every local position, `dest[x]` — the inverse
     /// view of the gather tables. Used by the fused pipeline of Section
     /// 4.3 to pack messages in *array order* (so a sorted array yields
-    /// sorted messages) with one linear pass.
+    /// sorted messages) with one linear pass. Precomputed, so repeated
+    /// phases borrow it for free.
     #[must_use]
-    pub fn destinations(&self) -> Vec<u32> {
-        let mut dest = vec![0u32; self.local];
-        for (d, idxs) in self.gather.iter().enumerate() {
-            for &i in idxs {
-                dest[i as usize] = d as u32;
-            }
-        }
-        dest
+    pub fn destinations(&self) -> &[u32] {
+        &self.dest
     }
 
     /// Execute the remap over the SPMD machine: pack, all-to-all transfer,
@@ -147,9 +199,13 @@ impl RemapPlan {
         let me = comm.rank();
 
         let outgoing: Vec<Vec<K>> = comm.timed(Phase::Pack, |_| {
-            self.gather
-                .iter()
-                .map(|idxs| idxs.iter().map(|&i| data[i as usize]).collect())
+            (0..self.procs)
+                .map(|d| {
+                    self.gather_indices(d)
+                        .iter()
+                        .map(|&i| data[i as usize])
+                        .collect()
+                })
                 .collect()
         });
 
@@ -158,7 +214,7 @@ impl RemapPlan {
         comm.timed(Phase::Unpack, |_| {
             let mut out = vec![incoming[me].first().copied().unwrap_or(data[0]); self.local];
             for (src, values) in incoming.iter().enumerate() {
-                let slots = &self.scatter[src];
+                let slots = self.scatter_indices(src);
                 assert_eq!(
                     slots.len(),
                     values.len(),
@@ -174,6 +230,57 @@ impl RemapPlan {
         })
     }
 
+    /// Execute the remap through the zero-copy flat path: each message is
+    /// gathered straight into a recycled transfer buffer, moved through
+    /// [`Comm::alltoallv_with`] (recv sizes come from the plan, so empty
+    /// partners cost nothing), and each arriving segment is scattered
+    /// straight into `out` — every element is touched exactly twice, with
+    /// no intermediate flat copy on either side.
+    ///
+    /// `out` is cleared and refilled each call; once it and the
+    /// communicator's buffer pool have grown to the remap's working-set
+    /// size — after the first call, for a fixed plan — subsequent calls
+    /// perform **zero heap allocations**. Callers double-buffer by
+    /// swapping `out` with their data vector between remaps (see
+    /// [`crate::context::SortContext::remap`]).
+    ///
+    /// The wire format, message order, and recorded R/V/M counters are
+    /// identical to [`RemapPlan::apply`]; the two are property-tested for
+    /// exact output equality.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the layouts' `n` or the plan
+    /// was built for a different machine size.
+    pub fn apply_into<K: Copy + Send + 'static>(
+        &self,
+        comm: &mut Comm<K>,
+        data: &[K],
+        out: &mut Vec<K>,
+    ) {
+        assert_eq!(data.len(), self.local, "data length must equal n");
+        assert_eq!(
+            comm.procs(),
+            self.procs,
+            "plan built for a different machine size"
+        );
+
+        // Size the output up front; `scatter` is a permutation of
+        // 0..local, so the transfer overwrites every slot.
+        out.clear();
+        out.resize(self.local, data[0]);
+        let out = &mut out[..];
+        comm.alltoallv_with(
+            &self.send_counts,
+            &self.recv_counts,
+            |dst, buf| buf.extend(self.gather_indices(dst).iter().map(|&i| data[i as usize])),
+            |src, segment| {
+                for (&slot, &v) in self.scatter_indices(src).iter().zip(segment.iter()) {
+                    out[slot as usize] = v;
+                }
+            },
+        );
+    }
+
     /// Apply the remap without a machine: move elements between the
     /// per-processor arrays directly. Used by the sequential reference
     /// executor and by tests.
@@ -183,16 +290,20 @@ impl RemapPlan {
         let mut in_flight: Vec<Vec<Vec<K>>> = Vec::with_capacity(procs);
         for (me, plan) in plans.iter().enumerate() {
             in_flight.push(
-                plan.gather
-                    .iter()
-                    .map(|idxs| idxs.iter().map(|&i| data[me][i as usize]).collect())
+                (0..procs)
+                    .map(|d| {
+                        plan.gather_indices(d)
+                            .iter()
+                            .map(|&i| data[me][i as usize])
+                            .collect()
+                    })
                     .collect(),
             );
         }
         for (me, plan) in plans.iter().enumerate() {
             for (src, flight) in in_flight.iter_mut().enumerate() {
                 let values = std::mem::take(&mut flight[me]);
-                let slots = &plan.scatter[src];
+                let slots = plan.scatter_indices(src);
                 assert_eq!(slots.len(), values.len());
                 for (&slot, v) in slots.iter().zip(values) {
                     data[me][slot as usize] = v;
@@ -388,6 +499,59 @@ mod tests {
                 (0..procs).map(|me| RemapPlan::new(&b, &a, me)).collect();
             RemapPlan::apply_sequential(&back, &mut data);
             prop_assert_eq!(data, original);
+        }
+
+        /// Over the running machine, the flat [`RemapPlan::apply_into`]
+        /// path produces exactly the same per-rank data *and* the same
+        /// R/V/M counter record as the legacy [`RemapPlan::apply`] oracle —
+        /// across random layout pairs, machine shapes and both message
+        /// modes.
+        #[test]
+        fn apply_into_matches_apply_over_the_machine(
+            perm_a in Just(()).prop_perturb(|_, mut rng| {
+                let mut v: Vec<u32> = (0..6).collect();
+                for i in (1..v.len()).rev() {
+                    let j = (rng.next_u32() as usize) % (i + 1);
+                    v.swap(i, j);
+                }
+                v
+            }),
+            perm_b in Just(()).prop_perturb(|_, mut rng| {
+                let mut v: Vec<u32> = (0..6).collect();
+                for i in (1..v.len()).rev() {
+                    let j = (rng.next_u32() as usize) % (i + 1);
+                    v.swap(i, j);
+                }
+                v
+            }),
+            lg_local in 2u32..5,
+            long in proptest::prelude::any::<bool>(),
+        ) {
+            use spmd::{run_spmd, MessageMode};
+            let a = BitLayout::new(perm_a, lg_local);
+            let b = BitLayout::new(perm_b, lg_local);
+            let procs = a.procs();
+            let mode = if long { MessageMode::Long } else { MessageMode::Short };
+            let (a2, b2) = (a.clone(), b.clone());
+            let results = run_spmd::<u64, _, _>(procs, mode, move |comm| {
+                let me = comm.rank();
+                let data: Vec<u64> = (0..a2.local_size())
+                    .map(|x| (a2.abs_at(me, x) * 7 + 1) as u64)
+                    .collect();
+                let plan = RemapPlan::new(&a2, &b2, me);
+                let oracle = plan.apply(comm, &data);
+                let mut out = Vec::new();
+                plan.apply_into(comm, &data, &mut out);
+                (out, oracle)
+            });
+            for r in &results {
+                let (flat, oracle) = &r.output;
+                prop_assert_eq!(flat, oracle, "rank {}: flat ≡ oracle", r.rank);
+                let [x, y] = &r.stats.remaps[..] else {
+                    panic!("expected exactly two remap records");
+                };
+                prop_assert_eq!(x, y, "rank {}: R/V/M records must match", r.rank);
+            }
         }
     }
 }

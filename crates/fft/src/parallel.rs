@@ -21,7 +21,7 @@
 use crate::field::{inv, mul, root_of_unity};
 use crate::ntt::dif_level_mapped;
 use bitonic_core::layout::{blocked, cyclic};
-use bitonic_core::{BitLayout, RemapPlan};
+use bitonic_core::{BitLayout, SortContext};
 use spmd::{Comm, Phase};
 
 /// The bit-reversal layout: the node with absolute address `i` lives at
@@ -88,11 +88,13 @@ fn parallel_transform(comm: &mut Comm<u64>, mut local: Vec<u64>, inverse: bool) 
 
     let blocked_layout = blocked(lg_total, lg_n);
     let cyclic_layout = cyclic(lg_total, lg_n);
+    // All three remaps share one context: plans cached per layout pair,
+    // flat pack/transfer/unpack buffers reused across applications.
+    let mut ctx = SortContext::new();
 
     // Remap 1: blocked -> cyclic; top lg n levels are local (absolute bit
     // `level` sits at local bit `level - lg P` under cyclic).
-    let plan = RemapPlan::new(&blocked_layout, &cyclic_layout, me);
-    local = plan.apply(comm, &local);
+    ctx.remap(comm, &blocked_layout, &cyclic_layout, &mut local);
     comm.timed(Phase::Compute, |_| {
         for level in (lg_p..lg_total).rev() {
             let local_bit = cyclic_layout
@@ -106,8 +108,7 @@ fn parallel_transform(comm: &mut Comm<u64>, mut local: Vec<u64>, inverse: bool) 
     });
 
     // Remap 2: cyclic -> blocked; remaining lg P levels are local.
-    let plan = RemapPlan::new(&cyclic_layout, &blocked_layout, me);
-    local = plan.apply(comm, &local);
+    ctx.remap(comm, &cyclic_layout, &blocked_layout, &mut local);
     comm.timed(Phase::Compute, |_| {
         for level in (0..lg_p).rev() {
             let bl = &blocked_layout;
@@ -121,8 +122,7 @@ fn parallel_transform(comm: &mut Comm<u64>, mut local: Vec<u64>, inverse: bool) 
     // element at absolute (storage) address i holds X[rev(i)]; placing the
     // element from storage address rev(k) at position k yields X[k].
     let rev_layout = bit_reversal_layout(lg_total, lg_n);
-    let plan = RemapPlan::new(&blocked_layout, &rev_layout, me);
-    local = plan.apply(comm, &local);
+    ctx.remap(comm, &blocked_layout, &rev_layout, &mut local);
 
     if inverse {
         comm.timed(Phase::Compute, |_| {

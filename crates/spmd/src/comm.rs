@@ -23,8 +23,11 @@ pub enum MessageMode {
 pub(crate) enum Payload<K> {
     /// Announces how many single-element messages follow (short mode).
     Header(usize),
-    /// A packed long message, or one element in short mode.
+    /// A packed long message.
     Data(Vec<K>),
+    /// One element in short mode. Fixed-size — travels without a heap
+    /// allocation, unlike the `Data(vec![k])` encoding it replaced.
+    Key(K),
     /// Control metadata (histograms, counts) — always one message
     /// regardless of mode, like the small bookkeeping messages real
     /// implementations piggyback on the network.
@@ -52,6 +55,13 @@ pub struct Comm<K> {
     /// Early arrivals buffered per source rank (channels are shared FIFOs;
     /// a fast sender's messages may land before we ask for them).
     pending: Vec<VecDeque<Payload<K>>>,
+    /// Recycled message buffers for the flat-path operations. Buffers
+    /// received from peers are drained and parked here, then reused for
+    /// this rank's next sends — after a warm-up round the pool reaches a
+    /// steady state and [`Comm::alltoallv`] allocates nothing.
+    pool: Vec<Vec<K>>,
+    /// Diagnostic: pool-miss count (see [`Comm::pool_misses`]).
+    pool_misses: u64,
     /// Metrics for this rank; harvested by the runtime when the program
     /// returns.
     pub stats: CommStats,
@@ -74,6 +84,8 @@ impl<K: Send + 'static> Comm<K> {
             receiver,
             barrier,
             pending: (0..procs).map(|_| VecDeque::new()).collect(),
+            pool: Vec::new(),
+            pool_misses: 0,
             stats: CommStats::new(),
         }
     }
@@ -157,7 +169,7 @@ impl<K: Send + 'static> Comm<K> {
                     record.messages_sent += len as u64;
                     self.send_to(dst, Payload::Header(len));
                     for k in data {
-                        self.send_to(dst, Payload::Data(vec![k]));
+                        self.send_to(dst, Payload::Key(k));
                     }
                 }
             }
@@ -180,7 +192,7 @@ impl<K: Send + 'static> Comm<K> {
                     let mut buf = Vec::with_capacity(count);
                     for _ in 0..count {
                         match self.recv_payload(src) {
-                            Payload::Data(mut v) => buf.append(&mut v),
+                            Payload::Key(k) => buf.push(k),
                             _ => panic!("unexpected payload after header"),
                         }
                     }
@@ -219,7 +231,7 @@ impl<K: Send + 'static> Comm<K> {
                 record.messages_sent = data.len() as u64;
                 self.send_to(partner, Payload::Header(data.len()));
                 for k in data {
-                    self.send_to(partner, Payload::Data(vec![k]));
+                    self.send_to(partner, Payload::Key(k));
                 }
             }
         }
@@ -236,7 +248,7 @@ impl<K: Send + 'static> Comm<K> {
                 let mut buf = Vec::with_capacity(count);
                 for _ in 0..count {
                     match self.recv_payload(partner) {
-                        Payload::Data(mut v) => buf.append(&mut v),
+                        Payload::Key(k) => buf.push(k),
                         _ => panic!("unexpected payload after header"),
                     }
                 }
@@ -247,6 +259,408 @@ impl<K: Send + 'static> Comm<K> {
         self.stats.add_time(Phase::Transfer, t0.elapsed());
         self.stats.push_remap(record);
         received
+    }
+
+    /// Flat-buffer all-to-all personalized exchange, MPI `Alltoallv`-style.
+    ///
+    /// `sendbuf` holds the data for all destinations concatenated in rank
+    /// order: rank `d`'s segment is `send_counts[..d].sum()..` with length
+    /// `send_counts[d]`. `recvbuf` is cleared and filled with the arriving
+    /// segments in ascending source order (`recv_counts` gives each
+    /// segment's length, which every rank can compute from the shared
+    /// remap plan — so empty destinations exchange no message at all).
+    ///
+    /// This is the zero-allocation counterpart of [`Comm::exchange`],
+    /// implemented over [`Comm::alltoallv_with`]: sends are staged in
+    /// recycled buffers from the communicator's pool, and received buffers
+    /// are drained into `recvbuf` and recycled. After a warm-up round,
+    /// steady state performs no heap allocation. The [`RemapRecord`]
+    /// pushed is identical to what `exchange` would record for the same
+    /// traffic, in either [`MessageMode`].
+    ///
+    /// # Panics
+    /// Panics if the count slices are not `procs` long, if `sendbuf` does
+    /// not match `send_counts`, or if a peer sends a mismatched segment.
+    pub fn alltoallv(
+        &mut self,
+        sendbuf: &[K],
+        send_counts: &[usize],
+        recvbuf: &mut Vec<K>,
+        recv_counts: &[usize],
+    ) where
+        K: Clone,
+    {
+        assert_eq!(
+            send_counts.iter().sum::<usize>(),
+            sendbuf.len(),
+            "send counts must cover the send buffer exactly"
+        );
+        recvbuf.clear();
+        recvbuf.reserve(recv_counts.iter().sum::<usize>());
+        // `fill` runs in ascending destination order and skipped (empty)
+        // destinations have zero-length segments, so a running cursor
+        // recovers each destination's displacement without a table.
+        let mut cursor = 0usize;
+        // The drain copy here is message *assembly* into the caller's flat
+        // receive buffer, not an algorithmic unpack pass, so it is charged
+        // to `Phase::Transfer` (the scatter in a remap's `apply_into` is
+        // what Unpack measures).
+        self.alltoallv_inner(
+            send_counts,
+            recv_counts,
+            |dst, buf| {
+                buf.extend_from_slice(&sendbuf[cursor..cursor + send_counts[dst]]);
+                cursor += send_counts[dst];
+            },
+            |_src, segment| recvbuf.extend_from_slice(segment),
+            Phase::Transfer,
+        );
+    }
+
+    /// Zero-copy planned all-to-all: the engine under [`Comm::alltoallv`],
+    /// exposed for callers that can pack and unpack in place.
+    ///
+    /// For every destination with a non-zero `send_counts` entry (plus this
+    /// rank itself), `fill(dst, buf)` is invoked — in ascending `dst` order
+    /// — to append exactly `send_counts[dst]` elements to a recycled
+    /// message buffer, which is then moved into the channel without any
+    /// further copy. Arriving segments are handed to `drain(src, segment)`
+    /// in ascending `src` order (own segment included, `recv_counts[src]`
+    /// elements each) and the buffers recycled. Steady state therefore
+    /// performs zero heap allocations *and* zero intermediate copies:
+    /// elements are touched exactly twice, once gathering into the message
+    /// and once scattering out of it.
+    ///
+    /// Wall-clock inside `fill` is charged to [`Phase::Pack`], inside
+    /// `drain` to [`Phase::Unpack`], and the remainder of the call to
+    /// [`Phase::Transfer`]. The [`RemapRecord`] pushed is identical to
+    /// [`Comm::exchange`] for the same traffic, in either [`MessageMode`].
+    ///
+    /// # Panics
+    /// Panics if the count slices are not `procs` long or a peer sends a
+    /// mismatched segment.
+    pub fn alltoallv_with(
+        &mut self,
+        send_counts: &[usize],
+        recv_counts: &[usize],
+        fill: impl FnMut(usize, &mut Vec<K>),
+        drain: impl FnMut(usize, &[K]),
+    ) where
+        K: Clone,
+    {
+        self.alltoallv_inner(send_counts, recv_counts, fill, drain, Phase::Unpack);
+    }
+
+    /// Shared engine behind [`Comm::alltoallv`] and [`Comm::alltoallv_with`];
+    /// `drain_phase` picks where the drain time is charged.
+    fn alltoallv_inner(
+        &mut self,
+        send_counts: &[usize],
+        recv_counts: &[usize],
+        mut fill: impl FnMut(usize, &mut Vec<K>),
+        mut drain: impl FnMut(usize, &[K]),
+        drain_phase: Phase,
+    ) where
+        K: Clone,
+    {
+        assert_eq!(send_counts.len(), self.procs, "one send count per rank");
+        assert_eq!(recv_counts.len(), self.procs, "one recv count per rank");
+        let t0 = Instant::now();
+        let mut pack = std::time::Duration::ZERO;
+        let mut unpack = std::time::Duration::ZERO;
+        let mut record = RemapRecord {
+            elements_kept: send_counts[self.rank] as u64,
+            ..Default::default()
+        };
+        let mut partners = 0u64;
+
+        // Send phase: pack each segment straight into a recycled message
+        // buffer and move it into the channel.
+        let mut own_buf: Option<Vec<K>> = None;
+        for (dst, &len) in send_counts.iter().enumerate() {
+            if len == 0 && dst != self.rank {
+                continue; // both sides know: no message at all
+            }
+            let mut buf = self.pooled();
+            let tp = Instant::now();
+            fill(dst, &mut buf);
+            pack += tp.elapsed();
+            debug_assert_eq!(buf.len(), len, "fill must produce the planned segment");
+            if dst == self.rank {
+                own_buf = Some(buf);
+                continue;
+            }
+            partners += 1;
+            record.elements_sent += len as u64;
+            match self.mode {
+                MessageMode::Long => {
+                    record.messages_sent += 1;
+                    self.send_to(dst, Payload::Data(buf));
+                }
+                MessageMode::Short => {
+                    record.messages_sent += len as u64;
+                    self.send_to(dst, Payload::Header(len));
+                    for k in &buf {
+                        self.send_to(dst, Payload::Key(k.clone()));
+                    }
+                    self.recycle(buf);
+                }
+            }
+        }
+
+        // Receive phase: consume segments in ascending source order.
+        for (src, &len) in recv_counts.iter().enumerate() {
+            if src == self.rank {
+                let buf = own_buf.take().unwrap_or_default();
+                let tu = Instant::now();
+                drain(src, &buf);
+                unpack += tu.elapsed();
+                self.recycle(buf);
+                continue;
+            }
+            if len == 0 {
+                continue;
+            }
+            record.elements_received += len as u64;
+            match self.mode {
+                MessageMode::Long => match self.recv_payload(src) {
+                    Payload::Data(v) => {
+                        assert_eq!(v.len(), len, "peer sent a mismatched segment");
+                        let tu = Instant::now();
+                        drain(src, &v);
+                        unpack += tu.elapsed();
+                        self.recycle(v);
+                    }
+                    _ => panic!("unexpected payload in long-message mode"),
+                },
+                MessageMode::Short => {
+                    match self.recv_payload(src) {
+                        Payload::Header(c) => {
+                            assert_eq!(c, len, "peer sent a mismatched segment")
+                        }
+                        _ => panic!("missing header in short-message mode"),
+                    }
+                    let mut buf = self.pooled();
+                    buf.reserve(len);
+                    for _ in 0..len {
+                        match self.recv_payload(src) {
+                            Payload::Key(k) => buf.push(k),
+                            _ => panic!("unexpected payload after header"),
+                        }
+                    }
+                    let tu = Instant::now();
+                    drain(src, &buf);
+                    unpack += tu.elapsed();
+                    self.recycle(buf);
+                }
+            }
+        }
+
+        record.group_size = partners + 1;
+        self.stats.add_time(Phase::Pack, pack);
+        self.stats.add_time(drain_phase, unpack);
+        self.stats
+            .add_time(Phase::Transfer, t0.elapsed().saturating_sub(pack + unpack));
+        self.stats.push_remap(record);
+    }
+
+    /// Flat-buffer all-to-all where receive sizes are *not* known in
+    /// advance (e.g. sample sort's data buckets, whose sizes depend on the
+    /// keys each peer holds). Like [`Comm::alltoallv`], but every
+    /// destination gets a (possibly empty) message so lengths are
+    /// discovered from the wire; the observed per-source counts — own
+    /// segment included — are written into `recv_counts`.
+    ///
+    /// Counters match [`Comm::exchange`] exactly: empty messages are not
+    /// counted, and `group_size` counts only non-empty send partners.
+    ///
+    /// # Panics
+    /// Panics if `send_counts` does not have `procs` entries summing to
+    /// `sendbuf.len()`.
+    pub fn alltoallv_uncounted(
+        &mut self,
+        sendbuf: &[K],
+        send_counts: &[usize],
+        recvbuf: &mut Vec<K>,
+        recv_counts: &mut Vec<usize>,
+    ) where
+        K: Clone,
+    {
+        assert_eq!(send_counts.len(), self.procs, "one send count per rank");
+        assert_eq!(
+            send_counts.iter().sum::<usize>(),
+            sendbuf.len(),
+            "send counts must cover the send buffer exactly"
+        );
+        let t0 = Instant::now();
+        let mut record = RemapRecord {
+            elements_kept: send_counts[self.rank] as u64,
+            ..Default::default()
+        };
+        let mut partners = 0u64;
+
+        let mut offset = 0usize;
+        let mut own = 0usize..0usize;
+        for (dst, &len) in send_counts.iter().enumerate() {
+            let segment = offset..offset + len;
+            offset += len;
+            if dst == self.rank {
+                own = segment;
+                continue;
+            }
+            if len > 0 {
+                partners += 1;
+                record.elements_sent += len as u64;
+            }
+            match self.mode {
+                MessageMode::Long => {
+                    if len > 0 {
+                        record.messages_sent += 1;
+                    }
+                    let mut msg = self.pooled();
+                    msg.extend_from_slice(&sendbuf[segment]);
+                    self.send_to(dst, Payload::Data(msg));
+                }
+                MessageMode::Short => {
+                    record.messages_sent += len as u64;
+                    self.send_to(dst, Payload::Header(len));
+                    for k in &sendbuf[segment] {
+                        self.send_to(dst, Payload::Key(k.clone()));
+                    }
+                }
+            }
+        }
+
+        recvbuf.clear();
+        recv_counts.clear();
+        for src in 0..self.procs {
+            if src == self.rank {
+                recv_counts.push(own.len());
+                recvbuf.extend_from_slice(&sendbuf[own.clone()]);
+                continue;
+            }
+            let len = match self.mode {
+                MessageMode::Long => match self.recv_payload(src) {
+                    Payload::Data(v) => {
+                        recvbuf.extend_from_slice(&v);
+                        let len = v.len();
+                        self.recycle(v);
+                        len
+                    }
+                    _ => panic!("unexpected payload in long-message mode"),
+                },
+                MessageMode::Short => {
+                    let count = match self.recv_payload(src) {
+                        Payload::Header(c) => c,
+                        _ => panic!("missing header in short-message mode"),
+                    };
+                    recvbuf.reserve(count);
+                    for _ in 0..count {
+                        match self.recv_payload(src) {
+                            Payload::Key(k) => recvbuf.push(k),
+                            _ => panic!("unexpected payload after header"),
+                        }
+                    }
+                    count
+                }
+            };
+            record.elements_received += len as u64;
+            recv_counts.push(len);
+        }
+
+        record.group_size = partners + 1;
+        self.stats.add_time(Phase::Transfer, t0.elapsed());
+        self.stats.push_remap(record);
+    }
+
+    /// Allocation-free counterpart of [`Comm::sendrecv`]: send `sendbuf`
+    /// to `partner`, receive the partner's buffer into `recvbuf` (cleared
+    /// first). The send travels in a recycled pool buffer; the received
+    /// buffer is drained and recycled. Pushes the same [`RemapRecord`] as
+    /// `sendrecv`.
+    ///
+    /// # Panics
+    /// Panics if `partner` is this rank or a peer disappeared.
+    pub fn sendrecv_into(&mut self, partner: usize, sendbuf: &[K], recvbuf: &mut Vec<K>)
+    where
+        K: Clone,
+    {
+        assert_ne!(partner, self.rank, "cannot sendrecv with self");
+        let t0 = Instant::now();
+        let mut record = RemapRecord {
+            elements_sent: sendbuf.len() as u64,
+            group_size: 2,
+            ..Default::default()
+        };
+        match self.mode {
+            MessageMode::Long => {
+                record.messages_sent = u64::from(!sendbuf.is_empty());
+                let mut msg = self.pooled();
+                msg.extend_from_slice(sendbuf);
+                self.send_to(partner, Payload::Data(msg));
+            }
+            MessageMode::Short => {
+                record.messages_sent = sendbuf.len() as u64;
+                self.send_to(partner, Payload::Header(sendbuf.len()));
+                for k in sendbuf {
+                    self.send_to(partner, Payload::Key(k.clone()));
+                }
+            }
+        }
+        recvbuf.clear();
+        match self.mode {
+            MessageMode::Long => match self.recv_payload(partner) {
+                Payload::Data(v) => {
+                    recvbuf.extend_from_slice(&v);
+                    self.recycle(v);
+                }
+                _ => panic!("unexpected payload in long-message mode"),
+            },
+            MessageMode::Short => {
+                let count = match self.recv_payload(partner) {
+                    Payload::Header(c) => c,
+                    _ => panic!("missing header in short-message mode"),
+                };
+                recvbuf.reserve(count);
+                for _ in 0..count {
+                    match self.recv_payload(partner) {
+                        Payload::Key(k) => recvbuf.push(k),
+                        _ => panic!("unexpected payload after header"),
+                    }
+                }
+            }
+        }
+        record.elements_received = recvbuf.len() as u64;
+        self.stats.add_time(Phase::Transfer, t0.elapsed());
+        self.stats.push_remap(record);
+    }
+
+    /// Number of times a flat-path send needed a fresh buffer because the
+    /// recycling pool was empty. Stops growing once the pool reaches
+    /// steady state — observable evidence of the zero-allocation claim.
+    #[must_use]
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses
+    }
+
+    /// Pop a recycled buffer, or allocate one on a pool miss.
+    fn pooled(&mut self) -> Vec<K> {
+        match self.pool.pop() {
+            Some(buf) => buf,
+            None => {
+                self.pool_misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Park a drained peer buffer for reuse by future sends. The pool is
+    /// bounded so pathological traffic cannot hoard memory.
+    fn recycle(&mut self, mut buf: Vec<K>) {
+        if self.pool.len() < 2 * self.procs {
+            buf.clear();
+            self.pool.push(buf);
+        }
     }
 
     /// All-to-all exchange of control metadata (e.g. the per-digit
@@ -426,6 +840,132 @@ mod tests {
     }
 
     #[test]
+    fn alltoallv_matches_exchange_counters_and_data() {
+        for mode in [MessageMode::Long, MessageMode::Short] {
+            let results = run_spmd::<u32, _, _>(4, mode, |comm| {
+                let me = comm.rank() as u32;
+                // Rank r sends r+1 copies of its id to every rank (itself
+                // included), so recv counts are knowable: src s sends s+1.
+                let counts: Vec<usize> = vec![comm.rank() + 1; 4];
+                let sendbuf: Vec<u32> = vec![me; 4 * (comm.rank() + 1)];
+                let recv_counts: Vec<usize> = (0..4).map(|s| s + 1).collect();
+                let mut recvbuf = Vec::new();
+                comm.alltoallv(&sendbuf, &counts, &mut recvbuf, &recv_counts);
+
+                // Oracle: the legacy nested-Vec exchange with equal traffic.
+                let outgoing: Vec<Vec<u32>> = (0..4).map(|_| vec![me; comm.rank() + 1]).collect();
+                let oracle = comm.exchange(outgoing);
+                (recvbuf, oracle)
+            });
+            for r in &results {
+                let (flat, oracle) = &r.output;
+                let oracle_flat: Vec<u32> = oracle.iter().flatten().copied().collect();
+                assert_eq!(flat, &oracle_flat, "flat ≡ oracle concatenation");
+                let [a, b] = &r.stats.remaps[..] else {
+                    panic!("expected two remap records");
+                };
+                assert_eq!(a.elements_sent, b.elements_sent);
+                assert_eq!(a.elements_kept, b.elements_kept);
+                assert_eq!(a.messages_sent, b.messages_sent);
+                assert_eq!(a.elements_received, b.elements_received);
+                assert_eq!(a.group_size, b.group_size);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_skips_empty_destinations() {
+        let results = run_spmd::<u32, _, _>(4, MessageMode::Long, |comm| {
+            // Only even ranks send, and only to odd ranks: 2 keys each.
+            let me = comm.rank();
+            let sending = me % 2 == 0;
+            let counts: Vec<usize> = (0..4)
+                .map(|d| if sending && d % 2 == 1 { 2 } else { 0 })
+                .collect();
+            let sendbuf = vec![me as u32; counts.iter().sum()];
+            let recv_counts: Vec<usize> = (0..4)
+                .map(|s| if me % 2 == 1 && s % 2 == 0 { 2 } else { 0 })
+                .collect();
+            let mut recvbuf = Vec::new();
+            comm.alltoallv(&sendbuf, &counts, &mut recvbuf, &recv_counts);
+            recvbuf
+        });
+        assert_eq!(results[1].output, vec![0, 0, 2, 2]);
+        assert_eq!(results[3].output, vec![0, 0, 2, 2]);
+        assert_eq!(results[0].stats.remaps[0].messages_sent, 2);
+        assert_eq!(results[0].stats.remaps[0].group_size, 3);
+        assert_eq!(results[1].stats.remaps[0].messages_sent, 0);
+        assert_eq!(results[1].stats.remaps[0].group_size, 1);
+    }
+
+    #[test]
+    fn alltoallv_pool_reaches_steady_state() {
+        let results = run_spmd::<u64, _, _>(4, MessageMode::Long, |comm| {
+            let counts = vec![8usize; 4];
+            let sendbuf = vec![comm.rank() as u64; 32];
+            let mut recvbuf = Vec::new();
+            for _ in 0..2 {
+                comm.alltoallv(&sendbuf, &counts, &mut recvbuf, &counts);
+            }
+            let after_warmup = comm.pool_misses();
+            for _ in 0..20 {
+                comm.alltoallv(&sendbuf, &counts, &mut recvbuf, &counts);
+            }
+            (after_warmup, comm.pool_misses())
+        });
+        for r in &results {
+            let (warm, done) = r.output;
+            assert_eq!(warm, done, "steady state must not allocate send buffers");
+        }
+    }
+
+    #[test]
+    fn alltoallv_uncounted_discovers_counts() {
+        for mode in [MessageMode::Long, MessageMode::Short] {
+            let results = run_spmd::<u32, _, _>(4, mode, |comm| {
+                let me = comm.rank() as u32;
+                let counts: Vec<usize> = vec![comm.rank() + 1; 4];
+                let sendbuf: Vec<u32> = vec![me; 4 * (comm.rank() + 1)];
+                let mut recvbuf = Vec::new();
+                let mut recv_counts = Vec::new();
+                comm.alltoallv_uncounted(&sendbuf, &counts, &mut recvbuf, &mut recv_counts);
+                (recvbuf, recv_counts)
+            });
+            for r in &results {
+                let (data, counts) = &r.output;
+                assert_eq!(counts, &vec![1, 2, 3, 4]);
+                let expect: Vec<u32> = (0..4u32).flat_map(|s| vec![s; s as usize + 1]).collect();
+                assert_eq!(data, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn sendrecv_into_matches_sendrecv() {
+        for mode in [MessageMode::Long, MessageMode::Short] {
+            let results = run_spmd::<u64, _, _>(4, mode, |comm| {
+                let partner = comm.rank() ^ 1;
+                let mine: Vec<u64> = vec![comm.rank() as u64; 3];
+                let mut got = Vec::new();
+                comm.sendrecv_into(partner, &mine, &mut got);
+                let oracle = comm.sendrecv(partner, mine);
+                (got, oracle)
+            });
+            for r in &results {
+                let (flat, oracle) = &r.output;
+                assert_eq!(flat, oracle);
+                let [a, b] = &r.stats.remaps[..] else {
+                    panic!("expected two remap records");
+                };
+                assert_eq!(a.messages_sent, b.messages_sent);
+                assert_eq!(a.elements_sent, b.elements_sent);
+                assert_eq!(a.elements_received, b.elements_received);
+                assert_eq!(a.group_size, b.group_size);
+            }
+        }
+    }
+
+    #[test]
     fn timed_charges_phase() {
         let results = run_spmd::<u32, _, _>(1, MessageMode::Long, |comm| {
             comm.timed(Phase::Compute, |_| {
@@ -433,5 +973,61 @@ mod tests {
             });
         });
         assert!(results[0].stats.time(Phase::Compute) >= std::time::Duration::from_millis(4));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The flat planned all-to-all is byte-identical to the legacy
+        /// nested-Vec `exchange` — data *and* the R/V/M counter record —
+        /// over random machine sizes, random (possibly empty, possibly
+        /// uneven) count matrices, and both message modes.
+        #[test]
+        fn alltoallv_equals_exchange_on_random_traffic(
+            lg_p in 0u32..4,
+            seed in any::<u64>(),
+            long in any::<bool>(),
+        ) {
+            let p = 1usize << lg_p;
+            let mode = if long { MessageMode::Long } else { MessageMode::Short };
+            // Shared pseudorandom count matrix: counts[src][dst] in 0..6.
+            let counts: Vec<Vec<usize>> = {
+                let mut x = seed | 1;
+                (0..p).map(|_| (0..p).map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((x >> 33) % 6) as usize
+                }).collect()).collect()
+            };
+            let counts2 = counts.clone();
+            let results = run_spmd::<u32, _, _>(p, mode, move |comm| {
+                let me = comm.rank();
+                // Deterministic payload: src, dst and position are recoverable.
+                let outgoing: Vec<Vec<u32>> = (0..p)
+                    .map(|dst| {
+                        (0..counts2[me][dst])
+                            .map(|i| (me * 10_000 + dst * 100 + i) as u32)
+                            .collect()
+                    })
+                    .collect();
+                let sendbuf: Vec<u32> = outgoing.iter().flatten().copied().collect();
+                let send_counts = counts2[me].clone();
+                let recv_counts: Vec<usize> = (0..p).map(|src| counts2[src][me]).collect();
+                let mut recvbuf = Vec::new();
+                comm.alltoallv(&sendbuf, &send_counts, &mut recvbuf, &recv_counts);
+                let oracle = comm.exchange(outgoing);
+                (recvbuf, oracle)
+            });
+            for r in &results {
+                let (flat, oracle) = &r.output;
+                let oracle_flat: Vec<u32> = oracle.iter().flatten().copied().collect();
+                prop_assert_eq!(flat, &oracle_flat, "rank {}: flat ≡ oracle", r.rank);
+                let [a, b] = &r.stats.remaps[..] else {
+                    panic!("expected exactly two remap records");
+                };
+                prop_assert_eq!(a, b, "rank {}: R/V/M records must match", r.rank);
+            }
+        }
     }
 }
