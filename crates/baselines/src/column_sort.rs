@@ -108,10 +108,12 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
     let mut merged: Vec<K> = Vec::with_capacity(2 * n);
 
     // Step 1: sort columns.
+    comm.trace.set_step(1);
     comm.timed(Phase::Compute, |_| {
         local_sort(&mut local, Direction::Ascending)
     });
     // Step 2: transpose (distribute each column round-robin over all).
+    comm.trace.set_step(2);
     ctx.remap(
         comm,
         &identity,
@@ -119,10 +121,12 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
         &mut local,
     );
     // Step 3: sort columns.
+    comm.trace.set_step(3);
     comm.timed(Phase::Compute, |_| {
         local_sort(&mut local, Direction::Ascending)
     });
     // Step 4: untranspose.
+    comm.trace.set_step(4);
     ctx.remap(
         comm,
         &identity,
@@ -130,11 +134,13 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
         &mut local,
     );
     // Step 5: sort columns.
+    comm.trace.set_step(5);
     comm.timed(Phase::Compute, |_| {
         local_sort(&mut local, Direction::Ascending)
     });
     // Steps 6–8 (shift, sort, unshift) as an even/odd merge–split round:
     // even boundary first (columns 2k | 2k+1), then odd (2k+1 | 2k+2).
+    comm.trace.set_step(6);
     let even_partner = me ^ 1;
     if even_partner < p {
         merge_split(comm, &mut local, even_partner, &mut received, &mut merged);

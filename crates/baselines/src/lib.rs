@@ -19,7 +19,7 @@ pub use radix_sort::parallel_radix_sort;
 pub use sample_sort::parallel_sample_sort;
 
 use local_sorts::RadixKey;
-use spmd::{run_spmd, MessageMode, RankResult};
+use spmd::{run_spmd_traced, MessageMode, RankResult, TraceConfig};
 use std::time::{Duration, Instant};
 
 /// Which baseline to run.
@@ -52,13 +52,25 @@ pub fn run_baseline<K: RadixKey>(
     mode: MessageMode,
     which: Baseline,
 ) -> BaselineRun<K> {
+    run_baseline_traced(keys, p, mode, which, TraceConfig::off())
+}
+
+/// [`run_baseline`] with per-rank tracing: each rank's span timeline comes
+/// back in its [`RankResult::trace`].
+pub fn run_baseline_traced<K: RadixKey>(
+    keys: &[K],
+    p: usize,
+    mode: MessageMode,
+    which: Baseline,
+    trace: TraceConfig,
+) -> BaselineRun<K> {
     assert!(
         p >= 1 && keys.len().is_multiple_of(p),
         "keys must divide evenly over ranks"
     );
     let n = keys.len() / p;
     let t0 = Instant::now();
-    let results = run_spmd::<K, Vec<K>, _>(p, mode, |comm| {
+    let results = run_spmd_traced::<K, Vec<K>, _>(p, mode, trace, |comm| {
         let me = comm.rank();
         let local = keys[me * n..(me + 1) * n].to_vec();
         match which {
@@ -76,6 +88,7 @@ pub fn run_baseline<K: RadixKey>(
             rank: r.rank,
             output: (),
             stats: r.stats,
+            trace: r.trace,
         });
     }
     BaselineRun {

@@ -42,6 +42,7 @@ pub fn parallel_radix_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
     let mut recv_counts = vec![0usize; p];
 
     for pass in 0..K::PASSES {
+        comm.trace.set_step(pass + 1);
         // Local digit histogram.
         let counts: Vec<u64> = comm.timed(Phase::Compute, |_| {
             let mut c = vec![0u64; RADIX];

@@ -31,6 +31,7 @@ pub fn parallel_sample_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
 
     // Regular sampling: p − 1 evenly spaced local samples, broadcast to
     // everyone, so every rank derives identical splitters locally.
+    comm.trace.set_step(1); // splitter selection
     let samples: Vec<K> = (1..p).map(|i| local[i * n / p]).collect();
     let incoming = comm.exchange(vec![samples; p]);
     let splitters: Vec<K> = comm.timed(Phase::Compute, |_| {
@@ -43,6 +44,7 @@ pub fn parallel_sample_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
     // in (splitters[b-1], splitters[b]]). The sorted array already holds
     // the buckets contiguously in destination-rank order, so it *is* the
     // flat send buffer — the pack phase only computes the counts.
+    comm.trace.set_step(2); // bucket redistribution
     let mut send_counts: Vec<usize> = Vec::with_capacity(p);
     comm.timed(Phase::Pack, |_| {
         let mut start = 0usize;

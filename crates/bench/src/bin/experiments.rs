@@ -4,23 +4,94 @@
 //! experiments                  # run everything at host scale
 //! experiments table5_1 fig5_7  # run selected experiments
 //! experiments --full all       # measured runs at paper scale (slow!)
+//! experiments trace --procs 8 --out trace.json --check
 //! ```
+//!
+//! The `trace` id doubles as a subcommand: `--procs N` and `--keys N`
+//! size the traced run, `--out FILE` writes the Chrome trace-event JSON
+//! (open it in Perfetto / `chrome://tracing`), and `--check` exits
+//! non-zero unless every rank recorded at least one span in every phase.
 
-use bitonic_bench::experiments::{all, by_id, Scale, IDS};
+use bitonic_bench::experiments::{all, by_id, trace, Scale, IDS};
+use spmd::MessageMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default_host();
     let mut ids: Vec<String> = Vec::new();
-    for a in args {
-        match a.as_str() {
+    let mut procs = trace::DEFAULT_PROCS;
+    let mut keys: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut check = false;
+
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{} needs a value", args[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
             "--full" => scale = Scale::full(),
+            "--check" => check = true,
+            "--procs" => {
+                procs = value(&args, &mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("--procs: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--keys" => {
+                keys = Some(value(&args, &mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("--keys: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--out" => out = Some(value(&args, &mut i)),
             "--help" | "-h" => {
-                println!("usage: experiments [--full] [all | {}]", IDS.join(" | "));
+                println!(
+                    "usage: experiments [--full] [all | {}]\n       \
+                     experiments trace [--procs N] [--keys N] [--out FILE] [--check]",
+                    IDS.join(" | ")
+                );
                 return;
             }
             other => ids.push(other.to_string()),
         }
+        i += 1;
+    }
+
+    // The trace subcommand: one traced run with its own knobs.
+    if ids.iter().any(|id| id == "trace") && ids.len() == 1 {
+        let keys = keys.unwrap_or_else(|| trace::default_keys_per_rank(scale));
+        let run = trace::run_trace(procs, keys, MessageMode::Long);
+        println!("## Per-rank tracing [trace]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &run.chrome_json) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "Chrome trace written to {path} ({} bytes).",
+                run.chrome_json.len()
+            );
+        }
+        if check {
+            match trace::validate(&run.traces, procs) {
+                Ok(()) => println!("check: every rank spans every phase."),
+                Err(e) => {
+                    eprintln!("check failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+    if out.is_some() || check || keys.is_some() {
+        eprintln!("--out/--check/--keys only apply to `experiments trace`");
+        std::process::exit(2);
     }
     let run_all = ids.is_empty() || ids.iter().any(|i| i == "all");
 

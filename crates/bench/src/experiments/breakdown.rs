@@ -4,12 +4,12 @@ use super::Experiment;
 use super::Scale;
 use crate::report::{f2, Table};
 use crate::workloads::uniform_keys;
-use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::algorithms::{run_parallel_sort_traced, Algorithm};
 use bitonic_core::local::LocalStrategy;
 use logp::predict::{predict, CostModel, Messages, StrategyKind};
 use logp::LogGpParams;
-use spmd::runtime::critical_path_stats;
-use spmd::{MessageMode, Phase};
+use obs::{critical_phase_totals, TraceConfig, TracePhase};
+use spmd::{traces_of, MessageMode};
 
 const P: usize = 16;
 
@@ -40,16 +40,20 @@ pub fn fig5_4(scale: Scale) -> Experiment {
         );
         let n_live = (n_model / scale.shrink).max(64);
         let keys = uniform_keys(n_live * P, 21);
-        let run = run_parallel_sort(
+        let run = run_parallel_sort_traced(
             &keys,
             P,
             MessageMode::Long,
             Algorithm::Smart,
             LocalStrategy::Merges,
+            TraceConfig::on(),
         );
-        let crit = critical_path_stats(&run.ranks);
-        let comp = crit.time(Phase::Compute).as_secs_f64();
-        let comm = crit.communication_time().as_secs_f64();
+        // Live split reconstructed from the per-rank span timelines: the
+        // per-phase critical path over ranks, exactly what the stopwatch
+        // totals report (the spans reuse the same clock reads).
+        let crit = critical_phase_totals(&traces_of(&run.ranks));
+        let comp = crit.ns[TracePhase::Compute.index()] as f64 / 1e9;
+        let comm = crit.communication_ns() as f64 / 1e9;
         t.row(vec![
             kk.to_string(),
             f2(pred.compute_us),

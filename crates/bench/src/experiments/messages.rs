@@ -5,13 +5,14 @@ use super::{metrics_of, Experiment, Scale};
 use crate::paper;
 use crate::report::{f2, Table};
 use crate::workloads::uniform_keys;
-use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::algorithms::{run_parallel_sort, run_parallel_sort_traced, Algorithm};
 use bitonic_core::local::LocalStrategy;
 use logp::cost::{loggp_total_us, logp_total_us};
 use logp::predict::KEY_BYTES;
 use logp::LogGpParams;
+use obs::{critical_phase_totals, TraceConfig, TracePhase};
 use spmd::runtime::critical_path_stats;
-use spmd::{MessageMode, Phase};
+use spmd::{traces_of, MessageMode};
 
 const P: usize = 16;
 
@@ -127,18 +128,22 @@ pub fn table5_4(scale: Scale) -> Experiment {
         );
         let n_live = (n_model / scale.shrink).max(64);
         let keys = uniform_keys(n_live * P, 44);
-        let run = run_parallel_sort(
+        let run = run_parallel_sort_traced(
             &keys,
             P,
             MessageMode::Long,
             Algorithm::Smart,
             LocalStrategy::Merges,
+            TraceConfig::on(),
         );
-        let crit = critical_path_stats(&run.ranks);
+        // Live split from the span timelines (per-phase critical path over
+        // ranks), the same aggregation `experiments trace` reports.
+        let crit = critical_phase_totals(&traces_of(&run.ranks));
+        let secs = |p: TracePhase| crit.ns[p.index()] as f64 / 1e9;
         let (pk, tr, up) = (
-            crit.time(Phase::Pack).as_secs_f64(),
-            crit.time(Phase::Transfer).as_secs_f64(),
-            crit.time(Phase::Unpack).as_secs_f64(),
+            secs(TracePhase::Pack),
+            secs(TracePhase::Transfer),
+            secs(TracePhase::Unpack),
         );
         let tot = (pk + tr + up).max(f64::EPSILON);
         t.row(vec![

@@ -7,6 +7,7 @@ pub mod other_sorts;
 pub mod remap_bench;
 pub mod scaling;
 pub mod strategies;
+pub mod trace;
 
 use spmd::CommStats;
 
@@ -86,6 +87,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         extensions::ext_shifting(),
         extensions::ext_simulated(scale),
         remap_bench::remap_bench(scale),
+        trace::trace(scale),
     ]
 }
 
@@ -107,12 +109,13 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "ext_shifting" => Some(extensions::ext_shifting()),
         "ext_simulated" => Some(extensions::ext_simulated(scale)),
         "remap_bench" => Some(remap_bench::remap_bench(scale)),
+        "trace" => Some(trace::trace(scale)),
         _ => None,
     }
 }
 
 /// All experiment ids accepted by [`by_id`].
-pub const IDS: [&str; 14] = [
+pub const IDS: [&str; 15] = [
     "table5_1",
     "table5_2",
     "strategies_measured",
@@ -127,4 +130,5 @@ pub const IDS: [&str; 14] = [
     "ext_shifting",
     "ext_simulated",
     "remap_bench",
+    "trace",
 ];

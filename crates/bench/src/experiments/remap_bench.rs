@@ -1,17 +1,21 @@
-//! `remap_bench` — flat vs legacy remap engine, reported as JSON.
+//! `remap_bench` — flat vs legacy remap engine, reported as `BENCH_1` JSON.
 //!
-//! Measures the PR's hot-path claim directly: blocked↔cyclic round trips
-//! (the access pattern every sort in the workspace reduces to) through
-//! the allocation-free flat path ([`SortContext`]) and through the legacy
-//! nested-Vec path (a fresh [`RemapPlan`] plus [`RemapPlan::apply`] per
-//! remap, exactly as the pre-PR sorts ran), in both message modes, at
-//! the thesis's P = 16 with 64K keys per rank (shrunk by the host scale).
-//! The body is a JSON object so external tooling can track the speedup.
+//! Measures the remap engine's hot-path claim directly: blocked↔cyclic
+//! round trips (the access pattern every sort in the workspace reduces to)
+//! through the allocation-free flat path ([`SortContext`]) and through the
+//! legacy nested-Vec path (a fresh [`RemapPlan`] plus [`RemapPlan::apply`]
+//! per remap, exactly as the pre-context sorts ran), in both message
+//! modes, at the thesis's P = 16 with 64K keys per rank (shrunk by the
+//! host scale). The body is a [`crate::report::bench_json`] document —
+//! the stable `BENCH_1` schema — so external tooling can track the
+//! throughput and the R/V/M counters of each configuration.
 
 use super::{Experiment, Scale};
+use crate::report::{bench_json, f2, BenchCounters, BenchRecord};
 use bitonic_core::layout::{blocked, cyclic};
 use bitonic_core::{RemapPlan, SortContext};
-use spmd::{run_spmd, MessageMode};
+use spmd::runtime::critical_path_stats;
+use spmd::{run_spmd, CommStats, MessageMode};
 use std::time::Instant;
 
 const P: usize = 16;
@@ -21,8 +25,9 @@ const ROUNDS: usize = 8;
 const SAMPLES: usize = 3;
 
 /// Critical-path seconds for `ROUNDS` round trips at `n` keys per rank
-/// (slowest rank wins; one untimed warm-up round trip first).
-fn run_once(n: usize, mode: MessageMode, flat: bool) -> f64 {
+/// (slowest rank wins; one untimed warm-up round trip first), plus the
+/// run's critical-path counters (which include the warm-up remaps).
+fn run_once(n: usize, mode: MessageMode, flat: bool) -> (f64, CommStats) {
     let lg_n = n.trailing_zeros();
     let lg_p = P.trailing_zeros();
     let results = run_spmd::<u64, _, _>(P, mode, move |comm| {
@@ -43,9 +48,9 @@ fn run_once(n: usize, mode: MessageMode, flat: bool) -> f64 {
             comm.barrier();
             t.elapsed().as_secs_f64()
         } else {
-            // Pre-PR hot path: every remap rebuilt its plan from a layout
-            // walk and packed into freshly allocated nested Vecs — exactly
-            // what the sorts did before [`SortContext`] existed.
+            // Pre-context hot path: every remap rebuilt its plan from a
+            // layout walk and packed into freshly allocated nested Vecs —
+            // exactly what the sorts did before [`SortContext`] existed.
             data = RemapPlan::new(&b, &c, me).apply(comm, &data);
             data = RemapPlan::new(&c, &b, me).apply(comm, &data);
             comm.barrier();
@@ -58,16 +63,18 @@ fn run_once(n: usize, mode: MessageMode, flat: bool) -> f64 {
             t.elapsed().as_secs_f64()
         }
     });
-    results.iter().map(|r| r.output).fold(0.0, f64::max)
+    let secs = results.iter().map(|r| r.output).fold(0.0, f64::max);
+    (secs, critical_path_stats(&results))
 }
 
-fn best_of(n: usize, mode: MessageMode, flat: bool) -> f64 {
+fn best_of(n: usize, mode: MessageMode, flat: bool) -> (f64, CommStats) {
     (0..SAMPLES)
         .map(|_| run_once(n, mode, flat))
-        .fold(f64::INFINITY, f64::min)
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("SAMPLES > 0")
 }
 
-/// Run the benchmark and render its JSON report.
+/// Run the benchmark and render its `BENCH_1` report.
 #[must_use]
 pub fn remap_bench(scale: Scale) -> Experiment {
     // Thesis configuration: 64K keys per rank; short messages pay per
@@ -75,31 +82,40 @@ pub fn remap_bench(scale: Scale) -> Experiment {
     let n_long = (65_536 / scale.shrink).max(256).next_power_of_two();
     let n_short = (n_long / 4).max(256).next_power_of_two();
 
-    let mut entries = String::new();
+    let mut records = Vec::new();
     let mut speedups = String::new();
     for (mode_label, mode, n) in [
         ("long", MessageMode::Long, n_long),
         ("short", MessageMode::Short, n_short),
     ] {
-        let legacy = best_of(n, mode, false);
-        let flat = best_of(n, mode, true);
-        for (path, secs) in [("legacy", legacy), ("flat", flat)] {
-            let melem = (n * P * 2 * ROUNDS) as f64 / secs / 1e6;
-            entries.push_str(&format!(
-                "    {{\"mode\": \"{mode_label}\", \"path\": \"{path}\", \
-                 \"keys_per_rank\": {n}, \"seconds\": {secs:.6}, \
-                 \"melem_per_s\": {melem:.2}}},\n"
-            ));
+        let (legacy, legacy_stats) = best_of(n, mode, false);
+        let (flat, flat_stats) = best_of(n, mode, true);
+        for (path, secs, stats) in [
+            ("legacy", legacy, &legacy_stats),
+            ("flat", flat, &flat_stats),
+        ] {
+            // Keys remapped per rank inside the timed region.
+            let keys_moved = n * 2 * ROUNDS;
+            records.push(BenchRecord {
+                name: format!("remap_bench/{mode_label}/{path}"),
+                keys: n,
+                procs: P,
+                mode: mode_label.into(),
+                ns_per_key: secs * 1e9 / keys_moved as f64,
+                counters: Some(BenchCounters::of(stats)),
+            });
         }
-        speedups.push_str(&format!("    \"{mode_label}\": {:.2},\n", legacy / flat));
+        speedups.push_str(&format!("{mode_label} {}x", f2(legacy / flat)));
+        if mode_label == "long" {
+            speedups.push_str(", ");
+        }
     }
-    entries.truncate(entries.len().saturating_sub(2));
-    speedups.truncate(speedups.len().saturating_sub(2));
 
     let body = format!(
-        "```json\n{{\n  \"id\": \"remap_bench\",\n  \"procs\": {P},\n  \
-         \"rounds\": {ROUNDS},\n  \"samples\": {SAMPLES},\n  \"results\": [\n{entries}\n  ],\n  \
-         \"speedup_flat_over_legacy\": {{\n{speedups}\n  }}\n}}\n```\n"
+        "Flat-path speedup over legacy: {speedups} (rounds={ROUNDS}, \
+         samples={SAMPLES}, min-of reported; counters include the warm-up \
+         round trip).\n\n```json\n{}```\n",
+        bench_json(&records)
     );
     Experiment {
         id: "remap_bench",

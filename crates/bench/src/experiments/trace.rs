@@ -1,0 +1,323 @@
+//! `experiments trace` — the observability subcommand: run a traced sort,
+//! export the Chrome trace, and report predicted-vs-measured LogP drift.
+//!
+//! One traced run of the smart sort (non-fused, so all five phases show up
+//! as spans) produces three artifacts:
+//!
+//! 1. a Chrome trace-event JSON (one pid per rank) loadable in Perfetto;
+//! 2. a per-remap drift table replaying the measured R/V/M counters
+//!    through the Section 3.4 remap formulas (`logp_remap_us` /
+//!    `loggp_remap_us`) next to the span-measured pack/transfer/unpack
+//!    times, plus a machine-readable `DRIFT_1` block;
+//! 3. a `BENCH_1` record so the run's throughput lands in the same stream
+//!    as `remap_bench`.
+//!
+//! The drift table's R/V/M columns come from the *trace* counter events;
+//! they are checked against [`spmd::CommStats`] and the report says so —
+//! if the two pipelines ever disagree the mismatch is printed, not hidden.
+
+use super::{Experiment, Scale};
+use crate::report::{bench_json, f2, BenchCounters, BenchRecord, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort_traced, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use logp::cost::{loggp_remap_us, logp_remap_us};
+use logp::predict::KEY_BYTES;
+use logp::LogGpParams;
+use obs::{
+    chrome_trace_json, critical_phase_totals, rank_phase_totals, step_breakdowns, RankTrace,
+    StepBreakdown, TraceConfig, TracePhase,
+};
+use spmd::runtime::critical_path_stats;
+use spmd::{traces_of, CommStats, MessageMode};
+
+/// Default machine size for the subcommand (the acceptance configuration).
+pub const DEFAULT_PROCS: usize = 8;
+
+/// Everything one traced run produces.
+#[derive(Debug)]
+pub struct TraceRun {
+    /// Chrome trace-event JSON (write to disk, open in Perfetto).
+    pub chrome_json: String,
+    /// Human-readable report: drift table, phase split, `DRIFT_1` and
+    /// `BENCH_1` blocks.
+    pub report: String,
+    /// The raw per-rank traces, for validation.
+    pub traces: Vec<RankTrace>,
+}
+
+/// Keys per rank at a given scale (the thesis's 64K, shrunk for the host).
+#[must_use]
+pub fn default_keys_per_rank(scale: Scale) -> usize {
+    (65_536 / scale.shrink).max(1024).next_power_of_two()
+}
+
+fn mode_name(mode: MessageMode) -> &'static str {
+    match mode {
+        MessageMode::Short => "short",
+        MessageMode::Long => "long",
+    }
+}
+
+/// Predicted time of one remap from its measured counters (µs).
+fn predict_remap_us(params: &LogGpParams, mode: MessageMode, v: u64, m: u64) -> f64 {
+    match mode {
+        MessageMode::Short => logp_remap_us(params, v),
+        MessageMode::Long => loggp_remap_us(params, v, m, KEY_BYTES),
+    }
+}
+
+/// Check the trace counter events against the stopwatch pipeline: every
+/// step's R/V/M from [`step_breakdowns`] must equal the critical-path
+/// [`CommStats`] record for the same step exactly.
+fn counters_match_stats(rows: &[StepBreakdown], crit: &CommStats) -> Result<(), String> {
+    // Spans recorded after the final remap (tail compute, closing barrier)
+    // carry the next remap index and produce a trailing counter-less row;
+    // only rows with a counter event correspond to CommStats records.
+    let counted: Vec<&StepBreakdown> = rows.iter().filter(|r| r.has_counters).collect();
+    if counted.len() != crit.remaps.len() {
+        return Err(format!(
+            "trace has {} counted remap rows, CommStats has {}",
+            counted.len(),
+            crit.remaps.len()
+        ));
+    }
+    for (row, rec) in counted.into_iter().zip(&crit.remaps) {
+        let c = &row.counters;
+        if (
+            c.elements_sent,
+            c.messages_sent,
+            c.elements_received,
+            c.elements_kept,
+        ) != (
+            rec.elements_sent,
+            rec.messages_sent,
+            rec.elements_received,
+            rec.elements_kept,
+        ) {
+            return Err(format!(
+                "remap {}: trace counters {c:?} != stats record {rec:?}",
+                row.remap_index
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a trace set: one trace per rank, at least one span per rank in
+/// every phase, and nothing dropped from the rings.
+pub fn validate(traces: &[RankTrace], procs: usize) -> Result<(), String> {
+    if traces.len() != procs {
+        return Err(format!(
+            "expected {} rank traces, got {}",
+            procs,
+            traces.len()
+        ));
+    }
+    for trace in traces {
+        if trace.dropped > 0 {
+            return Err(format!(
+                "rank {}: {} events dropped (ring too small)",
+                trace.rank, trace.dropped
+            ));
+        }
+        let totals = rank_phase_totals(trace);
+        for phase in TracePhase::ALL {
+            if totals.spans[phase.index()] == 0 {
+                return Err(format!("rank {}: no {} spans", trace.rank, phase.name()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run one traced smart sort and assemble all three artifacts.
+///
+/// # Panics
+/// Panics if `procs` is not a power of two or `keys_per_rank < procs`
+/// (forwarded from the sort driver).
+#[must_use]
+pub fn run_trace(procs: usize, keys_per_rank: usize, mode: MessageMode) -> TraceRun {
+    let keys = uniform_keys(keys_per_rank * procs, 77);
+    let run = run_parallel_sort_traced(
+        &keys,
+        procs,
+        mode,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+        TraceConfig::on(),
+    );
+    let traces = traces_of(&run.ranks);
+    let crit_stats = critical_path_stats(&run.ranks);
+    let rows = step_breakdowns(&traces);
+    let params = LogGpParams::meiko_cs2(procs);
+
+    let match_status = counters_match_stats(&rows, &crit_stats);
+
+    // --- drift table -----------------------------------------------------
+    let mut t = Table::new(vec![
+        "remap",
+        "step",
+        "V",
+        "M",
+        "pred µs",
+        "pack µs",
+        "transfer µs",
+        "unpack µs",
+        "drift ×",
+    ]);
+    let ns = |x: u64| x as f64 / 1e3; // ns -> µs
+    let (mut pred_sum, mut meas_sum) = (0.0, 0.0);
+    let mut drift_records = String::new();
+    for row in rows.iter().filter(|r| r.has_counters) {
+        let (v, m) = (row.counters.elements_sent, row.counters.messages_sent);
+        let pred = predict_remap_us(&params, mode, v, m);
+        let pack = ns(row.phase_ns[TracePhase::Pack.index()]);
+        let transfer = ns(row.phase_ns[TracePhase::Transfer.index()]);
+        let unpack = ns(row.phase_ns[TracePhase::Unpack.index()]);
+        let drift = if pred > 0.0 { transfer / pred } else { 0.0 };
+        pred_sum += pred;
+        meas_sum += transfer;
+        t.row(vec![
+            row.remap_index.to_string(),
+            row.step.to_string(),
+            v.to_string(),
+            m.to_string(),
+            f2(pred),
+            f2(pack),
+            f2(transfer),
+            f2(unpack),
+            f2(drift),
+        ]);
+        drift_records.push_str(&format!(
+            "    {{\"remap\": {}, \"step\": {}, \"elements_sent\": {v}, \
+             \"messages_sent\": {m}, \"predicted_us\": {pred:.2}, \
+             \"pack_us\": {pack:.2}, \"transfer_us\": {transfer:.2}, \
+             \"unpack_us\": {unpack:.2}}},\n",
+            row.remap_index, row.step,
+        ));
+    }
+    drift_records.truncate(drift_records.len().saturating_sub(2));
+    let total_drift = if pred_sum > 0.0 {
+        meas_sum / pred_sum
+    } else {
+        0.0
+    };
+
+    // --- critical-path phase split (Table 5.4 view, from spans) ----------
+    let crit = critical_phase_totals(&traces);
+    let mut split = Table::new(vec!["phase", "crit µs", "spans", "% of comm"]);
+    let comm_ns = crit.communication_ns().max(1) as f64;
+    for phase in TracePhase::ALL {
+        let i = phase.index();
+        let share = if phase == TracePhase::Compute {
+            String::from("-")
+        } else {
+            f2(100.0 * crit.ns[i] as f64 / comm_ns)
+        };
+        split.row(vec![
+            phase.name().to_string(),
+            f2(ns(crit.ns[i])),
+            crit.spans[i].to_string(),
+            share,
+        ]);
+    }
+
+    // --- machine-readable blocks -----------------------------------------
+    let total_keys = keys_per_rank * procs;
+    let ns_per_key = run.elapsed.as_secs_f64() * 1e9 / total_keys as f64;
+    let bench = bench_json(&[BenchRecord {
+        name: "trace/smart".into(),
+        keys: keys_per_rank,
+        procs,
+        mode: mode_name(mode).into(),
+        ns_per_key,
+        counters: Some(BenchCounters::of(&crit_stats)),
+    }]);
+    let drift_json = format!(
+        "{{\n  \"schema\": \"DRIFT_1\",\n  \"procs\": {procs},\n  \
+         \"keys_per_rank\": {keys_per_rank},\n  \"mode\": \"{}\",\n  \
+         \"counters_match_stats\": {},\n  \
+         \"predicted_total_us\": {pred_sum:.2},\n  \
+         \"measured_transfer_total_us\": {meas_sum:.2},\n  \"remaps\": [\n{drift_records}\n  ]\n}}\n",
+        mode_name(mode),
+        match_status.is_ok(),
+    );
+
+    let match_line = match &match_status {
+        Ok(()) => format!(
+            "R/V/M from trace counters match CommStats exactly \
+             (R={}, V={}, M={}).",
+            crit_stats.remap_count(),
+            crit_stats.elements_sent,
+            crit_stats.messages_sent
+        ),
+        Err(e) => format!("WARNING: trace counters disagree with CommStats: {e}"),
+    };
+    let report = format!(
+        "Traced smart sort (non-fused), P={procs}, {keys_per_rank} keys/rank, \
+         {} messages.\n{match_line}\n\n\
+         Per-remap drift (predicted transfer from measured V/M under Meiko \
+         LogGP vs span-measured times; thread-machine transfer is channel \
+         overhead, so drift is the model/host gap, total {}×):\n\n{}\n\
+         Critical-path phase split reconstructed from spans:\n\n{}\n\
+         ```json\n{drift_json}```\n\n```json\n{bench}```\n",
+        mode_name(mode),
+        f2(total_drift),
+        t.render(),
+        split.render(),
+    );
+
+    TraceRun {
+        chrome_json: chrome_trace_json(&traces),
+        report,
+        traces,
+    }
+}
+
+/// The `trace` experiment at default configuration (for `experiments all`).
+#[must_use]
+pub fn trace(scale: Scale) -> Experiment {
+    let run = run_trace(
+        DEFAULT_PROCS,
+        default_keys_per_rank(scale),
+        MessageMode::Long,
+    );
+    Experiment {
+        id: "trace",
+        title: "Per-rank tracing: LogP drift report and span aggregation, P=8",
+        body: run.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_run_validates_and_counters_match() {
+        let run = run_trace(4, 1024, MessageMode::Long);
+        validate(&run.traces, 4).expect("every rank spans every phase");
+        assert!(
+            run.report.contains("match CommStats exactly"),
+            "report:\n{}",
+            run.report
+        );
+        assert!(run.report.contains("\"schema\": \"DRIFT_1\""));
+        assert!(run.report.contains("\"schema\": \"BENCH_1\""));
+        assert!(run.chrome_json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn short_mode_also_traces() {
+        let run = run_trace(4, 512, MessageMode::Short);
+        validate(&run.traces, 4).expect("short-message run validates");
+        assert!(run.report.contains("short messages"));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_rank_count() {
+        let run = run_trace(2, 512, MessageMode::Long);
+        assert!(validate(&run.traces, 4).is_err());
+    }
+}

@@ -1,4 +1,5 @@
-//! Minimal fixed-width table rendering for experiment output.
+//! Minimal fixed-width table rendering for experiment output, plus the
+//! stable machine-readable benchmark record schema (`BENCH_1`).
 
 /// A simple text table: header row plus data rows, rendered with aligned
 /// columns in GitHub-markdown style so reports can be pasted into
@@ -63,6 +64,84 @@ impl Table {
     }
 }
 
+/// Schema tag for machine-readable benchmark output. Bump the suffix when
+/// a field changes meaning; external tooling matches on it exactly.
+pub const BENCH_SCHEMA: &str = "BENCH_1";
+
+/// The R/V/M counters attached to a [`BenchRecord`] (critical-path view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BenchCounters {
+    /// Communication steps (`R`).
+    pub remaps: u64,
+    /// Elements sent per processor (`V`).
+    pub elements_sent: u64,
+    /// Messages sent per processor (`M`).
+    pub messages_sent: u64,
+}
+
+impl BenchCounters {
+    /// Extract the counter triple from a stats record.
+    #[must_use]
+    pub fn of(stats: &spmd::CommStats) -> Self {
+        BenchCounters {
+            remaps: stats.remap_count(),
+            elements_sent: stats.elements_sent,
+            messages_sent: stats.messages_sent,
+        }
+    }
+}
+
+/// One benchmark result in the stable `BENCH_1` schema: `name`, `keys`
+/// (per rank), `procs`, `mode`, `ns_per_key`, and optionally the
+/// critical-path `counters`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Hierarchical result name, e.g. `remap_bench/long/flat`.
+    pub name: String,
+    /// Keys per rank.
+    pub keys: usize,
+    /// Machine size (`P`).
+    pub procs: usize,
+    /// Message mode (`long` or `short`).
+    pub mode: String,
+    /// Nanoseconds of critical-path wall-clock per key.
+    pub ns_per_key: f64,
+    /// Critical-path R/V/M, when the benchmark records them.
+    pub counters: Option<BenchCounters>,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        let counters = match &self.counters {
+            Some(c) => format!(
+                ", \"counters\": {{\"remaps\": {}, \"elements_sent\": {}, \
+                 \"messages_sent\": {}}}",
+                c.remaps, c.elements_sent, c.messages_sent
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{\"name\": \"{}\", \"keys\": {}, \"procs\": {}, \"mode\": \"{}\", \
+             \"ns_per_key\": {:.2}{counters}}}",
+            self.name, self.keys, self.procs, self.mode, self.ns_per_key
+        )
+    }
+}
+
+/// Render records as a complete `BENCH_1` JSON document:
+/// `{"schema": "BENCH_1", "records": [...]}`.
+#[must_use]
+pub fn bench_json(records: &[BenchRecord]) -> String {
+    let mut out = format!("{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Format a float with 2 decimals (the thesis's table precision).
 #[must_use]
 pub fn f2(x: f64) -> String {
@@ -107,5 +186,46 @@ mod tests {
             us_per_key(std::time::Duration::from_micros(5200), 10_000),
             "0.52"
         );
+    }
+
+    #[test]
+    fn bench_json_matches_schema() {
+        let records = vec![
+            BenchRecord {
+                name: "remap_bench/long/flat".into(),
+                keys: 1024,
+                procs: 16,
+                mode: "long".into(),
+                ns_per_key: 12.345,
+                counters: Some(BenchCounters {
+                    remaps: 3,
+                    elements_sent: 960,
+                    messages_sent: 45,
+                }),
+            },
+            BenchRecord {
+                name: "trace/smart".into(),
+                keys: 512,
+                procs: 8,
+                mode: "long".into(),
+                ns_per_key: 99.9,
+                counters: None,
+            },
+        ];
+        let json = bench_json(&records);
+        assert!(json.contains("\"schema\": \"BENCH_1\""));
+        assert!(json.contains("\"name\": \"remap_bench/long/flat\""));
+        assert!(json.contains("\"ns_per_key\": 12.35"));
+        assert!(json.contains("\"counters\": {\"remaps\": 3"));
+        assert!(!json.contains("},\n  ]"), "no trailing comma:\n{json}");
+        let mut depth = 0i64;
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
     }
 }

@@ -8,11 +8,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use baselines::{run_baseline, Baseline};
-use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use baselines::{run_baseline_traced, Baseline};
+use bitonic_core::algorithms::{run_parallel_sort_traced, Algorithm};
 use bitonic_core::local::LocalStrategy;
 use spmd::runtime::critical_path_stats;
-use spmd::{CommStats, MessageMode};
+use spmd::{traces_of, CommStats, MessageMode, RankTrace, TraceConfig};
 
 /// Which sorting engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +64,9 @@ pub struct Options {
     pub text: bool,
     /// Generate this many random keys instead of reading input.
     pub random: Option<usize>,
+    /// Record per-rank spans and write a Chrome trace JSON here (viewable
+    /// in Perfetto / `chrome://tracing`).
+    pub trace: Option<String>,
 }
 
 impl Default for Options {
@@ -77,6 +80,7 @@ impl Default for Options {
             output: None,
             text: false,
             random: None,
+            trace: None,
         }
     }
 }
@@ -113,6 +117,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("bad --random: {e}"))?,
                 )
             }
+            "--trace" => opts.trace = Some(value_for(arg)?),
             "-h" | "--help" => return Err(usage()),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
@@ -124,9 +129,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
 #[must_use]
 pub fn usage() -> String {
     "usage: bitonic-sort [-a ALGO] [-p PROCS] [--short-messages] [--stats] [--text]\n\
-     \u{20}                   [-i FILE|-] [-o FILE|-] [--random N]\n\
+     \u{20}                   [-i FILE|-] [-o FILE|-] [--random N] [--trace FILE]\n\
      ALGO: smart | smart-fused | cyclic-blocked | blocked-merge | sample | radix | column\n\
-     Input is binary little-endian u32 (or decimal lines with --text)."
+     Input is binary little-endian u32 (or decimal lines with --text).\n\
+     --trace writes a Chrome trace JSON (open in Perfetto / chrome://tracing)."
         .to_string()
 }
 
@@ -146,20 +152,46 @@ pub fn pad_keys(mut keys: Vec<u32>, procs: usize) -> (Vec<u32>, usize) {
 /// critical-path communication statistics.
 #[must_use]
 pub fn sort_keys(keys: Vec<u32>, opts: &Options) -> (Vec<u32>, CommStats) {
+    let (out, stats, _) = sort_keys_traced(keys, opts, TraceConfig::off());
+    (out, stats)
+}
+
+/// [`sort_keys`] plus the per-rank span traces recorded under `trace`
+/// (empty traces when it is [`TraceConfig::off`]).
+#[must_use]
+pub fn sort_keys_traced(
+    keys: Vec<u32>,
+    opts: &Options,
+    trace: TraceConfig,
+) -> (Vec<u32>, CommStats, Vec<RankTrace>) {
     let (padded, len) = pad_keys(keys, opts.procs);
-    let (mut out, stats) = match opts.engine {
+    let (mut out, stats, traces) = match opts.engine {
         Engine::Bitonic(algo) => {
-            let run =
-                run_parallel_sort(&padded, opts.procs, opts.mode, algo, LocalStrategy::Merges);
-            (run.output, critical_path_stats(&run.ranks))
+            let run = run_parallel_sort_traced(
+                &padded,
+                opts.procs,
+                opts.mode,
+                algo,
+                LocalStrategy::Merges,
+                trace,
+            );
+            (
+                run.output,
+                critical_path_stats(&run.ranks),
+                traces_of(&run.ranks),
+            )
         }
         Engine::Baseline(which) => {
-            let run = run_baseline(&padded, opts.procs, opts.mode, which);
-            (run.output, critical_path_stats(&run.ranks))
+            let run = run_baseline_traced(&padded, opts.procs, opts.mode, which, trace);
+            (
+                run.output,
+                critical_path_stats(&run.ranks),
+                traces_of(&run.ranks),
+            )
         }
     };
     out.truncate(len);
-    (out, stats)
+    (out, stats, traces)
 }
 
 /// Render the `--stats` report.
@@ -229,12 +261,20 @@ pub fn encode(keys: &[u32], text: bool) -> Vec<u8> {
     }
 }
 
+/// What one end-to-end [`run`] produced.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The encoded sorted keys.
+    pub bytes: Vec<u8>,
+    /// The `--stats` report, when requested.
+    pub report: Option<String>,
+    /// The Chrome trace JSON, when `--trace` was given.
+    pub trace_json: Option<String>,
+}
+
 /// End-to-end pipeline used by `main`: produce the input keys, sort,
-/// return `(encoded output, optional stats report)`.
-pub fn run(
-    opts: &Options,
-    raw_input: Option<Vec<u8>>,
-) -> Result<(Vec<u8>, Option<String>), String> {
+/// return the encoded output plus any requested reports.
+pub fn run(opts: &Options, raw_input: Option<Vec<u8>>) -> Result<RunOutput, String> {
     let keys = match (opts.random, raw_input) {
         (Some(n), _) => {
             use rand::{Rng, SeedableRng};
@@ -245,13 +285,30 @@ pub fn run(
         (None, None) => return Err("no input: pass --input, pipe stdin, or use --random N".into()),
     };
     if keys.is_empty() {
-        return Ok((Vec::new(), opts.stats.then(|| "keys: 0\n".to_string())));
+        return Ok(RunOutput {
+            bytes: Vec::new(),
+            report: opts.stats.then(|| "keys: 0\n".to_string()),
+            trace_json: None,
+        });
     }
     let count = keys.len();
-    let (sorted, stats) = sort_keys(keys, opts);
+    let config = if opts.trace.is_some() {
+        TraceConfig::on()
+    } else {
+        TraceConfig::off()
+    };
+    let (sorted, stats, traces) = sort_keys_traced(keys, opts, config);
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     let report = opts.stats.then(|| stats_report(&stats, count));
-    Ok((encode(&sorted, opts.text), report))
+    let trace_json = opts
+        .trace
+        .is_some()
+        .then(|| obs::chrome_trace_json(&traces));
+    Ok(RunOutput {
+        bytes: encode(&sorted, opts.text),
+        report,
+        trace_json,
+    })
 }
 
 #[cfg(test)]
@@ -309,9 +366,25 @@ mod tests {
     #[test]
     fn end_to_end_sorts_text() {
         let opts = parse_args(&args("--text -p 4 -a smart")).unwrap();
-        let (out, report) = run(&opts, Some(b"9\n3\n7\n1\n1\n".to_vec())).unwrap();
-        assert_eq!(String::from_utf8(out).unwrap(), "1\n1\n3\n7\n9\n");
-        assert!(report.is_none());
+        let out = run(&opts, Some(b"9\n3\n7\n1\n1\n".to_vec())).unwrap();
+        assert_eq!(String::from_utf8(out.bytes).unwrap(), "1\n1\n3\n7\n9\n");
+        assert!(out.report.is_none());
+        assert!(out.trace_json.is_none());
+    }
+
+    #[test]
+    fn trace_flag_produces_chrome_json() {
+        let opts = parse_args(&args("-p 4 --random 256 --trace t.json")).unwrap();
+        assert_eq!(opts.trace.as_deref(), Some("t.json"));
+        let out = run(&opts, None).unwrap();
+        let json = out.trace_json.expect("--trace requests a trace");
+        assert!(json.contains("\"traceEvents\""));
+        for rank in 0..4 {
+            assert!(json.contains(&format!("\"name\":\"rank {rank}\"")));
+        }
+        for phase in ["compute", "pack", "transfer", "unpack", "barrier"] {
+            assert!(json.contains(&format!("\"name\":\"{phase}\"")), "{phase}");
+        }
     }
 
     #[test]
@@ -327,11 +400,14 @@ mod tests {
         ] {
             let opts =
                 parse_args(&args(&format!("-a {engine} -p 4 --random 1000 --stats"))).unwrap();
-            let (out, report) = run(&opts, None).unwrap();
-            let keys = decode(&out, false).unwrap();
+            let out = run(&opts, None).unwrap();
+            let keys = decode(&out.bytes, false).unwrap();
             assert_eq!(keys.len(), 1000, "{engine}");
             assert!(keys.windows(2).all(|w| w[0] <= w[1]), "{engine}");
-            assert!(report.unwrap().contains("communication steps"), "{engine}");
+            assert!(
+                out.report.unwrap().contains("communication steps"),
+                "{engine}"
+            );
         }
     }
 

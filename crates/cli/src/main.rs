@@ -36,13 +36,19 @@ fn main() -> ExitCode {
     };
 
     match bitonic_cli::run(&opts, raw) {
-        Ok((bytes, report)) => {
-            if let Some(report) = report {
+        Ok(out) => {
+            if let Some(report) = out.report {
                 eprint!("{report}");
             }
+            if let (Some(path), Some(json)) = (opts.trace.as_deref(), out.trace_json) {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("writing trace: {e}");
+                    return ExitCode::from(1);
+                }
+            }
             let write_result = match opts.output.as_deref() {
-                None | Some("-") => std::io::stdout().lock().write_all(&bytes),
-                Some(path) => std::fs::write(path, &bytes),
+                None | Some("-") => std::io::stdout().lock().write_all(&out.bytes),
+                Some(path) => std::fs::write(path, &out.bytes),
             };
             if let Err(e) = write_result {
                 eprintln!("writing output: {e}");

@@ -49,6 +49,7 @@ pub fn blocked_merge_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) ->
     });
 
     for k in 1..=lg_p {
+        comm.trace.set_step(k);
         let stage = lg_n + k;
         let dir = stage_direction(&blocked_layout, me, stage)
             .expect("stage bit is a processor bit under blocked");

@@ -58,6 +58,7 @@ pub fn cyclic_blocked_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
     });
 
     for k in 1..=lg_p {
+        comm.trace.set_step(k);
         let stage = lg_n + k;
         // Remap to cyclic; the first k steps of the stage are now local.
         ctx.remap_with(comm, &to_cyclic, &mut local);

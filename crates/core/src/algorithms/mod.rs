@@ -21,7 +21,7 @@ pub use smart::{smart_sort, smart_sort_fused};
 
 use crate::local::LocalStrategy;
 use local_sorts::RadixKey;
-use spmd::{run_spmd, Comm, MessageMode, RankResult};
+use spmd::{run_spmd_traced, Comm, MessageMode, RankResult, TraceConfig};
 use std::time::{Duration, Instant};
 
 /// Which parallel sort to run.
@@ -89,13 +89,30 @@ pub fn run_parallel_sort<K: RadixKey>(
     algo: Algorithm,
     strategy: LocalStrategy,
 ) -> SortRun<K> {
+    run_parallel_sort_traced(keys, p, mode, algo, strategy, TraceConfig::off())
+}
+
+/// [`run_parallel_sort`] with per-rank tracing: each rank's span timeline
+/// comes back in its [`RankResult::trace`].
+///
+/// # Panics
+/// Panics unless `keys.len()` is a power-of-two multiple of `p` with at
+/// least two keys per rank (for `p > 1`).
+pub fn run_parallel_sort_traced<K: RadixKey>(
+    keys: &[K],
+    p: usize,
+    mode: MessageMode,
+    algo: Algorithm,
+    strategy: LocalStrategy,
+    trace: TraceConfig,
+) -> SortRun<K> {
     assert!(
         p >= 1 && keys.len().is_multiple_of(p),
         "keys must divide evenly over ranks"
     );
     let n = keys.len() / p;
     let t0 = Instant::now();
-    let results = run_spmd::<K, Vec<K>, _>(p, mode, |comm| {
+    let results = run_spmd_traced::<K, Vec<K>, _>(p, mode, trace, |comm| {
         let me = comm.rank();
         let local = keys[me * n..(me + 1) * n].to_vec();
         algo.sort(comm, local, strategy)
@@ -109,6 +126,7 @@ pub fn run_parallel_sort<K: RadixKey>(
             rank: r.rank,
             output: (),
             stats: r.stats,
+            trace: r.trace,
         });
     }
     SortRun {

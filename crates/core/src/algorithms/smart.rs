@@ -67,7 +67,8 @@ pub fn smart_sort<K: RadixKey>(
     // flat pack/transfer/unpack buffers are reused across the R remaps.
     let mut ctx = SortContext::new();
     let mut prev = blocked;
-    for phase in &sched.phases {
+    for (i, phase) in sched.phases.iter().enumerate() {
+        comm.trace.set_step(i as u32 + 1);
         ctx.remap(comm, &prev, &phase.layout, &mut local);
         comm.timed(Phase::Compute, |_| {
             run_phase(strategy, phase, me, &mut local, &mut scratch);
@@ -148,7 +149,8 @@ pub fn smart_sort_fused<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> V
     let mut merged: Vec<K> = Vec::new();
     let mut cursors: Vec<usize> = Vec::with_capacity(p);
 
-    for phase in &sched.phases {
+    for (i, phase) in sched.phases.iter().enumerate() {
+        comm.trace.set_step(i as u32 + 1);
         let plan = ctx.plan(&prev_layout, &phase.layout, me);
         // Fused pack: one linear pass over the (sorted) array, writing each
         // element at its destination segment's cursor — every message is

@@ -94,6 +94,7 @@ fn parallel_transform(comm: &mut Comm<u64>, mut local: Vec<u64>, inverse: bool) 
 
     // Remap 1: blocked -> cyclic; top lg n levels are local (absolute bit
     // `level` sits at local bit `level - lg P` under cyclic).
+    comm.trace.set_step(1);
     ctx.remap(comm, &blocked_layout, &cyclic_layout, &mut local);
     comm.timed(Phase::Compute, |_| {
         for level in (lg_p..lg_total).rev() {
@@ -108,6 +109,7 @@ fn parallel_transform(comm: &mut Comm<u64>, mut local: Vec<u64>, inverse: bool) 
     });
 
     // Remap 2: cyclic -> blocked; remaining lg P levels are local.
+    comm.trace.set_step(2);
     ctx.remap(comm, &cyclic_layout, &blocked_layout, &mut local);
     comm.timed(Phase::Compute, |_| {
         for level in (0..lg_p).rev() {
@@ -122,6 +124,7 @@ fn parallel_transform(comm: &mut Comm<u64>, mut local: Vec<u64>, inverse: bool) 
     // element at absolute (storage) address i holds X[rev(i)]; placing the
     // element from storage address rev(k) at position k yields X[k].
     let rev_layout = bit_reversal_layout(lg_total, lg_n);
+    comm.trace.set_step(3);
     ctx.remap(comm, &blocked_layout, &rev_layout, &mut local);
 
     if inverse {

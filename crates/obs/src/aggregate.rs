@@ -1,0 +1,233 @@
+//! Span aggregation: phase totals and per-step critical paths.
+//!
+//! These passes recompute the thesis's reporting tables directly from the
+//! recorded spans instead of trusting a separately maintained stopwatch —
+//! if the two ever disagree, the instrumentation is wrong and the
+//! property tests catch it.
+
+use crate::event::{RankTrace, RemapCounters, PHASES};
+
+/// Per-phase totals in nanoseconds, indexed by [`crate::TracePhase::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTotals {
+    /// Summed span durations per phase, nanoseconds.
+    pub ns: [u64; PHASES],
+    /// Number of spans contributing per phase.
+    pub spans: [u64; PHASES],
+}
+
+impl PhaseTotals {
+    /// Total across all phases, nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Pack + Transfer + Unpack + Barrier, nanoseconds (mirrors
+    /// `CommStats::communication_time`).
+    #[must_use]
+    pub fn communication_ns(&self) -> u64 {
+        self.ns[1] + self.ns[2] + self.ns[3] + self.ns[4]
+    }
+}
+
+/// Sum one rank's span durations per phase.
+#[must_use]
+pub fn rank_phase_totals(trace: &RankTrace) -> PhaseTotals {
+    let mut totals = PhaseTotals::default();
+    for span in trace.spans() {
+        let i = span.phase.index();
+        totals.ns[i] += span.duration_ns();
+        totals.spans[i] += 1;
+    }
+    totals
+}
+
+/// Per-phase critical path over ranks: for each phase, the *maximum* of
+/// the per-rank totals (the rank that gated that phase), with the span
+/// count taken from the same gating rank.
+#[must_use]
+pub fn critical_phase_totals(traces: &[RankTrace]) -> PhaseTotals {
+    let mut crit = PhaseTotals::default();
+    for trace in traces {
+        let t = rank_phase_totals(trace);
+        for i in 0..PHASES {
+            if t.ns[i] > crit.ns[i] {
+                crit.ns[i] = t.ns[i];
+                crit.spans[i] = t.spans[i];
+            }
+        }
+    }
+    crit
+}
+
+/// One communication step's critical path, reconstructed from spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepBreakdown {
+    /// The dense remap index this row describes.
+    pub remap_index: u32,
+    /// Driver step tag (max over ranks; drivers tag uniformly).
+    pub step: u32,
+    /// Per-phase critical path: max over ranks of each rank's summed span
+    /// time at this remap index, nanoseconds.
+    pub phase_ns: [u64; PHASES],
+    /// Field-wise max of the ranks' R/V/M records for this step.
+    pub counters: RemapCounters,
+    /// Whether any rank recorded a counter event at this index.
+    pub has_counters: bool,
+}
+
+impl StepBreakdown {
+    /// Pack + Transfer + Unpack + Barrier for this step, nanoseconds.
+    #[must_use]
+    pub fn communication_ns(&self) -> u64 {
+        self.phase_ns[1] + self.phase_ns[2] + self.phase_ns[3] + self.phase_ns[4]
+    }
+}
+
+/// Reconstruct the per-step critical path across the machine.
+///
+/// For every remap index that appears in any trace: sum each rank's span
+/// durations at that index per phase, take the per-phase maximum over
+/// ranks, and max-merge the ranks' counter records. Rows come back dense
+/// and ordered by remap index (indices nobody recorded stay all-zero).
+#[must_use]
+pub fn step_breakdowns(traces: &[RankTrace]) -> Vec<StepBreakdown> {
+    let steps = traces
+        .iter()
+        .flat_map(|t| {
+            t.spans()
+                .map(|s| s.remap_index)
+                .chain(t.counters().map(|c| c.remap_index))
+        })
+        .max()
+        .map_or(0, |max| max as usize + 1);
+    let mut rows: Vec<StepBreakdown> = (0..steps)
+        .map(|i| StepBreakdown {
+            remap_index: i as u32,
+            ..Default::default()
+        })
+        .collect();
+
+    for trace in traces {
+        // This rank's per-step, per-phase sums…
+        let mut ns = vec![[0u64; PHASES]; steps];
+        for span in trace.spans() {
+            ns[span.remap_index as usize][span.phase.index()] += span.duration_ns();
+        }
+        // …folded into the machine rows as a per-phase max.
+        for (row, rank_ns) in rows.iter_mut().zip(&ns) {
+            for (total, &rank_total) in row.phase_ns.iter_mut().zip(rank_ns) {
+                *total = (*total).max(rank_total);
+            }
+        }
+        for c in trace.counters() {
+            let row = &mut rows[c.remap_index as usize];
+            row.counters.max_merge(&c.counters);
+            row.step = row.step.max(c.step);
+            row.has_counters = true;
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CounterEvent, Event, Span, TracePhase};
+
+    fn span(phase: TracePhase, remap: u32, t0: u64, t1: u64) -> Event {
+        Event::Span(Span {
+            phase,
+            step: 1,
+            remap_index: remap,
+            t0_ns: t0,
+            t1_ns: t1,
+        })
+    }
+
+    fn counter(remap: u32, sent: u64, msgs: u64) -> Event {
+        Event::Counter(CounterEvent {
+            step: 1,
+            remap_index: remap,
+            at_ns: 0,
+            counters: RemapCounters {
+                elements_sent: sent,
+                messages_sent: msgs,
+                ..Default::default()
+            },
+        })
+    }
+
+    fn machine() -> Vec<RankTrace> {
+        vec![
+            RankTrace {
+                rank: 0,
+                events: vec![
+                    span(TracePhase::Pack, 0, 0, 100),
+                    span(TracePhase::Transfer, 0, 100, 400),
+                    counter(0, 10, 2),
+                    span(TracePhase::Compute, 1, 400, 1000),
+                ],
+                dropped: 0,
+            },
+            RankTrace {
+                rank: 1,
+                events: vec![
+                    span(TracePhase::Pack, 0, 0, 250),
+                    span(TracePhase::Pack, 0, 250, 300),
+                    counter(0, 4, 7),
+                ],
+                dropped: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn rank_totals_sum_durations_per_phase() {
+        let t = rank_phase_totals(&machine()[0]);
+        assert_eq!(t.ns[TracePhase::Pack.index()], 100);
+        assert_eq!(t.ns[TracePhase::Transfer.index()], 300);
+        assert_eq!(t.ns[TracePhase::Compute.index()], 600);
+        assert_eq!(t.spans[TracePhase::Pack.index()], 1);
+        assert_eq!(t.total_ns(), 1000);
+        assert_eq!(t.communication_ns(), 400);
+    }
+
+    #[test]
+    fn critical_totals_take_per_phase_max_over_ranks() {
+        let crit = critical_phase_totals(&machine());
+        // Rank 1 gates Pack (250 + 50 = 300 > 100), rank 0 everything else.
+        assert_eq!(crit.ns[TracePhase::Pack.index()], 300);
+        assert_eq!(
+            crit.spans[TracePhase::Pack.index()],
+            2,
+            "gating rank's count"
+        );
+        assert_eq!(crit.ns[TracePhase::Transfer.index()], 300);
+        assert_eq!(crit.ns[TracePhase::Compute.index()], 600);
+    }
+
+    #[test]
+    fn step_breakdowns_are_dense_and_max_merged() {
+        let rows = step_breakdowns(&machine());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].remap_index, 0);
+        assert_eq!(rows[0].phase_ns[TracePhase::Pack.index()], 300);
+        assert_eq!(rows[0].phase_ns[TracePhase::Transfer.index()], 300);
+        assert!(rows[0].has_counters);
+        // Field-wise max across ranks: sent from rank 0, msgs from rank 1.
+        assert_eq!(rows[0].counters.elements_sent, 10);
+        assert_eq!(rows[0].counters.messages_sent, 7);
+        assert_eq!(rows[0].communication_ns(), 600);
+        // Remap 1 only has rank 0's trailing compute, no counter yet.
+        assert_eq!(rows[1].phase_ns[TracePhase::Compute.index()], 600);
+        assert!(!rows[1].has_counters);
+    }
+
+    #[test]
+    fn empty_machine_aggregates_to_nothing() {
+        assert_eq!(critical_phase_totals(&[]), PhaseTotals::default());
+        assert!(step_breakdowns(&[]).is_empty());
+    }
+}

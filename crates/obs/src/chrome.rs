@@ -1,0 +1,166 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the [trace-event format] understood by Perfetto and
+//! `chrome://tracing`: one *process* per rank, phase spans as complete
+//! (`"ph": "X"`) events on the rank's timeline, and each communication
+//! step's R/V/M record as counter (`"ph": "C"`) series. Timestamps are
+//! microseconds since the machine epoch.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::{Event, RankTrace};
+use std::fmt::Write;
+
+/// Render `traces` (one per rank) as a Chrome trace JSON document.
+///
+/// The output is a complete `{"traceEvents": [...]}` object; write it to
+/// a `.json` file and open it in [ui.perfetto.dev](https://ui.perfetto.dev)
+/// or `chrome://tracing`.
+#[must_use]
+pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
+    let events: usize = traces.iter().map(|t| t.events.len()).sum();
+    // ~160 bytes per rendered event.
+    let mut out = String::with_capacity(64 + 160 * events);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: &str, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(s);
+    };
+
+    for trace in traces {
+        let pid = trace.rank;
+        push(
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"rank {pid}\"}}}}"
+            ),
+            &mut out,
+        );
+        if trace.dropped > 0 {
+            push(
+                &format!(
+                    "{{\"name\":\"dropped events\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"dropped\":{}}}}}",
+                    trace.dropped
+                ),
+                &mut out,
+            );
+        }
+        for event in &trace.events {
+            let mut line = String::with_capacity(160);
+            match event {
+                Event::Span(s) => {
+                    write!(
+                        line,
+                        "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":{pid},\
+                         \"tid\":0,\"ts\":{:.3},\"dur\":{:.3},\
+                         \"args\":{{\"step\":{},\"remap\":{}}}}}",
+                        s.phase.name(),
+                        s.t0_ns as f64 / 1e3,
+                        s.duration_ns() as f64 / 1e3,
+                        s.step,
+                        s.remap_index,
+                    )
+                    .expect("write to String cannot fail");
+                }
+                Event::Counter(c) => {
+                    write!(
+                        line,
+                        "{{\"name\":\"remap R/V/M\",\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\
+                         \"ts\":{:.3},\"args\":{{\"elements_sent\":{},\"elements_kept\":{},\
+                         \"messages_sent\":{},\"elements_received\":{},\"group_size\":{},\
+                         \"step\":{},\"remap\":{}}}}}",
+                        c.at_ns as f64 / 1e3,
+                        c.counters.elements_sent,
+                        c.counters.elements_kept,
+                        c.counters.messages_sent,
+                        c.counters.elements_received,
+                        c.counters.group_size,
+                        c.step,
+                        c.remap_index,
+                    )
+                    .expect("write to String cannot fail");
+                }
+            }
+            push(&line, &mut out);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CounterEvent, RemapCounters, Span, TracePhase};
+
+    fn sample_traces() -> Vec<RankTrace> {
+        (0..2)
+            .map(|rank| RankTrace {
+                rank,
+                events: vec![
+                    Event::Span(Span {
+                        phase: TracePhase::Pack,
+                        step: 1,
+                        remap_index: 0,
+                        t0_ns: 1_000,
+                        t1_ns: 3_500,
+                    }),
+                    Event::Counter(CounterEvent {
+                        step: 1,
+                        remap_index: 0,
+                        at_ns: 4_000,
+                        counters: RemapCounters {
+                            elements_sent: 12,
+                            elements_kept: 4,
+                            messages_sent: 3,
+                            elements_received: 12,
+                            group_size: 4,
+                        },
+                    }),
+                ],
+                dropped: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exports_one_pid_per_rank() {
+        let json = chrome_trace_json(&sample_traces());
+        assert!(json.contains("\"name\":\"rank 0\""));
+        assert!(json.contains("\"name\":\"rank 1\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"name\":\"pack\""));
+        assert!(json.contains("\"ts\":1.000,\"dur\":2.500"));
+        assert!(json.contains("\"elements_sent\":12"));
+    }
+
+    #[test]
+    fn output_is_balanced_json() {
+        // Sanity: bracket/brace balance and no trailing commas. Loading in
+        // Perfetto is exercised by the CI smoke job.
+        let json = chrome_trace_json(&sample_traces());
+        let mut depth = 0i64;
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!json.contains(",]") && !json.contains(",}"));
+        assert!(!json.contains("},\n]"));
+    }
+
+    #[test]
+    fn empty_machine_exports_empty_event_list() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("\"traceEvents\":["));
+    }
+}

@@ -1,0 +1,166 @@
+//! The event model: spans, per-remap counter events, finished traces.
+//!
+//! Timestamps are nanoseconds since the machine's trace *epoch* — one
+//! `Instant` taken before any rank starts, shared by every sink — so
+//! events from different ranks land on one common timeline.
+
+/// Number of execution phases (mirrors `spmd::Phase::ALL`).
+pub const PHASES: usize = 5;
+
+/// The execution phase a span belongs to.
+///
+/// This mirrors `spmd::Phase` without depending on it (the dependency
+/// points the other way: `spmd` records into this crate's sinks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracePhase {
+    /// Purely local computation (sorts, merges, compare-exchange steps).
+    Compute,
+    /// Gathering elements into per-destination messages.
+    Pack,
+    /// Channel transfer (send + receive, minus any nested pack/unpack).
+    Transfer,
+    /// Scattering received elements to their local addresses.
+    Unpack,
+    /// Time blocked in barriers.
+    Barrier,
+}
+
+impl TracePhase {
+    /// All phases, in reporting order.
+    pub const ALL: [TracePhase; PHASES] = [
+        TracePhase::Compute,
+        TracePhase::Pack,
+        TracePhase::Transfer,
+        TracePhase::Unpack,
+        TracePhase::Barrier,
+    ];
+
+    /// Stable index into `[_; PHASES]` arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            TracePhase::Compute => 0,
+            TracePhase::Pack => 1,
+            TracePhase::Transfer => 2,
+            TracePhase::Unpack => 3,
+            TracePhase::Barrier => 4,
+        }
+    }
+
+    /// Lower-case display name (also the Chrome trace event name).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePhase::Compute => "compute",
+            TracePhase::Pack => "pack",
+            TracePhase::Transfer => "transfer",
+            TracePhase::Unpack => "unpack",
+            TracePhase::Barrier => "barrier",
+        }
+    }
+}
+
+/// What one communication step cost a rank — the Section 3.4 metrics,
+/// mirrored from `spmd::RemapRecord` so counter events are self-contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemapCounters {
+    /// Elements sent to other ranks (per-remap contribution to `V`).
+    pub elements_sent: u64,
+    /// Elements kept locally.
+    pub elements_kept: u64,
+    /// Non-empty messages sent (per-remap contribution to `M`).
+    pub messages_sent: u64,
+    /// Elements received from other ranks.
+    pub elements_received: u64,
+    /// Size of the communication group (0 when not applicable).
+    pub group_size: u64,
+}
+
+impl RemapCounters {
+    /// Merge `other` into the field-wise maximum — the per-step critical
+    /// path over ranks.
+    pub fn max_merge(&mut self, other: &RemapCounters) {
+        self.elements_sent = self.elements_sent.max(other.elements_sent);
+        self.elements_kept = self.elements_kept.max(other.elements_kept);
+        self.messages_sent = self.messages_sent.max(other.messages_sent);
+        self.elements_received = self.elements_received.max(other.elements_received);
+        self.group_size = self.group_size.max(other.group_size);
+    }
+}
+
+/// One timed interval on a rank's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Which phase the interval belongs to.
+    pub phase: TracePhase,
+    /// Algorithm step the driver was in (driver-defined; 0 before any
+    /// [`crate::TraceSink::set_step`] call).
+    pub step: u32,
+    /// Communication steps completed when the span was recorded — spans
+    /// belonging to remap `i` (and the compute/barrier leading into it)
+    /// carry index `i`.
+    pub remap_index: u32,
+    /// Start, nanoseconds since the machine epoch.
+    pub t0_ns: u64,
+    /// End, nanoseconds since the machine epoch.
+    pub t1_ns: u64,
+}
+
+impl Span {
+    /// The span's duration in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.t1_ns.saturating_sub(self.t0_ns)
+    }
+}
+
+/// The R/V/M record of one completed communication step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterEvent {
+    /// Algorithm step the driver was in.
+    pub step: u32,
+    /// Index of the completed remap (0-based, dense).
+    pub remap_index: u32,
+    /// Completion time, nanoseconds since the machine epoch.
+    pub at_ns: u64,
+    /// What the step cost this rank.
+    pub counters: RemapCounters,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A timed phase interval.
+    Span(Span),
+    /// A completed communication step's metrics.
+    Counter(CounterEvent),
+}
+
+/// A rank's finished trace, harvested when its program returns.
+#[derive(Debug, Clone, Default)]
+pub struct RankTrace {
+    /// The rank that recorded these events.
+    pub rank: usize,
+    /// Events in recording order (spans ordered by end time).
+    pub events: Vec<Event>,
+    /// Events discarded because the ring was full (drop-oldest policy).
+    pub dropped: u64,
+}
+
+impl RankTrace {
+    /// Iterate over the spans in recording order.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Span(s) => Some(s),
+            Event::Counter(_) => None,
+        })
+    }
+
+    /// Iterate over the counter events in recording order.
+    pub fn counters(&self) -> impl Iterator<Item = &CounterEvent> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Counter(c) => Some(c),
+            Event::Span(_) => None,
+        })
+    }
+}

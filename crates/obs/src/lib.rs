@@ -1,0 +1,39 @@
+//! Per-rank tracing: span timelines for the pack/transfer/unpack/barrier/
+//! compute split the thesis's whole evaluation rests on.
+//!
+//! `spmd::CommStats` answers *how much* time each phase cost in total;
+//! this crate answers *when* — which remap, which rank, which step sat on
+//! the critical path. Every rank owns a [`TraceSink`]: a preallocated
+//! event ring (drop-oldest on overflow, with a dropped-events counter)
+//! recording [`Span`]s against a machine-wide monotonic epoch, plus one
+//! [`CounterEvent`] per communication step carrying its R/V/M record.
+//! Sinks are strictly rank-private — no locks, no atomics, no sharing —
+//! and a disabled sink reduces every recording call to one branch, so the
+//! hot paths cost nothing when tracing is off.
+//!
+//! On top of the raw events:
+//!
+//! * [`chrome`] — export a whole machine's traces as Chrome trace-event
+//!   JSON (one pid per rank), loadable in Perfetto / `chrome://tracing`;
+//! * [`aggregate`] — reconstruct per-rank phase totals and per-step
+//!   critical paths directly from spans (the Table 5.4 split, without
+//!   trusting any separately maintained stopwatch).
+//!
+//! The crate is dependency-free (the build is offline) and knows nothing
+//! about the SPMD machine: `spmd` pushes events in, reporting layers pull
+//! summaries out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod chrome;
+pub mod event;
+pub mod sink;
+
+pub use aggregate::{
+    critical_phase_totals, rank_phase_totals, step_breakdowns, PhaseTotals, StepBreakdown,
+};
+pub use chrome::chrome_trace_json;
+pub use event::{CounterEvent, Event, RankTrace, RemapCounters, Span, TracePhase, PHASES};
+pub use sink::{TraceConfig, TraceSink};

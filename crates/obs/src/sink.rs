@@ -1,0 +1,320 @@
+//! The per-rank recorder: a preallocated event ring behind one branch.
+
+use crate::event::{CounterEvent, Event, RankTrace, RemapCounters, Span, TracePhase};
+use std::time::Instant;
+
+/// How (and whether) a machine run records traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record events at all? A disabled sink costs one branch per call.
+    pub enabled: bool,
+    /// Ring capacity in events, per rank. When the ring is full the oldest
+    /// event is dropped and [`RankTrace::dropped`] incremented.
+    pub capacity: usize,
+}
+
+impl TraceConfig {
+    /// Default per-rank ring capacity (events). At ~2P spans per remap
+    /// this holds hundreds of remaps even at P = 64.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Tracing off — the default for every ordinary run.
+    #[must_use]
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 0,
+        }
+    }
+
+    /// Tracing on with the default ring capacity.
+    #[must_use]
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Tracing on with an explicit per-rank ring capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceConfig {
+            enabled: capacity > 0,
+            capacity,
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+/// One rank's event recorder.
+///
+/// Strictly rank-private (each SPMD thread owns its sink outright), so
+/// recording is lock-free by construction: a bounds check and an array
+/// write. The ring is allocated once, up front; recording never
+/// allocates. Timestamps are taken by the *caller* (the instrumentation
+/// reuses the `Instant`s it already reads for `CommStats`), so an enabled
+/// sink adds no clock reads and a disabled one reduces every call to a
+/// single branch.
+#[derive(Debug)]
+pub struct TraceSink {
+    enabled: bool,
+    rank: usize,
+    epoch: Instant,
+    ring: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    step: u32,
+    remaps: u32,
+}
+
+impl TraceSink {
+    /// A sink that records nothing (every call is one branch).
+    #[must_use]
+    pub fn disabled() -> Self {
+        TraceSink {
+            enabled: false,
+            rank: 0,
+            epoch: Instant::now(),
+            ring: Vec::new(),
+            capacity: 0,
+            head: 0,
+            dropped: 0,
+            step: 0,
+            remaps: 0,
+        }
+    }
+
+    /// A recording sink for `rank`, with the ring preallocated to
+    /// `config.capacity` events. `epoch` must be shared by every rank of
+    /// the machine so their timelines align.
+    #[must_use]
+    pub fn new(rank: usize, config: TraceConfig, epoch: Instant) -> Self {
+        if !config.enabled || config.capacity == 0 {
+            let mut s = Self::disabled();
+            s.rank = rank;
+            s.epoch = epoch;
+            return s;
+        }
+        TraceSink {
+            enabled: true,
+            rank,
+            epoch,
+            ring: Vec::with_capacity(config.capacity),
+            capacity: config.capacity,
+            head: 0,
+            dropped: 0,
+            step: 0,
+            remaps: 0,
+        }
+    }
+
+    /// Whether this sink records events.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The rank this sink belongs to.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Tag subsequent events with algorithm step `step` (driver-defined:
+    /// schedule phase, radix pass, hypercube stage, …).
+    #[inline]
+    pub fn set_step(&mut self, step: u32) {
+        self.step = step;
+    }
+
+    /// The current algorithm step tag.
+    #[must_use]
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Communication steps recorded so far — the `remap_index` that spans
+    /// recorded now will carry.
+    #[must_use]
+    pub fn remap_index(&self) -> u32 {
+        self.remaps
+    }
+
+    /// Events dropped so far under the drop-oldest overflow policy.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Record a span covering `[t0, t1]` in `phase`. Zero-length spans are
+    /// discarded; both instants must come from after the machine epoch.
+    #[inline]
+    pub fn span(&mut self, phase: TracePhase, t0: Instant, t1: Instant) {
+        if !self.enabled {
+            return;
+        }
+        let t0_ns = self.since_epoch_ns(t0);
+        let t1_ns = self.since_epoch_ns(t1);
+        if t1_ns <= t0_ns {
+            return;
+        }
+        self.push(Event::Span(Span {
+            phase,
+            step: self.step,
+            remap_index: self.remaps,
+            t0_ns,
+            t1_ns,
+        }));
+    }
+
+    /// Record the completion of a communication step at `at` and advance
+    /// the remap index.
+    #[inline]
+    pub fn counter(&mut self, counters: RemapCounters, at: Instant) {
+        if !self.enabled {
+            return;
+        }
+        let event = Event::Counter(CounterEvent {
+            step: self.step,
+            remap_index: self.remaps,
+            at_ns: self.since_epoch_ns(at),
+            counters,
+        });
+        self.remaps += 1;
+        self.push(event);
+    }
+
+    /// Consume the sink into its finished trace, events in recording
+    /// order (the ring is unrolled from its oldest entry).
+    #[must_use]
+    pub fn finish(mut self) -> RankTrace {
+        if self.head > 0 {
+            self.ring.rotate_left(self.head);
+        }
+        RankTrace {
+            rank: self.rank,
+            events: self.ring,
+            dropped: self.dropped,
+        }
+    }
+
+    fn since_epoch_ns(&self, t: Instant) -> u64 {
+        u64::try_from(t.saturating_duration_since(self.epoch).as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            // Full: overwrite the oldest event (drop-oldest policy).
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn t(epoch: Instant, ns: u64) -> Instant {
+        epoch + Duration::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let epoch = Instant::now();
+        let mut s = TraceSink::disabled();
+        s.span(TracePhase::Compute, t(epoch, 0), t(epoch, 100));
+        s.counter(RemapCounters::default(), t(epoch, 200));
+        assert!(!s.is_enabled());
+        let trace = s.finish();
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn spans_carry_step_and_remap_index() {
+        let epoch = Instant::now();
+        let mut s = TraceSink::new(3, TraceConfig::on(), epoch);
+        s.set_step(7);
+        s.span(TracePhase::Pack, t(epoch, 10), t(epoch, 20));
+        s.counter(
+            RemapCounters {
+                elements_sent: 5,
+                ..Default::default()
+            },
+            t(epoch, 25),
+        );
+        s.span(TracePhase::Compute, t(epoch, 30), t(epoch, 40));
+        let trace = s.finish();
+        assert_eq!(trace.rank, 3);
+        let spans: Vec<&Span> = trace.spans().collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            (spans[0].phase, spans[0].step, spans[0].remap_index),
+            (TracePhase::Pack, 7, 0)
+        );
+        assert_eq!(spans[1].remap_index, 1, "after the counter");
+        let counters: Vec<_> = trace.counters().collect();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].remap_index, 0);
+        assert_eq!(counters[0].counters.elements_sent, 5);
+    }
+
+    #[test]
+    fn zero_length_spans_are_discarded() {
+        let epoch = Instant::now();
+        let mut s = TraceSink::new(0, TraceConfig::on(), epoch);
+        s.span(TracePhase::Transfer, t(epoch, 50), t(epoch, 50));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let epoch = Instant::now();
+        let mut s = TraceSink::new(0, TraceConfig::with_capacity(4), epoch);
+        for i in 0..10u64 {
+            s.span(
+                TracePhase::Compute,
+                t(epoch, i * 100),
+                t(epoch, i * 100 + 50),
+            );
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped(), 6);
+        let trace = s.finish();
+        let starts: Vec<u64> = trace.spans().map(|sp| sp.t0_ns).collect();
+        assert_eq!(starts, vec![600, 700, 800, 900], "latest events survive");
+        assert_eq!(trace.dropped, 6);
+    }
+
+    #[test]
+    fn capacity_zero_config_disables() {
+        let s = TraceSink::new(1, TraceConfig::with_capacity(0), Instant::now());
+        assert!(!s.is_enabled());
+    }
+}

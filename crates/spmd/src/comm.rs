@@ -5,6 +5,7 @@
 use crate::barrier::SenseBarrier;
 use crate::counters::{CommStats, Phase, RemapRecord};
 use crossbeam::channel::{Receiver, Sender};
+use obs::{TracePhase, TraceSink};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,6 +66,11 @@ pub struct Comm<K> {
     /// Metrics for this rank; harvested by the runtime when the program
     /// returns.
     pub stats: CommStats,
+    /// Span recorder for this rank; disabled (one branch per call) unless
+    /// the machine was started with tracing on. Every timed operation
+    /// records a span against the same `Instant`s it charges to `stats`,
+    /// so per-phase span sums reproduce the stopwatch totals exactly.
+    pub trace: TraceSink,
 }
 
 impl<K: Send + 'static> Comm<K> {
@@ -74,6 +80,7 @@ impl<K: Send + 'static> Comm<K> {
         senders: Vec<Sender<Envelope<K>>>,
         receiver: Receiver<Envelope<K>>,
         barrier: Arc<SenseBarrier>,
+        trace: TraceSink,
     ) -> Self {
         let procs = senders.len();
         Comm {
@@ -87,6 +94,7 @@ impl<K: Send + 'static> Comm<K> {
             pool: Vec::new(),
             pool_misses: 0,
             stats: CommStats::new(),
+            trace,
         }
     }
 
@@ -112,7 +120,9 @@ impl<K: Send + 'static> Comm<K> {
     pub fn timed<T>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> T) -> T {
         let t0 = Instant::now();
         let out = f(self);
-        self.stats.add_time(phase, t0.elapsed());
+        let t1 = Instant::now();
+        self.stats.add_time(phase, t1.duration_since(t0));
+        self.trace.span(phase.into(), t0, t1);
         out
     }
 
@@ -120,7 +130,16 @@ impl<K: Send + 'static> Comm<K> {
     pub fn barrier(&mut self) {
         let t0 = Instant::now();
         self.barrier.wait();
-        self.stats.add_time(Phase::Barrier, t0.elapsed());
+        let t1 = Instant::now();
+        self.stats.add_time(Phase::Barrier, t1.duration_since(t0));
+        self.trace.span(TracePhase::Barrier, t0, t1);
+    }
+
+    /// Close out a communication step at `t1`: emit its counter event
+    /// (advancing the trace's remap index) and push its [`RemapRecord`].
+    fn finish_remap(&mut self, record: RemapRecord, t1: Instant) {
+        self.trace.counter(record.into(), t1);
+        self.stats.push_remap(record);
     }
 
     /// All-to-all personalized exchange: `outgoing[dst]` is delivered to
@@ -204,8 +223,10 @@ impl<K: Send + 'static> Comm<K> {
         }
 
         record.group_size = partners + 1;
-        self.stats.add_time(Phase::Transfer, t0.elapsed());
-        self.stats.push_remap(record);
+        let t1 = Instant::now();
+        self.stats.add_time(Phase::Transfer, t1.duration_since(t0));
+        self.trace.span(TracePhase::Transfer, t0, t1);
+        self.finish_remap(record, t1);
         incoming
     }
 
@@ -256,8 +277,10 @@ impl<K: Send + 'static> Comm<K> {
             }
         };
         record.elements_received = received.len() as u64;
-        self.stats.add_time(Phase::Transfer, t0.elapsed());
-        self.stats.push_remap(record);
+        let t1 = Instant::now();
+        self.stats.add_time(Phase::Transfer, t1.duration_since(t0));
+        self.trace.span(TracePhase::Transfer, t0, t1);
+        self.finish_remap(record, t1);
         received
     }
 
@@ -365,7 +388,14 @@ impl<K: Send + 'static> Comm<K> {
     {
         assert_eq!(send_counts.len(), self.procs, "one send count per rank");
         assert_eq!(recv_counts.len(), self.procs, "one recv count per rank");
+        let drain_trace: TracePhase = drain_phase.into();
         let t0 = Instant::now();
+        // Trace spans are *segmented*: `cursor` tracks the end of the last
+        // pack/drain interval, and the gaps between intervals are recorded
+        // as Transfer spans. The very same `Instant`s feed both the spans
+        // and the stopwatch sums below, so per-phase span totals equal the
+        // `CommStats` phase times exactly — no extra clock reads.
+        let mut cursor = t0;
         let mut pack = std::time::Duration::ZERO;
         let mut unpack = std::time::Duration::ZERO;
         let mut record = RemapRecord {
@@ -384,7 +414,11 @@ impl<K: Send + 'static> Comm<K> {
             let mut buf = self.pooled();
             let tp = Instant::now();
             fill(dst, &mut buf);
-            pack += tp.elapsed();
+            let tp1 = Instant::now();
+            pack += tp1.duration_since(tp);
+            self.trace.span(TracePhase::Transfer, cursor, tp);
+            self.trace.span(TracePhase::Pack, tp, tp1);
+            cursor = tp1;
             debug_assert_eq!(buf.len(), len, "fill must produce the planned segment");
             if dst == self.rank {
                 own_buf = Some(buf);
@@ -414,7 +448,11 @@ impl<K: Send + 'static> Comm<K> {
                 let buf = own_buf.take().unwrap_or_default();
                 let tu = Instant::now();
                 drain(src, &buf);
-                unpack += tu.elapsed();
+                let tu1 = Instant::now();
+                unpack += tu1.duration_since(tu);
+                self.trace.span(TracePhase::Transfer, cursor, tu);
+                self.trace.span(drain_trace, tu, tu1);
+                cursor = tu1;
                 self.recycle(buf);
                 continue;
             }
@@ -428,7 +466,11 @@ impl<K: Send + 'static> Comm<K> {
                         assert_eq!(v.len(), len, "peer sent a mismatched segment");
                         let tu = Instant::now();
                         drain(src, &v);
-                        unpack += tu.elapsed();
+                        let tu1 = Instant::now();
+                        unpack += tu1.duration_since(tu);
+                        self.trace.span(TracePhase::Transfer, cursor, tu);
+                        self.trace.span(drain_trace, tu, tu1);
+                        cursor = tu1;
                         self.recycle(v);
                     }
                     _ => panic!("unexpected payload in long-message mode"),
@@ -450,18 +492,26 @@ impl<K: Send + 'static> Comm<K> {
                     }
                     let tu = Instant::now();
                     drain(src, &buf);
-                    unpack += tu.elapsed();
+                    let tu1 = Instant::now();
+                    unpack += tu1.duration_since(tu);
+                    self.trace.span(TracePhase::Transfer, cursor, tu);
+                    self.trace.span(drain_trace, tu, tu1);
+                    cursor = tu1;
                     self.recycle(buf);
                 }
             }
         }
 
         record.group_size = partners + 1;
+        let t1 = Instant::now();
+        self.trace.span(TracePhase::Transfer, cursor, t1);
         self.stats.add_time(Phase::Pack, pack);
         self.stats.add_time(drain_phase, unpack);
-        self.stats
-            .add_time(Phase::Transfer, t0.elapsed().saturating_sub(pack + unpack));
-        self.stats.push_remap(record);
+        self.stats.add_time(
+            Phase::Transfer,
+            t1.duration_since(t0).saturating_sub(pack + unpack),
+        );
+        self.finish_remap(record, t1);
     }
 
     /// Flat-buffer all-to-all where receive sizes are *not* known in
@@ -569,8 +619,10 @@ impl<K: Send + 'static> Comm<K> {
         }
 
         record.group_size = partners + 1;
-        self.stats.add_time(Phase::Transfer, t0.elapsed());
-        self.stats.push_remap(record);
+        let t1 = Instant::now();
+        self.stats.add_time(Phase::Transfer, t1.duration_since(t0));
+        self.trace.span(TracePhase::Transfer, t0, t1);
+        self.finish_remap(record, t1);
     }
 
     /// Allocation-free counterpart of [`Comm::sendrecv`]: send `sendbuf`
@@ -631,8 +683,10 @@ impl<K: Send + 'static> Comm<K> {
             }
         }
         record.elements_received = recvbuf.len() as u64;
-        self.stats.add_time(Phase::Transfer, t0.elapsed());
-        self.stats.push_remap(record);
+        let t1 = Instant::now();
+        self.stats.add_time(Phase::Transfer, t1.duration_since(t0));
+        self.trace.span(TracePhase::Transfer, t0, t1);
+        self.finish_remap(record, t1);
     }
 
     /// Number of times a flat-path send needed a fresh buffer because the
@@ -699,8 +753,10 @@ impl<K: Send + 'static> Comm<K> {
             record.elements_received += incoming[src].len() as u64;
         }
         record.group_size = self.procs as u64;
-        self.stats.add_time(Phase::Transfer, t0.elapsed());
-        self.stats.push_remap(record);
+        let t1 = Instant::now();
+        self.stats.add_time(Phase::Transfer, t1.duration_since(t0));
+        self.trace.span(TracePhase::Transfer, t0, t1);
+        self.finish_remap(record, t1);
         incoming
     }
 

@@ -45,6 +45,18 @@ impl Phase {
     }
 }
 
+impl From<Phase> for obs::TracePhase {
+    fn from(p: Phase) -> obs::TracePhase {
+        match p {
+            Phase::Compute => obs::TracePhase::Compute,
+            Phase::Pack => obs::TracePhase::Pack,
+            Phase::Transfer => obs::TracePhase::Transfer,
+            Phase::Unpack => obs::TracePhase::Unpack,
+            Phase::Barrier => obs::TracePhase::Barrier,
+        }
+    }
+}
+
 /// What one remap (communication step) cost this rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RemapRecord {
@@ -59,6 +71,30 @@ pub struct RemapRecord {
     /// Size of the communication group (`2^{N_BitsChanged}`, Lemma 4);
     /// zero when not applicable (e.g. pairwise exchanges).
     pub group_size: u64,
+}
+
+impl RemapRecord {
+    /// Merge `other` into the field-wise maximum — the per-step critical
+    /// path over ranks.
+    pub fn max_merge(&mut self, other: &RemapRecord) {
+        self.elements_sent = self.elements_sent.max(other.elements_sent);
+        self.elements_kept = self.elements_kept.max(other.elements_kept);
+        self.messages_sent = self.messages_sent.max(other.messages_sent);
+        self.elements_received = self.elements_received.max(other.elements_received);
+        self.group_size = self.group_size.max(other.group_size);
+    }
+}
+
+impl From<RemapRecord> for obs::RemapCounters {
+    fn from(r: RemapRecord) -> obs::RemapCounters {
+        obs::RemapCounters {
+            elements_sent: r.elements_sent,
+            elements_kept: r.elements_kept,
+            messages_sent: r.messages_sent,
+            elements_received: r.elements_received,
+            group_size: r.group_size,
+        }
+    }
 }
 
 /// Cumulative per-rank statistics for one run.
@@ -116,12 +152,18 @@ impl CommStats {
 
     /// Merge another rank's stats into a fleet-wide maximum view: counters
     /// take the per-rank maximum (the critical path), matching how the
-    /// thesis reports per-processor volumes.
+    /// thesis reports per-processor volumes. Remap records are merged
+    /// element-wise — step `i` of the result is the field-wise max of every
+    /// rank's step `i` — so no rank's traffic is silently discarded.
     pub fn max_merge(&mut self, other: &CommStats) {
         self.elements_sent = self.elements_sent.max(other.elements_sent);
         self.messages_sent = self.messages_sent.max(other.messages_sent);
         if other.remaps.len() > self.remaps.len() {
-            self.remaps = other.remaps.clone();
+            self.remaps
+                .resize(other.remaps.len(), RemapRecord::default());
+        }
+        for (mine, theirs) in self.remaps.iter_mut().zip(&other.remaps) {
+            mine.max_merge(theirs);
         }
         for p in Phase::ALL {
             if other.time(p) > self.time(p) {
@@ -186,5 +228,54 @@ mod tests {
         a.max_merge(&b);
         assert_eq!(a.elements_sent, 10);
         assert_eq!(a.time(Phase::Compute), Duration::from_millis(9));
+    }
+
+    #[test]
+    fn max_merge_merges_remaps_element_wise() {
+        // Rank a: step 0 heavy on volume, step 1 light.
+        let mut a = CommStats::new();
+        a.push_remap(RemapRecord {
+            elements_sent: 100,
+            messages_sent: 1,
+            ..Default::default()
+        });
+        a.push_remap(RemapRecord {
+            elements_sent: 5,
+            messages_sent: 5,
+            ..Default::default()
+        });
+        // Rank b: heavy where a is light, plus an extra third step.
+        let mut b = CommStats::new();
+        b.push_remap(RemapRecord {
+            elements_sent: 7,
+            messages_sent: 9,
+            elements_kept: 40,
+            ..Default::default()
+        });
+        b.push_remap(RemapRecord {
+            elements_sent: 80,
+            messages_sent: 2,
+            ..Default::default()
+        });
+        b.push_remap(RemapRecord {
+            elements_sent: 3,
+            group_size: 8,
+            ..Default::default()
+        });
+        a.max_merge(&b);
+        // Step count follows the longest rank; each step is the field-wise
+        // max, not a wholesale copy of whichever rank had more steps.
+        assert_eq!(a.remap_count(), 3);
+        assert_eq!(a.remaps[0].elements_sent, 100, "a's heavy step survives");
+        assert_eq!(a.remaps[0].messages_sent, 9, "b's message count survives");
+        assert_eq!(a.remaps[0].elements_kept, 40);
+        assert_eq!(a.remaps[1].elements_sent, 80);
+        assert_eq!(a.remaps[1].messages_sent, 5);
+        assert_eq!(a.remaps[2].group_size, 8);
+        // And merging the shorter one in again changes nothing.
+        let snapshot = a.remaps.clone();
+        let shorter = CommStats::new();
+        a.max_merge(&shorter);
+        assert_eq!(a.remaps, snapshot);
     }
 }

@@ -36,7 +36,8 @@ pub mod runtime;
 pub use barrier::SenseBarrier;
 pub use comm::{Comm, MessageMode};
 pub use counters::{CommStats, Phase, RemapRecord};
-pub use runtime::{run_spmd, RankResult};
+pub use obs::{RankTrace, TraceConfig, TraceSink};
+pub use runtime::{run_spmd, run_spmd_traced, traces_of, RankResult};
 
 #[cfg(test)]
 mod tests {

@@ -10,7 +10,9 @@
 use crate::barrier::SenseBarrier;
 use crate::comm::{make_mesh, Comm, MessageMode};
 use crate::counters::CommStats;
+use obs::{RankTrace, TraceConfig, TraceSink};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What one rank produced: its program's return value and its metrics.
 #[derive(Debug)]
@@ -21,6 +23,9 @@ pub struct RankResult<R> {
     pub output: R,
     /// Communication statistics gathered during the run.
     pub stats: CommStats,
+    /// The rank's recorded span timeline (empty unless the machine was
+    /// started with tracing enabled via [`run_spmd_traced`]).
+    pub trace: RankTrace,
 }
 
 /// Run `program` on `procs` ranks and return the per-rank results in rank
@@ -39,9 +44,34 @@ where
     R: Send,
     F: Fn(&mut Comm<K>) -> R + Sync,
 {
+    run_spmd_traced(procs, mode, TraceConfig::off(), program)
+}
+
+/// [`run_spmd`] with per-rank tracing: every rank gets a recording
+/// [`TraceSink`] (reachable as `comm.trace`) sharing one machine-wide
+/// epoch, and its finished [`RankTrace`] comes back in
+/// [`RankResult::trace`]. With [`TraceConfig::off`] this is exactly
+/// `run_spmd` — sinks are disabled and record nothing.
+///
+/// # Panics
+/// Panics if `procs == 0`, or propagates the panic of any rank.
+pub fn run_spmd_traced<K, R, F>(
+    procs: usize,
+    mode: MessageMode,
+    trace: TraceConfig,
+    program: F,
+) -> Vec<RankResult<R>>
+where
+    K: Send + 'static,
+    R: Send,
+    F: Fn(&mut Comm<K>) -> R + Sync,
+{
     assert!(procs > 0, "need at least one processor");
     let (sender_meshes, receivers) = make_mesh::<K>(procs);
     let barrier = Arc::new(SenseBarrier::new(procs));
+    // One epoch for the whole machine, taken before any rank starts, so
+    // every rank's spans land on a common timeline.
+    let epoch = Instant::now();
     let program = &program;
 
     let mut results: Vec<Option<RankResult<R>>> = Vec::new();
@@ -55,12 +85,14 @@ where
         for (rank, (senders, receiver)) in rank_inputs {
             let barrier = Arc::clone(&barrier);
             handles.push(scope.spawn(move || {
-                let mut comm = Comm::new(rank, mode, senders, receiver, barrier);
+                let sink = TraceSink::new(rank, trace, epoch);
+                let mut comm = Comm::new(rank, mode, senders, receiver, barrier, sink);
                 let output = program(&mut comm);
                 RankResult {
                     rank,
                     output,
                     stats: comm.stats,
+                    trace: comm.trace.finish(),
                 }
             }));
         }
@@ -76,6 +108,12 @@ where
         .into_iter()
         .map(|r| r.expect("every rank produces a result"))
         .collect()
+}
+
+/// Collect the per-rank traces of a machine run, in rank order.
+#[must_use]
+pub fn traces_of<R>(results: &[RankResult<R>]) -> Vec<RankTrace> {
+    results.iter().map(|r| r.trace.clone()).collect()
 }
 
 /// Fold per-rank stats into the critical-path view used for reporting: the

@@ -1,0 +1,150 @@
+//! Tracing invariants: the span timelines are not a parallel bookkeeping
+//! system that can drift from the stopwatch totals — they reuse the same
+//! clock reads, so per-rank span-duration sums must equal the CommStats
+//! phase totals *exactly*, and disabled tracing must record nothing.
+
+use bitonic_bench::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort_traced, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use obs::{rank_phase_totals, step_breakdowns, TraceConfig, TracePhase};
+use proptest::prelude::*;
+use spmd::{MessageMode, Phase};
+
+const ALGOS: [Algorithm; 4] = [
+    Algorithm::Smart,
+    Algorithm::SmartFused,
+    Algorithm::CyclicBlocked,
+    Algorithm::BlockedMerge,
+];
+
+/// Per-rank, per-phase: the sum of span durations equals the stopwatch
+/// total to the nanosecond (both sides are differences of the *same*
+/// `Instant` reads; zero-length spans are dropped but add zero).
+fn assert_spans_match_stats(algo: Algorithm, mode: MessageMode, p: usize, n_per_rank: usize) {
+    let keys = uniform_keys(n_per_rank * p, 11);
+    let run = run_parallel_sort_traced(
+        &keys,
+        p,
+        mode,
+        algo,
+        LocalStrategy::Merges,
+        TraceConfig::on(),
+    );
+    for rank in &run.ranks {
+        let totals = rank_phase_totals(&rank.trace);
+        for phase in [
+            Phase::Compute,
+            Phase::Pack,
+            Phase::Transfer,
+            Phase::Unpack,
+            Phase::Barrier,
+        ] {
+            let stopwatch_ns = rank.stats.time(phase).as_nanos() as u64;
+            let span_ns = totals.ns[TracePhase::from(phase).index()];
+            assert_eq!(
+                span_ns, stopwatch_ns,
+                "{algo:?}/{mode:?} rank {}: {phase:?} spans sum to {span_ns}ns, \
+                 stopwatch says {stopwatch_ns}ns",
+                rank.trace.rank
+            );
+        }
+        assert_eq!(rank.trace.dropped, 0, "default ring holds a sort's events");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn span_sums_equal_commstats_phase_totals(
+        algo_i in 0usize..4,
+        mode_i in 0usize..2,
+        lg_p in 1u32..4,
+        lg_n in 6u32..9,
+    ) {
+        let mode = if mode_i == 0 { MessageMode::Long } else { MessageMode::Short };
+        assert_spans_match_stats(ALGOS[algo_i], mode, 1 << lg_p, 1 << lg_n);
+    }
+}
+
+/// Counter events mirror CommStats remap records one-to-one, per rank.
+#[test]
+fn counter_events_mirror_remap_records() {
+    for algo in ALGOS {
+        let keys = uniform_keys(512 * 8, 17);
+        let run = run_parallel_sort_traced(
+            &keys,
+            8,
+            MessageMode::Long,
+            algo,
+            LocalStrategy::Merges,
+            TraceConfig::on(),
+        );
+        for rank in &run.ranks {
+            let counters: Vec<_> = rank.trace.counters().collect();
+            assert_eq!(counters.len(), rank.stats.remaps.len(), "{algo:?}");
+            for (c, r) in counters.iter().zip(&rank.stats.remaps) {
+                assert_eq!(c.counters.elements_sent, r.elements_sent, "{algo:?}");
+                assert_eq!(c.counters.messages_sent, r.messages_sent, "{algo:?}");
+                assert_eq!(
+                    c.counters.elements_received, r.elements_received,
+                    "{algo:?}"
+                );
+                assert_eq!(c.counters.elements_kept, r.elements_kept, "{algo:?}");
+            }
+        }
+        // The machine-wide view agrees too: every counted breakdown row
+        // matches the critical-path stats (checked field-wise).
+        let traces = spmd::traces_of(&run.ranks);
+        let counted = step_breakdowns(&traces)
+            .into_iter()
+            .filter(|r| r.has_counters)
+            .count();
+        let crit = spmd::runtime::critical_path_stats(&run.ranks);
+        assert_eq!(counted as u64, crit.remap_count(), "{algo:?}");
+    }
+}
+
+/// With tracing off (the default), the sink records nothing at all —
+/// no spans, no counters, no drops. This is the "free when disabled"
+/// half of the overhead claim.
+#[test]
+fn disabled_tracing_records_zero_events() {
+    for algo in ALGOS {
+        for mode in [MessageMode::Long, MessageMode::Short] {
+            let keys = uniform_keys(256 * 4, 23);
+            let run = run_parallel_sort_traced(
+                &keys,
+                4,
+                mode,
+                algo,
+                LocalStrategy::Merges,
+                TraceConfig::off(),
+            );
+            for rank in &run.ranks {
+                assert!(rank.trace.events.is_empty(), "{algo:?}/{mode:?}");
+                assert_eq!(rank.trace.dropped, 0, "{algo:?}/{mode:?}");
+                // The stats pipeline is unaffected by the sink being off.
+                assert!(rank.stats.remap_count() > 0, "{algo:?}/{mode:?}");
+            }
+        }
+    }
+}
+
+/// A deliberately tiny ring drops oldest events and says how many.
+#[test]
+fn tiny_ring_reports_drops() {
+    let keys = uniform_keys(512 * 4, 29);
+    let run = run_parallel_sort_traced(
+        &keys,
+        4,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+        TraceConfig::with_capacity(4),
+    );
+    for rank in &run.ranks {
+        assert_eq!(rank.trace.events.len(), 4, "ring stays at capacity");
+        assert!(rank.trace.dropped > 0, "a sort overflows a 4-slot ring");
+    }
+}
