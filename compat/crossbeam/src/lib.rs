@@ -30,6 +30,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`]: either the deadline
+    /// passed with no message, or every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// All senders have hung up; no message will ever arrive.
+        Disconnected,
+    }
+
     /// The sending half of an unbounded channel. Cloneable, so a full
     /// point-to-point mesh can fan one receiver out to many senders.
     pub struct Sender<T>(mpsc::Sender<T>);
@@ -62,6 +72,14 @@ pub mod channel {
         /// Receive without blocking, if a value is ready.
         pub fn try_recv(&self) -> Result<T, RecvError> {
             self.0.try_recv().map_err(|_| RecvError)
+        }
+
+        /// Block until a value arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                std::sync::mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
@@ -102,5 +120,22 @@ mod tests {
         let (tx, rx) = channel::unbounded::<u8>();
         drop(tx);
         assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        use std::time::Duration;
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 }

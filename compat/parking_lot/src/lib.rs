@@ -48,6 +48,18 @@ impl<T> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Outcome of a [`Condvar::wait_for`]: did the wait hit its deadline?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed.
+    #[must_use]
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable whose `wait` reborrows the guard in place.
 #[derive(Debug, Default)]
 pub struct Condvar(StdCondvar);
@@ -65,6 +77,24 @@ impl Condvar {
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.0.take().expect("guard is present outside wait");
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Returns a
+    /// [`WaitTimeoutResult`] whose `timed_out()` reports whether the wait
+    /// ended by deadline rather than notification. Spurious wakeups are
+    /// possible either way — callers must re-check their predicate.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard is present outside wait");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wake every thread blocked in [`Condvar::wait`].
@@ -108,5 +138,16 @@ mod tests {
             cv.notify_all();
         }
         assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        let res = cv.wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
+        drop(guard);
+        assert_eq!(*m.lock(), ());
     }
 }

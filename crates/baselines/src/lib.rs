@@ -19,7 +19,7 @@ pub use radix_sort::parallel_radix_sort;
 pub use sample_sort::parallel_sample_sort;
 
 use local_sorts::RadixKey;
-use spmd::{run_spmd_traced, MessageMode, RankResult, TraceConfig};
+use spmd::{run_spmd_chaos, FaultConfig, MessageMode, RankFailure, RankResult, TraceConfig};
 use std::time::{Duration, Instant};
 
 /// Which baseline to run.
@@ -64,13 +64,32 @@ pub fn run_baseline_traced<K: RadixKey>(
     which: Baseline,
     trace: TraceConfig,
 ) -> BaselineRun<K> {
+    run_baseline_chaos(keys, p, mode, which, trace, FaultConfig::off())
+        .expect("a fault-free machine cannot fail")
+}
+
+/// [`run_baseline_traced`] on a faulty machine (see
+/// `spmd::run_spmd_chaos`): the mesh misbehaves per `fault` and the
+/// baseline must still sort. With [`FaultConfig::off`] this is exactly
+/// `run_baseline_traced`.
+///
+/// # Errors
+/// A [`RankFailure`] if any rank's watchdog fired.
+pub fn run_baseline_chaos<K: RadixKey>(
+    keys: &[K],
+    p: usize,
+    mode: MessageMode,
+    which: Baseline,
+    trace: TraceConfig,
+    fault: FaultConfig,
+) -> Result<BaselineRun<K>, RankFailure> {
     assert!(
         p >= 1 && keys.len().is_multiple_of(p),
         "keys must divide evenly over ranks"
     );
     let n = keys.len() / p;
     let t0 = Instant::now();
-    let results = run_spmd_traced::<K, Vec<K>, _>(p, mode, trace, |comm| {
+    let results = run_spmd_chaos::<K, Vec<K>, _>(p, mode, trace, fault, |comm| {
         let me = comm.rank();
         let local = keys[me * n..(me + 1) * n].to_vec();
         match which {
@@ -78,7 +97,7 @@ pub fn run_baseline_traced<K: RadixKey>(
             Baseline::Radix => parallel_radix_sort(comm, local),
             Baseline::Column => parallel_column_sort(comm, local),
         }
-    });
+    })?;
     let elapsed = t0.elapsed();
     let mut output = Vec::with_capacity(keys.len());
     let mut ranks = Vec::with_capacity(p);
@@ -91,11 +110,11 @@ pub fn run_baseline_traced<K: RadixKey>(
             trace: r.trace,
         });
     }
-    BaselineRun {
+    Ok(BaselineRun {
         output,
         ranks,
         elapsed,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -11,8 +11,13 @@
 //! size the traced run, `--out FILE` writes the Chrome trace-event JSON
 //! (open it in Perfetto / `chrome://tracing`), and `--check` exits
 //! non-zero unless every rank recorded at least one span in every phase.
+//!
+//! The `chaos` id is a subcommand too: `--procs N`, `--keys N`, and
+//! `--seed N` shape the fault-injection sweep, `--out FILE` writes the
+//! report (with its `CHAOS_1` JSON block), and `--check` exits non-zero
+//! unless every cell sorted correctly and determinism held.
 
-use bitonic_bench::experiments::{all, by_id, trace, Scale, IDS};
+use bitonic_bench::experiments::{all, by_id, chaos, trace, Scale, IDS};
 use spmd::MessageMode;
 
 fn main() {
@@ -23,6 +28,7 @@ fn main() {
     let mut keys: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut check = false;
+    let mut seed: Option<u64> = None;
 
     let mut i = 0;
     let value = |args: &[String], i: &mut usize| -> String {
@@ -49,10 +55,17 @@ fn main() {
                 }));
             }
             "--out" => out = Some(value(&args, &mut i)),
+            "--seed" => {
+                seed = Some(value(&args, &mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("--seed: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--full] [all | {}]\n       \
-                     experiments trace [--procs N] [--keys N] [--out FILE] [--check]",
+                     experiments trace [--procs N] [--keys N] [--out FILE] [--check]\n       \
+                     experiments chaos [--procs N] [--keys N] [--seed N] [--out FILE] [--check]",
                     IDS.join(" | ")
                 );
                 return;
@@ -89,8 +102,36 @@ fn main() {
         }
         return;
     }
-    if out.is_some() || check || keys.is_some() {
-        eprintln!("--out/--check/--keys only apply to `experiments trace`");
+
+    // The chaos subcommand: the fault-injection conformance sweep with its
+    // own machine size, working set, and master seed.
+    if ids.iter().any(|id| id == "chaos") && ids.len() == 1 {
+        let keys = keys.unwrap_or_else(|| chaos::default_keys_per_rank(scale));
+        let seed = seed.unwrap_or(chaos::DEFAULT_SEED);
+        let run = chaos::run_chaos(procs, keys, seed);
+        println!("## Fault-injection conformance [chaos]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &run.report) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("Chaos report written to {path}.");
+        }
+        if check {
+            if run.passed {
+                println!("check: every cell sorted; equal seeds injected equal faults.");
+            } else {
+                eprintln!("check failed: see report above.");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if out.is_some() || check || keys.is_some() || seed.is_some() {
+        eprintln!(
+            "--out/--check/--keys/--seed only apply to `experiments trace` or `experiments chaos`"
+        );
         std::process::exit(2);
     }
     let run_all = ids.is_empty() || ids.iter().any(|i| i == "all");

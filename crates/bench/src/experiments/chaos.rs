@@ -1,0 +1,314 @@
+//! `experiments chaos` — the fault-injection conformance sweep: every
+//! bitonic variant against every fault class, on one seeded chaotic mesh.
+//!
+//! Each cell of the sweep runs a full sort under one fault class (latency
+//! jitter, bounded reordering, duplication, drops, a stalled rank, or all
+//! of them at once) and checks the output is *exactly* the sorted input —
+//! sortedness and multiset preservation in one comparison. The fault plan
+//! is a pure function of the seed, so any failure reported here can be
+//! replayed bit-for-bit with `bitonic-sort --chaos-seed`.
+//!
+//! The report ends with a machine-readable `CHAOS_1` block carrying the
+//! per-run injected/recovery counters plus a determinism verdict (the
+//! smart sort is run twice on the same seed and must inject identically).
+
+use super::{Experiment, Scale};
+use crate::report::{f2, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort_chaos, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use spmd::runtime::critical_path_stats;
+use spmd::{FaultConfig, FaultStats, MessageMode, TraceConfig};
+use std::time::Duration;
+
+/// Default machine size for the subcommand (the acceptance configuration).
+pub const DEFAULT_PROCS: usize = 4;
+
+/// Default master seed (any value works; fixed so CI runs are replayable).
+pub const DEFAULT_SEED: u64 = 805_381;
+
+/// Keys per rank at a given scale. Chaos runs pay for injected sleeps and
+/// retransmission round-trips, so the sweep uses a smaller working set
+/// than the throughput experiments.
+#[must_use]
+pub fn default_keys_per_rank(scale: Scale) -> usize {
+    (16_384 / scale.shrink).max(256).next_power_of_two()
+}
+
+const ALGOS: [Algorithm; 4] = [
+    Algorithm::Smart,
+    Algorithm::SmartFused,
+    Algorithm::CyclicBlocked,
+    Algorithm::BlockedMerge,
+];
+
+/// One fault class of the sweep: a label and the config it arms.
+fn classes(seed: u64, procs: usize) -> Vec<(&'static str, FaultConfig)> {
+    let base = FaultConfig {
+        seed,
+        retry_tick: Duration::from_micros(200),
+        backoff_cap: Duration::from_millis(4),
+        watchdog: Some(Duration::from_secs(20)),
+        ..FaultConfig::off()
+    };
+    vec![
+        (
+            "jitter",
+            FaultConfig {
+                jitter_us: 20,
+                ..base
+            },
+        ),
+        (
+            "reorder",
+            FaultConfig {
+                reorder_rate: 0.15,
+                ..base
+            },
+        ),
+        (
+            "duplicate",
+            FaultConfig {
+                dup_rate: 0.08,
+                ..base
+            },
+        ),
+        (
+            "drop",
+            FaultConfig {
+                drop_rate: 0.05,
+                ..base
+            },
+        ),
+        (
+            "stall",
+            FaultConfig {
+                stall_rank: Some(procs - 1),
+                stall_us: 200,
+                ..base
+            },
+        ),
+        (
+            "mixed",
+            FaultConfig {
+                drop_rate: 0.02,
+                dup_rate: 0.02,
+                reorder_rate: 0.05,
+                jitter_us: 10,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// One completed cell of the sweep.
+struct Cell {
+    class: &'static str,
+    algo: Algorithm,
+    sorted: bool,
+    faults: FaultStats,
+    ns_per_key: f64,
+}
+
+/// Everything one chaos sweep produces.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// Human-readable report ending in the `CHAOS_1` JSON block.
+    pub report: String,
+    /// Whether every cell sorted correctly and determinism held.
+    pub passed: bool,
+}
+
+/// Run the full sweep: every fault class × every bitonic variant at `P =
+/// procs`, plus a same-seed determinism replay of the smart sort.
+///
+/// # Panics
+/// Panics if `procs` is not a power of two (forwarded from the drivers).
+#[must_use]
+pub fn run_chaos(procs: usize, keys_per_rank: usize, seed: u64) -> ChaosRun {
+    let input = uniform_keys(keys_per_rank * procs, seed ^ 0x5EED);
+    let mut expect = input.clone();
+    expect.sort_unstable();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (class, fault) in classes(seed, procs) {
+        for algo in ALGOS {
+            let run = run_parallel_sort_chaos(
+                &input,
+                procs,
+                MessageMode::Long,
+                algo,
+                LocalStrategy::Merges,
+                TraceConfig::off(),
+                fault,
+            );
+            let cell = match run {
+                Ok(run) => Cell {
+                    class,
+                    algo,
+                    sorted: run.output == expect,
+                    faults: critical_path_stats(&run.ranks).faults,
+                    ns_per_key: run.elapsed.as_secs_f64() * 1e9 / (keys_per_rank * procs) as f64,
+                },
+                Err(_) => Cell {
+                    class,
+                    algo,
+                    sorted: false,
+                    faults: FaultStats::default(),
+                    ns_per_key: f64::NAN,
+                },
+            };
+            cells.push(cell);
+        }
+    }
+
+    // Determinism replay: same seed, same traffic → identical injected
+    // counters and identical output.
+    let replay = |()| {
+        run_parallel_sort_chaos(
+            &input,
+            procs,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+            TraceConfig::off(),
+            classes(seed, procs)[5].1, // mixed
+        )
+        .ok()
+    };
+    let deterministic = match (replay(()), replay(())) {
+        (Some(a), Some(b)) => {
+            a.output == b.output
+                && a.ranks
+                    .iter()
+                    .zip(&b.ranks)
+                    .all(|(ra, rb)| ra.stats.faults.injected() == rb.stats.faults.injected())
+        }
+        _ => false,
+    };
+
+    let all_sorted = cells.iter().all(|c| c.sorted);
+    let passed = all_sorted && deterministic;
+
+    // --- table -----------------------------------------------------------
+    let mut t = Table::new(vec![
+        "class",
+        "algorithm",
+        "sorted",
+        "drops",
+        "dups",
+        "reorders",
+        "jittered",
+        "stalls",
+        "retries",
+        "nacks",
+        "ns/key",
+    ]);
+    for c in &cells {
+        let f = &c.faults;
+        t.row(vec![
+            c.class.to_string(),
+            c.algo.name().to_string(),
+            if c.sorted { "yes" } else { "NO" }.to_string(),
+            f.drops_injected.to_string(),
+            f.dups_injected.to_string(),
+            f.reorders_injected.to_string(),
+            f.jitter_events.to_string(),
+            f.stalls_injected.to_string(),
+            f.retries.to_string(),
+            f.nacks_sent.to_string(),
+            f2(c.ns_per_key),
+        ]);
+    }
+
+    // --- CHAOS_1 block ---------------------------------------------------
+    let mut runs_json = String::new();
+    for c in &cells {
+        let f = &c.faults;
+        runs_json.push_str(&format!(
+            "    {{\"class\": \"{}\", \"algorithm\": \"{}\", \"sorted\": {}, \
+             \"drops\": {}, \"dups\": {}, \"reorders\": {}, \"jittered\": {}, \
+             \"stalls\": {}, \"retries\": {}, \"nacks\": {}, \
+             \"dups_suppressed\": {}}},\n",
+            c.class,
+            c.algo.name(),
+            c.sorted,
+            f.drops_injected,
+            f.dups_injected,
+            f.reorders_injected,
+            f.jitter_events,
+            f.stalls_injected,
+            f.retries,
+            f.nacks_sent,
+            f.dups_suppressed,
+        ));
+    }
+    runs_json.truncate(runs_json.len().saturating_sub(2));
+    let chaos_json = format!(
+        "{{\n  \"schema\": \"CHAOS_1\",\n  \"procs\": {procs},\n  \
+         \"keys_per_rank\": {keys_per_rank},\n  \"seed\": {seed},\n  \
+         \"all_sorted\": {all_sorted},\n  \"deterministic\": {deterministic},\n  \
+         \"runs\": [\n{runs_json}\n  ]\n}}\n"
+    );
+
+    let verdict = if passed {
+        "PASS: every variant sorted correctly under every fault class, and \
+         equal seeds injected equal faults."
+            .to_string()
+    } else {
+        format!(
+            "FAIL: all_sorted={all_sorted}, deterministic={deterministic} — \
+             replay with bitonic-sort --chaos-seed {seed}."
+        )
+    };
+    let report = format!(
+        "Chaos conformance sweep, P={procs}, {keys_per_rank} keys/rank, \
+         seed {seed}, long messages.\n\
+         Output is compared against the fully sorted input, so a \"yes\" \
+         certifies sortedness *and* exactly-once delivery (nothing lost to \
+         drops, nothing doubled by duplicates).\n{verdict}\n\n{}\n\
+         ```json\n{chaos_json}```\n",
+        t.render(),
+    );
+
+    ChaosRun { report, passed }
+}
+
+/// The `chaos` experiment at default configuration (for `experiments all`).
+#[must_use]
+pub fn chaos(scale: Scale) -> Experiment {
+    let run = run_chaos(DEFAULT_PROCS, default_keys_per_rank(scale), DEFAULT_SEED);
+    Experiment {
+        id: "chaos",
+        title: "Fault-injection conformance: sorts survive a misbehaving mesh, P=4",
+        body: run.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_passes_at_small_scale() {
+        let run = run_chaos(4, 256, DEFAULT_SEED);
+        assert!(run.passed, "report:\n{}", run.report);
+        assert!(run.report.contains("\"schema\": \"CHAOS_1\""));
+        assert!(run.report.contains("\"all_sorted\": true"));
+        assert!(run.report.contains("\"deterministic\": true"));
+    }
+
+    #[test]
+    fn sweep_covers_every_class_and_algorithm() {
+        let run = run_chaos(2, 256, 9);
+        for class in ["jitter", "reorder", "duplicate", "drop", "stall", "mixed"] {
+            assert!(
+                run.report.contains(&format!("\"class\": \"{class}\"")),
+                "{class} missing"
+            );
+        }
+        for algo in ALGOS {
+            assert!(run.report.contains(algo.name()), "{algo:?} missing");
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per Chapter 5 table/figure group.
 
 pub mod breakdown;
+pub mod chaos;
 pub mod extensions;
 pub mod messages;
 pub mod other_sorts;
@@ -88,6 +89,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         extensions::ext_simulated(scale),
         remap_bench::remap_bench(scale),
         trace::trace(scale),
+        chaos::chaos(scale),
     ]
 }
 
@@ -110,12 +112,13 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "ext_simulated" => Some(extensions::ext_simulated(scale)),
         "remap_bench" => Some(remap_bench::remap_bench(scale)),
         "trace" => Some(trace::trace(scale)),
+        "chaos" => Some(chaos::chaos(scale)),
         _ => None,
     }
 }
 
 /// All experiment ids accepted by [`by_id`].
-pub const IDS: [&str; 15] = [
+pub const IDS: [&str; 16] = [
     "table5_1",
     "table5_2",
     "strategies_measured",
@@ -131,4 +134,5 @@ pub const IDS: [&str; 15] = [
     "ext_simulated",
     "remap_bench",
     "trace",
+    "chaos",
 ];

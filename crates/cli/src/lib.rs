@@ -8,11 +8,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use baselines::{run_baseline_traced, Baseline};
-use bitonic_core::algorithms::{run_parallel_sort_traced, Algorithm};
+use baselines::{run_baseline_chaos, Baseline};
+use bitonic_core::algorithms::{run_parallel_sort_chaos, Algorithm};
 use bitonic_core::local::LocalStrategy;
 use spmd::runtime::critical_path_stats;
-use spmd::{traces_of, CommStats, MessageMode, RankTrace, TraceConfig};
+use spmd::{traces_of, CommStats, FaultConfig, MessageMode, RankFailure, RankTrace, TraceConfig};
 
 /// Which sorting engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +45,7 @@ impl Engine {
 }
 
 /// Parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Sorting engine (default: smart).
     pub engine: Engine,
@@ -67,6 +67,21 @@ pub struct Options {
     /// Record per-rank spans and write a Chrome trace JSON here (viewable
     /// in Perfetto / `chrome://tracing`).
     pub trace: Option<String>,
+    /// Seed for deterministic fault injection; `Some` arms the chaos
+    /// layer (combine with the rate/stall flags below).
+    pub chaos_seed: Option<u64>,
+    /// Per-message drop probability under chaos.
+    pub drop_rate: f64,
+    /// Per-message duplication probability under chaos.
+    pub dup_rate: f64,
+    /// Per-message reorder probability under chaos.
+    pub reorder_rate: f64,
+    /// Maximum injected per-message latency, microseconds.
+    pub jitter_us: u64,
+    /// Rank afflicted with a per-collective stall.
+    pub stall_rank: Option<usize>,
+    /// Stall length per collective, microseconds.
+    pub stall_us: u64,
 }
 
 impl Default for Options {
@@ -81,6 +96,53 @@ impl Default for Options {
             text: false,
             random: None,
             trace: None,
+            chaos_seed: None,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            jitter_us: 0,
+            stall_rank: None,
+            stall_us: 0,
+        }
+    }
+}
+
+impl Options {
+    /// The fault configuration these options describe.
+    ///
+    /// Without `--chaos-seed` this is [`FaultConfig::off`] regardless of
+    /// the other chaos flags — the seed is the master switch. With it,
+    /// unspecified rates default to the moderate [`FaultConfig::chaos`]
+    /// preset values only when *no* class flag was given at all;
+    /// otherwise exactly the requested classes are active.
+    #[must_use]
+    pub fn fault_config(&self) -> FaultConfig {
+        let Some(seed) = self.chaos_seed else {
+            return FaultConfig::off();
+        };
+        let any_class = self.drop_rate > 0.0
+            || self.dup_rate > 0.0
+            || self.reorder_rate > 0.0
+            || self.jitter_us > 0
+            || self.stall_rank.is_some();
+        if !any_class {
+            return FaultConfig::chaos(seed);
+        }
+        FaultConfig {
+            seed,
+            drop_rate: self.drop_rate,
+            dup_rate: self.dup_rate,
+            reorder_rate: self.reorder_rate,
+            jitter_us: self.jitter_us,
+            stall_rank: self.stall_rank,
+            stall_us: if self.stall_rank.is_some() && self.stall_us == 0 {
+                // --stall-rank alone still means "stall that rank".
+                200
+            } else {
+                self.stall_us
+            },
+            watchdog: Some(std::time::Duration::from_secs(30)),
+            ..FaultConfig::off()
         }
     }
 }
@@ -118,6 +180,54 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--trace" => opts.trace = Some(value_for(arg)?),
+            "--chaos-seed" => {
+                opts.chaos_seed = Some(
+                    value_for(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad --chaos-seed: {e}"))?,
+                )
+            }
+            "--drop-rate" => {
+                opts.drop_rate = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --drop-rate: {e}"))?;
+                if !(0.0..1.0).contains(&opts.drop_rate) {
+                    return Err("--drop-rate must be in [0, 1)".into());
+                }
+            }
+            "--dup-rate" => {
+                opts.dup_rate = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --dup-rate: {e}"))?;
+                if !(0.0..1.0).contains(&opts.dup_rate) {
+                    return Err("--dup-rate must be in [0, 1)".into());
+                }
+            }
+            "--reorder-rate" => {
+                opts.reorder_rate = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --reorder-rate: {e}"))?;
+                if !(0.0..1.0).contains(&opts.reorder_rate) {
+                    return Err("--reorder-rate must be in [0, 1)".into());
+                }
+            }
+            "--jitter-us" => {
+                opts.jitter_us = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --jitter-us: {e}"))?
+            }
+            "--stall-rank" => {
+                opts.stall_rank = Some(
+                    value_for(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad --stall-rank: {e}"))?,
+                )
+            }
+            "--stall-us" => {
+                opts.stall_us = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --stall-us: {e}"))?
+            }
             "-h" | "--help" => return Err(usage()),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
@@ -130,9 +240,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
 pub fn usage() -> String {
     "usage: bitonic-sort [-a ALGO] [-p PROCS] [--short-messages] [--stats] [--text]\n\
      \u{20}                   [-i FILE|-] [-o FILE|-] [--random N] [--trace FILE]\n\
+     \u{20}                   [--chaos-seed N [--drop-rate P] [--dup-rate P] [--reorder-rate P]\n\
+     \u{20}                    [--jitter-us U] [--stall-rank R] [--stall-us U]]\n\
      ALGO: smart | smart-fused | cyclic-blocked | blocked-merge | sample | radix | column\n\
      Input is binary little-endian u32 (or decimal lines with --text).\n\
-     --trace writes a Chrome trace JSON (open in Perfetto / chrome://tracing)."
+     --trace writes a Chrome trace JSON (open in Perfetto / chrome://tracing).\n\
+     --chaos-seed arms deterministic fault injection: the mesh drops/duplicates/\n\
+     reorders/delays messages per the given rates (all derived from the seed; the\n\
+     sort must still come out correct). Without class flags a moderate all-classes\n\
+     preset is used."
         .to_string()
 }
 
@@ -150,31 +266,42 @@ pub fn pad_keys(mut keys: Vec<u32>, procs: usize) -> (Vec<u32>, usize) {
 
 /// Sort `keys` with the chosen engine, returning the sorted keys and the
 /// critical-path communication statistics.
+///
+/// # Panics
+/// Panics if the chaos watchdog declares the machine wedged — use
+/// [`sort_keys_traced`] to handle that as an error.
 #[must_use]
 pub fn sort_keys(keys: Vec<u32>, opts: &Options) -> (Vec<u32>, CommStats) {
-    let (out, stats, _) = sort_keys_traced(keys, opts, TraceConfig::off());
+    let (out, stats, _) =
+        sort_keys_traced(keys, opts, TraceConfig::off()).expect("machine declared wedged");
     (out, stats)
 }
 
 /// [`sort_keys`] plus the per-rank span traces recorded under `trace`
-/// (empty traces when it is [`TraceConfig::off`]).
-#[must_use]
+/// (empty traces when it is [`TraceConfig::off`]). Runs under the fault
+/// plan described by the options' chaos flags ([`Options::fault_config`];
+/// off unless `--chaos-seed` was given).
+///
+/// # Errors
+/// A [`RankFailure`] when the chaos watchdog declared the machine wedged.
 pub fn sort_keys_traced(
     keys: Vec<u32>,
     opts: &Options,
     trace: TraceConfig,
-) -> (Vec<u32>, CommStats, Vec<RankTrace>) {
+) -> Result<(Vec<u32>, CommStats, Vec<RankTrace>), RankFailure> {
+    let fault = opts.fault_config();
     let (padded, len) = pad_keys(keys, opts.procs);
     let (mut out, stats, traces) = match opts.engine {
         Engine::Bitonic(algo) => {
-            let run = run_parallel_sort_traced(
+            let run = run_parallel_sort_chaos(
                 &padded,
                 opts.procs,
                 opts.mode,
                 algo,
                 LocalStrategy::Merges,
                 trace,
-            );
+                fault,
+            )?;
             (
                 run.output,
                 critical_path_stats(&run.ranks),
@@ -182,7 +309,7 @@ pub fn sort_keys_traced(
             )
         }
         Engine::Baseline(which) => {
-            let run = run_baseline_traced(&padded, opts.procs, opts.mode, which, trace);
+            let run = run_baseline_chaos(&padded, opts.procs, opts.mode, which, trace, fault)?;
             (
                 run.output,
                 critical_path_stats(&run.ranks),
@@ -191,7 +318,7 @@ pub fn sort_keys_traced(
         }
     };
     out.truncate(len);
-    (out, stats, traces)
+    Ok((out, stats, traces))
 }
 
 /// Render the `--stats` report.
@@ -215,6 +342,21 @@ pub fn stats_report(stats: &CommStats, keys: usize) -> String {
         s.push_str(&format!(
             "{label:>9}: {:.3} ms\n",
             stats.time(phase).as_secs_f64() * 1e3
+        ));
+    }
+    let f = &stats.faults;
+    if f.total_injected() > 0 || f.retries > 0 || f.nacks_sent > 0 || f.dups_suppressed > 0 {
+        s.push_str(&format!(
+            "faults injected: {} drops, {} dups, {} reorders, {} jittered, {} stalls\n\
+             recovery: {} retries, {} nacks, {} duplicates suppressed\n",
+            f.drops_injected,
+            f.dups_injected,
+            f.reorders_injected,
+            f.jitter_events,
+            f.stalls_injected,
+            f.retries,
+            f.nacks_sent,
+            f.dups_suppressed,
         ));
     }
     s
@@ -297,7 +439,8 @@ pub fn run(opts: &Options, raw_input: Option<Vec<u8>>) -> Result<RunOutput, Stri
     } else {
         TraceConfig::off()
     };
-    let (sorted, stats, traces) = sort_keys_traced(keys, opts, config);
+    let (sorted, stats, traces) =
+        sort_keys_traced(keys, opts, config).map_err(|f| format!("machine wedged: {f}"))?;
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     let report = opts.stats.then(|| stats_report(&stats, count));
     let trace_json = opts
@@ -409,6 +552,50 @@ mod tests {
                 "{engine}"
             );
         }
+    }
+
+    #[test]
+    fn chaos_flags_parse_and_arm_the_fault_layer() {
+        let o = parse_args(&args(
+            "--chaos-seed 42 --drop-rate 0.05 --jitter-us 20 --stall-rank 2 --stall-us 100",
+        ))
+        .unwrap();
+        let f = o.fault_config();
+        assert_eq!(f.seed, 42);
+        assert!((f.drop_rate - 0.05).abs() < 1e-12);
+        assert_eq!(f.dup_rate, 0.0, "unrequested classes stay off");
+        assert_eq!(f.jitter_us, 20);
+        assert_eq!(f.stall_rank, Some(2));
+        assert_eq!(f.stall_us, 100);
+        assert!(f.enabled());
+
+        // Seed alone: the moderate all-classes preset.
+        let o = parse_args(&args("--chaos-seed 7")).unwrap();
+        assert_eq!(o.fault_config(), spmd::FaultConfig::chaos(7));
+
+        // No seed: chaos flags are inert.
+        let o = parse_args(&args("--drop-rate 0.5")).unwrap();
+        assert!(!o.fault_config().enabled());
+
+        assert!(parse_args(&args("--drop-rate 1.0")).is_err(), "rate bound");
+        assert!(parse_args(&args("--chaos-seed nope")).is_err());
+    }
+
+    #[test]
+    fn chaos_run_still_sorts_and_reports_faults() {
+        let opts = parse_args(&args(
+            "-p 4 --random 512 --stats --chaos-seed 11 --drop-rate 0.1 --jitter-us 10",
+        ))
+        .unwrap();
+        let out = run(&opts, None).unwrap();
+        let keys = decode(&out.bytes, false).unwrap();
+        assert_eq!(keys.len(), 512);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "sorted under chaos");
+        let report = out.report.unwrap();
+        assert!(
+            report.contains("faults injected"),
+            "fault counters surface in --stats:\n{report}"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub use smart::{smart_sort, smart_sort_fused};
 
 use crate::local::LocalStrategy;
 use local_sorts::RadixKey;
-use spmd::{run_spmd_traced, Comm, MessageMode, RankResult, TraceConfig};
+use spmd::{run_spmd_chaos, Comm, FaultConfig, MessageMode, RankFailure, RankResult, TraceConfig};
 use std::time::{Duration, Instant};
 
 /// Which parallel sort to run.
@@ -106,17 +106,43 @@ pub fn run_parallel_sort_traced<K: RadixKey>(
     strategy: LocalStrategy,
     trace: TraceConfig,
 ) -> SortRun<K> {
+    run_parallel_sort_chaos(keys, p, mode, algo, strategy, trace, FaultConfig::off())
+        .expect("a fault-free machine cannot fail")
+}
+
+/// [`run_parallel_sort_traced`] on a faulty machine: the mesh drops,
+/// duplicates, reorders and delays messages per `fault` (all derived
+/// deterministically from `fault.seed`), and the sort must come out
+/// correct anyway. Returns `Err` when a watchdog gave up on a stalled
+/// rank. With [`FaultConfig::off`] this is exactly
+/// `run_parallel_sort_traced`.
+///
+/// # Errors
+/// A [`RankFailure`] if any rank's watchdog fired.
+///
+/// # Panics
+/// Panics unless `keys.len()` is a power-of-two multiple of `p` with at
+/// least two keys per rank (for `p > 1`).
+pub fn run_parallel_sort_chaos<K: RadixKey>(
+    keys: &[K],
+    p: usize,
+    mode: MessageMode,
+    algo: Algorithm,
+    strategy: LocalStrategy,
+    trace: TraceConfig,
+    fault: FaultConfig,
+) -> Result<SortRun<K>, RankFailure> {
     assert!(
         p >= 1 && keys.len().is_multiple_of(p),
         "keys must divide evenly over ranks"
     );
     let n = keys.len() / p;
     let t0 = Instant::now();
-    let results = run_spmd_traced::<K, Vec<K>, _>(p, mode, trace, |comm| {
+    let results = run_spmd_chaos::<K, Vec<K>, _>(p, mode, trace, fault, |comm| {
         let me = comm.rank();
         let local = keys[me * n..(me + 1) * n].to_vec();
         algo.sort(comm, local, strategy)
-    });
+    })?;
     let elapsed = t0.elapsed();
     let mut output = Vec::with_capacity(keys.len());
     let mut ranks = Vec::with_capacity(p);
@@ -129,11 +155,11 @@ pub fn run_parallel_sort_traced<K: RadixKey>(
             trace: r.trace,
         });
     }
-    SortRun {
+    Ok(SortRun {
         output,
         ranks,
         elapsed,
-    }
+    })
 }
 
 #[cfg(test)]

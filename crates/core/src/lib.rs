@@ -49,7 +49,9 @@ pub mod shift;
 pub mod smart;
 
 pub use address::BitLayout;
-pub use algorithms::{run_parallel_sort, run_parallel_sort_traced, Algorithm};
+pub use algorithms::{
+    run_parallel_sort, run_parallel_sort_chaos, run_parallel_sort_traced, Algorithm,
+};
 pub use context::{PlanCache, SortContext};
 pub use local::LocalStrategy;
 pub use remap::RemapPlan;

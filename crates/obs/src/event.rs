@@ -4,13 +4,19 @@
 //! `Instant` taken before any rank starts, shared by every sink — so
 //! events from different ranks land on one common timeline.
 
-/// Number of execution phases (mirrors `spmd::Phase::ALL`).
-pub const PHASES: usize = 5;
+/// Number of trace phases: the five execution phases mirroring
+/// `spmd::Phase::ALL` plus the two fault-recovery phases (`Retry`,
+/// `Stall`) that only appear under fault injection.
+pub const PHASES: usize = 7;
 
 /// The execution phase a span belongs to.
 ///
-/// This mirrors `spmd::Phase` without depending on it (the dependency
-/// points the other way: `spmd` records into this crate's sinks).
+/// The first five variants mirror `spmd::Phase` without depending on it
+/// (the dependency points the other way: `spmd` records into this crate's
+/// sinks). `Retry` and `Stall` are recorded only by the fault-injection
+/// layer: retransmission work and injected/observed stall intervals.
+/// `Retry` spans happen *inside* `Transfer` windows, so their time is a
+/// subset of transfer time, not an addition to it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TracePhase {
     /// Purely local computation (sorts, merges, compare-exchange steps).
@@ -23,11 +29,29 @@ pub enum TracePhase {
     Unpack,
     /// Time blocked in barriers.
     Barrier,
+    /// Retransmitting payloads a peer reported missing (fault injection).
+    Retry,
+    /// An injected whole-rank stall, or the terminal wait that preceded a
+    /// `RankFailure` (fault injection).
+    Stall,
 }
 
 impl TracePhase {
     /// All phases, in reporting order.
     pub const ALL: [TracePhase; PHASES] = [
+        TracePhase::Compute,
+        TracePhase::Pack,
+        TracePhase::Transfer,
+        TracePhase::Unpack,
+        TracePhase::Barrier,
+        TracePhase::Retry,
+        TracePhase::Stall,
+    ];
+
+    /// The five paper phases every normal run records (`Retry`/`Stall`
+    /// appear only under fault injection — validation that demands one
+    /// span per phase must iterate this set, not [`TracePhase::ALL`]).
+    pub const CORE: [TracePhase; 5] = [
         TracePhase::Compute,
         TracePhase::Pack,
         TracePhase::Transfer,
@@ -44,6 +68,8 @@ impl TracePhase {
             TracePhase::Transfer => 2,
             TracePhase::Unpack => 3,
             TracePhase::Barrier => 4,
+            TracePhase::Retry => 5,
+            TracePhase::Stall => 6,
         }
     }
 
@@ -56,6 +82,8 @@ impl TracePhase {
             TracePhase::Transfer => "transfer",
             TracePhase::Unpack => "unpack",
             TracePhase::Barrier => "barrier",
+            TracePhase::Retry => "retry",
+            TracePhase::Stall => "stall",
         }
     }
 }

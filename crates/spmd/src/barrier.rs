@@ -70,6 +70,38 @@ impl SenseBarrier {
             false
         }
     }
+
+    /// Like [`SenseBarrier::wait`], but give up after `timeout`:
+    /// `Some(leader)` when the barrier opened, `None` on timeout. A
+    /// timed-out waiter *withdraws its registration* (the arrival count is
+    /// restored under the lock), so the barrier stays coherent for the
+    /// ranks still waiting — this is what lets a watchdog convert a
+    /// permanently missing rank into an error instead of a deadlock.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<bool> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock();
+        let my_sense = state.sense;
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            state.remaining = self.parties;
+            state.sense = !state.sense;
+            drop(state);
+            self.condvar.notify_all();
+            return Some(true);
+        }
+        while state.sense == my_sense {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                // Still the same generation: nobody counted on us yet
+                // (remaining never reached 0 with our decrement in), so
+                // withdrawing is safe and leaves the barrier consistent.
+                state.remaining += 1;
+                return None;
+            }
+            let _ = self.condvar.wait_for(&mut state, deadline - now);
+        }
+        Some(false)
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +169,26 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_parties_rejected() {
         let _ = SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn wait_timeout_withdraws_cleanly() {
+        use std::time::Duration;
+        let b = SenseBarrier::new(2);
+        // Alone at a 2-party barrier: must time out...
+        assert_eq!(b.wait_timeout(Duration::from_millis(10)), None);
+        // ...and the withdrawal must leave the barrier usable: two timed
+        // waiters now open it normally.
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| b.wait_timeout(Duration::from_secs(5)));
+            let mine = b.wait_timeout(Duration::from_secs(5));
+            let theirs = t.join().unwrap();
+            assert!(mine.is_some() && theirs.is_some());
+            assert_eq!(
+                mine.map_or(0, u64::from) + theirs.map_or(0, u64::from),
+                1,
+                "exactly one leader"
+            );
+        });
     }
 }

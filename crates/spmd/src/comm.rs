@@ -4,11 +4,12 @@
 
 use crate::barrier::SenseBarrier;
 use crate::counters::{CommStats, Phase, RemapRecord};
-use crossbeam::channel::{Receiver, Sender};
+use crate::fault::{fault_hit, FailurePhase, FaultClass, FaultConfig, RankFailure};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use obs::{TracePhase, TraceSink};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Transfer regime for remaps (Section 5.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +22,7 @@ pub enum MessageMode {
     Long,
 }
 
+#[derive(Clone)]
 pub(crate) enum Payload<K> {
     /// Announces how many single-element messages follow (short mode).
     Header(usize),
@@ -33,11 +35,66 @@ pub(crate) enum Payload<K> {
     /// regardless of mode, like the small bookkeeping messages real
     /// implementations piggyback on the network.
     Meta(Vec<u64>),
+    /// Fault-layer control: confirms first delivery of the given sequence
+    /// number. Control messages are exempt from fault injection (the
+    /// injected network loses *data*; the recovery protocol itself rides
+    /// the reliable channel, like TCP's control bits over raw IP here).
+    Ack(u64),
+    /// Fault-layer control: the receiver is missing every sequence number
+    /// from the given one onward — retransmit them.
+    Nack(u64),
+}
+
+impl<K> Payload<K> {
+    /// Control-plane payloads carry no sequence number and bypass both
+    /// fault injection and the receiver's reorder buffer.
+    fn is_control(&self) -> bool {
+        matches!(self, Payload::Ack(_) | Payload::Nack(_))
+    }
 }
 
 pub(crate) struct Envelope<K> {
     src: usize,
+    /// Per-link sequence number assigned at send time; 0 for control
+    /// payloads and for every message on a fault-free machine.
+    seq: u64,
     payload: Payload<K>,
+}
+
+/// Per-rank state of the fault layer: the sender side's sequence counters
+/// and retransmission buffers, the receiver side's reorder buffers, and
+/// the validated configuration. Boxed inside [`Comm`] and `None` on a
+/// fault-free machine, so the legacy paths pay one branch and nothing
+/// else.
+struct FaultSession<K> {
+    cfg: FaultConfig,
+    /// Next sequence number per destination link.
+    next_seq: Vec<u64>,
+    /// Sent-but-unacknowledged payloads per destination, keyed by seq —
+    /// the retransmission buffer the nack path replays from.
+    unacked: Vec<BTreeMap<u64, Payload<K>>>,
+    /// Reorder injection: at most one held-back message per destination,
+    /// emitted after its successor (or at the end of the send phase).
+    stash: Vec<Option<(u64, Payload<K>)>>,
+    /// Next sequence number to deliver per source link.
+    next_deliver: Vec<u64>,
+    /// Out-of-order arrivals per source, keyed by seq (the reorder
+    /// buffer; doubles as the duplicate-suppression window).
+    inbox: Vec<BTreeMap<u64, Payload<K>>>,
+}
+
+impl<K> FaultSession<K> {
+    fn new(cfg: FaultConfig, procs: usize) -> Self {
+        cfg.validate();
+        FaultSession {
+            cfg,
+            next_seq: vec![0; procs],
+            unacked: (0..procs).map(|_| BTreeMap::new()).collect(),
+            stash: (0..procs).map(|_| None).collect(),
+            next_deliver: vec![0; procs],
+            inbox: (0..procs).map(|_| BTreeMap::new()).collect(),
+        }
+    }
 }
 
 /// A rank's endpoint into the SPMD machine.
@@ -71,9 +128,13 @@ pub struct Comm<K> {
     /// records a span against the same `Instant`s it charges to `stats`,
     /// so per-phase span sums reproduce the stopwatch totals exactly.
     pub trace: TraceSink,
+    /// Fault-injection session; `None` on a fault-free machine, in which
+    /// case every send/recv/barrier takes its legacy path after a single
+    /// branch (the zero-overhead-off guarantee).
+    fault: Option<Box<FaultSession<K>>>,
 }
 
-impl<K: Send + 'static> Comm<K> {
+impl<K: Clone + Send + 'static> Comm<K> {
     pub(crate) fn new(
         rank: usize,
         mode: MessageMode,
@@ -81,6 +142,7 @@ impl<K: Send + 'static> Comm<K> {
         receiver: Receiver<Envelope<K>>,
         barrier: Arc<SenseBarrier>,
         trace: TraceSink,
+        fault: FaultConfig,
     ) -> Self {
         let procs = senders.len();
         Comm {
@@ -95,6 +157,9 @@ impl<K: Send + 'static> Comm<K> {
             pool_misses: 0,
             stats: CommStats::new(),
             trace,
+            fault: fault
+                .enabled()
+                .then(|| Box::new(FaultSession::new(fault, procs))),
         }
     }
 
@@ -127,9 +192,29 @@ impl<K: Send + 'static> Comm<K> {
     }
 
     /// Wait for all ranks; time spent is charged to [`Phase::Barrier`].
+    ///
+    /// Under fault injection with a watchdog, a barrier that stays closed
+    /// past the watchdog duration fails the rank with a structured
+    /// [`RankFailure`] instead of deadlocking. By the time a rank reaches
+    /// a barrier every collective it ran has drained its
+    /// acknowledgements, so a rank parked here owes its peers nothing —
+    /// timing out cannot strand anyone's recovery.
     pub fn barrier(&mut self) {
         let t0 = Instant::now();
-        self.barrier.wait();
+        let watchdog = self.fault.as_ref().and_then(|s| s.cfg.watchdog);
+        match watchdog {
+            None => {
+                self.barrier.wait();
+            }
+            Some(limit) => {
+                if self.barrier.wait_timeout(limit).is_none() {
+                    let t1 = Instant::now();
+                    self.stats.add_time(Phase::Barrier, t1.duration_since(t0));
+                    self.trace.span(TracePhase::Barrier, t0, t1);
+                    self.fail(FailurePhase::Barrier, None, limit);
+                }
+            }
+        }
         let t1 = Instant::now();
         self.stats.add_time(Phase::Barrier, t1.duration_since(t0));
         self.trace.span(TracePhase::Barrier, t0, t1);
@@ -159,6 +244,7 @@ impl<K: Send + 'static> Comm<K> {
             self.procs,
             "one outgoing buffer per rank required"
         );
+        self.fault_collective_begin();
         let t0 = Instant::now();
         let mut record = RemapRecord::default();
         let mut partners = 0u64;
@@ -193,6 +279,7 @@ impl<K: Send + 'static> Comm<K> {
                 }
             }
         }
+        self.fault_sends_done();
 
         let mut incoming: Vec<Vec<K>> = (0..self.procs).map(|_| Vec::new()).collect();
         incoming[self.rank] = own;
@@ -221,6 +308,7 @@ impl<K: Send + 'static> Comm<K> {
             record.elements_received += received.len() as u64;
             incoming[src] = received;
         }
+        self.fault_flush();
 
         record.group_size = partners + 1;
         let t1 = Instant::now();
@@ -237,6 +325,7 @@ impl<K: Send + 'static> Comm<K> {
     /// message of size n".
     pub fn sendrecv(&mut self, partner: usize, data: Vec<K>) -> Vec<K> {
         assert_ne!(partner, self.rank, "cannot sendrecv with self");
+        self.fault_collective_begin();
         let t0 = Instant::now();
         let mut record = RemapRecord {
             elements_sent: data.len() as u64,
@@ -256,6 +345,7 @@ impl<K: Send + 'static> Comm<K> {
                 }
             }
         }
+        self.fault_sends_done();
         let received = match self.mode {
             MessageMode::Long => match self.recv_payload(partner) {
                 Payload::Data(v) => v,
@@ -276,6 +366,7 @@ impl<K: Send + 'static> Comm<K> {
                 buf
             }
         };
+        self.fault_flush();
         record.elements_received = received.len() as u64;
         let t1 = Instant::now();
         self.stats.add_time(Phase::Transfer, t1.duration_since(t0));
@@ -388,6 +479,7 @@ impl<K: Send + 'static> Comm<K> {
     {
         assert_eq!(send_counts.len(), self.procs, "one send count per rank");
         assert_eq!(recv_counts.len(), self.procs, "one recv count per rank");
+        self.fault_collective_begin();
         let drain_trace: TracePhase = drain_phase.into();
         let t0 = Instant::now();
         // Trace spans are *segmented*: `cursor` tracks the end of the last
@@ -441,6 +533,7 @@ impl<K: Send + 'static> Comm<K> {
                 }
             }
         }
+        self.fault_sends_done();
 
         // Receive phase: consume segments in ascending source order.
         for (src, &len) in recv_counts.iter().enumerate() {
@@ -501,6 +594,7 @@ impl<K: Send + 'static> Comm<K> {
                 }
             }
         }
+        self.fault_flush();
 
         record.group_size = partners + 1;
         let t1 = Instant::now();
@@ -542,6 +636,7 @@ impl<K: Send + 'static> Comm<K> {
             sendbuf.len(),
             "send counts must cover the send buffer exactly"
         );
+        self.fault_collective_begin();
         let t0 = Instant::now();
         let mut record = RemapRecord {
             elements_kept: send_counts[self.rank] as u64,
@@ -580,6 +675,7 @@ impl<K: Send + 'static> Comm<K> {
                 }
             }
         }
+        self.fault_sends_done();
 
         recvbuf.clear();
         recv_counts.clear();
@@ -617,6 +713,7 @@ impl<K: Send + 'static> Comm<K> {
             record.elements_received += len as u64;
             recv_counts.push(len);
         }
+        self.fault_flush();
 
         record.group_size = partners + 1;
         let t1 = Instant::now();
@@ -638,6 +735,7 @@ impl<K: Send + 'static> Comm<K> {
         K: Clone,
     {
         assert_ne!(partner, self.rank, "cannot sendrecv with self");
+        self.fault_collective_begin();
         let t0 = Instant::now();
         let mut record = RemapRecord {
             elements_sent: sendbuf.len() as u64,
@@ -659,6 +757,7 @@ impl<K: Send + 'static> Comm<K> {
                 }
             }
         }
+        self.fault_sends_done();
         recvbuf.clear();
         match self.mode {
             MessageMode::Long => match self.recv_payload(partner) {
@@ -682,6 +781,7 @@ impl<K: Send + 'static> Comm<K> {
                 }
             }
         }
+        self.fault_flush();
         record.elements_received = recvbuf.len() as u64;
         let t1 = Instant::now();
         self.stats.add_time(Phase::Transfer, t1.duration_since(t0));
@@ -728,6 +828,7 @@ impl<K: Send + 'static> Comm<K> {
             self.procs,
             "one outgoing buffer per rank required"
         );
+        self.fault_collective_begin();
         let t0 = Instant::now();
         let mut record = RemapRecord::default();
         let own = std::mem::take(&mut outgoing[self.rank]);
@@ -742,6 +843,7 @@ impl<K: Send + 'static> Comm<K> {
             }
             self.send_to(dst, Payload::Meta(data));
         }
+        self.fault_sends_done();
         let mut incoming: Vec<Vec<u64>> = (0..self.procs).map(|_| Vec::new()).collect();
         incoming[self.rank] = own;
         let me = self.rank;
@@ -752,6 +854,7 @@ impl<K: Send + 'static> Comm<K> {
             };
             record.elements_received += incoming[src].len() as u64;
         }
+        self.fault_flush();
         record.group_size = self.procs as u64;
         let t1 = Instant::now();
         self.stats.add_time(Phase::Transfer, t1.duration_since(t0));
@@ -760,16 +863,18 @@ impl<K: Send + 'static> Comm<K> {
         incoming
     }
 
-    fn send_to(&self, dst: usize, payload: Payload<K>) {
-        self.senders[dst]
-            .send(Envelope {
-                src: self.rank,
-                payload,
-            })
-            .expect("peer rank hung up mid-exchange");
+    fn send_to(&mut self, dst: usize, payload: Payload<K>) {
+        if self.fault.is_some() {
+            self.send_faulty(dst, payload);
+        } else {
+            self.raw_send(dst, 0, payload);
+        }
     }
 
     fn recv_payload(&mut self, src: usize) -> Payload<K> {
+        if self.fault.is_some() {
+            return self.recv_faulty(src);
+        }
         loop {
             if let Some(p) = self.pending[src].pop_front() {
                 return p;
@@ -783,6 +888,293 @@ impl<K: Send + 'static> Comm<K> {
             }
             self.pending[env.src].push_back(env.payload);
         }
+    }
+
+    // --- fault-injection engine ------------------------------------------
+    //
+    // Data messages get a per-link sequence number and a copy in the
+    // sender's retransmission buffer, then run the injection gauntlet:
+    // reorder (hold back behind a successor), jitter (sleep), drop (never
+    // enqueue), duplicate (enqueue twice). The receiver delivers strictly
+    // in sequence order through a per-source reorder buffer, suppresses
+    // duplicate sequence numbers, acks each first delivery, and nacks the
+    // sender — with capped exponential backoff — when an expected message
+    // goes missing. Every injection decision is a pure function of
+    // `(seed, src, dst, class, seq)` (see `crate::fault::fault_draw`), so
+    // equal seeds inject equal faults regardless of thread scheduling;
+    // retransmissions reuse the original `seq` and bypass injection, so
+    // recovery cannot re-lose a message forever.
+
+    /// Put an envelope on the wire, bypassing fault injection. Used for
+    /// control payloads, retransmissions, and the entire fault-free path.
+    fn raw_send(&self, dst: usize, seq: u64, payload: Payload<K>) {
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                seq,
+                payload,
+            })
+            .expect("peer rank hung up mid-exchange");
+    }
+
+    /// Sequence a data payload, buffer it for retransmission, and run it
+    /// through the injection gauntlet.
+    fn send_faulty(&mut self, dst: usize, payload: Payload<K>) {
+        debug_assert!(!payload.is_control(), "control payloads use raw_send");
+        let cfg = self.fault.as_ref().expect("fault session present").cfg;
+        let seq = {
+            let s = self.fault.as_mut().expect("fault session present");
+            let seq = s.next_seq[dst];
+            s.next_seq[dst] += 1;
+            s.unacked[dst].insert(seq, payload.clone());
+            seq
+        };
+        // Bounded reorder: hold this message back so its successor on the
+        // same link overtakes it. At most one message per link is in
+        // flight backwards; the stash is flushed when the next message to
+        // that destination goes out, or at the end of the send phase.
+        if fault_hit(
+            cfg.seed,
+            self.rank,
+            dst,
+            FaultClass::Reorder,
+            seq,
+            cfg.reorder_rate,
+        ) {
+            let s = self.fault.as_mut().expect("fault session present");
+            if s.stash[dst].is_none() {
+                s.stash[dst] = Some((seq, payload));
+                self.stats.faults.reorders_injected += 1;
+                return;
+            }
+        }
+        self.emit(dst, seq, payload, &cfg);
+        let stashed = self.fault.as_mut().expect("fault session present").stash[dst].take();
+        if let Some((held_seq, held)) = stashed {
+            self.emit(dst, held_seq, held, &cfg);
+        }
+    }
+
+    /// The injection gauntlet for one sequenced message: jitter, drop,
+    /// duplicate. A dropped message simply never reaches the channel —
+    /// recovery happens when the receiver nacks and `handle_envelope`
+    /// replays it from the retransmission buffer.
+    fn emit(&mut self, dst: usize, seq: u64, payload: Payload<K>, cfg: &FaultConfig) {
+        if cfg.jitter_us > 0 {
+            let delay = crate::fault::fault_draw(cfg.seed, self.rank, dst, FaultClass::Jitter, seq)
+                % (cfg.jitter_us + 1);
+            if delay > 0 {
+                self.stats.faults.jitter_events += 1;
+                std::thread::sleep(Duration::from_micros(delay));
+            }
+        }
+        if fault_hit(
+            cfg.seed,
+            self.rank,
+            dst,
+            FaultClass::Drop,
+            seq,
+            cfg.drop_rate,
+        ) {
+            self.stats.faults.drops_injected += 1;
+            return;
+        }
+        if fault_hit(
+            cfg.seed,
+            self.rank,
+            dst,
+            FaultClass::Duplicate,
+            seq,
+            cfg.dup_rate,
+        ) {
+            self.stats.faults.dups_injected += 1;
+            self.raw_send(dst, seq, payload.clone());
+        }
+        self.raw_send(dst, seq, payload);
+    }
+
+    /// Process one arrived envelope: acks clear the retransmission
+    /// buffer, nacks replay it, and data payloads land in the reorder
+    /// buffer (first delivery acked, duplicates suppressed).
+    fn handle_envelope(&mut self, env: Envelope<K>) {
+        match env.payload {
+            Payload::Ack(seq) => {
+                self.fault.as_mut().expect("fault session present").unacked[env.src].remove(&seq);
+            }
+            Payload::Nack(want) => {
+                let resend: Vec<(u64, Payload<K>)> =
+                    self.fault.as_ref().expect("fault session present").unacked[env.src]
+                        .range(want..)
+                        .map(|(&seq, payload)| (seq, payload.clone()))
+                        .collect();
+                if resend.is_empty() {
+                    return; // stale nack: everything it asked for was acked
+                }
+                let t0 = Instant::now();
+                for (seq, payload) in resend {
+                    self.stats.faults.retries += 1;
+                    self.raw_send(env.src, seq, payload);
+                }
+                let t1 = Instant::now();
+                self.stats.faults.retry_time += t1.duration_since(t0);
+                self.trace.span(TracePhase::Retry, t0, t1);
+            }
+            payload => {
+                let (src, seq) = (env.src, env.seq);
+                let fresh = {
+                    let s = self.fault.as_mut().expect("fault session present");
+                    if seq < s.next_deliver[src] || s.inbox[src].contains_key(&seq) {
+                        false
+                    } else {
+                        s.inbox[src].insert(seq, payload);
+                        true
+                    }
+                };
+                if fresh {
+                    // Ack exactly once, on first delivery. Acks ride the
+                    // reliable control plane, so one is always enough.
+                    self.stats.faults.acks_sent += 1;
+                    self.raw_send(src, 0, Payload::Ack(seq));
+                } else {
+                    self.stats.faults.dups_suppressed += 1;
+                }
+            }
+        }
+    }
+
+    /// Receive the next in-sequence payload from `src`, pumping the
+    /// shared channel (and thereby servicing peers' acks and nacks) while
+    /// waiting. When the expected message stays missing past the current
+    /// backoff tick, nack the source; when cumulative blocked time passes
+    /// the watchdog, fail the rank.
+    fn recv_faulty(&mut self, src: usize) -> Payload<K> {
+        let cfg = self.fault.as_ref().expect("fault session present").cfg;
+        let mut backoff = cfg.retry_tick;
+        let mut waited = Duration::ZERO;
+        loop {
+            {
+                let s = self.fault.as_mut().expect("fault session present");
+                let next = s.next_deliver[src];
+                if let Some(payload) = s.inbox[src].remove(&next) {
+                    s.next_deliver[src] = next + 1;
+                    return payload;
+                }
+            }
+            match self.receiver.recv_timeout(backoff) {
+                Ok(env) => self.handle_envelope(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    waited += backoff;
+                    if let Some(limit) = cfg.watchdog {
+                        if waited >= limit {
+                            self.fail(FailurePhase::Receive, Some(src), waited);
+                        }
+                    }
+                    let want = self
+                        .fault
+                        .as_ref()
+                        .expect("fault session present")
+                        .next_deliver[src];
+                    self.stats.faults.nacks_sent += 1;
+                    self.raw_send(src, 0, Payload::Nack(want));
+                    backoff = (backoff * 2).min(cfg.backoff_cap);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("all peers hung up while receiving")
+                }
+            }
+        }
+    }
+
+    /// Start-of-collective hook: injects the whole-rank stall ("slow
+    /// rank" skew) before any timing window opens, so the stall shows up
+    /// as peer-side Transfer/Barrier wait plus a `Stall` span here —
+    /// exactly how a genuinely slow node reads in a trace.
+    fn fault_collective_begin(&mut self) {
+        let Some(s) = self.fault.as_ref() else { return };
+        let cfg = s.cfg;
+        if cfg.stall_rank == Some(self.rank) && cfg.stall_us > 0 {
+            let t0 = Instant::now();
+            std::thread::sleep(Duration::from_micros(cfg.stall_us));
+            let t1 = Instant::now();
+            self.stats.faults.stalls_injected += 1;
+            self.stats.faults.stall_time += t1.duration_since(t0);
+            self.trace.span(TracePhase::Stall, t0, t1);
+        }
+    }
+
+    /// End-of-send-phase hook: release every held-back (reordered)
+    /// message. Displacement is thereby bounded by one collective's send
+    /// phase — a message can arrive late, never in a later collective.
+    fn fault_sends_done(&mut self) {
+        if self.fault.is_none() {
+            return;
+        }
+        let cfg = self.fault.as_ref().expect("fault session present").cfg;
+        for dst in 0..self.procs {
+            let stashed = self.fault.as_mut().expect("fault session present").stash[dst].take();
+            if let Some((seq, payload)) = stashed {
+                self.emit(dst, seq, payload, &cfg);
+            }
+        }
+    }
+
+    /// End-of-collective hook: block until every payload this rank sent
+    /// has been acknowledged, servicing nacks (retransmitting) and
+    /// foreign data while waiting. This is what guarantees a rank reaches
+    /// the next barrier owing nothing: a dropped message to a peer keeps
+    /// the *sender* here — inside the collective, still pumping the
+    /// channel — until the peer's nack/retransmit round-trip lands.
+    fn fault_flush(&mut self) {
+        if self.fault.is_none() {
+            return;
+        }
+        self.fault_sends_done();
+        let cfg = self.fault.as_ref().expect("fault session present").cfg;
+        let mut backoff = cfg.retry_tick;
+        let mut waited = Duration::ZERO;
+        loop {
+            while let Ok(env) = self.receiver.try_recv() {
+                self.handle_envelope(env);
+            }
+            let outstanding = self
+                .fault
+                .as_ref()
+                .expect("fault session present")
+                .unacked
+                .iter()
+                .position(|m| !m.is_empty());
+            let Some(dst) = outstanding else { return };
+            match self.receiver.recv_timeout(backoff) {
+                Ok(env) => self.handle_envelope(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    waited += backoff;
+                    if let Some(limit) = cfg.watchdog {
+                        if waited >= limit {
+                            self.fail(FailurePhase::Drain, Some(dst), waited);
+                        }
+                    }
+                    backoff = (backoff * 2).min(cfg.backoff_cap);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("all peers hung up while draining acks")
+                }
+            }
+        }
+    }
+
+    /// Record the terminal stall and abort this rank with a structured
+    /// [`RankFailure`] (caught and returned as an error by
+    /// [`crate::runtime::run_spmd_chaos`]).
+    fn fail(&mut self, during: FailurePhase, waiting_on: Option<usize>, waited: Duration) -> ! {
+        let now = Instant::now();
+        let start = now.checked_sub(waited).unwrap_or(now);
+        self.trace.span(TracePhase::Stall, start, now);
+        std::panic::panic_any(RankFailure {
+            rank: self.rank,
+            during,
+            waiting_on,
+            waited,
+        });
     }
 }
 

@@ -106,6 +106,9 @@ pub struct CommStats {
     pub elements_sent: u64,
     /// Total non-empty messages sent (`M`).
     pub messages_sent: u64,
+    /// Fault-injection counters (all zero unless the machine was started
+    /// through [`crate::runtime::run_spmd_chaos`] with faults enabled).
+    pub faults: crate::fault::FaultStats,
     /// Wall-clock spent per phase.
     phase_time: [Duration; 5],
 }
@@ -158,6 +161,7 @@ impl CommStats {
     pub fn max_merge(&mut self, other: &CommStats) {
         self.elements_sent = self.elements_sent.max(other.elements_sent);
         self.messages_sent = self.messages_sent.max(other.messages_sent);
+        self.faults.max_merge(&other.faults);
         if other.remaps.len() > self.remaps.len() {
             self.remaps
                 .resize(other.remaps.len(), RemapRecord::default());

@@ -10,6 +10,7 @@
 use crate::barrier::SenseBarrier;
 use crate::comm::{make_mesh, Comm, MessageMode};
 use crate::counters::CommStats;
+use crate::fault::{FaultConfig, RankFailure};
 use obs::{RankTrace, TraceConfig, TraceSink};
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,7 +41,7 @@ pub struct RankResult<R> {
 /// Panics if `procs == 0`, or propagates the panic of any rank.
 pub fn run_spmd<K, R, F>(procs: usize, mode: MessageMode, program: F) -> Vec<RankResult<R>>
 where
-    K: Send + 'static,
+    K: Clone + Send + 'static,
     R: Send,
     F: Fn(&mut Comm<K>) -> R + Sync,
 {
@@ -62,7 +63,41 @@ pub fn run_spmd_traced<K, R, F>(
     program: F,
 ) -> Vec<RankResult<R>>
 where
-    K: Send + 'static,
+    K: Clone + Send + 'static,
+    R: Send,
+    F: Fn(&mut Comm<K>) -> R + Sync,
+{
+    run_spmd_chaos(procs, mode, trace, FaultConfig::off(), program)
+        .expect("a fault-free machine cannot fail")
+}
+
+/// [`run_spmd_traced`] on a machine with deterministic fault injection:
+/// the mesh misbehaves according to `fault` (drops, duplicates, reorders,
+/// latency jitter, whole-rank stalls — all derived from `fault.seed`), and
+/// the communicator's recovery machinery has to deliver correct results
+/// anyway. With [`FaultConfig::off`] this is exactly `run_spmd_traced`.
+///
+/// Returns `Err(RankFailure)` when a watchdog gave up on a rank that
+/// stayed stalled past `fault.watchdog` — the failure names the lowest
+/// failed rank, what it was doing, and how long it waited — instead of
+/// deadlocking or poisoning the whole process. Panics from rank programs
+/// themselves (assertion failures etc.) still propagate as panics.
+///
+/// # Errors
+/// A [`RankFailure`] if any rank's watchdog fired.
+///
+/// # Panics
+/// Panics if `procs == 0`, if `fault` is invalid (see
+/// [`FaultConfig::validate`]), or propagates the panic of any rank.
+pub fn run_spmd_chaos<K, R, F>(
+    procs: usize,
+    mode: MessageMode,
+    trace: TraceConfig,
+    fault: FaultConfig,
+    program: F,
+) -> Result<Vec<RankResult<R>>, RankFailure>
+where
+    K: Clone + Send + 'static,
     R: Send,
     F: Fn(&mut Comm<K>) -> R + Sync,
 {
@@ -79,6 +114,13 @@ where
         results.push(None);
     }
 
+    // A failed rank drops its channel endpoints, which can cascade into
+    // "peer hung up" panics on surviving ranks. Joining every handle
+    // before deciding the outcome keeps the scope clean; the structured
+    // RankFailure (lowest rank wins, for determinism) takes precedence
+    // over any cascade panic.
+    let mut failure: Option<RankFailure> = None;
+    let mut cascade: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(procs);
         let rank_inputs = sender_meshes.into_iter().zip(receivers).enumerate();
@@ -86,7 +128,7 @@ where
             let barrier = Arc::clone(&barrier);
             handles.push(scope.spawn(move || {
                 let sink = TraceSink::new(rank, trace, epoch);
-                let mut comm = Comm::new(rank, mode, senders, receiver, barrier, sink);
+                let mut comm = Comm::new(rank, mode, senders, receiver, barrier, sink, fault);
                 let output = program(&mut comm);
                 RankResult {
                     rank,
@@ -99,15 +141,28 @@ where
         for (rank, handle) in handles.into_iter().enumerate() {
             match handle.join() {
                 Ok(res) => results[rank] = Some(res),
-                Err(payload) => std::panic::resume_unwind(payload),
+                Err(payload) => match payload.downcast::<RankFailure>() {
+                    Ok(f) => {
+                        if failure.as_ref().is_none_or(|held| f.rank < held.rank) {
+                            failure = Some(*f);
+                        }
+                    }
+                    Err(other) => cascade = Some(other),
+                },
             }
         }
     });
 
-    results
+    if let Some(f) = failure {
+        return Err(f);
+    }
+    if let Some(payload) = cascade {
+        std::panic::resume_unwind(payload);
+    }
+    Ok(results
         .into_iter()
         .map(|r| r.expect("every rank produces a result"))
-        .collect()
+        .collect())
 }
 
 /// Collect the per-rank traces of a machine run, in rank order.

@@ -1,0 +1,395 @@
+//! Chaos conformance suite: every sorting network must produce exactly
+//! the sorted input — no lost, duplicated, or misordered keys — while the
+//! mesh underneath drops, duplicates, reorders and delays its messages,
+//! or stalls a whole rank. Faults are injected deterministically from a
+//! master seed (see `spmd::fault`), so every failure here is replayable.
+
+use bitonic_bench::workloads::uniform_keys;
+use bitonic_core::algorithms::{run_parallel_sort_chaos, Algorithm};
+use bitonic_core::local::LocalStrategy;
+use spmd::{run_spmd_chaos, FailurePhase, FaultConfig, MessageMode, TraceConfig};
+use std::time::Duration;
+
+const ALGOS: [Algorithm; 4] = [
+    Algorithm::Smart,
+    Algorithm::SmartFused,
+    Algorithm::CyclicBlocked,
+    Algorithm::BlockedMerge,
+];
+
+const MODES: [MessageMode; 2] = [MessageMode::Long, MessageMode::Short];
+
+const MACHINES: [usize; 3] = [2, 4, 8];
+
+/// Keys per rank: long messages are cheap, short mode pays per key (and
+/// per-key injection), so it runs a smaller working set.
+fn keys_per_rank(mode: MessageMode) -> usize {
+    match mode {
+        MessageMode::Long => 256,
+        MessageMode::Short => 64,
+    }
+}
+
+/// Test-speed recovery timings: tight retry tick so dropped messages are
+/// renacked quickly, and a watchdog far above any plausible recovery time
+/// so a genuine liveness bug fails the test instead of hanging it.
+fn tuned(base: FaultConfig) -> FaultConfig {
+    FaultConfig {
+        retry_tick: Duration::from_micros(200),
+        backoff_cap: Duration::from_millis(4),
+        watchdog: Some(Duration::from_secs(20)),
+        ..base
+    }
+}
+
+/// Run `algo` under `fault` on every machine size and message mode, and
+/// require the output to be *exactly* the sorted input — sortedness and
+/// multiset preservation (nothing lost, nothing delivered twice) in one
+/// comparison.
+fn conformance(algo: Algorithm, fault: FaultConfig, label: &str) {
+    for mode in MODES {
+        for p in MACHINES {
+            let fault = FaultConfig {
+                // A stall rank outside the machine would silently disable
+                // the class; pin it to the last rank of this machine.
+                stall_rank: fault.stall_rank.map(|_| p - 1),
+                ..fault
+            };
+            let input = uniform_keys(keys_per_rank(mode) * p, 23 + p as u64);
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            let run = run_parallel_sort_chaos(
+                &input,
+                p,
+                mode,
+                algo,
+                LocalStrategy::Merges,
+                TraceConfig::off(),
+                fault,
+            )
+            .unwrap_or_else(|f| panic!("{label}/{algo:?}/{mode:?} P={p}: {f}"));
+            assert_eq!(
+                run.output, expect,
+                "{label}/{algo:?}/{mode:?} P={p}: output must be the sorted input"
+            );
+        }
+    }
+}
+
+#[test]
+fn survives_latency_jitter() {
+    let fault = tuned(FaultConfig {
+        jitter_us: 30,
+        ..FaultConfig::off()
+    });
+    for algo in ALGOS {
+        conformance(algo, FaultConfig { seed: 101, ..fault }, "jitter");
+    }
+}
+
+#[test]
+fn survives_reordering() {
+    let fault = tuned(FaultConfig {
+        reorder_rate: 0.2,
+        ..FaultConfig::off()
+    });
+    for algo in ALGOS {
+        conformance(algo, FaultConfig { seed: 202, ..fault }, "reorder");
+    }
+}
+
+#[test]
+fn survives_duplication() {
+    let fault = tuned(FaultConfig {
+        dup_rate: 0.1,
+        ..FaultConfig::off()
+    });
+    for algo in ALGOS {
+        conformance(algo, FaultConfig { seed: 303, ..fault }, "duplicate");
+    }
+}
+
+#[test]
+fn survives_drops() {
+    let fault = tuned(FaultConfig {
+        drop_rate: 0.05,
+        ..FaultConfig::off()
+    });
+    for algo in ALGOS {
+        conformance(algo, FaultConfig { seed: 404, ..fault }, "drop");
+    }
+}
+
+#[test]
+fn survives_a_stalling_rank() {
+    let fault = tuned(FaultConfig {
+        stall_rank: Some(usize::MAX), // pinned to P-1 per machine
+        stall_us: 300,
+        ..FaultConfig::off()
+    });
+    for algo in ALGOS {
+        conformance(algo, FaultConfig { seed: 505, ..fault }, "stall");
+    }
+}
+
+#[test]
+fn survives_all_classes_at_once() {
+    for algo in ALGOS {
+        conformance(algo, tuned(FaultConfig::chaos(606)), "mixed");
+    }
+}
+
+/// The acceptance bar from the issue: 5% drops at P=8, all four
+/// algorithms, fully sorted duplicate-free delivery.
+#[test]
+fn five_percent_drops_at_p8_sort_correctly() {
+    let fault = tuned(FaultConfig {
+        seed: 808,
+        drop_rate: 0.05,
+        ..FaultConfig::off()
+    });
+    let input = uniform_keys(256 * 8, 99);
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    for algo in ALGOS {
+        let run = run_parallel_sort_chaos(
+            &input,
+            8,
+            MessageMode::Long,
+            algo,
+            LocalStrategy::Merges,
+            TraceConfig::off(),
+            fault,
+        )
+        .expect("drops must be recovered, not fatal");
+        assert_eq!(run.output, expect, "{algo:?}: every key exactly once");
+        let drops: u64 = run
+            .ranks
+            .iter()
+            .map(|r| r.stats.faults.drops_injected)
+            .sum();
+        assert!(drops > 0, "{algo:?}: the fault plan must actually bite");
+    }
+}
+
+/// Identical seeds → identical injected-fault decisions, identical
+/// traffic counters, identical output. The recovery-side counters
+/// (retries, nacks) are timing-dependent by design and deliberately not
+/// compared.
+#[test]
+fn equal_seeds_inject_equal_faults() {
+    let input = uniform_keys(256 * 4, 7);
+    let run_once = || {
+        run_parallel_sort_chaos(
+            &input,
+            4,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+            TraceConfig::off(),
+            tuned(FaultConfig::chaos(4242)),
+        )
+        .expect("chaos preset must be survivable")
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.output, b.output, "same seed, same sorted output");
+    for (ra, rb) in a.ranks.iter().zip(&b.ranks) {
+        assert_eq!(
+            ra.stats.remaps, rb.stats.remaps,
+            "rank {}: R/V/M records must be reproducible",
+            ra.rank
+        );
+        assert_eq!(ra.stats.elements_sent, rb.stats.elements_sent);
+        assert_eq!(ra.stats.messages_sent, rb.stats.messages_sent);
+        assert_eq!(
+            ra.stats.faults.injected(),
+            rb.stats.faults.injected(),
+            "rank {}: injected fault counters must be reproducible",
+            ra.rank
+        );
+    }
+}
+
+/// Different seeds must actually change the fault plan (otherwise the
+/// seed is decorative).
+#[test]
+fn different_seeds_inject_different_faults() {
+    let input = uniform_keys(256 * 4, 7);
+    let run_with = |seed| {
+        run_parallel_sort_chaos(
+            &input,
+            4,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+            TraceConfig::off(),
+            tuned(FaultConfig::chaos(seed)),
+        )
+        .expect("chaos preset must be survivable")
+    };
+    let a = run_with(1);
+    let b = run_with(2);
+    let plan = |run: &bitonic_core::algorithms::SortRun<u32>| -> Vec<[u64; 6]> {
+        run.ranks
+            .iter()
+            .map(|r| r.stats.faults.injected())
+            .collect()
+    };
+    assert_ne!(plan(&a), plan(&b), "seeds 1 and 2 drew the same fault plan");
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    assert_eq!(a.output, expect);
+    assert_eq!(b.output, expect);
+}
+
+/// `FaultConfig::off` must be indistinguishable from the legacy machine:
+/// zero fault counters, identical R/V/M records.
+#[test]
+fn fault_config_off_changes_nothing() {
+    let input = uniform_keys(128 * 4, 5);
+    let baseline = bitonic_core::algorithms::run_parallel_sort(
+        &input,
+        4,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+    );
+    let off = run_parallel_sort_chaos(
+        &input,
+        4,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+        TraceConfig::off(),
+        FaultConfig::off(),
+    )
+    .expect("a fault-free machine cannot fail");
+    assert_eq!(baseline.output, off.output);
+    for (ra, rb) in baseline.ranks.iter().zip(&off.ranks) {
+        assert_eq!(ra.stats.remaps, rb.stats.remaps);
+        assert_eq!(rb.stats.faults, Default::default(), "no counters touched");
+    }
+}
+
+/// A rank that never shows up must become a structured `RankFailure`
+/// naming the barrier, not a deadlock: the survivors' watchdogs withdraw
+/// them from the barrier and the runtime reports the lowest failed rank.
+#[test]
+fn barrier_watchdog_converts_deadlock_into_failure() {
+    let fault = FaultConfig {
+        watchdog: Some(Duration::from_millis(150)),
+        ..FaultConfig::off()
+    };
+    let err =
+        run_spmd_chaos::<u32, (), _>(4, MessageMode::Long, TraceConfig::off(), fault, |comm| {
+            if comm.rank() == 3 {
+                // Simulate a wedged rank: far past everyone's watchdog.
+                std::thread::sleep(Duration::from_millis(600));
+            }
+            comm.barrier();
+        })
+        .expect_err("the machine must fail, not hang");
+    assert_eq!(err.during, FailurePhase::Barrier);
+    assert!(err.rank < 3, "a waiting rank reports, got {err}");
+    assert!(err.waited >= Duration::from_millis(150), "{err}");
+}
+
+/// The receive watchdog: a peer that never sends is reported with the
+/// link that went silent.
+#[test]
+fn receive_watchdog_names_the_silent_peer() {
+    let fault = FaultConfig {
+        watchdog: Some(Duration::from_millis(150)),
+        retry_tick: Duration::from_millis(2),
+        ..FaultConfig::off()
+    };
+    let err =
+        run_spmd_chaos::<u32, (), _>(2, MessageMode::Long, TraceConfig::off(), fault, |comm| {
+            if comm.rank() == 0 {
+                // Rank 1 expects a sendrecv that rank 0 never joins.
+                std::thread::sleep(Duration::from_millis(600));
+            } else {
+                let _ = comm.sendrecv(0, vec![1u32, 2, 3]);
+            }
+        })
+        .expect_err("the machine must fail, not hang");
+    assert_eq!(err.rank, 1);
+    assert_eq!(err.during, FailurePhase::Receive);
+    assert_eq!(err.waiting_on, Some(0), "failure names the silent peer");
+}
+
+/// Fault spans surface in traces: injected stalls produce `Stall` spans
+/// on the afflicted rank and nowhere else.
+#[test]
+fn injected_stalls_appear_in_traces() {
+    use obs::TracePhase;
+    let fault = tuned(FaultConfig {
+        seed: 909,
+        stall_rank: Some(1),
+        stall_us: 200,
+        ..FaultConfig::off()
+    });
+    let input = uniform_keys(64 * 2, 3);
+    let run = run_parallel_sort_chaos(
+        &input,
+        2,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+        TraceConfig::on(),
+        fault,
+    )
+    .expect("stalls are benign");
+    for rank in &run.ranks {
+        let stall_spans = rank
+            .trace
+            .spans()
+            .filter(|s| s.phase == TracePhase::Stall)
+            .count();
+        if rank.rank == 1 {
+            assert!(stall_spans > 0, "stalled rank must record Stall spans");
+            assert!(rank.stats.faults.stalls_injected > 0);
+            assert!(rank.stats.faults.stall_time >= Duration::from_micros(200));
+        } else {
+            assert_eq!(stall_spans, 0, "only the stalled rank stalls");
+            assert_eq!(rank.stats.faults.stalls_injected, 0);
+        }
+    }
+}
+
+/// Dropped messages leave their fingerprints in the recovery counters:
+/// somebody nacked, somebody retransmitted, and the receiver suppressed
+/// any crossing duplicates — all visible through `CommStats`.
+#[test]
+fn drop_recovery_is_observable_in_counters() {
+    let fault = tuned(FaultConfig {
+        seed: 1001,
+        drop_rate: 0.08,
+        ..FaultConfig::off()
+    });
+    let input = uniform_keys(256 * 4, 55);
+    let run = run_parallel_sort_chaos(
+        &input,
+        4,
+        MessageMode::Long,
+        Algorithm::Smart,
+        LocalStrategy::Merges,
+        TraceConfig::off(),
+        fault,
+    )
+    .expect("drops must be recovered");
+    let total = |f: fn(&spmd::FaultStats) -> u64| -> u64 {
+        run.ranks.iter().map(|r| f(&r.stats.faults)).sum()
+    };
+    let drops = total(|f| f.drops_injected);
+    let retries = total(|f| f.retries);
+    let nacks = total(|f| f.nacks_sent);
+    assert!(drops > 0, "plan must inject drops at 8%");
+    assert!(nacks > 0, "receivers must have complained");
+    assert!(
+        retries >= drops,
+        "every dropped payload needs at least one retransmission \
+         (drops={drops}, retries={retries})"
+    );
+}

@@ -3,7 +3,9 @@
 
 use bitonic_bench::workloads::{keys, Distribution};
 use bitonic_core::algorithms::{run_parallel_sort, Algorithm};
+use bitonic_core::layout::blocked;
 use bitonic_core::local::LocalStrategy;
+use bitonic_core::{BitLayout, RemapPlan};
 use proptest::prelude::*;
 use spmd::{run_spmd, MessageMode};
 
@@ -173,5 +175,57 @@ proptest! {
         let fullsort = run_parallel_sort(
             &input, p, MessageMode::Long, Algorithm::Smart, LocalStrategy::FullSort);
         prop_assert_eq!(merges.output, fullsort.output);
+    }
+
+    /// The flat zero-copy remap path ([`RemapPlan::apply_into`]) equals the
+    /// legacy nested-Vec oracle ([`RemapPlan::apply`]) under adversarial
+    /// geometries the sort schedules never produce: tiny per-rank arrays
+    /// (`n < P`), near-identity layout pairs where most destination buckets
+    /// are empty, and the exact identity remap (zero traffic).
+    #[test]
+    fn flat_remap_matches_oracle_under_adversarial_layouts(
+        lg_total in 4u32..7,
+        lg_local in 1u32..3,
+        n_swaps in 0u32..3,
+        swap_bits in any::<u64>(),
+        long in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // Layout `a` is blocked; `b` perturbs its bit permutation by 0–2
+        // transpositions. Zero swaps is the identity remap; one local-bit
+        // swap moves nothing between ranks; small swap counts leave most
+        // of the P destination buckets empty. lg_local < lg_total/2 makes
+        // n as small as 2 while P reaches 32.
+        let a = blocked(lg_total, lg_local);
+        let mut perm: Vec<u32> = (0..lg_total).collect();
+        for s in 0..n_swaps {
+            let i = ((swap_bits >> (8 * s)) & 0xf) as u32 % lg_total;
+            let j = ((swap_bits >> (8 * s + 4)) & 0xf) as u32 % lg_total;
+            perm.swap(i as usize, j as usize);
+        }
+        let b = BitLayout::new(perm, lg_local);
+        let procs = a.procs();
+        let mode = if long { MessageMode::Long } else { MessageMode::Short };
+        let (a2, b2) = (a.clone(), b.clone());
+        let results = run_spmd::<u64, _, _>(procs, mode, move |comm| {
+            let me = comm.rank();
+            let data: Vec<u64> = (0..a2.local_size())
+                .map(|x| (a2.abs_at(me, x) as u64).wrapping_mul(seed | 1))
+                .collect();
+            let plan = RemapPlan::new(&a2, &b2, me);
+            let oracle = plan.apply(comm, &data);
+            let mut flat = Vec::new();
+            plan.apply_into(comm, &data, &mut flat);
+            (flat, oracle)
+        });
+        for r in &results {
+            let (flat, oracle) = &r.output;
+            prop_assert_eq!(flat, oracle, "rank {}: flat path diverged", r.rank);
+            // Both paths must also record identical R/V/M counters.
+            let [x, y] = &r.stats.remaps[..] else {
+                panic!("expected exactly two remap records");
+            };
+            prop_assert_eq!(x, y, "rank {}: counter records diverged", r.rank);
+        }
     }
 }
