@@ -16,8 +16,19 @@
 //! `--seed N` shape the fault-injection sweep, `--out FILE` writes the
 //! report (with its `CHAOS_1` JSON block), and `--check` exits non-zero
 //! unless every cell sorted correctly and determinism held.
+//!
+//! The `serve` id drives the sort service under open-loop load:
+//! `--procs N`, `--requests N`, and `--seed N` shape the load, `--out
+//! FILE` writes the bare `SERVE_1` JSON document, and `--check` exits
+//! non-zero unless every reply matched the oracle with zero sheds and a
+//! 100% steady-state plan-cache hit rate.
+//!
+//! `bench4` composes the `remap_bench` `BENCH_1` records and the serving
+//! run's `SERVE_1` document into one `BENCH_4` artifact (`--out
+//! BENCH_4.json` writes the committed repo-root copy).
 
-use bitonic_bench::experiments::{all, by_id, chaos, trace, Scale, IDS};
+use bitonic_bench::experiments::{all, by_id, chaos, remap_bench, serve_bench, trace, Scale, IDS};
+use bitonic_bench::report::bench_json;
 use spmd::MessageMode;
 
 fn main() {
@@ -29,6 +40,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut check = false;
     let mut seed: Option<u64> = None;
+    let mut requests: Option<usize> = None;
 
     let mut i = 0;
     let value = |args: &[String], i: &mut usize| -> String {
@@ -55,6 +67,12 @@ fn main() {
                 }));
             }
             "--out" => out = Some(value(&args, &mut i)),
+            "--requests" => {
+                requests = Some(value(&args, &mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("--requests: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--seed" => {
                 seed = Some(value(&args, &mut i).parse().unwrap_or_else(|e| {
                     eprintln!("--seed: {e}");
@@ -65,7 +83,9 @@ fn main() {
                 println!(
                     "usage: experiments [--full] [all | {}]\n       \
                      experiments trace [--procs N] [--keys N] [--out FILE] [--check]\n       \
-                     experiments chaos [--procs N] [--keys N] [--seed N] [--out FILE] [--check]",
+                     experiments chaos [--procs N] [--keys N] [--seed N] [--out FILE] [--check]\n       \
+                     experiments serve [--procs N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
+                     experiments bench4 [--procs N] [--requests N] [--seed N] [--out FILE] [--check]",
                     IDS.join(" | ")
                 );
                 return;
@@ -128,9 +148,68 @@ fn main() {
         }
         return;
     }
-    if out.is_some() || check || keys.is_some() || seed.is_some() {
+    // The serve subcommand: open-loop load against the sort service.
+    if ids.iter().any(|id| id == "serve") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| serve_bench::default_requests(scale));
+        let seed = seed.unwrap_or(serve_bench::DEFAULT_SEED);
+        let run = serve_bench::run_serve(procs, requests, seed);
+        println!("## Sort-as-a-service load generation [serve]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &run.json) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("SERVE_1 document written to {path}.");
+        }
+        if check {
+            if run.passed {
+                println!(
+                    "check: every reply matched the oracle; zero sheds; \
+                     steady-state plan-cache hit rate 100%."
+                );
+            } else {
+                eprintln!("check failed: see report above.");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // bench4: one artifact combining the remap engine's BENCH_1 records
+    // with the serving benchmark's SERVE_1 document.
+    if ids.iter().any(|id| id == "bench4") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| serve_bench::default_requests(scale));
+        let seed = seed.unwrap_or(serve_bench::DEFAULT_SEED);
+        let (records, speedups) = remap_bench::records(scale);
+        let run = serve_bench::run_serve(procs, requests, seed);
+        let doc = format!(
+            "{{\n\"schema\": \"BENCH_4\",\n\"bench\": {},\"serve\": {}}}\n",
+            bench_json(&records),
+            run.json
+        );
+        println!("## BENCH_4 composition [bench4]\n");
+        println!("Remap engine flat-path speedup over legacy: {speedups}.\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("BENCH_4 document written to {path}.");
+        } else {
+            println!("```json\n{doc}```");
+        }
+        if check && !run.passed {
+            eprintln!("check failed: see serve report above.");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if out.is_some() || check || keys.is_some() || seed.is_some() || requests.is_some() {
         eprintln!(
-            "--out/--check/--keys/--seed only apply to `experiments trace` or `experiments chaos`"
+            "--out/--check/--keys/--seed/--requests only apply to the `trace`, \
+             `chaos`, `serve`, or `bench4` subcommands"
         );
         std::process::exit(2);
     }

@@ -7,6 +7,7 @@ pub mod messages;
 pub mod other_sorts;
 pub mod remap_bench;
 pub mod scaling;
+pub mod serve_bench;
 pub mod strategies;
 pub mod trace;
 
@@ -90,6 +91,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         remap_bench::remap_bench(scale),
         trace::trace(scale),
         chaos::chaos(scale),
+        serve_bench::serve(scale),
     ]
 }
 
@@ -113,12 +115,13 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "remap_bench" => Some(remap_bench::remap_bench(scale)),
         "trace" => Some(trace::trace(scale)),
         "chaos" => Some(chaos::chaos(scale)),
+        "serve" => Some(serve_bench::serve(scale)),
         _ => None,
     }
 }
 
 /// All experiment ids accepted by [`by_id`].
-pub const IDS: [&str; 16] = [
+pub const IDS: [&str; 17] = [
     "table5_1",
     "table5_2",
     "strategies_measured",
@@ -135,4 +138,5 @@ pub const IDS: [&str; 16] = [
     "remap_bench",
     "trace",
     "chaos",
+    "serve",
 ];

@@ -74,9 +74,10 @@ fn best_of(n: usize, mode: MessageMode, flat: bool) -> (f64, CommStats) {
         .expect("SAMPLES > 0")
 }
 
-/// Run the benchmark and render its `BENCH_1` report.
+/// Run the benchmark and return the raw `BENCH_1` records plus the
+/// rendered speedup note (also used to compose `BENCH_4.json`).
 #[must_use]
-pub fn remap_bench(scale: Scale) -> Experiment {
+pub fn records(scale: Scale) -> (Vec<BenchRecord>, String) {
     // Thesis configuration: 64K keys per rank; short messages pay per
     // element, so they get the same extra 4x shrink as Table 5.3.
     let n_long = (65_536 / scale.shrink).max(256).next_power_of_two();
@@ -110,7 +111,13 @@ pub fn remap_bench(scale: Scale) -> Experiment {
             speedups.push_str(", ");
         }
     }
+    (records, speedups)
+}
 
+/// Run the benchmark and render its `BENCH_1` report.
+#[must_use]
+pub fn remap_bench(scale: Scale) -> Experiment {
+    let (records, speedups) = records(scale);
     let body = format!(
         "Flat-path speedup over legacy: {speedups} (rounds={ROUNDS}, \
          samples={SAMPLES}, min-of reported; counters include the warm-up \

@@ -1,0 +1,337 @@
+//! `experiments serve` — open-loop load against the sort service.
+//!
+//! A deterministic client offers ~200 requests at a paced schedule that
+//! does not depend on completions (open loop: a slow service builds a
+//! queue instead of slowing the generator down). The mix deliberately
+//! includes tiny requests (n < P), duplicate-heavy key sets, and both
+//! sort directions, so the coalescer has real batching work to do.
+//! Every reply is checked against an independently sorted oracle.
+//!
+//! Before the measured window the service is warmed with one request per
+//! padded batch shape it can produce, so the measured window exercises
+//! the steady state the warm pool is built for: the `--check` gate
+//! demands *zero* plan-cache misses there, along with zero sheds, zero
+//! expiries, zero failures, and a reported p99.
+//!
+//! The report ends with a machine-readable `SERVE_1` block
+//! ([`crate::report::serve_json`]) carrying throughput and the
+//! p50/p95/p99 reply latencies.
+
+use super::{Experiment, Scale};
+use crate::report::{f2, serve_json, ServeSummary, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::tagged::sorted_independently;
+use bitonic_network::Direction;
+use sort_service::{ServiceConfig, SortRequest, SortService};
+use std::time::{Duration, Instant};
+
+/// Default machine size for the subcommand (the acceptance configuration).
+pub const DEFAULT_PROCS: usize = 4;
+
+/// Default offered load for the measured window.
+pub const DEFAULT_REQUESTS: usize = 200;
+
+/// Default master seed (fixed so CI runs are replayable).
+pub const DEFAULT_SEED: u64 = 271_828;
+
+/// Requests offered at a given scale (the load is cheap; only the paper
+/// scale bothers raising it).
+#[must_use]
+pub fn default_requests(scale: Scale) -> usize {
+    if scale.shrink == 1 {
+        DEFAULT_REQUESTS * 4
+    } else {
+        DEFAULT_REQUESTS
+    }
+}
+
+/// One finished load-generation run.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Human-readable report (tables + the `SERVE_1` block).
+    pub report: String,
+    /// The bare `SERVE_1` JSON document, for composition into `BENCH_4`.
+    pub json: String,
+    /// Whether every acceptance check held.
+    pub passed: bool,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The deterministic request mix: `(keys, direction, inter-arrival gap)`.
+/// Sizes span n < P through a few thousand keys; every fourth request is
+/// duplicate-heavy; directions alternate pseudo-randomly.
+fn workload(requests: usize, procs: usize, seed: u64) -> Vec<(Vec<u32>, Direction, Duration)> {
+    let sizes = [
+        1,
+        2,
+        procs - 1,
+        procs,
+        7,
+        16,
+        33,
+        64,
+        100,
+        256,
+        777,
+        1024,
+        2048,
+    ];
+    let mut rng = seed | 1;
+    (0..requests)
+        .map(|i| {
+            let n = sizes[(xorshift(&mut rng) % sizes.len() as u64) as usize];
+            let mut keys = uniform_keys(n, seed.wrapping_add(i as u64));
+            if i % 4 == 0 {
+                // Duplicate-heavy: tag-partitioned batching must keep the
+                // right *count* of each duplicate per request.
+                for k in &mut keys {
+                    *k %= 8;
+                }
+            }
+            let dir = if xorshift(&mut rng) & 1 == 0 {
+                Direction::Ascending
+            } else {
+                Direction::Descending
+            };
+            let gap = Duration::from_micros(20 + xorshift(&mut rng) % 100);
+            (keys, dir, gap)
+        })
+        .collect()
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx]
+}
+
+/// Warm every padded batch shape the service can produce: one request of
+/// `per_rank * procs` keys per power-of-two `per_rank`, each waited on
+/// before the next so each forms its own batch on the (single) machine.
+fn warm_shapes(service: &SortService, cfg: &ServiceConfig) -> u64 {
+    let mut warmed = 0;
+    let mut per_rank = 2usize;
+    while per_rank * cfg.procs <= cfg.max_request_keys {
+        let keys = uniform_keys(per_rank * cfg.procs, 7 + per_rank as u64);
+        let ticket = service
+            .submit(SortRequest::ascending(keys))
+            .expect("warm-up request admitted");
+        ticket.wait().expect("warm-up request sorts");
+        warmed += 1;
+        per_rank *= 2;
+    }
+    // The dispatcher publishes pool counters after it replies; wait for
+    // the last warm-up batch's counters before snapshotting.
+    let t = Instant::now();
+    while service.stats().batches < warmed && t.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    warmed
+}
+
+/// Drive the service at `procs` ranks with `requests` offered requests
+/// and render the report. Deterministic in `seed` up to host timing.
+///
+/// # Panics
+/// Panics if `procs` is not a power of two (machine requirement).
+#[must_use]
+pub fn run_serve(procs: usize, requests: usize, seed: u64) -> ServeRun {
+    assert!(procs.is_power_of_two(), "machine sizes are powers of two");
+    let mut cfg = ServiceConfig::new(procs);
+    // Cap batches at one max-size request so warm-up (which is bounded by
+    // the per-request limit) can visit every padded shape batches reach.
+    cfg.max_batch_keys = cfg.max_request_keys;
+    cfg.validate();
+
+    let service = SortService::start(cfg);
+    let warmup_batches = warm_shapes(&service, &cfg);
+    let warm = service.stats();
+
+    let load = workload(requests, procs, seed);
+    let total_keys: u64 = load.iter().map(|(k, _, _)| k.len() as u64).sum();
+    let started = Instant::now();
+    let mut waiters = Vec::with_capacity(requests);
+    let mut shed_details: Vec<String> = Vec::new();
+    for (i, (keys, dir, gap)) in load.into_iter().enumerate() {
+        std::thread::sleep(gap);
+        let expected = sorted_independently(&keys, dir);
+        let submitted = Instant::now();
+        match service.submit(SortRequest::new(keys, dir)) {
+            Ok(ticket) => waiters.push(std::thread::spawn(move || {
+                let reply = ticket.wait();
+                let latency = submitted.elapsed();
+                let verdict = match reply {
+                    Ok(out) if out == expected => Ok(()),
+                    Ok(_) => Err(format!("request {i}: reply differs from the oracle")),
+                    Err(e) => Err(format!("request {i}: {e}")),
+                };
+                (latency, verdict)
+            })),
+            Err(r) => shed_details.push(format!("request {i} shed: {r}")),
+        }
+    }
+
+    let mut failures = shed_details;
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(waiters.len());
+    for w in waiters {
+        let (latency, verdict) = w.join().expect("waiter thread");
+        latencies_us.push(latency.as_secs_f64() * 1e6);
+        if let Err(e) = verdict {
+            failures.push(e);
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let report = service.shutdown();
+    let stats = report.stats;
+
+    latencies_us.sort_by(f64::total_cmp);
+    let completed = stats.completed.saturating_sub(warm.completed);
+    let summary = ServeSummary {
+        procs,
+        machines: cfg.machines,
+        requests: requests as u64,
+        total_keys,
+        batches: stats.batches.saturating_sub(warmup_batches),
+        shed: stats.shed,
+        expired: stats.expired,
+        failed: stats.failed,
+        throughput_rps: completed as f64 / wall,
+        throughput_keys: total_keys as f64 / wall,
+        p50_us: percentile(&latencies_us, 50.0),
+        p95_us: percentile(&latencies_us, 95.0),
+        p99_us: percentile(&latencies_us, 99.0),
+        plan_hit_rate: stats.pool.plan_hit_rate(),
+        steady_plan_misses: stats.pool.plan_misses - warm.pool.plan_misses,
+    };
+
+    if summary.shed > 0 {
+        failures.push(format!("{} requests shed at nominal load", summary.shed));
+    }
+    if summary.expired > 0 {
+        failures.push(format!("{} requests expired", summary.expired));
+    }
+    if summary.failed > 0 {
+        failures.push(format!(
+            "{} requests lost to failed batches",
+            summary.failed
+        ));
+    }
+    if summary.steady_plan_misses > 0 {
+        failures.push(format!(
+            "{} plan-cache misses after warm-up (steady state must hit 100%)",
+            summary.steady_plan_misses
+        ));
+    }
+    if summary.p99_us <= 0.0 {
+        failures.push("no p99 latency reported".into());
+    }
+
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["requests".into(), summary.requests.to_string()]);
+    t.row(vec!["keys".into(), summary.total_keys.to_string()]);
+    t.row(vec!["batches".into(), summary.batches.to_string()]);
+    t.row(vec![
+        "requests / batch".into(),
+        f2(summary.requests as f64 / summary.batches.max(1) as f64),
+    ]);
+    t.row(vec![
+        "throughput (req/s)".into(),
+        format!("{:.0}", summary.throughput_rps),
+    ]);
+    t.row(vec!["p50 (us)".into(), f2(summary.p50_us)]);
+    t.row(vec!["p95 (us)".into(), f2(summary.p95_us)]);
+    t.row(vec!["p99 (us)".into(), f2(summary.p99_us)]);
+    t.row(vec![
+        "shed / expired / failed".into(),
+        format!(
+            "{} / {} / {}",
+            summary.shed, summary.expired, summary.failed
+        ),
+    ]);
+    t.row(vec![
+        "plan-cache hit rate".into(),
+        format!("{:.1}%", summary.plan_hit_rate * 100.0),
+    ]);
+    t.row(vec![
+        "steady-state plan misses".into(),
+        summary.steady_plan_misses.to_string(),
+    ]);
+
+    let json = serve_json(&summary);
+    let passed = failures.is_empty();
+    let verdict = if passed {
+        format!(
+            "All {requests} replies match the independent-sort oracle; \
+             zero sheds, zero expiries, zero failed batches; steady-state \
+             plan-cache hit rate 100% ({warmup_batches} warm-up shapes)."
+        )
+    } else {
+        let mut v = String::from("FAILED:\n");
+        for f in &failures {
+            v.push_str("  - ");
+            v.push_str(f);
+            v.push('\n');
+        }
+        v
+    };
+    let report = format!("{}\n{verdict}\n\n```json\n{json}```\n", t.render());
+    ServeRun {
+        report,
+        json,
+        passed,
+    }
+}
+
+/// Run the serving benchmark and render it as an experiment.
+#[must_use]
+pub fn serve(scale: Scale) -> Experiment {
+    let run = run_serve(DEFAULT_PROCS, default_requests(scale), DEFAULT_SEED);
+    Experiment {
+        id: "serve",
+        title: "Sort-as-a-service: open-loop load, batching, and latency SLOs",
+        body: run.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_acceptance_load_passes_every_check() {
+        // A smaller offered load than the CI configuration, same checks.
+        let run = run_serve(4, 60, DEFAULT_SEED);
+        assert!(run.passed, "{}", run.report);
+        assert!(run.json.contains("\"schema\": \"SERVE_1\""));
+        assert!(run.report.contains("p99 (us)"));
+    }
+
+    #[test]
+    fn the_workload_mixes_directions_and_tiny_requests() {
+        let load = workload(64, 4, DEFAULT_SEED);
+        assert!(load.iter().any(|(k, _, _)| k.len() < 4), "n < P present");
+        assert!(load.iter().any(|(_, d, _)| *d == Direction::Ascending));
+        assert!(load.iter().any(|(_, d, _)| *d == Direction::Descending));
+        // Deterministic: the same seed reproduces the same mix.
+        let again = workload(64, 4, DEFAULT_SEED);
+        assert_eq!(load, again);
+    }
+
+    #[test]
+    fn percentiles_interpolate_the_sorted_tail() {
+        let us: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&us, 50.0), 51.0);
+        assert_eq!(percentile(&us, 99.0), 99.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+}

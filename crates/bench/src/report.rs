@@ -142,6 +142,77 @@ pub fn bench_json(records: &[BenchRecord]) -> String {
     out
 }
 
+/// Schema tag for the serving benchmark's machine-readable output. Like
+/// [`BENCH_SCHEMA`], the suffix is bumped when any field changes meaning.
+pub const SERVE_SCHEMA: &str = "SERVE_1";
+
+/// One serving-benchmark result in the stable `SERVE_1` schema: the
+/// offered load, what the service did with it, and the reply-latency
+/// percentiles under that load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSummary {
+    /// Ranks per warm machine (`P`).
+    pub procs: usize,
+    /// Warm machines in the pool.
+    pub machines: usize,
+    /// Requests offered during the measured (post-warm-up) window.
+    pub requests: u64,
+    /// Keys across those requests (before padding).
+    pub total_keys: u64,
+    /// Batches the coalescer formed from them.
+    pub batches: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Admitted requests that expired before their batch ran.
+    pub expired: u64,
+    /// Admitted requests lost to a failed batch.
+    pub failed: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Sorted keys per wall-clock second.
+    pub throughput_keys: f64,
+    /// Median submit-to-reply latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Lifetime plan-cache hit rate in `[0, 1]` (warm-up included).
+    pub plan_hit_rate: f64,
+    /// Plan-cache misses during the measured window — zero once the pool
+    /// is warm to every batch shape the load can produce.
+    pub steady_plan_misses: u64,
+}
+
+/// Render a summary as a complete `SERVE_1` JSON document.
+#[must_use]
+pub fn serve_json(s: &ServeSummary) -> String {
+    format!(
+        "{{\n  \"schema\": \"{SERVE_SCHEMA}\",\n  \
+         \"procs\": {}, \"machines\": {},\n  \
+         \"requests\": {}, \"total_keys\": {}, \"batches\": {},\n  \
+         \"shed\": {}, \"expired\": {}, \"failed\": {},\n  \
+         \"throughput_rps\": {:.1}, \"throughput_keys\": {:.1},\n  \
+         \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1},\n  \
+         \"plan_hit_rate\": {:.4}, \"steady_plan_misses\": {}\n}}\n",
+        s.procs,
+        s.machines,
+        s.requests,
+        s.total_keys,
+        s.batches,
+        s.shed,
+        s.expired,
+        s.failed,
+        s.throughput_rps,
+        s.throughput_keys,
+        s.p50_us,
+        s.p95_us,
+        s.p99_us,
+        s.plan_hit_rate,
+        s.steady_plan_misses,
+    )
+}
+
 /// Format a float with 2 decimals (the thesis's table precision).
 #[must_use]
 pub fn f2(x: f64) -> String {
@@ -186,6 +257,39 @@ mod tests {
             us_per_key(std::time::Duration::from_micros(5200), 10_000),
             "0.52"
         );
+    }
+
+    #[test]
+    fn serve_json_matches_schema() {
+        let json = serve_json(&ServeSummary {
+            procs: 4,
+            machines: 1,
+            requests: 200,
+            total_keys: 40_000,
+            batches: 37,
+            shed: 0,
+            expired: 0,
+            failed: 0,
+            throughput_rps: 5123.4,
+            throughput_keys: 1.02e6,
+            p50_us: 812.5,
+            p95_us: 2400.0,
+            p99_us: 3100.9,
+            plan_hit_rate: 0.9876,
+            steady_plan_misses: 0,
+        });
+        assert!(json.contains("\"schema\": \"SERVE_1\""));
+        assert!(json.contains("\"p99_us\": 3100.9"));
+        assert!(json.contains("\"plan_hit_rate\": 0.9876"));
+        let mut depth = 0i64;
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
     }
 
     #[test]

@@ -248,7 +248,9 @@ pub fn usage() -> String {
      --chaos-seed arms deterministic fault injection: the mesh drops/duplicates/\n\
      reorders/delays messages per the given rates (all derived from the seed; the\n\
      sort must still come out correct). Without class flags a moderate all-classes\n\
-     preset is used."
+     preset is used.\n\
+     `bitonic-sort serve` batches request lines through a warm sort service\n\
+     (see `bitonic-sort serve --help`)."
         .to_string()
 }
 
@@ -342,6 +344,14 @@ pub fn stats_report(stats: &CommStats, keys: usize) -> String {
         s.push_str(&format!(
             "{label:>9}: {:.3} ms\n",
             stats.time(phase).as_secs_f64() * 1e3
+        ));
+    }
+    if stats.plan_hits + stats.plan_misses > 0 {
+        s.push_str(&format!(
+            "plan cache: {} hits, {} misses ({:.1}% hit rate)\n",
+            stats.plan_hits,
+            stats.plan_misses,
+            stats.plan_hits as f64 * 100.0 / (stats.plan_hits + stats.plan_misses) as f64
         ));
     }
     let f = &stats.faults;
@@ -451,6 +461,150 @@ pub fn run(opts: &Options, raw_input: Option<Vec<u8>>) -> Result<RunOutput, Stri
         bytes: encode(&sorted, opts.text),
         report,
         trace_json,
+    })
+}
+
+/// Options for the `bitonic-sort serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Ranks per warm machine (default 4; any power of two).
+    pub procs: usize,
+    /// Print the service statistics report to stderr.
+    pub stats: bool,
+    /// Input path (`-` or absent = stdin), one request per line.
+    pub input: Option<String>,
+    /// Output path (`-` or absent = stdout), one sorted line per request.
+    pub output: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            procs: 4,
+            stats: false,
+            input: None,
+            output: None,
+        }
+    }
+}
+
+/// The `serve` usage string.
+#[must_use]
+pub fn serve_usage() -> String {
+    "usage: bitonic-sort serve [-p PROCS] [--stats] [-i FILE|-] [-o FILE|-]\n\
+     Each input line is one sort request: an optional 'asc' or 'desc' token\n\
+     followed by decimal keys. All requests are submitted to one warm-pool\n\
+     sort service, which coalesces them into tagged batches; each output\n\
+     line is the matching request's keys in its requested order."
+        .to_string()
+}
+
+/// Parse `serve` subcommand arguments (excluding `argv[0]` and `serve`).
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "-p" | "--procs" => {
+                opts.procs = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --procs: {e}"))?;
+                if !opts.procs.is_power_of_two() {
+                    return Err("--procs must be a power of two".into());
+                }
+            }
+            "--stats" => opts.stats = true,
+            "-i" | "--input" => opts.input = Some(value_for(arg)?),
+            "-o" | "--output" => opts.output = Some(value_for(arg)?),
+            "-h" | "--help" => return Err(serve_usage()),
+            other => return Err(format!("unknown flag '{other}'\n{}", serve_usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parse one request line: an optional `asc`/`desc` token, then keys.
+fn parse_request(line: &str) -> Result<(Vec<u32>, bitonic_network::Direction), String> {
+    use bitonic_network::Direction;
+    let mut dir = Direction::Ascending;
+    let mut keys = Vec::new();
+    for (i, tok) in line.split_whitespace().enumerate() {
+        match tok {
+            "asc" if i == 0 => dir = Direction::Ascending,
+            "desc" if i == 0 => dir = Direction::Descending,
+            _ => keys.push(
+                tok.parse::<u32>()
+                    .map_err(|e| format!("bad key '{tok}': {e}"))?,
+            ),
+        }
+    }
+    Ok((keys, dir))
+}
+
+/// Render the `serve --stats` report.
+#[must_use]
+pub fn serve_stats_report(stats: &sort_service::ServiceStats) -> String {
+    format!(
+        "requests: {} submitted, {} admitted, {} shed, {} completed\n\
+         batches: {} ({:.2} requests/batch, largest {} requests)\n\
+         plan cache: {} hits, {} misses ({:.1}% hit rate)\n\
+         failures: {} expired, {} failed, {} machines rebuilt\n",
+        stats.submitted,
+        stats.admitted,
+        stats.shed,
+        stats.completed,
+        stats.batches,
+        stats.requests_per_batch(),
+        stats.largest_batch,
+        stats.pool.plan_hits,
+        stats.pool.plan_misses,
+        stats.pool.plan_hit_rate() * 100.0,
+        stats.expired,
+        stats.failed,
+        stats.pool.machines_rebuilt,
+    )
+}
+
+/// End-to-end `serve` pipeline: parse request lines, run them through a
+/// warm-pool sort service, and render one sorted line per request.
+///
+/// # Errors
+/// A malformed request line, a shed request, or a failed batch.
+pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, String> {
+    use sort_service::{ServiceConfig, SortRequest, SortService};
+    let requests: Vec<(Vec<u32>, bitonic_network::Direction)> = String::from_utf8_lossy(raw_input)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_request)
+        .collect::<Result<_, _>>()?;
+
+    let service = SortService::start(ServiceConfig::new(opts.procs));
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|(keys, dir)| {
+            service
+                .submit(SortRequest::new(keys, dir))
+                .map_err(|r| format!("request shed: {r}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut out = String::new();
+    for ticket in tickets {
+        let sorted = ticket.wait().map_err(|e| format!("request failed: {e}"))?;
+        let line: Vec<String> = sorted.iter().map(u32::to_string).collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    let report = service.shutdown();
+    Ok(RunOutput {
+        bytes: out.into_bytes(),
+        report: opts.stats.then(|| serve_stats_report(&report.stats)),
+        trace_json: None,
     })
 }
 
@@ -604,6 +758,52 @@ mod tests {
         let keys = vec![u32::MAX, 0, u32::MAX, 5];
         let (sorted, _) = sort_keys(keys, &opts);
         assert_eq!(sorted, vec![0, 5, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn stats_report_shows_the_plan_cache_line() {
+        let opts = parse_args(&args("-p 4 --random 512 --stats")).unwrap();
+        let out = run(&opts, None).unwrap();
+        let report = out.report.unwrap();
+        assert!(
+            report.contains("plan cache:"),
+            "smart sorts route through the tracked plan cache:\n{report}"
+        );
+    }
+
+    #[test]
+    fn serve_args_parse_and_reject() {
+        let o = parse_serve_args(&args("-p 2 --stats -i in.txt")).unwrap();
+        assert_eq!(o.procs, 2);
+        assert!(o.stats);
+        assert_eq!(o.input.as_deref(), Some("in.txt"));
+        assert!(parse_serve_args(&args("-p 3")).is_err(), "non power of two");
+        assert!(parse_serve_args(&args("--bogus")).is_err());
+        assert!(parse_serve_args(&args("--help")).is_err(), "usage via Err");
+    }
+
+    #[test]
+    fn serve_round_trips_mixed_request_lines() {
+        let opts = ServeOptions {
+            procs: 2,
+            stats: true,
+            ..Default::default()
+        };
+        let input = b"9 3 7 1\ndesc 4 8 6\n\nasc 5\n2 2 2\n";
+        let out = run_serve(&opts, input).unwrap();
+        assert_eq!(
+            String::from_utf8(out.bytes).unwrap(),
+            "1 3 7 9\n8 6 4\n5\n2 2 2\n"
+        );
+        let report = out.report.unwrap();
+        assert!(report.contains("4 admitted"), "{report}");
+        assert!(report.contains("plan cache:"), "{report}");
+    }
+
+    #[test]
+    fn serve_rejects_malformed_lines() {
+        let opts = ServeOptions::default();
+        assert!(run_serve(&opts, b"1 2 nope\n").is_err());
     }
 
     proptest! {

@@ -4,13 +4,57 @@
 //! bitonic-sort --random 1000000 --stats -o sorted.bin
 //! bitonic-sort -a sample -p 16 --text -i keys.txt -o -
 //! generate | bitonic-sort -a smart-fused > sorted.bin
+//! printf '9 3 7\ndesc 1 5\n' | bitonic-sort serve --stats
 //! ```
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
+/// The `serve` subcommand: batch request lines through the sort service.
+fn serve(args: &[String]) -> ExitCode {
+    let opts = match bitonic_cli::parse_serve_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut buf = Vec::new();
+    let read_result = match opts.input.as_deref() {
+        None | Some("-") => std::io::stdin().lock().read_to_end(&mut buf),
+        Some(path) => std::fs::File::open(path).and_then(|mut f| f.read_to_end(&mut buf)),
+    };
+    if let Err(e) = read_result {
+        eprintln!("reading input: {e}");
+        return ExitCode::from(1);
+    }
+    match bitonic_cli::run_serve(&opts, &buf) {
+        Ok(out) => {
+            if let Some(report) = out.report {
+                eprint!("{report}");
+            }
+            let write_result = match opts.output.as_deref() {
+                None | Some("-") => std::io::stdout().lock().write_all(&out.bytes),
+                Some(path) => std::fs::write(path, &out.bytes),
+            };
+            if let Err(e) = write_result {
+                eprintln!("writing output: {e}");
+                return ExitCode::from(1);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args[1..]);
+    }
     let opts = match bitonic_cli::parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {

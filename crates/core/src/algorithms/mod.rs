@@ -17,7 +17,7 @@ pub mod smart;
 
 pub use blocked_merge::blocked_merge_sort;
 pub use cyclic_blocked::cyclic_blocked_sort;
-pub use smart::{smart_sort, smart_sort_fused};
+pub use smart::{smart_sort, smart_sort_ctx, smart_sort_fused};
 
 use crate::local::LocalStrategy;
 use local_sorts::RadixKey;

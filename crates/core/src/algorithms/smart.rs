@@ -28,8 +28,28 @@ use spmd::{Comm, Phase};
 /// Panics if `local.len()` is not a power of two (or zero for `P > 1`).
 pub fn smart_sort<K: RadixKey>(
     comm: &mut Comm<K>,
+    local: Vec<K>,
+    strategy: LocalStrategy,
+) -> Vec<K> {
+    let mut ctx = SortContext::new();
+    smart_sort_ctx(comm, local, strategy, &mut ctx)
+}
+
+/// [`smart_sort`] threading a caller-owned [`SortContext`].
+///
+/// A fresh context reproduces `smart_sort` exactly. A *retained* context
+/// — one kept alive across runs on a persistent machine — starts every
+/// subsequent sort of the same shape with its remap plans already cached
+/// and its flat buffers at working-set size, which is how the serving
+/// layer amortizes plan construction across requests.
+///
+/// # Panics
+/// Panics if `local.len()` is not a power of two (or zero for `P > 1`).
+pub fn smart_sort_ctx<K: RadixKey>(
+    comm: &mut Comm<K>,
     mut local: Vec<K>,
     strategy: LocalStrategy,
+    ctx: &mut SortContext<K>,
 ) -> Vec<K> {
     let p = comm.procs();
     let me = comm.rank();
@@ -65,7 +85,6 @@ pub fn smart_sort<K: RadixKey>(
     // Last lg P stages: remap, run lg n steps locally, repeat. All remaps
     // go through one SortContext: plans are cached per layout pair and the
     // flat pack/transfer/unpack buffers are reused across the R remaps.
-    let mut ctx = SortContext::new();
     let mut prev = blocked;
     for (i, phase) in sched.phases.iter().enumerate() {
         comm.trace.set_step(i as u32 + 1);
@@ -151,7 +170,7 @@ pub fn smart_sort_fused<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> V
 
     for (i, phase) in sched.phases.iter().enumerate() {
         comm.trace.set_step(i as u32 + 1);
-        let plan = ctx.plan(&prev_layout, &phase.layout, me);
+        let plan = ctx.plan_tracked(comm, &prev_layout, &phase.layout);
         // Fused pack: one linear pass over the (sorted) array, writing each
         // element at its destination segment's cursor — every message is
         // then a sorted run by construction.

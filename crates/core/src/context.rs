@@ -22,23 +22,25 @@ use std::rc::Rc;
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: HashMap<(BitLayout, BitLayout, usize), Rc<RemapPlan>>,
+    hits: u64,
+    misses: u64,
 }
 
 impl PlanCache {
     /// Empty cache.
     #[must_use]
     pub fn new() -> Self {
-        PlanCache {
-            plans: HashMap::new(),
-        }
+        PlanCache::default()
     }
 
     /// The plan for `old → new` as seen from rank `me`, computing and
     /// caching it on first request.
     pub fn plan(&mut self, old: &BitLayout, new: &BitLayout, me: usize) -> Rc<RemapPlan> {
         if let Some(plan) = self.plans.get(&(old.clone(), new.clone(), me)) {
+            self.hits += 1;
             return Rc::clone(plan);
         }
+        self.misses += 1;
         let plan = Rc::new(RemapPlan::new(old, new, me));
         self.plans
             .insert((old.clone(), new.clone(), me), Rc::clone(&plan));
@@ -55,6 +57,19 @@ impl PlanCache {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.plans.is_empty()
+    }
+
+    /// Lookups answered from the cache so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compute a plan so far. A warm cache at steady
+    /// state records only hits.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 }
 
@@ -87,6 +102,27 @@ impl<K: Copy + Send + 'static> SortContext<K> {
         self.cache.plan(old, new, me)
     }
 
+    /// Like [`SortContext::plan`], additionally crediting the lookup to
+    /// `comm.stats.plan_hits` / `comm.stats.plan_misses` so per-run stats
+    /// show whether the cache amortized plan construction. Counters are
+    /// recorded as increments, so a long-lived context on a warm machine
+    /// attributes each lookup to the job that performed it.
+    pub fn plan_tracked(
+        &mut self,
+        comm: &mut Comm<K>,
+        old: &BitLayout,
+        new: &BitLayout,
+    ) -> Rc<RemapPlan> {
+        let misses_before = self.cache.misses();
+        let plan = self.cache.plan(old, new, comm.rank());
+        if self.cache.misses() == misses_before {
+            comm.stats.plan_hits += 1;
+        } else {
+            comm.stats.plan_misses += 1;
+        }
+        plan
+    }
+
     /// Remap `data` in place from layout `old` to layout `new` through the
     /// flat-buffer path, reusing the cached plan and this context's
     /// scratch buffers.
@@ -97,7 +133,7 @@ impl<K: Copy + Send + 'static> SortContext<K> {
         new: &BitLayout,
         data: &mut Vec<K>,
     ) {
-        let plan = self.cache.plan(old, new, comm.rank());
+        let plan = self.plan_tracked(comm, old, new);
         self.remap_with(comm, &plan, data);
     }
 
@@ -112,6 +148,18 @@ impl<K: Copy + Send + 'static> SortContext<K> {
     #[must_use]
     pub fn cached_plans(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Plan-cache hits accumulated over this context's lifetime.
+    #[must_use]
+    pub fn plan_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Plan-cache misses accumulated over this context's lifetime.
+    #[must_use]
+    pub fn plan_misses(&self) -> u64 {
+        self.cache.misses()
     }
 }
 

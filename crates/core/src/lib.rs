@@ -47,6 +47,7 @@ pub mod remap;
 pub mod schedule;
 pub mod shift;
 pub mod smart;
+pub mod tagged;
 
 pub use address::BitLayout;
 pub use algorithms::{
@@ -58,3 +59,4 @@ pub use remap::RemapPlan;
 pub use schedule::SmartSchedule;
 pub use shift::{ShiftStrategy, ShiftedSchedule};
 pub use smart::{RemapKind, SmartParams};
+pub use tagged::TaggedBatch;

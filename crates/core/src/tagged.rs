@@ -1,0 +1,219 @@
+//! Tagged multi-request sorting: many small sorts as one big one.
+//!
+//! The serving layer coalesces client requests into a single SPMD run by
+//! exploiting exactly the property the thesis exploits — bitonic sort's
+//! cost per key falls as `n/P` grows. Each request's `u32` keys are
+//! lifted into `u64` words whose high half is the request's *tag* (its
+//! index in the batch) and whose low half is the key, bit-negated for
+//! descending requests. Sorting the combined words ascending therefore
+//! produces the batch's requests as contiguous segments in tag order,
+//! each segment internally in its requested order — one machine run,
+//! stable tag-partitioned output, no per-key headers.
+//!
+//! Padding uses [`PAD`] (`u64::MAX`): it compares greater than every
+//! encodable word as long as fewer than `u32::MAX` requests are batched
+//! (enforced by [`TaggedBatch::push`]), so sentinels sink to the end and
+//! [`TaggedBatch::split`] never sees them.
+
+use bitonic_network::Direction;
+
+/// The padding sentinel: sorts after every encoded word.
+pub const PAD: u64 = u64::MAX;
+
+/// Lift one key of request `tag` into its batch word.
+///
+/// Descending requests negate the key so that the ascending batch sort
+/// leaves their segment in descending key order.
+#[must_use]
+pub fn encode_key(tag: u32, key: u32, dir: Direction) -> u64 {
+    let munged = match dir {
+        Direction::Ascending => key,
+        Direction::Descending => !key,
+    };
+    (u64::from(tag) << 32) | u64::from(munged)
+}
+
+/// Recover the key from a batch word (inverse of [`encode_key`]).
+#[must_use]
+pub fn decode_key(word: u64, dir: Direction) -> u32 {
+    let low = (word & 0xFFFF_FFFF) as u32;
+    match dir {
+        Direction::Ascending => low,
+        Direction::Descending => !low,
+    }
+}
+
+/// The tag half of a batch word.
+#[must_use]
+pub fn tag_of(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// A coalesced batch of sort requests and the metadata to take it apart
+/// again.
+#[derive(Debug, Default, Clone)]
+pub struct TaggedBatch {
+    words: Vec<u64>,
+    /// Per request, in tag order: key count and requested order.
+    requests: Vec<(usize, Direction)>,
+}
+
+impl TaggedBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        TaggedBatch::default()
+    }
+
+    /// Append a request, returning its tag.
+    ///
+    /// # Panics
+    /// Panics if the batch already holds `u32::MAX - 1` requests (the
+    /// last tag is reserved so [`PAD`] stays strictly largest).
+    pub fn push(&mut self, keys: &[u32], dir: Direction) -> u32 {
+        let tag = u32::try_from(self.requests.len()).expect("batch overflow");
+        assert!(tag < u32::MAX - 1, "too many requests in one batch");
+        self.words
+            .extend(keys.iter().map(|&k| encode_key(tag, k, dir)));
+        self.requests.push((keys.len(), dir));
+        tag
+    }
+
+    /// Number of requests coalesced so far.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Total keys across all requests (excluding padding).
+    #[must_use]
+    pub fn total_keys(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no requests have been coalesced.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The batch's words padded with [`PAD`] to a machine-runnable shape:
+    /// `per_rank * procs` total, `per_rank` a power of two (at least 2,
+    /// so every schedule has a local phase). Returns the padded words and
+    /// `per_rank`.
+    #[must_use]
+    pub fn padded_words(&self, procs: usize) -> (Vec<u64>, usize) {
+        let per_rank = self.words.len().div_ceil(procs).next_power_of_two().max(2);
+        let mut words = self.words.clone();
+        words.resize(per_rank * procs, PAD);
+        (words, per_rank)
+    }
+
+    /// Split the globally sorted batch back into per-request key vectors,
+    /// in tag order. `sorted` may carry trailing [`PAD`] sentinels; they
+    /// are ignored.
+    ///
+    /// # Panics
+    /// Panics (debug assertions) if a word lands under the wrong tag —
+    /// i.e. if `sorted` is not a sort of this batch's words.
+    #[must_use]
+    pub fn split(&self, sorted: &[u64]) -> Vec<Vec<u32>> {
+        let mut out = Vec::with_capacity(self.requests.len());
+        let mut cursor = 0usize;
+        for (tag, &(len, dir)) in self.requests.iter().enumerate() {
+            let segment = &sorted[cursor..cursor + len];
+            debug_assert!(
+                segment.iter().all(|&w| tag_of(w) as usize == tag),
+                "segment words must carry their request's tag"
+            );
+            out.push(segment.iter().map(|&w| decode_key(w, dir)).collect());
+            cursor += len;
+        }
+        out
+    }
+}
+
+/// What each request's reply should be: its keys sorted in its requested
+/// order, computed locally. The oracle the batch path is tested against.
+#[must_use]
+pub fn sorted_independently(keys: &[u32], dir: Direction) -> Vec<u32> {
+    let mut out = keys.to_vec();
+    out.sort_unstable();
+    if dir == Direction::Descending {
+        out.reverse();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{run_parallel_sort, Algorithm};
+    use crate::local::LocalStrategy;
+    use spmd::MessageMode;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for dir in [Direction::Ascending, Direction::Descending] {
+            for key in [0u32, 1, 7, u32::MAX - 1, u32::MAX] {
+                let w = encode_key(42, key, dir);
+                assert_eq!(tag_of(w), 42);
+                assert_eq!(decode_key(w, dir), key);
+            }
+        }
+    }
+
+    #[test]
+    fn descending_requests_sort_descending_under_ascending_words() {
+        // Within one tag, ascending word order must equal the requested
+        // key order.
+        let keys = [5u32, 1, 9, 1, 0];
+        let mut words: Vec<u64> = keys
+            .iter()
+            .map(|&k| encode_key(3, k, Direction::Descending))
+            .collect();
+        words.sort_unstable();
+        let decoded: Vec<u32> = words
+            .iter()
+            .map(|&w| decode_key(w, Direction::Descending))
+            .collect();
+        assert_eq!(decoded, vec![9, 5, 1, 1, 0]);
+    }
+
+    #[test]
+    fn every_word_sorts_below_pad() {
+        let w = encode_key(u32::MAX - 2, u32::MAX, Direction::Ascending);
+        assert!(w < PAD);
+        let w = encode_key(u32::MAX - 2, 0, Direction::Descending);
+        assert!(w < PAD);
+    }
+
+    #[test]
+    fn batch_through_the_machine_matches_independent_sorts() {
+        let reqs: Vec<(Vec<u32>, Direction)> = vec![
+            (vec![9, 3, 3, 7], Direction::Ascending),
+            (vec![], Direction::Ascending),
+            (vec![2, 1], Direction::Descending),
+            (vec![u32::MAX, 0, 5], Direction::Ascending),
+            (vec![8], Direction::Descending),
+        ];
+        let mut batch = TaggedBatch::new();
+        for (keys, dir) in &reqs {
+            batch.push(keys, *dir);
+        }
+        let (words, per_rank) = batch.padded_words(4);
+        assert_eq!(words.len(), per_rank * 4);
+        let run = run_parallel_sort(
+            &words,
+            4,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+        let replies = batch.split(&run.output);
+        assert_eq!(replies.len(), reqs.len());
+        for ((keys, dir), reply) in reqs.iter().zip(&replies) {
+            assert_eq!(reply, &sorted_independently(keys, *dir));
+        }
+    }
+}

@@ -5,9 +5,11 @@
 //! events from different ranks land on one common timeline.
 
 /// Number of trace phases: the five execution phases mirroring
-/// `spmd::Phase::ALL` plus the two fault-recovery phases (`Retry`,
-/// `Stall`) that only appear under fault injection.
-pub const PHASES: usize = 7;
+/// `spmd::Phase::ALL`, the two fault-recovery phases (`Retry`, `Stall`)
+/// that only appear under fault injection, and the four serving-layer
+/// phases (`Queue`, `Batch`, `Run`, `Scatter`) recorded by the sort
+/// service's dispatcher.
+pub const PHASES: usize = 11;
 
 /// The execution phase a span belongs to.
 ///
@@ -34,6 +36,15 @@ pub enum TracePhase {
     /// An injected whole-rank stall, or the terminal wait that preceded a
     /// `RankFailure` (fault injection).
     Stall,
+    /// A request waiting in the service submission queue (serving layer).
+    Queue,
+    /// Coalescing queued requests into one tagged batch (serving layer).
+    Batch,
+    /// A batch executing on a warm SPMD machine (serving layer).
+    Run,
+    /// Splitting a sorted batch back into per-request replies (serving
+    /// layer).
+    Scatter,
 }
 
 impl TracePhase {
@@ -46,6 +57,10 @@ impl TracePhase {
         TracePhase::Barrier,
         TracePhase::Retry,
         TracePhase::Stall,
+        TracePhase::Queue,
+        TracePhase::Batch,
+        TracePhase::Run,
+        TracePhase::Scatter,
     ];
 
     /// The five paper phases every normal run records (`Retry`/`Stall`
@@ -70,6 +85,10 @@ impl TracePhase {
             TracePhase::Barrier => 4,
             TracePhase::Retry => 5,
             TracePhase::Stall => 6,
+            TracePhase::Queue => 7,
+            TracePhase::Batch => 8,
+            TracePhase::Run => 9,
+            TracePhase::Scatter => 10,
         }
     }
 
@@ -84,6 +103,10 @@ impl TracePhase {
             TracePhase::Barrier => "barrier",
             TracePhase::Retry => "retry",
             TracePhase::Stall => "stall",
+            TracePhase::Queue => "queue",
+            TracePhase::Batch => "batch",
+            TracePhase::Run => "run",
+            TracePhase::Scatter => "scatter",
         }
     }
 }

@@ -219,6 +219,32 @@ impl TraceSink {
         }
     }
 
+    /// Harvest everything recorded so far into a [`RankTrace`] and reset
+    /// the sink for the next recording interval, keeping it alive.
+    ///
+    /// This is the long-lived-machine counterpart of
+    /// [`TraceSink::finish`]: a persistent rank runs many jobs through one
+    /// sink and drains it between jobs, so each job gets its own trace.
+    /// The ring is re-allocated at full capacity, the drop counter, step
+    /// tag and remap index reset to zero; the epoch is unchanged so traces
+    /// from successive drains stay on one machine-wide timeline.
+    #[must_use]
+    pub fn drain(&mut self) -> RankTrace {
+        if self.head > 0 {
+            self.ring.rotate_left(self.head);
+            self.head = 0;
+        }
+        let events = std::mem::replace(&mut self.ring, Vec::with_capacity(self.capacity));
+        let dropped = std::mem::take(&mut self.dropped);
+        self.step = 0;
+        self.remaps = 0;
+        RankTrace {
+            rank: self.rank,
+            events,
+            dropped,
+        }
+    }
+
     fn since_epoch_ns(&self, t: Instant) -> u64 {
         u64::try_from(t.saturating_duration_since(self.epoch).as_nanos()).unwrap_or(u64::MAX)
     }
@@ -310,6 +336,35 @@ mod tests {
         let starts: Vec<u64> = trace.spans().map(|sp| sp.t0_ns).collect();
         assert_eq!(starts, vec![600, 700, 800, 900], "latest events survive");
         assert_eq!(trace.dropped, 6);
+    }
+
+    #[test]
+    fn drain_resets_for_the_next_interval() {
+        let epoch = Instant::now();
+        let mut s = TraceSink::new(2, TraceConfig::with_capacity(4), epoch);
+        s.set_step(5);
+        for i in 0..6u64 {
+            s.span(
+                TracePhase::Compute,
+                t(epoch, i * 100),
+                t(epoch, i * 100 + 50),
+            );
+        }
+        let first = s.drain();
+        assert_eq!(first.rank, 2);
+        assert_eq!(first.events.len(), 4);
+        assert_eq!(first.dropped, 2);
+        let starts: Vec<u64> = first.spans().map(|sp| sp.t0_ns).collect();
+        assert_eq!(starts, vec![200, 300, 400, 500], "unrolled from oldest");
+        // The sink is reset but still usable: fresh step/remap tags, empty
+        // ring, zero drop count — and the shared epoch is unchanged.
+        assert!(s.is_empty());
+        assert_eq!((s.step(), s.remap_index(), s.dropped()), (0, 0, 0));
+        s.span(TracePhase::Run, t(epoch, 1000), t(epoch, 1100));
+        let second = s.drain();
+        assert_eq!(second.events.len(), 1);
+        assert_eq!(second.dropped, 0);
+        assert_eq!(second.spans().next().unwrap().t0_ns, 1000);
     }
 
     #[test]

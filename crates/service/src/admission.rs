@@ -1,0 +1,212 @@
+//! Admission control: bounded queues and structured load shedding.
+//!
+//! A request is either admitted — it *will* get a reply — or rejected at
+//! the door with a [`Rejection`] naming the limit it hit, so clients can
+//! tell "retry later" (queue pressure) from "never send this" (too
+//! large) from "lower your deadline expectations" (unmeetable). Shedding
+//! at submit time is what keeps the dispatcher's work bounded: past the
+//! door, only deadline expiry can still drop a request.
+
+use crate::coalescer::BatchCost;
+use crate::config::ServiceConfig;
+use std::time::Duration;
+
+/// Why a request was refused at submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The service is shutting down.
+    Closed,
+    /// The request alone exceeds the per-request key limit.
+    TooLarge {
+        /// Keys in the refused request.
+        keys: usize,
+        /// The configured per-request limit.
+        limit: usize,
+    },
+    /// The queue already holds the maximum number of requests.
+    QueueFull {
+        /// Requests currently queued.
+        queued: usize,
+        /// The configured request limit.
+        limit: usize,
+    },
+    /// Admitting the request would exceed the queued-key bound.
+    QueueOverflow {
+        /// Keys currently queued plus the request's.
+        would_hold: usize,
+        /// The configured key limit.
+        limit: usize,
+    },
+    /// The backlog's predicted drain time already exceeds the request's
+    /// deadline — it would expire in the queue, so shed it now.
+    DeadlineUnmeetable {
+        /// Predicted (model) time to drain the backlog including this
+        /// request.
+        predicted_wait: Duration,
+        /// The request's deadline.
+        deadline: Duration,
+    },
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::Closed => write!(f, "service is shutting down"),
+            Rejection::TooLarge { keys, limit } => {
+                write!(f, "request of {keys} keys exceeds the {limit}-key limit")
+            }
+            Rejection::QueueFull { queued, limit } => {
+                write!(f, "queue holds {queued} requests (limit {limit})")
+            }
+            Rejection::QueueOverflow { would_hold, limit } => {
+                write!(f, "queue would hold {would_hold} keys (limit {limit})")
+            }
+            Rejection::DeadlineUnmeetable {
+                predicted_wait,
+                deadline,
+            } => write!(
+                f,
+                "predicted wait {predicted_wait:?} exceeds deadline {deadline:?}"
+            ),
+        }
+    }
+}
+
+/// The submit-side gatekeeper. Pure: a function of the queue snapshot.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    max_request_keys: usize,
+    max_queue_requests: usize,
+    max_queue_keys: usize,
+    cost: BatchCost,
+}
+
+impl Admission {
+    /// Gatekeeper for `cfg`.
+    #[must_use]
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        Admission {
+            max_request_keys: cfg.max_request_keys,
+            max_queue_requests: cfg.max_queue_requests,
+            max_queue_keys: cfg.max_queue_keys,
+            cost: BatchCost::new(cfg.procs),
+        }
+    }
+
+    /// Admit or shed a `request_keys`-key request with `deadline` against
+    /// a queue currently holding `queued` requests / `queued_keys` keys.
+    ///
+    /// # Errors
+    /// The [`Rejection`] describing the first limit the request hit.
+    pub fn admit(
+        &self,
+        queued: usize,
+        queued_keys: usize,
+        request_keys: usize,
+        deadline: Duration,
+    ) -> Result<(), Rejection> {
+        if request_keys > self.max_request_keys {
+            return Err(Rejection::TooLarge {
+                keys: request_keys,
+                limit: self.max_request_keys,
+            });
+        }
+        if queued >= self.max_queue_requests {
+            return Err(Rejection::QueueFull {
+                queued,
+                limit: self.max_queue_requests,
+            });
+        }
+        let would_hold = queued_keys + request_keys;
+        if would_hold > self.max_queue_keys {
+            return Err(Rejection::QueueOverflow {
+                would_hold,
+                limit: self.max_queue_keys,
+            });
+        }
+        let predicted_wait = self.cost.predicted_run(would_hold);
+        if predicted_wait > deadline {
+            return Err(Rejection::DeadlineUnmeetable {
+                predicted_wait,
+                deadline,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admission() -> Admission {
+        let mut cfg = ServiceConfig::new(4);
+        cfg.max_request_keys = 100;
+        cfg.max_queue_requests = 4;
+        cfg.max_queue_keys = 300;
+        Admission::new(&cfg)
+    }
+
+    const DEADLINE: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn within_limits_admits() {
+        assert_eq!(admission().admit(0, 0, 50, DEADLINE), Ok(()));
+        assert_eq!(admission().admit(3, 250, 50, DEADLINE), Ok(()));
+    }
+
+    #[test]
+    fn oversized_requests_are_shed_with_the_limit() {
+        match admission().admit(0, 0, 101, DEADLINE) {
+            Err(Rejection::TooLarge {
+                keys: 101,
+                limit: 100,
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_queues_shed() {
+        assert!(matches!(
+            admission().admit(4, 200, 10, DEADLINE),
+            Err(Rejection::QueueFull {
+                queued: 4,
+                limit: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn key_overflow_sheds() {
+        assert!(matches!(
+            admission().admit(2, 260, 50, DEADLINE),
+            Err(Rejection::QueueOverflow {
+                would_hold: 310,
+                limit: 300
+            })
+        ));
+    }
+
+    #[test]
+    fn unmeetable_deadlines_are_shed_up_front() {
+        // Any positive backlog has a positive predicted drain time, so a
+        // zero deadline can never be met.
+        match admission().admit(1, 64, 64, Duration::ZERO) {
+            Err(Rejection::DeadlineUnmeetable { predicted_wait, .. }) => {
+                assert!(predicted_wait > Duration::ZERO);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejections_render_structured_messages() {
+        let msg = Rejection::QueueFull {
+            queued: 9,
+            limit: 8,
+        }
+        .to_string();
+        assert!(msg.contains('9') && msg.contains('8'));
+    }
+}

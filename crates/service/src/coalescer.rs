@@ -1,0 +1,245 @@
+//! The adaptive batch coalescer: when to stop waiting for more load.
+//!
+//! Waiting grows the batch, and a bigger batch has a lower predicted
+//! per-key cost — the paper's `n/P` amortization applied to requests.
+//! But waiting also spends each pending request's deadline slack. The
+//! coalescer resolves the tradeoff with the `logp` cost model: it keeps
+//! waiting only while (a) another doubling of the batch is still
+//! predicted to cut per-key cost meaningfully, (b) the tightest pending
+//! deadline retains slack beyond the predicted run time, and (c) the
+//! oldest request has not yet waited the configured maximum.
+//!
+//! The model predicts *Meiko CS-2* microseconds, not host wall-clock;
+//! what the coalescer consumes is the shape of the curve (where
+//! amortization saturates), which the calibrated constants preserve.
+
+use crate::config::ServiceConfig;
+use logp::predict::{predict, Messages};
+use logp::{CostModel, LogGpParams, StrategyKind};
+use std::time::Duration;
+
+/// Predicted cost of one tagged batch run, wrapping `logp::predict` with
+/// the service's padding rule (power-of-two keys per rank).
+#[derive(Debug, Clone)]
+pub struct BatchCost {
+    params: LogGpParams,
+    model: CostModel,
+    procs: usize,
+}
+
+impl BatchCost {
+    /// The calibrated Meiko CS-2 model for a `procs`-rank machine.
+    #[must_use]
+    pub fn new(procs: usize) -> Self {
+        BatchCost {
+            params: LogGpParams::meiko_cs2(procs),
+            model: CostModel::meiko_cs2(),
+            procs,
+        }
+    }
+
+    /// Keys per rank after the service pads `total_keys` to a
+    /// machine-runnable shape.
+    #[must_use]
+    pub fn padded_per_rank(&self, total_keys: usize) -> usize {
+        total_keys.div_ceil(self.procs).next_power_of_two().max(2)
+    }
+
+    /// Predicted model time to sort a batch of `total_keys` keys.
+    #[must_use]
+    pub fn predicted_run(&self, total_keys: usize) -> Duration {
+        let per_rank = self.padded_per_rank(total_keys);
+        let p = predict(
+            StrategyKind::Smart,
+            per_rank * self.procs,
+            self.procs,
+            &self.params,
+            &self.model,
+            Messages::Long { fused: true },
+        );
+        Duration::from_secs_f64(p.total_seconds(per_rank))
+    }
+
+    /// Predicted model cost per *useful* key of a `total_keys` batch
+    /// (padding is pure overhead, so it inflates this figure — exactly
+    /// the amortization signal the coalescer wants).
+    #[must_use]
+    pub fn per_key_us(&self, total_keys: usize) -> f64 {
+        self.predicted_run(total_keys).as_secs_f64() * 1e6 / total_keys.max(1) as f64
+    }
+
+    /// Fraction by which doubling the batch is predicted to cut per-key
+    /// cost. Monotonically shrinks as fixed costs amortize away.
+    #[must_use]
+    pub fn doubling_gain(&self, total_keys: usize) -> f64 {
+        let now = self.per_key_us(total_keys);
+        let doubled = self.per_key_us(total_keys * 2);
+        if now <= 0.0 {
+            return 0.0;
+        }
+        ((now - doubled) / now).max(0.0)
+    }
+}
+
+/// What the dispatcher should do with the queue right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Form and run a batch from the pending requests.
+    Flush,
+    /// Hold for at most this long hoping for more load, then re-decide.
+    Wait(Duration),
+}
+
+/// The flush/wait policy. Pure and deterministic: a function of the
+/// queue snapshot, so it can be unit-tested without a running service.
+#[derive(Debug, Clone)]
+pub struct Coalescer {
+    cost: BatchCost,
+    max_batch_keys: usize,
+    max_wait: Duration,
+    gain_threshold: f64,
+}
+
+impl Coalescer {
+    /// Policy for `cfg`.
+    #[must_use]
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        Coalescer {
+            cost: BatchCost::new(cfg.procs),
+            max_batch_keys: cfg.max_batch_keys,
+            max_wait: cfg.max_wait,
+            gain_threshold: cfg.gain_threshold,
+        }
+    }
+
+    /// The cost model the policy consults.
+    #[must_use]
+    pub fn cost(&self) -> &BatchCost {
+        &self.cost
+    }
+
+    /// Decide for a queue holding `pending_keys` keys whose oldest
+    /// request has waited `oldest_age` and whose tightest deadline has
+    /// `tightest_slack` left. `draining` (service shutting down) flushes
+    /// unconditionally.
+    #[must_use]
+    pub fn decide(
+        &self,
+        pending_keys: usize,
+        oldest_age: Duration,
+        tightest_slack: Duration,
+        draining: bool,
+    ) -> Verdict {
+        if draining || pending_keys >= self.max_batch_keys {
+            return Verdict::Flush;
+        }
+        if oldest_age >= self.max_wait {
+            return Verdict::Flush;
+        }
+        // Keep enough slack to actually run the batch after waiting.
+        let run = self.cost.predicted_run(pending_keys);
+        let spendable = tightest_slack.saturating_sub(run);
+        if spendable.is_zero() {
+            return Verdict::Flush;
+        }
+        // Amortization saturated: another doubling no longer pays for the
+        // wait, so take what is here.
+        if self.cost.doubling_gain(pending_keys) < self.gain_threshold {
+            return Verdict::Flush;
+        }
+        let budget = self.max_wait - oldest_age;
+        Verdict::Wait(budget.min(spendable))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coalescer() -> Coalescer {
+        let mut cfg = ServiceConfig::new(4);
+        cfg.max_batch_keys = 1 << 16;
+        cfg.max_wait = Duration::from_millis(10);
+        Coalescer::new(&cfg)
+    }
+
+    #[test]
+    fn amortization_gain_shrinks_with_batch_size() {
+        let c = BatchCost::new(4);
+        let small = c.doubling_gain(64);
+        let large = c.doubling_gain(1 << 16);
+        assert!(
+            small > large,
+            "doubling a small batch must pay more than doubling a big one \
+             ({small} vs {large})"
+        );
+        assert!(large < 0.2, "amortization saturates: {large}");
+    }
+
+    #[test]
+    fn per_key_cost_falls_while_fixed_costs_dominate() {
+        // Small batches are dominated by per-remap fixed costs, so
+        // growing them cuts per-key cost; past the knee the extra bitonic
+        // stages take over and the gain clamps to zero, which is exactly
+        // the "stop waiting" signal.
+        let c = BatchCost::new(4);
+        assert!(c.per_key_us(64) > c.per_key_us(4096));
+        assert_eq!(c.doubling_gain(1 << 20), 0.0, "past the knee: no gain");
+    }
+
+    #[test]
+    fn full_batches_flush() {
+        let c = coalescer();
+        let v = c.decide(1 << 16, Duration::ZERO, Duration::from_secs(10), false);
+        assert_eq!(v, Verdict::Flush);
+    }
+
+    #[test]
+    fn exhausted_wait_budget_flushes() {
+        let c = coalescer();
+        let v = c.decide(
+            64,
+            Duration::from_millis(10),
+            Duration::from_secs(10),
+            false,
+        );
+        assert_eq!(v, Verdict::Flush);
+    }
+
+    #[test]
+    fn exhausted_deadline_slack_flushes() {
+        let c = coalescer();
+        let v = c.decide(64, Duration::ZERO, Duration::ZERO, false);
+        assert_eq!(v, Verdict::Flush);
+    }
+
+    #[test]
+    fn draining_flushes_immediately() {
+        let c = coalescer();
+        let v = c.decide(64, Duration::ZERO, Duration::from_secs(10), true);
+        assert_eq!(v, Verdict::Flush);
+    }
+
+    #[test]
+    fn small_young_batches_wait_bounded_by_budget_and_slack() {
+        let c = coalescer();
+        match c.decide(64, Duration::from_millis(4), Duration::from_secs(10), false) {
+            Verdict::Wait(d) => {
+                assert!(d <= Duration::from_millis(6), "bounded by max_wait: {d:?}");
+                assert!(!d.is_zero());
+            }
+            Verdict::Flush => panic!("a tiny young batch with slack should wait"),
+        }
+    }
+
+    #[test]
+    fn saturated_batches_flush_without_waiting() {
+        // Far past the knee of the curve the gain from doubling is under
+        // the threshold even though the cap is not reached.
+        let mut cfg = ServiceConfig::new(4);
+        cfg.max_batch_keys = 1 << 24;
+        let c = Coalescer::new(&cfg);
+        let v = c.decide(1 << 20, Duration::ZERO, Duration::from_secs(100), false);
+        assert_eq!(v, Verdict::Flush);
+    }
+}

@@ -1,0 +1,77 @@
+//! Service shape: machine size, queue bounds, batching and deadline knobs.
+
+use obs::TraceConfig;
+use spmd::MessageMode;
+use std::time::Duration;
+
+/// Everything a [`crate::SortService`] needs to know at start-up.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Ranks per SPMD machine (`P`).
+    pub procs: usize,
+    /// Transfer regime of every batch run.
+    pub mode: MessageMode,
+    /// Warm machines in the pool. Batches rotate round-robin across them;
+    /// a machine broken by a failed batch is replaced, not repaired.
+    pub machines: usize,
+    /// Flush a batch once this many keys are pending — the point past
+    /// which the coalescer never waits for more load.
+    pub max_batch_keys: usize,
+    /// Largest single request admitted (admission control).
+    pub max_request_keys: usize,
+    /// Most requests allowed to wait in the queue (admission control).
+    pub max_queue_requests: usize,
+    /// Most keys allowed to wait in the queue (admission control).
+    pub max_queue_keys: usize,
+    /// Longest the coalescer may hold a request hoping for more load.
+    pub max_wait: Duration,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// Per-blocking-wait watchdog armed on every machine (the PR 3 fault
+    /// machinery): a rank stalled past this fails its one batch with a
+    /// structured `RankFailure` instead of wedging the server. `None`
+    /// disables containment (a wedged batch then blocks the dispatcher).
+    pub batch_watchdog: Option<Duration>,
+    /// Service-level span recording (queue/batch/run/scatter phases).
+    pub trace: TraceConfig,
+    /// Coalescer flush threshold: stop waiting once doubling the batch
+    /// would improve predicted per-key cost by less than this fraction.
+    pub gain_threshold: f64,
+}
+
+impl ServiceConfig {
+    /// Sensible defaults for a `procs`-rank service: generous queue
+    /// bounds, 10 s request deadlines, a 2 s batch watchdog, tracing off.
+    #[must_use]
+    pub fn new(procs: usize) -> Self {
+        ServiceConfig {
+            procs,
+            mode: MessageMode::Long,
+            machines: 1,
+            max_batch_keys: 1 << 16,
+            max_request_keys: 1 << 14,
+            max_queue_requests: 4096,
+            max_queue_keys: 1 << 20,
+            max_wait: Duration::from_millis(2),
+            default_deadline: Duration::from_secs(10),
+            batch_watchdog: Some(Duration::from_secs(2)),
+            trace: TraceConfig::off(),
+            gain_threshold: 0.05,
+        }
+    }
+
+    /// Panic unless the configuration is usable.
+    pub fn validate(&self) {
+        assert!(self.procs > 0, "need at least one processor");
+        assert!(self.machines > 0, "need at least one warm machine");
+        assert!(self.max_batch_keys > 0, "batches must hold at least a key");
+        assert!(
+            self.max_request_keys <= self.max_batch_keys,
+            "a single admitted request must fit in one batch"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.gain_threshold),
+            "gain threshold is a fraction"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Sort-as-a-service: the serving layer over the SPMD bitonic sorter.
+//!
+//! The thesis's whole argument is that bitonic sort's fixed costs —
+//! remaps, message startup (`o` and `L` in LogGP), plan construction —
+//! amortize as `n/P` grows. A request path serving many small sorts
+//! applies that insight one level up: instead of one machine per
+//! request, many requests become one machine run.
+//!
+//! ```text
+//!  clients ──submit──▶ [queue] ──coalesce──▶ [tagged batch]
+//!                        │                        │
+//!                   admission control        warm machine pool
+//!                   (bounded queue,          (persistent ranks,
+//!                    load shedding,           retained SortContext /
+//!                    deadlines)               PlanCache state)
+//!                                                 │
+//!  clients ◀──scatter── per-request replies ◀── sorted words
+//! ```
+//!
+//! The pieces:
+//!
+//! * [`TaggedBatch`](bitonic_core::tagged) (in `bitonic-core`) lifts each
+//!   request's `u32` keys into `u64` words tagged with the request index,
+//!   so one ascending machine sort yields every request's answer as a
+//!   contiguous segment;
+//! * [`Coalescer`] decides *when to stop waiting for more requests*,
+//!   trading batch growth against deadline slack with `logp::predict` as
+//!   the cost model;
+//! * [`WarmPool`] owns persistent [`SpmdMachine`](spmd::SpmdMachine)s
+//!   whose ranks retain their [`SortContext`](bitonic_core::SortContext)
+//!   — steady-state batches hit cached remap plans — and replaces a
+//!   machine whose watchdog declared a batch wedged;
+//! * [`SortService`] is the front door: `submit` applies admission
+//!   control and returns a [`Ticket`]; a dispatcher thread coalesces,
+//!   runs, scatters, and records queue/batch/run/scatter spans in an
+//!   [`obs::TraceSink`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod coalescer;
+pub mod config;
+pub mod pool;
+pub mod server;
+
+pub use admission::Rejection;
+pub use coalescer::{BatchCost, Coalescer, Verdict};
+pub use config::ServiceConfig;
+pub use pool::{PoolStats, WarmPool};
+pub use server::{ServiceReport, ServiceStats, SortError, SortRequest, SortService, Ticket};

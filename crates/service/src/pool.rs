@@ -1,0 +1,230 @@
+//! The warm worker pool: persistent machines with retained sort state.
+//!
+//! Every machine in the pool is a [`SpmdMachine`] whose ranks hold a
+//! long-lived [`SortContext`]: remap plans computed for one batch shape
+//! stay cached for every later batch of that shape, and the flat
+//! pack/transfer/unpack buffers stay at working-set size. Because the
+//! service pads batches to power-of-two keys per rank, the set of
+//! distinct shapes is logarithmic in the size range — after a short
+//! warm-up, every batch runs with a 100% plan-cache hit rate (the
+//! [`PoolStats`] counters prove it).
+//!
+//! Failure policy: a batch that fails — watchdog expiry on a stalled
+//! rank, or a panic — breaks its machine. The pool replaces the machine
+//! wholesale (fresh ranks, empty caches) and reports the failure to the
+//! caller; the other machines and the service keep running.
+
+use crate::config::ServiceConfig;
+use bitonic_core::algorithms::smart_sort_ctx;
+use bitonic_core::{LocalStrategy, SortContext};
+use spmd::{MachineConfig, MachineFailure, SpmdMachine};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The machine type the pool manages: `u64` tagged words through ranks
+/// retaining a `SortContext`, each job returning its rank's sorted slice.
+pub type SortMachine = SpmdMachine<u64, SortContext<u64>, Vec<u64>>;
+
+/// What the pool has done so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Batches completed successfully.
+    pub batches_run: u64,
+    /// Batches that failed (watchdog or panic) and broke their machine.
+    pub batches_failed: u64,
+    /// Machines replaced after a failed batch.
+    pub machines_rebuilt: u64,
+    /// Plan-cache hits summed over all ranks and batches.
+    pub plan_hits: u64,
+    /// Plan-cache misses summed over all ranks and batches.
+    pub plan_misses: u64,
+    /// Plan-cache misses of the most recent successful batch — zero once
+    /// its machine has warmed to the batch's shape.
+    pub last_batch_plan_misses: u64,
+}
+
+impl PoolStats {
+    /// Lifetime plan-cache hit rate in `[0, 1]`; 1.0 for an unused pool.
+    #[must_use]
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.plan_hits as f64 / total as f64
+    }
+}
+
+/// A rotation of warm [`SortMachine`]s.
+pub struct WarmPool {
+    machine_config: MachineConfig,
+    strategy: LocalStrategy,
+    machines: Vec<SortMachine>,
+    next: usize,
+    stats: PoolStats,
+}
+
+impl std::fmt::Debug for WarmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmPool")
+            .field("machines", &self.machines.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WarmPool {
+    /// Boot `cfg.machines` warm machines of `cfg.procs` ranks each.
+    #[must_use]
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        cfg.validate();
+        let machine_config = MachineConfig {
+            procs: cfg.procs,
+            mode: cfg.mode,
+            fault: spmd::FaultConfig {
+                watchdog: cfg.batch_watchdog,
+                ..spmd::FaultConfig::off()
+            },
+            drain_grace: cfg
+                .batch_watchdog
+                .map_or(Duration::from_secs(5), |w| w * 4 + Duration::from_secs(1)),
+            ..MachineConfig::new(cfg.procs)
+        };
+        let machines = (0..cfg.machines)
+            .map(|_| Self::boot_machine(machine_config))
+            .collect();
+        WarmPool {
+            machine_config,
+            strategy: LocalStrategy::Merges,
+            machines,
+            next: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    fn boot_machine(config: MachineConfig) -> SortMachine {
+        SpmdMachine::boot(config, |_| SortContext::new())
+    }
+
+    /// Machines currently in the rotation.
+    #[must_use]
+    pub fn machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The pool's counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Sort `words` (already padded to `per_rank * procs`, see
+    /// [`bitonic_core::tagged::TaggedBatch::padded_words`]) on the next
+    /// machine in the rotation, returning the globally ascending words.
+    ///
+    /// On failure the broken machine is replaced with a fresh one and the
+    /// failure returned; the pool remains usable.
+    ///
+    /// # Errors
+    /// The [`MachineFailure`] that broke the batch.
+    ///
+    /// # Panics
+    /// Panics if `words.len() != per_rank * procs`.
+    pub fn run_batch(
+        &mut self,
+        words: Vec<u64>,
+        per_rank: usize,
+    ) -> Result<Vec<u64>, MachineFailure> {
+        let procs = self.machine_config.procs;
+        assert_eq!(words.len(), per_rank * procs, "batch must be padded");
+        let idx = self.next;
+        self.next = (self.next + 1) % self.machines.len();
+        let words = Arc::new(words);
+        let strategy = self.strategy;
+        let result = self.machines[idx].run(move |comm, ctx| {
+            let me = comm.rank();
+            let local = words[me * per_rank..(me + 1) * per_rank].to_vec();
+            smart_sort_ctx(comm, local, strategy, ctx)
+        });
+        match result {
+            Ok(ranks) => {
+                self.stats.batches_run += 1;
+                let mut batch_misses = 0;
+                let mut out = Vec::with_capacity(per_rank * procs);
+                for r in ranks {
+                    self.stats.plan_hits += r.stats.plan_hits;
+                    self.stats.plan_misses += r.stats.plan_misses;
+                    batch_misses += r.stats.plan_misses;
+                    out.extend_from_slice(&r.output);
+                }
+                self.stats.last_batch_plan_misses = batch_misses;
+                Ok(out)
+            }
+            Err(failure) => {
+                self.stats.batches_failed += 1;
+                self.stats.machines_rebuilt += 1;
+                self.machines[idx] = Self::boot_machine(self.machine_config);
+                Err(failure)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitonic_core::tagged::TaggedBatch;
+    use bitonic_network::Direction;
+
+    fn pool(procs: usize) -> WarmPool {
+        let mut cfg = ServiceConfig::new(procs);
+        cfg.batch_watchdog = Some(Duration::from_millis(200));
+        WarmPool::new(&cfg)
+    }
+
+    fn run(pool: &mut WarmPool, keys: &[u32]) -> Vec<u32> {
+        let mut batch = TaggedBatch::new();
+        batch.push(keys, Direction::Ascending);
+        let (words, per_rank) = batch.padded_words(pool.machine_config.procs);
+        let sorted = pool.run_batch(words, per_rank).expect("batch runs");
+        batch.split(&sorted).remove(0)
+    }
+
+    #[test]
+    fn repeated_shapes_reach_a_perfect_hit_rate() {
+        let mut p = pool(4);
+        let keys: Vec<u32> = (0..256u32).rev().collect();
+        let first = run(&mut p, &keys);
+        assert!(first.windows(2).all(|w| w[0] <= w[1]));
+        let cold = p.stats();
+        assert!(cold.plan_misses > 0, "first batch computes plans");
+        for _ in 0..5 {
+            let out = run(&mut p, &keys);
+            assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        }
+        let warm = p.stats();
+        assert_eq!(
+            warm.plan_misses, cold.plan_misses,
+            "steady state must not compute plans"
+        );
+        assert_eq!(warm.last_batch_plan_misses, 0);
+        assert!(warm.plan_hits > cold.plan_hits);
+        assert_eq!(warm.batches_run, 6);
+    }
+
+    #[test]
+    fn a_failed_batch_is_contained_and_the_pool_recovers() {
+        let mut p = pool(2);
+        // per_rank = 3 is not a power of two: the job's sort asserts on
+        // every rank, breaking the machine.
+        let bad = vec![1u64; 6];
+        let err = p.run_batch(bad, 3);
+        assert!(err.is_err());
+        let s = p.stats();
+        assert_eq!((s.batches_failed, s.machines_rebuilt), (1, 1));
+        // The replacement machine serves the next batch correctly.
+        let out = run(&mut p, &[5, 1, 9, 2]);
+        assert_eq!(out, vec![1, 2, 5, 9]);
+        assert_eq!(p.stats().batches_run, 1);
+    }
+}

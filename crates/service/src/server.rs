@@ -1,0 +1,565 @@
+//! The front door: submission, the dispatcher loop, tickets and stats.
+//!
+//! [`SortService::start`] spawns one dispatcher thread that owns the
+//! [`WarmPool`]. Clients call [`SortService::submit`] from any thread;
+//! admission control answers immediately (admitted requests get a
+//! [`Ticket`], shed ones a structured [`Rejection`]). The dispatcher
+//! pulls admitted requests from the queue under the [`Coalescer`]'s
+//! flush/wait policy, encodes them as one [`TaggedBatch`], runs the
+//! batch on a warm machine, and scatters per-request replies back
+//! through the tickets.
+//!
+//! Every stage is recorded as a span in the service's
+//! [`obs::TraceSink`] under the serving-layer phases —
+//! `Queue` (submit → batch formation, one span per request), `Batch`
+//! (coalesce + encode + pad), `Run` (the machine), `Scatter` (split +
+//! reply) — with the span's `step` carrying the batch number.
+
+use crate::admission::{Admission, Rejection};
+use crate::coalescer::{Coalescer, Verdict};
+use crate::config::ServiceConfig;
+use crate::pool::WarmPool;
+use bitonic_core::tagged::TaggedBatch;
+use bitonic_network::Direction;
+use obs::{RankTrace, TracePhase, TraceSink};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One client sort request.
+#[derive(Debug, Clone)]
+pub struct SortRequest {
+    /// The keys to sort.
+    pub keys: Vec<u32>,
+    /// Requested output order.
+    pub dir: Direction,
+    /// Per-request deadline; [`ServiceConfig::default_deadline`] when
+    /// `None`. A request predicted to miss its deadline is shed at
+    /// submission; one that misses it in the queue anyway is expired.
+    pub deadline: Option<Duration>,
+}
+
+impl SortRequest {
+    /// An ascending sort of `keys` under the service's default deadline.
+    #[must_use]
+    pub fn ascending(keys: Vec<u32>) -> Self {
+        SortRequest {
+            keys,
+            dir: Direction::Ascending,
+            deadline: None,
+        }
+    }
+
+    /// A sort of `keys` in `dir` under the service's default deadline.
+    #[must_use]
+    pub fn new(keys: Vec<u32>, dir: Direction) -> Self {
+        SortRequest {
+            keys,
+            dir,
+            deadline: None,
+        }
+    }
+
+    /// This request with an explicit deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why an *admitted* request still failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortError {
+    /// The request out-waited its deadline in the queue.
+    Expired {
+        /// How long it actually waited.
+        waited: Duration,
+        /// The deadline it carried.
+        deadline: Duration,
+    },
+    /// The batch carrying the request failed (watchdog gave up on a
+    /// stalled rank, or a rank panicked); its machine was replaced.
+    MachineFailed(String),
+    /// The service shut down before the request could be answered.
+    ServiceClosed,
+}
+
+impl std::fmt::Display for SortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SortError::Expired { waited, deadline } => {
+                write!(f, "deadline {deadline:?} exceeded after waiting {waited:?}")
+            }
+            SortError::MachineFailed(msg) => write!(f, "batch failed: {msg}"),
+            SortError::ServiceClosed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
+/// A claim on an admitted request's eventual reply.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Vec<u32>, SortError>>,
+}
+
+impl Ticket {
+    /// Block until the reply arrives.
+    ///
+    /// # Errors
+    /// The [`SortError`] describing why the admitted request failed.
+    pub fn wait(self) -> Result<Vec<u32>, SortError> {
+        self.rx.recv().unwrap_or(Err(SortError::ServiceClosed))
+    }
+}
+
+/// Service-lifetime counters, readable at any time via
+/// [`SortService::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests presented to `submit`.
+    pub submitted: u64,
+    /// Requests past admission control.
+    pub admitted: u64,
+    /// Requests shed at the door (see [`Rejection`]).
+    pub shed: u64,
+    /// Admitted requests that out-waited their deadline in the queue.
+    pub expired: u64,
+    /// Admitted requests lost to a failed batch.
+    pub failed: u64,
+    /// Requests answered with sorted keys.
+    pub completed: u64,
+    /// Batches formed (including ones that later failed).
+    pub batches: u64,
+    /// Useful keys across all formed batches (padding excluded).
+    pub batched_keys: u64,
+    /// Most requests coalesced into one batch.
+    pub largest_batch: u64,
+    /// The warm pool's counters (machine runs, rebuilds, plan cache).
+    pub pool: crate::pool::PoolStats,
+}
+
+impl ServiceStats {
+    /// Mean requests per formed batch; 0 for an unused service.
+    #[must_use]
+    pub fn requests_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        (self.completed + self.failed) as f64 / self.batches as f64
+    }
+}
+
+/// What a finished service hands back.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Final counters.
+    pub stats: ServiceStats,
+    /// The dispatcher's span timeline (empty unless the service was
+    /// started with tracing enabled).
+    pub trace: RankTrace,
+}
+
+struct Pending {
+    keys: Vec<u32>,
+    dir: Direction,
+    deadline: Duration,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Vec<u32>, SortError>>,
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    pending_keys: usize,
+    closed: bool,
+    stats: ServiceStats,
+}
+
+struct Shared {
+    q: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// A running sort service.
+///
+/// Submissions are accepted from any thread (`&self`); dropping the
+/// service (or calling [`SortService::shutdown`]) drains the queue and
+/// joins the dispatcher.
+#[derive(Debug)]
+pub struct SortService {
+    shared: Arc<Shared>,
+    admission: Admission,
+    default_deadline: Duration,
+    dispatcher: Option<std::thread::JoinHandle<ServiceReport>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+impl SortService {
+    /// Boot the warm pool and start the dispatcher.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`ServiceConfig::validate`].
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Self {
+        config.validate();
+        let shared = Arc::new(Shared {
+            q: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                pending_keys: 0,
+                closed: false,
+                stats: ServiceStats::default(),
+            }),
+            cv: Condvar::new(),
+        });
+        let dispatcher_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::spawn(move || dispatch(config, &dispatcher_shared));
+        SortService {
+            shared,
+            admission: Admission::new(&config),
+            default_deadline: config.default_deadline,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submit a request. Admitted requests return a [`Ticket`]; shed
+    /// ones a structured [`Rejection`] without ever touching a machine.
+    ///
+    /// # Errors
+    /// The [`Rejection`] naming the admission limit the request hit.
+    pub fn submit(&self, request: SortRequest) -> Result<Ticket, Rejection> {
+        let deadline = request.deadline.unwrap_or(self.default_deadline);
+        let mut q = self.shared.q.lock().expect("queue lock");
+        q.stats.submitted += 1;
+        if q.closed {
+            q.stats.shed += 1;
+            return Err(Rejection::Closed);
+        }
+        if let Err(r) = self.admission.admit(
+            q.pending.len(),
+            q.pending_keys,
+            request.keys.len(),
+            deadline,
+        ) {
+            q.stats.shed += 1;
+            return Err(r);
+        }
+        q.stats.admitted += 1;
+        q.pending_keys += request.keys.len();
+        let (reply, rx) = mpsc::channel();
+        q.pending.push_back(Pending {
+            keys: request.keys,
+            dir: request.dir,
+            deadline,
+            enqueued: Instant::now(),
+            reply,
+        });
+        drop(q);
+        self.shared.cv.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// A snapshot of the counters (pool counters are as of the most
+    /// recently finished batch).
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.q.lock().expect("queue lock").stats
+    }
+
+    /// Stop accepting requests, drain the queue, and return the final
+    /// report.
+    ///
+    /// # Panics
+    /// Panics if the dispatcher thread itself panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceReport {
+        let handle = self.dispatcher.take().expect("dispatcher present");
+        self.close();
+        handle.join().expect("dispatcher thread panicked")
+    }
+
+    fn close(&self) {
+        self.shared.q.lock().expect("queue lock").closed = true;
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for SortService {
+    fn drop(&mut self) {
+        if let Some(handle) = self.dispatcher.take() {
+            self.close();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The dispatcher: coalesce → run → scatter until closed and drained.
+fn dispatch(cfg: ServiceConfig, shared: &Shared) -> ServiceReport {
+    let mut pool = WarmPool::new(&cfg);
+    let coalescer = Coalescer::new(&cfg);
+    let mut sink = TraceSink::new(0, cfg.trace, Instant::now());
+    let mut batch_no: u32 = 0;
+
+    loop {
+        // Hold the lock only to decide and to take a batch.
+        let taken: Option<Vec<Pending>> = {
+            let mut q = shared.q.lock().expect("queue lock");
+            loop {
+                if q.pending.is_empty() {
+                    if q.closed {
+                        break None;
+                    }
+                    q = shared.cv.wait(q).expect("queue lock");
+                    continue;
+                }
+                let now = Instant::now();
+                let oldest_age = now.duration_since(q.pending[0].enqueued);
+                let tightest_slack = q
+                    .pending
+                    .iter()
+                    .map(|p| p.deadline.saturating_sub(now.duration_since(p.enqueued)))
+                    .min()
+                    .expect("queue is non-empty");
+                match coalescer.decide(q.pending_keys, oldest_age, tightest_slack, q.closed) {
+                    Verdict::Flush => {
+                        // FIFO prefix that fits the batch cap (always at
+                        // least one request; admission guarantees any
+                        // single request fits).
+                        let mut batch = Vec::new();
+                        let mut keys = 0usize;
+                        while let Some(front) = q.pending.front() {
+                            let k = front.keys.len();
+                            if !batch.is_empty() && keys + k > cfg.max_batch_keys {
+                                break;
+                            }
+                            keys += k;
+                            q.pending_keys -= k;
+                            batch.push(q.pending.pop_front().expect("front exists"));
+                        }
+                        break Some(batch);
+                    }
+                    Verdict::Wait(d) => {
+                        let (guard, _) = shared.cv.wait_timeout(q, d).expect("queue lock");
+                        q = guard;
+                    }
+                }
+            }
+        };
+        let Some(mut batch) = taken else {
+            // Closed and drained: report and exit.
+            let mut q = shared.q.lock().expect("queue lock");
+            q.stats.pool = pool.stats();
+            return ServiceReport {
+                stats: q.stats,
+                trace: sink.finish(),
+            };
+        };
+
+        batch_no += 1;
+        sink.set_step(batch_no);
+        let formed_at = Instant::now();
+        let batch_requests = batch.len() as u64;
+
+        // Expire the stale, encode the live. One Queue span per request.
+        let mut tagged = TaggedBatch::new();
+        let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+        let mut expired = 0u64;
+        for p in batch.drain(..) {
+            sink.span(TracePhase::Queue, p.enqueued, formed_at);
+            let waited = formed_at.duration_since(p.enqueued);
+            if waited > p.deadline {
+                let _ = p.reply.send(Err(SortError::Expired {
+                    waited,
+                    deadline: p.deadline,
+                }));
+                expired += 1;
+                continue;
+            }
+            tagged.push(&p.keys, p.dir);
+            live.push(p);
+        }
+
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        let batched_keys = tagged.total_keys() as u64;
+        if !live.is_empty() {
+            let (words, per_rank) = tagged.padded_words(cfg.procs);
+            let encoded_at = Instant::now();
+            sink.span(TracePhase::Batch, formed_at, encoded_at);
+            let result = pool.run_batch(words, per_rank);
+            let ran_at = Instant::now();
+            sink.span(TracePhase::Run, encoded_at, ran_at);
+            match result {
+                Ok(sorted) => {
+                    let replies = tagged.split(&sorted);
+                    for (p, r) in live.iter().zip(replies) {
+                        let _ = p.reply.send(Ok(r));
+                    }
+                    completed = live.len() as u64;
+                    sink.span(TracePhase::Scatter, ran_at, Instant::now());
+                }
+                Err(failure) => {
+                    let msg = failure.to_string();
+                    for p in &live {
+                        let _ = p.reply.send(Err(SortError::MachineFailed(msg.clone())));
+                    }
+                    failed = live.len() as u64;
+                }
+            }
+        }
+
+        let mut q = shared.q.lock().expect("queue lock");
+        q.stats.batches += 1;
+        q.stats.batched_keys += batched_keys;
+        q.stats.largest_batch = q.stats.largest_batch.max(batch_requests);
+        q.stats.expired += expired;
+        q.stats.completed += completed;
+        q.stats.failed += failed;
+        q.stats.pool = pool.stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitonic_core::tagged::sorted_independently;
+
+    fn config(procs: usize) -> ServiceConfig {
+        let mut cfg = ServiceConfig::new(procs);
+        cfg.batch_watchdog = Some(Duration::from_millis(500));
+        cfg
+    }
+
+    #[test]
+    fn requests_come_back_sorted_in_their_requested_order() {
+        let svc = SortService::start(config(2));
+        let asc = svc
+            .submit(SortRequest::ascending(vec![5, 1, 9, 1]))
+            .unwrap();
+        let desc = svc
+            .submit(SortRequest::new(vec![3, 8, 2], Direction::Descending))
+            .unwrap();
+        let empty = svc.submit(SortRequest::ascending(vec![])).unwrap();
+        assert_eq!(asc.wait().unwrap(), vec![1, 1, 5, 9]);
+        assert_eq!(desc.wait().unwrap(), vec![8, 3, 2]);
+        assert_eq!(empty.wait().unwrap(), Vec::<u32>::new());
+        let report = svc.shutdown();
+        assert_eq!(report.stats.completed, 3);
+        assert_eq!(report.stats.shed, 0);
+        assert_eq!(report.stats.failed, 0);
+    }
+
+    #[test]
+    fn many_concurrent_clients_all_get_their_own_answer() {
+        let svc = Arc::new(SortService::start(config(4)));
+        let mut handles = Vec::new();
+        for c in 0..16u32 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let keys: Vec<u32> = (0..64)
+                    .map(|i| (c + 1) * 1000 + (i * 37 + c) % 100)
+                    .collect();
+                let dir = if c % 2 == 0 {
+                    Direction::Ascending
+                } else {
+                    Direction::Descending
+                };
+                let expect = sorted_independently(&keys, dir);
+                let got = svc
+                    .submit(SortRequest::new(keys, dir))
+                    .expect("admitted")
+                    .wait()
+                    .expect("sorted");
+                assert_eq!(got, expect, "client {c}");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let Ok(svc) = Arc::try_unwrap(svc) else {
+            panic!("all clients done");
+        };
+        let report = svc.shutdown();
+        assert_eq!(report.stats.completed, 16);
+        assert_eq!(
+            report.stats.shed + report.stats.expired + report.stats.failed,
+            0
+        );
+        assert!(report.stats.batches <= 16);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_with_structured_rejections() {
+        let mut cfg = config(2);
+        cfg.max_request_keys = 8;
+        let svc = SortService::start(cfg);
+        match svc.submit(SortRequest::ascending(vec![0; 9])) {
+            Err(Rejection::TooLarge { keys: 9, limit: 8 }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!((stats.submitted, stats.shed, stats.admitted), (1, 1, 0));
+        drop(svc);
+    }
+
+    #[test]
+    fn steady_state_batches_hit_the_plan_cache_every_time() {
+        // Same request shape over and over: after the first batch of each
+        // padded shape, no plan is ever computed again.
+        let svc = SortService::start(config(2));
+        let keys: Vec<u32> = (0..128u32).rev().collect();
+        for _ in 0..4 {
+            let t = svc.submit(SortRequest::ascending(keys.clone())).unwrap();
+            assert!(t.wait().is_ok());
+        }
+        let report = svc.shutdown();
+        let pool = report.stats.pool;
+        assert!(pool.plan_misses > 0, "first batch was cold");
+        assert_eq!(pool.last_batch_plan_misses, 0, "steady state is all hits");
+        assert!(pool.plan_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn tracing_records_the_serving_phases() {
+        let mut cfg = config(2);
+        cfg.trace = obs::TraceConfig::on();
+        let svc = SortService::start(cfg);
+        let t = svc.submit(SortRequest::ascending(vec![3, 1, 2])).unwrap();
+        assert_eq!(t.wait().unwrap(), vec![1, 2, 3]);
+        let report = svc.shutdown();
+        for phase in [
+            TracePhase::Queue,
+            TracePhase::Batch,
+            TracePhase::Run,
+            TracePhase::Scatter,
+        ] {
+            assert!(
+                report.trace.spans().any(|s| s.phase == phase),
+                "missing {phase:?} span"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let svc = SortService::start(config(2));
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                svc.submit(SortRequest::ascending(vec![8 - i as u32, i as u32]))
+                    .unwrap()
+            })
+            .collect();
+        let report = svc.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "admitted requests are answered");
+        }
+        assert_eq!(report.stats.completed, 8);
+    }
+}

@@ -109,6 +109,13 @@ pub struct CommStats {
     /// Fault-injection counters (all zero unless the machine was started
     /// through [`crate::runtime::run_spmd_chaos`] with faults enabled).
     pub faults: crate::fault::FaultStats,
+    /// Remap-plan cache hits recorded by the sort layer (a plan was
+    /// reused instead of recomputed). Zero for programs that never go
+    /// through a plan cache.
+    pub plan_hits: u64,
+    /// Remap-plan cache misses recorded by the sort layer (a plan had to
+    /// be computed). A warm machine at steady state records only hits.
+    pub plan_misses: u64,
     /// Wall-clock spent per phase.
     phase_time: [Duration; 5],
 }
@@ -161,6 +168,8 @@ impl CommStats {
     pub fn max_merge(&mut self, other: &CommStats) {
         self.elements_sent = self.elements_sent.max(other.elements_sent);
         self.messages_sent = self.messages_sent.max(other.messages_sent);
+        self.plan_hits = self.plan_hits.max(other.plan_hits);
+        self.plan_misses = self.plan_misses.max(other.plan_misses);
         self.faults.max_merge(&other.faults);
         if other.remaps.len() > self.remaps.len() {
             self.remaps

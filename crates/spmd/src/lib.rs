@@ -32,12 +32,14 @@ pub mod barrier;
 pub mod comm;
 pub mod counters;
 pub mod fault;
+pub mod machine;
 pub mod runtime;
 
 pub use barrier::SenseBarrier;
 pub use comm::{Comm, MessageMode};
 pub use counters::{CommStats, Phase, RemapRecord};
 pub use fault::{FailurePhase, FaultConfig, FaultStats, RankFailure};
+pub use machine::{MachineConfig, MachineFailure, SpmdMachine};
 pub use obs::{RankTrace, TraceConfig, TraceSink};
 pub use runtime::{run_spmd, run_spmd_chaos, run_spmd_traced, traces_of, RankResult};
 
