@@ -26,8 +26,17 @@
 //! `bench4` composes the `remap_bench` `BENCH_1` records and the serving
 //! run's `SERVE_1` document into one `BENCH_4` artifact (`--out
 //! BENCH_4.json` writes the committed repo-root copy).
+//!
+//! The `shard` id races a sharded service against a single pool at equal
+//! total machine count: `--procs N`, `--shards N`, `--requests N`, and
+//! `--seed N` shape the run, `--out FILE` writes the bare `SHARD_1` JSON
+//! document, and `--check` exits non-zero on any shed, missed deadline,
+//! failed batch, or oracle mismatch from either service. `bench5` wraps
+//! the same run into the committed `BENCH_5.json` artifact.
 
-use bitonic_bench::experiments::{all, by_id, chaos, remap_bench, serve_bench, trace, Scale, IDS};
+use bitonic_bench::experiments::{
+    all, by_id, chaos, remap_bench, serve_bench, shard_bench, trace, Scale, IDS,
+};
 use bitonic_bench::report::bench_json;
 use spmd::MessageMode;
 
@@ -41,6 +50,7 @@ fn main() {
     let mut check = false;
     let mut seed: Option<u64> = None;
     let mut requests: Option<usize> = None;
+    let mut shards: Option<usize> = None;
 
     let mut i = 0;
     let value = |args: &[String], i: &mut usize| -> String {
@@ -79,13 +89,21 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--shards" => {
+                shards = Some(value(&args, &mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("--shards: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--full] [all | {}]\n       \
                      experiments trace [--procs N] [--keys N] [--out FILE] [--check]\n       \
                      experiments chaos [--procs N] [--keys N] [--seed N] [--out FILE] [--check]\n       \
                      experiments serve [--procs N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
-                     experiments bench4 [--procs N] [--requests N] [--seed N] [--out FILE] [--check]",
+                     experiments bench4 [--procs N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
+                     experiments shard [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
+                     experiments bench5 [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--check]",
                     IDS.join(" | ")
                 );
                 return;
@@ -206,10 +224,76 @@ fn main() {
         }
         return;
     }
-    if out.is_some() || check || keys.is_some() || seed.is_some() || requests.is_some() {
+    // The shard subcommand: sharded serving vs a single-pool baseline at
+    // equal total machine count, under the same mixed load.
+    if ids.iter().any(|id| id == "shard") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| shard_bench::default_requests(scale));
+        let seed = seed.unwrap_or(shard_bench::DEFAULT_SEED);
+        let shards = shards.unwrap_or(shard_bench::DEFAULT_SHARDS);
+        let run = shard_bench::run_shard(procs, shards, requests, seed);
+        println!("## Sharded serving vs single pool [shard]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &run.json) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("SHARD_1 document written to {path}.");
+        }
+        if check {
+            if run.passed {
+                println!(
+                    "check: zero sheds, zero missed deadlines, zero failed \
+                     batches, zero oracle mismatches across both services."
+                );
+            } else {
+                eprintln!("check failed: see report above.");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // bench5: the committed sharded-serving artifact wrapping SHARD_1.
+    if ids.iter().any(|id| id == "bench5") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| shard_bench::default_requests(scale));
+        let seed = seed.unwrap_or(shard_bench::DEFAULT_SEED);
+        let shards = shards.unwrap_or(shard_bench::DEFAULT_SHARDS);
+        let run = shard_bench::run_shard(procs, shards, requests, seed);
+        let doc = format!(
+            "{{\n\"schema\": \"BENCH_5\",\n\"small_p99_improved\": {},\n\"shard\": {}}}\n",
+            run.small_p99_improved, run.json
+        );
+        println!("## BENCH_5 composition [bench5]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("BENCH_5 document written to {path}.");
+        } else {
+            println!("```json\n{doc}```");
+        }
+        if check && !(run.passed && run.small_p99_improved) {
+            eprintln!(
+                "check failed: correctness {} / small-class p99 win {} — see report above.",
+                run.passed, run.small_p99_improved
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+    if out.is_some()
+        || check
+        || keys.is_some()
+        || seed.is_some()
+        || requests.is_some()
+        || shards.is_some()
+    {
         eprintln!(
-            "--out/--check/--keys/--seed/--requests only apply to the `trace`, \
-             `chaos`, `serve`, or `bench4` subcommands"
+            "--out/--check/--keys/--seed/--requests/--shards only apply to the `trace`, \
+             `chaos`, `serve`, `bench4`, `shard`, or `bench5` subcommands"
         );
         std::process::exit(2);
     }

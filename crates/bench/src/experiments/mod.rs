@@ -8,6 +8,7 @@ pub mod other_sorts;
 pub mod remap_bench;
 pub mod scaling;
 pub mod serve_bench;
+pub mod shard_bench;
 pub mod strategies;
 pub mod trace;
 
@@ -92,6 +93,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         trace::trace(scale),
         chaos::chaos(scale),
         serve_bench::serve(scale),
+        shard_bench::shard(scale),
     ]
 }
 
@@ -116,12 +118,13 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "trace" => Some(trace::trace(scale)),
         "chaos" => Some(chaos::chaos(scale)),
         "serve" => Some(serve_bench::serve(scale)),
+        "shard" => Some(shard_bench::shard(scale)),
         _ => None,
     }
 }
 
 /// All experiment ids accepted by [`by_id`].
-pub const IDS: [&str; 17] = [
+pub const IDS: [&str; 18] = [
     "table5_1",
     "table5_2",
     "strategies_measured",
@@ -139,4 +142,5 @@ pub const IDS: [&str; 17] = [
     "trace",
     "chaos",
     "serve",
+    "shard",
 ];

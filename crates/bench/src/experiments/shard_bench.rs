@@ -1,0 +1,410 @@
+//! `experiments shard` — sharded serving against a single-pool baseline.
+//!
+//! The head-of-line problem this measures: a single pool's dispatcher is
+//! serial, so a bulk batch parks every small interactive request behind
+//! a multi-millisecond machine run no matter how many warm machines the
+//! pool holds. Sharding by size class gives small requests their own
+//! dispatcher and pool; bulk runs no longer sit in front of them.
+//!
+//! The benchmark offers the *same* deterministic mixed load — mostly
+//! small sorts with a steady minority of band-limit bulk sorts — to two
+//! services with **equal total machine count**: a single pool with all
+//! the machines, and a [`ShardedService`] splitting them across size
+//! classes. Every reply from both is checked against the independent
+//! sort oracle; latencies are attributed to the size class the router
+//! would pick, so the per-class percentiles compare like for like.
+//!
+//! The report ends with a machine-readable `SHARD_1` block
+//! ([`crate::report::shard_json`]) carrying per-class p50/p95/p99 for
+//! the sharded run and the baseline's p99 for the same class — the
+//! small-class row is the one the tentpole claim rides on. The `--check`
+//! gate demands zero sheds, zero expiries (missed deadlines), zero
+//! failed batches, and zero oracle mismatches from *both* services; the
+//! latency comparison is reported, not gated (CI hosts are too noisy to
+//! gate on).
+
+use super::Scale;
+use crate::report::{f2, shard_json, ClassLatency, ShardSummary, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::tagged::sorted_independently;
+use bitonic_network::Direction;
+use sort_service::{
+    Rejection, ServiceConfig, ShardedConfig, ShardedService, SortRequest, SortService, Ticket,
+};
+use std::time::{Duration, Instant};
+
+/// Default machine size for the subcommand (the acceptance configuration).
+pub const DEFAULT_PROCS: usize = 4;
+
+/// Default shard count: the canonical small/bulk split.
+pub const DEFAULT_SHARDS: usize = 2;
+
+/// Default offered load for the measured window (each request is offered
+/// twice: once to the baseline, once to the sharded service).
+pub const DEFAULT_REQUESTS: usize = 150;
+
+/// Default master seed (fixed so CI runs are replayable).
+pub const DEFAULT_SEED: u64 = 314_159;
+
+/// Requests offered at a given scale.
+#[must_use]
+pub fn default_requests(scale: Scale) -> usize {
+    if scale.shrink == 1 {
+        DEFAULT_REQUESTS * 4
+    } else {
+        DEFAULT_REQUESTS
+    }
+}
+
+/// One finished sharded-vs-baseline run.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// Human-readable report (tables + the `SHARD_1` block).
+    pub report: String,
+    /// The bare `SHARD_1` JSON document, for composition into `BENCH_5`.
+    pub json: String,
+    /// Whether every acceptance check held (correctness only — sheds,
+    /// expiries, failures, oracle mismatches).
+    pub passed: bool,
+    /// Whether the small class's sharded p99 beat the baseline's
+    /// (reported in `BENCH_5.json`; not part of `passed`).
+    pub small_p99_improved: bool,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The deterministic mixed load: `(keys, direction, inter-arrival gap)`.
+/// Four of every five requests are small (n < P through a few hundred
+/// keys, every fourth duplicate-heavy); every fifth is a bulk sort at
+/// the top band's limit, so it routes past every smaller class and
+/// occupies a machine for a long run.
+fn workload(
+    requests: usize,
+    procs: usize,
+    bulk_keys: usize,
+    seed: u64,
+) -> Vec<(Vec<u32>, Direction, Duration)> {
+    let small_sizes = [1, 2, procs - 1, procs, 7, 16, 33, 64, 100, 256];
+    let mut rng = seed | 1;
+    (0..requests)
+        .map(|i| {
+            let n = if i % 5 == 4 {
+                bulk_keys - (xorshift(&mut rng) % 64) as usize
+            } else {
+                small_sizes[(xorshift(&mut rng) % small_sizes.len() as u64) as usize]
+            };
+            let mut keys = uniform_keys(n, seed.wrapping_add(i as u64));
+            if i % 4 == 0 {
+                for k in &mut keys {
+                    *k %= 8;
+                }
+            }
+            let dir = if xorshift(&mut rng) & 1 == 0 {
+                Direction::Ascending
+            } else {
+                Direction::Descending
+            };
+            let gap = Duration::from_micros(20 + xorshift(&mut rng) % 80);
+            (keys, dir, gap)
+        })
+        .collect()
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx]
+}
+
+/// What one open-loop pass over a service produced.
+struct Drive {
+    /// Per completed request: `(class index, latency µs)`.
+    latencies: Vec<(usize, f64)>,
+    /// Human-readable failures: sheds, expiries, oracle mismatches.
+    failures: Vec<String>,
+    /// Oracle mismatches among the failures.
+    mismatches: u64,
+}
+
+/// Offer `load` open-loop to `submit`, classifying each request with
+/// `class_of` and checking every reply against the oracle.
+fn drive(
+    tag: &str,
+    load: &[(Vec<u32>, Direction, Duration)],
+    class_of: &dyn Fn(usize) -> usize,
+    submit: &dyn Fn(SortRequest) -> Result<Ticket, Rejection>,
+) -> Drive {
+    let mut waiters = Vec::with_capacity(load.len());
+    let mut failures = Vec::new();
+    for (i, (keys, dir, gap)) in load.iter().enumerate() {
+        std::thread::sleep(*gap);
+        let class = class_of(keys.len());
+        let expected = sorted_independently(keys, *dir);
+        let submitted = Instant::now();
+        match submit(SortRequest::new(keys.clone(), *dir)) {
+            Ok(ticket) => waiters.push((
+                class,
+                std::thread::spawn(move || {
+                    let reply = ticket.wait();
+                    let latency = submitted.elapsed();
+                    let verdict = match reply {
+                        Ok(out) if out == expected => Ok(()),
+                        Ok(_) => Err(format!("request {i}: reply differs from the oracle")),
+                        Err(e) => Err(format!("request {i}: {e}")),
+                    };
+                    (latency, verdict)
+                }),
+            )),
+            Err(r) => failures.push(format!("{tag}: request {i} shed: {r}")),
+        }
+    }
+    let mut latencies = Vec::with_capacity(waiters.len());
+    let mut mismatches = 0u64;
+    for (class, w) in waiters {
+        let (latency, verdict) = w.join().expect("waiter thread");
+        latencies.push((class, latency.as_secs_f64() * 1e6));
+        if let Err(e) = verdict {
+            if e.contains("differs from the oracle") {
+                mismatches += 1;
+            }
+            failures.push(format!("{tag}: {e}"));
+        }
+    }
+    Drive {
+        latencies,
+        failures,
+        mismatches,
+    }
+}
+
+fn class_percentiles(latencies: &[(usize, f64)], class: usize) -> (f64, f64, f64) {
+    let mut us: Vec<f64> = latencies
+        .iter()
+        .filter(|(c, _)| *c == class)
+        .map(|(_, l)| *l)
+        .collect();
+    us.sort_by(f64::total_cmp);
+    (
+        percentile(&us, 50.0),
+        percentile(&us, 95.0),
+        percentile(&us, 99.0),
+    )
+}
+
+/// Run the comparison: a `shards`-way banded sharded service against a
+/// single pool holding the same total machine count, under the same
+/// `requests`-request mixed load. Deterministic in `seed` up to host
+/// timing.
+///
+/// # Panics
+/// Panics if `procs` is not a power of two (machine requirement).
+#[must_use]
+pub fn run_shard(procs: usize, shards: usize, requests: usize, seed: u64) -> ShardRun {
+    assert!(procs.is_power_of_two(), "machine sizes are powers of two");
+    let sharded_cfg = ShardedConfig::banded(procs, shards);
+    let total_machines = sharded_cfg.total_machines();
+    let bands: Vec<(String, usize)> = sharded_cfg
+        .classes
+        .iter()
+        .map(|c| (c.name.clone(), c.pool.max_request_keys))
+        .collect();
+    let bulk_keys = bands.last().expect("at least one class").1;
+    let bounds: Vec<usize> = bands.iter().map(|(_, b)| *b).collect();
+    let class_of = move |keys: usize| -> usize {
+        bounds
+            .iter()
+            .position(|bound| keys <= *bound)
+            .expect("workload stays inside the bands")
+    };
+
+    let mut baseline_cfg = ServiceConfig::new(procs);
+    baseline_cfg.machines = total_machines;
+    let load = workload(requests, procs, bulk_keys, seed);
+
+    // Baseline first: a single pool with every machine.
+    let baseline = SortService::start(baseline_cfg);
+    let base_drive = drive("baseline", &load, &class_of, &|r| baseline.submit(r));
+    let base_report = baseline.shutdown();
+
+    // Then the sharded service at equal total machine count.
+    let sharded = ShardedService::start(sharded_cfg);
+    let shard_drive = drive("sharded", &load, &class_of, &|r| sharded.submit(r));
+    let shard_report = sharded.shutdown();
+
+    let mut failures = Vec::new();
+    failures.extend(base_drive.failures.iter().cloned());
+    failures.extend(shard_drive.failures.iter().cloned());
+    let stats = &shard_report.stats;
+    if stats.expired() > 0 {
+        failures.push(format!("sharded: {} missed deadlines", stats.expired()));
+    }
+    if stats.failed() > 0 {
+        failures.push(format!(
+            "sharded: {} lost to failed batches",
+            stats.failed()
+        ));
+    }
+    if base_report.stats.expired > 0 {
+        failures.push(format!(
+            "baseline: {} missed deadlines",
+            base_report.stats.expired
+        ));
+    }
+    if stats.unroutable > 0 {
+        failures.push(format!("sharded: {} unroutable requests", stats.unroutable));
+    }
+
+    let classes: Vec<ClassLatency> = bands
+        .iter()
+        .enumerate()
+        .map(|(i, (name, bound))| {
+            let (p50, p95, p99) = class_percentiles(&shard_drive.latencies, i);
+            let (_, _, base_p99) = class_percentiles(&base_drive.latencies, i);
+            let s = &stats.shards[i];
+            ClassLatency {
+                class: name.clone(),
+                max_keys: *bound,
+                machines: s.pool.machines,
+                requests: s.submitted,
+                completed: s.completed,
+                batches: s.batches,
+                steals: s.steals,
+                stolen_requests: s.stolen_requests,
+                scale_ups: s.scale_ups,
+                scale_downs: s.scale_downs,
+                p50_us: p50,
+                p95_us: p95,
+                p99_us: p99,
+                baseline_p99_us: base_p99,
+            }
+        })
+        .collect();
+
+    let summary = ShardSummary {
+        procs,
+        shards,
+        total_machines,
+        baseline_machines: total_machines,
+        requests: requests as u64,
+        shed: stats.shed(),
+        expired: stats.expired(),
+        failed: stats.failed(),
+        unroutable: stats.unroutable,
+        mismatches: shard_drive.mismatches + base_drive.mismatches,
+        steals: stats.steals(),
+        classes,
+    };
+
+    let small = &summary.classes[0];
+    let small_p99_improved = small.p99_us > 0.0 && small.p99_us < small.baseline_p99_us;
+
+    let mut t = Table::new(vec![
+        "class",
+        "band",
+        "reqs",
+        "batches",
+        "steals",
+        "p50 (us)",
+        "p95 (us)",
+        "p99 (us)",
+        "single-pool p99",
+    ]);
+    for c in &summary.classes {
+        t.row(vec![
+            c.class.clone(),
+            format!("<= {}", c.max_keys),
+            c.requests.to_string(),
+            c.batches.to_string(),
+            c.steals.to_string(),
+            f2(c.p50_us),
+            f2(c.p95_us),
+            f2(c.p99_us),
+            f2(c.baseline_p99_us),
+        ]);
+    }
+
+    let json = shard_json(&summary);
+    let passed = failures.is_empty();
+    let verdict = if passed {
+        format!(
+            "Both services answered all {requests} requests oracle-correct with \
+             zero sheds, zero missed deadlines, and zero failed batches at equal \
+             total machine count ({total_machines}). Small-class p99: {} µs \
+             sharded vs {} µs single-pool ({}).",
+            f2(small.p99_us),
+            f2(small.baseline_p99_us),
+            if small_p99_improved {
+                "sharding wins"
+            } else {
+                "no win on this host — see BENCH_5.json for the committed run"
+            },
+        )
+    } else {
+        let mut v = String::from("FAILED:\n");
+        for f in &failures {
+            v.push_str("  - ");
+            v.push_str(f);
+            v.push('\n');
+        }
+        v
+    };
+    let report = format!("{}\n{verdict}\n\n```json\n{json}```\n", t.render());
+    ShardRun {
+        report,
+        json,
+        passed,
+        small_p99_improved,
+    }
+}
+
+/// Run the sharded-serving benchmark and render it as an experiment.
+#[must_use]
+pub fn shard(scale: Scale) -> super::Experiment {
+    let run = run_shard(
+        DEFAULT_PROCS,
+        DEFAULT_SHARDS,
+        default_requests(scale),
+        DEFAULT_SEED,
+    );
+    super::Experiment {
+        id: "shard",
+        title: "Sharded serving: size-class router vs a single pool",
+        body: run.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_acceptance_load_passes_every_correctness_check() {
+        // A smaller offered load than the CI configuration, same checks.
+        let run = run_shard(4, 2, 40, DEFAULT_SEED);
+        assert!(run.passed, "{}", run.report);
+        assert!(run.json.contains("\"schema\": \"SHARD_1\""));
+        assert!(run.json.contains("\"class\": \"small\""));
+        assert!(run.json.contains("\"class\": \"bulk\""));
+    }
+
+    #[test]
+    fn the_workload_mixes_small_and_band_limit_bulk() {
+        let load = workload(50, 4, 16384, DEFAULT_SEED);
+        assert!(load.iter().any(|(k, _, _)| k.len() < 4), "n < P present");
+        assert!(
+            load.iter().any(|(k, _, _)| k.len() > 8192),
+            "bulk requests route past the small band"
+        );
+        assert!(load.iter().any(|(_, d, _)| *d == Direction::Descending));
+        assert_eq!(load, workload(50, 4, 16384, DEFAULT_SEED), "deterministic");
+    }
+}

@@ -213,6 +213,130 @@ pub fn serve_json(s: &ServeSummary) -> String {
     )
 }
 
+/// Schema tag for the sharded-serving benchmark's machine-readable
+/// output. Like [`BENCH_SCHEMA`], the suffix is bumped when any field
+/// changes meaning.
+pub const SHARD_SCHEMA: &str = "SHARD_1";
+
+/// One size class's results in the `SHARD_1` schema: what its shard did
+/// and its reply-latency percentiles, next to the single-pool baseline's
+/// percentile for the *same* requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassLatency {
+    /// Class name (`"small"`, `"bulk"`, …).
+    pub class: String,
+    /// The class's size band: largest request (keys) it admits.
+    pub max_keys: usize,
+    /// Machines in the class's pool at the end of the run.
+    pub machines: u64,
+    /// Requests the router sent to this class.
+    pub requests: u64,
+    /// Requests answered with sorted keys.
+    pub completed: u64,
+    /// Batches the shard ran (own and stolen).
+    pub batches: u64,
+    /// Batches the shard stole from neighbors.
+    pub steals: u64,
+    /// Requests claimed across those steals.
+    pub stolen_requests: u64,
+    /// Autoscaler grow events.
+    pub scale_ups: u64,
+    /// Autoscaler shrink events.
+    pub scale_downs: u64,
+    /// Median sharded reply latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile sharded latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile sharded latency, microseconds.
+    pub p99_us: f64,
+    /// 99th-percentile latency of the same class's requests under the
+    /// single-pool baseline at equal total machine count.
+    pub baseline_p99_us: f64,
+}
+
+/// One sharded-serving comparison in the stable `SHARD_1` schema: the
+/// sharded topology against a single pool with the same total machine
+/// count, under the same mixed load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Ranks per machine (`P`) — same in every pool and the baseline.
+    pub procs: usize,
+    /// Size classes in the sharded topology.
+    pub shards: usize,
+    /// Machines across all shards (equals `baseline_machines`).
+    pub total_machines: usize,
+    /// Machines in the single-pool baseline.
+    pub baseline_machines: usize,
+    /// Requests offered to each service.
+    pub requests: u64,
+    /// Requests shed by the sharded service (router or admission).
+    pub shed: u64,
+    /// Sharded requests that expired before their batch ran.
+    pub expired: u64,
+    /// Sharded requests lost to failed batches.
+    pub failed: u64,
+    /// Requests larger than every band.
+    pub unroutable: u64,
+    /// Sharded replies that differed from the independent-sort oracle.
+    pub mismatches: u64,
+    /// Batches stolen across all shards.
+    pub steals: u64,
+    /// Per-class latency comparison, in band order.
+    pub classes: Vec<ClassLatency>,
+}
+
+/// Render a sharded-serving summary as a complete `SHARD_1` JSON
+/// document.
+#[must_use]
+pub fn shard_json(s: &ShardSummary) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"{SHARD_SCHEMA}\",\n  \
+         \"procs\": {}, \"shards\": {}, \"total_machines\": {}, \
+         \"baseline_machines\": {},\n  \
+         \"requests\": {}, \"shed\": {}, \"expired\": {}, \"failed\": {},\n  \
+         \"unroutable\": {}, \"mismatches\": {}, \"steals\": {},\n  \
+         \"classes\": [\n",
+        s.procs,
+        s.shards,
+        s.total_machines,
+        s.baseline_machines,
+        s.requests,
+        s.shed,
+        s.expired,
+        s.failed,
+        s.unroutable,
+        s.mismatches,
+        s.steals,
+    );
+    for (i, c) in s.classes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"class\": \"{}\", \"max_keys\": {}, \"machines\": {}, \
+             \"requests\": {}, \"completed\": {}, \"batches\": {}, \
+             \"steals\": {}, \"stolen_requests\": {}, \
+             \"scale_ups\": {}, \"scale_downs\": {}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"baseline_p99_us\": {:.1}}}{}\n",
+            c.class,
+            c.max_keys,
+            c.machines,
+            c.requests,
+            c.completed,
+            c.batches,
+            c.steals,
+            c.stolen_requests,
+            c.scale_ups,
+            c.scale_downs,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            c.baseline_p99_us,
+            if i + 1 == s.classes.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Format a float with 2 decimals (the thesis's table precision).
 #[must_use]
 pub fn f2(x: f64) -> String {
@@ -290,6 +414,57 @@ mod tests {
             }
         }
         assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn shard_json_matches_schema() {
+        let class = |name: &str, max_keys: usize, p99: f64, base: f64| ClassLatency {
+            class: name.into(),
+            max_keys,
+            machines: 1,
+            requests: 80,
+            completed: 80,
+            batches: 11,
+            steals: 1,
+            stolen_requests: 2,
+            scale_ups: 0,
+            scale_downs: 0,
+            p50_us: 400.0,
+            p95_us: 900.0,
+            p99_us: p99,
+            baseline_p99_us: base,
+        };
+        let json = shard_json(&ShardSummary {
+            procs: 4,
+            shards: 2,
+            total_machines: 2,
+            baseline_machines: 2,
+            requests: 100,
+            shed: 0,
+            expired: 0,
+            failed: 0,
+            unroutable: 0,
+            mismatches: 0,
+            steals: 1,
+            classes: vec![
+                class("small", 8192, 1200.5, 4800.0),
+                class("bulk", 16384, 9000.0, 8800.0),
+            ],
+        });
+        assert!(json.contains("\"schema\": \"SHARD_1\""));
+        assert!(json.contains("\"class\": \"small\""));
+        assert!(json.contains("\"p99_us\": 1200.5"));
+        assert!(json.contains("\"baseline_p99_us\": 4800.0"));
+        let mut depth = 0i64;
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+        assert_eq!(json.matches("\"class\":").count(), 2);
     }
 
     #[test]

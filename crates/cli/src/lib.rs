@@ -469,6 +469,10 @@ pub fn run(opts: &Options, raw_input: Option<Vec<u8>>) -> Result<RunOutput, Stri
 pub struct ServeOptions {
     /// Ranks per warm machine (default 4; any power of two).
     pub procs: usize,
+    /// Size-class shards (default 1 = a single pool). With more than
+    /// one, requests route by size through a [`sort_service::Router`]
+    /// over [`sort_service::ShardedConfig::banded`] pools.
+    pub shards: usize,
     /// Print the service statistics report to stderr.
     pub stats: bool,
     /// Input path (`-` or absent = stdin), one request per line.
@@ -481,6 +485,7 @@ impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             procs: 4,
+            shards: 1,
             stats: false,
             input: None,
             output: None,
@@ -491,11 +496,14 @@ impl Default for ServeOptions {
 /// The `serve` usage string.
 #[must_use]
 pub fn serve_usage() -> String {
-    "usage: bitonic-sort serve [-p PROCS] [--stats] [-i FILE|-] [-o FILE|-]\n\
+    "usage: bitonic-sort serve [-p PROCS] [--shards N] [--stats] [-i FILE|-] [-o FILE|-]\n\
      Each input line is one sort request: an optional 'asc' or 'desc' token\n\
      followed by decimal keys. All requests are submitted to one warm-pool\n\
      sort service, which coalesces them into tagged batches; each output\n\
-     line is the matching request's keys in its requested order."
+     line is the matching request's keys in its requested order.\n\
+     --shards N > 1 splits the service into N size-class shards, each with\n\
+     its own warm pool; requests route by size and idle shards steal aged\n\
+     work from busy neighbors."
         .to_string()
 }
 
@@ -516,6 +524,14 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     .map_err(|e| format!("bad --procs: {e}"))?;
                 if !opts.procs.is_power_of_two() {
                     return Err("--procs must be a power of two".into());
+                }
+            }
+            "--shards" => {
+                opts.shards = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be at least 1".into());
                 }
             }
             "--stats" => opts.stats = true,
@@ -570,26 +586,69 @@ pub fn serve_stats_report(stats: &sort_service::ServiceStats) -> String {
     )
 }
 
+/// Render the `serve --shards N --stats` report: one line per shard.
+#[must_use]
+pub fn sharded_stats_report(stats: &sort_service::ShardedStats) -> String {
+    let mut out = format!(
+        "shards: {}, {} requests completed, {} shed ({} unroutable), {} steals\n",
+        stats.shards.len(),
+        stats.completed(),
+        stats.shed(),
+        stats.unroutable,
+        stats.steals(),
+    );
+    for s in &stats.shards {
+        out.push_str(&format!(
+            "  {}: {} submitted, {} completed, {} batches, {} stolen away, \
+             {} machines ({} hits / {} misses)\n",
+            s.class,
+            s.submitted,
+            s.completed,
+            s.batches,
+            s.stolen_requests,
+            s.pool.machines,
+            s.pool.plan_hits,
+            s.pool.plan_misses,
+        ));
+    }
+    out
+}
+
 /// End-to-end `serve` pipeline: parse request lines, run them through a
-/// warm-pool sort service, and render one sorted line per request.
+/// warm-pool sort service — sharded by size class when `--shards` asks
+/// for more than one — and render one sorted line per request.
 ///
 /// # Errors
 /// A malformed request line, a shed request, or a failed batch.
 pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, String> {
-    use sort_service::{ServiceConfig, SortRequest, SortService};
+    use sort_service::{ServiceConfig, ShardedConfig, ShardedService, SortRequest, SortService};
     let requests: Vec<(Vec<u32>, bitonic_network::Direction)> = String::from_utf8_lossy(raw_input)
         .lines()
         .filter(|l| !l.trim().is_empty())
         .map(parse_request)
         .collect::<Result<_, _>>()?;
 
-    let service = SortService::start(ServiceConfig::new(opts.procs));
+    enum Front {
+        Single(SortService),
+        Sharded(ShardedService),
+    }
+    let front = if opts.shards > 1 {
+        Front::Sharded(ShardedService::start(ShardedConfig::banded(
+            opts.procs,
+            opts.shards,
+        )))
+    } else {
+        Front::Single(SortService::start(ServiceConfig::new(opts.procs)))
+    };
     let tickets: Vec<_> = requests
         .into_iter()
         .map(|(keys, dir)| {
-            service
-                .submit(SortRequest::new(keys, dir))
-                .map_err(|r| format!("request shed: {r}"))
+            let request = SortRequest::new(keys, dir);
+            match &front {
+                Front::Single(s) => s.submit(request),
+                Front::Sharded(s) => s.submit(request),
+            }
+            .map_err(|r| format!("request shed: {r}"))
         })
         .collect::<Result<_, _>>()?;
 
@@ -600,10 +659,15 @@ pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, Str
         out.push_str(&line.join(" "));
         out.push('\n');
     }
-    let report = service.shutdown();
+    let report = match front {
+        Front::Single(s) => opts.stats.then(|| serve_stats_report(&s.shutdown().stats)),
+        Front::Sharded(s) => opts
+            .stats
+            .then(|| sharded_stats_report(&s.shutdown().stats)),
+    };
     Ok(RunOutput {
         bytes: out.into_bytes(),
-        report: opts.stats.then(|| serve_stats_report(&report.stats)),
+        report,
         trace_json: None,
     })
 }
@@ -775,9 +839,16 @@ mod tests {
     fn serve_args_parse_and_reject() {
         let o = parse_serve_args(&args("-p 2 --stats -i in.txt")).unwrap();
         assert_eq!(o.procs, 2);
+        assert_eq!(o.shards, 1, "single pool unless asked");
         assert!(o.stats);
         assert_eq!(o.input.as_deref(), Some("in.txt"));
+        let o = parse_serve_args(&args("--shards 2")).unwrap();
+        assert_eq!(o.shards, 2);
         assert!(parse_serve_args(&args("-p 3")).is_err(), "non power of two");
+        assert!(
+            parse_serve_args(&args("--shards 0")).is_err(),
+            "zero shards"
+        );
         assert!(parse_serve_args(&args("--bogus")).is_err());
         assert!(parse_serve_args(&args("--help")).is_err(), "usage via Err");
     }
@@ -798,6 +869,26 @@ mod tests {
         let report = out.report.unwrap();
         assert!(report.contains("4 admitted"), "{report}");
         assert!(report.contains("plan cache:"), "{report}");
+    }
+
+    #[test]
+    fn sharded_serve_answers_every_line_and_reports_per_shard() {
+        let opts = ServeOptions {
+            procs: 2,
+            shards: 2,
+            stats: true,
+            ..Default::default()
+        };
+        let input = b"9 3 7 1\ndesc 4 8 6\nasc 5\n2 2 2\n";
+        let out = run_serve(&opts, input).unwrap();
+        assert_eq!(
+            String::from_utf8(out.bytes).unwrap(),
+            "1 3 7 9\n8 6 4\n5\n2 2 2\n"
+        );
+        let report = out.report.unwrap();
+        assert!(report.contains("shards: 2"), "{report}");
+        assert!(report.contains("small:"), "{report}");
+        assert!(report.contains("bulk:"), "{report}");
     }
 
     #[test]

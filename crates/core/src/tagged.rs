@@ -10,22 +10,51 @@
 //! each segment internally in its requested order — one machine run,
 //! stable tag-partitioned output, no per-key headers.
 //!
-//! Padding uses [`PAD`] (`u64::MAX`): it compares greater than every
-//! encodable word as long as fewer than `u32::MAX` requests are batched
-//! (enforced by [`TaggedBatch::push`]), so sentinels sink to the end and
-//! [`TaggedBatch::split`] never sees them.
+//! Padding uses [`PAD`] (`u64::MAX`): tag `u32::MAX` is reserved — the
+//! word `(u32::MAX << 32) | u32::MAX` would *equal* the sentinel — so
+//! usable tags stop at [`MAX_TAG`] and a batch holds at most
+//! [`MAX_REQUESTS`] requests (strictly fewer than `2^32`). Within that
+//! bound every encodable word, even tag [`MAX_TAG`] carrying key
+//! `u32::MAX`, compares strictly below [`PAD`]; sentinels sink to the
+//! end and [`TaggedBatch::split`] never sees them. [`tag_for`] is the
+//! pure boundary check, [`TaggedBatch::push`] the enforcing caller.
 
 use bitonic_network::Direction;
 
 /// The padding sentinel: sorts after every encoded word.
 pub const PAD: u64 = u64::MAX;
 
+/// Largest usable request tag. Tag `u32::MAX` is reserved: combined
+/// with a key that munges to `u32::MAX` it would encode to exactly
+/// [`PAD`], and padding sentinels must sort *strictly* after every real
+/// word.
+pub const MAX_TAG: u32 = u32::MAX - 1;
+
+/// Most requests one batch can hold: tags `0..=MAX_TAG`.
+pub const MAX_REQUESTS: usize = MAX_TAG as usize + 1;
+
+/// The tag for the `index`-th request of a batch, or `None` once the
+/// batch is full (`index >= MAX_REQUESTS`). Pure, so the boundary is
+/// testable without materializing four billion requests.
+#[must_use]
+pub fn tag_for(index: usize) -> Option<u32> {
+    if index >= MAX_REQUESTS {
+        return None;
+    }
+    Some(index as u32)
+}
+
 /// Lift one key of request `tag` into its batch word.
 ///
 /// Descending requests negate the key so that the ascending batch sort
 /// leaves their segment in descending key order.
+///
+/// # Panics
+/// Panics if `tag` exceeds [`MAX_TAG`]: the reserved tag `u32::MAX`
+/// could collide with [`PAD`].
 #[must_use]
 pub fn encode_key(tag: u32, key: u32, dir: Direction) -> u64 {
+    assert!(tag <= MAX_TAG, "tag {tag} is reserved for the PAD sentinel");
     let munged = match dir {
         Direction::Ascending => key,
         Direction::Descending => !key,
@@ -68,11 +97,11 @@ impl TaggedBatch {
     /// Append a request, returning its tag.
     ///
     /// # Panics
-    /// Panics if the batch already holds `u32::MAX - 1` requests (the
-    /// last tag is reserved so [`PAD`] stays strictly largest).
+    /// Panics if the batch already holds [`MAX_REQUESTS`] requests —
+    /// the next tag would be the reserved `u32::MAX` (see [`tag_for`]).
     pub fn push(&mut self, keys: &[u32], dir: Direction) -> u32 {
-        let tag = u32::try_from(self.requests.len()).expect("batch overflow");
-        assert!(tag < u32::MAX - 1, "too many requests in one batch");
+        let tag = tag_for(self.requests.len())
+            .expect("too many requests in one batch: the next tag is reserved for PAD");
         self.words
             .extend(keys.iter().map(|&k| encode_key(tag, k, dir)));
         self.requests.push((keys.len(), dir));
@@ -186,6 +215,35 @@ mod tests {
         assert!(w < PAD);
         let w = encode_key(u32::MAX - 2, 0, Direction::Descending);
         assert!(w < PAD);
+    }
+
+    #[test]
+    fn the_very_last_usable_tag_still_sorts_below_pad() {
+        // The worst encodable word: the largest usable tag carrying the
+        // key that munges to all-ones. One short of the sentinel's tag.
+        let asc = encode_key(MAX_TAG, u32::MAX, Direction::Ascending);
+        let desc = encode_key(MAX_TAG, 0, Direction::Descending);
+        assert!(asc < PAD, "MAX_TAG + max key must stay below PAD");
+        assert!(desc < PAD, "MAX_TAG + negated zero must stay below PAD");
+        assert_eq!(tag_of(asc), MAX_TAG);
+        assert_eq!(decode_key(asc, Direction::Ascending), u32::MAX);
+    }
+
+    #[test]
+    fn tag_allocation_stops_exactly_at_the_reserved_tag() {
+        // Fewer than 2^32 requests fit: the last admitted index maps to
+        // MAX_TAG, the next (which would need tag u32::MAX and could
+        // collide with PAD) is refused.
+        assert_eq!(tag_for(0), Some(0));
+        assert_eq!(tag_for(MAX_REQUESTS - 1), Some(MAX_TAG));
+        assert_eq!(tag_for(MAX_REQUESTS), None);
+        assert_eq!(tag_for(usize::MAX), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for the PAD sentinel")]
+    fn encoding_with_the_reserved_tag_is_rejected() {
+        let _ = encode_key(u32::MAX, 0, Direction::Ascending);
     }
 
     #[test]

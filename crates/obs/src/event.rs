@@ -6,10 +6,12 @@
 
 /// Number of trace phases: the five execution phases mirroring
 /// `spmd::Phase::ALL`, the two fault-recovery phases (`Retry`, `Stall`)
-/// that only appear under fault injection, and the four serving-layer
+/// that only appear under fault injection, the four serving-layer
 /// phases (`Queue`, `Batch`, `Run`, `Scatter`) recorded by the sort
-/// service's dispatcher.
-pub const PHASES: usize = 11;
+/// service's dispatcher, and the three sharding phases (`Route`,
+/// `Steal`, `Scale`) recorded by the sharded service's router and
+/// per-shard workers.
+pub const PHASES: usize = 14;
 
 /// The execution phase a span belongs to.
 ///
@@ -45,6 +47,15 @@ pub enum TracePhase {
     /// Splitting a sorted batch back into per-request replies (serving
     /// layer).
     Scatter,
+    /// Routing a submitted request to its size-class shard (sharded
+    /// serving).
+    Route,
+    /// An idle shard claiming a batch from an overloaded neighbor's
+    /// queue (sharded serving, work stealing).
+    Steal,
+    /// A shard growing or shrinking its warm pool under the autoscaler
+    /// (sharded serving).
+    Scale,
 }
 
 impl TracePhase {
@@ -61,6 +72,9 @@ impl TracePhase {
         TracePhase::Batch,
         TracePhase::Run,
         TracePhase::Scatter,
+        TracePhase::Route,
+        TracePhase::Steal,
+        TracePhase::Scale,
     ];
 
     /// The five paper phases every normal run records (`Retry`/`Stall`
@@ -89,6 +103,9 @@ impl TracePhase {
             TracePhase::Batch => 8,
             TracePhase::Run => 9,
             TracePhase::Scatter => 10,
+            TracePhase::Route => 11,
+            TracePhase::Steal => 12,
+            TracePhase::Scale => 13,
         }
     }
 
@@ -107,6 +124,9 @@ impl TracePhase {
             TracePhase::Batch => "batch",
             TracePhase::Run => "run",
             TracePhase::Scatter => "scatter",
+            TracePhase::Route => "route",
+            TracePhase::Steal => "steal",
+            TracePhase::Scale => "scale",
         }
     }
 }

@@ -1,0 +1,330 @@
+//! Predictive autoscaling: machine counts from LogP-predicted drain time.
+//!
+//! Reactive autoscalers watch latency and act after the damage; this one
+//! runs the thesis's cost model *forward*. A shard's backlog of
+//! `queued_keys` keys drains in waves — each wave runs up to `machines`
+//! batches concurrently, each batch costing
+//! [`BatchCost::predicted_run`] model time — so the policy can predict
+//! time-to-drain from the queue snapshot alone, before any request is
+//! late. When the prediction overshoots the class's deadline budget the
+//! pool grows; after sustained idleness it shrinks, never below the
+//! configured floor (at least one machine: a pool that scaled to zero
+//! could not serve the request that wakes it).
+//!
+//! The policy is pure and clocked by a caller-supplied `now` (time since
+//! service start), so unit tests drive whole grow/shrink cycles with a
+//! mock clock and no sleeping.
+
+use crate::coalescer::BatchCost;
+use crate::config::ServiceConfig;
+use std::time::Duration;
+
+/// Autoscaler shape: bounds, trigger threshold, and damping.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleConfig {
+    /// Smallest pool the scaler will shrink to. Must be at least one —
+    /// the serving floor.
+    pub min_machines: usize,
+    /// Largest pool the scaler will grow to.
+    pub max_machines: usize,
+    /// Grow when predicted drain time exceeds this fraction of the
+    /// class's deadline budget. Below 1.0 the pool grows *before* the
+    /// budget is spent (headroom); 1.0 grows exactly at the budget.
+    pub headroom: f64,
+    /// Shrink only after the shard's queue has been continuously empty
+    /// for this long — a quiet patch, not a momentary gap.
+    pub idle_before_shrink: Duration,
+    /// Minimum spacing between scaling actions, so one burst cannot
+    /// thrash the pool up and down.
+    pub cooldown: Duration,
+}
+
+impl AutoscaleConfig {
+    /// Defaults: 1–4 machines, grow at 50% of the deadline budget,
+    /// shrink after 50 ms of continuous idleness, 10 ms cooldown.
+    #[must_use]
+    pub fn new() -> Self {
+        AutoscaleConfig {
+            min_machines: 1,
+            max_machines: 4,
+            headroom: 0.5,
+            idle_before_shrink: Duration::from_millis(50),
+            cooldown: Duration::from_millis(10),
+        }
+    }
+
+    /// Panic unless the configuration is usable.
+    pub fn validate(&self) {
+        assert!(self.min_machines >= 1, "the serving floor is one machine");
+        assert!(
+            self.max_machines >= self.min_machines,
+            "max_machines must admit the floor"
+        );
+        assert!(
+            self.headroom > 0.0 && self.headroom.is_finite(),
+            "headroom is a positive fraction of the deadline budget"
+        );
+    }
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What the shard should do with its pool right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleVerdict {
+    /// Keep the current machine count.
+    Hold,
+    /// Add one machine (predicted drain overshoots the budget).
+    Grow,
+    /// Retire one machine (sustained idleness).
+    Shrink,
+}
+
+/// The per-shard scaling policy. One instance per shard; feed it queue
+/// snapshots via [`Autoscaler::assess`] and apply the verdicts to the
+/// pool. Deterministic: identical snapshot sequences yield identical
+/// verdict sequences.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: AutoscaleConfig,
+    cost: BatchCost,
+    max_batch_keys: usize,
+    /// The class's deadline budget: requests without their own deadline
+    /// must finish within this, so drain predictions are judged against it.
+    budget: Duration,
+    last_action: Option<Duration>,
+    idle_since: Option<Duration>,
+}
+
+impl Autoscaler {
+    /// Policy for one shard whose pool runs `class` under `cfg`.
+    #[must_use]
+    pub fn new(class: &ServiceConfig, cfg: AutoscaleConfig) -> Self {
+        cfg.validate();
+        Autoscaler {
+            cfg,
+            cost: BatchCost::new(class.procs),
+            max_batch_keys: class.max_batch_keys,
+            budget: class.default_deadline,
+            last_action: None,
+            idle_since: None,
+        }
+    }
+
+    /// Predicted model time to drain `queued_keys` keys with `machines`
+    /// concurrent machines: full batches, run in waves of `machines`.
+    #[must_use]
+    pub fn predicted_drain(&self, queued_keys: usize, machines: usize) -> Duration {
+        if queued_keys == 0 {
+            return Duration::ZERO;
+        }
+        let batches = queued_keys.div_ceil(self.max_batch_keys);
+        let waves = batches.div_ceil(machines.max(1));
+        let batch_keys = queued_keys.min(self.max_batch_keys);
+        let per_wave = self.cost.predicted_run(batch_keys);
+        per_wave * waves as u32
+    }
+
+    /// The configured bounds.
+    #[must_use]
+    pub fn config(&self) -> &AutoscaleConfig {
+        &self.cfg
+    }
+
+    /// Judge the shard's queue at `now` (time since service start) and
+    /// return the scaling verdict. The caller is expected to *apply*
+    /// `Grow`/`Shrink` to its pool; the policy assumes it does and arms
+    /// the cooldown accordingly.
+    pub fn assess(&mut self, now: Duration, queued_keys: usize, machines: usize) -> ScaleVerdict {
+        // Idle tracking runs even inside the cooldown window, so a quiet
+        // patch that starts during cooldown still counts in full.
+        if queued_keys == 0 {
+            self.idle_since.get_or_insert(now);
+        } else {
+            self.idle_since = None;
+        }
+        if let Some(at) = self.last_action {
+            if now.saturating_sub(at) < self.cfg.cooldown {
+                return ScaleVerdict::Hold;
+            }
+        }
+        if queued_keys > 0 && machines < self.cfg.max_machines {
+            let drain = self.predicted_drain(queued_keys, machines);
+            let threshold = self.budget.mul_f64(self.cfg.headroom);
+            if drain > threshold {
+                self.last_action = Some(now);
+                return ScaleVerdict::Grow;
+            }
+        }
+        if machines > self.cfg.min_machines {
+            if let Some(since) = self.idle_since {
+                if now.saturating_sub(since) >= self.cfg.idle_before_shrink {
+                    self.last_action = Some(now);
+                    // Restart the idle window: each further shrink needs
+                    // its own sustained quiet patch.
+                    self.idle_since = Some(now);
+                    return ScaleVerdict::Shrink;
+                }
+            }
+        }
+        ScaleVerdict::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A class whose deadline budget is tiny, so any real backlog
+    /// overshoots it regardless of the cost model's absolute scale.
+    fn tight_class() -> ServiceConfig {
+        let mut cfg = ServiceConfig::new(4);
+        cfg.max_batch_keys = 1 << 10;
+        cfg.default_deadline = Duration::from_micros(50);
+        cfg
+    }
+
+    fn scaler(class: &ServiceConfig) -> Autoscaler {
+        Autoscaler::new(
+            class,
+            AutoscaleConfig {
+                min_machines: 1,
+                max_machines: 3,
+                headroom: 0.5,
+                idle_before_shrink: Duration::from_millis(5),
+                cooldown: Duration::from_millis(2),
+            },
+        )
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn predicted_drain_shrinks_with_machines_and_is_zero_when_empty() {
+        let class = tight_class();
+        let a = scaler(&class);
+        assert_eq!(a.predicted_drain(0, 1), Duration::ZERO);
+        let one = a.predicted_drain(1 << 13, 1);
+        let two = a.predicted_drain(1 << 13, 2);
+        assert!(one > Duration::ZERO);
+        assert!(two < one, "more machines drain faster: {two:?} vs {one:?}");
+    }
+
+    #[test]
+    fn drain_overshoot_grows_the_pool() {
+        let class = tight_class();
+        let mut a = scaler(&class);
+        // A deep backlog against a 50 µs budget: grow immediately.
+        assert_eq!(a.assess(ms(0), 1 << 13, 1), ScaleVerdict::Grow);
+    }
+
+    #[test]
+    fn cooldown_spaces_consecutive_grows() {
+        let class = tight_class();
+        let mut a = scaler(&class);
+        assert_eq!(a.assess(ms(0), 1 << 13, 1), ScaleVerdict::Grow);
+        // Still overloaded, but inside the 2 ms cooldown.
+        assert_eq!(a.assess(ms(1), 1 << 13, 2), ScaleVerdict::Hold);
+        // Past the cooldown the next step is granted.
+        assert_eq!(a.assess(ms(3), 1 << 13, 2), ScaleVerdict::Grow);
+    }
+
+    #[test]
+    fn the_pool_never_grows_past_max() {
+        let class = tight_class();
+        let mut a = scaler(&class);
+        assert_eq!(
+            a.assess(ms(0), 1 << 13, 3),
+            ScaleVerdict::Hold,
+            "at max_machines the verdict is Hold no matter the backlog"
+        );
+    }
+
+    #[test]
+    fn sustained_idleness_shrinks_but_a_blip_resets_the_clock() {
+        let class = tight_class();
+        let mut a = scaler(&class);
+        assert_eq!(a.assess(ms(0), 0, 2), ScaleVerdict::Hold);
+        // 4 ms idle: not yet the 5 ms threshold.
+        assert_eq!(a.assess(ms(4), 0, 2), ScaleVerdict::Hold);
+        // A burst arrives: the idle clock resets.
+        assert_eq!(a.assess(ms(5), 16, 2), ScaleVerdict::Hold);
+        assert_eq!(a.assess(ms(6), 0, 2), ScaleVerdict::Hold);
+        // Only 5 ms after the *reset* does the shrink fire.
+        assert_eq!(a.assess(ms(10), 0, 2), ScaleVerdict::Hold);
+        assert_eq!(a.assess(ms(11), 0, 2), ScaleVerdict::Shrink);
+    }
+
+    #[test]
+    fn each_shrink_step_needs_its_own_quiet_patch() {
+        let class = tight_class();
+        let mut a = scaler(&class);
+        assert_eq!(a.assess(ms(0), 0, 3), ScaleVerdict::Hold);
+        assert_eq!(a.assess(ms(5), 0, 3), ScaleVerdict::Shrink);
+        // Still idle, past cooldown, but the idle window restarted.
+        assert_eq!(a.assess(ms(8), 0, 2), ScaleVerdict::Hold);
+        assert_eq!(a.assess(ms(10), 0, 2), ScaleVerdict::Shrink);
+    }
+
+    #[test]
+    fn the_pool_never_shrinks_below_one_machine() {
+        let class = tight_class();
+        let mut a = scaler(&class);
+        assert_eq!(a.assess(ms(0), 0, 1), ScaleVerdict::Hold);
+        for t in 1..100 {
+            assert_eq!(
+                a.assess(ms(t), 0, 1),
+                ScaleVerdict::Hold,
+                "idle forever at the floor still holds (t={t})"
+            );
+        }
+    }
+
+    #[test]
+    fn a_full_scale_cycle_under_a_mock_clock() {
+        // Load arrives → grow; load persists through cooldown → grow to
+        // max; load drains → sustained idle shrinks back down to the
+        // floor, one cooled-down step at a time.
+        let class = tight_class();
+        let mut a = scaler(&class);
+        let mut machines = 1usize;
+        let apply = |a: &mut Autoscaler, t: u64, keys: usize, m: &mut usize| match a.assess(
+            ms(t),
+            keys,
+            *m,
+        ) {
+            ScaleVerdict::Grow => *m += 1,
+            ScaleVerdict::Shrink => *m -= 1,
+            ScaleVerdict::Hold => {}
+        };
+        apply(&mut a, 0, 1 << 13, &mut machines);
+        apply(&mut a, 3, 1 << 13, &mut machines);
+        assert_eq!(machines, 3, "grew to max under sustained overload");
+        apply(&mut a, 6, 1 << 13, &mut machines);
+        assert_eq!(machines, 3, "capped at max");
+        // Queue drains; idle from t=10 ms.
+        apply(&mut a, 10, 0, &mut machines);
+        apply(&mut a, 15, 0, &mut machines);
+        assert_eq!(machines, 2, "first shrink after 5 ms idle");
+        apply(&mut a, 20, 0, &mut machines);
+        assert_eq!(machines, 1, "second quiet patch shrinks to the floor");
+        apply(&mut a, 30, 0, &mut machines);
+        assert_eq!(machines, 1, "never below one machine");
+    }
+
+    #[test]
+    #[should_panic(expected = "serving floor")]
+    fn a_zero_machine_floor_is_rejected() {
+        let cfg = AutoscaleConfig {
+            min_machines: 0,
+            ..AutoscaleConfig::new()
+        };
+        cfg.validate();
+    }
+}

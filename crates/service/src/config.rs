@@ -1,7 +1,18 @@
-//! Service shape: machine size, queue bounds, batching and deadline knobs.
+//! Service shape: machine size, queue bounds, batching and deadline
+//! knobs — plus the sharded topology, where each size class owns a pool.
+//!
+//! A [`ServiceConfig`] describes one *pool*: `P`, machine count, queue
+//! bounds, coalescer policy, deadlines. The single-pool
+//! [`crate::SortService`] runs one of them; the sharded
+//! [`crate::ShardedService`] runs a [`ShardedConfig`] — an ordered list
+//! of [`ClassConfig`]s, each binding a size-class band (requests up to
+//! `pool.max_request_keys`) to its own independently tuned pool. The
+//! pool is the routable unit: the router, the work-stealing protocol,
+//! and the autoscaler all operate on whole classes.
 
+use crate::autoscale::AutoscaleConfig;
 use obs::TraceConfig;
-use spmd::MessageMode;
+use spmd::{FaultConfig, MessageMode};
 use std::time::Duration;
 
 /// Everything a [`crate::SortService`] needs to know at start-up.
@@ -37,6 +48,13 @@ pub struct ServiceConfig {
     /// Coalescer flush threshold: stop waiting once doubling the batch
     /// would improve predicted per-key cost by less than this fraction.
     pub gain_threshold: f64,
+    /// Deterministic fault injection armed on every pool machine (the
+    /// PR 3 chaos layer). [`FaultConfig::off`] (the default) gives
+    /// fault-free machines; the [`ServiceConfig::batch_watchdog`] is
+    /// merged in either way. Chaos tests use this to make one shard's
+    /// machines genuinely fail mid-batch while its neighbors keep
+    /// serving.
+    pub fault: FaultConfig,
 }
 
 impl ServiceConfig {
@@ -57,6 +75,7 @@ impl ServiceConfig {
             batch_watchdog: Some(Duration::from_secs(2)),
             trace: TraceConfig::off(),
             gain_threshold: 0.05,
+            fault: FaultConfig::off(),
         }
     }
 
@@ -73,5 +92,123 @@ impl ServiceConfig {
             (0.0..1.0).contains(&self.gain_threshold),
             "gain threshold is a fraction"
         );
+        self.fault.validate();
+    }
+}
+
+/// One size class in a sharded service: a named request-size band bound
+/// to its own pool. The band's upper bound is the pool's
+/// [`ServiceConfig::max_request_keys`]; the router sends a request to
+/// the first class whose bound admits it.
+#[derive(Debug, Clone)]
+pub struct ClassConfig {
+    /// Human-readable class name (`"small"`, `"bulk"`, …) used in
+    /// stats, reports, and the `SHARD_1` schema.
+    pub name: String,
+    /// The class's pool: its own `P`, machine count, coalescer policy,
+    /// queue bounds, and deadline budget. `pool.max_request_keys` is the
+    /// class's size-band upper bound (inclusive).
+    pub pool: ServiceConfig,
+}
+
+impl ClassConfig {
+    /// A class named `name` admitting requests of up to `max_keys` keys
+    /// on `pool` (whose `max_request_keys` is overwritten with
+    /// `max_keys`).
+    #[must_use]
+    pub fn new(name: &str, max_keys: usize, mut pool: ServiceConfig) -> Self {
+        pool.max_request_keys = max_keys;
+        pool.max_batch_keys = pool.max_batch_keys.max(max_keys);
+        ClassConfig {
+            name: name.to_string(),
+            pool,
+        }
+    }
+}
+
+/// A sharded service: ordered size classes, the steal policy, and the
+/// autoscaler. See [`crate::ShardedService`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Size classes in ascending band order (`pool.max_request_keys`
+    /// strictly increasing). A request routes to the first class that
+    /// admits it; requests beyond the last band are shed as too large.
+    pub classes: Vec<ClassConfig>,
+    /// Work stealing: an idle shard may claim the oldest compatible
+    /// batch from a neighbor whose head request has waited at least this
+    /// long. `None` disables stealing.
+    pub steal_after: Option<Duration>,
+    /// Per-shard machine autoscaling from LogP-predicted queue drain
+    /// time. `None` pins every pool at its configured machine count.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Span recording for the router and every shard worker.
+    pub trace: TraceConfig,
+}
+
+impl ShardedConfig {
+    /// A `shards`-way geometric banding of the default service shape:
+    /// class `i` admits requests up to `max_request_keys >> (shards-1-i)`
+    /// keys with one `procs`-rank machine each, stealing after 1 ms,
+    /// autoscaling off. Two shards give the canonical small/bulk split.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the banding degenerates (too many
+    /// shards for the key range).
+    #[must_use]
+    pub fn banded(procs: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let base = ServiceConfig::new(procs);
+        let names = ["small", "medium", "large", "bulk"];
+        let classes = (0..shards)
+            .map(|i| {
+                let bound = base.max_request_keys >> (shards - 1 - i);
+                let name = if shards <= names.len() {
+                    names[if i + 1 == shards { names.len() - 1 } else { i }].to_string()
+                } else {
+                    format!("class{i}")
+                };
+                let mut pool = base;
+                // Small classes answer interactive load: flush eagerly.
+                if i + 1 < shards {
+                    pool.max_wait = Duration::from_micros(200);
+                }
+                ClassConfig::new(&name, bound, pool)
+            })
+            .collect();
+        let cfg = ShardedConfig {
+            classes,
+            steal_after: Some(Duration::from_millis(1)),
+            autoscale: None,
+            trace: TraceConfig::off(),
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Total machines across all pools (the figure to hold constant when
+    /// comparing sharded against single-pool serving).
+    #[must_use]
+    pub fn total_machines(&self) -> usize {
+        self.classes.iter().map(|c| c.pool.machines).sum()
+    }
+
+    /// Panic unless the topology is usable: at least one class, every
+    /// pool valid, and bands strictly increasing.
+    pub fn validate(&self) {
+        assert!(!self.classes.is_empty(), "need at least one size class");
+        let mut prev = 0usize;
+        for c in &self.classes {
+            c.pool.validate();
+            assert!(
+                c.pool.max_request_keys > prev,
+                "class '{}' band {} must exceed the previous band {prev}",
+                c.name,
+                c.pool.max_request_keys
+            );
+            prev = c.pool.max_request_keys;
+        }
+        if let Some(a) = &self.autoscale {
+            a.validate();
+        }
     }
 }

@@ -33,19 +33,33 @@
 //! * [`SortService`] is the front door: `submit` applies admission
 //!   control and returns a [`Ticket`]; a dispatcher thread coalesces,
 //!   runs, scatters, and records queue/batch/run/scatter spans in an
-//!   [`obs::TraceSink`].
+//!   [`obs::TraceSink`];
+//! * [`ShardedService`] scales the same design *out*: a [`Router`]
+//!   splits the request-size spectrum into bands, each band owning its
+//!   own pool; idle shards steal aged batches from busy neighbors; and
+//!   an [`Autoscaler`] resizes each pool from LogP-predicted queue
+//!   drain time. [`ShardEngine`] is the identical policy stack under
+//!   virtual time, for deterministic steal/scale tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod autoscale;
 pub mod coalescer;
 pub mod config;
 pub mod pool;
+pub mod router;
 pub mod server;
+pub mod shard;
 
 pub use admission::Rejection;
+pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleVerdict};
 pub use coalescer::{BatchCost, Coalescer, Verdict};
-pub use config::ServiceConfig;
+pub use config::{ClassConfig, ServiceConfig, ShardedConfig};
 pub use pool::{PoolStats, WarmPool};
+pub use router::{Router, SizeClass};
 pub use server::{ServiceReport, ServiceStats, SortError, SortRequest, SortService, Ticket};
+pub use shard::{
+    EngineEvent, ShardEngine, ShardStats, ShardedReport, ShardedService, ShardedStats,
+};

@@ -41,6 +41,12 @@ pub struct PoolStats {
     /// Plan-cache misses of the most recent successful batch — zero once
     /// its machine has warmed to the batch's shape.
     pub last_batch_plan_misses: u64,
+    /// Machines currently in the rotation (kept current across
+    /// [`WarmPool::grow`]/[`WarmPool::shrink`]).
+    pub machines: u64,
+    /// Most machines the rotation ever held — the autoscaler's high-water
+    /// mark.
+    pub peak_machines: u64,
 }
 
 impl PoolStats {
@@ -78,28 +84,68 @@ impl WarmPool {
     #[must_use]
     pub fn new(cfg: &ServiceConfig) -> Self {
         cfg.validate();
+        // The chaos layer's faults (if any) ride along; the service-level
+        // batch watchdog takes precedence over a watchdog configured there,
+        // because the serving layer depends on it for batch containment.
+        let mut fault = cfg.fault;
+        if cfg.batch_watchdog.is_some() {
+            fault.watchdog = cfg.batch_watchdog;
+        }
         let machine_config = MachineConfig {
             procs: cfg.procs,
             mode: cfg.mode,
-            fault: spmd::FaultConfig {
-                watchdog: cfg.batch_watchdog,
-                ..spmd::FaultConfig::off()
-            },
+            fault,
             drain_grace: cfg
                 .batch_watchdog
                 .map_or(Duration::from_secs(5), |w| w * 4 + Duration::from_secs(1)),
             ..MachineConfig::new(cfg.procs)
         };
-        let machines = (0..cfg.machines)
+        let machines: Vec<SortMachine> = (0..cfg.machines)
             .map(|_| Self::boot_machine(machine_config))
             .collect();
-        WarmPool {
+        let mut pool = WarmPool {
             machine_config,
             strategy: LocalStrategy::Merges,
             machines,
             next: 0,
             stats: PoolStats::default(),
+        };
+        pool.stats.peak_machines = pool.machines.len() as u64;
+        pool.sync_gauge();
+        pool
+    }
+
+    /// Stamp the current pool size into every machine's gauge so each
+    /// job's per-rank `CommStats` records the capacity that served it.
+    fn sync_gauge(&mut self) {
+        let n = self.machines.len() as u64;
+        self.stats.machines = n;
+        self.stats.peak_machines = self.stats.peak_machines.max(n);
+        for m in &self.machines {
+            m.set_pool_machines(n);
         }
+    }
+
+    /// Add one freshly booted machine to the rotation (autoscaler
+    /// scale-up). Its caches start cold and warm on its first batches.
+    pub fn grow(&mut self) {
+        self.machines.push(Self::boot_machine(self.machine_config));
+        self.sync_gauge();
+    }
+
+    /// Retire one machine (autoscaler scale-down), never dropping below
+    /// one — a pool that scaled to zero could not serve the request that
+    /// wakes it. Returns whether a machine was actually retired.
+    pub fn shrink(&mut self) -> bool {
+        if self.machines.len() <= 1 {
+            return false;
+        }
+        self.machines.pop();
+        if self.next >= self.machines.len() {
+            self.next = 0;
+        }
+        self.sync_gauge();
+        true
     }
 
     fn boot_machine(config: MachineConfig) -> SortMachine {
@@ -164,6 +210,7 @@ impl WarmPool {
                 self.stats.batches_failed += 1;
                 self.stats.machines_rebuilt += 1;
                 self.machines[idx] = Self::boot_machine(self.machine_config);
+                self.machines[idx].set_pool_machines(self.machines.len() as u64);
                 Err(failure)
             }
         }
@@ -210,6 +257,33 @@ mod tests {
         assert_eq!(warm.last_batch_plan_misses, 0);
         assert!(warm.plan_hits > cold.plan_hits);
         assert_eq!(warm.batches_run, 6);
+    }
+
+    #[test]
+    fn grow_and_shrink_move_the_gauge_and_respect_the_floor() {
+        let mut p = pool(2);
+        assert_eq!(p.machines(), 1);
+        assert_eq!(p.stats().machines, 1);
+        p.grow();
+        p.grow();
+        assert_eq!(p.machines(), 3);
+        assert_eq!(p.stats().machines, 3);
+        assert_eq!(p.stats().peak_machines, 3);
+        // Batches still come back correct across the grown rotation, and
+        // every job's stats carry the current pool size.
+        for _ in 0..3 {
+            let out = run(&mut p, &[9, 3, 7, 1]);
+            assert_eq!(out, vec![1, 3, 7, 9]);
+        }
+        assert!(p.shrink());
+        assert_eq!(p.machines(), 2);
+        assert!(p.shrink());
+        assert!(!p.shrink(), "the floor is one machine");
+        assert_eq!(p.machines(), 1);
+        assert_eq!(p.stats().machines, 1);
+        assert_eq!(p.stats().peak_machines, 3, "high-water mark sticks");
+        let out = run(&mut p, &[4, 2]);
+        assert_eq!(out, vec![2, 4]);
     }
 
     #[test]

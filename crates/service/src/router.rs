@@ -1,0 +1,152 @@
+//! The size-class router: which pool answers a request of `n` keys.
+//!
+//! The thesis's communication model makes cost a function of problem
+//! *shape*: the remap count and volume of a batch depend on `lg n`
+//! relative to `lg P`, so a pool tuned for one size class is mistuned
+//! for every other. The router exploits that by binding each request to
+//! the narrowest size band that admits it — small interactive sorts go
+//! to a pool that flushes eagerly and stays warm on small padded
+//! shapes, bulk sorts to a pool whose coalescer is willing to wait for
+//! amortization. Routing is splitter-based like a sample sort's bucket
+//! step (Blelloch et al.): the band bounds are the splitters, the
+//! shards the buckets, and the decision is a binary scan of a handful
+//! of bounds — pure and allocation-free.
+
+use crate::config::ShardedConfig;
+
+/// One routable size band: requests of up to `max_keys` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeClass {
+    /// Class name, mirrored from [`crate::ClassConfig::name`].
+    pub name: String,
+    /// Largest request (in keys) routed to this class.
+    pub max_keys: usize,
+}
+
+/// Routes requests to shards by key count.
+///
+/// Bands are strictly increasing; a request routes to the *first* class
+/// whose bound admits it, so every request lands in the narrowest band
+/// that fits. Requests beyond the last band are unroutable (the caller
+/// sheds them as too large).
+#[derive(Debug, Clone)]
+pub struct Router {
+    classes: Vec<SizeClass>,
+}
+
+impl Router {
+    /// Build the router for a sharded topology.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`ShardedConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: &ShardedConfig) -> Self {
+        cfg.validate();
+        Router {
+            classes: cfg
+                .classes
+                .iter()
+                .map(|c| SizeClass {
+                    name: c.name.clone(),
+                    max_keys: c.pool.max_request_keys,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards routed to.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The class routed to shard `shard`.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn class(&self, shard: usize) -> &SizeClass {
+        &self.classes[shard]
+    }
+
+    /// The shard a `keys`-key request routes to, or `None` when the
+    /// request exceeds every band (shed as too large by the caller).
+    /// Empty requests route to the smallest class.
+    #[must_use]
+    pub fn route(&self, keys: usize) -> Option<usize> {
+        self.classes.iter().position(|c| keys <= c.max_keys)
+    }
+
+    /// The largest request any shard admits.
+    #[must_use]
+    pub fn max_keys(&self) -> usize {
+        self.classes.last().map_or(0, |c| c.max_keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClassConfig, ServiceConfig};
+
+    fn router() -> Router {
+        let base = ServiceConfig::new(4);
+        Router::new(&ShardedConfig {
+            classes: vec![
+                ClassConfig::new("small", 64, base),
+                ClassConfig::new("medium", 1024, base),
+                ClassConfig::new("bulk", 16384, base),
+            ],
+            steal_after: None,
+            autoscale: None,
+            trace: obs::TraceConfig::off(),
+        })
+    }
+
+    #[test]
+    fn requests_route_to_the_narrowest_admitting_band() {
+        let r = router();
+        assert_eq!(r.route(0), Some(0), "empty requests go to the smallest");
+        assert_eq!(r.route(1), Some(0));
+        assert_eq!(r.route(64), Some(0), "bounds are inclusive");
+        assert_eq!(r.route(65), Some(1));
+        assert_eq!(r.route(1024), Some(1));
+        assert_eq!(r.route(1025), Some(2));
+        assert_eq!(r.route(16384), Some(2));
+        assert_eq!(r.route(16385), None, "beyond the last band is unroutable");
+        assert_eq!(r.shards(), 3);
+        assert_eq!(r.max_keys(), 16384);
+        assert_eq!(r.class(0).name, "small");
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the previous band")]
+    fn non_increasing_bands_are_rejected() {
+        let base = ServiceConfig::new(4);
+        let _ = Router::new(&ShardedConfig {
+            classes: vec![
+                ClassConfig::new("a", 1024, base),
+                ClassConfig::new("b", 64, base),
+            ],
+            steal_after: None,
+            autoscale: None,
+            trace: obs::TraceConfig::off(),
+        });
+    }
+
+    #[test]
+    fn the_banded_preset_covers_the_default_request_range() {
+        let cfg = ShardedConfig::banded(4, 2);
+        let r = Router::new(&cfg);
+        assert_eq!(r.shards(), 2);
+        assert_eq!(r.class(0).name, "small");
+        assert_eq!(r.class(1).name, "bulk");
+        let single = ServiceConfig::new(4);
+        assert_eq!(
+            r.max_keys(),
+            single.max_request_keys,
+            "sharding must not shrink the admissible request range"
+        );
+        assert_eq!(cfg.total_machines(), 2);
+    }
+}

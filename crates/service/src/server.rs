@@ -103,7 +103,7 @@ impl std::error::Error for SortError {}
 /// A claim on an admitted request's eventual reply.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<Vec<u32>, SortError>>,
+    pub(crate) rx: mpsc::Receiver<Result<Vec<u32>, SortError>>,
 }
 
 impl Ticket {
@@ -163,12 +163,114 @@ pub struct ServiceReport {
     pub trace: RankTrace,
 }
 
-struct Pending {
-    keys: Vec<u32>,
-    dir: Direction,
-    deadline: Duration,
-    enqueued: Instant,
-    reply: mpsc::Sender<Result<Vec<u32>, SortError>>,
+/// An admitted request waiting in a queue — the unit both the
+/// single-pool dispatcher and the sharded workers (including steals)
+/// move around.
+pub(crate) struct Pending {
+    pub(crate) keys: Vec<u32>,
+    pub(crate) dir: Direction,
+    pub(crate) deadline: Duration,
+    pub(crate) enqueued: Instant,
+    pub(crate) reply: mpsc::Sender<Result<Vec<u32>, SortError>>,
+}
+
+/// Pop the FIFO prefix of `pending` that fits `max_batch_keys`, keeping
+/// `pending_keys` consistent. Always takes at least one request when the
+/// queue is non-empty (admission guarantees any single admitted request
+/// fits one batch). Shared by the single-pool dispatcher, the shard
+/// workers, and the work-stealing path — a thief claiming a victim's
+/// oldest batch takes exactly the prefix the victim itself would have.
+pub(crate) fn take_prefix(
+    pending: &mut VecDeque<Pending>,
+    pending_keys: &mut usize,
+    max_batch_keys: usize,
+) -> Vec<Pending> {
+    let mut batch = Vec::new();
+    let mut keys = 0usize;
+    while let Some(front) = pending.front() {
+        let k = front.keys.len();
+        if !batch.is_empty() && keys + k > max_batch_keys {
+            break;
+        }
+        keys += k;
+        *pending_keys -= k;
+        batch.push(pending.pop_front().expect("front exists"));
+    }
+    batch
+}
+
+/// What [`process_batch`] did with one taken batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BatchOutcome {
+    pub(crate) requests: u64,
+    pub(crate) expired: u64,
+    pub(crate) completed: u64,
+    pub(crate) failed: u64,
+    pub(crate) batched_keys: u64,
+}
+
+/// Expire the stale, encode the live as one [`TaggedBatch`], run it on
+/// `pool`, and scatter the replies — recording `Queue`/`Batch`/`Run`/
+/// `Scatter` spans (with `batch_no` as the span step) along the way.
+/// Shared by the single-pool dispatcher and every shard worker.
+pub(crate) fn process_batch(
+    pool: &mut WarmPool,
+    procs: usize,
+    batch: Vec<Pending>,
+    sink: &mut TraceSink,
+    batch_no: u32,
+) -> BatchOutcome {
+    sink.set_step(batch_no);
+    let formed_at = Instant::now();
+    let mut outcome = BatchOutcome {
+        requests: batch.len() as u64,
+        ..BatchOutcome::default()
+    };
+
+    let mut tagged = TaggedBatch::new();
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        sink.span(TracePhase::Queue, p.enqueued, formed_at);
+        let waited = formed_at.duration_since(p.enqueued);
+        if waited > p.deadline {
+            let _ = p.reply.send(Err(SortError::Expired {
+                waited,
+                deadline: p.deadline,
+            }));
+            outcome.expired += 1;
+            continue;
+        }
+        tagged.push(&p.keys, p.dir);
+        live.push(p);
+    }
+
+    outcome.batched_keys = tagged.total_keys() as u64;
+    if !live.is_empty() {
+        let (words, per_rank) = tagged.padded_words(procs);
+        let encoded_at = Instant::now();
+        sink.span(TracePhase::Batch, formed_at, encoded_at);
+        let result = pool.run_batch(words, per_rank);
+        let ran_at = Instant::now();
+        sink.span(TracePhase::Run, encoded_at, ran_at);
+        match result {
+            Ok(sorted) => {
+                let replies = tagged.split(&sorted);
+                for (p, r) in live.iter().zip(replies) {
+                    let _ = p.reply.send(Ok(r));
+                }
+                outcome.completed = live.len() as u64;
+                sink.span(TracePhase::Scatter, ran_at, Instant::now());
+            }
+            Err(failure) => {
+                let msg = failure.to_string();
+                for p in &live {
+                    let _ = p.reply.send(Err(SortError::MachineFailed(msg.clone())));
+                }
+                outcome.failed = live.len() as u64;
+            }
+        }
+    }
+    outcome
 }
 
 struct QueueState {
@@ -329,21 +431,12 @@ fn dispatch(cfg: ServiceConfig, shared: &Shared) -> ServiceReport {
                     .expect("queue is non-empty");
                 match coalescer.decide(q.pending_keys, oldest_age, tightest_slack, q.closed) {
                     Verdict::Flush => {
-                        // FIFO prefix that fits the batch cap (always at
-                        // least one request; admission guarantees any
-                        // single request fits).
-                        let mut batch = Vec::new();
-                        let mut keys = 0usize;
-                        while let Some(front) = q.pending.front() {
-                            let k = front.keys.len();
-                            if !batch.is_empty() && keys + k > cfg.max_batch_keys {
-                                break;
-                            }
-                            keys += k;
-                            q.pending_keys -= k;
-                            batch.push(q.pending.pop_front().expect("front exists"));
-                        }
-                        break Some(batch);
+                        let qs = &mut *q;
+                        break Some(take_prefix(
+                            &mut qs.pending,
+                            &mut qs.pending_keys,
+                            cfg.max_batch_keys,
+                        ));
                     }
                     Verdict::Wait(d) => {
                         let (guard, _) = shared.cv.wait_timeout(q, d).expect("queue lock");
@@ -352,7 +445,7 @@ fn dispatch(cfg: ServiceConfig, shared: &Shared) -> ServiceReport {
                 }
             }
         };
-        let Some(mut batch) = taken else {
+        let Some(batch) = taken else {
             // Closed and drained: report and exit.
             let mut q = shared.q.lock().expect("queue lock");
             q.stats.pool = pool.stats();
@@ -363,65 +456,15 @@ fn dispatch(cfg: ServiceConfig, shared: &Shared) -> ServiceReport {
         };
 
         batch_no += 1;
-        sink.set_step(batch_no);
-        let formed_at = Instant::now();
-        let batch_requests = batch.len() as u64;
-
-        // Expire the stale, encode the live. One Queue span per request.
-        let mut tagged = TaggedBatch::new();
-        let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
-        let mut expired = 0u64;
-        for p in batch.drain(..) {
-            sink.span(TracePhase::Queue, p.enqueued, formed_at);
-            let waited = formed_at.duration_since(p.enqueued);
-            if waited > p.deadline {
-                let _ = p.reply.send(Err(SortError::Expired {
-                    waited,
-                    deadline: p.deadline,
-                }));
-                expired += 1;
-                continue;
-            }
-            tagged.push(&p.keys, p.dir);
-            live.push(p);
-        }
-
-        let mut completed = 0u64;
-        let mut failed = 0u64;
-        let batched_keys = tagged.total_keys() as u64;
-        if !live.is_empty() {
-            let (words, per_rank) = tagged.padded_words(cfg.procs);
-            let encoded_at = Instant::now();
-            sink.span(TracePhase::Batch, formed_at, encoded_at);
-            let result = pool.run_batch(words, per_rank);
-            let ran_at = Instant::now();
-            sink.span(TracePhase::Run, encoded_at, ran_at);
-            match result {
-                Ok(sorted) => {
-                    let replies = tagged.split(&sorted);
-                    for (p, r) in live.iter().zip(replies) {
-                        let _ = p.reply.send(Ok(r));
-                    }
-                    completed = live.len() as u64;
-                    sink.span(TracePhase::Scatter, ran_at, Instant::now());
-                }
-                Err(failure) => {
-                    let msg = failure.to_string();
-                    for p in &live {
-                        let _ = p.reply.send(Err(SortError::MachineFailed(msg.clone())));
-                    }
-                    failed = live.len() as u64;
-                }
-            }
-        }
+        let outcome = process_batch(&mut pool, cfg.procs, batch, &mut sink, batch_no);
 
         let mut q = shared.q.lock().expect("queue lock");
         q.stats.batches += 1;
-        q.stats.batched_keys += batched_keys;
-        q.stats.largest_batch = q.stats.largest_batch.max(batch_requests);
-        q.stats.expired += expired;
-        q.stats.completed += completed;
-        q.stats.failed += failed;
+        q.stats.batched_keys += outcome.batched_keys;
+        q.stats.largest_batch = q.stats.largest_batch.max(outcome.requests);
+        q.stats.expired += outcome.expired;
+        q.stats.completed += outcome.completed;
+        q.stats.failed += outcome.failed;
         q.stats.pool = pool.stats();
     }
 }

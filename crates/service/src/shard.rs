@@ -1,0 +1,1038 @@
+//! Sharded serving: a size-class router over multiple warm pools, with
+//! work stealing and predictive autoscaling.
+//!
+//! One pool serves every request shape poorly: the coalescer tuned for
+//! bulk throughput holds small interactive sorts hostage, and the one
+//! tuned for latency never amortizes the big ones. Sharding splits the
+//! request-size spectrum into bands ([`crate::ShardedConfig`]), gives
+//! each band its own pool — its own `P`, coalescer, plan cache, machine
+//! count — and routes every request to the narrowest band that admits
+//! it ([`Router`]).
+//!
+//! ```text
+//!  clients ──submit──▶ [router] ──▶ shard 0 (small)  [queue]─▶ pool
+//!                         │    ───▶ shard 1 (bulk)   [queue]─▶ pool
+//!                         │              ▲ steal ▲
+//!                         └── size-class │ bands │ autoscaler
+//! ```
+//!
+//! Two mechanisms keep the split from stranding capacity:
+//!
+//! * **Work stealing** — an idle shard claims the oldest compatible
+//!   batch from a *busy* neighbor's queue (head waited at least
+//!   `steal_after`), re-coalescing it under its own cost model. The
+//!   claim is exactly the FIFO prefix the victim itself would have
+//!   taken (`server::take_prefix`), so replies are unchanged —
+//!   only who computes them.
+//! * **Predictive autoscaling** — each shard feeds queue snapshots to an
+//!   [`Autoscaler`], growing its pool when the LogP-predicted drain
+//!   time overshoots the class's deadline budget and shrinking it after
+//!   sustained idleness (never below one machine).
+//!
+//! Both services here answer identically to a single pool — the
+//! property tests in `tests/shard.rs` prove replies are byte-identical.
+//! [`ShardedService`] is the production front door (one worker thread
+//! per shard). [`ShardEngine`] is the same policy stack run
+//! *synchronously under virtual time*: every routing, flush, steal and
+//! scale decision is a pure function of the scripted submission times,
+//! so tests replay a scenario and demand bit-for-bit identical event
+//! logs.
+
+use crate::admission::{Admission, Rejection};
+use crate::autoscale::{Autoscaler, ScaleVerdict};
+use crate::coalescer::{Coalescer, Verdict};
+use crate::config::{ServiceConfig, ShardedConfig};
+use crate::pool::{PoolStats, WarmPool};
+use crate::router::Router;
+use crate::server::{process_batch, take_prefix, Pending, SortError, SortRequest, Ticket};
+use bitonic_core::tagged::TaggedBatch;
+use obs::{RankTrace, TracePhase, TraceSink};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A steal candidate as seen by an idle shard: the victim's index, its
+/// head request's age and key count, and whether the victim's worker is
+/// currently busy running a batch.
+pub(crate) type StealHead = (usize, Duration, usize, bool);
+
+/// Pick the victim an idle thief should steal from: among busy shards
+/// whose head request has waited at least `steal_after` and fits
+/// `thief_capacity` keys, the one with the *oldest* head (ties go to the
+/// lowest shard index). Pure and deterministic — shared by the threaded
+/// workers and the virtual-time engine so both steal identically.
+pub(crate) fn pick_victim(
+    heads: &[StealHead],
+    steal_after: Duration,
+    thief_capacity: usize,
+) -> Option<usize> {
+    heads
+        .iter()
+        .filter(|(_, age, keys, busy)| *busy && *age >= steal_after && *keys <= thief_capacity)
+        .max_by_key(|(shard, age, _, _)| (*age, Reverse(*shard)))
+        .map(|(shard, _, _, _)| *shard)
+}
+
+/// One shard's lifetime counters.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// The class name this shard serves.
+    pub class: String,
+    /// Requests the router sent here.
+    pub submitted: u64,
+    /// Requests past this shard's admission control.
+    pub admitted: u64,
+    /// Requests shed by this shard's admission control.
+    pub shed: u64,
+    /// Admitted requests that out-waited their deadline.
+    pub expired: u64,
+    /// Admitted requests lost to a failed batch.
+    pub failed: u64,
+    /// Requests answered with sorted keys (including stolen ones — the
+    /// thief gets the credit).
+    pub completed: u64,
+    /// Batches this shard ran (own and stolen).
+    pub batches: u64,
+    /// Useful keys across those batches.
+    pub batched_keys: u64,
+    /// Most requests in one batch.
+    pub largest_batch: u64,
+    /// Batches this shard stole from neighbors.
+    pub steals: u64,
+    /// Requests claimed across those steals.
+    pub stolen_requests: u64,
+    /// Times the autoscaler grew this shard's pool.
+    pub scale_ups: u64,
+    /// Times the autoscaler shrank this shard's pool.
+    pub scale_downs: u64,
+    /// The shard's pool counters (machines, rebuilds, plan cache).
+    pub pool: PoolStats,
+}
+
+/// Whole-service counters: one [`ShardStats`] per shard plus the
+/// requests no band admitted.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStats {
+    /// Per-shard counters, in class order.
+    pub shards: Vec<ShardStats>,
+    /// Requests larger than every band (shed at the router).
+    pub unroutable: u64,
+}
+
+impl ShardedStats {
+    /// Requests answered with sorted keys, summed over shards.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Requests shed anywhere (router or shard admission).
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.unroutable + self.shards.iter().map(|s| s.shed).sum::<u64>()
+    }
+
+    /// Admitted requests that expired in a queue, summed over shards.
+    #[must_use]
+    pub fn expired(&self) -> u64 {
+        self.shards.iter().map(|s| s.expired).sum()
+    }
+
+    /// Admitted requests lost to failed batches, summed over shards.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.shards.iter().map(|s| s.failed).sum()
+    }
+
+    /// Batches stolen, summed over shards.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.shards.iter().map(|s| s.steals).sum()
+    }
+}
+
+/// What a finished sharded service hands back.
+#[derive(Debug)]
+pub struct ShardedReport {
+    /// Final counters.
+    pub stats: ShardedStats,
+    /// One span timeline per shard worker (queue/batch/run/scatter plus
+    /// steal and scale spans), in class order.
+    pub shard_traces: Vec<RankTrace>,
+    /// The router's timeline (one `Route` span per admitted request,
+    /// `step` carrying the shard index).
+    pub router_trace: RankTrace,
+}
+
+struct ShardQueue {
+    pending: VecDeque<Pending>,
+    pending_keys: usize,
+    /// The shard's worker is currently off running a batch — the signal
+    /// that makes an aged queue *stealable* (an idle victim flushes its
+    /// own queue within `max_wait`; stealing from it would just churn).
+    busy: bool,
+    stats: ShardStats,
+}
+
+struct MultiQueue {
+    shards: Vec<ShardQueue>,
+    closed: bool,
+    unroutable: u64,
+    router_sink: TraceSink,
+}
+
+struct SharedShards {
+    q: Mutex<MultiQueue>,
+    cv: Condvar,
+}
+
+/// A running sharded sort service: one worker thread per size class,
+/// each owning its shard's [`WarmPool`].
+///
+/// Submissions are accepted from any thread; dropping the service (or
+/// calling [`ShardedService::shutdown`]) drains every queue and joins
+/// the workers.
+pub struct ShardedService {
+    shared: Arc<SharedShards>,
+    router: Router,
+    admissions: Vec<Admission>,
+    deadlines: Vec<Duration>,
+    workers: Vec<std::thread::JoinHandle<RankTrace>>,
+}
+
+impl std::fmt::Debug for ShardedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("shards", &self.router.shards())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedService {
+    /// Boot every shard's pool and start one worker per shard.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`ShardedConfig::validate`].
+    #[must_use]
+    pub fn start(cfg: ShardedConfig) -> Self {
+        cfg.validate();
+        let router = Router::new(&cfg);
+        let epoch = Instant::now();
+        let shards = cfg
+            .classes
+            .iter()
+            .map(|c| ShardQueue {
+                pending: VecDeque::new(),
+                pending_keys: 0,
+                busy: false,
+                stats: ShardStats {
+                    class: c.name.clone(),
+                    ..ShardStats::default()
+                },
+            })
+            .collect();
+        let shared = Arc::new(SharedShards {
+            q: Mutex::new(MultiQueue {
+                shards,
+                closed: false,
+                unroutable: 0,
+                router_sink: TraceSink::new(cfg.classes.len(), cfg.trace, epoch),
+            }),
+            cv: Condvar::new(),
+        });
+        let admissions = cfg
+            .classes
+            .iter()
+            .map(|c| Admission::new(&c.pool))
+            .collect();
+        let deadlines = cfg
+            .classes
+            .iter()
+            .map(|c| c.pool.default_deadline)
+            .collect();
+        let workers = (0..cfg.classes.len())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || shard_worker(&cfg, i, epoch, &shared))
+            })
+            .collect();
+        ShardedService {
+            shared,
+            router,
+            admissions,
+            deadlines,
+            workers,
+        }
+    }
+
+    /// Submit a request: route it to its size class, apply that shard's
+    /// admission control, and enqueue it. Requests larger than every
+    /// band are shed as [`Rejection::TooLarge`] against the widest band.
+    ///
+    /// # Errors
+    /// The [`Rejection`] naming the limit the request hit.
+    pub fn submit(&self, request: SortRequest) -> Result<Ticket, Rejection> {
+        let t0 = Instant::now();
+        let mut q = self.shared.q.lock().expect("shard queues lock");
+        if q.closed {
+            return Err(Rejection::Closed);
+        }
+        let Some(shard) = self.router.route(request.keys.len()) else {
+            q.unroutable += 1;
+            return Err(Rejection::TooLarge {
+                keys: request.keys.len(),
+                limit: self.router.max_keys(),
+            });
+        };
+        let deadline = request.deadline.unwrap_or(self.deadlines[shard]);
+        let sq = &mut q.shards[shard];
+        sq.stats.submitted += 1;
+        if let Err(r) = self.admissions[shard].admit(
+            sq.pending.len(),
+            sq.pending_keys,
+            request.keys.len(),
+            deadline,
+        ) {
+            sq.stats.shed += 1;
+            return Err(r);
+        }
+        sq.stats.admitted += 1;
+        sq.pending_keys += request.keys.len();
+        let (reply, rx) = mpsc::channel();
+        sq.pending.push_back(Pending {
+            keys: request.keys,
+            dir: request.dir,
+            deadline,
+            enqueued: t0,
+            reply,
+        });
+        q.router_sink.set_step(shard as u32);
+        q.router_sink.span(TracePhase::Route, t0, Instant::now());
+        drop(q);
+        self.shared.cv.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// A snapshot of every shard's counters (pool counters as of each
+    /// shard's most recently finished batch).
+    #[must_use]
+    pub fn stats(&self) -> ShardedStats {
+        let q = self.shared.q.lock().expect("shard queues lock");
+        ShardedStats {
+            shards: q.shards.iter().map(|s| s.stats.clone()).collect(),
+            unroutable: q.unroutable,
+        }
+    }
+
+    /// Stop accepting requests, drain every shard, and return the final
+    /// report.
+    ///
+    /// # Panics
+    /// Panics if a worker thread itself panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> ShardedReport {
+        let workers = std::mem::take(&mut self.workers);
+        self.close();
+        let shard_traces = workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect();
+        let mut q = self.shared.q.lock().expect("shard queues lock");
+        let router_sink = std::mem::replace(
+            &mut q.router_sink,
+            TraceSink::new(0, obs::TraceConfig::off(), Instant::now()),
+        );
+        ShardedReport {
+            stats: ShardedStats {
+                shards: q.shards.iter().map(|s| s.stats.clone()).collect(),
+                unroutable: q.unroutable,
+            },
+            shard_traces,
+            router_trace: router_sink.finish(),
+        }
+    }
+
+    fn close(&self) {
+        self.shared.q.lock().expect("shard queues lock").closed = true;
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for ShardedService {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.close();
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// What a worker pulled out of the queues in one pass.
+enum Taken {
+    /// A batch of this shard's own requests.
+    Own(Vec<Pending>),
+    /// A batch stolen from `victim`'s queue.
+    Stolen(Vec<Pending>, usize),
+    /// Closed and this shard's queue is drained: exit.
+    Done,
+}
+
+/// One shard's worker: coalesce → (steal when idle) → run → scatter,
+/// with the autoscaler adjusting the pool between batches.
+fn shard_worker(
+    cfg: &ShardedConfig,
+    me: usize,
+    epoch: Instant,
+    shared: &SharedShards,
+) -> RankTrace {
+    let class = &cfg.classes[me].pool;
+    let mut pool = WarmPool::new(class);
+    let coalescer = Coalescer::new(class);
+    let mut scaler = cfg.autoscale.map(|a| Autoscaler::new(class, a));
+    let mut sink = TraceSink::new(me, cfg.trace, epoch);
+    let mut batch_no: u32 = 0;
+    // When idle with stealing enabled, wake at this tick to rescan for
+    // steal opportunities even without a submit notification.
+    let idle_tick = cfg.steal_after.map(|d| d.max(Duration::from_micros(200)));
+
+    loop {
+        let taken: Taken = {
+            let mut q = shared.q.lock().expect("shard queues lock");
+            loop {
+                // Autoscale from the live queue snapshot.
+                if let Some(scaler) = scaler.as_mut() {
+                    let t0 = Instant::now();
+                    let verdict = scaler.assess(
+                        t0.duration_since(epoch),
+                        q.shards[me].pending_keys,
+                        pool.machines(),
+                    );
+                    match verdict {
+                        ScaleVerdict::Grow => {
+                            pool.grow();
+                            q.shards[me].stats.scale_ups += 1;
+                            sink.span(TracePhase::Scale, t0, Instant::now());
+                        }
+                        ScaleVerdict::Shrink => {
+                            if pool.shrink() {
+                                q.shards[me].stats.scale_downs += 1;
+                                sink.span(TracePhase::Scale, t0, Instant::now());
+                            }
+                        }
+                        ScaleVerdict::Hold => {}
+                    }
+                }
+
+                if q.shards[me].pending.is_empty() {
+                    if q.closed {
+                        break Taken::Done;
+                    }
+                    // Idle: look for a busy neighbor with an aged head.
+                    if let Some(after) = cfg.steal_after {
+                        let now = Instant::now();
+                        let heads: Vec<StealHead> = q
+                            .shards
+                            .iter()
+                            .enumerate()
+                            .filter(|(v, _)| *v != me)
+                            .filter_map(|(v, sq)| {
+                                sq.pending.front().map(|p| {
+                                    (v, now.duration_since(p.enqueued), p.keys.len(), sq.busy)
+                                })
+                            })
+                            .collect();
+                        if let Some(victim) = pick_victim(&heads, after, class.max_batch_keys) {
+                            let vq = &mut q.shards[victim];
+                            let batch = take_prefix(
+                                &mut vq.pending,
+                                &mut vq.pending_keys,
+                                class.max_batch_keys,
+                            );
+                            sink.span(TracePhase::Steal, now, Instant::now());
+                            break Taken::Stolen(batch, victim);
+                        }
+                    }
+                    q = match idle_tick {
+                        Some(tick) => shared.cv.wait_timeout(q, tick).expect("lock").0,
+                        None => shared.cv.wait(q).expect("shard queues lock"),
+                    };
+                    continue;
+                }
+
+                let now = Instant::now();
+                let sq = &q.shards[me];
+                let oldest_age = now.duration_since(sq.pending[0].enqueued);
+                let tightest_slack = sq
+                    .pending
+                    .iter()
+                    .map(|p| p.deadline.saturating_sub(now.duration_since(p.enqueued)))
+                    .min()
+                    .expect("queue is non-empty");
+                match coalescer.decide(sq.pending_keys, oldest_age, tightest_slack, q.closed) {
+                    Verdict::Flush => {
+                        let sq = &mut q.shards[me];
+                        let batch = take_prefix(
+                            &mut sq.pending,
+                            &mut sq.pending_keys,
+                            class.max_batch_keys,
+                        );
+                        break Taken::Own(batch);
+                    }
+                    Verdict::Wait(d) => {
+                        q = shared.cv.wait_timeout(q, d).expect("lock").0;
+                    }
+                }
+            }
+        };
+
+        let (batch, stolen_from) = match taken {
+            Taken::Done => {
+                let mut q = shared.q.lock().expect("shard queues lock");
+                q.shards[me].stats.pool = pool.stats();
+                return sink.finish();
+            }
+            Taken::Own(b) => (b, None),
+            Taken::Stolen(b, v) => (b, Some(v)),
+        };
+
+        {
+            let mut q = shared.q.lock().expect("shard queues lock");
+            q.shards[me].busy = true;
+            // The victim keeps its submitted/admitted counts; the thief
+            // takes the steal and completion credit.
+            if stolen_from.is_some() {
+                q.shards[me].stats.steals += 1;
+                q.shards[me].stats.stolen_requests += batch.len() as u64;
+            }
+        }
+        batch_no += 1;
+        let outcome = process_batch(&mut pool, class.procs, batch, &mut sink, batch_no);
+        let mut q = shared.q.lock().expect("shard queues lock");
+        let sq = &mut q.shards[me];
+        sq.busy = false;
+        sq.stats.batches += 1;
+        sq.stats.batched_keys += outcome.batched_keys;
+        sq.stats.largest_batch = sq.stats.largest_batch.max(outcome.requests);
+        sq.stats.expired += outcome.expired;
+        sq.stats.completed += outcome.completed;
+        sq.stats.failed += outcome.failed;
+        sq.stats.pool = pool.stats();
+        drop(q);
+        shared.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic engine: the same policy stack under virtual time.
+// ---------------------------------------------------------------------------
+
+/// One scheduling decision the [`ShardEngine`] made, in order. Replaying
+/// the same submissions at the same virtual times yields the same log,
+/// bit for bit — the work-stealing conformance tests diff two runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A request was admitted and enqueued on `shard`.
+    Routed {
+        /// Request id (as returned by [`ShardEngine::submit`]).
+        request: u64,
+        /// The shard it routed to.
+        shard: usize,
+    },
+    /// `shard` formed and ran a batch. `stolen_from` names the victim
+    /// when the batch was claimed from a neighbor's queue.
+    Flushed {
+        /// The shard that ran the batch.
+        shard: usize,
+        /// Requests in the batch (before expiry).
+        requests: u64,
+        /// Useful keys in the batch.
+        keys: u64,
+        /// The victim shard, for stolen batches.
+        stolen_from: Option<usize>,
+    },
+    /// The autoscaler resized `shard`'s pool.
+    Scaled {
+        /// The shard whose pool changed.
+        shard: usize,
+        /// `true` for a grow, `false` for a shrink.
+        grew: bool,
+        /// Machines after the change.
+        machines: u64,
+    },
+    /// A request was answered with sorted keys by `shard`.
+    Completed {
+        /// The finished request.
+        request: u64,
+        /// The shard that ran it (the thief, for stolen batches).
+        shard: usize,
+    },
+    /// A request out-waited its deadline before its batch formed.
+    Expired {
+        /// The expired request.
+        request: u64,
+    },
+    /// A request was lost to a failed batch.
+    Failed {
+        /// The lost request.
+        request: u64,
+    },
+}
+
+struct EnginePending {
+    id: u64,
+    keys: Vec<u32>,
+    dir: bitonic_network::Direction,
+    deadline: Duration,
+    enqueued: Duration,
+}
+
+struct EngineShard {
+    cfg: ServiceConfig,
+    pool: WarmPool,
+    coalescer: Coalescer,
+    scaler: Option<Autoscaler>,
+    queue: VecDeque<EnginePending>,
+    queue_keys: usize,
+    /// Per-machine busy-until times (virtual). A machine whose entry is
+    /// `<= now` is free.
+    busy: Vec<Duration>,
+}
+
+impl EngineShard {
+    fn machine_free(&self, now: Duration) -> Option<usize> {
+        self.busy
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b <= now)
+            .min_by_key(|(_, b)| **b)
+            .map(|(i, _)| i)
+    }
+}
+
+/// The sharded policy stack run synchronously under a virtual clock.
+///
+/// The engine uses *real* pools (real machines, real sorted replies,
+/// real plan caches) but replaces every wall-clock read with a caller-
+/// advanced `now`, and models machine occupancy with the cost model:
+/// running a batch marks a machine busy for
+/// [`crate::BatchCost::predicted_run`] of virtual time. Because every
+/// decision input is deterministic, so is the [`EngineEvent`] log.
+///
+/// Drive it with [`ShardEngine::submit`] / [`ShardEngine::advance`] /
+/// [`ShardEngine::run_until_idle`], then inspect
+/// [`ShardEngine::events`] and [`ShardEngine::reply`].
+pub struct ShardEngine {
+    now: Duration,
+    router: Router,
+    admissions: Vec<Admission>,
+    steal_after: Option<Duration>,
+    shards: Vec<EngineShard>,
+    next_id: u64,
+    events: Vec<EngineEvent>,
+    replies: BTreeMap<u64, Result<Vec<u32>, SortError>>,
+}
+
+impl std::fmt::Debug for ShardEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardEngine")
+            .field("now", &self.now)
+            .field("events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardEngine {
+    /// Build the engine for `cfg` at virtual time zero.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`ShardedConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: &ShardedConfig) -> Self {
+        cfg.validate();
+        let router = Router::new(cfg);
+        let admissions = cfg
+            .classes
+            .iter()
+            .map(|c| Admission::new(&c.pool))
+            .collect();
+        let shards = cfg
+            .classes
+            .iter()
+            .map(|c| {
+                let pool = WarmPool::new(&c.pool);
+                let busy = vec![Duration::ZERO; pool.machines()];
+                EngineShard {
+                    cfg: c.pool,
+                    coalescer: Coalescer::new(&c.pool),
+                    scaler: cfg.autoscale.map(|a| Autoscaler::new(&c.pool, a)),
+                    pool,
+                    queue: VecDeque::new(),
+                    queue_keys: 0,
+                    busy,
+                }
+            })
+            .collect();
+        ShardEngine {
+            now: Duration::ZERO,
+            router,
+            admissions,
+            steal_after: cfg.steal_after,
+            shards,
+            next_id: 0,
+            events: Vec::new(),
+            replies: BTreeMap::new(),
+        }
+    }
+
+    /// The virtual clock.
+    #[must_use]
+    pub fn now(&self) -> Duration {
+        self.now
+    }
+
+    /// Advance the virtual clock by `dt` without making any decisions.
+    pub fn advance(&mut self, dt: Duration) {
+        self.now += dt;
+    }
+
+    /// Machines currently in `shard`'s pool.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn machines(&self, shard: usize) -> usize {
+        self.shards[shard].pool.machines()
+    }
+
+    /// Requests waiting on `shard`'s queue.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn queued(&self, shard: usize) -> usize {
+        self.shards[shard].queue.len()
+    }
+
+    /// The decision log so far.
+    #[must_use]
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// The reply recorded for request `id`, if its batch has run.
+    #[must_use]
+    pub fn reply(&self, id: u64) -> Option<&Result<Vec<u32>, SortError>> {
+        self.replies.get(&id)
+    }
+
+    /// Route and admit a request at the current virtual time, returning
+    /// its id.
+    ///
+    /// # Errors
+    /// The [`Rejection`] naming the limit the request hit.
+    pub fn submit(&mut self, request: SortRequest) -> Result<u64, Rejection> {
+        let Some(shard) = self.router.route(request.keys.len()) else {
+            return Err(Rejection::TooLarge {
+                keys: request.keys.len(),
+                limit: self.router.max_keys(),
+            });
+        };
+        let deadline = request
+            .deadline
+            .unwrap_or(self.shards[shard].cfg.default_deadline);
+        let sq = &mut self.shards[shard];
+        self.admissions[shard].admit(
+            sq.queue.len(),
+            sq.queue_keys,
+            request.keys.len(),
+            deadline,
+        )?;
+        let id = self.next_id;
+        self.next_id += 1;
+        sq.queue_keys += request.keys.len();
+        sq.queue.push_back(EnginePending {
+            id,
+            keys: request.keys,
+            dir: request.dir,
+            deadline,
+            enqueued: self.now,
+        });
+        self.events.push(EngineEvent::Routed { request: id, shard });
+        Ok(id)
+    }
+
+    /// One decision pass at the current virtual time: autoscale every
+    /// shard, flush every shard whose coalescer says so (while machines
+    /// are free), then let idle shards steal from busy neighbors.
+    /// Returns whether anything happened.
+    pub fn tick(&mut self) -> bool {
+        let mut progressed = false;
+        for i in 0..self.shards.len() {
+            progressed |= self.autoscale(i);
+        }
+        for i in 0..self.shards.len() {
+            while self.try_flush(i) {
+                progressed = true;
+            }
+        }
+        if self.steal_after.is_some() {
+            for thief in 0..self.shards.len() {
+                while self.try_steal(thief) {
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Run ticks, advancing virtual time through waits, until every
+    /// queue is empty and every machine is free.
+    pub fn run_until_idle(&mut self) {
+        loop {
+            if self.tick() {
+                continue;
+            }
+            let Some(next) = self.next_event_time() else {
+                break;
+            };
+            debug_assert!(next > self.now, "virtual time must advance");
+            self.now = next;
+        }
+    }
+
+    /// The earliest future virtual time at which a new decision could
+    /// fire: a machine freeing up, a coalescer wait expiring, or a
+    /// queued head crossing the steal threshold. `None` when fully idle.
+    fn next_event_time(&self) -> Option<Duration> {
+        let mut next: Option<Duration> = None;
+        let mut consider = |t: Duration| {
+            if t > self.now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for s in &self.shards {
+            for b in &s.busy {
+                consider(*b);
+            }
+            if let Some(head) = s.queue.front() {
+                // The coalescer's wait is bounded by max_wait from the
+                // head's enqueue; flushing is certain by then.
+                consider(head.enqueued + s.cfg.max_wait);
+                if let Some(after) = self.steal_after {
+                    consider(head.enqueued + after);
+                }
+            }
+        }
+        next
+    }
+
+    fn autoscale(&mut self, i: usize) -> bool {
+        let now = self.now;
+        let s = &mut self.shards[i];
+        let Some(scaler) = s.scaler.as_mut() else {
+            return false;
+        };
+        match scaler.assess(now, s.queue_keys, s.pool.machines()) {
+            ScaleVerdict::Grow => {
+                s.pool.grow();
+                s.busy.push(now);
+                self.events.push(EngineEvent::Scaled {
+                    shard: i,
+                    grew: true,
+                    machines: s.pool.machines() as u64,
+                });
+                true
+            }
+            ScaleVerdict::Shrink => {
+                if s.pool.shrink() {
+                    // Retire the freest machine slot.
+                    if let Some(idx) = s
+                        .busy
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, b)| **b)
+                        .map(|(idx, _)| idx)
+                    {
+                        s.busy.remove(idx);
+                    }
+                    self.events.push(EngineEvent::Scaled {
+                        shard: i,
+                        grew: false,
+                        machines: s.pool.machines() as u64,
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+            ScaleVerdict::Hold => false,
+        }
+    }
+
+    fn try_flush(&mut self, i: usize) -> bool {
+        let now = self.now;
+        let s = &self.shards[i];
+        if s.queue.is_empty() || s.machine_free(now).is_none() {
+            return false;
+        }
+        let oldest_age = now.saturating_sub(s.queue[0].enqueued);
+        let tightest_slack = s
+            .queue
+            .iter()
+            .map(|p| p.deadline.saturating_sub(now.saturating_sub(p.enqueued)))
+            .min()
+            .expect("queue is non-empty");
+        if s.coalescer
+            .decide(s.queue_keys, oldest_age, tightest_slack, false)
+            != Verdict::Flush
+        {
+            return false;
+        }
+        let max_batch_keys = self.shards[i].cfg.max_batch_keys;
+        let batch = Self::take_engine_prefix(&mut self.shards[i], max_batch_keys);
+        self.run_engine_batch(i, batch, None);
+        true
+    }
+
+    fn try_steal(&mut self, thief: usize) -> bool {
+        let Some(after) = self.steal_after else {
+            return false;
+        };
+        let now = self.now;
+        let t = &self.shards[thief];
+        if !t.queue.is_empty() || t.machine_free(now).is_none() {
+            return false;
+        }
+        let capacity = t.cfg.max_batch_keys;
+        let heads: Vec<StealHead> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| *v != thief)
+            .filter_map(|(v, s)| {
+                s.queue.front().map(|p| {
+                    // A victim is "busy" when no machine of its own could
+                    // pick the head up right now.
+                    (
+                        v,
+                        now.saturating_sub(p.enqueued),
+                        p.keys.len(),
+                        s.machine_free(now).is_none(),
+                    )
+                })
+            })
+            .collect();
+        let Some(victim) = pick_victim(&heads, after, capacity) else {
+            return false;
+        };
+        let batch = Self::take_engine_prefix(&mut self.shards[victim], capacity);
+        self.run_engine_batch(thief, batch, Some(victim));
+        true
+    }
+
+    /// [`crate::server::take_prefix`] over engine pendings.
+    fn take_engine_prefix(s: &mut EngineShard, max_batch_keys: usize) -> Vec<EnginePending> {
+        let mut batch = Vec::new();
+        let mut keys = 0usize;
+        while let Some(front) = s.queue.front() {
+            let k = front.keys.len();
+            if !batch.is_empty() && keys + k > max_batch_keys {
+                break;
+            }
+            keys += k;
+            s.queue_keys -= k;
+            batch.push(s.queue.pop_front().expect("front exists"));
+        }
+        batch
+    }
+
+    fn run_engine_batch(
+        &mut self,
+        runner: usize,
+        batch: Vec<EnginePending>,
+        stolen_from: Option<usize>,
+    ) {
+        let now = self.now;
+        let requests = batch.len() as u64;
+        let mut tagged = TaggedBatch::new();
+        let mut live: Vec<u64> = Vec::with_capacity(batch.len());
+        for p in batch {
+            let waited = now.saturating_sub(p.enqueued);
+            if waited > p.deadline {
+                self.replies.insert(
+                    p.id,
+                    Err(SortError::Expired {
+                        waited,
+                        deadline: p.deadline,
+                    }),
+                );
+                self.events.push(EngineEvent::Expired { request: p.id });
+                continue;
+            }
+            tagged.push(&p.keys, p.dir);
+            live.push(p.id);
+        }
+        let keys = tagged.total_keys() as u64;
+        self.events.push(EngineEvent::Flushed {
+            shard: runner,
+            requests,
+            keys,
+            stolen_from,
+        });
+        if live.is_empty() {
+            return;
+        }
+        let s = &mut self.shards[runner];
+        let slot = s
+            .machine_free(now)
+            .expect("caller checked a machine is free");
+        s.busy[slot] = now + s.coalescer.cost().predicted_run(keys as usize);
+        let (words, per_rank) = tagged.padded_words(s.cfg.procs);
+        match s.pool.run_batch(words, per_rank) {
+            Ok(sorted) => {
+                for (id, reply) in live.iter().zip(tagged.split(&sorted)) {
+                    self.replies.insert(*id, Ok(reply));
+                    self.events.push(EngineEvent::Completed {
+                        request: *id,
+                        shard: runner,
+                    });
+                }
+            }
+            Err(failure) => {
+                let msg = failure.to_string();
+                for id in &live {
+                    self.replies
+                        .insert(*id, Err(SortError::MachineFailed(msg.clone())));
+                    self.events.push(EngineEvent::Failed { request: *id });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_victim_wants_the_oldest_busy_compatible_head() {
+        let ms = Duration::from_millis;
+        let heads = vec![
+            (0, ms(5), 10, true),
+            (1, ms(9), 10, false), // oldest but not busy
+            (2, ms(7), 10, true),
+            (3, ms(7), 999_999, true), // too big for the thief
+        ];
+        assert_eq!(pick_victim(&heads, ms(1), 100), Some(2));
+        assert_eq!(pick_victim(&heads, ms(8), 100), None, "nobody aged enough");
+        // Ties go to the lowest shard index.
+        let tied = vec![(4, ms(7), 10, true), (1, ms(7), 10, true)];
+        assert_eq!(pick_victim(&tied, ms(1), 100), Some(1));
+        assert_eq!(pick_victim(&[], ms(1), 100), None);
+    }
+}

@@ -116,6 +116,13 @@ pub struct CommStats {
     /// Remap-plan cache misses recorded by the sort layer (a plan had to
     /// be computed). A warm machine at steady state records only hits.
     pub plan_misses: u64,
+    /// Machines in the warm pool this rank's machine belongs to, at the
+    /// time the job's stats were harvested. Zero for machines that are
+    /// not pool-managed (one-shot `run_spmd` runs, standalone machines).
+    /// The serving layer's pools keep this gauge current across
+    /// autoscaling, so every job's stats record the pool capacity that
+    /// served it.
+    pub pool_machines: u64,
     /// Wall-clock spent per phase.
     phase_time: [Duration; 5],
 }
@@ -170,6 +177,7 @@ impl CommStats {
         self.messages_sent = self.messages_sent.max(other.messages_sent);
         self.plan_hits = self.plan_hits.max(other.plan_hits);
         self.plan_misses = self.plan_misses.max(other.plan_misses);
+        self.pool_machines = self.pool_machines.max(other.pool_machines);
         self.faults.max_merge(&other.faults);
         if other.remaps.len() > self.remaps.len() {
             self.remaps

@@ -35,6 +35,7 @@ use crate::runtime::RankResult;
 use crossbeam::channel::{Receiver, Sender};
 use obs::{TraceConfig, TraceSink};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -115,6 +116,10 @@ pub struct SpmdMachine<K, S, R> {
     drain_grace: Duration,
     broken: bool,
     runs: u64,
+    /// Pool-membership gauge stamped into every job's per-rank
+    /// [`CommStats`](crate::CommStats) (see
+    /// [`SpmdMachine::set_pool_machines`]); 0 = not pool-managed.
+    pool_gauge: Arc<AtomicU64>,
 }
 
 impl<K, S, R> SpmdMachine<K, S, R>
@@ -138,6 +143,7 @@ where
         let epoch = Instant::now();
         let (result_tx, results) = crossbeam::channel::unbounded::<Outcome<R>>();
         let init = Arc::new(init);
+        let pool_gauge = Arc::new(AtomicU64::new(0));
 
         let mut job_txs = Vec::with_capacity(procs);
         let mut handles = Vec::with_capacity(procs);
@@ -148,6 +154,7 @@ where
             let barrier = Arc::clone(&barrier);
             let result_tx = result_tx.clone();
             let init = Arc::clone(&init);
+            let pool_gauge = Arc::clone(&pool_gauge);
             handles.push(std::thread::spawn(move || {
                 let sink = TraceSink::new(rank, config.trace, epoch);
                 let mut comm = Comm::new(
@@ -163,10 +170,12 @@ where
                 while let Ok(job) = job_rx.recv() {
                     match catch_unwind(AssertUnwindSafe(|| job(&mut comm, &mut state))) {
                         Ok(output) => {
+                            let mut stats = std::mem::take(&mut comm.stats);
+                            stats.pool_machines = pool_gauge.load(Ordering::Relaxed);
                             let res = RankResult {
                                 rank,
                                 output,
-                                stats: std::mem::take(&mut comm.stats),
+                                stats,
                                 trace: comm.trace.drain(),
                             };
                             if result_tx.send((rank, Ok(res))).is_err() {
@@ -196,7 +205,17 @@ where
             drain_grace: config.drain_grace,
             broken: false,
             runs: 0,
+            pool_gauge,
         }
+    }
+
+    /// Record that this machine belongs to a warm pool of `machines`
+    /// machines. Every subsequent job stamps the gauge into each rank's
+    /// [`CommStats::pool_machines`](crate::CommStats), so per-job stats
+    /// and traces can attribute runs to the pool capacity that served
+    /// them. Pools call this at boot and again on every grow/shrink.
+    pub fn set_pool_machines(&self, machines: u64) {
+        self.pool_gauge.store(machines, Ordering::Relaxed);
     }
 
     /// Number of ranks in the machine (`P`).
@@ -411,6 +430,24 @@ mod tests {
                 .unwrap();
             assert_eq!(r.iter().map(|x| x.output).sum::<u32>(), 8);
         }
+    }
+
+    #[test]
+    fn the_pool_gauge_is_stamped_into_every_ranks_stats() {
+        let mut m: SpmdMachine<u32, (), ()> = SpmdMachine::boot(MachineConfig::new(2), |_| ());
+        let r = m.run(|_, _| ()).unwrap();
+        assert!(
+            r.iter().all(|rr| rr.stats.pool_machines == 0),
+            "standalone machines report no pool"
+        );
+        m.set_pool_machines(3);
+        let r = m.run(|_, _| ()).unwrap();
+        assert!(r.iter().all(|rr| rr.stats.pool_machines == 3));
+        // The gauge tracks autoscaling: a later change shows up in the
+        // next job's stats.
+        m.set_pool_machines(2);
+        let r = m.run(|_, _| ()).unwrap();
+        assert!(r.iter().all(|rr| rr.stats.pool_machines == 2));
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Sharded-serving guarantees: the router/steal/autoscale stack answers
+//! byte-identically to a single pool, work stealing fires exactly where
+//! the policy says and replays bit for bit, the autoscaler walks a full
+//! grow/shrink cycle deterministically, and a rank failure in one shard
+//! never leaks into its neighbors.
+
+use bitonic_core::tagged::sorted_independently;
+use bitonic_network::Direction;
+use obs::{TraceConfig, TracePhase};
+use proptest::prelude::*;
+use sort_service::{
+    AutoscaleConfig, ClassConfig, EngineEvent, ServiceConfig, ShardEngine, ShardedConfig,
+    ShardedService, SortRequest, SortService,
+};
+use std::time::Duration;
+
+/// A two-band topology small enough for tests: requests up to 64 keys
+/// are "small", up to 256 keys are "bulk", one 2-rank machine each.
+fn two_bands() -> ShardedConfig {
+    let base = ServiceConfig::new(2);
+    let mut small = base;
+    small.max_wait = Duration::from_micros(200);
+    let cfg = ShardedConfig {
+        classes: vec![
+            ClassConfig::new("small", 64, small),
+            ClassConfig::new("bulk", 256, base),
+        ],
+        steal_after: Some(Duration::from_micros(300)),
+        autoscale: None,
+        trace: TraceConfig::off(),
+    };
+    cfg.validate();
+    cfg
+}
+
+/// A request mix spanning both bands: tiny requests (n < P, empty,
+/// duplicate-heavy) and band-crossing bulk ones, in both directions,
+/// some with explicit (generous) per-request deadlines.
+fn request_strategy() -> impl Strategy<Value = Vec<(Vec<u32>, Direction, Option<Duration>)>> {
+    let request = (
+        (
+            0usize..4,
+            proptest::collection::vec(0u32..16, 0..40),
+            proptest::collection::vec(any::<u32>(), 65..256),
+        ),
+        (any::<bool>(), 0u32..3),
+    )
+        .prop_map(|((kind, small, bulk), (asc, dl))| {
+            // Three of four requests are small (n < P, empty, duplicate-
+            // heavy); the fourth crosses into the bulk band.
+            let keys = if kind == 3 { bulk } else { small };
+            let dir = if asc {
+                Direction::Ascending
+            } else {
+                Direction::Descending
+            };
+            let deadline = (dl == 0).then(|| Duration::from_secs(30));
+            (keys, dir, deadline)
+        });
+    proptest::collection::vec(request, 1..14)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole's correctness core: routing a mix across shards —
+    /// with work stealing live — produces replies byte-identical to the
+    /// same mix through one single-pool service, and both match the
+    /// oracle.
+    #[test]
+    fn sharded_replies_are_byte_identical_to_a_single_pool(requests in request_strategy()) {
+        let sharded = ShardedService::start(two_bands());
+        let single = SortService::start(ServiceConfig::new(2));
+
+        type Submitted = Result<sort_service::Ticket, sort_service::Rejection>;
+        let submit_all = |submit: &dyn Fn(SortRequest) -> Submitted| -> Vec<Vec<u32>> {
+            let tickets: Vec<sort_service::Ticket> = requests
+                .iter()
+                .map(|(keys, dir, deadline)| {
+                    let mut r = SortRequest::new(keys.clone(), *dir);
+                    if let Some(d) = deadline {
+                        r = r.with_deadline(*d);
+                    }
+                    submit(r).expect("admitted")
+                })
+                .collect();
+            tickets.into_iter().map(|t| t.wait().expect("sorted")).collect()
+        };
+        let sharded_replies = submit_all(&|r| sharded.submit(r));
+        let single_replies = submit_all(&|r| single.submit(r));
+
+        prop_assert_eq!(&sharded_replies, &single_replies);
+        for (reply, (keys, dir, _)) in sharded_replies.iter().zip(&requests) {
+            prop_assert_eq!(reply, &sorted_independently(keys, *dir));
+        }
+
+        let stats = sharded.shutdown().stats;
+        prop_assert_eq!(stats.completed(), requests.len() as u64);
+        prop_assert_eq!(stats.shed() + stats.expired() + stats.failed(), 0);
+        let _ = single.shutdown();
+    }
+}
+
+/// The steal scenario under virtual time: shard 1's only machine is mid
+/// run when a second bulk request arrives, so the idle small shard — and
+/// nobody else — claims it once the head crosses `steal_after`.
+fn steal_script(engine: &mut ShardEngine, seed: u32) -> (u64, u64) {
+    let ms = Duration::from_millis;
+    let bulk = |n: u32, seed: u32| -> Vec<u32> {
+        (0..n)
+            .map(|i| i.wrapping_mul(2_654_435_761).rotate_left(7) ^ seed)
+            .collect()
+    };
+    // Request A occupies shard 1's machine for ~2.3 ms of virtual time.
+    let a = engine
+        .submit(SortRequest::ascending(bulk(10_000, seed)))
+        .expect("admitted");
+    engine.advance(ms(2)); // past max_wait: the coalescer flushes A
+    engine.tick();
+    // Request B lands behind the busy machine; its head ages toward the
+    // 1 ms steal threshold while shard 0 sits idle.
+    let b = engine
+        .submit(SortRequest::new(
+            bulk(9_000, seed ^ 0xA5A5),
+            Direction::Descending,
+        ))
+        .expect("admitted");
+    engine.run_until_idle();
+    (a, b)
+}
+
+#[test]
+fn an_idle_shard_steals_exactly_the_aged_batch_and_replays_bit_for_bit() {
+    let base = ServiceConfig::new(2);
+    let cfg = ShardedConfig {
+        classes: vec![
+            ClassConfig::new("small", 64, base),
+            ClassConfig::new("bulk", 16_384, base),
+        ],
+        steal_after: Some(Duration::from_millis(1)),
+        autoscale: None,
+        trace: TraceConfig::off(),
+    };
+
+    let mut engine = ShardEngine::new(&cfg);
+    let (a, b) = steal_script(&mut engine, 7);
+
+    // Exactly one batch was stolen: B, by shard 0, from shard 1.
+    let steals: Vec<&EngineEvent> = engine
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                EngineEvent::Flushed {
+                    stolen_from: Some(_),
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert_eq!(steals.len(), 1, "exactly one steal: {:?}", engine.events());
+    assert!(
+        matches!(
+            steals[0],
+            EngineEvent::Flushed {
+                shard: 0,
+                stolen_from: Some(1),
+                ..
+            }
+        ),
+        "the idle small shard robs the busy bulk shard: {:?}",
+        steals[0]
+    );
+    // The thief gets completion credit for B; A stayed with its owner.
+    assert!(engine.events().contains(&EngineEvent::Completed {
+        request: a,
+        shard: 1
+    }));
+    assert!(engine.events().contains(&EngineEvent::Completed {
+        request: b,
+        shard: 0
+    }));
+
+    // Replies are oracle-correct even across the steal.
+    for id in [a, b] {
+        let reply = engine
+            .reply(id)
+            .expect("batch ran")
+            .as_ref()
+            .expect("sorted");
+        assert!(reply
+            .windows(2)
+            .all(|w| if id == a { w[0] <= w[1] } else { w[0] >= w[1] }));
+        assert_eq!(reply.len(), if id == a { 10_000 } else { 9_000 });
+    }
+
+    // Bit-for-bit replay: the same script yields the same decision log.
+    let mut replay = ShardEngine::new(&cfg);
+    let _ = steal_script(&mut replay, 7);
+    assert_eq!(
+        engine.events(),
+        replay.events(),
+        "the event log must replay exactly"
+    );
+}
+
+#[test]
+fn a_threaded_idle_shard_steals_from_a_stalled_neighbor_and_records_the_span() {
+    // The bulk pool's rank 0 sleeps 3 ms at every collective (no
+    // watchdog, so batches finish — slowly). While its machine grinds
+    // through the first bulk request, the second one ages past
+    // `steal_after` and the idle small shard takes it.
+    let base = ServiceConfig::new(2);
+    let mut small = base;
+    small.max_wait = Duration::ZERO;
+    let mut bulk = base;
+    bulk.max_wait = Duration::ZERO;
+    bulk.fault.stall_rank = Some(0);
+    bulk.fault.stall_us = 3_000;
+    let cfg = ShardedConfig {
+        classes: vec![
+            ClassConfig::new("small", 64, small),
+            ClassConfig::new("bulk", 256, bulk),
+        ],
+        steal_after: Some(Duration::from_micros(500)),
+        autoscale: None,
+        trace: TraceConfig::on(),
+    };
+
+    let service = ShardedService::start(cfg);
+    let first = service
+        .submit(SortRequest::ascending((0..200u32).rev().collect()))
+        .expect("admitted");
+    // Let the bulk worker flush request one and get stuck in the stall.
+    std::thread::sleep(Duration::from_millis(2));
+    let second = service
+        .submit(SortRequest::new(
+            (0..150u32).collect(),
+            Direction::Descending,
+        ))
+        .expect("admitted");
+
+    assert_eq!(
+        first.wait().expect("sorted"),
+        (0..200).collect::<Vec<u32>>()
+    );
+    assert_eq!(
+        second.wait().expect("sorted"),
+        (0..150).rev().collect::<Vec<u32>>()
+    );
+
+    let report = service.shutdown();
+    assert_eq!(
+        report.stats.shards[0].steals, 1,
+        "exactly one steal, by the small shard"
+    );
+    assert_eq!(report.stats.shards[0].stolen_requests, 1);
+    assert_eq!(report.stats.shards[1].steals, 0);
+    assert_eq!(report.stats.completed(), 2);
+    assert!(
+        report.shard_traces[0]
+            .spans()
+            .any(|s| s.phase == TracePhase::Steal),
+        "the thief records a Steal span"
+    );
+    assert!(
+        report
+            .router_trace
+            .spans()
+            .all(|s| s.phase == TracePhase::Route),
+        "the router records only Route spans"
+    );
+}
+
+#[test]
+fn the_autoscaler_walks_a_full_grow_and_shrink_cycle_under_virtual_time() {
+    // One class with a 50 µs drain budget: any backlog overshoots, so
+    // the pool must grow; a millisecond of quiet shrinks it back, one
+    // machine per quiet patch, and never below one.
+    let mut pool = ServiceConfig::new(2);
+    pool.default_deadline = Duration::from_micros(50);
+    let mut cfg = ShardedConfig {
+        classes: vec![ClassConfig::new("all", 2_000, pool)],
+        steal_after: None,
+        autoscale: Some(AutoscaleConfig {
+            min_machines: 1,
+            max_machines: 3,
+            headroom: 0.5,
+            idle_before_shrink: Duration::from_millis(1),
+            cooldown: Duration::from_micros(100),
+        }),
+        trace: TraceConfig::off(),
+    };
+    // One request per batch, so the backlog drains over several waves
+    // and the grow pressure persists across ticks.
+    cfg.classes[0].pool.max_batch_keys = 2_048;
+
+    let mut engine = ShardEngine::new(&cfg);
+    let ids: Vec<u64> = (0..6)
+        .map(|i| {
+            engine
+                .submit(
+                    SortRequest::ascending((0..2_000u32).map(|k| k.wrapping_mul(i + 3)).collect())
+                        .with_deadline(Duration::from_secs(30)),
+                )
+                .expect("admitted")
+        })
+        .collect();
+    engine.run_until_idle();
+
+    let grows = engine
+        .events()
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::Scaled { grew: true, .. }))
+        .count();
+    assert!(
+        grows >= 1,
+        "the backlog must force at least one grow: {:?}",
+        engine.events()
+    );
+    let peak = engine.machines(0);
+    assert!(peak > 1, "the pool grew past one machine");
+    for id in &ids {
+        let reply = engine.reply(*id).expect("ran").as_ref().expect("sorted");
+        assert!(reply.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    // Quiet patches shrink one machine at a time back to the floor.
+    let mut shrinks = 0;
+    for _ in 0..10 {
+        engine.advance(Duration::from_micros(1_100));
+        if engine.tick() {
+            shrinks += 1;
+        }
+    }
+    assert_eq!(
+        engine.machines(0),
+        1,
+        "idleness drains the pool to the floor"
+    );
+    assert_eq!(shrinks, peak - 1, "each shrink needed its own quiet patch");
+    // The floor holds: more idleness changes nothing.
+    engine.advance(Duration::from_millis(5));
+    assert!(!engine.tick(), "no verdict below one machine");
+    assert_eq!(engine.machines(0), 1);
+}
+
+#[test]
+fn a_rank_failure_in_one_shard_leaves_its_neighbors_unharmed() {
+    // The bulk pool is poisoned: rank 0 stalls 50 ms per collective and
+    // the 5 ms watchdog declares the batch wedged. The small shard (and
+    // the service as a whole) must keep answering.
+    let base = ServiceConfig::new(2);
+    let mut small = base;
+    small.max_wait = Duration::ZERO;
+    let mut bulk = base;
+    bulk.max_wait = Duration::ZERO;
+    bulk.fault.stall_rank = Some(0);
+    bulk.fault.stall_us = 50_000;
+    // The service-level batch watchdog takes precedence over any
+    // watchdog in the fault config — arm the real containment path.
+    bulk.batch_watchdog = Some(Duration::from_millis(5));
+    let cfg = ShardedConfig {
+        classes: vec![
+            ClassConfig::new("small", 64, small),
+            ClassConfig::new("bulk", 256, bulk),
+        ],
+        // No stealing: the healthy shard must not adopt the poisoned
+        // batch for this test to isolate the failure domain.
+        steal_after: None,
+        autoscale: None,
+        trace: TraceConfig::off(),
+    };
+
+    let service = ShardedService::start(cfg);
+    let small_before = service
+        .submit(SortRequest::ascending(vec![3, 1, 2]))
+        .expect("admitted");
+    let doomed = service
+        .submit(SortRequest::ascending((0..200u32).rev().collect()))
+        .expect("admitted");
+    assert_eq!(small_before.wait().expect("sorted"), vec![1, 2, 3]);
+    let failure = doomed.wait().expect_err("the stalled batch fails");
+    assert!(!failure.to_string().is_empty());
+
+    // The failure consumed only the bulk shard's machine; small keeps
+    // serving without ever noticing.
+    let small_after = service
+        .submit(SortRequest::new(vec![9, 7, 8], Direction::Descending))
+        .expect("admitted");
+    assert_eq!(small_after.wait().expect("sorted"), vec![9, 8, 7]);
+
+    let stats = service.shutdown().stats;
+    assert_eq!(stats.shards[0].completed, 2);
+    assert_eq!(stats.shards[0].failed, 0);
+    assert_eq!(stats.shards[0].pool.machines_rebuilt, 0);
+    assert_eq!(stats.shards[1].failed, 1);
+    assert_eq!(stats.shards[1].completed, 0);
+    assert!(stats.shards[1].pool.machines_rebuilt >= 1);
+}
