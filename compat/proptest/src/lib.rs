@@ -146,6 +146,20 @@ macro_rules! impl_arbitrary_uint {
 
 impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// 128-bit values take two draws; a single truncating cast would leave the
+// high half permanently zero.
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1

@@ -19,7 +19,7 @@ use bitonic_core::layout::blocked;
 use bitonic_core::{BitLayout, SortContext};
 use bitonic_network::Direction;
 use local_sorts::merge::{merge_two_into, Run};
-use local_sorts::{local_sort, RadixKey};
+use local_sorts::{local_sort_with_scratch, RadixKey};
 use spmd::{Comm, Phase};
 
 /// The step-2 "transpose and reshape" distribution as a layout: read the
@@ -86,10 +86,13 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
         n.is_power_of_two(),
         "rows per column must be a power of two"
     );
+    comm.reset_kernel_tally();
+    let mut sort_scratch: Vec<K> = Vec::new();
     if p == 1 {
         comm.timed(Phase::Compute, |_| {
-            local_sort(&mut local, Direction::Ascending)
+            local_sort_with_scratch(&mut local, &mut sort_scratch, Direction::Ascending)
         });
+        comm.drain_kernel_tally();
         return local;
     }
     assert!(
@@ -110,8 +113,9 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
     // Step 1: sort columns.
     comm.trace.set_step(1);
     comm.timed(Phase::Compute, |_| {
-        local_sort(&mut local, Direction::Ascending)
+        local_sort_with_scratch(&mut local, &mut sort_scratch, Direction::Ascending)
     });
+    comm.drain_kernel_tally();
     // Step 2: transpose (distribute each column round-robin over all).
     comm.trace.set_step(2);
     ctx.remap(
@@ -123,8 +127,9 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
     // Step 3: sort columns.
     comm.trace.set_step(3);
     comm.timed(Phase::Compute, |_| {
-        local_sort(&mut local, Direction::Ascending)
+        local_sort_with_scratch(&mut local, &mut sort_scratch, Direction::Ascending)
     });
+    comm.drain_kernel_tally();
     // Step 4: untranspose.
     comm.trace.set_step(4);
     ctx.remap(
@@ -136,8 +141,9 @@ pub fn parallel_column_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) 
     // Step 5: sort columns.
     comm.trace.set_step(5);
     comm.timed(Phase::Compute, |_| {
-        local_sort(&mut local, Direction::Ascending)
+        local_sort_with_scratch(&mut local, &mut sort_scratch, Direction::Ascending)
     });
+    comm.drain_kernel_tally();
     // Steps 6–8 (shift, sort, unshift) as an even/odd merge–split round:
     // even boundary first (columns 2k | 2k+1), then odd (2k+1 | 2k+2).
     comm.trace.set_step(6);

@@ -27,6 +27,7 @@ pub fn parallel_radix_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
     let n = local.len();
     if p == 1 {
         comm.timed(Phase::Compute, |_| local_sorts::radix_sort(&mut local));
+        comm.note_kernel("radix", 1);
         return local;
     }
     let total = (n * p) as u64;

@@ -11,7 +11,7 @@
 use bitonic_network::Direction;
 use local_sorts::merge::Run;
 use local_sorts::pway_merge::pway_merge_into;
-use local_sorts::{local_sort, RadixKey};
+use local_sorts::{local_sort_with_scratch, RadixKey};
 use spmd::{Comm, Phase};
 
 /// Sort the machine's keys by sample sort.
@@ -22,9 +22,12 @@ use spmd::{Comm, Phase};
 pub fn parallel_sample_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> Vec<K> {
     let p = comm.procs();
     let n = local.len();
+    comm.reset_kernel_tally();
+    let mut sort_scratch: Vec<K> = Vec::new();
     comm.timed(Phase::Compute, |_| {
-        local_sort(&mut local, Direction::Ascending)
+        local_sort_with_scratch(&mut local, &mut sort_scratch, Direction::Ascending)
     });
+    comm.drain_kernel_tally();
     if p == 1 {
         return local;
     }

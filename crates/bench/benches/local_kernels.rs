@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the branch-free local-phase kernels
+//! against the seed kernels they dispatch against: radix vs the iterative
+//! bitonic network on full sorts, the rotate-copy circular merge vs the
+//! comparator network on bitonic inputs, and the dispatched entry points
+//! themselves (which must track the winner per size class).
+
+use bitonic_network::Direction;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use local_sorts::bitonic_merge::sort_circular_with_scratch;
+use local_sorts::kernels::{bitonic_merge_iterative, bitonic_sort_iterative};
+use local_sorts::radix::radix_sort_with_scratch;
+use local_sorts::{local_sort_with_scratch, sort_bitonic_with_scratch};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed;
+    (0..n).map(|_| splitmix(&mut s)).collect()
+}
+
+fn bitonic_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut v = random_keys(n, seed);
+    let peak = n / 2;
+    v[..peak].sort_unstable();
+    v[peak..].sort_unstable_by(|a, b| b.cmp(a));
+    v.rotate_left(n / 3);
+    v
+}
+
+fn bench_local_kernels(c: &mut Criterion) {
+    local_sorts::dispatch::ensure_calibrated();
+
+    let mut group = c.benchmark_group("local_kernels/sort");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    // One size class per side of the default u64 crossover.
+    for lg in [6u32, 12] {
+        let n = 1usize << lg;
+        let input = random_keys(n, u64::from(lg));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("radix", n), |b| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                let mut v = input.clone();
+                radix_sort_with_scratch(&mut v, &mut scratch);
+                v
+            })
+        });
+        group.bench_function(BenchmarkId::new("bitonic_net", n), |b| {
+            b.iter(|| {
+                let mut v = input.clone();
+                bitonic_sort_iterative(&mut v, Direction::Ascending);
+                v
+            })
+        });
+        group.bench_function(BenchmarkId::new("dispatch", n), |b| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                let mut v = input.clone();
+                local_sort_with_scratch(&mut v, &mut scratch, Direction::Ascending);
+                v
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("local_kernels/merge");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    for lg in [4u32, 12] {
+        let n = 1usize << lg;
+        let input = bitonic_keys(n, u64::from(lg));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("circular_merge", n), |b| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                let mut v = input.clone();
+                sort_circular_with_scratch(&mut v, &mut scratch, Direction::Ascending);
+                v
+            })
+        });
+        group.bench_function(BenchmarkId::new("network_merge", n), |b| {
+            b.iter(|| {
+                let mut v = input.clone();
+                bitonic_merge_iterative(&mut v, Direction::Ascending);
+                v
+            })
+        });
+        group.bench_function(BenchmarkId::new("dispatch", n), |b| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                let mut v = input.clone();
+                sort_bitonic_with_scratch(&mut v, &mut scratch, Direction::Ascending);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_kernels);
+criterion_main!(benches);

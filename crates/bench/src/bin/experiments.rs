@@ -33,9 +33,16 @@
 //! document, and `--check` exits non-zero on any shed, missed deadline,
 //! failed batch, or oracle mismatch from either service. `bench5` wraps
 //! the same run into the committed `BENCH_5.json` artifact.
+//!
+//! `bench6` times the local-kernel matrix (kernel × size class × key
+//! width, `KERNEL_1` records) after calibrating the dispatch table:
+//! `--quick` runs the reduced CI matrix, `--out FILE` writes the
+//! committed `BENCH_6.json` artifact, and `--check` exits non-zero on any
+//! oracle mismatch, any dispatch cell more than 5% slower than the seed
+//! kernel, or any key width whose selected kernel never beats the seed.
 
 use bitonic_bench::experiments::{
-    all, by_id, chaos, remap_bench, serve_bench, shard_bench, trace, Scale, IDS,
+    all, by_id, chaos, kernels, remap_bench, serve_bench, shard_bench, trace, Scale, IDS,
 };
 use bitonic_bench::report::bench_json;
 use spmd::MessageMode;
@@ -51,6 +58,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut requests: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut quick = false;
 
     let mut i = 0;
     let value = |args: &[String], i: &mut usize| -> String {
@@ -64,6 +72,7 @@ fn main() {
         match args[i].as_str() {
             "--full" => scale = Scale::full(),
             "--check" => check = true,
+            "--quick" => quick = true,
             "--procs" => {
                 procs = value(&args, &mut i).parse().unwrap_or_else(|e| {
                     eprintln!("--procs: {e}");
@@ -103,7 +112,8 @@ fn main() {
                      experiments serve [--procs N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
                      experiments bench4 [--procs N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
                      experiments shard [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
-                     experiments bench5 [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--check]",
+                     experiments bench5 [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
+                     experiments bench6 [--quick] [--out FILE] [--check]",
                     IDS.join(" | ")
                 );
                 return;
@@ -254,6 +264,43 @@ fn main() {
         return;
     }
 
+    // bench6: the committed local-kernel artifact wrapping KERNEL_1.
+    // `--quick` measures the reduced CI matrix; `--check` exits non-zero
+    // on any oracle mismatch, a dispatch cell more than 5% slower than
+    // the seed kernel, or a key width whose selected kernel never beats
+    // the seed on any sort size class.
+    if ids.iter().any(|id| id == "bench6") && ids.len() == 1 {
+        let run = kernels::run_kernels(quick);
+        let doc = kernels::bench6_doc(&run);
+        println!("## BENCH_6 composition [bench6]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("BENCH_6 document written to {path}.");
+        } else {
+            println!("```json\n{doc}```");
+        }
+        if check {
+            if run.passed {
+                println!(
+                    "check: every oracle matched; dispatch within 5% of the \
+                     seed on every cell; every width has a winning cell."
+                );
+            } else {
+                eprintln!(
+                    "check failed: oracles {} / dispatch bound {} / per-width wins {:?} \
+                     — see matrix above.",
+                    run.oracles_ok, run.dispatch_within_bound, run.sort_win_per_width
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     // bench5: the committed sharded-serving artifact wrapping SHARD_1.
     if ids.iter().any(|id| id == "bench5") && ids.len() == 1 {
         let requests = requests.unwrap_or_else(|| shard_bench::default_requests(scale));
@@ -286,14 +333,15 @@ fn main() {
     }
     if out.is_some()
         || check
+        || quick
         || keys.is_some()
         || seed.is_some()
         || requests.is_some()
         || shards.is_some()
     {
         eprintln!(
-            "--out/--check/--keys/--seed/--requests/--shards only apply to the `trace`, \
-             `chaos`, `serve`, `bench4`, `shard`, or `bench5` subcommands"
+            "--out/--check/--quick/--keys/--seed/--requests/--shards only apply to the \
+             `trace`, `chaos`, `serve`, `bench4`, `shard`, `bench5`, or `bench6` subcommands"
         );
         std::process::exit(2);
     }

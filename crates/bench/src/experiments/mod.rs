@@ -3,6 +3,7 @@
 pub mod breakdown;
 pub mod chaos;
 pub mod extensions;
+pub mod kernels;
 pub mod messages;
 pub mod other_sorts;
 pub mod remap_bench;
@@ -90,6 +91,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         extensions::ext_shifting(),
         extensions::ext_simulated(scale),
         remap_bench::remap_bench(scale),
+        kernels::kernels(scale),
         trace::trace(scale),
         chaos::chaos(scale),
         serve_bench::serve(scale),
@@ -115,6 +117,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "ext_shifting" => Some(extensions::ext_shifting()),
         "ext_simulated" => Some(extensions::ext_simulated(scale)),
         "remap_bench" => Some(remap_bench::remap_bench(scale)),
+        "kernels" => Some(kernels::kernels(scale)),
         "trace" => Some(trace::trace(scale)),
         "chaos" => Some(chaos::chaos(scale)),
         "serve" => Some(serve_bench::serve(scale)),
@@ -124,7 +127,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
 }
 
 /// All experiment ids accepted by [`by_id`].
-pub const IDS: [&str; 18] = [
+pub const IDS: [&str; 19] = [
     "table5_1",
     "table5_2",
     "strategies_measured",
@@ -139,6 +142,7 @@ pub const IDS: [&str; 18] = [
     "ext_shifting",
     "ext_simulated",
     "remap_bench",
+    "kernels",
     "trace",
     "chaos",
     "serve",

@@ -337,6 +337,70 @@ pub fn shard_json(s: &ShardSummary) -> String {
     out
 }
 
+/// Schema tag for the local-kernel benchmark's machine-readable output.
+/// Like [`BENCH_SCHEMA`], the suffix is bumped when any field changes
+/// meaning.
+pub const KERNEL_SCHEMA: &str = "KERNEL_1";
+
+/// One cell of the local-kernel matrix in the stable `KERNEL_1` schema:
+/// a kernel timed on one `(key width, size class)` cell, relative to the
+/// seed kernel for the same cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Key width in bits (16, 32, 64, 128).
+    pub width_bits: u32,
+    /// Size class: the timed length is `1 << lg_n`.
+    pub lg_n: u32,
+    /// Operation: `sort` (random input) or `merge` (bitonic input).
+    pub op: String,
+    /// Kernel name (`radix`, `bitonic_net`, `circular_merge`,
+    /// `network_merge`) or `dispatch` for the selected-kernel path.
+    pub kernel: String,
+    /// Nanoseconds per key, min-of-samples.
+    pub ns_per_key: f64,
+    /// Ratio against the seed kernel on this cell (`radix` for sorts,
+    /// `circular_merge` for merges); < 1 means faster than the seed. For
+    /// `dispatch` rows this is the best same-sample-round ratio, which
+    /// cancels common-mode host noise.
+    pub vs_seed: f64,
+    /// Whether the dispatch table picks this kernel for this cell.
+    pub selected: bool,
+    /// Whether the kernel's output matched the `slice::sort` oracle.
+    pub oracle_ok: bool,
+}
+
+impl KernelRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"width_bits\": {}, \"lg_n\": {}, \"op\": \"{}\", \
+             \"kernel\": \"{}\", \"ns_per_key\": {:.2}, \"vs_seed\": {:.3}, \
+             \"selected\": {}, \"oracle_ok\": {}}}",
+            self.width_bits,
+            self.lg_n,
+            self.op,
+            self.kernel,
+            self.ns_per_key,
+            self.vs_seed,
+            self.selected,
+            self.oracle_ok
+        )
+    }
+}
+
+/// Render kernel records as a complete `KERNEL_1` JSON document:
+/// `{"schema": "KERNEL_1", "records": [...]}`.
+#[must_use]
+pub fn kernel_json(records: &[KernelRecord]) -> String {
+    let mut out = format!("{{\n  \"schema\": \"{KERNEL_SCHEMA}\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Format a float with 2 decimals (the thesis's table precision).
 #[must_use]
 pub fn f2(x: f64) -> String {
@@ -465,6 +529,36 @@ mod tests {
         }
         assert_eq!(depth, 0);
         assert_eq!(json.matches("\"class\":").count(), 2);
+    }
+
+    #[test]
+    fn kernel_json_matches_schema() {
+        let cell = |kernel: &str, vs: f64, selected: bool| KernelRecord {
+            width_bits: 64,
+            lg_n: 8,
+            op: "sort".into(),
+            kernel: kernel.into(),
+            ns_per_key: 3.21,
+            vs_seed: vs,
+            selected,
+            oracle_ok: true,
+        };
+        let json = kernel_json(&[cell("radix", 1.0, false), cell("bitonic_net", 0.62, true)]);
+        assert!(json.contains("\"schema\": \"KERNEL_1\""));
+        assert!(json.contains("\"kernel\": \"bitonic_net\""));
+        assert!(json.contains("\"vs_seed\": 0.620"));
+        assert!(json.contains("\"selected\": true"));
+        assert!(json.contains("\"oracle_ok\": true"));
+        assert!(!json.contains("},\n  ]"), "no trailing comma:\n{json}");
+        let mut depth = 0i64;
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use baselines::{run_baseline_chaos, Baseline};
 use bitonic_core::algorithms::{run_parallel_sort_chaos, Algorithm};
 use bitonic_core::local::LocalStrategy;
+use local_sorts::ForceKernel;
 use spmd::runtime::critical_path_stats;
 use spmd::{traces_of, CommStats, FaultConfig, MessageMode, RankFailure, RankTrace, TraceConfig};
 
@@ -55,6 +56,9 @@ pub struct Options {
     pub mode: MessageMode,
     /// Print communication statistics to stderr.
     pub stats: bool,
+    /// Local-phase kernel policy: `auto` (calibrated dispatch, default),
+    /// `radix`, or `bitonic`.
+    pub local_kernel: ForceKernel,
     /// Input path (`-` or absent = stdin); binary little-endian u32 unless
     /// `text`.
     pub input: Option<String>,
@@ -91,6 +95,7 @@ impl Default for Options {
             procs: 8,
             mode: MessageMode::Long,
             stats: false,
+            local_kernel: ForceKernel::Auto,
             input: None,
             output: None,
             text: false,
@@ -169,6 +174,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--short-messages" => opts.mode = MessageMode::Short,
             "--stats" => opts.stats = true,
+            "--local-kernel" => {
+                opts.local_kernel = match value_for(arg)?.as_str() {
+                    "auto" => ForceKernel::Auto,
+                    "radix" => ForceKernel::Radix,
+                    "bitonic" => ForceKernel::Bitonic,
+                    other => {
+                        return Err(format!(
+                            "bad --local-kernel '{other}' (try: auto, radix, bitonic)"
+                        ))
+                    }
+                }
+            }
             "--text" => opts.text = true,
             "-i" | "--input" => opts.input = Some(value_for(arg)?),
             "-o" | "--output" => opts.output = Some(value_for(arg)?),
@@ -240,10 +257,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
 pub fn usage() -> String {
     "usage: bitonic-sort [-a ALGO] [-p PROCS] [--short-messages] [--stats] [--text]\n\
      \u{20}                   [-i FILE|-] [-o FILE|-] [--random N] [--trace FILE]\n\
+     \u{20}                   [--local-kernel auto|radix|bitonic]\n\
      \u{20}                   [--chaos-seed N [--drop-rate P] [--dup-rate P] [--reorder-rate P]\n\
      \u{20}                    [--jitter-us U] [--stall-rank R] [--stall-us U]]\n\
      ALGO: smart | smart-fused | cyclic-blocked | blocked-merge | sample | radix | column\n\
      Input is binary little-endian u32 (or decimal lines with --text).\n\
+     --local-kernel forces the local-phase kernel family (default auto: the\n\
+     calibrated per-size-class dispatch table picks radix vs branch-free networks).\n\
      --trace writes a Chrome trace JSON (open in Perfetto / chrome://tracing).\n\
      --chaos-seed arms deterministic fault injection: the mesh drops/duplicates/\n\
      reorders/delays messages per the given rates (all derived from the seed; the\n\
@@ -291,6 +311,7 @@ pub fn sort_keys_traced(
     opts: &Options,
     trace: TraceConfig,
 ) -> Result<(Vec<u32>, CommStats, Vec<RankTrace>), RankFailure> {
+    local_sorts::dispatch::set_force(opts.local_kernel);
     let fault = opts.fault_config();
     let (padded, len) = pad_keys(keys, opts.procs);
     let (mut out, stats, traces) = match opts.engine {
@@ -353,6 +374,14 @@ pub fn stats_report(stats: &CommStats, keys: usize) -> String {
             stats.plan_misses,
             stats.plan_hits as f64 * 100.0 / (stats.plan_hits + stats.plan_misses) as f64
         ));
+    }
+    if !stats.local_kernels.is_empty() {
+        let kernels: Vec<String> = stats
+            .local_kernels
+            .iter()
+            .map(|(name, count)| format!("{count} {name}"))
+            .collect();
+        s.push_str(&format!("local kernels: {}\n", kernels.join(", ")));
     }
     let f = &stats.faults;
     if f.total_injected() > 0 || f.retries > 0 || f.nacks_sent > 0 || f.dups_suppressed > 0 {
@@ -833,6 +862,47 @@ mod tests {
             report.contains("plan cache:"),
             "smart sorts route through the tracked plan cache:\n{report}"
         );
+    }
+
+    #[test]
+    fn local_kernel_flag_parses_and_rejects() {
+        assert_eq!(
+            parse_args(&args("--local-kernel auto"))
+                .unwrap()
+                .local_kernel,
+            ForceKernel::Auto
+        );
+        assert_eq!(
+            parse_args(&args("--local-kernel radix"))
+                .unwrap()
+                .local_kernel,
+            ForceKernel::Radix
+        );
+        assert_eq!(
+            parse_args(&args("--local-kernel bitonic"))
+                .unwrap()
+                .local_kernel,
+            ForceKernel::Bitonic
+        );
+        assert!(parse_args(&args("--local-kernel quick")).is_err());
+        assert!(parse_args(&args("--local-kernel")).is_err());
+    }
+
+    #[test]
+    fn stats_report_names_the_local_kernels() {
+        let opts = parse_args(&args("-p 4 --random 512 --stats")).unwrap();
+        let out = run(&opts, None).unwrap();
+        let report = out.report.unwrap();
+        assert!(
+            report.contains("local kernels:"),
+            "kernel tally surfaces in --stats:\n{report}"
+        );
+        // Forcing the seed family shows up by name in the report.
+        let opts = parse_args(&args("-p 4 --random 512 --stats --local-kernel radix")).unwrap();
+        let out = run(&opts, None).unwrap();
+        let report = out.report.unwrap();
+        assert!(report.contains("radix"), "{report}");
+        local_sorts::dispatch::set_force(ForceKernel::Auto);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::layout::blocked;
 use crate::local::{initial_direction, stage_direction};
 use bitonic_network::Direction;
 use local_sorts::bitonic_merge::sort_bitonic_with_scratch;
-use local_sorts::{local_sort, RadixKey};
+use local_sorts::{local_sort_with_scratch, RadixKey};
 use spmd::{Comm, Phase};
 
 /// Sort with the fixed blocked layout and pairwise merge-exchange steps.
@@ -28,10 +28,13 @@ pub fn blocked_merge_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) ->
         n.is_power_of_two(),
         "keys per processor must be a power of two"
     );
+    comm.reset_kernel_tally();
     if p == 1 {
+        let mut scratch = Vec::new();
         comm.timed(Phase::Compute, |_| {
-            local_sort(&mut local, Direction::Ascending)
+            local_sort_with_scratch(&mut local, &mut scratch, Direction::Ascending)
         });
+        comm.drain_kernel_tally();
         return local;
     }
 
@@ -45,8 +48,13 @@ pub fn blocked_merge_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) ->
 
     // First lg n stages: one local sort.
     comm.timed(Phase::Compute, |_| {
-        local_sort(&mut local, initial_direction(&blocked_layout, me));
+        local_sort_with_scratch(
+            &mut local,
+            &mut scratch,
+            initial_direction(&blocked_layout, me),
+        );
     });
+    comm.drain_kernel_tally();
 
     for k in 1..=lg_p {
         comm.trace.set_step(k);
@@ -80,6 +88,7 @@ pub fn blocked_merge_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) ->
         comm.timed(Phase::Compute, |_| {
             sort_bitonic_with_scratch(&mut local, &mut scratch, dir);
         });
+        comm.drain_kernel_tally();
     }
     comm.barrier();
     local

@@ -13,7 +13,7 @@ use crate::context::SortContext;
 use crate::layout::{blocked, cyclic};
 use crate::local::{initial_direction, stage_direction};
 use local_sorts::bitonic_merge::sort_bitonic_with_scratch;
-use local_sorts::{local_sort, RadixKey};
+use local_sorts::{local_sort_with_scratch, RadixKey};
 use spmd::{Comm, Phase};
 
 /// Sort with periodic cyclic↔blocked remapping.
@@ -29,10 +29,17 @@ pub fn cyclic_blocked_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
         n.is_power_of_two(),
         "keys per processor must be a power of two"
     );
+    comm.reset_kernel_tally();
     if p == 1 {
+        let mut scratch = Vec::new();
         comm.timed(Phase::Compute, |_| {
-            local_sort(&mut local, bitonic_network::Direction::Ascending)
+            local_sort_with_scratch(
+                &mut local,
+                &mut scratch,
+                bitonic_network::Direction::Ascending,
+            )
         });
+        comm.drain_kernel_tally();
         return local;
     }
     assert!(
@@ -54,8 +61,13 @@ pub fn cyclic_blocked_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
 
     // First lg n stages under the blocked layout: one local sort.
     comm.timed(Phase::Compute, |_| {
-        local_sort(&mut local, initial_direction(&blocked_layout, me));
+        local_sort_with_scratch(
+            &mut local,
+            &mut scratch,
+            initial_direction(&blocked_layout, me),
+        );
     });
+    comm.drain_kernel_tally();
 
     for k in 1..=lg_p {
         comm.trace.set_step(k);
@@ -73,6 +85,7 @@ pub fn cyclic_blocked_sort<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -
                 .expect("stage bit is a processor bit under blocked");
             sort_bitonic_with_scratch(&mut local, &mut scratch, dir);
         });
+        comm.drain_kernel_tally();
     }
     comm.barrier();
     local

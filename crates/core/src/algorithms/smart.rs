@@ -14,7 +14,7 @@ use crate::smart::RemapKind;
 use bitonic_network::Direction;
 use local_sorts::merge::Run;
 use local_sorts::pway_merge::pway_merge_into;
-use local_sorts::{local_sort, RadixKey};
+use local_sorts::{local_sort_with_scratch, RadixKey};
 use spmd::{Comm, Phase};
 
 /// Sort the machine's keys with the smart remapping strategy.
@@ -58,10 +58,16 @@ pub fn smart_sort_ctx<K: RadixKey>(
         n.is_power_of_two(),
         "keys per processor must be a power of two"
     );
+    comm.reset_kernel_tally();
     if p == 1 {
         comm.timed(Phase::Compute, |_| {
-            local_sort(&mut local, bitonic_network::Direction::Ascending)
+            local_sort_with_scratch(
+                &mut local,
+                ctx.sort_scratch(),
+                bitonic_network::Direction::Ascending,
+            )
         });
+        comm.drain_kernel_tally();
         return local;
     }
 
@@ -75,12 +81,18 @@ pub fn smart_sort_ctx<K: RadixKey>(
         strategy
     };
     let blocked = sched.blocked_layout();
-    let mut scratch: Vec<K> = Vec::with_capacity(n);
 
     // First lg n stages: one local sort, ascending on even ranks (Lemma 6).
+    // The sort scratch is the context's pooled buffer, so a retained
+    // context performs zero sort-side allocations at steady state.
     comm.timed(Phase::Compute, |_| {
-        local_sort(&mut local, initial_direction(&blocked, me));
+        local_sort_with_scratch(
+            &mut local,
+            ctx.sort_scratch(),
+            initial_direction(&blocked, me),
+        );
     });
+    comm.drain_kernel_tally();
 
     // Last lg P stages: remap, run lg n steps locally, repeat. All remaps
     // go through one SortContext: plans are cached per layout pair and the
@@ -90,8 +102,9 @@ pub fn smart_sort_ctx<K: RadixKey>(
         comm.trace.set_step(i as u32 + 1);
         ctx.remap(comm, &prev, &phase.layout, &mut local);
         comm.timed(Phase::Compute, |_| {
-            run_phase(strategy, phase, me, &mut local, &mut scratch);
+            run_phase(strategy, phase, me, &mut local, ctx.sort_scratch());
         });
+        comm.drain_kernel_tally();
         prev = crate::local::layout_after_for(strategy, phase);
     }
     comm.barrier();
@@ -139,10 +152,13 @@ pub fn smart_sort_fused<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> V
         n.is_power_of_two(),
         "keys per processor must be a power of two"
     );
+    comm.reset_kernel_tally();
     if p == 1 {
+        let mut scratch = Vec::new();
         comm.timed(Phase::Compute, |_| {
-            local_sort(&mut local, Direction::Ascending)
+            local_sort_with_scratch(&mut local, &mut scratch, Direction::Ascending)
         });
+        comm.drain_kernel_tally();
         return local;
     }
     let sched = SmartSchedule::new(n * p, p);
@@ -151,9 +167,15 @@ pub fn smart_sort_fused<K: RadixKey>(comm: &mut Comm<K>, mut local: Vec<K>) -> V
     }
     let blocked = sched.blocked_layout();
 
+    let mut sort_scratch: Vec<K> = Vec::new();
     comm.timed(Phase::Compute, |_| {
-        local_sort(&mut local, initial_direction(&blocked, me));
+        local_sort_with_scratch(
+            &mut local,
+            &mut sort_scratch,
+            initial_direction(&blocked, me),
+        );
     });
+    comm.drain_kernel_tally();
 
     let mut prev_layout = blocked.clone();
     // Direction each rank's array is sorted in after the previous phase.

@@ -85,6 +85,9 @@ pub struct SortContext<K> {
     cache: PlanCache,
     /// Double-buffer partner of the caller's data vector.
     spare: Vec<K>,
+    /// Scratch for the local sort/merge kernels, reused across phases and
+    /// (on a retained context) across runs.
+    sort_scratch: Vec<K>,
 }
 
 impl<K: Copy + Send + 'static> SortContext<K> {
@@ -94,7 +97,17 @@ impl<K: Copy + Send + 'static> SortContext<K> {
         SortContext {
             cache: PlanCache::new(),
             spare: Vec::new(),
+            sort_scratch: Vec::new(),
         }
+    }
+
+    /// The context's pooled local-sort scratch buffer. Threading this
+    /// through `local_sorts::local_sort_with_scratch` /
+    /// `sort_bitonic_with_scratch` keeps the sort kernels allocation-free
+    /// at steady state, the same way [`SortContext::remap`] keeps the
+    /// remap path allocation-free.
+    pub fn sort_scratch(&mut self) -> &mut Vec<K> {
+        &mut self.sort_scratch
     }
 
     /// The cached plan for `old → new` from rank `me`.

@@ -237,7 +237,12 @@ pub fn run_phase_merges<K: Ord + Copy>(
 /// Execute a whole phase as one full local sort (Figure 4.5). See
 /// [`LocalStrategy::FullSort`] for the validity condition; the caller is
 /// responsible for checking it over the schedule.
-pub fn run_phase_fullsort<K: local_sorts::RadixKey>(phase: &RemapPhase, me: usize, data: &mut [K]) {
+pub fn run_phase_fullsort<K: local_sorts::RadixKey>(
+    phase: &RemapPhase,
+    me: usize,
+    data: &mut [K],
+    scratch: &mut Vec<K>,
+) {
     let dir = match phase.params.kind {
         // Inside: the whole array sorts in the stage direction (Theorem 2).
         RemapKind::Inside => {
@@ -256,7 +261,7 @@ pub fn run_phase_fullsort<K: local_sorts::RadixKey>(phase: &RemapPhase, me: usiz
         // output.
         RemapKind::Last => Direction::Ascending,
     };
-    local_sorts::local_sort(data, dir);
+    local_sorts::local_sort_with_scratch(data, scratch, dir);
 }
 
 /// The local bit arrangement at the end of a phase under `strategy` — the
@@ -290,7 +295,7 @@ pub fn run_phase<K: local_sorts::RadixKey>(
     match strategy {
         LocalStrategy::Canonical => run_phase_canonical(phase, me, data, scratch),
         LocalStrategy::Merges => run_phase_merges(phase, me, data, scratch),
-        LocalStrategy::FullSort => run_phase_fullsort(phase, me, data),
+        LocalStrategy::FullSort => run_phase_fullsort(phase, me, data, scratch),
     }
 }
 

@@ -29,7 +29,7 @@ use crate::local::run_step_canonical;
 use crate::remap::RemapPlan;
 use crate::smart::SmartParams;
 use bitonic_network::network::StepId;
-use local_sorts::{local_sort, RadixKey};
+use local_sorts::{local_sort_with_scratch, RadixKey};
 use logp::metrics::CommMetrics;
 use spmd::{Comm, Phase};
 
@@ -218,21 +218,30 @@ pub fn shifted_smart_sort<K: RadixKey>(
         n.is_power_of_two(),
         "keys per processor must be a power of two"
     );
+    comm.reset_kernel_tally();
+    let mut scratch: Vec<K> = Vec::new();
     if p == 1 {
         comm.timed(Phase::Compute, |_| {
-            local_sort(&mut local, bitonic_network::Direction::Ascending);
+            local_sort_with_scratch(
+                &mut local,
+                &mut scratch,
+                bitonic_network::Direction::Ascending,
+            );
         });
+        comm.drain_kernel_tally();
         return local;
     }
     let sched = ShiftedSchedule::new(n * p, p, strategy);
     let blocked_layout = sched.blocked_layout();
 
     comm.timed(Phase::Compute, |_| {
-        local_sort(
+        local_sort_with_scratch(
             &mut local,
+            &mut scratch,
             crate::local::initial_direction(&blocked_layout, me),
         );
     });
+    comm.drain_kernel_tally();
 
     let mut prev = blocked_layout.clone();
     for phase in &sched.phases {

@@ -85,6 +85,22 @@ pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
                     )
                     .expect("write to String cannot fail");
                 }
+                Event::Kernel(k) => {
+                    // Thread-scoped instant event: a marker on the rank's
+                    // timeline naming the kernel that served the phase.
+                    write!(
+                        line,
+                        "{{\"name\":\"kernel {}\",\"cat\":\"kernel\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":{pid},\"tid\":0,\"ts\":{:.3},\
+                         \"args\":{{\"count\":{},\"step\":{},\"remap\":{}}}}}",
+                        k.name,
+                        k.at_ns as f64 / 1e3,
+                        k.count,
+                        k.step,
+                        k.remap_index,
+                    )
+                    .expect("write to String cannot fail");
+                }
             }
             push(&line, &mut out);
         }
@@ -122,6 +138,13 @@ mod tests {
                             group_size: 4,
                         },
                     }),
+                    Event::Kernel(crate::event::KernelEvent {
+                        name: "bitonic_net",
+                        count: 3,
+                        step: 1,
+                        remap_index: 1,
+                        at_ns: 5_000,
+                    }),
                 ],
                 dropped: 0,
             })
@@ -137,6 +160,8 @@ mod tests {
         assert!(json.contains("\"name\":\"pack\""));
         assert!(json.contains("\"ts\":1.000,\"dur\":2.500"));
         assert!(json.contains("\"elements_sent\":12"));
+        assert!(json.contains("\"name\":\"kernel bitonic_net\""));
+        assert!(json.contains("\"count\":3"));
     }
 
     #[test]

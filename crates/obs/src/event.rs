@@ -198,6 +198,26 @@ pub struct CounterEvent {
     pub counters: RemapCounters,
 }
 
+/// A local-kernel usage record: `count` invocations of the named
+/// compare/sort kernel since the previous kernel event on this rank.
+///
+/// Emitted by the SPMD drivers after each compute phase, so a trace shows
+/// *which* kernel (radix, iterative bitonic network, circular merge,
+/// merge network) served each phase of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelEvent {
+    /// Stable kernel name (`local_sorts::Kernel::name`).
+    pub name: &'static str,
+    /// Invocations attributed to this point on the timeline.
+    pub count: u64,
+    /// Algorithm step the driver was in.
+    pub step: u32,
+    /// Communication steps completed when the event was recorded.
+    pub remap_index: u32,
+    /// Recording time, nanoseconds since the machine epoch.
+    pub at_ns: u64,
+}
+
 /// One recorded event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
@@ -205,6 +225,8 @@ pub enum Event {
     Span(Span),
     /// A completed communication step's metrics.
     Counter(CounterEvent),
+    /// Local-kernel invocations attributed to the current phase.
+    Kernel(KernelEvent),
 }
 
 /// A rank's finished trace, harvested when its program returns.
@@ -223,7 +245,7 @@ impl RankTrace {
     pub fn spans(&self) -> impl Iterator<Item = &Span> {
         self.events.iter().filter_map(|e| match e {
             Event::Span(s) => Some(s),
-            Event::Counter(_) => None,
+            _ => None,
         })
     }
 
@@ -231,7 +253,15 @@ impl RankTrace {
     pub fn counters(&self) -> impl Iterator<Item = &CounterEvent> {
         self.events.iter().filter_map(|e| match e {
             Event::Counter(c) => Some(c),
-            Event::Span(_) => None,
+            _ => None,
+        })
+    }
+
+    /// Iterate over the kernel events in recording order.
+    pub fn kernels(&self) -> impl Iterator<Item = &KernelEvent> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Kernel(k) => Some(k),
+            _ => None,
         })
     }
 }

@@ -35,5 +35,7 @@ pub use aggregate::{
     critical_phase_totals, rank_phase_totals, step_breakdowns, PhaseTotals, StepBreakdown,
 };
 pub use chrome::chrome_trace_json;
-pub use event::{CounterEvent, Event, RankTrace, RemapCounters, Span, TracePhase, PHASES};
+pub use event::{
+    CounterEvent, Event, KernelEvent, RankTrace, RemapCounters, Span, TracePhase, PHASES,
+};
 pub use sink::{TraceConfig, TraceSink};

@@ -1,6 +1,6 @@
 //! The per-rank recorder: a preallocated event ring behind one branch.
 
-use crate::event::{CounterEvent, Event, RankTrace, RemapCounters, Span, TracePhase};
+use crate::event::{CounterEvent, Event, KernelEvent, RankTrace, RemapCounters, Span, TracePhase};
 use std::time::Instant;
 
 /// How (and whether) a machine run records traces.
@@ -205,6 +205,22 @@ impl TraceSink {
         self.push(event);
     }
 
+    /// Record `count` uses of local kernel `name` at `at`, attributed to
+    /// the current step and remap index. Zero counts are discarded.
+    #[inline]
+    pub fn kernel(&mut self, name: &'static str, count: u64, at: Instant) {
+        if !self.enabled || count == 0 {
+            return;
+        }
+        self.push(Event::Kernel(KernelEvent {
+            name,
+            count,
+            step: self.step,
+            remap_index: self.remaps,
+            at_ns: self.since_epoch_ns(at),
+        }));
+    }
+
     /// Consume the sink into its finished trace, events in recording
     /// order (the ring is unrolled from its oldest entry).
     #[must_use]
@@ -309,6 +325,31 @@ mod tests {
         assert_eq!(counters.len(), 1);
         assert_eq!(counters[0].remap_index, 0);
         assert_eq!(counters[0].counters.elements_sent, 5);
+    }
+
+    #[test]
+    fn kernel_events_carry_tags_and_skip_zero_counts() {
+        let epoch = Instant::now();
+        let mut s = TraceSink::new(1, TraceConfig::on(), epoch);
+        s.set_step(3);
+        s.kernel("radix", 0, t(epoch, 5));
+        assert!(s.is_empty(), "zero-count kernel events are discarded");
+        s.kernel("bitonic_net", 4, t(epoch, 10));
+        s.counter(RemapCounters::default(), t(epoch, 20));
+        s.kernel("radix", 1, t(epoch, 30));
+        let trace = s.finish();
+        let kernels: Vec<_> = trace.kernels().collect();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(
+            (
+                kernels[0].name,
+                kernels[0].count,
+                kernels[0].step,
+                kernels[0].remap_index
+            ),
+            ("bitonic_net", 4, 3, 0)
+        );
+        assert_eq!(kernels[1].remap_index, 1, "after the counter");
     }
 
     #[test]

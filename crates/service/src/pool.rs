@@ -84,6 +84,11 @@ impl WarmPool {
     #[must_use]
     pub fn new(cfg: &ServiceConfig) -> Self {
         cfg.validate();
+        // Measure the local-kernel crossover table once per process, so
+        // every batch this pool serves dispatches on calibrated thresholds
+        // instead of the baked-in reference-host constants (the serving
+        // analogue of the LogP machine constants).
+        local_sorts::dispatch::ensure_calibrated();
         // The chaos layer's faults (if any) ride along; the service-level
         // batch watchdog takes precedence over a watchdog configured there,
         // because the serving layer depends on it for batch containment.

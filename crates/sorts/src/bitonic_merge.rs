@@ -1,4 +1,4 @@
-//! The `O(n)` bitonic merge sort of Section 4.2.
+//! The `O(n)` bitonic merge sort of Section 4.2, in a branch-free layout.
 //!
 //! "For a bitonic input sequence, the fastest way to sort it is to use a
 //! merge sort instead of simulating the last stage of a bitonic sorting
@@ -8,11 +8,24 @@
 //!
 //! Viewed circularly, the keys starting at the minimum and walking forward
 //! form one ascending run, and the keys walking *backward* from the minimum
-//! form the other; a single two-pointer circular merge produces the sorted
-//! output in `n − 1` comparisons (Lemma 9: `O(n)` vs `O(n log n)` for the
-//! comparator network).
+//! form the other (Lemma 9: `O(n)` vs `O(n log n)` for the comparator
+//! network). Instead of chasing both pointers around the circle with two
+//! `%` reductions and an `i == j` exit test per element, we **rotate-copy**
+//! the circle into scratch so the minimum sits at slot 0 — the sequence is
+//! then a mountain: one ascending run from the front, one (reversed) from
+//! the back — and run a classic converging two-pointer merge whose per-key
+//! work is one comparison, one conditional select, and two index bumps, all
+//! branchless. The pointers satisfy `emitted = i + (n-1-j)`, so they meet
+//! exactly at the last emission and no bounds branch is needed.
+//!
+//! [`sort_bitonic_with_scratch`] additionally consults the kernel dispatch
+//! table ([`crate::dispatch`]): tiny power-of-two inputs run the in-place
+//! branch-free merge *network* ([`crate::kernels::bitonic_merge_iterative`])
+//! instead, which beats the rotate-copy below the calibrated size class.
 
 use crate::bitonic_min::bitonic_min_index;
+use crate::dispatch::{self, Kernel};
+use crate::kernels::bitonic_merge_iterative;
 use bitonic_network::Direction;
 
 /// Sort the bitonic sequence `data` in place, in direction `dir`.
@@ -33,8 +46,31 @@ pub fn sort_bitonic<T: Ord + Copy>(data: &mut [T], dir: Direction) {
 }
 
 /// Sort the bitonic sequence `data` in place using a caller-provided
-/// scratch buffer (cleared and refilled; capacity is reused).
+/// scratch buffer (cleared and refilled; capacity is reused), picking the
+/// merge kernel from the dispatch table and counting it in the
+/// thread-local kernel tally.
 pub fn sort_bitonic_with_scratch<T: Ord + Copy>(
+    data: &mut [T],
+    scratch: &mut Vec<T>,
+    dir: Direction,
+) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let kernel = dispatch::select_merge_kernel::<T>(n);
+    match kernel {
+        Kernel::NetworkMerge => bitonic_merge_iterative(data, dir),
+        _ => sort_circular_with_scratch(data, scratch, dir),
+    }
+    dispatch::bump(kernel);
+}
+
+/// The rotate-copy circular merge, unconditionally (no dispatch, no
+/// tally): linearize the circle into `scratch` with the minimum first,
+/// then converge two pointers over the mountain, writing straight back
+/// into `data` (forward for ascending, backward for descending).
+pub fn sort_circular_with_scratch<T: Ord + Copy>(
     data: &mut [T],
     scratch: &mut Vec<T>,
     dir: Direction,
@@ -46,51 +82,67 @@ pub fn sort_bitonic_with_scratch<T: Ord + Copy>(
     let start = bitonic_min_index(data);
     scratch.clear();
     scratch.reserve(n);
-    merge_circular_into(data, start, scratch);
+    scratch.extend_from_slice(&data[start..]);
+    scratch.extend_from_slice(&data[..start]);
     match dir {
-        Direction::Ascending => data.copy_from_slice(scratch),
-        Direction::Descending => {
-            for (slot, &v) in data.iter_mut().zip(scratch.iter().rev()) {
-                *slot = v;
-            }
-        }
+        Direction::Ascending => merge_mountain(scratch, data.iter_mut()),
+        Direction::Descending => merge_mountain(scratch, data.iter_mut().rev()),
+    }
+}
+
+/// Converging branch-free merge of a mountain (minimum at slot 0): emit
+/// `src.len()` keys in ascending order into `out`.
+///
+/// Loop invariant: `emitted = i + (src.len() - 1 - j)`, so `i == j` exactly
+/// when the last key is emitted; at that point `a == b` and the front is
+/// taken, so `j` never underflows. Each iteration is one comparison and
+/// three conditional selects — no data-dependent branch.
+fn merge_mountain<'a, T: Ord + Copy + 'a>(src: &[T], out: impl Iterator<Item = &'a mut T>) {
+    let mut i = 0usize;
+    let mut j = src.len() - 1;
+    for slot in out {
+        let a = src[i];
+        let b = src[j];
+        let take_front = a <= b;
+        *slot = if take_front { a } else { b };
+        i += usize::from(take_front);
+        j -= usize::from(!take_front);
     }
 }
 
 /// Sort the bitonic sequence `src` into `out` (appended), ascending.
 ///
-/// This is the allocation-free core used by the fused
-/// sort-and-pack path of Section 4.3.
+/// This is the allocation-free core used by the fused sort-and-pack path
+/// of Section 4.3. It must not disturb `out`'s existing prefix, so it
+/// keeps the circular walk — but with the `%` reductions replaced by
+/// conditional wrap-arounds (selects) and the `i == j` exit test hoisted
+/// out of the loop: the pointers meet exactly at emission `n`, so the
+/// first `n − 1` iterations need no meeting test at all.
 pub fn sort_bitonic_into<T: Ord + Copy>(src: &[T], out: &mut Vec<T>) {
     let n = src.len();
     if n == 0 {
         return;
     }
-    let start = bitonic_min_index(src);
-    merge_circular_into(src, start, out);
-}
-
-/// Two-pointer circular merge: `i` walks forward from the minimum through
-/// the ascending region, `j` walks backward from the minimum through the
-/// (reversed) descending region; both converge on the maximum.
-fn merge_circular_into<T: Ord + Copy>(data: &[T], min_idx: usize, out: &mut Vec<T>) {
-    let n = data.len();
     let before = out.len();
-    let mut i = min_idx;
-    let mut j = (min_idx + n - 1) % n;
-    for _ in 0..n {
-        if i == j {
-            out.push(data[i]);
-            break;
-        }
-        if data[i] <= data[j] {
-            out.push(data[i]);
-            i = (i + 1) % n;
-        } else {
-            out.push(data[j]);
-            j = (j + n - 1) % n;
-        }
+    out.reserve(n);
+    let start = bitonic_min_index(src);
+    let mut i = start;
+    let mut j = if start == 0 { n - 1 } else { start - 1 };
+    for _ in 0..n - 1 {
+        let a = src[i];
+        let b = src[j];
+        let take_i = a <= b;
+        out.push(if take_i { a } else { b });
+        // Conditional wrap instead of `%`: i advances (mod n) when the
+        // forward run is taken, j retreats (mod n) otherwise.
+        let ti = usize::from(take_i);
+        i += ti;
+        i = if i == n { 0 } else { i };
+        j += n - 1 + ti;
+        j = if j >= n { j - n } else { j };
     }
+    out.push(src[i]);
+    debug_assert_eq!(i, j, "pointers must meet at the maximum");
     debug_assert_eq!(out.len() - before, n, "merge must emit exactly n elements");
 }
 
@@ -115,6 +167,12 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "output is not a permutation of the input");
+
+            // The circular path must agree regardless of what dispatch picked.
+            let mut c = input.to_vec();
+            let mut scratch = Vec::new();
+            sort_circular_with_scratch(&mut c, &mut scratch, dir);
+            assert_eq!(c, v, "circular and dispatched kernels disagree");
         }
     }
 
@@ -157,6 +215,23 @@ mod tests {
         let mut out = vec![99u64];
         sort_bitonic_into(&[3, 7, 5, 1], &mut out);
         assert_eq!(out, vec![99, 1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn sort_into_every_rotation() {
+        for len in [1usize, 2, 5, 16, 33] {
+            let m = generate::distinct_mountain(len, len / 3);
+            for shift in 0..len {
+                let mut r = m.clone();
+                rotate_left(&mut r, shift);
+                let mut out = Vec::new();
+                sort_bitonic_into(&r, &mut out);
+                assert!(is_sorted(&out, Direction::Ascending), "{r:?} -> {out:?}");
+                let mut expect = r.clone();
+                expect.sort_unstable();
+                assert_eq!(out, expect);
+            }
+        }
     }
 
     #[test]

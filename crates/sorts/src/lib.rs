@@ -22,6 +22,8 @@
 
 pub mod bitonic_merge;
 pub mod bitonic_min;
+pub mod dispatch;
+pub mod kernels;
 pub mod merge;
 pub mod pway_merge;
 pub mod radix;
@@ -29,6 +31,7 @@ pub mod radix;
 pub use bitonic_merge::{sort_bitonic, sort_bitonic_with_scratch};
 pub use bitonic_min::bitonic_min_index;
 pub use bitonic_network::Direction;
+pub use dispatch::{ForceKernel, Kernel, KernelTable};
 pub use radix::radix_sort;
 
 /// An unsigned key type sortable by the LSD radix sort.
@@ -69,6 +72,17 @@ impl RadixKey for u16 {
     }
 }
 
+// Wide keys (ROADMAP item 3): 16 byte-wide passes. The dispatch table
+// gives u128 its own width class, where the pass count pushes the radix
+// crossover far enough out that the bitonic network wins a wide band.
+impl RadixKey for u128 {
+    const PASSES: u32 = 16;
+    #[inline]
+    fn digit(self, pass: u32) -> usize {
+        ((self >> (pass * Self::DIGIT_BITS)) & 0xFF) as usize
+    }
+}
+
 // Signed keys: flipping the sign bit maps i32/i64 order-preservingly onto
 // u32/u64, so the same byte-wise digits sort them correctly.
 impl RadixKey for i32 {
@@ -87,14 +101,35 @@ impl RadixKey for i64 {
     }
 }
 
-/// Sort `data` in `dir` using the fastest applicable local routine
-/// (radix sort; descending output is produced by an ascending sort plus a
-/// reversal, which stays `O(n)`).
+/// Sort `data` in `dir` using the fastest applicable local routine for
+/// its size class and key width, per the kernel dispatch table
+/// ([`dispatch`]): the branch-free iterative bitonic network below the
+/// calibrated crossover, the LSD radix sort above it (descending radix
+/// output is produced by an ascending sort plus a reversal, staying
+/// `O(n)`).
+///
+/// Allocates a scratch buffer; hot loops should thread a pooled buffer
+/// through [`local_sort_with_scratch`] instead.
 pub fn local_sort<K: RadixKey>(data: &mut [K], dir: Direction) {
-    radix::radix_sort(data);
-    if dir == Direction::Descending {
-        data.reverse();
+    let mut scratch = Vec::new();
+    local_sort_with_scratch(data, &mut scratch, dir);
+}
+
+/// [`local_sort`] with a caller-provided scratch buffer (cleared and
+/// refilled; capacity is reused across calls). The chosen kernel is
+/// counted in the thread-local tally ([`dispatch::take_tally`]).
+pub fn local_sort_with_scratch<K: RadixKey>(data: &mut [K], scratch: &mut Vec<K>, dir: Direction) {
+    let kernel = dispatch::select_sort_kernel::<K>(data.len());
+    match kernel {
+        Kernel::BitonicNetwork => kernels::bitonic_sort_iterative_any(data, scratch, dir),
+        _ => {
+            radix::radix_sort_with_scratch(data, scratch);
+            if dir == Direction::Descending {
+                data.reverse();
+            }
+        }
     }
+    dispatch::bump(kernel);
 }
 
 #[cfg(test)]
@@ -115,6 +150,58 @@ mod tests {
         let k: u64 = 0x0102030405060708;
         assert_eq!(k.digit(0), 0x08);
         assert_eq!(k.digit(7), 0x01);
+    }
+
+    #[test]
+    fn digits_of_u128() {
+        let k: u128 = 0xAB << 120 | 0xCD << 64 | 0xEF << 56 | 0x12;
+        assert_eq!(k.digit(0), 0x12);
+        assert_eq!(k.digit(7), 0xEF);
+        assert_eq!(k.digit(8), 0xCD);
+        assert_eq!(k.digit(15), 0xAB);
+        // Interior passes carry nothing for this key.
+        assert_eq!(k.digit(1), 0);
+        assert_eq!(k.digit(14), 0);
+        assert_eq!(u128::MAX.digit(15), 0xFF);
+        assert_eq!(0u128.digit(0), 0);
+    }
+
+    #[test]
+    fn u128_keys_sort_across_digit_boundaries() {
+        // Keys that differ only above bit 64, only below, and at the
+        // 64-bit boundary — the passes that a u64-shaped impl would lose.
+        let mut v: Vec<u128> = vec![
+            u128::MAX,
+            0,
+            1 << 64,
+            (1 << 64) - 1,
+            1 << 127,
+            (1 << 127) - 1,
+            42,
+        ];
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        local_sort(&mut v, Direction::Ascending);
+        assert_eq!(v, expect);
+        local_sort(&mut v, Direction::Descending);
+        expect.reverse();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn local_sort_with_scratch_reuses_capacity() {
+        let mut scratch = Vec::new();
+        for round in 0..3u64 {
+            // Above the bitonic crossover so the radix path exercises the
+            // scratch buffer.
+            let mut v: Vec<u64> = (0..5000u64)
+                .map(|i| (i * 2654435761 + round) % 9973)
+                .collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            local_sort_with_scratch(&mut v, &mut scratch, Direction::Ascending);
+            assert_eq!(v, expect);
+        }
     }
 
     #[test]

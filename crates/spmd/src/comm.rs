@@ -191,6 +191,36 @@ impl<K: Clone + Send + 'static> Comm<K> {
         out
     }
 
+    /// Record `count` uses of local kernel `name` on this rank: into the
+    /// stats (for the R/V/M report) and onto the trace timeline (so a
+    /// Chrome trace shows which kernel served the phase). Zero counts are
+    /// free.
+    pub fn note_kernel(&mut self, name: &'static str, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.stats.note_kernel(name, count);
+        self.trace.kernel(name, count, Instant::now());
+    }
+
+    /// Drain the sort layer's thread-local kernel tally into this rank's
+    /// stats and trace. Drivers call this after each compute phase; the
+    /// tally is thread-local and SPMD ranks are threads, so the drained
+    /// counts are exactly this rank's since the previous drain.
+    pub fn drain_kernel_tally(&mut self) {
+        for (name, count) in local_sorts::dispatch::take_tally() {
+            self.note_kernel(name, count);
+        }
+    }
+
+    /// Discard any kernel counts a *previous* program left in this machine
+    /// thread's tally. Drivers call this once on entry so counts from an
+    /// earlier job on a pooled (persistent) machine are not attributed to
+    /// this one.
+    pub fn reset_kernel_tally(&mut self) {
+        local_sorts::dispatch::clear_tally();
+    }
+
     /// Wait for all ranks; time spent is charged to [`Phase::Barrier`].
     ///
     /// Under fault injection with a watchdog, a barrier that stays closed
@@ -1421,6 +1451,37 @@ mod tests {
             });
         });
         assert!(results[0].stats.time(Phase::Compute) >= std::time::Duration::from_millis(4));
+    }
+
+    #[test]
+    fn drain_kernel_tally_attributes_to_the_rank() {
+        let results = run_spmd::<u64, _, _>(2, MessageMode::Long, |comm| {
+            local_sorts::dispatch::clear_tally();
+            // One sort per rank above the bitonic crossover (radix) and
+            // `rank + 1` below it (bitonic network), so the two ranks
+            // record different counts.
+            use local_sorts::Direction;
+            let mut big: Vec<u64> = (0..20_000).rev().collect();
+            let mut scratch = Vec::new();
+            local_sorts::local_sort_with_scratch(&mut big, &mut scratch, Direction::Ascending);
+            for _ in 0..=comm.rank() {
+                let mut small = [5u64, 1, 4, 1, 3, 9, 2, 6];
+                local_sorts::local_sort_with_scratch(
+                    &mut small[..],
+                    &mut scratch,
+                    Direction::Ascending,
+                );
+            }
+            comm.drain_kernel_tally();
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r.stats.kernel_count("radix"), 1, "rank {rank}");
+            assert_eq!(
+                r.stats.kernel_count("bitonic_net"),
+                rank as u64 + 1,
+                "rank {rank}"
+            );
+        }
     }
 
     use proptest::prelude::*;

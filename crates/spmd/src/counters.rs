@@ -123,6 +123,12 @@ pub struct CommStats {
     /// autoscaling, so every job's stats record the pool capacity that
     /// served it.
     pub pool_machines: u64,
+    /// Local-kernel invocation counts recorded by the sort layer, as
+    /// `(kernel name, count)` pairs in first-seen order. Which kernel
+    /// serves a local phase is decided per size class by the dispatch
+    /// table in `local_sorts::dispatch`; drivers drain the sort layer's
+    /// tally after each compute phase and accumulate it here.
+    pub local_kernels: Vec<(&'static str, u64)>,
     /// Wall-clock spent per phase.
     phase_time: [Duration; 5],
 }
@@ -145,6 +151,27 @@ impl CommStats {
         self.elements_sent += record.elements_sent;
         self.messages_sent += record.messages_sent;
         self.remaps.push(record);
+    }
+
+    /// Count `count` further uses of local kernel `name`.
+    pub fn note_kernel(&mut self, name: &'static str, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(entry) = self.local_kernels.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 += count;
+        } else {
+            self.local_kernels.push((name, count));
+        }
+    }
+
+    /// Uses of local kernel `name` recorded so far.
+    #[must_use]
+    pub fn kernel_count(&self, name: &str) -> u64 {
+        self.local_kernels
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, c)| *c)
     }
 
     /// Accrue `d` into `phase`.
@@ -178,6 +205,15 @@ impl CommStats {
         self.plan_hits = self.plan_hits.max(other.plan_hits);
         self.plan_misses = self.plan_misses.max(other.plan_misses);
         self.pool_machines = self.pool_machines.max(other.pool_machines);
+        // Kernel counts merge by name: the critical-path view keeps each
+        // kernel's per-rank maximum, same as the scalar counters.
+        for &(name, count) in &other.local_kernels {
+            if let Some(entry) = self.local_kernels.iter_mut().find(|(n, _)| *n == name) {
+                entry.1 = entry.1.max(count);
+            } else {
+                self.local_kernels.push((name, count));
+            }
+        }
         self.faults.max_merge(&other.faults);
         if other.remaps.len() > self.remaps.len() {
             self.remaps
@@ -218,6 +254,26 @@ mod tests {
         assert_eq!(s.remap_count(), 2);
         assert_eq!(s.elements_sent, 15);
         assert_eq!(s.messages_sent, 4);
+    }
+
+    #[test]
+    fn kernel_counts_accumulate_and_merge_by_name() {
+        let mut a = CommStats::new();
+        a.note_kernel("radix", 2);
+        a.note_kernel("bitonic_net", 5);
+        a.note_kernel("radix", 1);
+        a.note_kernel("circular_merge", 0); // ignored
+        assert_eq!(a.kernel_count("radix"), 3);
+        assert_eq!(a.kernel_count("bitonic_net"), 5);
+        assert_eq!(a.kernel_count("circular_merge"), 0);
+
+        let mut b = CommStats::new();
+        b.note_kernel("radix", 7);
+        b.note_kernel("network_merge", 4);
+        a.max_merge(&b);
+        assert_eq!(a.kernel_count("radix"), 7, "per-name max");
+        assert_eq!(a.kernel_count("bitonic_net"), 5, "absent in b, kept");
+        assert_eq!(a.kernel_count("network_merge"), 4, "new name merged in");
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Kernel-level properties of the branch-free local-phase kernels
+//! (`local_sorts::kernels`) and their dispatch layer:
+//!
+//! * **oracle equivalence** — every kernel and both dispatched entry
+//!   points agree with `slice::sort_unstable` for every `RadixKey` type,
+//!   in both directions, at adversarial lengths (empty, singleton,
+//!   non-powers-of-two, all-equal, saturated);
+//! * **comparator-sequence purity** — the number of key comparisons a
+//!   network kernel performs is a function of the input *length* alone
+//!   (the oblivious-execution precondition), and matches the closed-form
+//!   counts `sort_ce_count` / `merge_ce_count`;
+//! * **dispatch semantics** — the force override and the threshold table
+//!   select the kernels they claim to.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::fmt::Debug;
+
+use local_sorts::bitonic_merge::sort_circular_with_scratch;
+use local_sorts::dispatch::{self, select_merge_kernel, select_sort_kernel, set_force};
+use local_sorts::kernels::{
+    bitonic_merge_iterative, bitonic_sort_iterative, bitonic_sort_iterative_any, merge_ce_count,
+    sort_ce_count,
+};
+use local_sorts::{
+    local_sort_with_scratch, sort_bitonic_with_scratch, Direction, ForceKernel, Kernel, RadixKey,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Oracle equivalence
+
+/// Sort `v` with the network kernel and the dispatched entry point and
+/// compare both against the standard library.
+fn sort_oracle<K: RadixKey + Debug>(mut v: Vec<K>, descending: bool) {
+    let dir = if descending {
+        Direction::Descending
+    } else {
+        Direction::Ascending
+    };
+    let mut expect = v.clone();
+    expect.sort_unstable();
+    if descending {
+        expect.reverse();
+    }
+
+    let mut scratch = Vec::new();
+    let mut net = v.clone();
+    bitonic_sort_iterative_any(&mut net, &mut scratch, dir);
+    assert_eq!(net, expect, "network sort, n={} {dir:?}", v.len());
+
+    // Whatever kernel the table picks must give the same answer.
+    local_sort_with_scratch(&mut v, &mut scratch, dir);
+    assert_eq!(v, expect, "dispatched sort {dir:?}");
+}
+
+/// Shape `v` into a rotated mountain (a circular bitonic sequence), then
+/// check every merge kernel and the dispatched merge against the oracle.
+fn merge_oracle<K: RadixKey + Debug>(mut v: Vec<K>, rot: usize, descending: bool) {
+    let n = v.len();
+    if n > 1 {
+        let peak = n / 2;
+        v[..peak].sort_unstable();
+        v[peak..].sort_unstable_by(|a, b| b.cmp(a));
+        v.rotate_left(rot % n);
+    }
+    let dir = if descending {
+        Direction::Descending
+    } else {
+        Direction::Ascending
+    };
+    let mut expect = v.clone();
+    expect.sort_unstable();
+    if descending {
+        expect.reverse();
+    }
+
+    let mut scratch = Vec::new();
+    let mut d = v.clone();
+    sort_bitonic_with_scratch(&mut d, &mut scratch, dir);
+    assert_eq!(d, expect, "dispatched merge, n={n} rot={rot} {dir:?}");
+
+    if n.is_power_of_two() {
+        let mut m = v.clone();
+        bitonic_merge_iterative(&mut m, dir);
+        assert_eq!(m, expect, "network merge, n={n} rot={rot} {dir:?}");
+    }
+
+    sort_circular_with_scratch(&mut v, &mut scratch, dir);
+    assert_eq!(v, expect, "circular merge, n={n} rot={rot} {dir:?}");
+}
+
+macro_rules! oracle_suite {
+    ($mod_name:ident, $ty:ty) => {
+        mod $mod_name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(48))]
+
+                #[test]
+                fn full_sort_matches_oracle(
+                    v in proptest::collection::vec(any::<$ty>(), 0..300),
+                    descending in any::<bool>(),
+                ) {
+                    sort_oracle(v, descending);
+                }
+
+                #[test]
+                fn bitonic_merge_matches_oracle(
+                    v in proptest::collection::vec(any::<$ty>(), 0..300),
+                    rot in any::<usize>(),
+                    descending in any::<bool>(),
+                ) {
+                    merge_oracle(v, rot, descending);
+                }
+            }
+
+            #[test]
+            fn adversarial_lengths_and_values() {
+                for n in [0usize, 1, 2, 3, 5, 31, 33, 255, 257] {
+                    for descending in [false, true] {
+                        // All-equal saturated keys: every compare-exchange
+                        // ties, padding picks the same extreme.
+                        sort_oracle(vec![<$ty>::MAX; n], descending);
+                        sort_oracle(vec![<$ty>::MIN; n], descending);
+                        merge_oracle(vec![<$ty>::MAX; n], n / 2, descending);
+                        // A deterministic spread including both extremes.
+                        let spread: Vec<$ty> = (0..n)
+                            .map(|i| {
+                                if i % 3 == 0 {
+                                    <$ty>::MAX
+                                } else if i % 3 == 1 {
+                                    <$ty>::MIN
+                                } else {
+                                    <$ty>::MAX / 2
+                                }
+                            })
+                            .collect();
+                        sort_oracle(spread.clone(), descending);
+                        merge_oracle(spread, 1, descending);
+                    }
+                }
+            }
+        }
+    };
+}
+
+oracle_suite!(u16_keys, u16);
+oracle_suite!(u32_keys, u32);
+oracle_suite!(u64_keys, u64);
+oracle_suite!(u128_keys, u128);
+oracle_suite!(i32_keys, i32);
+oracle_suite!(i64_keys, i64);
+
+// ---------------------------------------------------------------------------
+// Comparator-sequence purity
+
+thread_local! {
+    static COMPARES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A key whose every comparison bumps a thread-local counter, exposing
+/// the comparator sequence length of the kernels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Counted(u64);
+
+impl PartialOrd for Counted {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Counted {
+    fn cmp(&self, other: &Self) -> Ordering {
+        COMPARES.with(|c| c.set(c.get() + 1));
+        self.0.cmp(&other.0)
+    }
+}
+
+fn compares_during(f: impl FnOnce()) -> u64 {
+    COMPARES.with(|c| c.set(0));
+    f();
+    COMPARES.with(|c| c.get())
+}
+
+fn counted_keys(n: usize, seed: u64) -> Vec<Counted> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Counted(x >> 16)
+        })
+        .collect()
+}
+
+#[test]
+fn sort_network_compare_count_is_pure() {
+    for lg in 0..=9u32 {
+        let n = 1usize << lg;
+        for dir in [Direction::Ascending, Direction::Descending] {
+            for seed in [1u64, 99, 12345] {
+                let mut v = counted_keys(n, seed);
+                let count = compares_during(|| bitonic_sort_iterative(&mut v, dir));
+                assert_eq!(
+                    count,
+                    sort_ce_count(n),
+                    "n={n} {dir:?} seed={seed}: data leaked into the comparator sequence"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_network_compare_count_is_pure() {
+    for lg in 1..=10u32 {
+        let n = 1usize << lg;
+        for dir in [Direction::Ascending, Direction::Descending] {
+            for seed in [2u64, 77] {
+                // Any input is fine for counting: the sequence of compared
+                // addresses must not depend on the values at all.
+                let mut v = counted_keys(n, seed);
+                let count = compares_during(|| bitonic_merge_iterative(&mut v, dir));
+                assert_eq!(count, merge_ce_count(n), "n={n} {dir:?} seed={seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn padded_sort_compare_count_is_pure() {
+    // Non-power-of-two lengths add a pad-element scan (n − 1 compares)
+    // before the network on ⌈n⌉₂ keys; still a pure function of n.
+    for n in [3usize, 5, 100, 257] {
+        for dir in [Direction::Ascending, Direction::Descending] {
+            let expect = (n as u64 - 1) + sort_ce_count(n.next_power_of_two());
+            for seed in [3u64, 41, 5000] {
+                let mut v = counted_keys(n, seed);
+                let mut scratch = Vec::new();
+                let count =
+                    compares_during(|| bitonic_sort_iterative_any(&mut v, &mut scratch, dir));
+                assert_eq!(count, expect, "n={n} {dir:?} seed={seed}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch semantics
+
+/// Force override and table boundaries, in one test because both read the
+/// process-global dispatch state (concurrent oracle tests stay correct
+/// under any force, but only this test asserts *which* kernel is picked).
+#[test]
+fn force_overrides_table_then_auto_restores_boundaries() {
+    set_force(ForceKernel::Bitonic);
+    assert_eq!(select_sort_kernel::<u64>(1 << 20), Kernel::BitonicNetwork);
+    assert_eq!(select_merge_kernel::<u64>(1 << 20), Kernel::NetworkMerge);
+    // The comparator network's power-of-two precondition outranks a force.
+    assert_eq!(select_merge_kernel::<u64>(100), Kernel::CircularMerge);
+
+    set_force(ForceKernel::Radix);
+    assert_eq!(select_sort_kernel::<u64>(2), Kernel::Radix);
+    assert_eq!(select_merge_kernel::<u64>(4), Kernel::CircularMerge);
+
+    set_force(ForceKernel::Auto);
+    let table = dispatch::current();
+    let max = table.sort_bitonic_max_lg[dispatch::width_class::<u64>()];
+    assert_eq!(
+        select_sort_kernel::<u64>(1 << max),
+        Kernel::BitonicNetwork,
+        "at the threshold the network must be chosen"
+    );
+    assert_eq!(
+        select_sort_kernel::<u64>(1 << (max + 1)),
+        Kernel::Radix,
+        "one class above the threshold radix must be chosen"
+    );
+    let mmax = table.merge_network_max_lg[dispatch::width_class::<u64>()];
+    assert_eq!(select_merge_kernel::<u64>(1 << mmax), Kernel::NetworkMerge);
+    assert_eq!(
+        select_merge_kernel::<u64>(1 << (mmax + 1)),
+        Kernel::CircularMerge
+    );
+}
