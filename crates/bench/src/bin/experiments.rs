@@ -21,7 +21,11 @@
 //! `--procs N`, `--requests N`, and `--seed N` shape the load, `--out
 //! FILE` writes the bare `SERVE_1` JSON document, and `--check` exits
 //! non-zero unless every reply matched the oracle with zero sheds and a
-//! 100% steady-state plan-cache hit rate.
+//! 100% steady-state plan-cache hit rate — and unless the live metrics
+//! registry reconciles exactly with the service's own counters.
+//! `--metrics-out FILE` (also on `shard`, `bench4`, `bench5`) writes the
+//! final registry as a `METRICS_1` JSON document plus a Prometheus
+//! text-format sibling at `FILE.prom`.
 //!
 //! `bench4` composes the `remap_bench` `BENCH_1` records and the serving
 //! run's `SERVE_1` document into one `BENCH_4` artifact (`--out
@@ -47,6 +51,28 @@ use bitonic_bench::experiments::{
 use bitonic_bench::report::bench_json;
 use spmd::MessageMode;
 
+/// Write a `METRICS_1` dump to `path` and its Prometheus text-format
+/// sibling to `path.prom`. Exits non-zero if the run recorded no metrics
+/// or either write fails.
+fn write_metrics(path: &str, metrics: Option<&String>, prometheus: Option<&String>) {
+    let Some(json) = metrics else {
+        eprintln!("--metrics-out: this run recorded no metrics");
+        std::process::exit(1);
+    };
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("writing {path}: {e}");
+        std::process::exit(1);
+    }
+    let prom_path = format!("{path}.prom");
+    if let Some(text) = prometheus {
+        if let Err(e) = std::fs::write(&prom_path, text) {
+            eprintln!("writing {prom_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("METRICS_1 document written to {path} (Prometheus text at {prom_path}).");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default_host();
@@ -54,6 +80,7 @@ fn main() {
     let mut procs = trace::DEFAULT_PROCS;
     let mut keys: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut check = false;
     let mut seed: Option<u64> = None;
     let mut requests: Option<usize> = None;
@@ -86,6 +113,7 @@ fn main() {
                 }));
             }
             "--out" => out = Some(value(&args, &mut i)),
+            "--metrics-out" => metrics_out = Some(value(&args, &mut i)),
             "--requests" => {
                 requests = Some(value(&args, &mut i).parse().unwrap_or_else(|e| {
                     eprintln!("--requests: {e}");
@@ -109,10 +137,10 @@ fn main() {
                     "usage: experiments [--full] [all | {}]\n       \
                      experiments trace [--procs N] [--keys N] [--out FILE] [--check]\n       \
                      experiments chaos [--procs N] [--keys N] [--seed N] [--out FILE] [--check]\n       \
-                     experiments serve [--procs N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
-                     experiments bench4 [--procs N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
-                     experiments shard [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
-                     experiments bench5 [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--check]\n       \
+                     experiments serve [--procs N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
+                     experiments bench4 [--procs N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
+                     experiments shard [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
+                     experiments bench5 [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
                      experiments bench6 [--quick] [--out FILE] [--check]",
                     IDS.join(" | ")
                 );
@@ -190,11 +218,15 @@ fn main() {
             }
             println!("SERVE_1 document written to {path}.");
         }
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
+        }
         if check {
             if run.passed {
                 println!(
                     "check: every reply matched the oracle; zero sheds; \
-                     steady-state plan-cache hit rate 100%."
+                     steady-state plan-cache hit rate 100%; metrics registry \
+                     reconciles with the service counters."
                 );
             } else {
                 eprintln!("check failed: see report above.");
@@ -211,6 +243,15 @@ fn main() {
         let seed = seed.unwrap_or(serve_bench::DEFAULT_SEED);
         let (records, speedups) = remap_bench::records(scale);
         let run = serve_bench::run_serve(procs, requests, seed);
+        // A/B the metrics plane's hot-path cost: the same load with
+        // instrumentation compiled out of the request path. Reported, not
+        // gated — shared CI hosts are too noisy to gate a few percent.
+        let bare = serve_bench::run_serve_metrics(procs, requests, seed, false);
+        let overhead_pct = if bare.p99_us > 0.0 {
+            (run.p99_us / bare.p99_us - 1.0) * 100.0
+        } else {
+            0.0
+        };
         let doc = format!(
             "{{\n\"schema\": \"BENCH_4\",\n\"bench\": {},\"serve\": {}}}\n",
             bench_json(&records),
@@ -218,6 +259,11 @@ fn main() {
         );
         println!("## BENCH_4 composition [bench4]\n");
         println!("Remap engine flat-path speedup over legacy: {speedups}.\n");
+        println!(
+            "Metrics-plane overhead: p99 {:.1} µs with metrics vs {:.1} µs \
+             without ({overhead_pct:+.2}%).\n",
+            run.p99_us, bare.p99_us
+        );
         println!("{}", run.report);
         if let Some(path) = out {
             if let Err(e) = std::fs::write(&path, &doc) {
@@ -228,7 +274,10 @@ fn main() {
         } else {
             println!("```json\n{doc}```");
         }
-        if check && !run.passed {
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
+        }
+        if check && !(run.passed && bare.passed) {
             eprintln!("check failed: see serve report above.");
             std::process::exit(1);
         }
@@ -249,6 +298,9 @@ fn main() {
                 std::process::exit(1);
             }
             println!("SHARD_1 document written to {path}.");
+        }
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
         }
         if check {
             if run.passed {
@@ -322,6 +374,9 @@ fn main() {
         } else {
             println!("```json\n{doc}```");
         }
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
+        }
         if check && !(run.passed && run.small_p99_improved) {
             eprintln!(
                 "check failed: correctness {} / small-class p99 win {} — see report above.",
@@ -332,6 +387,7 @@ fn main() {
         return;
     }
     if out.is_some()
+        || metrics_out.is_some()
         || check
         || quick
         || keys.is_some()
@@ -340,7 +396,7 @@ fn main() {
         || shards.is_some()
     {
         eprintln!(
-            "--out/--check/--quick/--keys/--seed/--requests/--shards only apply to the \
+            "--out/--metrics-out/--check/--quick/--keys/--seed/--requests/--shards only apply to the \
              `trace`, `chaos`, `serve`, `bench4`, `shard`, `bench5`, or `bench6` subcommands"
         );
         std::process::exit(2);

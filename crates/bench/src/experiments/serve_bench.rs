@@ -18,7 +18,7 @@
 //! p50/p95/p99 reply latencies.
 
 use super::{Experiment, Scale};
-use crate::report::{f2, serve_json, ServeSummary, Table};
+use crate::report::{f2, metrics_json, serve_json, ServeSummary, Table};
 use crate::workloads::uniform_keys;
 use bitonic_core::tagged::sorted_independently;
 use bitonic_network::Direction;
@@ -52,6 +52,13 @@ pub struct ServeRun {
     pub report: String,
     /// The bare `SERVE_1` JSON document, for composition into `BENCH_4`.
     pub json: String,
+    /// The final registry as a `METRICS_1` document (absent when the run
+    /// was started with metrics off).
+    pub metrics_json: Option<String>,
+    /// The final registry in Prometheus text exposition format.
+    pub prometheus: Option<String>,
+    /// The run's 99th-percentile reply latency, for A/B comparisons.
+    pub p99_us: f64,
     /// Whether every acceptance check held.
     pub passed: bool,
 }
@@ -141,19 +148,31 @@ fn warm_shapes(service: &SortService, cfg: &ServiceConfig) -> u64 {
 
 /// Drive the service at `procs` ranks with `requests` offered requests
 /// and render the report. Deterministic in `seed` up to host timing.
+/// Metrics are on; when the run finishes, the registry must reconcile
+/// exactly with the service's own `ServiceStats` or the run fails.
 ///
 /// # Panics
 /// Panics if `procs` is not a power of two (machine requirement).
 #[must_use]
 pub fn run_serve(procs: usize, requests: usize, seed: u64) -> ServeRun {
+    run_serve_metrics(procs, requests, seed, true)
+}
+
+/// [`run_serve`] with the metrics plane switchable, for A/B overhead
+/// measurements (`metrics: false` skips registration, instrumentation,
+/// and the reconciliation gate).
+#[must_use]
+pub fn run_serve_metrics(procs: usize, requests: usize, seed: u64, metrics: bool) -> ServeRun {
     assert!(procs.is_power_of_two(), "machine sizes are powers of two");
     let mut cfg = ServiceConfig::new(procs);
     // Cap batches at one max-size request so warm-up (which is bounded by
     // the per-request limit) can visit every padded shape batches reach.
     cfg.max_batch_keys = cfg.max_request_keys;
+    cfg.metrics = metrics;
     cfg.validate();
 
     let service = SortService::start(cfg);
+    let handle = service.metrics();
     let warmup_batches = warm_shapes(&service, &cfg);
     let warm = service.stats();
 
@@ -193,6 +212,78 @@ pub fn run_serve(procs: usize, requests: usize, seed: u64) -> ServeRun {
     let wall = started.elapsed().as_secs_f64();
     let report = service.shutdown();
     let stats = report.stats;
+
+    // Reconcile the metrics registry against the service's own counters:
+    // two independent tallies of the same events must agree exactly.
+    let mut metrics_doc = None;
+    let mut prometheus_doc = None;
+    if let Some(m) = handle {
+        let snap = m.snapshot();
+        let pairs: [(&str, u64, u64); 9] = [
+            (
+                "submitted",
+                snap.counter_total("bitonic_requests_submitted_total"),
+                stats.submitted,
+            ),
+            (
+                "admitted",
+                snap.counter_total("bitonic_requests_admitted_total"),
+                stats.admitted,
+            ),
+            (
+                "shed",
+                snap.counter_total("bitonic_requests_shed_total"),
+                stats.shed,
+            ),
+            (
+                "expired",
+                snap.counter_total("bitonic_requests_expired_total"),
+                stats.expired,
+            ),
+            (
+                "failed",
+                snap.counter_total("bitonic_requests_failed_total"),
+                stats.failed,
+            ),
+            (
+                "completed",
+                snap.counter_total("bitonic_requests_completed_total"),
+                stats.completed,
+            ),
+            (
+                "batches",
+                snap.counter_total("bitonic_batches_total"),
+                stats.batches,
+            ),
+            (
+                "plan hits",
+                snap.counter_total("bitonic_plan_cache_hits_total"),
+                stats.pool.plan_hits,
+            ),
+            (
+                "plan misses",
+                snap.counter_total("bitonic_plan_cache_misses_total"),
+                stats.pool.plan_misses,
+            ),
+        ];
+        for (name, registry, stat) in pairs {
+            if registry != stat {
+                failures.push(format!(
+                    "metrics reconcile: {name} registry={registry} stats={stat}"
+                ));
+            }
+        }
+        let latency_count = snap.histogram_count("bitonic_request_latency_us");
+        if latency_count != stats.completed {
+            failures.push(format!(
+                "metrics reconcile: latency histogram holds {latency_count} samples, \
+                 {} requests completed",
+                stats.completed
+            ));
+        }
+        metrics_doc = Some(metrics_json(&snap));
+        prometheus_doc = Some(obs::encode_prometheus(&snap));
+    }
 
     latencies_us.sort_by(f64::total_cmp);
     let completed = stats.completed.saturating_sub(warm.completed);
@@ -288,6 +379,9 @@ pub fn run_serve(procs: usize, requests: usize, seed: u64) -> ServeRun {
     ServeRun {
         report,
         json,
+        metrics_json: metrics_doc,
+        prometheus: prometheus_doc,
+        p99_us: summary.p99_us,
         passed,
     }
 }
@@ -309,11 +403,25 @@ mod tests {
 
     #[test]
     fn the_acceptance_load_passes_every_check() {
-        // A smaller offered load than the CI configuration, same checks.
+        // A smaller offered load than the CI configuration, same checks —
+        // including the registry-vs-ServiceStats reconciliation gate.
         let run = run_serve(4, 60, DEFAULT_SEED);
         assert!(run.passed, "{}", run.report);
         assert!(run.json.contains("\"schema\": \"SERVE_1\""));
         assert!(run.report.contains("p99 (us)"));
+        let metrics = run.metrics_json.expect("metrics are on by default");
+        assert!(metrics.contains("\"schema\": \"METRICS_1\""));
+        assert!(metrics.contains("bitonic_requests_completed_total"));
+        let prom = run.prometheus.expect("prometheus view present");
+        assert!(prom.contains("# TYPE bitonic_request_latency_us histogram"));
+    }
+
+    #[test]
+    fn metrics_off_still_passes_and_emits_no_registry() {
+        let run = run_serve_metrics(4, 40, DEFAULT_SEED, false);
+        assert!(run.passed, "{}", run.report);
+        assert!(run.metrics_json.is_none());
+        assert!(run.prometheus.is_none());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! gate on).
 
 use super::Scale;
-use crate::report::{f2, shard_json, ClassLatency, ShardSummary, Table};
+use crate::report::{f2, metrics_json, shard_json, ClassLatency, ShardSummary, Table};
 use crate::workloads::uniform_keys;
 use bitonic_core::tagged::sorted_independently;
 use bitonic_network::Direction;
@@ -69,6 +69,10 @@ pub struct ShardRun {
     /// Whether the small class's sharded p99 beat the baseline's
     /// (reported in `BENCH_5.json`; not part of `passed`).
     pub small_p99_improved: bool,
+    /// The sharded service's final registry as a `METRICS_1` document.
+    pub metrics_json: Option<String>,
+    /// The same registry in Prometheus text exposition format.
+    pub prometheus: Option<String>,
 }
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -238,6 +242,7 @@ pub fn run_shard(procs: usize, shards: usize, requests: usize, seed: u64) -> Sha
     // Then the sharded service at equal total machine count.
     let sharded = ShardedService::start(sharded_cfg);
     let shard_drive = drive("sharded", &load, &class_of, &|r| sharded.submit(r));
+    let shard_metrics = sharded.metrics();
     let shard_report = sharded.shutdown();
 
     let mut failures = Vec::new();
@@ -261,6 +266,49 @@ pub fn run_shard(procs: usize, shards: usize, requests: usize, seed: u64) -> Sha
     }
     if stats.unroutable > 0 {
         failures.push(format!("sharded: {} unroutable requests", stats.unroutable));
+    }
+
+    // Reconcile the shared registry against every shard's own counters:
+    // same events, independent tallies, exact agreement required.
+    let mut metrics_doc = None;
+    let mut prometheus_doc = None;
+    if let Some(m) = shard_metrics {
+        let snap = m.snapshot();
+        let unroutable = snap.counter_total("bitonic_requests_unroutable_total");
+        if unroutable != stats.unroutable {
+            failures.push(format!(
+                "metrics reconcile: unroutable registry={unroutable} stats={}",
+                stats.unroutable
+            ));
+        }
+        for s in &stats.shards {
+            let pairs: [(&str, &str, u64); 9] = [
+                ("submitted", "bitonic_requests_submitted_total", s.submitted),
+                ("admitted", "bitonic_requests_admitted_total", s.admitted),
+                ("shed", "bitonic_requests_shed_total", s.shed),
+                ("expired", "bitonic_requests_expired_total", s.expired),
+                ("failed", "bitonic_requests_failed_total", s.failed),
+                ("completed", "bitonic_requests_completed_total", s.completed),
+                ("batches", "bitonic_batches_total", s.batches),
+                ("steals", "bitonic_steals_total", s.steals),
+                (
+                    "stolen requests",
+                    "bitonic_stolen_requests_total",
+                    s.stolen_requests,
+                ),
+            ];
+            for (label, name, stat) in pairs {
+                let registry = snap.counter_labeled(name, "class", &s.class);
+                if registry != stat {
+                    failures.push(format!(
+                        "metrics reconcile: {} {label} registry={registry} stats={stat}",
+                        s.class
+                    ));
+                }
+            }
+        }
+        metrics_doc = Some(metrics_json(&snap));
+        prometheus_doc = Some(obs::encode_prometheus(&snap));
     }
 
     let classes: Vec<ClassLatency> = bands
@@ -363,6 +411,8 @@ pub fn run_shard(procs: usize, shards: usize, requests: usize, seed: u64) -> Sha
         json,
         passed,
         small_p99_improved,
+        metrics_json: metrics_doc,
+        prometheus: prometheus_doc,
     }
 }
 
@@ -394,6 +444,14 @@ mod tests {
         assert!(run.json.contains("\"schema\": \"SHARD_1\""));
         assert!(run.json.contains("\"class\": \"small\""));
         assert!(run.json.contains("\"class\": \"bulk\""));
+        let metrics = run.metrics_json.expect("sharded metrics are on");
+        assert!(metrics.contains("\"schema\": \"METRICS_1\""));
+        assert!(metrics.contains("\"class\": \"small\""));
+        assert!(metrics.contains("\"class\": \"bulk\""));
+        assert!(run
+            .prometheus
+            .expect("prometheus view present")
+            .contains("bitonic_requests_completed_total{class=\"small\"}"));
     }
 
     #[test]

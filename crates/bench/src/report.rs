@@ -401,6 +401,83 @@ pub fn kernel_json(records: &[KernelRecord]) -> String {
     out
 }
 
+/// Schema tag for metrics-registry dumps (`--metrics-out`). Like
+/// [`BENCH_SCHEMA`], the suffix is bumped when any field changes meaning.
+pub const METRICS_SCHEMA: &str = "METRICS_1";
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": \"{v}\""))
+        .collect();
+    format!("{{{}}}", pairs.join(", "))
+}
+
+/// Render a metrics [`obs::Snapshot`] as a complete `METRICS_1` JSON
+/// document: every counter, gauge, and histogram with its labels.
+/// Histogram buckets are `[upper_bound, cumulative_count]` pairs
+/// (non-empty buckets only; the last cumulative count equals `count`).
+#[must_use]
+pub fn metrics_json(snap: &obs::Snapshot) -> String {
+    let mut out = format!("{{\n  \"schema\": \"{METRICS_SCHEMA}\",\n  \"counters\": [\n");
+    for (i, c) in snap.counters.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"labels\": {}, \"value\": {}}}{}\n",
+            c.name,
+            json_labels(&c.labels),
+            c.value,
+            if i + 1 == snap.counters.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    out.push_str("  ],\n  \"gauges\": [\n");
+    for (i, g) in snap.gauges.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"labels\": {}, \"value\": {}}}{}\n",
+            g.name,
+            json_labels(&g.labels),
+            // JSON has no NaN/Inf; a gauge should never hold one, but a
+            // dump must stay parseable if it does.
+            if g.value.is_finite() {
+                format!("{:.6}", g.value)
+            } else {
+                "null".to_string()
+            },
+            if i + 1 == snap.gauges.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"histograms\": [\n");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|(upper, cum)| format!("[{upper}, {cum}]"))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"labels\": {}, \"count\": {}, \"sum\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]}}{}\n",
+            h.name,
+            json_labels(&h.labels),
+            h.count,
+            h.sum,
+            h.p50,
+            h.p95,
+            h.p99,
+            buckets.join(", "),
+            if i + 1 == snap.histograms.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Format a float with 2 decimals (the thesis's table precision).
 #[must_use]
 pub fn f2(x: f64) -> String {
@@ -557,6 +634,36 @@ mod tests {
                 '}' | ']' => depth -= 1,
                 _ => {}
             }
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn metrics_json_matches_schema() {
+        let reg = obs::Registry::new();
+        let c = reg.counter("bitonic_requests_total", "requests", &[("class", "all")]);
+        c.add(7);
+        let g = reg.gauge("bitonic_queue_depth", "depth", &[("class", "all")]);
+        g.set(3.0);
+        let h = reg.histogram("bitonic_latency_us", "latency", &[("class", "all")]);
+        h.observe(100);
+        h.observe(200);
+        let json = metrics_json(&reg.snapshot());
+        assert!(json.contains("\"schema\": \"METRICS_1\""));
+        assert!(json.contains("\"name\": \"bitonic_requests_total\""));
+        assert!(json.contains("\"labels\": {\"class\": \"all\"}"));
+        assert!(json.contains("\"value\": 7"));
+        assert!(json.contains("\"count\": 2, \"sum\": 300"));
+        assert!(json.contains("\"buckets\": [["));
+        assert!(!json.contains("},\n  ]"), "no trailing comma:\n{json}");
+        let mut depth = 0i64;
+        for ch in json.chars() {
+            match ch {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
         }
         assert_eq!(depth, 0);
     }

@@ -481,7 +481,14 @@ pub fn run(opts: &Options, raw_input: Option<Vec<u8>>) -> Result<RunOutput, Stri
     let (sorted, stats, traces) =
         sort_keys_traced(keys, opts, config).map_err(|f| format!("machine wedged: {f}"))?;
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
-    let report = opts.stats.then(|| stats_report(&stats, count));
+    let mut report = opts.stats.then(|| stats_report(&stats, count));
+    if let (Some(r), true) = (report.as_mut(), opts.trace.is_some()) {
+        // Ring-overflow accounting: spans silently displaced under the
+        // drop-oldest policy would otherwise skew any timing read off the
+        // trace. Zero is worth printing — it certifies the trace complete.
+        let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+        r.push_str(&format!("trace events dropped: {dropped}\n"));
+    }
     let trace_json = opts
         .trace
         .is_some()
@@ -504,6 +511,9 @@ pub struct ServeOptions {
     pub shards: usize,
     /// Print the service statistics report to stderr.
     pub stats: bool,
+    /// Print a live metrics snapshot to stderr every this many seconds
+    /// (plus one final snapshot when the input drains).
+    pub metrics_every: Option<u64>,
     /// Input path (`-` or absent = stdin), one request per line.
     pub input: Option<String>,
     /// Output path (`-` or absent = stdout), one sorted line per request.
@@ -516,6 +526,7 @@ impl Default for ServeOptions {
             procs: 4,
             shards: 1,
             stats: false,
+            metrics_every: None,
             input: None,
             output: None,
         }
@@ -525,14 +536,18 @@ impl Default for ServeOptions {
 /// The `serve` usage string.
 #[must_use]
 pub fn serve_usage() -> String {
-    "usage: bitonic-sort serve [-p PROCS] [--shards N] [--stats] [-i FILE|-] [-o FILE|-]\n\
+    "usage: bitonic-sort serve [-p PROCS] [--shards N] [--stats] [--metrics-every SECS]\n\
+     \u{20}                         [-i FILE|-] [-o FILE|-]\n\
      Each input line is one sort request: an optional 'asc' or 'desc' token\n\
      followed by decimal keys. All requests are submitted to one warm-pool\n\
      sort service, which coalesces them into tagged batches; each output\n\
      line is the matching request's keys in its requested order.\n\
      --shards N > 1 splits the service into N size-class shards, each with\n\
      its own warm pool; requests route by size and idle shards steal aged\n\
-     work from busy neighbors."
+     work from busy neighbors.\n\
+     --metrics-every SECS prints a per-class snapshot of the live metrics\n\
+     registry (queue depth, latency quantiles, shed rate, LogP drift) to\n\
+     stderr every SECS seconds, plus once when the input drains."
         .to_string()
 }
 
@@ -564,6 +579,15 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 }
             }
             "--stats" => opts.stats = true,
+            "--metrics-every" => {
+                let secs: u64 = value_for(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad --metrics-every: {e}"))?;
+                if secs == 0 {
+                    return Err("--metrics-every must be at least 1 second".into());
+                }
+                opts.metrics_every = Some(secs);
+            }
             "-i" | "--input" => opts.input = Some(value_for(arg)?),
             "-o" | "--output" => opts.output = Some(value_for(arg)?),
             "-h" | "--help" => return Err(serve_usage()),
@@ -669,6 +693,29 @@ pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, Str
     } else {
         Front::Single(SortService::start(ServiceConfig::new(opts.procs)))
     };
+    let metrics = match &front {
+        Front::Single(s) => s.metrics(),
+        Front::Sharded(s) => s.metrics(),
+    };
+    // --metrics-every: a ticker thread printing live registry snapshots to
+    // stderr. Parked rather than slept so shutdown doesn't wait out the
+    // final period.
+    let ticker = opts.metrics_every.zip(metrics.clone()).map(|(secs, m)| {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let period = std::time::Duration::from_secs(secs);
+            loop {
+                std::thread::park_timeout(period);
+                if flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                eprint!("{}", m.brief());
+            }
+        });
+        (stop, handle)
+    });
     let tickets: Vec<_> = requests
         .into_iter()
         .map(|(keys, dir)| {
@@ -688,12 +735,28 @@ pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, Str
         out.push_str(&line.join(" "));
         out.push('\n');
     }
+    if let Some((stop, handle)) = ticker {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        handle.thread().unpark();
+        let _ = handle.join();
+    }
     let report = match front {
-        Front::Single(s) => opts.stats.then(|| serve_stats_report(&s.shutdown().stats)),
-        Front::Sharded(s) => opts
-            .stats
-            .then(|| sharded_stats_report(&s.shutdown().stats)),
+        Front::Single(s) => {
+            let stats = s.shutdown().stats;
+            opts.stats.then(|| serve_stats_report(&stats))
+        }
+        Front::Sharded(s) => {
+            let stats = s.shutdown().stats;
+            opts.stats.then(|| sharded_stats_report(&stats))
+        }
     };
+    // One final snapshot, after shutdown has joined the dispatcher, so
+    // short runs (shorter than a period) still show their true totals.
+    if opts.metrics_every.is_some() {
+        if let Some(m) = &metrics {
+            eprint!("{}", m.brief());
+        }
+    }
     Ok(RunOutput {
         bytes: out.into_bytes(),
         report,
@@ -911,9 +974,16 @@ mod tests {
         assert_eq!(o.procs, 2);
         assert_eq!(o.shards, 1, "single pool unless asked");
         assert!(o.stats);
+        assert_eq!(o.metrics_every, None);
         assert_eq!(o.input.as_deref(), Some("in.txt"));
-        let o = parse_serve_args(&args("--shards 2")).unwrap();
+        let o = parse_serve_args(&args("--shards 2 --metrics-every 5")).unwrap();
         assert_eq!(o.shards, 2);
+        assert_eq!(o.metrics_every, Some(5));
+        assert!(
+            parse_serve_args(&args("--metrics-every 0")).is_err(),
+            "zero period"
+        );
+        assert!(parse_serve_args(&args("--metrics-every nope")).is_err());
         assert!(parse_serve_args(&args("-p 3")).is_err(), "non power of two");
         assert!(
             parse_serve_args(&args("--shards 0")).is_err(),
@@ -965,6 +1035,32 @@ mod tests {
     fn serve_rejects_malformed_lines() {
         let opts = ServeOptions::default();
         assert!(run_serve(&opts, b"1 2 nope\n").is_err());
+    }
+
+    #[test]
+    fn serve_with_metrics_ticker_still_answers_everything() {
+        let opts = ServeOptions {
+            procs: 2,
+            metrics_every: Some(60),
+            ..Default::default()
+        };
+        let out = run_serve(&opts, b"3 1 2\ndesc 5 9\n").unwrap();
+        assert_eq!(String::from_utf8(out.bytes).unwrap(), "1 2 3\n9 5\n");
+    }
+
+    #[test]
+    fn stats_with_trace_reports_ring_overflow() {
+        let opts = parse_args(&args("-p 4 --random 256 --stats --trace t.json")).unwrap();
+        let out = run(&opts, None).unwrap();
+        let report = out.report.unwrap();
+        assert!(
+            report.contains("trace events dropped: 0"),
+            "a healthy ring certifies the trace complete:\n{report}"
+        );
+        // Without --trace there is no ring to account for.
+        let opts = parse_args(&args("-p 4 --random 256 --stats")).unwrap();
+        let report = run(&opts, None).unwrap().report.unwrap();
+        assert!(!report.contains("trace events dropped"));
     }
 
     proptest! {

@@ -40,16 +40,16 @@ pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
             ),
             &mut out,
         );
-        if trace.dropped > 0 {
-            push(
-                &format!(
-                    "{{\"name\":\"dropped events\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
-                     \"args\":{{\"dropped\":{}}}}}",
-                    trace.dropped
-                ),
-                &mut out,
-            );
-        }
+        // Always present, even at zero: a viewer (or a script grepping
+        // the JSON) can tell "nothing dropped" from "metadata missing".
+        push(
+            &format!(
+                "{{\"name\":\"dropped events\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"dropped\":{}}}}}",
+                trace.dropped
+            ),
+            &mut out,
+        );
         for event in &trace.events {
             let mut line = String::with_capacity(160);
             match event {
@@ -162,6 +162,20 @@ mod tests {
         assert!(json.contains("\"elements_sent\":12"));
         assert!(json.contains("\"name\":\"kernel bitonic_net\""));
         assert!(json.contains("\"count\":3"));
+    }
+
+    #[test]
+    fn dropped_metadata_is_always_emitted() {
+        let mut traces = sample_traces();
+        let json = chrome_trace_json(&traces);
+        assert!(
+            json.contains("\"name\":\"dropped events\""),
+            "zero drops still export the metadata record"
+        );
+        assert!(json.contains("\"args\":{\"dropped\":0}"));
+        traces[1].dropped = 7;
+        let json = chrome_trace_json(&traces);
+        assert!(json.contains("\"args\":{\"dropped\":7}"));
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //!   JSON (one pid per rank), loadable in Perfetto / `chrome://tracing`;
 //! * [`aggregate`] — reconstruct per-rank phase totals and per-step
 //!   critical paths directly from spans (the Table 5.4 split, without
-//!   trusting any separately maintained stopwatch).
+//!   trusting any separately maintained stopwatch);
+//! * [`metrics`] — the *live* plane: a lock-free registry of counters,
+//!   gauges, and log-linear histograms (plus a rolling-window SLO
+//!   tracker and an online LogP drift gauge) that the serving stack
+//!   increments while traffic is in flight, exported as Prometheus text
+//!   via [`encode_prometheus`] or structured snapshots.
 //!
 //! The crate is dependency-free (the build is offline) and knows nothing
 //! about the SPMD machine: `spmd` pushes events in, reporting layers pull
@@ -29,6 +34,7 @@
 pub mod aggregate;
 pub mod chrome;
 pub mod event;
+pub mod metrics;
 pub mod sink;
 
 pub use aggregate::{
@@ -37,5 +43,9 @@ pub use aggregate::{
 pub use chrome::chrome_trace_json;
 pub use event::{
     CounterEvent, Event, KernelEvent, RankTrace, RemapCounters, Span, TracePhase, PHASES,
+};
+pub use metrics::{
+    encode_prometheus, Counter, DriftGauge, Gauge, Histogram, Registry, SloSnapshot, SloTracker,
+    Snapshot,
 };
 pub use sink::{TraceConfig, TraceSink};

@@ -1,0 +1,998 @@
+//! Live metrics plane: lock-free counters, gauges, and log-linear
+//! histograms behind a name/label registry, plus a rolling-window SLO
+//! tracker and an online LogP drift gauge.
+//!
+//! Design rules (see DESIGN.md §10):
+//!
+//! * **Hot-path writes are a single relaxed atomic op.** Callers register
+//!   a metric once (one short mutex hold in [`Registry`]) and keep the
+//!   returned `Arc` handle; `Counter::inc`, `Gauge::set`, and
+//!   `Histogram::observe` never lock.
+//! * **Histograms are log-linear** (HDR-style): values below
+//!   2^[`SUB_BITS`] land in exact unit buckets, larger values in
+//!   2^[`SUB_BITS`] linear sub-buckets per power-of-two octave, so the
+//!   relative width of any bucket is at most 2^-[`SUB_BITS`] (~3.1%).
+//!   [`Histogram::quantile`] returns the upper bound of the bucket that
+//!   contains the exact sample quantile, so its error is bounded by one
+//!   bucket width.
+//! * **Histograms merge exactly.** Buckets are added pairwise, so merging
+//!   two histograms is indistinguishable from observing the concatenated
+//!   sample streams (property-tested in `tests/metrics.rs`).
+//! * **Reads are snapshots.** [`Registry::snapshot`] clones every value
+//!   into plain structs; [`encode_prometheus`] is a pure function over a
+//!   snapshot (text exposition format, version 0.0.4).
+//!
+//! The module has no dependencies and knows nothing about the sorting
+//! machine; the service layer registers its own metrics and pushes into
+//! them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^`SUB_BITS` linear buckets per octave.
+pub const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count for the full `u64` range.
+pub const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Index of the log-linear bucket that `v` falls into.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let offset = ((v >> (exp - SUB_BITS)) as usize) - SUB;
+    ((exp - SUB_BITS + 1) as usize) * SUB + offset
+}
+
+/// Smallest value that maps to bucket `i`.
+#[must_use]
+pub fn bucket_lower(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let octave = i / SUB;
+    let offset = (i % SUB) as u64;
+    let exp = octave as u32 + SUB_BITS - 1;
+    (1u64 << exp) + (offset << (exp - SUB_BITS))
+}
+
+/// Largest value that maps to bucket `i`.
+#[must_use]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(i + 1) - 1
+    }
+}
+
+/// Monotonically increasing event count. All operations are relaxed
+/// atomics; totals are exact because increments never race-lose.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-writer-wins float value (queue depth, machine count, ratios).
+/// Stored as `f64` bits in an `AtomicU64`; `set` is a plain store.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (compare-and-swap loop; rare path only).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Log-linear histogram over `u64` samples with atomic buckets.
+///
+/// `observe` is three relaxed `fetch_add`s (bucket, count, sum); there is
+/// no lock anywhere. Quantile error is bounded by one bucket's width
+/// (relative error ≤ 2^-[`SUB_BITS`]); see the module docs.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram covering the full `u64` range.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, AtomicU64::default);
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets,
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`] in microseconds (saturating).
+    pub fn observe_us(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps only after ~1.8e19 total).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Add every bucket of `other` into `self`. Merging preserves exact
+    /// bucket counts, so `a.merge_from(&b)` is indistinguishable from
+    /// having observed both sample streams into one histogram.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the rank-`ceil(q·count)` sample. Returns 0 when
+    /// empty. The result lives in the same bucket as the exact sorted
+    /// sample quantile, so `|approx − exact| ≤ exact >> SUB_BITS`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_of(&counts, q)
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs; the
+    /// last entry's cumulative count equals [`Histogram::count`].
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+}
+
+/// Quantile over a plain bucket-count slice (shared with [`SloTracker`]).
+fn quantile_of(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        cum += n;
+        if cum >= rank {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(counts.len() - 1)
+}
+
+type Labels = Vec<(String, String)>;
+
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut s = String::new();
+    for (k, v) in labels {
+        if !s.is_empty() {
+            s.push(',');
+        }
+        s.push_str(k);
+        s.push_str("=\"");
+        s.push_str(v);
+        s.push('"');
+    }
+    s
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<(String, String), (Labels, Arc<Counter>)>,
+    gauges: BTreeMap<(String, String), (Labels, Arc<Gauge>)>,
+    histograms: BTreeMap<(String, String), (Labels, Arc<Histogram>)>,
+    help: BTreeMap<String, String>,
+}
+
+/// Registry of named, labelled metrics.
+///
+/// The registry's mutex is held only during registration and snapshots;
+/// the returned `Arc` handles write lock-free. Registering the same
+/// `(name, labels)` pair twice returns the same handle, so registration
+/// is idempotent.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// New empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a counter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        assert_kind_free(&inner, name, Kind::Counter);
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        inner
+            .counters
+            .entry((name.to_string(), label_key(labels)))
+            .or_insert_with(|| (owned_labels(labels), Arc::new(Counter::new())))
+            .1
+            .clone()
+    }
+
+    /// Register (or look up) a gauge.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        assert_kind_free(&inner, name, Kind::Gauge);
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        inner
+            .gauges
+            .entry((name.to_string(), label_key(labels)))
+            .or_insert_with(|| (owned_labels(labels), Arc::new(Gauge::new())))
+            .1
+            .clone()
+    }
+
+    /// Register (or look up) a histogram.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        assert_kind_free(&inner, name, Kind::Histogram);
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        inner
+            .histograms
+            .entry((name.to_string(), label_key(labels)))
+            .or_insert_with(|| (owned_labels(labels), Arc::new(Histogram::new())))
+            .1
+            .clone()
+    }
+
+    /// Clone every metric's current value into a plain [`Snapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|((name, _), (labels, c))| CounterSample {
+                    name: name.clone(),
+                    help: inner.help.get(name).cloned().unwrap_or_default(),
+                    labels: labels.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|((name, _), (labels, g))| GaugeSample {
+                    name: name.clone(),
+                    help: inner.help.get(name).cloned().unwrap_or_default(),
+                    labels: labels.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|((name, _), (labels, h))| HistogramSample {
+                    name: name.clone(),
+                    help: inner.help.get(name).cloned().unwrap_or_default(),
+                    labels: labels.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                    buckets: h.cumulative_buckets(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+fn assert_kind_free(inner: &Inner, name: &str, kind: Kind) {
+    let taken = |k: Kind| match k {
+        Kind::Counter => inner.counters.keys().any(|(n, _)| n == name),
+        Kind::Gauge => inner.gauges.keys().any(|(n, _)| n == name),
+        Kind::Histogram => inner.histograms.keys().any(|(n, _)| n == name),
+    };
+    for other in [Kind::Counter, Kind::Gauge, Kind::Histogram] {
+        if other != kind {
+            assert!(
+                !taken(other),
+                "metric {name:?} already registered as a different kind"
+            );
+        }
+    }
+}
+
+/// Point-in-time copy of a counter's value.
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// Label pairs, in registration order.
+    pub labels: Labels,
+    /// Counter total.
+    pub value: u64,
+}
+
+/// Point-in-time copy of a gauge's value.
+#[derive(Debug, Clone)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// Label pairs, in registration order.
+    pub labels: Labels,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// Point-in-time copy of a histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Help text supplied at registration.
+    pub help: String,
+    /// Label pairs, in registration order.
+    pub labels: Labels,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// Non-empty buckets as `(upper_bound, cumulative_count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Point-in-time copy of every metric in a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All counters, sorted by (name, labels).
+    pub counters: Vec<CounterSample>,
+    /// All gauges, sorted by (name, labels).
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, sorted by (name, labels).
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl Snapshot {
+    /// Sum of `name` across every label set (0 if absent).
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Sum of `name` across label sets containing `key=value`.
+    #[must_use]
+    pub fn counter_labeled(&self, name: &str, key: &str, value: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name && c.labels.iter().any(|(k, v)| k == key && v == value))
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// First gauge named `name` whose labels contain `key=value`.
+    #[must_use]
+    pub fn gauge_labeled(&self, name: &str, key: &str, value: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.labels.iter().any(|(k, v)| k == key && v == value))
+            .map(|g| g.value)
+    }
+
+    /// Total sample count of histogram `name` across label sets.
+    #[must_use]
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histograms
+            .iter()
+            .filter(|h| h.name == name)
+            .map(|h| h.count)
+            .sum()
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Render a [`Snapshot`] in the Prometheus text exposition format
+/// (version 0.0.4). Pure function; histogram series emit only non-empty
+/// buckets (cumulative, increasing `le`) plus `+Inf`, `_sum`, `_count`.
+#[must_use]
+pub fn encode_prometheus(snap: &Snapshot) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let mut seen_header = String::new();
+    let mut header = |out: &mut String, name: &str, help: &str, kind: &str| {
+        if seen_header != name {
+            seen_header = name.to_string();
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        }
+    };
+    for c in &snap.counters {
+        header(&mut out, &c.name, &c.help, "counter");
+        out.push_str(&c.name);
+        render_labels(&mut out, &c.labels, None);
+        let _ = writeln!(out, " {}", c.value);
+    }
+    for g in &snap.gauges {
+        header(&mut out, &g.name, &g.help, "gauge");
+        out.push_str(&g.name);
+        render_labels(&mut out, &g.labels, None);
+        let _ = writeln!(out, " {}", g.value);
+    }
+    for h in &snap.histograms {
+        header(&mut out, &h.name, &h.help, "histogram");
+        for (le, cum) in &h.buckets {
+            let _ = write!(out, "{}_bucket", h.name);
+            render_labels(&mut out, &h.labels, Some(("le", &le.to_string())));
+            let _ = writeln!(out, " {cum}");
+        }
+        let _ = write!(out, "{}_bucket", h.name);
+        render_labels(&mut out, &h.labels, Some(("le", "+Inf")));
+        let _ = writeln!(out, " {}", h.count);
+        let _ = write!(out, "{}_sum", h.name);
+        render_labels(&mut out, &h.labels, None);
+        let _ = writeln!(out, " {}", h.sum);
+        let _ = write!(out, "{}_count", h.name);
+        render_labels(&mut out, &h.labels, None);
+        let _ = writeln!(out, " {}", h.count);
+    }
+    out
+}
+
+/// Online EWMA of measured-vs-predicted batch runtime (the live version
+/// of the offline `DRIFT_1` report). A ratio above 1.0 means the machine
+/// is running slower than the LogP model predicts; the autoscaler scales
+/// its drain estimate by this ratio.
+#[derive(Debug)]
+pub struct DriftGauge {
+    /// EWMA of measured/predicted, as `f64` bits.
+    bits: AtomicU64,
+    samples: AtomicU64,
+    alpha: f64,
+}
+
+impl Default for DriftGauge {
+    fn default() -> Self {
+        Self::new(0.2)
+    }
+}
+
+impl DriftGauge {
+    /// New gauge with EWMA weight `alpha` in `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(1f64.to_bits()),
+            samples: AtomicU64::new(0),
+            alpha,
+        }
+    }
+
+    /// Fold in one `(predicted, measured)` pair. The first sample seeds
+    /// the EWMA directly. Non-positive predictions are ignored.
+    pub fn observe(&self, predicted: Duration, measured: Duration) {
+        let p = predicted.as_secs_f64();
+        if p <= 0.0 {
+            return;
+        }
+        let ratio = measured.as_secs_f64() / p;
+        let first = self.samples.fetch_add(1, Ordering::Relaxed) == 0;
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let prev = f64::from_bits(cur);
+            let next = if first {
+                ratio
+            } else {
+                prev + self.alpha * (ratio - prev)
+            };
+            match self.bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current EWMA ratio (1.0 before any sample).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Number of samples folded in.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+}
+
+/// One rotation slot of the SLO window.
+#[derive(Clone)]
+struct SloSlot {
+    /// Which window index this slot currently holds.
+    index: u64,
+    buckets: Vec<u64>,
+    completed: u64,
+    shed: u64,
+    expired: u64,
+    failed: u64,
+}
+
+impl SloSlot {
+    fn fresh(index: u64) -> Self {
+        Self {
+            index,
+            buckets: vec![0; BUCKETS],
+            completed: 0,
+            shed: 0,
+            expired: 0,
+            failed: 0,
+        }
+    }
+
+    fn reset(&mut self, index: u64) {
+        self.index = index;
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.completed = 0;
+        self.shed = 0;
+        self.expired = 0;
+        self.failed = 0;
+    }
+}
+
+/// Rolling-window SLO tracker: per-window latency histogram plus
+/// outcome counts, aggregated over the last `slots` windows.
+///
+/// Timestamps are caller-supplied elapsed [`Duration`]s (time since the
+/// service started), which keeps the tracker deterministic under test.
+/// Recording takes a short mutex — it runs once per *request* outcome,
+/// off the per-key hot path, so it is invisible next to a batch sort.
+pub struct SloTracker {
+    window: Duration,
+    slots: usize,
+    budget: Duration,
+    inner: Mutex<Vec<SloSlot>>,
+}
+
+impl SloTracker {
+    /// Track the last `slots` windows of `window` length each, against a
+    /// per-request latency `budget` (typically the default deadline).
+    ///
+    /// # Panics
+    /// Panics if `slots` is zero or `window` is zero.
+    #[must_use]
+    pub fn new(window: Duration, slots: usize, budget: Duration) -> Self {
+        assert!(slots > 0, "SloTracker needs at least one slot");
+        assert!(!window.is_zero(), "SloTracker window must be non-zero");
+        Self {
+            window,
+            slots,
+            budget,
+            inner: Mutex::new((0..slots as u64).map(SloSlot::fresh).collect()),
+        }
+    }
+
+    /// Latency budget this tracker grades against.
+    #[must_use]
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    fn slot<'a>(&self, inner: &'a mut [SloSlot], now: Duration) -> &'a mut SloSlot {
+        let index = (now.as_nanos() / self.window.as_nanos()) as u64;
+        let slot = &mut inner[(index as usize) % self.slots];
+        if slot.index != index {
+            slot.reset(index);
+        }
+        slot
+    }
+
+    /// Record a completed request's latency at elapsed time `now`.
+    pub fn record_latency(&self, now: Duration, latency: Duration) {
+        let mut inner = self.inner.lock().expect("slo tracker poisoned");
+        let slot = self.slot(&mut inner, now);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        slot.buckets[bucket_index(us)] += 1;
+        slot.completed += 1;
+    }
+
+    /// Record an admission shed at elapsed time `now`.
+    pub fn record_shed(&self, now: Duration) {
+        let mut inner = self.inner.lock().expect("slo tracker poisoned");
+        self.slot(&mut inner, now).shed += 1;
+    }
+
+    /// Record a deadline expiry at elapsed time `now`.
+    pub fn record_expired(&self, now: Duration) {
+        let mut inner = self.inner.lock().expect("slo tracker poisoned");
+        self.slot(&mut inner, now).expired += 1;
+    }
+
+    /// Record a machine failure at elapsed time `now`.
+    pub fn record_failed(&self, now: Duration) {
+        let mut inner = self.inner.lock().expect("slo tracker poisoned");
+        self.slot(&mut inner, now).failed += 1;
+    }
+
+    /// Aggregate the windows still inside the horizon at `now`.
+    #[must_use]
+    pub fn snapshot(&self, now: Duration) -> SloSnapshot {
+        let inner = self.inner.lock().expect("slo tracker poisoned");
+        let index = (now.as_nanos() / self.window.as_nanos()) as u64;
+        let oldest = index.saturating_sub(self.slots as u64 - 1);
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut snap = SloSnapshot {
+            horizon: self.window * self.slots as u32,
+            budget: self.budget,
+            ..SloSnapshot::default()
+        };
+        for slot in inner.iter() {
+            if slot.index < oldest || slot.index > index {
+                continue;
+            }
+            for (acc, n) in buckets.iter_mut().zip(&slot.buckets) {
+                *acc += n;
+            }
+            snap.completed += slot.completed;
+            snap.shed += slot.shed;
+            snap.expired += slot.expired;
+            snap.failed += slot.failed;
+        }
+        snap.p50_us = quantile_of(&buckets, 0.50);
+        snap.p95_us = quantile_of(&buckets, 0.95);
+        snap.p99_us = quantile_of(&buckets, 0.99);
+        let offered = snap.completed + snap.shed + snap.expired + snap.failed;
+        if offered > 0 {
+            snap.shed_rate = snap.shed as f64 / offered as f64;
+            snap.error_rate = (snap.expired + snap.failed) as f64 / offered as f64;
+        }
+        snap.within_budget =
+            snap.completed == 0 || Duration::from_micros(snap.p99_us) <= self.budget;
+        snap
+    }
+}
+
+/// Aggregated SLO view over the tracker's rolling horizon.
+#[derive(Debug, Clone, Default)]
+pub struct SloSnapshot {
+    /// Total span of the aggregated windows.
+    pub horizon: Duration,
+    /// Latency budget being graded against.
+    pub budget: Duration,
+    /// Requests completed in the horizon.
+    pub completed: u64,
+    /// Requests shed at admission in the horizon.
+    pub shed: u64,
+    /// Requests expired before running in the horizon.
+    pub expired: u64,
+    /// Requests failed by machine faults in the horizon.
+    pub failed: u64,
+    /// Median completed-request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// shed / (completed + shed + expired + failed).
+    pub shed_rate: f64,
+    /// (expired + failed) / offered.
+    pub error_rate: f64,
+    /// Whether p99 is inside the budget (vacuously true when idle).
+    pub within_budget: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_covers_u64() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 65, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+            assert!(v <= bucket_upper(i), "upper({i}) < {v}");
+        }
+        // Boundaries are exclusive: each value maps to exactly one bucket.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(i)), i);
+            assert_eq!(bucket_index(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..32 {
+            h.observe(v);
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let exact = ((q * 32.0_f64).ceil() as u64).clamp(1, 32) - 1;
+            assert_eq!(h.quantile(q), exact);
+        }
+    }
+
+    #[test]
+    fn quantile_error_bounded() {
+        let h = Histogram::new();
+        let mut samples: Vec<u64> = (0..2000).map(|i| 100 + i * 37).collect();
+        for &s in &samples {
+            h.observe(s);
+        }
+        samples.sort_unstable();
+        for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = h.quantile(q);
+            assert!(approx >= exact);
+            assert!(
+                approx - exact <= exact >> SUB_BITS,
+                "q={q}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_idempotent_and_kind_checked() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "help", &[("class", "small")]);
+        let b = r.counter("x_total", "help", &[("class", "small")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_labeled("x_total", "class", "small"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_collision() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "help", &[]);
+        let _ = r.gauge("x_total", "help", &[]);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("req_total", "requests", &[("class", "all")])
+            .add(7);
+        r.gauge("depth", "queue depth", &[]).set(3.0);
+        let h = r.histogram("lat_us", "latency", &[("class", "all")]);
+        h.observe(5);
+        h.observe(100);
+        let text = encode_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total{class=\"all\"} 7"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth 3"));
+        assert!(text.contains("lat_us_bucket{class=\"all\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_us_sum{class=\"all\"} 105"));
+        assert!(text.contains("lat_us_count{class=\"all\"} 2"));
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("lat_us_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn drift_gauge_ewma() {
+        let d = DriftGauge::new(0.5);
+        assert_eq!(d.ratio(), 1.0);
+        d.observe(Duration::from_micros(100), Duration::from_micros(200));
+        assert!((d.ratio() - 2.0).abs() < 1e-9, "first sample seeds");
+        d.observe(Duration::from_micros(100), Duration::from_micros(100));
+        assert!((d.ratio() - 1.5).abs() < 1e-9, "ewma folds");
+        assert_eq!(d.samples(), 2);
+    }
+
+    #[test]
+    fn slo_window_rotates() {
+        let t = SloTracker::new(Duration::from_secs(1), 2, Duration::from_millis(10));
+        t.record_latency(Duration::from_millis(100), Duration::from_micros(500));
+        t.record_shed(Duration::from_millis(200));
+        let s = t.snapshot(Duration::from_millis(300));
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.shed, 1);
+        assert!(s.within_budget);
+        assert!((s.shed_rate - 0.5).abs() < 1e-12);
+        // Two windows later the events have aged out.
+        let s = t.snapshot(Duration::from_secs(3));
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.shed, 0);
+        // Over-budget latency flips the flag.
+        t.record_latency(Duration::from_secs(3), Duration::from_millis(50));
+        let s = t.snapshot(Duration::from_secs(3));
+        assert!(!s.within_budget);
+    }
+}

@@ -48,6 +48,21 @@ pub enum Rejection {
     },
 }
 
+impl Rejection {
+    /// Stable label naming the rejection class — the `reason` label value
+    /// on the `bitonic_requests_shed_total` metric.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rejection::Closed => "closed",
+            Rejection::TooLarge { .. } => "too_large",
+            Rejection::QueueFull { .. } => "queue_full",
+            Rejection::QueueOverflow { .. } => "queue_overflow",
+            Rejection::DeadlineUnmeetable { .. } => "deadline_unmeetable",
+        }
+    }
+}
+
 impl std::fmt::Display for Rejection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -140,6 +140,21 @@ impl Autoscaler {
     /// `Grow`/`Shrink` to its pool; the policy assumes it does and arms
     /// the cooldown accordingly.
     pub fn assess(&mut self, now: Duration, queued_keys: usize, machines: usize) -> ScaleVerdict {
+        self.assess_with_drift(now, queued_keys, machines, 1.0)
+    }
+
+    /// [`Autoscaler::assess`] with a live drift correction: the metrics
+    /// plane's EWMA of measured/predicted batch runtime scales the drain
+    /// prediction, so a machine running slower than the LogP model says
+    /// (drift > 1) grows earlier, and an optimistic model does not hold
+    /// the pool oversized. A drift of exactly 1.0 is the plain model.
+    pub fn assess_with_drift(
+        &mut self,
+        now: Duration,
+        queued_keys: usize,
+        machines: usize,
+        drift: f64,
+    ) -> ScaleVerdict {
         // Idle tracking runs even inside the cooldown window, so a quiet
         // patch that starts during cooldown still counts in full.
         if queued_keys == 0 {
@@ -153,7 +168,10 @@ impl Autoscaler {
             }
         }
         if queued_keys > 0 && machines < self.cfg.max_machines {
-            let drain = self.predicted_drain(queued_keys, machines);
+            let mut drain = self.predicted_drain(queued_keys, machines);
+            if drift.is_finite() && drift > 0.0 {
+                drain = drain.mul_f64(drift);
+            }
             let threshold = self.budget.mul_f64(self.cfg.headroom);
             if drain > threshold {
                 self.last_action = Some(now);
@@ -316,6 +334,29 @@ mod tests {
         assert_eq!(machines, 1, "second quiet patch shrinks to the floor");
         apply(&mut a, 30, 0, &mut machines);
         assert_eq!(machines, 1, "never below one machine");
+    }
+
+    #[test]
+    fn drift_scales_the_drain_prediction() {
+        // A backlog whose model drain sits just under the grow threshold:
+        // the plain model holds, but a slow machine (drift > 1) pushes
+        // the corrected prediction over it and grows early.
+        let mut class = tight_class();
+        class.default_deadline = Duration::from_secs(10);
+        let mut a = scaler(&class);
+        let keys = 1 << 10;
+        let drain = a.predicted_drain(keys, 1);
+        // Re-budget so the threshold lands 1.5x above the plain drain.
+        a.budget = drain * 3;
+        assert_eq!(a.assess_with_drift(ms(0), keys, 1, 1.0), ScaleVerdict::Hold);
+        assert_eq!(a.assess_with_drift(ms(3), keys, 1, 2.0), ScaleVerdict::Grow);
+        // Garbage drift values fall back to the plain model.
+        let mut b = scaler(&class);
+        b.budget = drain * 3;
+        assert_eq!(
+            b.assess_with_drift(ms(0), keys, 1, f64::NAN),
+            ScaleVerdict::Hold
+        );
     }
 
     #[test]

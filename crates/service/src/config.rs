@@ -55,6 +55,11 @@ pub struct ServiceConfig {
     /// machines genuinely fail mid-batch while its neighbors keep
     /// serving.
     pub fault: FaultConfig,
+    /// Live metrics plane (`obs::metrics`): admission/batch/latency
+    /// counters and histograms, SLO windows, and the LogP drift gauge.
+    /// On by default — hot-path increments are relaxed atomics, so the
+    /// cost is noise; turn off only for A/B overhead measurements.
+    pub metrics: bool,
 }
 
 impl ServiceConfig {
@@ -76,6 +81,7 @@ impl ServiceConfig {
             trace: TraceConfig::off(),
             gain_threshold: 0.05,
             fault: FaultConfig::off(),
+            metrics: true,
         }
     }
 

@@ -48,6 +48,7 @@ pub mod admission;
 pub mod autoscale;
 pub mod coalescer;
 pub mod config;
+pub mod metrics;
 pub mod pool;
 pub mod router;
 pub mod server;
@@ -57,6 +58,7 @@ pub use admission::Rejection;
 pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleVerdict};
 pub use coalescer::{BatchCost, Coalescer, Verdict};
 pub use config::{ClassConfig, ServiceConfig, ShardedConfig};
+pub use metrics::{ClassMetrics, ServiceMetrics};
 pub use pool::{PoolStats, WarmPool};
 pub use router::{Router, SizeClass};
 pub use server::{ServiceReport, ServiceStats, SortError, SortRequest, SortService, Ticket};

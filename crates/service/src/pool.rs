@@ -15,8 +15,10 @@
 //! caller; the other machines and the service keep running.
 
 use crate::config::ServiceConfig;
+use crate::metrics::ClassMetrics;
 use bitonic_core::algorithms::smart_sort_ctx;
 use bitonic_core::{LocalStrategy, SortContext};
+use spmd::fault::FaultStats;
 use spmd::{MachineConfig, MachineFailure, SpmdMachine};
 use std::sync::Arc;
 use std::time::Duration;
@@ -47,10 +49,18 @@ pub struct PoolStats {
     /// Most machines the rotation ever held — the autoscaler's high-water
     /// mark.
     pub peak_machines: u64,
+    /// Injected-fault and ARQ-recovery totals summed over every rank of
+    /// every successful batch (the chaos layer's lifetime footprint on
+    /// this pool).
+    pub faults: FaultStats,
 }
 
 impl PoolStats {
-    /// Lifetime plan-cache hit rate in `[0, 1]`; 1.0 for an unused pool.
+    /// Lifetime plan-cache hit rate in `[0, 1]`.
+    ///
+    /// An unused pool (no hits, no misses) reports 1.0 by convention: it
+    /// has never missed, and downstream `--check` gates demand a 100%
+    /// steady-state rate, which a freshly idle pool should not fail.
     #[must_use]
     pub fn plan_hit_rate(&self) -> f64 {
         let total = self.plan_hits + self.plan_misses;
@@ -58,6 +68,23 @@ impl PoolStats {
             return 1.0;
         }
         self.plan_hits as f64 / total as f64
+    }
+
+    /// Fold `other` into `self` — how per-shard pool stats aggregate into
+    /// one fleet view (and into the metrics registry). Event counters
+    /// add; `machines` and `peak_machines` add too, because across
+    /// distinct pools they measure total capacity, not one rotation's
+    /// size; `last_batch_plan_misses` adds the per-pool latest batches.
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.batches_run += other.batches_run;
+        self.batches_failed += other.batches_failed;
+        self.machines_rebuilt += other.machines_rebuilt;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.last_batch_plan_misses += other.last_batch_plan_misses;
+        self.machines += other.machines;
+        self.peak_machines += other.peak_machines;
+        self.faults.sum_merge(&other.faults);
     }
 }
 
@@ -68,6 +95,7 @@ pub struct WarmPool {
     machines: Vec<SortMachine>,
     next: usize,
     stats: PoolStats,
+    metrics: Option<Arc<ClassMetrics>>,
 }
 
 impl std::fmt::Debug for WarmPool {
@@ -114,10 +142,18 @@ impl WarmPool {
             machines,
             next: 0,
             stats: PoolStats::default(),
+            metrics: None,
         };
         pool.stats.peak_machines = pool.machines.len() as u64;
         pool.sync_gauge();
         pool
+    }
+
+    /// Hook this pool's per-batch harvest (plan cache, faults, kernels,
+    /// machine gauge) into a live metrics class.
+    pub(crate) fn set_metrics(&mut self, metrics: Arc<ClassMetrics>) {
+        metrics.pool_machines.set(self.machines.len() as f64);
+        self.metrics = Some(metrics);
     }
 
     /// Stamp the current pool size into every machine's gauge so each
@@ -128,6 +164,9 @@ impl WarmPool {
         self.stats.peak_machines = self.stats.peak_machines.max(n);
         for m in &self.machines {
             m.set_pool_machines(n);
+        }
+        if let Some(m) = &self.metrics {
+            m.pool_machines.set(n as f64);
         }
     }
 
@@ -205,7 +244,11 @@ impl WarmPool {
                 for r in ranks {
                     self.stats.plan_hits += r.stats.plan_hits;
                     self.stats.plan_misses += r.stats.plan_misses;
+                    self.stats.faults.sum_merge(&r.stats.faults);
                     batch_misses += r.stats.plan_misses;
+                    if let Some(m) = &self.metrics {
+                        m.record_rank_stats(&r.stats);
+                    }
                     out.extend_from_slice(&r.output);
                 }
                 self.stats.last_batch_plan_misses = batch_misses;
@@ -214,6 +257,9 @@ impl WarmPool {
             Err(failure) => {
                 self.stats.batches_failed += 1;
                 self.stats.machines_rebuilt += 1;
+                if let Some(m) = &self.metrics {
+                    m.machines_rebuilt.inc();
+                }
                 self.machines[idx] = Self::boot_machine(self.machine_config);
                 self.machines[idx].set_pool_machines(self.machines.len() as u64);
                 Err(failure)
@@ -289,6 +335,66 @@ mod tests {
         assert_eq!(p.stats().peak_machines, 3, "high-water mark sticks");
         let out = run(&mut p, &[4, 2]);
         assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn merging_empty_pool_stats_is_the_identity() {
+        // Two never-used pools: the merge stays empty and the hit rate
+        // keeps its by-convention 1.0 (an idle pool has never missed).
+        let mut a = PoolStats::default();
+        let b = PoolStats::default();
+        a.merge(&b);
+        assert_eq!(a.plan_hits + a.plan_misses, 0);
+        assert_eq!(a.plan_hit_rate(), 1.0);
+        assert_eq!(a.batches_run, 0);
+        assert_eq!(a.machines, 0);
+        // Empty merged into a live pool leaves it untouched.
+        let mut live = PoolStats {
+            batches_run: 3,
+            plan_hits: 10,
+            plan_misses: 2,
+            machines: 2,
+            peak_machines: 3,
+            ..PoolStats::default()
+        };
+        let before = live;
+        live.merge(&PoolStats::default());
+        assert_eq!(live.plan_hits, before.plan_hits);
+        assert_eq!(live.batches_run, before.batches_run);
+        assert_eq!(live.peak_machines, before.peak_machines);
+    }
+
+    #[test]
+    fn merging_saturated_pool_stats_adds_counters() {
+        // A fully warmed pool (all hits) merged with a fully cold one
+        // (all misses): totals add, and the rate reflects the blend.
+        let mut warm = PoolStats {
+            batches_run: u64::MAX / 2,
+            plan_hits: 100,
+            machines: 4,
+            peak_machines: 4,
+            ..PoolStats::default()
+        };
+        warm.faults.retries = 7;
+        let mut cold = PoolStats {
+            batches_run: 1,
+            plan_misses: 100,
+            machines: 1,
+            peak_machines: 2,
+            last_batch_plan_misses: 100,
+            ..PoolStats::default()
+        };
+        cold.faults.retries = 5;
+        cold.faults.drops_injected = 3;
+        warm.merge(&cold);
+        assert_eq!(warm.batches_run, u64::MAX / 2 + 1);
+        assert_eq!((warm.plan_hits, warm.plan_misses), (100, 100));
+        assert_eq!(warm.plan_hit_rate(), 0.5);
+        assert_eq!(warm.machines, 5, "capacity across pools adds");
+        assert_eq!(warm.peak_machines, 6);
+        assert_eq!(warm.last_batch_plan_misses, 100);
+        assert_eq!(warm.faults.retries, 12);
+        assert_eq!(warm.faults.drops_injected, 3);
     }
 
     #[test]

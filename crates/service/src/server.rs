@@ -18,6 +18,7 @@
 use crate::admission::{Admission, Rejection};
 use crate::coalescer::{Coalescer, Verdict};
 use crate::config::ServiceConfig;
+use crate::metrics::{ClassMetrics, ServiceMetrics};
 use crate::pool::WarmPool;
 use bitonic_core::tagged::TaggedBatch;
 use bitonic_network::Direction;
@@ -219,6 +220,7 @@ pub(crate) fn process_batch(
     batch: Vec<Pending>,
     sink: &mut TraceSink,
     batch_no: u32,
+    metrics: Option<&ClassMetrics>,
 ) -> BatchOutcome {
     sink.set_step(batch_no);
     let formed_at = Instant::now();
@@ -226,18 +228,29 @@ pub(crate) fn process_batch(
         requests: batch.len() as u64,
         ..BatchOutcome::default()
     };
+    if let Some(m) = metrics {
+        m.batches.inc();
+        m.batch_requests.observe(batch.len() as u64);
+    }
 
     let mut tagged = TaggedBatch::new();
     let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
     for p in batch {
         sink.span(TracePhase::Queue, p.enqueued, formed_at);
         let waited = formed_at.duration_since(p.enqueued);
+        if let Some(m) = metrics {
+            m.queue_wait_us.observe_us(waited);
+        }
         if waited > p.deadline {
             let _ = p.reply.send(Err(SortError::Expired {
                 waited,
                 deadline: p.deadline,
             }));
             outcome.expired += 1;
+            if let Some(m) = metrics {
+                m.expired.inc();
+                m.slo.record_expired(m.now());
+            }
             continue;
         }
         tagged.push(&p.keys, p.dir);
@@ -245,6 +258,9 @@ pub(crate) fn process_batch(
     }
 
     outcome.batched_keys = tagged.total_keys() as u64;
+    if let Some(m) = metrics {
+        m.batch_keys.observe(outcome.batched_keys);
+    }
     if !live.is_empty() {
         let (words, per_rank) = tagged.padded_words(procs);
         let encoded_at = Instant::now();
@@ -252,6 +268,13 @@ pub(crate) fn process_batch(
         let result = pool.run_batch(words, per_rank);
         let ran_at = Instant::now();
         sink.span(TracePhase::Run, encoded_at, ran_at);
+        if let Some(m) = metrics {
+            // The live drift signal: how far off the LogP prediction for
+            // this batch's key count the machine actually ran.
+            let predicted = m.cost().predicted_run(outcome.batched_keys as usize);
+            m.drift
+                .observe(predicted, ran_at.duration_since(encoded_at));
+        }
         match result {
             Ok(sorted) => {
                 let replies = tagged.split(&sorted);
@@ -260,6 +283,15 @@ pub(crate) fn process_batch(
                 }
                 outcome.completed = live.len() as u64;
                 sink.span(TracePhase::Scatter, ran_at, Instant::now());
+                if let Some(m) = metrics {
+                    let replied_at = Instant::now();
+                    for p in &live {
+                        let latency = replied_at.duration_since(p.enqueued);
+                        m.latency_us.observe_us(latency);
+                        m.slo.record_latency(m.now(), latency);
+                    }
+                    m.completed.add(live.len() as u64);
+                }
             }
             Err(failure) => {
                 let msg = failure.to_string();
@@ -267,6 +299,12 @@ pub(crate) fn process_batch(
                     let _ = p.reply.send(Err(SortError::MachineFailed(msg.clone())));
                 }
                 outcome.failed = live.len() as u64;
+                if let Some(m) = metrics {
+                    m.failed.add(live.len() as u64);
+                    for _ in &live {
+                        m.slo.record_failed(m.now());
+                    }
+                }
             }
         }
     }
@@ -295,6 +333,7 @@ pub struct SortService {
     shared: Arc<Shared>,
     admission: Admission,
     default_deadline: Duration,
+    metrics: Option<Arc<ServiceMetrics>>,
     dispatcher: Option<std::thread::JoinHandle<ServiceReport>>,
 }
 
@@ -321,14 +360,26 @@ impl SortService {
             }),
             cv: Condvar::new(),
         });
+        let metrics = config.metrics.then(|| ServiceMetrics::for_single(&config));
         let dispatcher_shared = Arc::clone(&shared);
-        let dispatcher = std::thread::spawn(move || dispatch(config, &dispatcher_shared));
+        let dispatcher_metrics = metrics.clone();
+        let dispatcher =
+            std::thread::spawn(move || dispatch(config, &dispatcher_shared, dispatcher_metrics));
         SortService {
             shared,
             admission: Admission::new(&config),
             default_deadline: config.default_deadline,
+            metrics,
             dispatcher: Some(dispatcher),
         }
+    }
+
+    /// The live metrics plane, when [`ServiceConfig::metrics`] is on.
+    /// The handle stays valid (and final totals readable) after
+    /// [`SortService::shutdown`] if cloned first.
+    #[must_use]
+    pub fn metrics(&self) -> Option<Arc<ServiceMetrics>> {
+        self.metrics.clone()
     }
 
     /// Submit a request. Admitted requests return a [`Ticket`]; shed
@@ -338,10 +389,17 @@ impl SortService {
     /// The [`Rejection`] naming the admission limit the request hit.
     pub fn submit(&self, request: SortRequest) -> Result<Ticket, Rejection> {
         let deadline = request.deadline.unwrap_or(self.default_deadline);
+        let m = self.metrics.as_deref().map(|m| m.class(0).clone());
         let mut q = self.shared.q.lock().expect("queue lock");
         q.stats.submitted += 1;
+        if let Some(m) = &m {
+            m.submitted.inc();
+        }
         if q.closed {
             q.stats.shed += 1;
+            if let Some(m) = &m {
+                m.record_shed(&Rejection::Closed);
+            }
             return Err(Rejection::Closed);
         }
         if let Err(r) = self.admission.admit(
@@ -351,6 +409,9 @@ impl SortService {
             deadline,
         ) {
             q.stats.shed += 1;
+            if let Some(m) = &m {
+                m.record_shed(&r);
+            }
             return Err(r);
         }
         q.stats.admitted += 1;
@@ -363,6 +424,10 @@ impl SortService {
             enqueued: Instant::now(),
             reply,
         });
+        if let Some(m) = &m {
+            m.admitted.inc();
+            m.set_queue(q.pending.len(), q.pending_keys);
+        }
         drop(q);
         self.shared.cv.notify_all();
         Ok(Ticket { rx })
@@ -403,8 +468,16 @@ impl Drop for SortService {
 }
 
 /// The dispatcher: coalesce → run → scatter until closed and drained.
-fn dispatch(cfg: ServiceConfig, shared: &Shared) -> ServiceReport {
+fn dispatch(
+    cfg: ServiceConfig,
+    shared: &Shared,
+    metrics: Option<Arc<ServiceMetrics>>,
+) -> ServiceReport {
     let mut pool = WarmPool::new(&cfg);
+    let class = metrics.as_deref().map(|m| m.class(0).clone());
+    if let Some(c) = &class {
+        pool.set_metrics(c.clone());
+    }
     let coalescer = Coalescer::new(&cfg);
     let mut sink = TraceSink::new(0, cfg.trace, Instant::now());
     let mut batch_no: u32 = 0;
@@ -431,14 +504,21 @@ fn dispatch(cfg: ServiceConfig, shared: &Shared) -> ServiceReport {
                     .expect("queue is non-empty");
                 match coalescer.decide(q.pending_keys, oldest_age, tightest_slack, q.closed) {
                     Verdict::Flush => {
+                        if let Some(c) = &class {
+                            c.verdict_flush.inc();
+                        }
                         let qs = &mut *q;
-                        break Some(take_prefix(
-                            &mut qs.pending,
-                            &mut qs.pending_keys,
-                            cfg.max_batch_keys,
-                        ));
+                        let batch =
+                            take_prefix(&mut qs.pending, &mut qs.pending_keys, cfg.max_batch_keys);
+                        if let Some(c) = &class {
+                            c.set_queue(qs.pending.len(), qs.pending_keys);
+                        }
+                        break Some(batch);
                     }
                     Verdict::Wait(d) => {
+                        if let Some(c) = &class {
+                            c.verdict_wait.inc();
+                        }
                         let (guard, _) = shared.cv.wait_timeout(q, d).expect("queue lock");
                         q = guard;
                     }
@@ -456,7 +536,14 @@ fn dispatch(cfg: ServiceConfig, shared: &Shared) -> ServiceReport {
         };
 
         batch_no += 1;
-        let outcome = process_batch(&mut pool, cfg.procs, batch, &mut sink, batch_no);
+        let outcome = process_batch(
+            &mut pool,
+            cfg.procs,
+            batch,
+            &mut sink,
+            batch_no,
+            class.as_deref(),
+        );
 
         let mut q = shared.q.lock().expect("queue lock");
         q.stats.batches += 1;

@@ -42,6 +42,7 @@ use crate::admission::{Admission, Rejection};
 use crate::autoscale::{Autoscaler, ScaleVerdict};
 use crate::coalescer::{Coalescer, Verdict};
 use crate::config::{ServiceConfig, ShardedConfig};
+use crate::metrics::ServiceMetrics;
 use crate::pool::{PoolStats, WarmPool};
 use crate::router::Router;
 use crate::server::{process_batch, take_prefix, Pending, SortError, SortRequest, Ticket};
@@ -198,6 +199,7 @@ pub struct ShardedService {
     router: Router,
     admissions: Vec<Admission>,
     deadlines: Vec<Duration>,
+    metrics: Option<Arc<ServiceMetrics>>,
     workers: Vec<std::thread::JoinHandle<RankTrace>>,
 }
 
@@ -251,11 +253,17 @@ impl ShardedService {
             .iter()
             .map(|c| c.pool.default_deadline)
             .collect();
+        let metrics = cfg
+            .classes
+            .iter()
+            .any(|c| c.pool.metrics)
+            .then(|| ServiceMetrics::for_sharded(&cfg));
         let workers = (0..cfg.classes.len())
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let cfg = cfg.clone();
-                std::thread::spawn(move || shard_worker(&cfg, i, epoch, &shared))
+                let metrics = metrics.clone();
+                std::thread::spawn(move || shard_worker(&cfg, i, epoch, &shared, metrics))
             })
             .collect();
         ShardedService {
@@ -263,8 +271,18 @@ impl ShardedService {
             router,
             admissions,
             deadlines,
+            metrics,
             workers,
         }
+    }
+
+    /// The live metrics plane, when any class's
+    /// [`ServiceConfig::metrics`] is on. All shards share one registry;
+    /// series are told apart by their `class` label. The handle stays
+    /// valid after [`ShardedService::shutdown`] if cloned first.
+    #[must_use]
+    pub fn metrics(&self) -> Option<Arc<ServiceMetrics>> {
+        self.metrics.clone()
     }
 
     /// Submit a request: route it to its size class, apply that shard's
@@ -281,14 +299,21 @@ impl ShardedService {
         }
         let Some(shard) = self.router.route(request.keys.len()) else {
             q.unroutable += 1;
+            if let Some(m) = self.metrics.as_deref() {
+                m.unroutable.inc();
+            }
             return Err(Rejection::TooLarge {
                 keys: request.keys.len(),
                 limit: self.router.max_keys(),
             });
         };
+        let cm = self.metrics.as_deref().map(|m| m.class(shard));
         let deadline = request.deadline.unwrap_or(self.deadlines[shard]);
         let sq = &mut q.shards[shard];
         sq.stats.submitted += 1;
+        if let Some(m) = &cm {
+            m.submitted.inc();
+        }
         if let Err(r) = self.admissions[shard].admit(
             sq.pending.len(),
             sq.pending_keys,
@@ -296,10 +321,17 @@ impl ShardedService {
             deadline,
         ) {
             sq.stats.shed += 1;
+            if let Some(m) = &cm {
+                m.record_shed(&r);
+            }
             return Err(r);
         }
         sq.stats.admitted += 1;
         sq.pending_keys += request.keys.len();
+        if let Some(m) = &cm {
+            m.admitted.inc();
+            m.set_queue(sq.pending.len() + 1, sq.pending_keys);
+        }
         let (reply, rx) = mpsc::channel();
         sq.pending.push_back(Pending {
             keys: request.keys,
@@ -389,9 +421,14 @@ fn shard_worker(
     me: usize,
     epoch: Instant,
     shared: &SharedShards,
+    metrics: Option<Arc<ServiceMetrics>>,
 ) -> RankTrace {
     let class = &cfg.classes[me].pool;
     let mut pool = WarmPool::new(class);
+    let cm = metrics.as_deref().map(|m| m.class(me).clone());
+    if let Some(m) = &cm {
+        pool.set_metrics(Arc::clone(m));
+    }
     let coalescer = Coalescer::new(class);
     let mut scaler = cfg.autoscale.map(|a| Autoscaler::new(class, a));
     let mut sink = TraceSink::new(me, cfg.trace, epoch);
@@ -407,20 +444,27 @@ fn shard_worker(
                 // Autoscale from the live queue snapshot.
                 if let Some(scaler) = scaler.as_mut() {
                     let t0 = Instant::now();
-                    let verdict = scaler.assess(
+                    let verdict = scaler.assess_with_drift(
                         t0.duration_since(epoch),
                         q.shards[me].pending_keys,
                         pool.machines(),
+                        cm.as_ref().map_or(1.0, |m| m.drift.ratio()),
                     );
                     match verdict {
                         ScaleVerdict::Grow => {
                             pool.grow();
                             q.shards[me].stats.scale_ups += 1;
+                            if let Some(m) = &cm {
+                                m.scale_ups.inc();
+                            }
                             sink.span(TracePhase::Scale, t0, Instant::now());
                         }
                         ScaleVerdict::Shrink => {
                             if pool.shrink() {
                                 q.shards[me].stats.scale_downs += 1;
+                                if let Some(m) = &cm {
+                                    m.scale_downs.inc();
+                                }
                                 sink.span(TracePhase::Scale, t0, Instant::now());
                             }
                         }
@@ -453,6 +497,9 @@ fn shard_worker(
                                 &mut vq.pending_keys,
                                 class.max_batch_keys,
                             );
+                            if let Some(m) = metrics.as_deref() {
+                                m.class(victim).set_queue(vq.pending.len(), vq.pending_keys);
+                            }
                             sink.span(TracePhase::Steal, now, Instant::now());
                             break Taken::Stolen(batch, victim);
                         }
@@ -481,9 +528,16 @@ fn shard_worker(
                             &mut sq.pending_keys,
                             class.max_batch_keys,
                         );
+                        if let Some(m) = &cm {
+                            m.verdict_flush.inc();
+                            m.set_queue(sq.pending.len(), sq.pending_keys);
+                        }
                         break Taken::Own(batch);
                     }
                     Verdict::Wait(d) => {
+                        if let Some(m) = &cm {
+                            m.verdict_wait.inc();
+                        }
                         q = shared.cv.wait_timeout(q, d).expect("lock").0;
                     }
                 }
@@ -508,10 +562,21 @@ fn shard_worker(
             if stolen_from.is_some() {
                 q.shards[me].stats.steals += 1;
                 q.shards[me].stats.stolen_requests += batch.len() as u64;
+                if let Some(m) = &cm {
+                    m.steals.inc();
+                    m.stolen_requests.add(batch.len() as u64);
+                }
             }
         }
         batch_no += 1;
-        let outcome = process_batch(&mut pool, class.procs, batch, &mut sink, batch_no);
+        let outcome = process_batch(
+            &mut pool,
+            class.procs,
+            batch,
+            &mut sink,
+            batch_no,
+            cm.as_deref(),
+        );
         let mut q = shared.q.lock().expect("shard queues lock");
         let sq = &mut q.shards[me];
         sq.busy = false;

@@ -265,6 +265,22 @@ impl FaultStats {
             + self.stalls_injected
     }
 
+    /// Field-wise additive merge (the machine-total view over ranks —
+    /// what the serving pool folds into its lifetime fault counters).
+    pub fn sum_merge(&mut self, other: &FaultStats) {
+        self.drops_injected += other.drops_injected;
+        self.dups_injected += other.dups_injected;
+        self.reorders_injected += other.reorders_injected;
+        self.jitter_events += other.jitter_events;
+        self.stalls_injected += other.stalls_injected;
+        self.acks_sent += other.acks_sent;
+        self.retries += other.retries;
+        self.nacks_sent += other.nacks_sent;
+        self.dups_suppressed += other.dups_suppressed;
+        self.retry_time += other.retry_time;
+        self.stall_time += other.stall_time;
+    }
+
     /// Field-wise maximum merge (the critical-path view over ranks).
     pub fn max_merge(&mut self, other: &FaultStats) {
         self.drops_injected = self.drops_injected.max(other.drops_injected);
