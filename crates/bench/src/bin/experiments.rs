@@ -44,9 +44,18 @@
 //! committed `BENCH_6.json` artifact, and `--check` exits non-zero on any
 //! oracle mismatch, any dispatch cell more than 5% slower than the seed
 //! kernel, or any key width whose selected kernel never beats the seed.
+//!
+//! The `net` id replays the serving workload over real loopback TCP
+//! sockets through the `SORT_1` wire codec: `--procs N`, `--requests N`,
+//! `--conns N`, and `--seed N` shape the load, `--out FILE` writes the
+//! bare `NET_1` JSON document, and `--check` exits non-zero on any oracle
+//! mismatch, shed, expiry, frame error, or reconciliation gap between the
+//! wire counters, the service counters, and the metrics registry.
+//! `bench7` wraps the same run into the committed `BENCH_7.json`
+//! artifact.
 
 use bitonic_bench::experiments::{
-    all, by_id, chaos, kernels, remap_bench, serve_bench, shard_bench, trace, Scale, IDS,
+    all, by_id, chaos, kernels, net_bench, remap_bench, serve_bench, shard_bench, trace, Scale, IDS,
 };
 use bitonic_bench::report::bench_json;
 use spmd::MessageMode;
@@ -85,6 +94,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut requests: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut conns: Option<usize> = None;
     let mut quick = false;
 
     let mut i = 0;
@@ -132,6 +142,12 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--conns" => {
+                conns = Some(value(&args, &mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("--conns: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--full] [all | {}]\n       \
@@ -141,7 +157,9 @@ fn main() {
                      experiments bench4 [--procs N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
                      experiments shard [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
                      experiments bench5 [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
-                     experiments bench6 [--quick] [--out FILE] [--check]",
+                     experiments bench6 [--quick] [--out FILE] [--check]\n       \
+                     experiments net [--procs N] [--requests N] [--conns N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
+                     experiments bench7 [--procs N] [--requests N] [--conns N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]",
                     IDS.join(" | ")
                 );
                 return;
@@ -386,6 +404,66 @@ fn main() {
         }
         return;
     }
+    // The net subcommand: the serving workload over real loopback TCP.
+    if ids.iter().any(|id| id == "net") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| net_bench::default_requests(scale));
+        let seed = seed.unwrap_or(serve_bench::DEFAULT_SEED);
+        let conns = conns.unwrap_or(net_bench::DEFAULT_CONNS);
+        let run = net_bench::run_net(procs, requests, conns, seed);
+        println!("## TCP wire frontend under load [net]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &run.json) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("NET_1 document written to {path}.");
+        }
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
+        }
+        if check {
+            if run.passed {
+                println!(
+                    "check: every wire reply matched the oracle; zero sheds, \
+                     expiries, and frame errors; wire, service, and registry \
+                     counters reconcile exactly."
+                );
+            } else {
+                eprintln!("check failed: see report above.");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // bench7: the committed wire-frontend artifact wrapping NET_1.
+    if ids.iter().any(|id| id == "bench7") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| net_bench::default_requests(scale));
+        let seed = seed.unwrap_or(serve_bench::DEFAULT_SEED);
+        let conns = conns.unwrap_or(net_bench::DEFAULT_CONNS);
+        let run = net_bench::run_net(procs, requests, conns, seed);
+        let doc = format!("{{\n\"schema\": \"BENCH_7\",\n\"net\": {}}}\n", run.json);
+        println!("## BENCH_7 composition [bench7]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("BENCH_7 document written to {path}.");
+        } else {
+            println!("```json\n{doc}```");
+        }
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
+        }
+        if check && !run.passed {
+            eprintln!("check failed: see report above.");
+            std::process::exit(1);
+        }
+        return;
+    }
     if out.is_some()
         || metrics_out.is_some()
         || check
@@ -394,10 +472,12 @@ fn main() {
         || seed.is_some()
         || requests.is_some()
         || shards.is_some()
+        || conns.is_some()
     {
         eprintln!(
-            "--out/--metrics-out/--check/--quick/--keys/--seed/--requests/--shards only apply to the \
-             `trace`, `chaos`, `serve`, `bench4`, `shard`, `bench5`, or `bench6` subcommands"
+            "--out/--metrics-out/--check/--quick/--keys/--seed/--requests/--shards/--conns only \
+             apply to the `trace`, `chaos`, `serve`, `bench4`, `shard`, `bench5`, `bench6`, \
+             `net`, or `bench7` subcommands"
         );
         std::process::exit(2);
     }

@@ -5,6 +5,7 @@ pub mod chaos;
 pub mod extensions;
 pub mod kernels;
 pub mod messages;
+pub mod net_bench;
 pub mod other_sorts;
 pub mod remap_bench;
 pub mod scaling;
@@ -96,6 +97,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         chaos::chaos(scale),
         serve_bench::serve(scale),
         shard_bench::shard(scale),
+        net_bench::net(scale),
     ]
 }
 
@@ -122,12 +124,13 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "chaos" => Some(chaos::chaos(scale)),
         "serve" => Some(serve_bench::serve(scale)),
         "shard" => Some(shard_bench::shard(scale)),
+        "net" => Some(net_bench::net(scale)),
         _ => None,
     }
 }
 
 /// All experiment ids accepted by [`by_id`].
-pub const IDS: [&str; 19] = [
+pub const IDS: [&str; 20] = [
     "table5_1",
     "table5_2",
     "strategies_measured",
@@ -147,4 +150,5 @@ pub const IDS: [&str; 19] = [
     "chaos",
     "serve",
     "shard",
+    "net",
 ];

@@ -1,0 +1,470 @@
+//! `experiments net` / `bench7` — open-loop load over real TCP sockets.
+//!
+//! Where `serve_bench` drives the service in-process, this benchmark
+//! sends every request through the `SORT_1` wire codec, a loopback
+//! `TcpListener`, and back: the latency numbers include framing, socket
+//! I/O, and the per-connection reader threads — the end-to-end cost a
+//! real client would see. The offered mix is byte-identical to the
+//! serving benchmark's (`serve_bench::workload`), striped
+//! round-robin across `conns` concurrent connections; each connection
+//! paces its own slice with the workload's inter-arrival gaps and never
+//! waits on another connection, so a slow server builds queue depth
+//! instead of slowing the generator (open loop across connections).
+//!
+//! Every reply is checked against the independent-sort oracle, and the
+//! run ends with a three-way reconciliation: the server's
+//! [`sort_service::WireStats`]
+//! must match the service's own `ServiceStats` *and* the metrics
+//! registry counter-for-counter — frames vs submissions, `ok` replies vs
+//! completions, per-reason rejection replies vs per-reason sheds. The
+//! `--check` gate demands all of it, plus zero sheds/expiries/failures/
+//! frame errors and all-clean disconnects under the nominal load.
+//!
+//! The report ends with a machine-readable `NET_1` block
+//! ([`crate::report::net_json`]) carrying throughput and per-size-class
+//! p50/p95/p99; `bench7` wraps it into the committed `BENCH_7.json`.
+
+use super::serve_bench::{percentile, workload, DEFAULT_PROCS, DEFAULT_SEED};
+use super::{Experiment, Scale};
+use crate::report::{f2, metrics_json, net_json, NetClassLatency, NetSummary, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::tagged::sorted_independently;
+use bitonic_network::Direction;
+use sort_service::{ReplyFrame, ServiceConfig, WireClient, WireConfig, WireServer};
+use std::time::{Duration, Instant};
+
+/// Default concurrent client connections (the acceptance configuration).
+pub const DEFAULT_CONNS: usize = 8;
+
+/// One connection's share of the workload: `(request index, keys,
+/// direction, inter-arrival gap)` in offered order.
+type Script = Vec<(usize, Vec<u32>, Direction, Duration)>;
+
+/// One connection's results: `(request keys, latency µs, verdict)` where
+/// `None` means the reply matched the oracle.
+type WorkerOut = Vec<(usize, f64, Option<String>)>;
+
+/// Requests offered at a given scale.
+#[must_use]
+pub fn default_requests(scale: Scale) -> usize {
+    super::serve_bench::default_requests(scale)
+}
+
+/// One finished wire-load run.
+#[derive(Debug, Clone)]
+pub struct NetRun {
+    /// Human-readable report (tables + the `NET_1` block).
+    pub report: String,
+    /// The bare `NET_1` JSON document, for composition into `BENCH_7`.
+    pub json: String,
+    /// The final registry as a `METRICS_1` document.
+    pub metrics_json: Option<String>,
+    /// The final registry in Prometheus text exposition format.
+    pub prometheus: Option<String>,
+    /// Whether every acceptance check held.
+    pub passed: bool,
+}
+
+/// Size-class bands for the latency breakdown: `(name, max_keys)` with
+/// `tiny` covering n < P.
+fn class_bands(procs: usize, max_request_keys: usize) -> [(&'static str, usize); 4] {
+    [
+        ("tiny", procs - 1),
+        ("small", 64),
+        ("medium", 1024),
+        ("large", max_request_keys),
+    ]
+}
+
+fn class_of(bands: &[(&'static str, usize); 4], n: usize) -> usize {
+    bands
+        .iter()
+        .position(|(_, max)| n <= *max)
+        .unwrap_or(bands.len() - 1)
+}
+
+/// Warm every padded batch shape over the wire — same shapes as
+/// `serve_bench::warm_shapes`, but each request crosses the socket.
+fn warm_shapes_wire(srv: &WireServer, cfg: &ServiceConfig) -> u64 {
+    let mut client = WireClient::connect(srv.local_addr()).expect("loopback connect");
+    let mut warmed = 0u64;
+    let mut per_rank = 2usize;
+    while per_rank * cfg.procs <= cfg.max_request_keys {
+        let keys = uniform_keys(per_rank * cfg.procs, 7 + per_rank as u64);
+        match client.sort(&keys, Direction::Ascending, None) {
+            Ok(ReplyFrame::Sorted(_)) => {}
+            other => panic!("warm-up request must sort, got {other:?}"),
+        }
+        warmed += 1;
+        per_rank *= 2;
+    }
+    drop(client);
+    // The dispatcher publishes pool counters after it replies; wait for
+    // the last warm-up batch's counters before the measured window.
+    let t = Instant::now();
+    while srv.service_stats().batches < warmed && t.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    warmed
+}
+
+/// Drive the wire server at `procs` ranks with `requests` requests over
+/// `conns` loopback connections and render the report. Deterministic in
+/// `seed` up to host timing.
+///
+/// # Panics
+/// Panics if `procs` is not a power of two, `conns` is zero, or the
+/// loopback listener cannot bind.
+#[must_use]
+pub fn run_net(procs: usize, requests: usize, conns: usize, seed: u64) -> NetRun {
+    assert!(procs.is_power_of_two(), "machine sizes are powers of two");
+    assert!(conns >= 1, "at least one connection");
+    let mut cfg = ServiceConfig::new(procs);
+    // Cap batches at one max-size request so warm-up (which is bounded by
+    // the per-request limit) can visit every padded shape batches reach.
+    cfg.max_batch_keys = cfg.max_request_keys;
+    cfg.validate();
+    let bands = class_bands(procs, cfg.max_request_keys);
+
+    let srv = WireServer::start(cfg, WireConfig::default(), "127.0.0.1:0")
+        .expect("bind loopback listener");
+    let addr = srv.local_addr();
+    let handle = srv.metrics();
+    let warm = {
+        let warmup_batches = warm_shapes_wire(&srv, &cfg);
+        let s = srv.service_stats();
+        assert_eq!(s.batches, warmup_batches, "one batch per warm-up shape");
+        s
+    };
+
+    let load = workload(requests, procs, seed);
+    let total_keys: u64 = load.iter().map(|(k, _, _)| k.len() as u64).sum();
+    let mut scripts: Vec<Script> = (0..conns).map(|_| Vec::new()).collect();
+    for (i, (keys, dir, gap)) in load.into_iter().enumerate() {
+        scripts[i % conns].push((i, keys, dir, gap));
+    }
+
+    let started = Instant::now();
+    let workers: Vec<std::thread::JoinHandle<WorkerOut>> = scripts
+        .into_iter()
+        .map(|script| {
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr).expect("loopback connect");
+                let mut out = Vec::with_capacity(script.len());
+                for (i, keys, dir, gap) in script {
+                    std::thread::sleep(gap);
+                    let class = keys.len();
+                    let expected = sorted_independently(&keys, dir);
+                    let sent = Instant::now();
+                    let verdict = match client.sort(&keys, dir, None) {
+                        Ok(ReplyFrame::Sorted(got)) if got == expected => None,
+                        Ok(ReplyFrame::Sorted(_)) => {
+                            Some(format!("request {i}: reply differs from the oracle"))
+                        }
+                        Ok(other) => Some(format!("request {i}: {} reply", other.label())),
+                        Err(e) => Some(format!("request {i}: {e}")),
+                    };
+                    out.push((class, sent.elapsed().as_secs_f64() * 1e6, verdict));
+                }
+                out
+            })
+        })
+        .collect();
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut per_class: Vec<Vec<f64>> = vec![Vec::new(); bands.len()];
+    let mut all_us: Vec<f64> = Vec::new();
+    for w in workers {
+        for (n, latency_us, verdict) in w.join().expect("client thread") {
+            match verdict {
+                None => {
+                    per_class[class_of(&bands, n)].push(latency_us);
+                    all_us.push(latency_us);
+                }
+                Some(e) => failures.push(e),
+            }
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    // Let the server observe every client's clean close before the final
+    // snapshot, so the disconnect tally is complete.
+    let t = Instant::now();
+    while t.elapsed() < Duration::from_secs(5) {
+        let w = srv.wire_stats();
+        if w.connections_closed == w.connections_opened {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let report = srv.shutdown();
+    let wire = report.wire;
+    let stats = report.service.stats;
+    let mismatches = failures
+        .iter()
+        .filter(|f| f.contains("differs from the oracle"))
+        .count() as u64;
+
+    // Three-way reconciliation: the wire's own tallies, the service's
+    // counters, and the metrics registry must agree event-for-event.
+    let mut reconcile_failures: Vec<String> = Vec::new();
+    let mut check = |name: &str, a: u64, b: u64| {
+        if a != b {
+            reconcile_failures.push(format!("wire reconcile: {name}: {a} != {b}"));
+        }
+    };
+    check("frames vs submitted", wire.frames_read, stats.submitted);
+    check("ok replies vs completed", wire.replies_ok, stats.completed);
+    check("expired replies vs expired", wire.expired, stats.expired);
+    check("failed replies vs failed", wire.failed, stats.failed);
+    check("rejections vs shed", wire.rejected_total(), stats.shed);
+    check(
+        "connections closed vs opened",
+        wire.connections_closed,
+        wire.connections_opened,
+    );
+    check(
+        "clean disconnects vs connections",
+        wire.disconnect("clean_eof"),
+        wire.connections_opened,
+    );
+
+    let mut metrics_doc = None;
+    let mut prometheus_doc = None;
+    if let Some(m) = handle {
+        let snap = m.snapshot();
+        let mut check = |name: &str, a: u64, b: u64| {
+            if a != b {
+                reconcile_failures.push(format!("registry reconcile: {name}: {a} != {b}"));
+            }
+        };
+        check(
+            "wire frames",
+            snap.counter_total("bitonic_wire_frames_total"),
+            wire.frames_read,
+        );
+        check(
+            "wire connections",
+            snap.counter_total("bitonic_wire_connections_total"),
+            wire.connections_opened,
+        );
+        check(
+            "ok replies",
+            snap.counter_labeled("bitonic_wire_replies_total", "status", "ok"),
+            wire.replies_ok,
+        );
+        check(
+            "submitted",
+            snap.counter_total("bitonic_requests_submitted_total"),
+            stats.submitted,
+        );
+        check(
+            "completed",
+            snap.counter_total("bitonic_requests_completed_total"),
+            stats.completed,
+        );
+        for reason in sort_service::net::REJECTION_LABELS {
+            check(
+                &format!("wire rejections[{reason}] vs registry sheds"),
+                snap.counter_labeled("bitonic_wire_rejections_total", "reason", reason),
+                snap.counter_labeled("bitonic_requests_shed_total", "reason", reason),
+            );
+            check(
+                &format!("wire stats rejections[{reason}]"),
+                wire.rejection(reason),
+                snap.counter_labeled("bitonic_wire_rejections_total", "reason", reason),
+            );
+        }
+        for label in sort_service::net::DISCONNECT_LABELS {
+            check(
+                &format!("disconnects[{label}]"),
+                snap.counter_labeled("bitonic_wire_disconnects_total", "reason", label),
+                wire.disconnect(label),
+            );
+        }
+        metrics_doc = Some(metrics_json(&snap));
+        prometheus_doc = Some(obs::encode_prometheus(&snap));
+    }
+    let reconciled = reconcile_failures.is_empty();
+    failures.extend(reconcile_failures);
+
+    if stats.shed > 0 {
+        failures.push(format!("{} requests shed at nominal load", stats.shed));
+    }
+    if stats.expired > 0 {
+        failures.push(format!("{} requests expired", stats.expired));
+    }
+    if stats.failed > 0 {
+        failures.push(format!("{} requests lost to failed batches", stats.failed));
+    }
+    if wire.frame_errors > 0 {
+        failures.push(format!(
+            "{} malformed frames under a clean load",
+            wire.frame_errors
+        ));
+    }
+
+    all_us.sort_by(f64::total_cmp);
+    let classes: Vec<NetClassLatency> = bands
+        .iter()
+        .zip(&mut per_class)
+        .map(|((name, max_keys), us)| {
+            us.sort_by(f64::total_cmp);
+            NetClassLatency {
+                class: (*name).to_string(),
+                max_keys: *max_keys,
+                requests: us.len() as u64,
+                p50_us: percentile(us, 50.0),
+                p95_us: percentile(us, 95.0),
+                p99_us: percentile(us, 99.0),
+            }
+        })
+        .collect();
+    if classes.iter().all(|c| c.requests == 0 || c.p99_us <= 0.0) {
+        failures.push("no per-class p99 latency reported".into());
+    }
+
+    let completed = stats.completed.saturating_sub(warm.completed);
+    let summary = NetSummary {
+        procs,
+        conns,
+        requests: requests as u64,
+        total_keys,
+        frames: wire.frames_read,
+        replies_ok: wire.replies_ok,
+        rejected: wire.rejected_total(),
+        expired: wire.expired,
+        failed: wire.failed,
+        frame_errors: wire.frame_errors,
+        bytes_read: wire.bytes_read,
+        bytes_written: wire.bytes_written,
+        throughput_rps: completed as f64 / wall,
+        p50_us: percentile(&all_us, 50.0),
+        p95_us: percentile(&all_us, 95.0),
+        p99_us: percentile(&all_us, 99.0),
+        reconciled,
+        mismatches,
+        classes,
+    };
+
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["connections".into(), summary.conns.to_string()]);
+    t.row(vec!["requests".into(), summary.requests.to_string()]);
+    t.row(vec!["keys".into(), summary.total_keys.to_string()]);
+    t.row(vec![
+        "frames (incl. warm-up)".into(),
+        summary.frames.to_string(),
+    ]);
+    t.row(vec![
+        "bytes read / written".into(),
+        format!("{} / {}", summary.bytes_read, summary.bytes_written),
+    ]);
+    t.row(vec![
+        "throughput (req/s)".into(),
+        format!("{:.0}", summary.throughput_rps),
+    ]);
+    t.row(vec!["p50 (us)".into(), f2(summary.p50_us)]);
+    t.row(vec!["p95 (us)".into(), f2(summary.p95_us)]);
+    t.row(vec!["p99 (us)".into(), f2(summary.p99_us)]);
+    t.row(vec![
+        "rejected / expired / failed".into(),
+        format!(
+            "{} / {} / {}",
+            summary.rejected, summary.expired, summary.failed
+        ),
+    ]);
+    t.row(vec![
+        "frame errors".into(),
+        summary.frame_errors.to_string(),
+    ]);
+    let mut ct = Table::new(vec![
+        "class", "max keys", "requests", "p50 us", "p95 us", "p99 us",
+    ]);
+    for c in &summary.classes {
+        ct.row(vec![
+            c.class.clone(),
+            c.max_keys.to_string(),
+            c.requests.to_string(),
+            f2(c.p50_us),
+            f2(c.p95_us),
+            f2(c.p99_us),
+        ]);
+    }
+
+    let json = net_json(&summary);
+    let passed = failures.is_empty();
+    let verdict = if passed {
+        format!(
+            "All {requests} wire replies match the independent-sort oracle \
+             over {conns} connections; zero sheds, expiries, failures, and \
+             frame errors; WireStats, ServiceStats, and the metrics \
+             registry reconcile exactly."
+        )
+    } else {
+        let mut v = String::from("FAILED:\n");
+        for f in &failures {
+            v.push_str("  - ");
+            v.push_str(f);
+            v.push('\n');
+        }
+        v
+    };
+    let report = format!(
+        "{}\nPer-size-class end-to-end latency:\n\n{}\n{verdict}\n\n```json\n{json}```\n",
+        t.render(),
+        ct.render()
+    );
+    NetRun {
+        report,
+        json,
+        metrics_json: metrics_doc,
+        prometheus: prometheus_doc,
+        passed,
+    }
+}
+
+/// Run the wire benchmark and render it as an experiment.
+#[must_use]
+pub fn net(scale: Scale) -> Experiment {
+    let run = run_net(
+        DEFAULT_PROCS,
+        default_requests(scale),
+        DEFAULT_CONNS,
+        DEFAULT_SEED,
+    );
+    Experiment {
+        id: "net",
+        title: "TCP wire frontend: loopback load over real sockets",
+        body: run.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_wire_acceptance_load_passes_every_check() {
+        // Smaller than the CI configuration, same checks — including the
+        // three-way WireStats / ServiceStats / registry reconciliation.
+        let run = run_net(4, 48, 4, DEFAULT_SEED);
+        assert!(run.passed, "{}", run.report);
+        assert!(run.json.contains("\"schema\": \"NET_1\""));
+        assert!(run.json.contains("\"reconciled\": true"));
+        assert!(run.report.contains("p99 (us)"));
+        let metrics = run.metrics_json.expect("metrics are on");
+        assert!(metrics.contains("bitonic_wire_frames_total"));
+    }
+
+    #[test]
+    fn size_classes_cover_the_workload() {
+        let bands = class_bands(4, 1 << 14);
+        assert_eq!(class_of(&bands, 1), 0);
+        assert_eq!(class_of(&bands, 3), 0);
+        assert_eq!(class_of(&bands, 4), 1);
+        assert_eq!(class_of(&bands, 64), 1);
+        assert_eq!(class_of(&bands, 777), 2);
+        assert_eq!(class_of(&bands, 2048), 3);
+        assert_eq!(class_of(&bands, 1 << 20), 3);
+    }
+}

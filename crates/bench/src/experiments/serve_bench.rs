@@ -74,8 +74,14 @@ fn xorshift(state: &mut u64) -> u64 {
 
 /// The deterministic request mix: `(keys, direction, inter-arrival gap)`.
 /// Sizes span n < P through a few thousand keys; every fourth request is
-/// duplicate-heavy; directions alternate pseudo-randomly.
-fn workload(requests: usize, procs: usize, seed: u64) -> Vec<(Vec<u32>, Direction, Duration)> {
+/// duplicate-heavy; directions alternate pseudo-randomly. Shared with
+/// the wire benchmark (`net_bench`), which drives the same mix through
+/// real sockets.
+pub(crate) fn workload(
+    requests: usize,
+    procs: usize,
+    seed: u64,
+) -> Vec<(Vec<u32>, Direction, Duration)> {
     let sizes = [
         1,
         2,
@@ -114,7 +120,7 @@ fn workload(requests: usize, procs: usize, seed: u64) -> Vec<(Vec<u32>, Directio
         .collect()
 }
 
-fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
     }

@@ -337,6 +337,126 @@ pub fn shard_json(s: &ShardSummary) -> String {
     out
 }
 
+/// Schema tag for the TCP wire benchmark's machine-readable output.
+/// Like [`BENCH_SCHEMA`], the suffix is bumped when any field changes
+/// meaning.
+pub const NET_SCHEMA: &str = "NET_1";
+
+/// One request-size class's reply latencies over the wire, in the
+/// `NET_1` schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetClassLatency {
+    /// Size-class name (`"tiny"` for n < P, `"small"`, `"medium"`,
+    /// `"large"`).
+    pub class: String,
+    /// Largest request (keys) the class covers.
+    pub max_keys: usize,
+    /// Requests in this class during the measured window.
+    pub requests: u64,
+    /// Median send-to-reply latency over the socket, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// One loopback TCP load run in the stable `NET_1` schema: what crossed
+/// the wire, what the service did with it, and the end-to-end latency
+/// percentiles per request-size class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSummary {
+    /// Ranks per warm machine (`P`).
+    pub procs: usize,
+    /// Client connections driving the load.
+    pub conns: usize,
+    /// Requests offered during the measured (post-warm-up) window.
+    pub requests: u64,
+    /// Keys across those requests (before padding).
+    pub total_keys: u64,
+    /// Well-formed request frames the server accepted (warm-up included).
+    pub frames: u64,
+    /// `ok` replies written.
+    pub replies_ok: u64,
+    /// Rejection replies across all admission reasons.
+    pub rejected: u64,
+    /// `expired` replies.
+    pub expired: u64,
+    /// `machine_failed` replies.
+    pub failed: u64,
+    /// Malformed frames seen (must be zero under the clean load).
+    pub frame_errors: u64,
+    /// Bytes the server read off all sockets.
+    pub bytes_read: u64,
+    /// Bytes the server wrote to all sockets.
+    pub bytes_written: u64,
+    /// Completed requests per wall-clock second of the measured window.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency across all classes, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency across all classes, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency across all classes, microseconds.
+    pub p99_us: f64,
+    /// Whether wire counters reconciled exactly against `ServiceStats`
+    /// and the metrics registry.
+    pub reconciled: bool,
+    /// Replies that differed from the independent-sort oracle.
+    pub mismatches: u64,
+    /// Per-size-class latencies, in ascending band order.
+    pub classes: Vec<NetClassLatency>,
+}
+
+/// Render a wire-benchmark summary as a complete `NET_1` JSON document.
+#[must_use]
+pub fn net_json(s: &NetSummary) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"{NET_SCHEMA}\",\n  \
+         \"procs\": {}, \"conns\": {},\n  \
+         \"requests\": {}, \"total_keys\": {}, \"frames\": {},\n  \
+         \"replies_ok\": {}, \"rejected\": {}, \"expired\": {}, \"failed\": {}, \
+         \"frame_errors\": {},\n  \
+         \"bytes_read\": {}, \"bytes_written\": {},\n  \
+         \"throughput_rps\": {:.1},\n  \
+         \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1},\n  \
+         \"reconciled\": {}, \"mismatches\": {},\n  \
+         \"classes\": [\n",
+        s.procs,
+        s.conns,
+        s.requests,
+        s.total_keys,
+        s.frames,
+        s.replies_ok,
+        s.rejected,
+        s.expired,
+        s.failed,
+        s.frame_errors,
+        s.bytes_read,
+        s.bytes_written,
+        s.throughput_rps,
+        s.p50_us,
+        s.p95_us,
+        s.p99_us,
+        s.reconciled,
+        s.mismatches,
+    );
+    for (i, c) in s.classes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"class\": \"{}\", \"max_keys\": {}, \"requests\": {}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
+            c.class,
+            c.max_keys,
+            c.requests,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            if i + 1 == s.classes.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Schema tag for the local-kernel benchmark's machine-readable output.
 /// Like [`BENCH_SCHEMA`], the suffix is bumped when any field changes
 /// meaning.
@@ -596,6 +716,55 @@ mod tests {
         assert!(json.contains("\"class\": \"small\""));
         assert!(json.contains("\"p99_us\": 1200.5"));
         assert!(json.contains("\"baseline_p99_us\": 4800.0"));
+        let mut depth = 0i64;
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+        assert_eq!(json.matches("\"class\":").count(), 2);
+    }
+
+    #[test]
+    fn net_json_matches_schema() {
+        let class = |name: &str, max_keys: usize| NetClassLatency {
+            class: name.into(),
+            max_keys,
+            requests: 50,
+            p50_us: 300.0,
+            p95_us: 800.0,
+            p99_us: 1500.5,
+        };
+        let json = net_json(&NetSummary {
+            procs: 4,
+            conns: 8,
+            requests: 200,
+            total_keys: 40_000,
+            frames: 212,
+            replies_ok: 212,
+            rejected: 0,
+            expired: 0,
+            failed: 0,
+            frame_errors: 0,
+            bytes_read: 180_000,
+            bytes_written: 181_000,
+            throughput_rps: 2200.0,
+            p50_us: 400.0,
+            p95_us: 1000.0,
+            p99_us: 2100.7,
+            reconciled: true,
+            mismatches: 0,
+            classes: vec![class("tiny", 3), class("large", 16384)],
+        });
+        assert!(json.contains("\"schema\": \"NET_1\""));
+        assert!(json.contains("\"conns\": 8"));
+        assert!(json.contains("\"class\": \"tiny\""));
+        assert!(json.contains("\"p99_us\": 1500.5"));
+        assert!(json.contains("\"reconciled\": true"));
+        assert!(!json.contains("},\n  ]"), "no trailing comma:\n{json}");
         let mut depth = 0i64;
         for c in json.chars() {
             match c {

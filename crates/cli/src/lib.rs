@@ -538,10 +538,12 @@ impl Default for ServeOptions {
 pub fn serve_usage() -> String {
     "usage: bitonic-sort serve [-p PROCS] [--shards N] [--stats] [--metrics-every SECS]\n\
      \u{20}                         [-i FILE|-] [-o FILE|-]\n\
-     Each input line is one sort request: an optional 'asc' or 'desc' token\n\
-     followed by decimal keys. All requests are submitted to one warm-pool\n\
-     sort service, which coalesces them into tagged batches; each output\n\
-     line is the matching request's keys in its requested order.\n\
+     Each input line is one sort request: an optional 'asc' or 'desc' token,\n\
+     an optional 'deadline=MICROS' token, then decimal keys — the same\n\
+     grammar the TCP wire frontend's text parser accepts. All requests are\n\
+     submitted to one warm-pool sort service, which coalesces them into\n\
+     tagged batches; each output line is the matching request's keys in its\n\
+     requested order.\n\
      --shards N > 1 splits the service into N size-class shards, each with\n\
      its own warm pool; requests route by size and idle shards steal aged\n\
      work from busy neighbors.\n\
@@ -597,22 +599,24 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     Ok(opts)
 }
 
-/// Parse one request line: an optional `asc`/`desc` token, then keys.
-fn parse_request(line: &str) -> Result<(Vec<u32>, bitonic_network::Direction), String> {
-    use bitonic_network::Direction;
-    let mut dir = Direction::Ascending;
-    let mut keys = Vec::new();
-    for (i, tok) in line.split_whitespace().enumerate() {
-        match tok {
-            "asc" if i == 0 => dir = Direction::Ascending,
-            "desc" if i == 0 => dir = Direction::Descending,
-            _ => keys.push(
-                tok.parse::<u32>()
-                    .map_err(|e| format!("bad key '{tok}': {e}"))?,
-            ),
-        }
-    }
-    Ok((keys, dir))
+/// Parse one request line: an optional `asc`/`desc` token, an optional
+/// `deadline=<µs>` token, then keys. Delegates to the wire codec's text
+/// parser so the stdin and TCP frontends share one validation path —
+/// every stdin request round-trips through the exact `SORT_1` frame
+/// checks a socket peer's request would face.
+fn parse_request(
+    line: &str,
+) -> Result<
+    (
+        Vec<u32>,
+        bitonic_network::Direction,
+        Option<std::time::Duration>,
+    ),
+    String,
+> {
+    let frame = sort_service::net::parse_text_request(line)?;
+    let keys = frame.keys_u32().expect("text requests are width 4");
+    Ok((keys, frame.dir, frame.deadline()))
 }
 
 /// Render the `serve --stats` report.
@@ -675,7 +679,12 @@ pub fn sharded_stats_report(stats: &sort_service::ShardedStats) -> String {
 /// A malformed request line, a shed request, or a failed batch.
 pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, String> {
     use sort_service::{ServiceConfig, ShardedConfig, ShardedService, SortRequest, SortService};
-    let requests: Vec<(Vec<u32>, bitonic_network::Direction)> = String::from_utf8_lossy(raw_input)
+    #[allow(clippy::type_complexity)]
+    let requests: Vec<(
+        Vec<u32>,
+        bitonic_network::Direction,
+        Option<std::time::Duration>,
+    )> = String::from_utf8_lossy(raw_input)
         .lines()
         .filter(|l| !l.trim().is_empty())
         .map(parse_request)
@@ -718,8 +727,9 @@ pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, Str
     });
     let tickets: Vec<_> = requests
         .into_iter()
-        .map(|(keys, dir)| {
-            let request = SortRequest::new(keys, dir);
+        .map(|(keys, dir, deadline)| {
+            let mut request = SortRequest::new(keys, dir);
+            request.deadline = deadline;
             match &front {
                 Front::Single(s) => s.submit(request),
                 Front::Sharded(s) => s.submit(request),
@@ -1035,6 +1045,23 @@ mod tests {
     fn serve_rejects_malformed_lines() {
         let opts = ServeOptions::default();
         assert!(run_serve(&opts, b"1 2 nope\n").is_err());
+        // Direction tokens must lead the line — same rule as before the
+        // parser was unified with the wire codec's.
+        assert!(run_serve(&opts, b"1 asc 2\n").is_err());
+        assert!(run_serve(&opts, b"deadline=abc 1 2\n").is_err());
+    }
+
+    /// The stdin frontend shares the wire codec's parser: the deadline
+    /// token works, and ordinary lines sort exactly as they always have.
+    #[test]
+    fn serve_accepts_wire_grammar_deadlines() {
+        let opts = ServeOptions {
+            procs: 2,
+            ..Default::default()
+        };
+        let input = b"desc deadline=10000000 4 8 6\ndeadline=10000000 3 1 2\n";
+        let out = run_serve(&opts, input).unwrap();
+        assert_eq!(String::from_utf8(out.bytes).unwrap(), "8 6 4\n1 2 3\n");
     }
 
     #[test]

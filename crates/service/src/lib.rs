@@ -39,7 +39,12 @@
 //!   own pool; idle shards steal aged batches from busy neighbors; and
 //!   an [`Autoscaler`] resizes each pool from LogP-predicted queue
 //!   drain time. [`ShardEngine`] is the identical policy stack under
-//!   virtual time, for deterministic steal/scale tests.
+//!   virtual time, for deterministic steal/scale tests;
+//! * [`net`] puts the whole thing behind a real socket: the `SORT_1`
+//!   length-prefixed frame codec, a [`WireServer`] with per-connection
+//!   reader threads whose stalls become structured [`Disconnect`]s, a
+//!   blocking [`WireClient`] for loopback load tests, and deterministic
+//!   connection-fault injection in [`net::chaos`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +54,7 @@ pub mod autoscale;
 pub mod coalescer;
 pub mod config;
 pub mod metrics;
+pub mod net;
 pub mod pool;
 pub mod router;
 pub mod server;
@@ -59,6 +65,10 @@ pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleVerdict};
 pub use coalescer::{BatchCost, Coalescer, Verdict};
 pub use config::{ClassConfig, ServiceConfig, ShardedConfig};
 pub use metrics::{ClassMetrics, ServiceMetrics};
+pub use net::{
+    Disconnect, FrameError, ReplyFrame, RequestFrame, WireClient, WireConfig, WireError,
+    WireReport, WireServer, WireStats,
+};
 pub use pool::{PoolStats, WarmPool};
 pub use router::{Router, SizeClass};
 pub use server::{ServiceReport, ServiceStats, SortError, SortRequest, SortService, Ticket};

@@ -409,6 +409,12 @@ impl ServiceMetrics {
         obs::metrics::encode_prometheus(&self.snapshot())
     }
 
+    /// Wire-frontend handles registered in this instance's registry, so
+    /// one snapshot reconciles socket counters against request counters.
+    pub(crate) fn wire_handles(&self) -> WireMetrics {
+        WireMetrics::new(&self.registry)
+    }
+
     /// One compact line per class — what `serve --metrics-every` prints.
     #[must_use]
     pub fn brief(&self) -> String {
@@ -444,9 +450,139 @@ impl ServiceMetrics {
     }
 }
 
+/// Metric handles for the TCP wire frontend, registered in the owning
+/// service's registry under `bitonic_wire_*` names. Labeled series
+/// (replies by status, rejections/disconnects/frame errors by reason)
+/// go through the registry's idempotent get-or-create path, so the hot
+/// unlabeled counters stay single relaxed atomics while the per-reason
+/// ones pay one registry lookup per event — events, not bytes.
+pub struct WireMetrics {
+    registry: Arc<Registry>,
+    /// Open connections right now.
+    pub(crate) connections: Arc<Gauge>,
+    /// Connections accepted over the service's lifetime.
+    pub(crate) connections_total: Arc<Counter>,
+    /// Well-formed request frames accepted for submission.
+    pub(crate) frames_total: Arc<Counter>,
+    /// Bytes read off all sockets.
+    pub(crate) bytes_read_total: Arc<Counter>,
+    /// Bytes written to all sockets.
+    pub(crate) bytes_written_total: Arc<Counter>,
+}
+
+impl std::fmt::Debug for WireMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireMetrics").finish_non_exhaustive()
+    }
+}
+
+impl WireMetrics {
+    fn new(registry: &Arc<Registry>) -> Self {
+        let r = registry.as_ref();
+        WireMetrics {
+            registry: registry.clone(),
+            connections: r.gauge("bitonic_wire_connections", "Open TCP connections", &[]),
+            connections_total: r.counter(
+                "bitonic_wire_connections_total",
+                "TCP connections accepted",
+                &[],
+            ),
+            frames_total: r.counter(
+                "bitonic_wire_frames_total",
+                "Well-formed request frames accepted for submission",
+                &[],
+            ),
+            bytes_read_total: r.counter("bitonic_wire_bytes_read_total", "Bytes read", &[]),
+            bytes_written_total: r.counter(
+                "bitonic_wire_bytes_written_total",
+                "Bytes written",
+                &[],
+            ),
+        }
+    }
+
+    /// Count one reply by its status label; rejections additionally
+    /// stamp `bitonic_wire_rejections_total{reason=...}`, the series the
+    /// conformance suite reconciles against
+    /// `bitonic_requests_shed_total{reason=...}`.
+    pub(crate) fn record_reply(&self, label: &'static str, is_rejection: bool) {
+        self.registry
+            .counter(
+                "bitonic_wire_replies_total",
+                "Replies written, by status",
+                &[("status", label)],
+            )
+            .inc();
+        if is_rejection {
+            self.registry
+                .counter(
+                    "bitonic_wire_rejections_total",
+                    "Rejection replies, by admission reason",
+                    &[("reason", label)],
+                )
+                .inc();
+        }
+    }
+
+    /// Count one malformed frame by its [`crate::net::FrameError::label`].
+    pub(crate) fn record_frame_error(&self, label: &'static str) {
+        self.registry
+            .counter(
+                "bitonic_wire_frame_errors_total",
+                "Malformed frames, by error class",
+                &[("reason", label)],
+            )
+            .inc();
+    }
+
+    /// Count one connection close by its
+    /// [`crate::net::Disconnect::label`].
+    pub(crate) fn record_disconnect(&self, label: &'static str) {
+        self.registry
+            .counter(
+                "bitonic_wire_disconnects_total",
+                "Connection closes, by reason",
+                &[("reason", label)],
+            )
+            .inc();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_metrics_share_the_service_registry() {
+        let cfg = ServiceConfig::new(2);
+        let m = ServiceMetrics::for_single(&cfg);
+        let w = m.wire_handles();
+        w.connections_total.inc();
+        w.frames_total.add(3);
+        w.record_reply("ok", false);
+        w.record_reply("queue_full", true);
+        w.record_frame_error("bad_magic");
+        w.record_disconnect("read_stall");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter_total("bitonic_wire_connections_total"), 1);
+        assert_eq!(snap.counter_total("bitonic_wire_frames_total"), 3);
+        assert_eq!(
+            snap.counter_labeled("bitonic_wire_replies_total", "status", "ok"),
+            1
+        );
+        assert_eq!(
+            snap.counter_labeled("bitonic_wire_rejections_total", "reason", "queue_full"),
+            1
+        );
+        assert_eq!(
+            snap.counter_labeled("bitonic_wire_frame_errors_total", "reason", "bad_magic"),
+            1
+        );
+        assert_eq!(
+            snap.counter_labeled("bitonic_wire_disconnects_total", "reason", "read_stall"),
+            1
+        );
+    }
 
     #[test]
     fn single_service_metrics_register_and_snapshot() {

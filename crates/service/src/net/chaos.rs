@@ -1,0 +1,201 @@
+//! Deterministic connection-fault injection for the wire frontend.
+//!
+//! The SPMD chaos layer (`spmd::fault`) perturbs *intra-machine*
+//! messages; this module perturbs the *client side of the socket*:
+//! half-open peers, slow-loris writers, mid-frame disconnects, and
+//! malformed frames. Every fault is a pure value ([`ConnFault`]) with a
+//! known expected server-side [`Disconnect`](crate::net::Disconnect)
+//! label, and [`plan`] derives
+//! a fault sequence from a seed alone — replaying the same seed against
+//! a fresh server must produce identical per-reason disconnect tallies
+//! (conformance-tested in `tests/wire.rs`).
+
+use crate::net::frame::{RequestFrame, LEN_PREFIX, MAGIC, VERSION};
+use bitonic_network::Direction;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One client-side connection fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Connect, send nothing, and linger: the half-open / silent peer.
+    HalfOpen,
+    /// Trickle a valid frame one byte per `byte_gap`, never finishing
+    /// within any reasonable read budget.
+    SlowLoris {
+        /// Pause between bytes.
+        byte_gap: Duration,
+    },
+    /// Send the first `keep_bytes` of a valid frame, then close.
+    MidFrameCut {
+        /// Bytes of the encoded frame to send before closing (clamped
+        /// inside the frame so the cut is genuinely mid-frame).
+        keep_bytes: usize,
+    },
+    /// A length-prefixed frame of junk bytes (bad magic).
+    Garbage {
+        /// Junk payload length.
+        len: usize,
+    },
+    /// A correct frame except for an unknown protocol version.
+    BadVersion,
+    /// A length prefix declaring more than the server's frame limit.
+    Oversized {
+        /// Declared payload size.
+        declared: u32,
+    },
+    /// A complete frame whose payload is shorter than a request header.
+    TruncatedHeader,
+}
+
+/// Fault classes [`plan`] draws from, in draw order.
+pub const FAULT_CLASSES: usize = 7;
+
+impl ConnFault {
+    /// Short name for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConnFault::HalfOpen => "half_open",
+            ConnFault::SlowLoris { .. } => "slow_loris",
+            ConnFault::MidFrameCut { .. } => "mid_frame_cut",
+            ConnFault::Garbage { .. } => "garbage",
+            ConnFault::BadVersion => "bad_version",
+            ConnFault::Oversized { .. } => "oversized",
+            ConnFault::TruncatedHeader => "truncated_header",
+        }
+    }
+
+    /// The [`Disconnect::label`](crate::net::Disconnect::label) the
+    /// server must close the faulty connection with.
+    #[must_use]
+    pub fn expected_disconnect(&self) -> &'static str {
+        match self {
+            ConnFault::HalfOpen => "idle_timeout",
+            ConnFault::SlowLoris { .. } => "read_stall",
+            ConnFault::MidFrameCut { .. } => "mid_frame_eof",
+            ConnFault::Garbage { .. }
+            | ConnFault::BadVersion
+            | ConnFault::Oversized { .. }
+            | ConnFault::TruncatedHeader => "bad_frame",
+        }
+    }
+
+    /// The bytes this fault puts on the wire (empty for [`ConnFault::HalfOpen`]).
+    #[must_use]
+    pub fn wire_bytes(&self) -> Vec<u8> {
+        let valid = RequestFrame::from_u32_keys(&[9, 4, 6, 1], Direction::Ascending, None).encode();
+        match self {
+            ConnFault::HalfOpen => Vec::new(),
+            ConnFault::SlowLoris { .. } => valid,
+            ConnFault::MidFrameCut { keep_bytes } => {
+                // At least the length prefix plus one byte, never the
+                // whole frame: the server must be mid-frame at the cut.
+                let keep = (*keep_bytes).clamp(LEN_PREFIX + 1, valid.len() - 1);
+                valid[..keep].to_vec()
+            }
+            ConnFault::Garbage { len } => {
+                let mut out = Vec::with_capacity(LEN_PREFIX + len);
+                out.extend_from_slice(&(*len as u32).to_le_bytes());
+                out.extend((0..*len).map(|i| (i as u8) ^ 0x5a));
+                out
+            }
+            ConnFault::BadVersion => {
+                let mut out = valid;
+                out[LEN_PREFIX + MAGIC.len()] = VERSION + 7;
+                out
+            }
+            ConnFault::Oversized { declared } => declared.to_le_bytes().to_vec(),
+            ConnFault::TruncatedHeader => {
+                let mut out = Vec::with_capacity(LEN_PREFIX + 8);
+                out.extend_from_slice(&8u32.to_le_bytes());
+                out.extend_from_slice(&MAGIC);
+                out.extend_from_slice(&[VERSION, 0, 4, 0]);
+                out
+            }
+        }
+    }
+}
+
+/// Derive a deterministic fault sequence from a seed: the same
+/// `(seed, conns)` always yields the same faults in the same order.
+#[must_use]
+pub fn plan(seed: u64, conns: usize) -> Vec<ConnFault> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..conns)
+        .map(|_| match next() % FAULT_CLASSES as u64 {
+            0 => ConnFault::HalfOpen,
+            1 => ConnFault::SlowLoris {
+                byte_gap: Duration::from_millis(10 + next() % 20),
+            },
+            2 => ConnFault::MidFrameCut {
+                keep_bytes: LEN_PREFIX + 1 + (next() % 30) as usize,
+            },
+            3 => ConnFault::Garbage {
+                len: 1 + (next() % 64) as usize,
+            },
+            4 => ConnFault::BadVersion,
+            5 => ConnFault::Oversized {
+                declared: u32::MAX - (next() % 1000) as u32,
+            },
+            _ => ConnFault::TruncatedHeader,
+        })
+        .collect()
+}
+
+/// Run one fault against a live server and wait (bounded) for the
+/// server to close the connection, so the caller can assert the
+/// disconnect tally immediately after.
+///
+/// # Errors
+/// The connect error; errors after the fault bytes are on the wire are
+/// the expected outcome and are swallowed.
+pub fn inject(addr: SocketAddr, fault: &ConnFault, patience: Duration) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    match fault {
+        ConnFault::SlowLoris { byte_gap } => {
+            for byte in fault.wire_bytes() {
+                if stream.write_all(&[byte]).is_err() {
+                    break;
+                }
+                std::thread::sleep(*byte_gap);
+            }
+        }
+        ConnFault::MidFrameCut { .. } => {
+            let _ = stream.write_all(&fault.wire_bytes());
+            return Ok(()); // close immediately: that IS the fault
+        }
+        _ => {
+            let _ = stream.write_all(&fault.wire_bytes());
+        }
+    }
+    wait_for_close(&mut stream, patience);
+    Ok(())
+}
+
+/// Drain the socket until the server closes it (or `patience` runs out).
+fn wait_for_close(stream: &mut TcpStream, patience: Duration) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let start = Instant::now();
+    let mut sink = [0u8; 512];
+    while start.elapsed() < patience {
+        match stream.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}

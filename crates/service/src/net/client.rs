@@ -1,0 +1,149 @@
+//! A small blocking `SORT_1` client for loopback load tests and the
+//! conformance suite.
+//!
+//! [`WireClient`] speaks one request/reply exchange at a time over one
+//! `TcpStream` — exactly the discipline the server's per-connection
+//! handler assumes. The raw [`WireClient::send_raw`] escape hatch lets
+//! tests put arbitrary bytes on the wire (malformed frames, partial
+//! frames) while still decoding whatever the server answers.
+
+use crate::net::frame::{FrameError, ReplyFrame, RequestFrame, LEN_PREFIX};
+use bitonic_network::Direction;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Largest reply payload the client will accept (a sorted reply to the
+/// largest request the server admits is far below this).
+const MAX_REPLY_BYTES: usize = 1 << 26;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The server's reply did not decode.
+    Frame(FrameError),
+    /// The connection ended before a full reply arrived.
+    Disconnected,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Frame(e) => write!(f, "bad reply frame: {e}"),
+            WireError::Disconnected => write!(f, "server disconnected mid-reply"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Disconnected
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// One blocking `SORT_1` connection.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+}
+
+impl WireClient {
+    /// Connect to a `SORT_1` server.
+    ///
+    /// # Errors
+    /// The connect error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient { stream })
+    }
+
+    /// Wrap an already-connected stream.
+    #[must_use]
+    pub fn from_stream(stream: TcpStream) -> Self {
+        WireClient { stream }
+    }
+
+    /// Bound how long [`WireClient::read_reply`] may block.
+    ///
+    /// # Errors
+    /// The setsockopt error.
+    pub fn set_reply_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// One full exchange: send a width-4 request, read its reply.
+    ///
+    /// # Errors
+    /// Any [`WireError`] along the way.
+    pub fn sort(
+        &mut self,
+        keys: &[u32],
+        dir: Direction,
+        deadline: Option<Duration>,
+    ) -> Result<ReplyFrame, WireError> {
+        self.send(&RequestFrame::from_u32_keys(keys, dir, deadline))?;
+        self.read_reply()
+    }
+
+    /// Send one encoded request frame.
+    ///
+    /// # Errors
+    /// The socket error.
+    pub fn send(&mut self, frame: &RequestFrame) -> Result<(), WireError> {
+        self.send_raw(&frame.encode())
+    }
+
+    /// Put arbitrary bytes on the wire (conformance tests only).
+    ///
+    /// # Errors
+    /// The socket error.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Read and decode one reply frame.
+    ///
+    /// # Errors
+    /// [`WireError::Disconnected`] on EOF, [`WireError::Frame`] when the
+    /// reply does not decode, [`WireError::Io`] otherwise.
+    pub fn read_reply(&mut self) -> Result<ReplyFrame, WireError> {
+        let mut prefix = [0u8; LEN_PREFIX];
+        self.stream.read_exact(&mut prefix)?;
+        let declared = u32::from_le_bytes(prefix) as usize;
+        if declared > MAX_REPLY_BYTES {
+            return Err(WireError::Frame(FrameError::Oversized {
+                declared,
+                limit: MAX_REPLY_BYTES,
+            }));
+        }
+        let mut payload = vec![0u8; declared];
+        self.stream.read_exact(&mut payload)?;
+        ReplyFrame::decode(&payload).map_err(WireError::Frame)
+    }
+
+    /// Half-close the write side (the server sees a clean EOF once it
+    /// finishes reading).
+    ///
+    /// # Errors
+    /// The shutdown error.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        self.stream.shutdown(Shutdown::Write)
+    }
+
+    /// The underlying stream (for chaos tests that need raw control).
+    #[must_use]
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}

@@ -1,0 +1,707 @@
+//! The `SORT_1` wire format: length-prefixed binary frames.
+//!
+//! Every frame on the wire — request or reply — is a 4-byte
+//! little-endian length prefix (the byte count of everything after it)
+//! followed by a fixed header and a payload:
+//!
+//! ```text
+//! request                              reply
+//! ┌────────────┬──────────────┐       ┌────────────┬──────────────┐
+//! │ u32 length │ 20-byte head │       │ u32 length │ 16-byte head │
+//! ├────────────┴──────────────┤       ├────────────┴──────────────┤
+//! │ magic  "SRT1"  (4 bytes)  │       │ magic  "SRT1"  (4 bytes)  │
+//! │ version   1    (u8)       │       │ version   1    (u8)       │
+//! │ flags          (u8)       │       │ status         (u8)       │
+//! │ key width      (u8)       │       │ key width      (u8)       │
+//! │ reserved  0    (u8)       │       │ reserved  0    (u8)       │
+//! │ deadline µs    (u64 LE)   │       │ detail a       (u64 LE)   │
+//! │ key count      (u32 LE)   │       │ detail b       (u64 LE)   │
+//! │ keys  count×width bytes   │       │ body (keys or message)    │
+//! └───────────────────────────┘       └───────────────────────────┘
+//! ```
+//!
+//! Flags bit 0 selects the sort direction (0 ascending, 1 descending);
+//! all other bits must be zero. A deadline of 0 means "server default".
+//! The codec accepts any key width in [`SUPPORTED_WIDTHS`] so the frame
+//! layout is ready for the wide-key roadmap item; the serving stack
+//! itself currently sorts `u32` keys, so the server requires width 4 and
+//! answers anything else with a structured [`FrameError::BadWidth`].
+//!
+//! Decoding never panics: every malformed input — short buffer, bad
+//! magic, unknown version, ragged key bytes, oversized declaration —
+//! maps to a [`FrameError`] that the server echoes on the wire (status
+//! `bad_frame`) before closing the connection.
+//!
+//! Reply status codes are [`ReplyFrame`] variants: `0` carries sorted
+//! keys; `1..=5` are the admission [`Rejection`] reasons with the
+//! variant's two numeric fields in `detail a`/`detail b`; `6`..`8` are
+//! the post-admission [`crate::SortError`] outcomes; `9` echoes a
+//! [`FrameError`]. Labels round-trip exactly so wire-side shed counters
+//! reconcile against the registry's per-reason counters.
+
+use crate::admission::Rejection;
+use crate::server::{SortError, SortRequest};
+use bitonic_network::Direction;
+use std::time::Duration;
+
+/// Frame magic: the first four payload bytes of every `SORT_1` frame.
+pub const MAGIC: [u8; 4] = *b"SRT1";
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Request header length in bytes (after the length prefix).
+pub const REQUEST_HEADER: usize = 20;
+
+/// Reply header length in bytes (after the length prefix).
+pub const REPLY_HEADER: usize = 24;
+
+/// Length-prefix size in bytes.
+pub const LEN_PREFIX: usize = 4;
+
+/// Key widths (bytes per key) the codec round-trips. The server
+/// additionally requires width 4 (`u32` keys) until the wide-key
+/// roadmap item lands end to end.
+pub const SUPPORTED_WIDTHS: [u8; 5] = [1, 2, 4, 8, 16];
+
+/// Flags bit 0: descending order requested.
+const FLAG_DESCENDING: u8 = 0b0000_0001;
+/// All bits a version-1 frame may set.
+const FLAG_MASK: u8 = FLAG_DESCENDING;
+
+/// Why a frame failed to decode. Structured — the server sends the
+/// label back on the wire before disconnecting, and tests assert the
+/// exact reason, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the declared frame does.
+    Truncated {
+        /// Bytes the frame declared (or the header needs).
+        needed: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The declared frame length exceeds the receiver's limit.
+    Oversized {
+        /// Bytes the frame declared.
+        declared: usize,
+        /// The receiver's frame-size limit.
+        limit: usize,
+    },
+    /// The first four payload bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Flag bits outside the version-1 mask are set.
+    BadFlags(u8),
+    /// The key width is not in [`SUPPORTED_WIDTHS`] (or, at the server,
+    /// not the width the serving stack sorts).
+    BadWidth(u8),
+    /// The body length does not equal `count * width`.
+    CountMismatch {
+        /// Keys the header declared.
+        declared: usize,
+        /// Key bytes actually present in the body.
+        body_bytes: usize,
+    },
+    /// A reply carried an unknown status code.
+    BadStatus(u8),
+}
+
+impl FrameError {
+    /// Stable label naming the error class — the `reason` label on the
+    /// `bitonic_wire_frame_errors_total` metric and the detail code
+    /// echoed in a `bad_frame` reply.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrameError::Truncated { .. } => "truncated",
+            FrameError::Oversized { .. } => "oversized",
+            FrameError::BadMagic(_) => "bad_magic",
+            FrameError::BadVersion(_) => "bad_version",
+            FrameError::BadFlags(_) => "bad_flags",
+            FrameError::BadWidth(_) => "bad_width",
+            FrameError::CountMismatch { .. } => "count_mismatch",
+            FrameError::BadStatus(_) => "bad_status",
+        }
+    }
+
+    /// Wire code for the `bad_frame` reply detail byte.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            FrameError::Truncated { .. } => 0,
+            FrameError::Oversized { .. } => 1,
+            FrameError::BadMagic(_) => 2,
+            FrameError::BadVersion(_) => 3,
+            FrameError::BadFlags(_) => 4,
+            FrameError::BadWidth(_) => 5,
+            FrameError::CountMismatch { .. } => 6,
+            FrameError::BadStatus(_) => 7,
+        }
+    }
+
+    /// Label for a wire code (the inverse of [`FrameError::code`] up to
+    /// the lost detail fields).
+    #[must_use]
+    pub fn label_of_code(code: u8) -> &'static str {
+        match code {
+            0 => "truncated",
+            1 => "oversized",
+            2 => "bad_magic",
+            3 => "bad_version",
+            4 => "bad_flags",
+            5 => "bad_width",
+            6 => "count_mismatch",
+            7 => "bad_status",
+            _ => "unknown",
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, have } => {
+                write!(f, "frame truncated: needs {needed} bytes, have {have}")
+            }
+            FrameError::Oversized { declared, limit } => {
+                write!(f, "frame declares {declared} bytes (limit {limit})")
+            }
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            FrameError::BadFlags(bits) => write!(f, "unknown flag bits {bits:#010b}"),
+            FrameError::BadWidth(w) => write!(f, "unsupported key width {w}"),
+            FrameError::CountMismatch {
+                declared,
+                body_bytes,
+            } => write!(
+                f,
+                "header declares {declared} keys but the body holds {body_bytes} key bytes"
+            ),
+            FrameError::BadStatus(s) => write!(f, "unknown reply status {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One decoded request frame: the wire-side twin of [`SortRequest`].
+///
+/// Keys are kept as raw little-endian bytes with their width so the
+/// codec round-trips every supported width; [`RequestFrame::keys_u32`]
+/// gives the typed view the current serving stack sorts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestFrame {
+    /// Requested output order.
+    pub dir: Direction,
+    /// Bytes per key (must be in [`SUPPORTED_WIDTHS`]).
+    pub width: u8,
+    /// Per-request deadline in microseconds; 0 means server default.
+    pub deadline_us: u64,
+    /// Raw little-endian key bytes, length `count() * width`.
+    pub key_bytes: Vec<u8>,
+}
+
+impl RequestFrame {
+    /// A width-4 frame carrying `keys`.
+    #[must_use]
+    pub fn from_u32_keys(keys: &[u32], dir: Direction, deadline: Option<Duration>) -> Self {
+        let mut key_bytes = Vec::with_capacity(keys.len() * 4);
+        for k in keys {
+            key_bytes.extend_from_slice(&k.to_le_bytes());
+        }
+        RequestFrame {
+            dir,
+            width: 4,
+            deadline_us: deadline.map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64),
+            key_bytes,
+        }
+    }
+
+    /// Number of keys in the frame.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.key_bytes.len() / usize::from(self.width.max(1))
+    }
+
+    /// The keys as `u32`s, when the frame is width 4.
+    #[must_use]
+    pub fn keys_u32(&self) -> Option<Vec<u32>> {
+        if self.width != 4 {
+            return None;
+        }
+        Some(
+            self.key_bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+        )
+    }
+
+    /// The deadline this frame carries, `None` for "server default".
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        (self.deadline_us > 0).then(|| Duration::from_micros(self.deadline_us))
+    }
+
+    /// Convert into the service's [`SortRequest`].
+    ///
+    /// # Errors
+    /// [`FrameError::BadWidth`] unless the frame is width 4 — the only
+    /// width the serving stack currently sorts.
+    pub fn into_request(self) -> Result<SortRequest, FrameError> {
+        let Some(keys) = self.keys_u32() else {
+            return Err(FrameError::BadWidth(self.width));
+        };
+        Ok(SortRequest {
+            keys,
+            dir: self.dir,
+            deadline: self.deadline(),
+        })
+    }
+
+    /// Encode as a complete frame (length prefix included).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = REQUEST_HEADER + self.key_bytes.len();
+        let mut out = Vec::with_capacity(LEN_PREFIX + payload);
+        out.extend_from_slice(&(payload as u32).to_le_bytes());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(match self.dir {
+            Direction::Ascending => 0,
+            Direction::Descending => FLAG_DESCENDING,
+        });
+        out.push(self.width);
+        out.push(0); // reserved
+        out.extend_from_slice(&self.deadline_us.to_le_bytes());
+        out.extend_from_slice(&(self.count() as u32).to_le_bytes());
+        out.extend_from_slice(&self.key_bytes);
+        out
+    }
+
+    /// Decode a frame payload (everything after the length prefix).
+    ///
+    /// # Errors
+    /// The [`FrameError`] naming the first malformation found.
+    pub fn decode(payload: &[u8]) -> Result<RequestFrame, FrameError> {
+        if payload.len() < REQUEST_HEADER {
+            return Err(FrameError::Truncated {
+                needed: REQUEST_HEADER,
+                have: payload.len(),
+            });
+        }
+        let magic: [u8; 4] = payload[0..4].try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        if payload[4] != VERSION {
+            return Err(FrameError::BadVersion(payload[4]));
+        }
+        let flags = payload[5];
+        if flags & !FLAG_MASK != 0 {
+            return Err(FrameError::BadFlags(flags));
+        }
+        let width = payload[6];
+        if !SUPPORTED_WIDTHS.contains(&width) {
+            return Err(FrameError::BadWidth(width));
+        }
+        let deadline_us = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(payload[16..20].try_into().expect("4 bytes")) as usize;
+        let body = &payload[REQUEST_HEADER..];
+        if body.len() != count * usize::from(width) {
+            return Err(FrameError::CountMismatch {
+                declared: count,
+                body_bytes: body.len(),
+            });
+        }
+        Ok(RequestFrame {
+            dir: if flags & FLAG_DESCENDING != 0 {
+                Direction::Descending
+            } else {
+                Direction::Ascending
+            },
+            width,
+            deadline_us,
+            key_bytes: body.to_vec(),
+        })
+    }
+}
+
+/// Reply status codes on the wire.
+mod status {
+    pub const OK: u8 = 0;
+    pub const CLOSED: u8 = 1;
+    pub const TOO_LARGE: u8 = 2;
+    pub const QUEUE_FULL: u8 = 3;
+    pub const QUEUE_OVERFLOW: u8 = 4;
+    pub const DEADLINE_UNMEETABLE: u8 = 5;
+    pub const EXPIRED: u8 = 6;
+    pub const MACHINE_FAILED: u8 = 7;
+    pub const SERVICE_CLOSED: u8 = 8;
+    pub const BAD_FRAME: u8 = 9;
+}
+
+/// One reply frame: the request's outcome, structured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyFrame {
+    /// The sorted keys, in the requested order.
+    Sorted(Vec<u32>),
+    /// Shed at admission; the [`Rejection`] survives the wire with its
+    /// numeric fields and [`Rejection::label`] intact.
+    Rejected(Rejection),
+    /// Admitted but expired in the queue.
+    Expired {
+        /// How long the request waited, microseconds.
+        waited_us: u64,
+        /// The deadline it carried, microseconds.
+        deadline_us: u64,
+    },
+    /// Admitted but its batch failed; the machine's failure message.
+    Failed(String),
+    /// The service shut down before answering.
+    ServiceClosed,
+    /// The request frame itself was malformed; carries the error's
+    /// [`FrameError::code`]. Sent best-effort before disconnecting.
+    BadFrame(u8),
+}
+
+impl ReplyFrame {
+    /// The reply that reports `err` for an admitted request.
+    #[must_use]
+    pub fn from_error(err: &SortError) -> Self {
+        match err {
+            SortError::Expired { waited, deadline } => ReplyFrame::Expired {
+                waited_us: waited.as_micros().min(u128::from(u64::MAX)) as u64,
+                deadline_us: deadline.as_micros().min(u128::from(u64::MAX)) as u64,
+            },
+            SortError::MachineFailed(msg) => ReplyFrame::Failed(msg.clone()),
+            SortError::ServiceClosed => ReplyFrame::ServiceClosed,
+        }
+    }
+
+    /// Stable label naming the reply class — `ok`, a
+    /// [`Rejection::label`], `expired`, `machine_failed`,
+    /// `service_closed`, or `bad_frame`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplyFrame::Sorted(_) => "ok",
+            ReplyFrame::Rejected(r) => r.label(),
+            ReplyFrame::Expired { .. } => "expired",
+            ReplyFrame::Failed(_) => "machine_failed",
+            ReplyFrame::ServiceClosed => "service_closed",
+            ReplyFrame::BadFrame(_) => "bad_frame",
+        }
+    }
+
+    fn status_and_details(&self) -> (u8, u64, u64) {
+        match self {
+            ReplyFrame::Sorted(keys) => (status::OK, keys.len() as u64, 0),
+            ReplyFrame::Rejected(r) => match r {
+                Rejection::Closed => (status::CLOSED, 0, 0),
+                Rejection::TooLarge { keys, limit } => {
+                    (status::TOO_LARGE, *keys as u64, *limit as u64)
+                }
+                Rejection::QueueFull { queued, limit } => {
+                    (status::QUEUE_FULL, *queued as u64, *limit as u64)
+                }
+                Rejection::QueueOverflow { would_hold, limit } => {
+                    (status::QUEUE_OVERFLOW, *would_hold as u64, *limit as u64)
+                }
+                Rejection::DeadlineUnmeetable {
+                    predicted_wait,
+                    deadline,
+                } => (
+                    status::DEADLINE_UNMEETABLE,
+                    predicted_wait.as_micros().min(u128::from(u64::MAX)) as u64,
+                    deadline.as_micros().min(u128::from(u64::MAX)) as u64,
+                ),
+            },
+            ReplyFrame::Expired {
+                waited_us,
+                deadline_us,
+            } => (status::EXPIRED, *waited_us, *deadline_us),
+            ReplyFrame::Failed(msg) => (status::MACHINE_FAILED, msg.len() as u64, 0),
+            ReplyFrame::ServiceClosed => (status::SERVICE_CLOSED, 0, 0),
+            ReplyFrame::BadFrame(code) => (status::BAD_FRAME, u64::from(*code), 0),
+        }
+    }
+
+    /// Encode as a complete frame (length prefix included).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let (status, a, b) = self.status_and_details();
+        let body: Vec<u8> = match self {
+            ReplyFrame::Sorted(keys) => keys.iter().flat_map(|k| k.to_le_bytes()).collect(),
+            ReplyFrame::Failed(msg) => msg.as_bytes().to_vec(),
+            _ => Vec::new(),
+        };
+        let payload = REPLY_HEADER + body.len();
+        let mut out = Vec::with_capacity(LEN_PREFIX + payload);
+        out.extend_from_slice(&(payload as u32).to_le_bytes());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(status);
+        out.push(4); // key width of the sorted body
+        out.push(0); // reserved
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a reply payload (everything after the length prefix).
+    ///
+    /// # Errors
+    /// The [`FrameError`] naming the first malformation found.
+    pub fn decode(payload: &[u8]) -> Result<ReplyFrame, FrameError> {
+        if payload.len() < REPLY_HEADER {
+            return Err(FrameError::Truncated {
+                needed: REPLY_HEADER,
+                have: payload.len(),
+            });
+        }
+        let magic: [u8; 4] = payload[0..4].try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        if payload[4] != VERSION {
+            return Err(FrameError::BadVersion(payload[4]));
+        }
+        let status_code = payload[5];
+        let width = payload[6];
+        let a = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+        let b = u64::from_le_bytes(payload[16..24].try_into().expect("8 bytes"));
+        let body = &payload[REPLY_HEADER..];
+        Ok(match status_code {
+            status::OK => {
+                if width != 4 {
+                    return Err(FrameError::BadWidth(width));
+                }
+                if body.len() != (a as usize) * 4 {
+                    return Err(FrameError::CountMismatch {
+                        declared: a as usize,
+                        body_bytes: body.len(),
+                    });
+                }
+                ReplyFrame::Sorted(
+                    body.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect(),
+                )
+            }
+            status::CLOSED => ReplyFrame::Rejected(Rejection::Closed),
+            status::TOO_LARGE => ReplyFrame::Rejected(Rejection::TooLarge {
+                keys: a as usize,
+                limit: b as usize,
+            }),
+            status::QUEUE_FULL => ReplyFrame::Rejected(Rejection::QueueFull {
+                queued: a as usize,
+                limit: b as usize,
+            }),
+            status::QUEUE_OVERFLOW => ReplyFrame::Rejected(Rejection::QueueOverflow {
+                would_hold: a as usize,
+                limit: b as usize,
+            }),
+            status::DEADLINE_UNMEETABLE => ReplyFrame::Rejected(Rejection::DeadlineUnmeetable {
+                predicted_wait: Duration::from_micros(a),
+                deadline: Duration::from_micros(b),
+            }),
+            status::EXPIRED => ReplyFrame::Expired {
+                waited_us: a,
+                deadline_us: b,
+            },
+            status::MACHINE_FAILED => {
+                if body.len() != a as usize {
+                    return Err(FrameError::CountMismatch {
+                        declared: a as usize,
+                        body_bytes: body.len(),
+                    });
+                }
+                ReplyFrame::Failed(String::from_utf8_lossy(body).into_owned())
+            }
+            status::SERVICE_CLOSED => ReplyFrame::ServiceClosed,
+            status::BAD_FRAME => ReplyFrame::BadFrame(a.min(255) as u8),
+            other => return Err(FrameError::BadStatus(other)),
+        })
+    }
+}
+
+/// Parse one text request line — the stdin frontend's format — into the
+/// *same* [`RequestFrame`] the wire decoder produces, so both frontends
+/// share one validation path (`bitonic-sort serve` delegates here).
+///
+/// Grammar: an optional leading `asc`/`desc` token, an optional
+/// `deadline=<µs>` token, then decimal keys.
+///
+/// # Errors
+/// A description of the first malformed token.
+pub fn parse_text_request(line: &str) -> Result<RequestFrame, String> {
+    let mut dir = Direction::Ascending;
+    let mut deadline_us = 0u64;
+    let mut keys: Vec<u32> = Vec::new();
+    for (i, tok) in line.split_whitespace().enumerate() {
+        match tok {
+            "asc" if i == 0 => dir = Direction::Ascending,
+            "desc" if i == 0 => dir = Direction::Descending,
+            _ => {
+                if let Some(us) = tok.strip_prefix("deadline=") {
+                    deadline_us = us
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad deadline '{tok}': {e}"))?;
+                } else {
+                    keys.push(
+                        tok.parse::<u32>()
+                            .map_err(|e| format!("bad key '{tok}': {e}"))?,
+                    );
+                }
+            }
+        }
+    }
+    let mut frame = RequestFrame::from_u32_keys(&keys, dir, None);
+    frame.deadline_us = deadline_us;
+    // Round-trip through the codec so text requests pass the exact
+    // validation wire requests do (single source of truth).
+    let encoded = frame.encode();
+    RequestFrame::decode(&encoded[LEN_PREFIX..]).map_err(|e| format!("invalid request: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_all_fields() {
+        let frame = RequestFrame::from_u32_keys(
+            &[5, 1, u32::MAX, 0],
+            Direction::Descending,
+            Some(Duration::from_micros(1234)),
+        );
+        let bytes = frame.encode();
+        assert_eq!(
+            u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize,
+            bytes.len() - LEN_PREFIX
+        );
+        let back = RequestFrame::decode(&bytes[LEN_PREFIX..]).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.keys_u32().unwrap(), vec![5, 1, u32::MAX, 0]);
+        assert_eq!(back.deadline(), Some(Duration::from_micros(1234)));
+    }
+
+    #[test]
+    fn empty_request_is_a_valid_frame() {
+        let frame = RequestFrame::from_u32_keys(&[], Direction::Ascending, None);
+        let bytes = frame.encode();
+        let back = RequestFrame::decode(&bytes[LEN_PREFIX..]).unwrap();
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.deadline(), None);
+        assert!(back.into_request().unwrap().keys.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_decode_to_structured_errors() {
+        let good = RequestFrame::from_u32_keys(&[1, 2, 3], Direction::Ascending, None).encode();
+        let payload = &good[LEN_PREFIX..];
+
+        let mut bad_magic = payload.to_vec();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            RequestFrame::decode(&bad_magic),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut bad_version = payload.to_vec();
+        bad_version[4] = 9;
+        assert_eq!(
+            RequestFrame::decode(&bad_version),
+            Err(FrameError::BadVersion(9))
+        );
+
+        let mut bad_flags = payload.to_vec();
+        bad_flags[5] = 0b1000_0010;
+        assert!(matches!(
+            RequestFrame::decode(&bad_flags),
+            Err(FrameError::BadFlags(_))
+        ));
+
+        let mut bad_width = payload.to_vec();
+        bad_width[6] = 3;
+        assert_eq!(
+            RequestFrame::decode(&bad_width),
+            Err(FrameError::BadWidth(3))
+        );
+
+        assert!(matches!(
+            RequestFrame::decode(&payload[..REQUEST_HEADER - 1]),
+            Err(FrameError::Truncated { .. })
+        ));
+        assert!(matches!(
+            RequestFrame::decode(&payload[..payload.len() - 1]),
+            Err(FrameError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_rejection_variant_round_trips_with_its_label() {
+        let variants = [
+            Rejection::Closed,
+            Rejection::TooLarge {
+                keys: 99,
+                limit: 64,
+            },
+            Rejection::QueueFull {
+                queued: 12,
+                limit: 8,
+            },
+            Rejection::QueueOverflow {
+                would_hold: 5000,
+                limit: 4096,
+            },
+            Rejection::DeadlineUnmeetable {
+                predicted_wait: Duration::from_micros(777),
+                deadline: Duration::from_micros(5),
+            },
+        ];
+        for r in variants {
+            let reply = ReplyFrame::Rejected(r.clone());
+            let bytes = reply.encode();
+            let back = ReplyFrame::decode(&bytes[LEN_PREFIX..]).unwrap();
+            assert_eq!(back, ReplyFrame::Rejected(r.clone()));
+            assert_eq!(back.label(), r.label());
+        }
+    }
+
+    #[test]
+    fn sorted_failed_and_error_replies_round_trip() {
+        for reply in [
+            ReplyFrame::Sorted(vec![1, 2, 3, u32::MAX]),
+            ReplyFrame::Sorted(vec![]),
+            ReplyFrame::Expired {
+                waited_us: 1000,
+                deadline_us: 500,
+            },
+            ReplyFrame::Failed("rank 2 stalled".into()),
+            ReplyFrame::ServiceClosed,
+            ReplyFrame::BadFrame(FrameError::BadMagic(*b"nope").code()),
+        ] {
+            let bytes = reply.encode();
+            let back = ReplyFrame::decode(&bytes[LEN_PREFIX..]).unwrap();
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn text_parsing_shares_the_wire_validation_path() {
+        let frame = parse_text_request("desc 9 3 7").unwrap();
+        assert_eq!(frame.dir, Direction::Descending);
+        assert_eq!(frame.keys_u32().unwrap(), vec![9, 3, 7]);
+        let frame = parse_text_request("deadline=250 1 2").unwrap();
+        assert_eq!(frame.deadline(), Some(Duration::from_micros(250)));
+        assert!(parse_text_request("1 2 nope").is_err());
+        assert!(parse_text_request("deadline=abc 1").is_err());
+        // A mid-line 'asc' is a malformed key, exactly as before.
+        assert!(parse_text_request("1 asc 2").is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! The TCP wire frontend: `SORT_1` frames over real sockets.
+//!
+//! Everything before this module drives the service in-process; here the
+//! request path grows a byte-exact boundary. The frame codec defines the
+//! length-prefixed `SORT_1` wire format (requests, structured replies,
+//! and [`FrameError`]s — decoding never panics), [`WireServer`] serves it
+//! on a `std::net::TcpListener` with per-connection reader threads whose
+//! stalls become structured [`Disconnect`]s, [`WireClient`] is the blocking
+//! loopback client `experiments bench7` and the conformance suite use,
+//! and [`chaos`] injects deterministic connection faults (half-open,
+//! slow-loris, mid-frame cuts, malformed frames) from a seed.
+//!
+//! The text frontend (`bitonic-sort serve`) shares this module's
+//! validation path: [`parse_text_request`] round-trips every stdin line
+//! through the same codec the socket uses, so there is one source of
+//! truth for what a well-formed request is.
+
+pub mod chaos;
+mod client;
+mod frame;
+mod server;
+
+pub use client::{WireClient, WireError};
+pub use frame::{
+    parse_text_request, FrameError, ReplyFrame, RequestFrame, LEN_PREFIX, MAGIC, REPLY_HEADER,
+    REQUEST_HEADER, SUPPORTED_WIDTHS, VERSION,
+};
+pub use server::{
+    Disconnect, WireConfig, WireReport, WireServer, WireStats, DISCONNECT_LABELS, REJECTION_LABELS,
+};

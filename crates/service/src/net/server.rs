@@ -1,0 +1,678 @@
+//! The TCP wire frontend: [`WireServer`] serves `SORT_1` frames on a
+//! `std::net::TcpListener` with one reader thread per connection.
+//!
+//! Each connection is handled serially — read one frame, submit it
+//! through the owning [`SortService`]'s admission gate, wait for the
+//! ticket, write one reply — so reply ordering per connection is
+//! trivially the request order; concurrency comes from connections, not
+//! from pipelining. Backpressure is exactly the admission gate's: a shed
+//! becomes a structured [`crate::Rejection`] reply on the wire and the
+//! connection stays open.
+//!
+//! Stalls become structured [`Disconnect`]s via per-connection
+//! deadlines. Reads poll on [`WireConfig::poll_tick`] so a blocked
+//! `read` is really a timer: a connection that sends *no* byte of a new
+//! frame within [`WireConfig::idle_timeout`] is dropped as
+//! [`Disconnect::IdleTimeout`] (the half-open case), one that starts a
+//! frame but does not finish it within [`WireConfig::read_timeout`] of
+//! its first byte is dropped as [`Disconnect::ReadStall`] (the
+//! slow-loris case), and a reply the peer will not drain within
+//! [`WireConfig::write_timeout`] is [`Disconnect::WriteStall`].
+//! Malformed frames get a best-effort `bad_frame` reply echoing the
+//! [`FrameError::code`], then [`Disconnect::BadFrame`].
+//!
+//! Every event is counted twice on purpose: in the lock-guarded
+//! [`WireStats`] snapshot (exact, test-facing) and — when the service
+//! has metrics on — in wire counters registered in the *same* registry
+//! as [`crate::ServiceMetrics`], so `--check` runs reconcile wire
+//! totals against `ServiceStats` and the registry in one snapshot.
+
+use crate::admission::Rejection;
+use crate::config::ServiceConfig;
+use crate::metrics::{ServiceMetrics, WireMetrics};
+use crate::net::frame::{FrameError, ReplyFrame, RequestFrame, LEN_PREFIX};
+use crate::server::{ServiceReport, ServiceStats, SortService};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs of the wire frontend (the service itself is configured by
+/// [`ServiceConfig`]).
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Largest frame payload a peer may declare; larger declarations are
+    /// answered `bad_frame` (oversized) and disconnected.
+    pub max_frame_bytes: usize,
+    /// Drop a connection that sends no byte of a new frame for this
+    /// long (detects half-open peers).
+    pub idle_timeout: Duration,
+    /// Drop a connection whose started frame is still incomplete this
+    /// long after its first byte (defeats slow-loris writers).
+    pub read_timeout: Duration,
+    /// Drop a connection that will not drain a reply within this budget.
+    pub write_timeout: Duration,
+    /// Socket poll granularity; stall checks run on this tick.
+    pub poll_tick: Duration,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            max_frame_bytes: 1 << 22,
+            idle_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            poll_tick: Duration::from_millis(20),
+        }
+    }
+}
+
+impl WireConfig {
+    /// A config with tight stall deadlines, for fault-conformance tests
+    /// that want idle/stall classification in milliseconds, not seconds.
+    #[must_use]
+    pub fn fast_faults() -> Self {
+        WireConfig {
+            idle_timeout: Duration::from_millis(150),
+            read_timeout: Duration::from_millis(150),
+            write_timeout: Duration::from_millis(300),
+            poll_tick: Duration::from_millis(5),
+            ..WireConfig::default()
+        }
+    }
+}
+
+/// Why the server closed one connection. Every connection ends in
+/// exactly one of these; [`WireStats::disconnects`] tallies them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disconnect {
+    /// The peer closed cleanly between frames.
+    CleanEof,
+    /// The peer vanished (EOF or reset) in the middle of a frame.
+    MidFrameEof,
+    /// No byte of a new frame arrived within the idle window — the
+    /// half-open / silent-peer case.
+    IdleTimeout,
+    /// A frame was started but not completed within the read budget —
+    /// the slow-loris case.
+    ReadStall,
+    /// The peer would not drain a reply within the write budget.
+    WriteStall,
+    /// The peer sent a malformed frame; a `bad_frame` reply was
+    /// attempted first.
+    BadFrame(FrameError),
+    /// The server shut down while the connection was open.
+    ServerClosed,
+}
+
+/// Disconnect-reason labels, in [`WireStats::disconnects`] index order.
+pub const DISCONNECT_LABELS: [&str; 7] = [
+    "clean_eof",
+    "mid_frame_eof",
+    "idle_timeout",
+    "read_stall",
+    "write_stall",
+    "bad_frame",
+    "server_closed",
+];
+
+/// Rejection-reason labels, in [`WireStats::rejections`] index order
+/// (the same order `ClassMetrics` registers shed-reason counters).
+pub const REJECTION_LABELS: [&str; 5] = [
+    "closed",
+    "too_large",
+    "queue_full",
+    "queue_overflow",
+    "deadline_unmeetable",
+];
+
+impl Disconnect {
+    fn idx(&self) -> usize {
+        match self {
+            Disconnect::CleanEof => 0,
+            Disconnect::MidFrameEof => 1,
+            Disconnect::IdleTimeout => 2,
+            Disconnect::ReadStall => 3,
+            Disconnect::WriteStall => 4,
+            Disconnect::BadFrame(_) => 5,
+            Disconnect::ServerClosed => 6,
+        }
+    }
+
+    /// Stable label naming the reason — the `reason` label on
+    /// `bitonic_wire_disconnects_total`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        DISCONNECT_LABELS[self.idx()]
+    }
+}
+
+fn rejection_idx(r: &Rejection) -> usize {
+    match r {
+        Rejection::Closed => 0,
+        Rejection::TooLarge { .. } => 1,
+        Rejection::QueueFull { .. } => 2,
+        Rejection::QueueOverflow { .. } => 3,
+        Rejection::DeadlineUnmeetable { .. } => 4,
+    }
+}
+
+/// Exact wire-side counters, snapshot via [`WireServer::wire_stats`].
+///
+/// The reconciliation contract (asserted by `tests/wire.rs` and
+/// `experiments bench7 --check`): when every request reaches the service
+/// through the wire, `frames_read == ServiceStats::submitted`,
+/// `replies_ok == completed`, `expired`/`failed` match, and
+/// `rejections[i]` equals the registry's
+/// `bitonic_requests_shed_total{reason=REJECTION_LABELS[i]}`.
+#[derive(Debug, Clone, Default)]
+pub struct WireStats {
+    /// Connections accepted.
+    pub connections_opened: u64,
+    /// Connections fully closed (handler exited).
+    pub connections_closed: u64,
+    /// Well-formed width-4 request frames accepted for submission.
+    pub frames_read: u64,
+    /// Bytes read off all sockets.
+    pub bytes_read: u64,
+    /// Bytes written to all sockets.
+    pub bytes_written: u64,
+    /// `ok` replies (sorted keys) formed.
+    pub replies_ok: u64,
+    /// `expired` replies formed.
+    pub expired: u64,
+    /// `machine_failed` replies formed.
+    pub failed: u64,
+    /// `service_closed` replies formed.
+    pub closed_replies: u64,
+    /// Rejection replies formed, indexed by [`REJECTION_LABELS`].
+    pub rejections: [u64; 5],
+    /// Malformed frames seen (by any [`FrameError`]).
+    pub frame_errors: u64,
+    /// Connection closes, indexed by [`DISCONNECT_LABELS`].
+    pub disconnects: [u64; 7],
+}
+
+impl WireStats {
+    /// Rejection replies across all reasons.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.rejections.iter().sum()
+    }
+
+    /// Rejection replies for one [`Rejection::label`].
+    #[must_use]
+    pub fn rejection(&self, label: &str) -> u64 {
+        REJECTION_LABELS
+            .iter()
+            .position(|l| *l == label)
+            .map_or(0, |i| self.rejections[i])
+    }
+
+    /// Disconnects for one [`Disconnect::label`].
+    #[must_use]
+    pub fn disconnect(&self, label: &str) -> u64 {
+        DISCONNECT_LABELS
+            .iter()
+            .position(|l| *l == label)
+            .map_or(0, |i| self.disconnects[i])
+    }
+
+    /// Total connection closes across all reasons.
+    #[must_use]
+    pub fn disconnects_total(&self) -> u64 {
+        self.disconnects.iter().sum()
+    }
+}
+
+/// What a finished wire server hands back.
+#[derive(Debug)]
+pub struct WireReport {
+    /// Final wire-side counters.
+    pub wire: WireStats,
+    /// The inner service's final report.
+    pub service: ServiceReport,
+}
+
+struct WireShared {
+    cfg: WireConfig,
+    stats: Mutex<WireStats>,
+    conns: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    shutdown: AtomicBool,
+    metrics: Option<WireMetrics>,
+}
+
+impl WireShared {
+    fn note_bytes_read(&self, n: u64) {
+        self.stats.lock().expect("wire stats").bytes_read += n;
+        if let Some(m) = &self.metrics {
+            m.bytes_read_total.add(n);
+        }
+    }
+
+    fn note_bytes_written(&self, n: u64) {
+        self.stats.lock().expect("wire stats").bytes_written += n;
+        if let Some(m) = &self.metrics {
+            m.bytes_written_total.add(n);
+        }
+    }
+
+    fn note_frame(&self) {
+        self.stats.lock().expect("wire stats").frames_read += 1;
+        if let Some(m) = &self.metrics {
+            m.frames_total.inc();
+        }
+    }
+
+    fn note_frame_error(&self, e: &FrameError) {
+        self.stats.lock().expect("wire stats").frame_errors += 1;
+        if let Some(m) = &self.metrics {
+            m.record_frame_error(e.label());
+        }
+    }
+
+    fn note_reply(&self, reply: &ReplyFrame) {
+        {
+            let mut s = self.stats.lock().expect("wire stats");
+            match reply {
+                ReplyFrame::Sorted(_) => s.replies_ok += 1,
+                ReplyFrame::Rejected(r) => s.rejections[rejection_idx(r)] += 1,
+                ReplyFrame::Expired { .. } => s.expired += 1,
+                ReplyFrame::Failed(_) => s.failed += 1,
+                ReplyFrame::ServiceClosed => s.closed_replies += 1,
+                ReplyFrame::BadFrame(_) => {}
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.record_reply(reply.label(), matches!(reply, ReplyFrame::Rejected(_)));
+        }
+    }
+
+    fn note_conn_opened(&self) {
+        self.stats.lock().expect("wire stats").connections_opened += 1;
+        if let Some(m) = &self.metrics {
+            m.connections_total.inc();
+            m.connections.add(1.0);
+        }
+    }
+
+    fn note_conn_closed(&self, why: &Disconnect) {
+        {
+            let mut s = self.stats.lock().expect("wire stats");
+            s.connections_closed += 1;
+            s.disconnects[why.idx()] += 1;
+        }
+        if let Some(m) = &self.metrics {
+            m.connections.add(-1.0);
+            m.record_disconnect(why.label());
+        }
+    }
+}
+
+/// A running TCP frontend: a [`SortService`] behind a listener.
+///
+/// Start with [`WireServer::start`], read the bound address with
+/// [`WireServer::local_addr`] (bind to port 0 for loopback tests), and
+/// finish with [`WireServer::shutdown`] for the final [`WireReport`].
+pub struct WireServer {
+    service: Option<Arc<SortService>>,
+    shared: Arc<WireShared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WireServer {
+    /// Bind `addr`, boot the service, and start accepting connections.
+    ///
+    /// # Errors
+    /// The bind error, when the address is unusable.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`ServiceConfig::validate`].
+    pub fn start(config: ServiceConfig, wire: WireConfig, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let service = Arc::new(SortService::start(config));
+        let metrics = service.metrics().map(|m| m.wire_handles());
+        let shared = Arc::new(WireShared {
+            cfg: wire,
+            stats: Mutex::new(WireStats::default()),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            metrics,
+        });
+        let accept_service = Arc::clone(&service);
+        let accept_shared = Arc::clone(&shared);
+        let accept =
+            std::thread::spawn(move || accept_loop(&listener, &accept_service, &accept_shared));
+        Ok(WireServer {
+            service: Some(service),
+            shared,
+            addr: local,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the wire-side counters.
+    #[must_use]
+    pub fn wire_stats(&self) -> WireStats {
+        self.shared.stats.lock().expect("wire stats").clone()
+    }
+
+    /// Snapshot of the inner service's counters.
+    #[must_use]
+    pub fn service_stats(&self) -> ServiceStats {
+        self.service.as_ref().expect("service running").stats()
+    }
+
+    /// The inner service's metrics plane, when enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<Arc<ServiceMetrics>> {
+        self.service.as_ref().and_then(|s| s.metrics())
+    }
+
+    /// Stop accepting, drop open connections (as
+    /// [`Disconnect::ServerClosed`]), drain the service, and report.
+    ///
+    /// # Panics
+    /// Panics if the server was already stopped (cannot happen through
+    /// the public API, which consumes `self`).
+    #[must_use]
+    pub fn shutdown(mut self) -> WireReport {
+        self.stop().expect("server not yet stopped")
+    }
+
+    fn stop(&mut self) -> Option<WireReport> {
+        let service = self.service.take()?;
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection, then force every
+        // open connection's reader off its socket.
+        let _ = TcpStream::connect(self.addr);
+        for s in self.shared.conns.lock().expect("conn list").drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handlers: Vec<_> = self
+            .shared
+            .handlers
+            .lock()
+            .expect("handler list")
+            .drain(..)
+            .collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        let service = Arc::try_unwrap(service).expect("all connection handlers joined");
+        let report = service.shutdown();
+        Some(WireReport {
+            wire: self.shared.stats.lock().expect("wire stats").clone(),
+            service: report,
+        })
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<SortService>, shared: &Arc<WireShared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.note_conn_opened();
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conn list").push(clone);
+        }
+        let service = Arc::clone(service);
+        let shared_for_conn = Arc::clone(shared);
+        let handle = std::thread::spawn(move || handle_conn(stream, &service, &shared_for_conn));
+        shared.handlers.lock().expect("handler list").push(handle);
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, service: &SortService, shared: &WireShared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_tick));
+    let _ = stream.set_write_timeout(Some(shared.cfg.poll_tick));
+    let why = serve_conn(&mut stream, service, shared);
+    let _ = stream.shutdown(Shutdown::Both);
+    shared.note_conn_closed(&why);
+}
+
+/// Serve one connection until it ends; returns how it ended.
+fn serve_conn(stream: &mut TcpStream, service: &SortService, shared: &WireShared) -> Disconnect {
+    loop {
+        let payload = match read_frame(stream, shared) {
+            Ok(p) => p,
+            Err(why) => {
+                if let Disconnect::BadFrame(e) = &why {
+                    shared.note_frame_error(e);
+                    let _ = write_reply(stream, &ReplyFrame::BadFrame(e.code()), shared);
+                }
+                return why;
+            }
+        };
+        let request = match RequestFrame::decode(&payload).and_then(RequestFrame::into_request) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.note_frame_error(&e);
+                let _ = write_reply(stream, &ReplyFrame::BadFrame(e.code()), shared);
+                return Disconnect::BadFrame(e);
+            }
+        };
+        shared.note_frame();
+        let reply = match service.submit(request) {
+            Ok(ticket) => match ticket.wait() {
+                Ok(keys) => ReplyFrame::Sorted(keys),
+                Err(err) => ReplyFrame::from_error(&err),
+            },
+            Err(rejection) => ReplyFrame::Rejected(rejection),
+        };
+        shared.note_reply(&reply);
+        if let Err(why) = write_reply(stream, &reply, shared) {
+            return why;
+        }
+    }
+}
+
+/// Read one length-prefixed frame payload, classifying every way the
+/// read can end early.
+fn read_frame(stream: &mut TcpStream, shared: &WireShared) -> Result<Vec<u8>, Disconnect> {
+    let idle_from = Instant::now();
+    let mut first_byte: Option<Instant> = None;
+    let mut prefix = [0u8; LEN_PREFIX];
+    fill(stream, &mut prefix, shared, idle_from, &mut first_byte)?;
+    let declared = u32::from_le_bytes(prefix) as usize;
+    if declared > shared.cfg.max_frame_bytes {
+        return Err(Disconnect::BadFrame(FrameError::Oversized {
+            declared,
+            limit: shared.cfg.max_frame_bytes,
+        }));
+    }
+    let mut payload = vec![0u8; declared];
+    fill(stream, &mut payload, shared, idle_from, &mut first_byte)?;
+    Ok(payload)
+}
+
+/// Read exactly `buf.len()` bytes on the poll tick, converting EOFs and
+/// stalls into [`Disconnect`]s. `first_byte` spans the whole frame, so a
+/// slow-loris peer cannot reset the budget by trickling bytes.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &WireShared,
+    idle_from: Instant,
+    first_byte: &mut Option<Instant>,
+) -> Result<(), Disconnect> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(Disconnect::ServerClosed);
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                // An EOF raced the shutdown flag: the close is ours, not
+                // the peer's.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Err(Disconnect::ServerClosed);
+                }
+                return Err(if first_byte.is_none() {
+                    Disconnect::CleanEof
+                } else {
+                    Disconnect::MidFrameEof
+                });
+            }
+            Ok(n) => {
+                got += n;
+                first_byte.get_or_insert_with(Instant::now);
+                shared.note_bytes_read(n as u64);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                match first_byte {
+                    None => {
+                        if idle_from.elapsed() >= shared.cfg.idle_timeout {
+                            return Err(Disconnect::IdleTimeout);
+                        }
+                    }
+                    Some(t) => {
+                        if t.elapsed() >= shared.cfg.read_timeout {
+                            return Err(Disconnect::ReadStall);
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Err(Disconnect::ServerClosed);
+                }
+                // Reset / aborted: the peer vanished.
+                return Err(if first_byte.is_none() {
+                    Disconnect::CleanEof
+                } else {
+                    Disconnect::MidFrameEof
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write one encoded reply on the poll tick under the write budget.
+fn write_reply(
+    stream: &mut TcpStream,
+    reply: &ReplyFrame,
+    shared: &WireShared,
+) -> Result<(), Disconnect> {
+    let bytes = reply.encode();
+    let started = Instant::now();
+    let mut sent = 0usize;
+    while sent < bytes.len() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(Disconnect::ServerClosed);
+        }
+        match stream.write(&bytes[sent..]) {
+            Ok(0) => return Err(Disconnect::MidFrameEof),
+            Ok(n) => {
+                sent += n;
+                shared.note_bytes_written(n as u64);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if started.elapsed() >= shared.cfg.write_timeout {
+                    return Err(Disconnect::WriteStall);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(Disconnect::MidFrameEof),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::WireClient;
+    use bitonic_network::Direction;
+
+    fn server() -> WireServer {
+        let mut cfg = ServiceConfig::new(2);
+        cfg.batch_watchdog = Some(Duration::from_millis(500));
+        WireServer::start(cfg, WireConfig::default(), "127.0.0.1:0").expect("bind loopback")
+    }
+
+    #[test]
+    fn loopback_round_trip_reconciles_wire_and_service_stats() {
+        let srv = server();
+        let mut client = WireClient::connect(srv.local_addr()).unwrap();
+        let reply = client
+            .sort(&[5, 1, 9, 1], Direction::Ascending, None)
+            .unwrap();
+        assert_eq!(reply, ReplyFrame::Sorted(vec![1, 1, 5, 9]));
+        let reply = client.sort(&[3, 8], Direction::Descending, None).unwrap();
+        assert_eq!(reply, ReplyFrame::Sorted(vec![8, 3]));
+        drop(client);
+        // Second connection: the empty sort is a valid frame.
+        let mut other = WireClient::connect(srv.local_addr()).unwrap();
+        let reply = other.sort(&[], Direction::Ascending, None).unwrap();
+        assert_eq!(reply, ReplyFrame::Sorted(vec![]));
+        drop(other);
+        let report = srv.shutdown();
+        assert_eq!(report.wire.frames_read, 3);
+        assert_eq!(report.wire.replies_ok, 3);
+        assert_eq!(
+            report.wire.connections_opened,
+            report.wire.connections_closed
+        );
+        assert_eq!(report.wire.frames_read, report.service.stats.submitted);
+        assert_eq!(report.wire.replies_ok, report.service.stats.completed);
+    }
+
+    #[test]
+    fn malformed_frame_gets_a_bad_frame_reply_then_disconnect() {
+        let srv = server();
+        let mut client = WireClient::connect(srv.local_addr()).unwrap();
+        let mut junk = Vec::new();
+        junk.extend_from_slice(&24u32.to_le_bytes());
+        junk.extend_from_slice(&[0xAB; 24]);
+        client.send_raw(&junk).unwrap();
+        client
+            .set_reply_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let reply = client.read_reply().unwrap();
+        assert_eq!(
+            reply,
+            ReplyFrame::BadFrame(FrameError::BadMagic([0xAB; 4]).code())
+        );
+        drop(client);
+        let report = srv.shutdown();
+        assert_eq!(report.wire.frame_errors, 1);
+        assert_eq!(report.wire.disconnect("bad_frame"), 1);
+        assert_eq!(report.service.stats.submitted, 0);
+    }
+}

@@ -1,0 +1,595 @@
+//! Wire-protocol conformance suite for the TCP frontend.
+//!
+//! Four layers, bottom-up:
+//!
+//! 1. the `SORT_1` frame codec — property-tested round-trips over every
+//!    supported key width, direction, deadline, and length (including
+//!    the empty sort and n < P), plus a fuzz corpus of truncated,
+//!    oversized, bad-magic, and otherwise malformed frames that must
+//!    yield structured [`FrameError`]s, never panics;
+//! 2. structured replies — every [`Rejection`] variant survives a real
+//!    socket with its numeric fields and `label()` intact, and live
+//!    rejections reconcile counter-for-counter with the service's
+//!    shed-reason metrics;
+//! 3. deadline propagation — a deadline set on a frame reaches the
+//!    admission gate and the queue on the far side of the socket;
+//! 4. connection faults — half-open peers, slow-loris writers, mid-frame
+//!    disconnects, and malformed-frame floods each close with the
+//!    expected structured [`Disconnect`] reason while the pool keeps
+//!    serving healthy connections, and a seeded fault plan replays to
+//!    identical per-reason disconnect tallies on a fresh server.
+
+use bitonic_network::Direction;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use sort_service::net::chaos::{self, ConnFault};
+use sort_service::net::{
+    parse_text_request, FrameError, ReplyFrame, RequestFrame, WireClient, WireConfig, WireServer,
+    DISCONNECT_LABELS, LEN_PREFIX, REJECTION_LABELS, REQUEST_HEADER, SUPPORTED_WIDTHS, VERSION,
+};
+use sort_service::{Rejection, ServiceConfig};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// The service behind every live-socket test: two ranks, one warm
+/// machine, metrics on (the default) so registry reconciliation is
+/// exercised everywhere.
+fn service_config() -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(2);
+    cfg.batch_watchdog = Some(Duration::from_millis(500));
+    cfg.validate();
+    cfg
+}
+
+fn server(wire: WireConfig) -> WireServer {
+    WireServer::start(service_config(), wire, "127.0.0.1:0").expect("bind loopback")
+}
+
+/// Poll `done` until it holds or `patience` runs out; returns whether it
+/// held. Used to wait for the server side to finish accounting a close.
+fn wait_until(patience: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < patience {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    done()
+}
+
+fn sorted(keys: &[u32], dir: Direction) -> Vec<u32> {
+    let mut out = keys.to_vec();
+    out.sort_unstable();
+    if dir == Direction::Descending {
+        out.reverse();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// 1. Frame codec: property round-trips and the malformed-frame corpus.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Request frames round-trip over every supported width: the raw
+    /// key bytes, width, direction, and deadline all survive
+    /// encode→decode bit-for-bit.
+    #[test]
+    fn request_frames_round_trip_every_width(
+        wi in 0usize..SUPPORTED_WIDTHS.len(),
+        desc: bool,
+        deadline_us: u64,
+        bytes in pvec(any::<u8>(), 0..256),
+    ) {
+        let width = SUPPORTED_WIDTHS[wi];
+        let w = usize::from(width);
+        let mut key_bytes = bytes;
+        key_bytes.truncate(key_bytes.len() / w * w);
+        let frame = RequestFrame {
+            dir: if desc { Direction::Descending } else { Direction::Ascending },
+            width,
+            deadline_us,
+            key_bytes,
+        };
+        let encoded = frame.encode();
+        prop_assert_eq!(encoded.len(), LEN_PREFIX + REQUEST_HEADER + frame.key_bytes.len());
+        let back = RequestFrame::decode(&encoded[LEN_PREFIX..]).expect("round trip");
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(back.count(), frame.key_bytes.len() / w);
+    }
+
+    /// The width-4 path the server actually sorts: keys, direction, and
+    /// deadline survive the codec and convert losslessly into the
+    /// service's `SortRequest` — including n = 0 and n < P.
+    #[test]
+    fn width4_frames_reach_the_service_intact(
+        keys in pvec(any::<u32>(), 0..130),
+        desc: bool,
+        deadline_us in 0u64..10_000_000,
+    ) {
+        let dir = if desc { Direction::Descending } else { Direction::Ascending };
+        let deadline = (deadline_us > 0).then(|| Duration::from_micros(deadline_us));
+        let frame = RequestFrame::from_u32_keys(&keys, dir, deadline);
+        let back = RequestFrame::decode(&frame.encode()[LEN_PREFIX..]).expect("round trip");
+        prop_assert_eq!(back.keys_u32().expect("width 4"), keys.clone());
+        prop_assert_eq!(back.deadline(), deadline);
+        let req = back.into_request().expect("width 4 converts");
+        prop_assert_eq!(req.keys, keys);
+        prop_assert_eq!(req.dir, dir);
+        prop_assert_eq!(req.deadline, deadline);
+    }
+
+    /// Sorted replies round-trip with every key intact.
+    #[test]
+    fn sorted_replies_round_trip(keys in pvec(any::<u32>(), 0..200)) {
+        let reply = ReplyFrame::Sorted(keys);
+        let back = ReplyFrame::decode(&reply.encode()[LEN_PREFIX..]).expect("round trip");
+        prop_assert_eq!(back, reply);
+    }
+
+    /// Decoding arbitrary bytes — request or reply — returns a
+    /// structured error or a frame; it must never panic, and every
+    /// error's code↔label mapping is self-consistent.
+    #[test]
+    fn decoding_fuzz_never_panics(payload in pvec(any::<u8>(), 0..200)) {
+        if let Err(e) = RequestFrame::decode(&payload) {
+            prop_assert_eq!(FrameError::label_of_code(e.code()), e.label());
+        }
+        if let Err(e) = ReplyFrame::decode(&payload) {
+            prop_assert_eq!(FrameError::label_of_code(e.code()), e.label());
+        }
+    }
+}
+
+/// Hand-built malformed frames classify as the *specific* structured
+/// error a conforming peer can act on.
+#[test]
+fn malformed_frame_corpus_yields_structured_errors() {
+    let valid = RequestFrame::from_u32_keys(&[3, 1, 2], Direction::Ascending, None).encode();
+    let payload = &valid[LEN_PREFIX..];
+
+    assert!(matches!(
+        RequestFrame::decode(&[]),
+        Err(FrameError::Truncated { have: 0, .. })
+    ));
+    assert!(matches!(
+        RequestFrame::decode(&payload[..REQUEST_HEADER - 1]),
+        Err(FrameError::Truncated { .. })
+    ));
+
+    let mut bad_magic = payload.to_vec();
+    bad_magic[0] = b'X';
+    assert!(matches!(
+        RequestFrame::decode(&bad_magic),
+        Err(FrameError::BadMagic(_))
+    ));
+
+    let mut bad_version = payload.to_vec();
+    bad_version[4] = VERSION + 9;
+    assert_eq!(
+        RequestFrame::decode(&bad_version),
+        Err(FrameError::BadVersion(VERSION + 9))
+    );
+
+    let mut bad_flags = payload.to_vec();
+    bad_flags[5] = 0xF0;
+    assert_eq!(
+        RequestFrame::decode(&bad_flags),
+        Err(FrameError::BadFlags(0xF0))
+    );
+
+    let mut bad_width = payload.to_vec();
+    bad_width[6] = 3;
+    assert_eq!(
+        RequestFrame::decode(&bad_width),
+        Err(FrameError::BadWidth(3))
+    );
+
+    // Declared count disagrees with the body length in both directions.
+    let mut short_body = payload.to_vec();
+    short_body.truncate(payload.len() - 4);
+    assert!(matches!(
+        RequestFrame::decode(&short_body),
+        Err(FrameError::CountMismatch { declared: 3, .. })
+    ));
+    let mut long_body = payload.to_vec();
+    long_body.extend_from_slice(&[0; 4]);
+    assert!(matches!(
+        RequestFrame::decode(&long_body),
+        Err(FrameError::CountMismatch { declared: 3, .. })
+    ));
+
+    let mut bad_status = ReplyFrame::ServiceClosed.encode()[LEN_PREFIX..].to_vec();
+    bad_status[5] = 77;
+    assert_eq!(
+        ReplyFrame::decode(&bad_status),
+        Err(FrameError::BadStatus(77))
+    );
+}
+
+/// The stdin frontend's text format parses into the same frame the wire
+/// carries: one validation path for both frontends.
+#[test]
+fn text_requests_and_wire_frames_share_one_parse() {
+    let frame = parse_text_request("desc deadline=2500 5 1 9").expect("parses");
+    assert_eq!(frame.dir, Direction::Descending);
+    assert_eq!(frame.deadline(), Some(Duration::from_micros(2500)));
+    assert_eq!(frame.keys_u32().expect("width 4"), vec![5, 1, 9]);
+    let back = RequestFrame::decode(&frame.encode()[LEN_PREFIX..]).expect("round trip");
+    let req = back.into_request().expect("width 4");
+    assert_eq!(req.deadline, Some(Duration::from_micros(2500)));
+    assert_eq!(req.keys, vec![5, 1, 9]);
+
+    assert!(
+        parse_text_request("1 asc 2").is_err(),
+        "direction must lead"
+    );
+    assert!(parse_text_request("asc deadline=x 1").is_err());
+}
+
+// ---------------------------------------------------------------------
+// 2. Structured replies over a real socket.
+// ---------------------------------------------------------------------
+
+/// Every reply variant — all five rejections included — survives a real
+/// TCP hop with its numeric fields and `label()` intact.
+#[test]
+fn every_reply_variant_round_trips_over_a_socket() {
+    let replies = vec![
+        ReplyFrame::Sorted(vec![1, 2, 3, u32::MAX]),
+        ReplyFrame::Rejected(Rejection::Closed),
+        ReplyFrame::Rejected(Rejection::TooLarge {
+            keys: 90_000,
+            limit: 16_384,
+        }),
+        ReplyFrame::Rejected(Rejection::QueueFull {
+            queued: 4096,
+            limit: 4096,
+        }),
+        ReplyFrame::Rejected(Rejection::QueueOverflow {
+            would_hold: 1 << 21,
+            limit: 1 << 20,
+        }),
+        ReplyFrame::Rejected(Rejection::DeadlineUnmeetable {
+            predicted_wait: Duration::from_micros(1234),
+            deadline: Duration::from_micros(100),
+        }),
+        ReplyFrame::Expired {
+            waited_us: 777,
+            deadline_us: 500,
+        },
+        ReplyFrame::Failed("rank 1 wedged".into()),
+        ReplyFrame::ServiceClosed,
+        ReplyFrame::BadFrame(FrameError::BadWidth(3).code()),
+    ];
+    let expected_labels = [
+        "ok",
+        "closed",
+        "too_large",
+        "queue_full",
+        "queue_overflow",
+        "deadline_unmeetable",
+        "expired",
+        "machine_failed",
+        "service_closed",
+        "bad_frame",
+    ];
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let to_send = replies.clone();
+    let writer = std::thread::spawn(move || {
+        let (mut peer, _) = listener.accept().expect("accept");
+        use std::io::Write;
+        for reply in &to_send {
+            peer.write_all(&reply.encode()).expect("write reply");
+        }
+    });
+
+    let mut client = WireClient::connect(addr).expect("connect");
+    for (reply, label) in replies.iter().zip(expected_labels) {
+        let got = client.read_reply().expect("read reply");
+        assert_eq!(&got, reply);
+        assert_eq!(got.label(), label);
+    }
+    writer.join().expect("writer");
+}
+
+/// Live rejections: oversized requests are shed as `too_large` on the
+/// wire, the connection stays open, and the per-reason wire counters
+/// match the service's shed-reason metrics exactly — for every reason,
+/// zeros included.
+#[test]
+fn live_rejections_reconcile_with_shed_reason_counters() {
+    let cfg = service_config();
+    let srv = server(WireConfig::default());
+    let mut client = WireClient::connect(srv.local_addr()).expect("connect");
+
+    let huge = vec![7u32; cfg.max_request_keys + 1];
+    for _ in 0..3 {
+        match client
+            .sort(&huge, Direction::Ascending, None)
+            .expect("reply")
+        {
+            ReplyFrame::Rejected(Rejection::TooLarge { keys, limit }) => {
+                assert_eq!(keys, huge.len());
+                assert_eq!(limit, cfg.max_request_keys);
+            }
+            other => panic!("expected too_large, got {other:?}"),
+        }
+    }
+    // The connection survived three rejections: a normal sort still works.
+    let keys = [9u32, 4, 6, 1, 8];
+    match client
+        .sort(&keys, Direction::Descending, None)
+        .expect("reply")
+    {
+        ReplyFrame::Sorted(out) => assert_eq!(out, sorted(&keys, Direction::Descending)),
+        other => panic!("expected sorted keys, got {other:?}"),
+    }
+    drop(client);
+    assert!(wait_until(Duration::from_secs(5), || {
+        let w = srv.wire_stats();
+        w.connections_closed == w.connections_opened
+    }));
+
+    let metrics = srv.metrics().expect("metrics on");
+    let snap = metrics.snapshot();
+    let report = srv.shutdown();
+    let wire = report.wire;
+    let stats = report.service.stats;
+
+    assert_eq!(wire.rejection("too_large"), 3);
+    assert_eq!(wire.rejected_total(), 3);
+    assert_eq!(stats.shed, 3);
+    assert_eq!(wire.frames_read, stats.submitted);
+    assert_eq!(wire.replies_ok, stats.completed);
+    for reason in REJECTION_LABELS {
+        let on_wire = snap.counter_labeled("bitonic_wire_rejections_total", "reason", reason);
+        let shed = snap.counter_labeled("bitonic_requests_shed_total", "reason", reason);
+        assert_eq!(on_wire, shed, "reason {reason} diverged");
+        assert_eq!(
+            on_wire,
+            wire.rejection(reason),
+            "reason {reason} vs WireStats"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Deadline propagation through the socket.
+// ---------------------------------------------------------------------
+
+/// A deadline set on the frame acts on the far side of the socket: a
+/// generous one sorts, a 1 µs one is refused at admission or expires in
+/// the queue — and either outcome is a structured reply that reconciles.
+#[test]
+fn deadlines_propagate_through_the_wire() {
+    let srv = server(WireConfig::default());
+    let mut client = WireClient::connect(srv.local_addr()).expect("connect");
+
+    let keys = [5u32, 3, 8, 1];
+    match client
+        .sort(&keys, Direction::Ascending, Some(Duration::from_secs(5)))
+        .expect("reply")
+    {
+        ReplyFrame::Sorted(out) => assert_eq!(out, sorted(&keys, Direction::Ascending)),
+        other => panic!("generous deadline should sort, got {other:?}"),
+    }
+
+    let reply = client
+        .sort(&keys, Direction::Ascending, Some(Duration::from_micros(1)))
+        .expect("reply");
+    assert!(
+        matches!(reply.label(), "expired" | "deadline_unmeetable"),
+        "a 1 µs deadline cannot be met, got {reply:?}"
+    );
+
+    drop(client);
+    let report = srv.shutdown();
+    let wire = report.wire;
+    let stats = report.service.stats;
+    assert_eq!(wire.replies_ok, 1);
+    assert_eq!(wire.expired + wire.rejected_total(), 1);
+    assert_eq!(wire.expired, stats.expired);
+    assert_eq!(wire.rejected_total(), stats.shed);
+}
+
+// ---------------------------------------------------------------------
+// 4. Connection faults: structured disconnects, isolation, and replay.
+// ---------------------------------------------------------------------
+
+const INJECT_PATIENCE: Duration = Duration::from_secs(3);
+
+/// Each connection fault closes with its expected structured reason,
+/// and after every fault the pool still serves a fresh connection —
+/// isolation asserted through `ServiceStats` (no fault ever reaches
+/// `submit`, nothing fails, every healthy sort completes).
+#[test]
+fn connection_faults_classify_and_leave_the_pool_serving() {
+    let faults = [
+        ConnFault::HalfOpen,
+        ConnFault::SlowLoris {
+            byte_gap: Duration::from_millis(10),
+        },
+        ConnFault::MidFrameCut { keep_bytes: 11 },
+        ConnFault::Garbage { len: 32 },
+        ConnFault::BadVersion,
+        ConnFault::Oversized { declared: u32::MAX },
+        ConnFault::TruncatedHeader,
+    ];
+    let srv = server(WireConfig::fast_faults());
+    let addr = srv.local_addr();
+
+    let mut healthy_sorts = 0u64;
+    let mut expected: Vec<(&str, u64)> = Vec::new();
+    for (round, fault) in faults.iter().enumerate() {
+        chaos::inject(addr, fault, INJECT_PATIENCE).expect("inject");
+        let label = fault.expected_disconnect();
+        let want = 1 + expected
+            .iter()
+            .filter(|(l, _)| *l == label)
+            .map(|(_, n)| *n)
+            .sum::<u64>();
+        expected.push((label, 1));
+        assert!(
+            wait_until(INJECT_PATIENCE, || srv.wire_stats().disconnect(label)
+                >= want),
+            "round {round}: {} never tallied {label} (stats {:?})",
+            fault.label(),
+            srv.wire_stats()
+        );
+
+        // Isolation: a brand-new connection sorts immediately after the
+        // fault (fast_faults idle timeouts are too tight to keep one
+        // connection parked across rounds).
+        let keys: Vec<u32> = (0..16u32).rev().map(|k| k * (round as u32 + 1)).collect();
+        let mut client = WireClient::connect(addr).expect("healthy connect");
+        match client
+            .sort(&keys, Direction::Ascending, None)
+            .expect("reply")
+        {
+            ReplyFrame::Sorted(out) => assert_eq!(out, sorted(&keys, Direction::Ascending)),
+            other => panic!("round {round}: healthy sort got {other:?}"),
+        }
+        healthy_sorts += 1;
+        drop(client);
+    }
+
+    assert!(wait_until(Duration::from_secs(5), || {
+        let w = srv.wire_stats();
+        w.connections_closed == w.connections_opened
+    }));
+    let report = srv.shutdown();
+    let wire = report.wire;
+    let stats = report.service.stats;
+
+    // Per-reason disconnect tallies: one per fault, plus a clean close
+    // per healthy connection.
+    assert_eq!(wire.disconnect("idle_timeout"), 1);
+    assert_eq!(wire.disconnect("read_stall"), 1);
+    assert_eq!(wire.disconnect("mid_frame_eof"), 1);
+    assert_eq!(wire.disconnect("bad_frame"), 4);
+    assert_eq!(wire.disconnect("clean_eof"), healthy_sorts);
+    assert_eq!(wire.frame_errors, 4);
+    assert_eq!(wire.connections_opened, faults.len() as u64 + healthy_sorts);
+
+    // Isolation, in the service's own books: only healthy traffic ever
+    // reached the admission gate, and all of it completed.
+    assert_eq!(stats.submitted, healthy_sorts);
+    assert_eq!(stats.completed, healthy_sorts);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(wire.frames_read, stats.submitted);
+}
+
+/// A frame the codec accepts but the sorter cannot serve (width 8) is
+/// answered `bad_frame` and never reaches the admission gate.
+#[test]
+fn unsupported_width_is_refused_before_admission() {
+    let srv = server(WireConfig::default());
+    let mut client = WireClient::connect(srv.local_addr()).expect("connect");
+    let frame = RequestFrame {
+        dir: Direction::Ascending,
+        width: 8,
+        deadline_us: 0,
+        key_bytes: vec![0xAB; 16],
+    };
+    client.send(&frame).expect("send");
+    match client.read_reply().expect("reply") {
+        ReplyFrame::BadFrame(code) => {
+            assert_eq!(
+                FrameError::label_of_code(code),
+                FrameError::BadWidth(8).label()
+            );
+        }
+        other => panic!("expected bad_frame, got {other:?}"),
+    }
+    let report = srv.shutdown();
+    assert_eq!(report.wire.frames_read, 0);
+    assert_eq!(report.wire.frame_errors, 1);
+    assert_eq!(report.wire.disconnect("bad_frame"), 1);
+    assert_eq!(report.service.stats.submitted, 0);
+}
+
+/// Connections still open at shutdown close as `server_closed`.
+#[test]
+fn shutdown_closes_live_connections_with_server_closed() {
+    let srv = server(WireConfig::default());
+    let mut client = WireClient::connect(srv.local_addr()).expect("connect");
+    let keys = [2u32, 1];
+    match client
+        .sort(&keys, Direction::Ascending, None)
+        .expect("reply")
+    {
+        ReplyFrame::Sorted(out) => assert_eq!(out, vec![1, 2]),
+        other => panic!("expected sorted keys, got {other:?}"),
+    }
+    // Leave the connection open: shutdown must reclaim it.
+    let report = srv.shutdown();
+    assert_eq!(report.wire.disconnect("server_closed"), 1);
+    assert_eq!(
+        report.wire.connections_closed,
+        report.wire.connections_opened
+    );
+    drop(client);
+}
+
+/// Run a fault plan serially against a fresh fast-fault server and
+/// return the per-reason disconnect tallies.
+fn disconnect_tallies(faults: &[ConnFault]) -> Vec<(&'static str, u64)> {
+    let srv = server(WireConfig::fast_faults());
+    let addr = srv.local_addr();
+    for fault in faults {
+        chaos::inject(addr, fault, INJECT_PATIENCE).expect("inject");
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let w = srv.wire_stats();
+            w.connections_closed == w.connections_opened
+                && w.connections_opened == faults.len() as u64
+        }),
+        "plan never drained: {:?}",
+        srv.wire_stats()
+    );
+    let wire = srv.shutdown().wire;
+    DISCONNECT_LABELS
+        .iter()
+        .map(|l| (*l, wire.disconnect(l)))
+        .collect()
+}
+
+/// The seeded fault plan is a pure function of `(seed, conns)`, and
+/// replaying the same plan against a fresh server produces identical
+/// per-reason disconnect tallies — deterministic fault replay end to
+/// end.
+#[test]
+fn seeded_fault_plans_replay_to_identical_tallies() {
+    let seed = 0xC0FF_EE00_BEEF;
+    let faults = chaos::plan(seed, 6);
+    assert_eq!(
+        faults,
+        chaos::plan(seed, 6),
+        "plan must be pure in the seed"
+    );
+    assert_eq!(faults.len(), 6);
+
+    // What the plan promises, from the fault values alone.
+    let mut promised: Vec<(&str, u64)> = DISCONNECT_LABELS.iter().map(|l| (*l, 0)).collect();
+    for fault in &faults {
+        let label = fault.expected_disconnect();
+        let slot = promised
+            .iter_mut()
+            .find(|(l, _)| *l == label)
+            .expect("label");
+        slot.1 += 1;
+    }
+
+    let first = disconnect_tallies(&faults);
+    let second = disconnect_tallies(&faults);
+    assert_eq!(first, second, "same plan, different tallies");
+    assert_eq!(first, promised, "tallies diverged from the plan's promise");
+}
