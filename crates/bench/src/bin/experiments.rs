@@ -45,6 +45,17 @@
 //! oracle mismatch, any dispatch cell more than 5% slower than the seed
 //! kernel, or any key width whose selected kernel never beats the seed.
 //!
+//! The `bulk` id drives cross-shard bulk sorts — requests larger than
+//! every band split by sampled splitters, sorted per shard, and k-way
+//! merged — against a single pool at equal total machine count:
+//! `--procs N`, `--shards N`, `--requests N`, and `--seed N` shape the
+//! load, `--out FILE` writes the bare `BULK_1` JSON document, and
+//! `--check` exits non-zero on any shed, expiry, failed batch, failed
+//! bulk request, oracle mismatch, partition skew beyond the configured
+//! bound, or divergence between two same-seed engine-twin replays.
+//! `bench8` wraps the same run into the committed `BENCH_8.json`
+//! artifact.
+//!
 //! The `net` id replays the serving workload over real loopback TCP
 //! sockets through the `SORT_1` wire codec: `--procs N`, `--requests N`,
 //! `--conns N`, and `--seed N` shape the load, `--out FILE` writes the
@@ -55,7 +66,8 @@
 //! artifact.
 
 use bitonic_bench::experiments::{
-    all, by_id, chaos, kernels, net_bench, remap_bench, serve_bench, shard_bench, trace, Scale, IDS,
+    all, bulk_bench, by_id, chaos, kernels, net_bench, remap_bench, serve_bench, shard_bench,
+    trace, Scale, IDS,
 };
 use bitonic_bench::report::bench_json;
 use spmd::MessageMode;
@@ -158,6 +170,8 @@ fn main() {
                      experiments shard [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
                      experiments bench5 [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
                      experiments bench6 [--quick] [--out FILE] [--check]\n       \
+                     experiments bulk [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
+                     experiments bench8 [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
                      experiments net [--procs N] [--requests N] [--conns N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
                      experiments bench7 [--procs N] [--requests N] [--conns N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]",
                     IDS.join(" | ")
@@ -404,6 +418,67 @@ fn main() {
         }
         return;
     }
+    // The bulk subcommand: cross-shard bulk sorts vs a single pool that
+    // takes each over-band request whole, at equal total machine count.
+    if ids.iter().any(|id| id == "bulk") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| bulk_bench::default_requests(scale));
+        let seed = seed.unwrap_or(bulk_bench::DEFAULT_SEED);
+        let shards = shards.unwrap_or(bulk_bench::DEFAULT_SHARDS);
+        let run = bulk_bench::run_bulk(procs, shards, requests, seed);
+        println!("## Cross-shard bulk sorts vs single pool [bulk]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &run.json) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("BULK_1 document written to {path}.");
+        }
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
+        }
+        if check {
+            if run.passed {
+                println!(
+                    "check: every over-band request completed oracle-identical; \
+                     partition skew within the bound; two same-seed engine twins \
+                     replayed bit for bit."
+                );
+            } else {
+                eprintln!("check failed: see report above.");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // bench8: the committed bulk-sort artifact wrapping BULK_1.
+    if ids.iter().any(|id| id == "bench8") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| bulk_bench::default_requests(scale));
+        let seed = seed.unwrap_or(bulk_bench::DEFAULT_SEED);
+        let shards = shards.unwrap_or(bulk_bench::DEFAULT_SHARDS);
+        let run = bulk_bench::run_bulk(procs, shards, requests, seed);
+        let doc = format!("{{\n\"schema\": \"BENCH_8\",\n\"bulk\": {}}}\n", run.json);
+        println!("## BENCH_8 composition [bench8]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("BENCH_8 document written to {path}.");
+        } else {
+            println!("```json\n{doc}```");
+        }
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
+        }
+        if check && !run.passed {
+            eprintln!("check failed: see report above.");
+            std::process::exit(1);
+        }
+        return;
+    }
     // The net subcommand: the serving workload over real loopback TCP.
     if ids.iter().any(|id| id == "net") && ids.len() == 1 {
         let requests = requests.unwrap_or_else(|| net_bench::default_requests(scale));
@@ -477,7 +552,7 @@ fn main() {
         eprintln!(
             "--out/--metrics-out/--check/--quick/--keys/--seed/--requests/--shards/--conns only \
              apply to the `trace`, `chaos`, `serve`, `bench4`, `shard`, `bench5`, `bench6`, \
-             `net`, or `bench7` subcommands"
+             `bulk`, `net`, `bench7`, or `bench8` subcommands"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,566 @@
+//! `experiments bulk` — cross-shard bulk sorts against a single pool.
+//!
+//! The capacity problem this measures: a banded router refuses any
+//! request larger than its widest band, so the biggest sorts a sharded
+//! deployment can take is fixed by one shard's admission limit no matter
+//! how many machines the fleet holds. The bulk split path lifts that
+//! ceiling: a one-round sampled splitter selector partitions the keys
+//! into per-shard sub-requests, every shard sorts its partition in-band,
+//! and a k-way merge reassembles the ordered reply.
+//!
+//! The benchmark offers the *same* deterministic load — requests larger
+//! than every band interleaved with ordinary in-band sorts — to two
+//! services with **equal total machine count**: a bulk-enabled sharded
+//! service that must split every oversized request, and a single pool
+//! with all the machines whose admission limits are raised so it takes
+//! each request whole. Every reply from both is checked against the
+//! independent sort oracle.
+//!
+//! Three properties are gated by `--check`, not just reported:
+//!
+//! 1. **Correctness** — zero sheds, expiries, failed batches, failed
+//!    bulk requests, and oracle mismatches from either service, and the
+//!    metrics registry's bulk counters reconcile exactly with the
+//!    service's own.
+//! 2. **Balance** — the largest observed partition skew (bucket size
+//!    over the shard's capacity-fair share) stays within the configured
+//!    bound, request by request.
+//! 3. **Determinism** — two [`ShardEngine`] virtual-time runs of the
+//!    same seed produce bit-for-bit identical event logs and replies
+//!    (the scatter/merge twin replays exactly).
+//!
+//! The report ends with a machine-readable `BULK_1` block
+//! ([`crate::report::bulk_json`]); `bench8` wraps the same run into the
+//! committed `BENCH_8.json` artifact.
+
+use super::Scale;
+use crate::report::{bulk_json, f2, metrics_json, BulkSummary, Table};
+use crate::workloads::uniform_keys;
+use bitonic_core::tagged::sorted_independently;
+use bitonic_network::Direction;
+use sort_service::{
+    split, EngineEvent, Rejection, ServiceConfig, ShardEngine, ShardedConfig, ShardedService,
+    SortRequest, SortService, Ticket,
+};
+use std::time::{Duration, Instant};
+
+/// Default machine size for the subcommand (the acceptance configuration).
+pub const DEFAULT_PROCS: usize = 4;
+
+/// Default shard count: the canonical small/bulk split.
+pub const DEFAULT_SHARDS: usize = 2;
+
+/// Default offered load for the measured window (each request is offered
+/// twice: once to the baseline, once to the bulk-enabled service).
+pub const DEFAULT_REQUESTS: usize = 60;
+
+/// Default master seed (fixed so CI runs are replayable).
+pub const DEFAULT_SEED: u64 = 2_204_045_99;
+
+/// Requests offered at a given scale.
+#[must_use]
+pub fn default_requests(scale: Scale) -> usize {
+    if scale.shrink == 1 {
+        DEFAULT_REQUESTS * 4
+    } else {
+        DEFAULT_REQUESTS
+    }
+}
+
+/// One finished bulk-vs-baseline run.
+#[derive(Debug, Clone)]
+pub struct BulkRun {
+    /// Human-readable report (tables + the `BULK_1` block).
+    pub report: String,
+    /// The bare `BULK_1` JSON document, for composition into `BENCH_8`.
+    pub json: String,
+    /// Whether every acceptance check held: correctness, the skew bound,
+    /// and bit-for-bit engine replay.
+    pub passed: bool,
+    /// The sharded service's final registry as a `METRICS_1` document.
+    pub metrics_json: Option<String>,
+    /// The same registry in Prometheus text exposition format.
+    pub prometheus: Option<String>,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The deterministic load: `(keys, direction, inter-arrival gap)`. Every
+/// third request is a bulk sort strictly larger than the widest band
+/// (between 1.2× and ~2.4× its limit, so splitting is mandatory and the
+/// oversized-bucket chunking path gets exercised); the rest are ordinary
+/// in-band sorts, every fourth duplicate-heavy so splitter ties between
+/// equal keys are covered.
+fn workload(
+    requests: usize,
+    procs: usize,
+    widest: usize,
+    seed: u64,
+) -> Vec<(Vec<u32>, Direction, Duration)> {
+    let small_sizes = [1, 2, procs, 33, 100, 256, 1024];
+    let mut rng = seed | 1;
+    (0..requests)
+        .map(|i| {
+            let n = if i % 3 == 2 {
+                widest + widest / 5 + (xorshift(&mut rng) as usize) % (widest + widest / 5)
+            } else {
+                small_sizes[(xorshift(&mut rng) % small_sizes.len() as u64) as usize]
+            };
+            let mut keys = uniform_keys(n, seed.wrapping_add(i as u64));
+            if i % 4 == 0 {
+                for k in &mut keys {
+                    *k %= 1024;
+                }
+            }
+            let dir = if xorshift(&mut rng) & 1 == 0 {
+                Direction::Ascending
+            } else {
+                Direction::Descending
+            };
+            let gap = Duration::from_micros(40 + xorshift(&mut rng) % 160);
+            (keys, dir, gap)
+        })
+        .collect()
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx]
+}
+
+/// What one open-loop pass over a service produced.
+struct Drive {
+    /// Per completed bulk request: end-to-end latency in µs.
+    bulk_latencies: Vec<f64>,
+    /// Human-readable failures: sheds, expiries, oracle mismatches.
+    failures: Vec<String>,
+    /// Oracle mismatches among the failures.
+    mismatches: u64,
+}
+
+/// Offer `load` open-loop to `submit`, checking every reply against the
+/// oracle and timing the bulk (over-band) requests.
+fn drive(
+    tag: &str,
+    load: &[(Vec<u32>, Direction, Duration)],
+    widest: usize,
+    submit: &dyn Fn(SortRequest) -> Result<Ticket, Rejection>,
+) -> Drive {
+    let mut waiters = Vec::with_capacity(load.len());
+    let mut failures = Vec::new();
+    for (i, (keys, dir, gap)) in load.iter().enumerate() {
+        std::thread::sleep(*gap);
+        let bulk = keys.len() > widest;
+        let expected = sorted_independently(keys, *dir);
+        let submitted = Instant::now();
+        match submit(SortRequest::new(keys.clone(), *dir)) {
+            Ok(ticket) => waiters.push((
+                bulk,
+                std::thread::spawn(move || {
+                    let reply = ticket.wait();
+                    let latency = submitted.elapsed();
+                    let verdict = match reply {
+                        Ok(out) if out == expected => Ok(()),
+                        Ok(_) => Err(format!("request {i}: reply differs from the oracle")),
+                        Err(e) => Err(format!("request {i}: {e}")),
+                    };
+                    (latency, verdict)
+                }),
+            )),
+            Err(r) => failures.push(format!("{tag}: request {i} shed: {r}")),
+        }
+    }
+    let mut bulk_latencies = Vec::new();
+    let mut mismatches = 0u64;
+    for (bulk, w) in waiters {
+        let (latency, verdict) = w.join().expect("waiter thread");
+        if bulk {
+            bulk_latencies.push(latency.as_secs_f64() * 1e6);
+        }
+        if let Err(e) = verdict {
+            if e.contains("differs from the oracle") {
+                mismatches += 1;
+            }
+            failures.push(format!("{tag}: {e}"));
+        }
+    }
+    Drive {
+        bulk_latencies,
+        failures,
+        mismatches,
+    }
+}
+
+/// Replay the first few requests of `load` through two fresh
+/// [`ShardEngine`] twins at identical virtual times and demand
+/// bit-for-bit identical event logs and oracle-correct merged replies.
+/// Returns human-readable failures (empty on success).
+fn replay_twice(cfg: &ShardedConfig, load: &[(Vec<u32>, Direction, Duration)]) -> Vec<String> {
+    let slice: Vec<&(Vec<u32>, Direction, Duration)> = load.iter().take(12).collect();
+    let mut failures = Vec::new();
+    let run = |(): ()| -> (Vec<EngineEvent>, Vec<(usize, Result<Vec<u32>, String>)>) {
+        let mut engine = ShardEngine::new(cfg);
+        let mut ids = Vec::new();
+        for (i, (keys, dir, _)) in slice.iter().enumerate() {
+            match engine.submit(SortRequest::new(keys.clone(), *dir)) {
+                Ok(id) => ids.push((i, id)),
+                Err(r) => failures_of_submit(i, &r),
+            }
+            engine.advance(Duration::from_millis(3));
+            engine.run_until_idle();
+        }
+        let replies = ids
+            .into_iter()
+            .map(|(i, id)| {
+                let r = engine
+                    .reply(id)
+                    .cloned()
+                    .unwrap_or_else(|| Err(sort_service::SortError::ServiceClosed))
+                    .map_err(|e| e.to_string());
+                (i, r)
+            })
+            .collect();
+        (engine.events().to_vec(), replies)
+    };
+    let (events_a, replies_a) = run(());
+    let (events_b, replies_b) = run(());
+    if events_a != events_b {
+        failures.push(format!(
+            "engine replay: event logs differ ({} vs {} events)",
+            events_a.len(),
+            events_b.len()
+        ));
+    }
+    if replies_a != replies_b {
+        failures.push("engine replay: replies differ between same-seed runs".into());
+    }
+    let mut merges = 0usize;
+    for ev in &events_a {
+        if matches!(ev, EngineEvent::Merged { .. }) {
+            merges += 1;
+        }
+    }
+    if merges == 0 {
+        failures.push("engine replay: no bulk request reached the merge phase".into());
+    }
+    for (i, reply) in &replies_a {
+        let (keys, dir, _) = slice[*i];
+        match reply {
+            Ok(out) if *out == sorted_independently(keys, *dir) => {}
+            Ok(_) => failures.push(format!("engine replay: request {i} differs from the oracle")),
+            Err(e) => failures.push(format!("engine replay: request {i} failed: {e}")),
+        }
+    }
+    failures
+}
+
+/// The engine twin admits everything the load offers; a refusal is a
+/// configuration bug worth a loud panic, not a tallied failure.
+fn failures_of_submit(i: usize, r: &Rejection) {
+    panic!("engine replay: request {i} refused: {r}");
+}
+
+/// Run the comparison: a bulk-enabled `shards`-way banded service
+/// against a single pool holding the same total machine count with its
+/// admission limits raised to take each over-band request whole, under
+/// the same `requests`-request load. Deterministic in `seed` up to host
+/// timing.
+///
+/// # Panics
+/// Panics if `procs` is not a power of two (machine requirement).
+#[must_use]
+pub fn run_bulk(procs: usize, shards: usize, requests: usize, seed: u64) -> BulkRun {
+    assert!(procs.is_power_of_two(), "machine sizes are powers of two");
+    let sharded_cfg = ShardedConfig::banded_bulk(procs, shards);
+    let total_machines = sharded_cfg.total_machines();
+    let bands: Vec<usize> = sharded_cfg
+        .classes
+        .iter()
+        .map(|c| c.pool.max_request_keys)
+        .collect();
+    let widest = *bands.last().expect("at least one class");
+    let load = workload(requests, procs, widest, seed);
+    let max_bulk_keys = load.iter().map(|(k, _, _)| k.len()).max().unwrap_or(0);
+    let bulk_requests = load.iter().filter(|(k, _, _)| k.len() > widest).count() as u64;
+
+    // The split plan is a pure function of (keys, bands, policy) — the
+    // skew the service will see is exactly what we can measure here.
+    let mut max_skew = 0.0f64;
+    let mut skew_sum = 0.0f64;
+    let mut skew_count = 0u64;
+    let mut partitions = 0u64;
+    let mut splitter_samples = 0u64;
+    for (keys, _, _) in load.iter().filter(|(k, _, _)| k.len() > widest) {
+        let plan = split::plan(keys, &bands, &sharded_cfg.bulk);
+        max_skew = max_skew.max(plan.max_skew());
+        for s in &plan.skew {
+            skew_sum += s;
+            skew_count += 1;
+        }
+        partitions += plan.parts.len() as u64;
+        splitter_samples += plan.samples as u64;
+    }
+    let mean_skew = if skew_count > 0 {
+        skew_sum / skew_count as f64
+    } else {
+        0.0
+    };
+
+    // Baseline first: a single pool with every machine, admission opened
+    // wide enough to take the largest bulk request whole.
+    let mut baseline_cfg = ServiceConfig::new(procs);
+    baseline_cfg.machines = total_machines;
+    baseline_cfg.max_request_keys = baseline_cfg.max_request_keys.max(max_bulk_keys);
+    baseline_cfg.max_batch_keys = baseline_cfg.max_batch_keys.max(max_bulk_keys);
+    baseline_cfg.max_queue_keys = baseline_cfg.max_queue_keys.max(8 * max_bulk_keys);
+    let baseline = SortService::start(baseline_cfg);
+    let base_drive = drive("baseline", &load, widest, &|r| baseline.submit(r));
+    let base_report = baseline.shutdown();
+
+    // Then the bulk-enabled sharded service at equal total machine count.
+    let sharded = ShardedService::start(sharded_cfg.clone());
+    let bulk_drive = drive("bulk", &load, widest, &|r| sharded.submit(r));
+    let shard_metrics = sharded.metrics();
+    let shard_report = sharded.shutdown();
+    let stats = &shard_report.stats;
+
+    let mut failures = Vec::new();
+    failures.extend(base_drive.failures.iter().cloned());
+    failures.extend(bulk_drive.failures.iter().cloned());
+    if stats.expired() > 0 {
+        failures.push(format!("bulk: {} missed deadlines", stats.expired()));
+    }
+    if stats.failed() > 0 {
+        failures.push(format!("bulk: {} lost to failed batches", stats.failed()));
+    }
+    if stats.unroutable > 0 {
+        failures.push(format!(
+            "bulk: {} unroutable requests despite the split path",
+            stats.unroutable
+        ));
+    }
+    if stats.bulk_failed > 0 {
+        failures.push(format!("bulk: {} failed bulk requests", stats.bulk_failed));
+    }
+    if stats.bulk_submitted != bulk_requests {
+        failures.push(format!(
+            "bulk: {} requests took the split path, expected {bulk_requests}",
+            stats.bulk_submitted
+        ));
+    }
+    if base_report.stats.expired > 0 {
+        failures.push(format!(
+            "baseline: {} missed deadlines",
+            base_report.stats.expired
+        ));
+    }
+    if max_skew > sharded_cfg.bulk.skew_bound {
+        failures.push(format!(
+            "skew: max partition skew {max_skew:.3} exceeds the bound {:.3}",
+            sharded_cfg.bulk.skew_bound
+        ));
+    }
+
+    // Reconcile the registry's bulk series against the service's own
+    // counters: same events, independent tallies, exact agreement.
+    let mut metrics_doc = None;
+    let mut prometheus_doc = None;
+    if let Some(m) = shard_metrics {
+        let snap = m.snapshot();
+        let pairs: [(&str, &str, u64); 4] = [
+            (
+                "submitted",
+                "bitonic_bulk_requests_total",
+                stats.bulk_submitted,
+            ),
+            (
+                "completed",
+                "bitonic_bulk_completed_total",
+                stats.bulk_completed,
+            ),
+            ("failed", "bitonic_bulk_failed_total", stats.bulk_failed),
+            ("partitions", "bitonic_bulk_partitions_total", partitions),
+        ];
+        for (label, name, want) in pairs {
+            let got = snap.counter_total(name);
+            if got != want {
+                failures.push(format!(
+                    "metrics reconcile: bulk {label} registry={got} stats={want}"
+                ));
+            }
+        }
+        metrics_doc = Some(metrics_json(&snap));
+        prometheus_doc = Some(obs::encode_prometheus(&snap));
+    }
+
+    // The determinism leg: two virtual-time twins, one event log.
+    failures.extend(replay_twice(&sharded_cfg, &load));
+    let replay_identical = !failures.iter().any(|f| f.starts_with("engine replay"));
+
+    let mut bulk_us = bulk_drive.bulk_latencies.clone();
+    bulk_us.sort_by(f64::total_cmp);
+    let mut base_us = base_drive.bulk_latencies.clone();
+    base_us.sort_by(f64::total_cmp);
+
+    let summary = BulkSummary {
+        procs,
+        shards,
+        total_machines,
+        baseline_machines: total_machines,
+        requests: requests as u64,
+        bulk_requests,
+        widest_band: widest,
+        max_bulk_keys,
+        skew_bound: sharded_cfg.bulk.skew_bound,
+        max_skew,
+        mean_skew,
+        splitter_samples,
+        partitions,
+        bulk_completed: stats.bulk_completed,
+        bulk_failed: stats.bulk_failed,
+        mismatches: bulk_drive.mismatches + base_drive.mismatches,
+        replay_identical,
+        bulk_p50_us: percentile(&bulk_us, 50.0),
+        bulk_p95_us: percentile(&bulk_us, 95.0),
+        bulk_p99_us: percentile(&bulk_us, 99.0),
+        baseline_bulk_p99_us: percentile(&base_us, 99.0),
+    };
+
+    let mut t = Table::new(vec!["measure", "value"]);
+    t.row(vec![
+        "widest band / largest request".to_string(),
+        format!("{widest} / {max_bulk_keys} keys"),
+    ]);
+    t.row(vec![
+        "bulk requests (split path)".to_string(),
+        format!(
+            "{} submitted, {} completed, {} failed",
+            stats.bulk_submitted, stats.bulk_completed, stats.bulk_failed
+        ),
+    ]);
+    t.row(vec![
+        "partitions / splitter samples".to_string(),
+        format!("{partitions} / {splitter_samples}"),
+    ]);
+    t.row(vec![
+        "partition skew (max / mean / bound)".to_string(),
+        format!(
+            "{} / {} / {}",
+            f2(max_skew),
+            f2(mean_skew),
+            f2(sharded_cfg.bulk.skew_bound)
+        ),
+    ]);
+    t.row(vec![
+        "bulk p50/p95/p99 (us)".to_string(),
+        format!(
+            "{} / {} / {}",
+            f2(summary.bulk_p50_us),
+            f2(summary.bulk_p95_us),
+            f2(summary.bulk_p99_us)
+        ),
+    ]);
+    t.row(vec![
+        "single-pool bulk p99 (us)".to_string(),
+        f2(summary.baseline_bulk_p99_us),
+    ]);
+    t.row(vec![
+        "engine replay".to_string(),
+        if replay_identical {
+            "bit-for-bit identical".to_string()
+        } else {
+            "DIVERGED".to_string()
+        },
+    ]);
+
+    let json = bulk_json(&summary);
+    let passed = failures.is_empty();
+    let verdict = if passed {
+        format!(
+            "All {bulk_requests} over-band requests (largest {max_bulk_keys} keys \
+             against a {widest}-key widest band) completed oracle-identical through \
+             splitter scatter and k-way merge at equal total machine count \
+             ({total_machines}); max partition skew {} stayed within the {} bound; \
+             two same-seed engine twins replayed bit for bit.",
+            f2(max_skew),
+            f2(sharded_cfg.bulk.skew_bound),
+        )
+    } else {
+        let mut v = String::from("FAILED:\n");
+        for f in &failures {
+            v.push_str("  - ");
+            v.push_str(f);
+            v.push('\n');
+        }
+        v
+    };
+    let report = format!("{}\n{verdict}\n\n```json\n{json}```\n", t.render());
+    BulkRun {
+        report,
+        json,
+        passed,
+        metrics_json: metrics_doc,
+        prometheus: prometheus_doc,
+    }
+}
+
+/// Run the bulk-sort benchmark and render it as an experiment.
+#[must_use]
+pub fn bulk(scale: Scale) -> super::Experiment {
+    let run = run_bulk(
+        DEFAULT_PROCS,
+        DEFAULT_SHARDS,
+        default_requests(scale),
+        DEFAULT_SEED,
+    );
+    super::Experiment {
+        id: "bulk",
+        title: "Cross-shard bulk sorts: splitter scatter vs a single pool",
+        body: run.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_acceptance_load_passes_every_check() {
+        // A smaller offered load than the CI configuration, same checks.
+        let run = run_bulk(4, 2, 18, DEFAULT_SEED);
+        assert!(run.passed, "{}", run.report);
+        assert!(run.json.contains("\"schema\": \"BULK_1\""));
+        assert!(run.json.contains("\"replay_identical\": true"));
+        assert!(run.json.contains("\"bulk_failed\": 0"));
+        let metrics = run.metrics_json.expect("sharded metrics are on");
+        assert!(metrics.contains("\"schema\": \"METRICS_1\""));
+        assert!(metrics.contains("bitonic_bulk_requests_total"));
+        assert!(metrics.contains("bitonic_plan_cache_hit_rate"));
+    }
+
+    #[test]
+    fn the_workload_offers_over_band_requests() {
+        let load = workload(30, 4, 16384, DEFAULT_SEED);
+        assert!(
+            load.iter().any(|(k, _, _)| k.len() > 16384),
+            "over-band requests present"
+        );
+        assert!(
+            load.iter().all(|(k, _, _)| k.len() <= 16384 * 3),
+            "bulk sizes stay bounded"
+        );
+        assert!(load.iter().any(|(k, _, _)| k.len() <= 4), "small present");
+        assert!(load.iter().any(|(_, d, _)| *d == Direction::Descending));
+        assert_eq!(load, workload(30, 4, 16384, DEFAULT_SEED), "deterministic");
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per Chapter 5 table/figure group.
 
 pub mod breakdown;
+pub mod bulk_bench;
 pub mod chaos;
 pub mod extensions;
 pub mod kernels;
@@ -97,6 +98,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         chaos::chaos(scale),
         serve_bench::serve(scale),
         shard_bench::shard(scale),
+        bulk_bench::bulk(scale),
         net_bench::net(scale),
     ]
 }
@@ -124,13 +126,14 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "chaos" => Some(chaos::chaos(scale)),
         "serve" => Some(serve_bench::serve(scale)),
         "shard" => Some(shard_bench::shard(scale)),
+        "bulk" => Some(bulk_bench::bulk(scale)),
         "net" => Some(net_bench::net(scale)),
         _ => None,
     }
 }
 
 /// All experiment ids accepted by [`by_id`].
-pub const IDS: [&str; 20] = [
+pub const IDS: [&str; 21] = [
     "table5_1",
     "table5_2",
     "strategies_measured",
@@ -150,5 +153,6 @@ pub const IDS: [&str; 20] = [
     "chaos",
     "serve",
     "shard",
+    "bulk",
     "net",
 ];

@@ -337,6 +337,102 @@ pub fn shard_json(s: &ShardSummary) -> String {
     out
 }
 
+/// Schema tag for the cross-shard bulk-sort benchmark's machine-readable
+/// output. Like [`BENCH_SCHEMA`], the suffix is bumped when any field
+/// changes meaning.
+pub const BULK_SCHEMA: &str = "BULK_1";
+
+/// One cross-shard bulk-sort run in the stable `BULK_1` schema: requests
+/// larger than every band split across the shards by sampled splitters,
+/// against a single pool with the same total machine count that admits
+/// each request whole.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkSummary {
+    /// Ranks per machine (`P`) — same in every pool and the baseline.
+    pub procs: usize,
+    /// Size classes in the sharded topology.
+    pub shards: usize,
+    /// Machines across all shards (equals `baseline_machines`).
+    pub total_machines: usize,
+    /// Machines in the single-pool baseline.
+    pub baseline_machines: usize,
+    /// Requests offered to each service.
+    pub requests: u64,
+    /// Requests larger than every band (the split path).
+    pub bulk_requests: u64,
+    /// The widest band's admission limit (keys).
+    pub widest_band: usize,
+    /// The largest bulk request offered (keys).
+    pub max_bulk_keys: usize,
+    /// The configured partition-skew bound.
+    pub skew_bound: f64,
+    /// Largest observed partition skew across every bulk request.
+    pub max_skew: f64,
+    /// Mean partition skew across every bulk request.
+    pub mean_skew: f64,
+    /// Splitter-selector samples drawn across all bulk requests.
+    pub splitter_samples: u64,
+    /// Per-shard sub-requests scattered across all bulk requests.
+    pub partitions: u64,
+    /// Bulk requests answered with a fully merged sorted reply.
+    pub bulk_completed: u64,
+    /// Bulk requests failed by a shed, expired, or failed partition.
+    pub bulk_failed: u64,
+    /// Replies (bulk or not, either service) differing from the oracle.
+    pub mismatches: u64,
+    /// Whether two same-seed `ShardEngine` runs produced bit-for-bit
+    /// identical event logs and replies.
+    pub replay_identical: bool,
+    /// Median bulk-request latency through the sharded split path, µs.
+    pub bulk_p50_us: f64,
+    /// 95th-percentile bulk latency, microseconds.
+    pub bulk_p95_us: f64,
+    /// 99th-percentile bulk latency, microseconds.
+    pub bulk_p99_us: f64,
+    /// 99th-percentile latency of the same bulk requests under the
+    /// single-pool baseline at equal total machine count.
+    pub baseline_bulk_p99_us: f64,
+}
+
+/// Render a bulk-sort summary as a complete `BULK_1` JSON document.
+#[must_use]
+pub fn bulk_json(s: &BulkSummary) -> String {
+    format!(
+        "{{\n  \"schema\": \"{BULK_SCHEMA}\",\n  \
+         \"procs\": {}, \"shards\": {}, \"total_machines\": {}, \
+         \"baseline_machines\": {},\n  \
+         \"requests\": {}, \"bulk_requests\": {}, \"widest_band\": {}, \
+         \"max_bulk_keys\": {},\n  \
+         \"skew_bound\": {:.3}, \"max_skew\": {:.3}, \"mean_skew\": {:.3},\n  \
+         \"splitter_samples\": {}, \"partitions\": {},\n  \
+         \"bulk_completed\": {}, \"bulk_failed\": {}, \"mismatches\": {},\n  \
+         \"replay_identical\": {},\n  \
+         \"bulk_p50_us\": {:.1}, \"bulk_p95_us\": {:.1}, \"bulk_p99_us\": {:.1}, \
+         \"baseline_bulk_p99_us\": {:.1}\n}}\n",
+        s.procs,
+        s.shards,
+        s.total_machines,
+        s.baseline_machines,
+        s.requests,
+        s.bulk_requests,
+        s.widest_band,
+        s.max_bulk_keys,
+        s.skew_bound,
+        s.max_skew,
+        s.mean_skew,
+        s.splitter_samples,
+        s.partitions,
+        s.bulk_completed,
+        s.bulk_failed,
+        s.mismatches,
+        s.replay_identical,
+        s.bulk_p50_us,
+        s.bulk_p95_us,
+        s.bulk_p99_us,
+        s.baseline_bulk_p99_us,
+    )
+}
+
 /// Schema tag for the TCP wire benchmark's machine-readable output.
 /// Like [`BENCH_SCHEMA`], the suffix is bumped when any field changes
 /// meaning.
@@ -726,6 +822,47 @@ mod tests {
         }
         assert_eq!(depth, 0);
         assert_eq!(json.matches("\"class\":").count(), 2);
+    }
+
+    #[test]
+    fn bulk_json_matches_schema() {
+        let json = bulk_json(&BulkSummary {
+            procs: 4,
+            shards: 2,
+            total_machines: 3,
+            baseline_machines: 3,
+            requests: 60,
+            bulk_requests: 20,
+            widest_band: 16384,
+            max_bulk_keys: 39000,
+            skew_bound: 1.5,
+            max_skew: 1.18,
+            mean_skew: 1.05,
+            splitter_samples: 2560,
+            partitions: 60,
+            bulk_completed: 20,
+            bulk_failed: 0,
+            mismatches: 0,
+            replay_identical: true,
+            bulk_p50_us: 4000.0,
+            bulk_p95_us: 9000.0,
+            bulk_p99_us: 11000.5,
+            baseline_bulk_p99_us: 14000.0,
+        });
+        assert!(json.contains("\"schema\": \"BULK_1\""));
+        assert!(json.contains("\"skew_bound\": 1.500"));
+        assert!(json.contains("\"max_skew\": 1.180"));
+        assert!(json.contains("\"replay_identical\": true"));
+        assert!(json.contains("\"bulk_p99_us\": 11000.5"));
+        let mut depth = 0i64;
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
     }
 
     #[test]

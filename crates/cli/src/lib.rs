@@ -509,6 +509,10 @@ pub struct ServeOptions {
     /// one, requests route by size through a [`sort_service::Router`]
     /// over [`sort_service::ShardedConfig::banded`] pools.
     pub shards: usize,
+    /// Accept requests larger than every band via cross-shard bulk
+    /// sorts (split/scatter/merge) instead of refusing them as too
+    /// large. Implies the sharded front even at `--shards 1`.
+    pub bulk: bool,
     /// Print the service statistics report to stderr.
     pub stats: bool,
     /// Print a live metrics snapshot to stderr every this many seconds
@@ -525,6 +529,7 @@ impl Default for ServeOptions {
         ServeOptions {
             procs: 4,
             shards: 1,
+            bulk: false,
             stats: false,
             metrics_every: None,
             input: None,
@@ -536,8 +541,8 @@ impl Default for ServeOptions {
 /// The `serve` usage string.
 #[must_use]
 pub fn serve_usage() -> String {
-    "usage: bitonic-sort serve [-p PROCS] [--shards N] [--stats] [--metrics-every SECS]\n\
-     \u{20}                         [-i FILE|-] [-o FILE|-]\n\
+    "usage: bitonic-sort serve [-p PROCS] [--shards N] [--bulk] [--stats]\n\
+     \u{20}                         [--metrics-every SECS] [-i FILE|-] [-o FILE|-]\n\
      Each input line is one sort request: an optional 'asc' or 'desc' token,\n\
      an optional 'deadline=MICROS' token, then decimal keys — the same\n\
      grammar the TCP wire frontend's text parser accepts. All requests are\n\
@@ -547,6 +552,9 @@ pub fn serve_usage() -> String {
      --shards N > 1 splits the service into N size-class shards, each with\n\
      its own warm pool; requests route by size and idle shards steal aged\n\
      work from busy neighbors.\n\
+     --bulk accepts requests larger than every band: splitter-selection\n\
+     sampling cuts the keys into per-shard sub-requests, each shard sorts\n\
+     its partition in band, and a k-way merge reassembles the reply.\n\
      --metrics-every SECS prints a per-class snapshot of the live metrics\n\
      registry (queue depth, latency quantiles, shed rate, LogP drift) to\n\
      stderr every SECS seconds, plus once when the input drains."
@@ -580,6 +588,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     return Err("--shards must be at least 1".into());
                 }
             }
+            "--bulk" => opts.bulk = true,
             "--stats" => opts.stats = true,
             "--metrics-every" => {
                 let secs: u64 = value_for(arg)?
@@ -657,7 +666,7 @@ pub fn sharded_stats_report(stats: &sort_service::ShardedStats) -> String {
     for s in &stats.shards {
         out.push_str(&format!(
             "  {}: {} submitted, {} completed, {} batches, {} stolen away, \
-             {} machines ({} hits / {} misses)\n",
+             {} machines ({} hits / {} misses, {:.1}% plan hit rate)\n",
             s.class,
             s.submitted,
             s.completed,
@@ -666,6 +675,13 @@ pub fn sharded_stats_report(stats: &sort_service::ShardedStats) -> String {
             s.pool.machines,
             s.pool.plan_hits,
             s.pool.plan_misses,
+            s.pool.plan_hit_rate() * 100.0,
+        ));
+    }
+    if stats.bulk_submitted > 0 {
+        out.push_str(&format!(
+            "bulk: {} submitted, {} completed, {} failed\n",
+            stats.bulk_submitted, stats.bulk_completed, stats.bulk_failed,
         ));
     }
     out
@@ -694,11 +710,13 @@ pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, Str
         Single(SortService),
         Sharded(ShardedService),
     }
-    let front = if opts.shards > 1 {
-        Front::Sharded(ShardedService::start(ShardedConfig::banded(
-            opts.procs,
-            opts.shards,
-        )))
+    let front = if opts.shards > 1 || opts.bulk {
+        let cfg = if opts.bulk {
+            ShardedConfig::banded_bulk(opts.procs, opts.shards)
+        } else {
+            ShardedConfig::banded(opts.procs, opts.shards)
+        };
+        Front::Sharded(ShardedService::start(cfg))
     } else {
         Front::Single(SortService::start(ServiceConfig::new(opts.procs)))
     };
@@ -989,6 +1007,9 @@ mod tests {
         let o = parse_serve_args(&args("--shards 2 --metrics-every 5")).unwrap();
         assert_eq!(o.shards, 2);
         assert_eq!(o.metrics_every, Some(5));
+        assert!(!o.bulk, "bulk is opt-in");
+        let o = parse_serve_args(&args("--shards 2 --bulk")).unwrap();
+        assert!(o.bulk);
         assert!(
             parse_serve_args(&args("--metrics-every 0")).is_err(),
             "zero period"
@@ -1039,6 +1060,40 @@ mod tests {
         assert!(report.contains("shards: 2"), "{report}");
         assert!(report.contains("small:"), "{report}");
         assert!(report.contains("bulk:"), "{report}");
+        assert!(report.contains("% plan hit rate"), "{report}");
+    }
+
+    #[test]
+    fn bulk_serve_answers_an_over_band_request() {
+        let opts = ServeOptions {
+            procs: 2,
+            shards: 2,
+            bulk: true,
+            stats: true,
+            ..Default::default()
+        };
+        // One request beyond the widest band (16384 keys at the default
+        // shape), plus a small one to show normal routing still works.
+        let n = 20_000u32;
+        let keys: Vec<String> = (0..n)
+            .map(|i| i.wrapping_mul(2_654_435_761).rotate_left(7).to_string())
+            .collect();
+        let input = format!("{}\n5 1 3\n", keys.join(" "));
+        let out = run_serve(&opts, input.as_bytes()).unwrap();
+        let text = String::from_utf8(out.bytes).unwrap();
+        let mut lines = text.lines();
+        let big: Vec<u32> = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        let mut expect: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2_654_435_761).rotate_left(7)).collect();
+        expect.sort_unstable();
+        assert_eq!(big, expect, "bulk reply is oracle-identical");
+        assert_eq!(lines.next().unwrap(), "1 3 5");
+        let report = out.report.unwrap();
+        assert!(report.contains("bulk: 1 submitted, 1 completed"), "{report}");
     }
 
     #[test]

@@ -8,10 +8,12 @@
 /// `spmd::Phase::ALL`, the two fault-recovery phases (`Retry`, `Stall`)
 /// that only appear under fault injection, the four serving-layer
 /// phases (`Queue`, `Batch`, `Run`, `Scatter`) recorded by the sort
-/// service's dispatcher, and the three sharding phases (`Route`,
+/// service's dispatcher, the three sharding phases (`Route`,
 /// `Steal`, `Scale`) recorded by the sharded service's router and
-/// per-shard workers.
-pub const PHASES: usize = 14;
+/// per-shard workers, and the two bulk-sort phases (`Split`, `Merge`)
+/// recorded when an over-band request is scattered across shards and
+/// its sorted partitions are reassembled.
+pub const PHASES: usize = 16;
 
 /// The execution phase a span belongs to.
 ///
@@ -56,6 +58,12 @@ pub enum TracePhase {
     /// A shard growing or shrinking its warm pool under the autoscaler
     /// (sharded serving).
     Scale,
+    /// Selecting splitters for an over-band request and scattering its
+    /// keys into per-shard sub-requests (bulk sorts).
+    Split,
+    /// The k-way merge reassembling a bulk request's sorted partitions
+    /// into one ordered reply (bulk sorts).
+    Merge,
 }
 
 impl TracePhase {
@@ -75,6 +83,8 @@ impl TracePhase {
         TracePhase::Route,
         TracePhase::Steal,
         TracePhase::Scale,
+        TracePhase::Split,
+        TracePhase::Merge,
     ];
 
     /// The five paper phases every normal run records (`Retry`/`Stall`
@@ -106,6 +116,8 @@ impl TracePhase {
             TracePhase::Route => 11,
             TracePhase::Steal => 12,
             TracePhase::Scale => 13,
+            TracePhase::Split => 14,
+            TracePhase::Merge => 15,
         }
     }
 
@@ -127,6 +139,8 @@ impl TracePhase {
             TracePhase::Route => "route",
             TracePhase::Steal => "steal",
             TracePhase::Scale => "scale",
+            TracePhase::Split => "split",
+            TracePhase::Merge => "merge",
         }
     }
 }

@@ -132,13 +132,74 @@ impl ClassConfig {
     }
 }
 
-/// A sharded service: ordered size classes, the steal policy, and the
-/// autoscaler. See [`crate::ShardedService`].
+/// Bulk-sort policy: what happens to a request larger than every band.
+///
+/// Disabled (the default), over-band requests are shed as
+/// [`crate::Rejection::TooLarge`], exactly the pre-bulk behavior. Enabled,
+/// the [`crate::split`] subsystem selects splitters from one oversampled
+/// sampling round (arXiv 2204.04599: oversampling by
+/// `ceil(2 ln s / eps^2)` per splitter bounds partition skew by
+/// `1 + eps` with high probability), scatters the keys into per-shard
+/// sub-requests that ride the normal admission/coalesce/pool path, and
+/// k-way merges the sorted partitions into one reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BulkConfig {
+    /// Master switch: accept over-band requests via split/scatter/merge.
+    pub enabled: bool,
+    /// Skew bound `1 + eps` the splitter selector targets: no partition
+    /// should exceed `skew_bound` times its capacity-weighted share on
+    /// random input. Drives the oversampling ratio. Must exceed 1.
+    pub skew_bound: f64,
+    /// Deadline headroom reserved for the reply-side k-way merge:
+    /// sub-requests carry the parent deadline minus this budget, so a
+    /// parent whose partitions finish in time cannot expire mid-merge.
+    pub merge_budget: Duration,
+    /// Seed of the deterministic sampling round. Splitter selection is a
+    /// pure function of `(keys, shard bands, seed)`, which is what lets
+    /// the [`crate::ShardEngine`] twin replay a scatter/merge schedule
+    /// bit-for-bit.
+    pub seed: u64,
+}
+
+impl Default for BulkConfig {
+    fn default() -> Self {
+        BulkConfig {
+            enabled: false,
+            skew_bound: 1.5,
+            merge_budget: Duration::from_millis(50),
+            seed: 0x5EED_5911,
+        }
+    }
+}
+
+impl BulkConfig {
+    /// The default policy with the master switch on.
+    #[must_use]
+    pub fn on() -> Self {
+        BulkConfig {
+            enabled: true,
+            ..BulkConfig::default()
+        }
+    }
+
+    /// Panic unless the policy is usable.
+    pub fn validate(&self) {
+        assert!(
+            self.skew_bound > 1.0,
+            "skew bound is a multiple of the fair share and must exceed 1"
+        );
+    }
+}
+
+/// A sharded service: ordered size classes, the steal policy, the
+/// autoscaler, and the bulk-sort policy. See [`crate::ShardedService`].
 #[derive(Debug, Clone)]
 pub struct ShardedConfig {
     /// Size classes in ascending band order (`pool.max_request_keys`
     /// strictly increasing). A request routes to the first class that
-    /// admits it; requests beyond the last band are shed as too large.
+    /// admits it; requests beyond the last band are shed as too large —
+    /// unless [`ShardedConfig::bulk`] is enabled, in which case they are
+    /// split across shards and merged on reply.
     pub classes: Vec<ClassConfig>,
     /// Work stealing: an idle shard may claim the oldest compatible
     /// batch from a neighbor whose head request has waited at least this
@@ -149,6 +210,8 @@ pub struct ShardedConfig {
     pub autoscale: Option<AutoscaleConfig>,
     /// Span recording for the router and every shard worker.
     pub trace: TraceConfig,
+    /// Cross-shard bulk sorts for requests beyond every band.
+    pub bulk: BulkConfig,
 }
 
 impl ShardedConfig {
@@ -186,8 +249,19 @@ impl ShardedConfig {
             steal_after: Some(Duration::from_millis(1)),
             autoscale: None,
             trace: TraceConfig::off(),
+            bulk: BulkConfig::default(),
         };
         cfg.validate();
+        cfg
+    }
+
+    /// [`ShardedConfig::banded`] with bulk sorts enabled: requests beyond
+    /// the widest band are split across the shards and merged on reply
+    /// instead of being shed as too large.
+    #[must_use]
+    pub fn banded_bulk(procs: usize, shards: usize) -> Self {
+        let mut cfg = ShardedConfig::banded(procs, shards);
+        cfg.bulk = BulkConfig::on();
         cfg
     }
 
@@ -216,5 +290,6 @@ impl ShardedConfig {
         if let Some(a) = &self.autoscale {
             a.validate();
         }
+        self.bulk.validate();
     }
 }

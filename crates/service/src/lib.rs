@@ -40,6 +40,12 @@
 //!   an [`Autoscaler`] resizes each pool from LogP-predicted queue
 //!   drain time. [`ShardEngine`] is the identical policy stack under
 //!   virtual time, for deterministic steal/scale tests;
+//! * [`split`] lifts the shard layer from isolation to aggregate
+//!   capacity: a request beyond every band is cut by one oversampled
+//!   splitter-selection round into per-shard in-band sub-requests,
+//!   each rides the normal admission/coalesce/pool path, and a k-way
+//!   merge reassembles the ordered reply — any sub-request failure
+//!   fails the parent with a structured [`BulkFailure`];
 //! * [`net`] puts the whole thing behind a real socket: the `SORT_1`
 //!   length-prefixed frame codec, a [`WireServer`] with per-connection
 //!   reader threads whose stalls become structured [`Disconnect`]s, a
@@ -59,11 +65,12 @@ pub mod pool;
 pub mod router;
 pub mod server;
 pub mod shard;
+pub mod split;
 
 pub use admission::Rejection;
 pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleVerdict};
 pub use coalescer::{BatchCost, Coalescer, Verdict};
-pub use config::{ClassConfig, ServiceConfig, ShardedConfig};
+pub use config::{BulkConfig, ClassConfig, ServiceConfig, ShardedConfig};
 pub use metrics::{ClassMetrics, ServiceMetrics};
 pub use net::{
     Disconnect, FrameError, ReplyFrame, RequestFrame, WireClient, WireConfig, WireError,
@@ -75,3 +82,4 @@ pub use server::{ServiceReport, ServiceStats, SortError, SortRequest, SortServic
 pub use shard::{
     EngineEvent, ShardEngine, ShardStats, ShardedReport, ShardedService, ShardedStats,
 };
+pub use split::{BulkFailure, BulkReason, SplitPart, SplitPlan};

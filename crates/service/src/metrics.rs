@@ -66,6 +66,8 @@ pub struct ClassMetrics {
     pub(crate) plan_hits: Arc<Counter>,
     /// Plan-cache misses summed over ranks and batches.
     pub(crate) plan_misses: Arc<Counter>,
+    /// Lifetime plan-cache hit rate in `[0, 1]`, refreshed per batch.
+    pub(crate) plan_hit_rate: Arc<Gauge>,
     /// Machines replaced after a failed batch.
     pub(crate) machines_rebuilt: Arc<Counter>,
     /// Injected fault events (drops/dups/reorders/jitter/stalls).
@@ -181,6 +183,11 @@ impl ClassMetrics {
                 "Remap-plan cache misses over all ranks and batches",
                 l,
             ),
+            plan_hit_rate: r.gauge(
+                "bitonic_plan_cache_hit_rate",
+                "Lifetime plan-cache hit rate in [0, 1]",
+                l,
+            ),
             machines_rebuilt: r.counter(
                 "bitonic_machines_rebuilt_total",
                 "Pool machines replaced after a failed batch",
@@ -250,6 +257,11 @@ impl ClassMetrics {
     pub(crate) fn record_rank_stats(&self, stats: &CommStats) {
         self.plan_hits.add(stats.plan_hits);
         self.plan_misses.add(stats.plan_misses);
+        let hits = self.plan_hits.get();
+        let total = hits + self.plan_misses.get();
+        if total > 0 {
+            self.plan_hit_rate.set(hits as f64 / total as f64);
+        }
         self.faults_injected.add(stats.faults.total_injected());
         self.arq_retries.add(stats.faults.retries);
         for &(name, count) in &stats.local_kernels {
@@ -279,6 +291,21 @@ pub struct ServiceMetrics {
     started: Instant,
     /// Requests no class band admits (sharded router only).
     pub(crate) unroutable: Arc<Counter>,
+    /// Over-band requests admitted through the bulk split path.
+    pub(crate) bulk_submitted: Arc<Counter>,
+    /// Bulk requests answered with a merged sorted reply.
+    pub(crate) bulk_completed: Arc<Counter>,
+    /// Bulk requests failed by a sub-request (shed/expired/failed).
+    pub(crate) bulk_failed: Arc<Counter>,
+    /// Per-shard sub-requests scattered by bulk splits.
+    pub(crate) bulk_parts: Arc<Counter>,
+    /// Keys sampled by splitter selection, summed over bulk requests.
+    pub(crate) bulk_samples: Arc<Counter>,
+    /// Partition skew (observed/fair-share keys) per partition, in
+    /// permille — 1000 is a perfectly fair cut.
+    pub(crate) bulk_skew_permille: Arc<Histogram>,
+    /// k-way merge latency per completed bulk request, microseconds.
+    pub(crate) bulk_merge_us: Arc<Histogram>,
     classes: Vec<Arc<ClassMetrics>>,
 }
 
@@ -311,10 +338,52 @@ impl ServiceMetrics {
             "Requests no size-class band admits",
             &[],
         );
+        let bulk_submitted = registry.counter(
+            "bitonic_bulk_requests_total",
+            "Over-band requests admitted through the bulk split path",
+            &[],
+        );
+        let bulk_completed = registry.counter(
+            "bitonic_bulk_completed_total",
+            "Bulk requests answered with a merged sorted reply",
+            &[],
+        );
+        let bulk_failed = registry.counter(
+            "bitonic_bulk_failed_total",
+            "Bulk requests failed by a sub-request",
+            &[],
+        );
+        let bulk_parts = registry.counter(
+            "bitonic_bulk_partitions_total",
+            "Per-shard sub-requests scattered by bulk splits",
+            &[],
+        );
+        let bulk_samples = registry.counter(
+            "bitonic_bulk_splitter_samples_total",
+            "Keys sampled by splitter selection",
+            &[],
+        );
+        let bulk_skew_permille = registry.histogram(
+            "bitonic_bulk_partition_skew_permille",
+            "Partition keys over fair share, per partition (1000 = fair)",
+            &[],
+        );
+        let bulk_merge_us = registry.histogram(
+            "bitonic_bulk_merge_us",
+            "k-way merge latency per completed bulk request",
+            &[],
+        );
         Arc::new(ServiceMetrics {
             registry,
             started,
             unroutable,
+            bulk_submitted,
+            bulk_completed,
+            bulk_failed,
+            bulk_parts,
+            bulk_samples,
+            bulk_skew_permille,
+            bulk_merge_us,
             classes,
         })
     }
@@ -444,6 +513,15 @@ impl ServiceMetrics {
         let unroutable = self.unroutable.get();
         if unroutable > 0 {
             out.push_str(&format!("\n[metrics] unroutable={unroutable}"));
+        }
+        let bulk = self.bulk_submitted.get();
+        if bulk > 0 {
+            out.push_str(&format!(
+                "\n[metrics] bulk={} bulk_done={} bulk_failed={}",
+                bulk,
+                self.bulk_completed.get(),
+                self.bulk_failed.get(),
+            ));
         }
         out.push('\n');
         out
@@ -643,6 +721,10 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.counter_total("bitonic_plan_cache_hits_total"), 3);
         assert_eq!(snap.counter_total("bitonic_plan_cache_misses_total"), 1);
+        let rate = snap
+            .gauge_labeled("bitonic_plan_cache_hit_rate", "class", "all")
+            .expect("hit-rate gauge registered");
+        assert!((rate - 0.75).abs() < 1e-9, "rate {rate}");
         assert_eq!(snap.counter_total("bitonic_arq_retries_total"), 2);
         assert_eq!(snap.counter_total("bitonic_faults_injected_total"), 5);
         assert_eq!(

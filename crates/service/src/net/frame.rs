@@ -36,7 +36,9 @@
 //! keys; `1..=5` are the admission [`Rejection`] reasons with the
 //! variant's two numeric fields in `detail a`/`detail b`; `6`..`8` are
 //! the post-admission [`crate::SortError`] outcomes; `9` echoes a
-//! [`FrameError`]. Labels round-trip exactly so wire-side shed counters
+//! [`FrameError`]; `10` is a structured bulk-sort failure (`detail a`
+//! names the shard that sank the request, the body carries the
+//! reason). Labels round-trip exactly so wire-side shed counters
 //! reconcile against the registry's per-reason counters.
 
 use crate::admission::Rejection;
@@ -341,6 +343,7 @@ mod status {
     pub const MACHINE_FAILED: u8 = 7;
     pub const SERVICE_CLOSED: u8 = 8;
     pub const BAD_FRAME: u8 = 9;
+    pub const BULK_FAILED: u8 = 10;
 }
 
 /// One reply frame: the request's outcome, structured.
@@ -365,6 +368,16 @@ pub enum ReplyFrame {
     /// The request frame itself was malformed; carries the error's
     /// [`FrameError::code`]. Sent best-effort before disconnecting.
     BadFrame(u8),
+    /// A bulk (over-band) request failed on one shard: the shard index
+    /// and the rendered [`crate::BulkFailure`] reason. The connection
+    /// stays open — a bulk failure is a structured reply, not a
+    /// protocol error.
+    BulkFailed {
+        /// The shard whose sub-request sank the parent.
+        shard: u64,
+        /// Human-readable failure reason.
+        reason: String,
+    },
 }
 
 impl ReplyFrame {
@@ -378,6 +391,10 @@ impl ReplyFrame {
             },
             SortError::MachineFailed(msg) => ReplyFrame::Failed(msg.clone()),
             SortError::ServiceClosed => ReplyFrame::ServiceClosed,
+            SortError::Bulk(failure) => ReplyFrame::BulkFailed {
+                shard: failure.shard as u64,
+                reason: failure.to_string(),
+            },
         }
     }
 
@@ -393,6 +410,7 @@ impl ReplyFrame {
             ReplyFrame::Failed(_) => "machine_failed",
             ReplyFrame::ServiceClosed => "service_closed",
             ReplyFrame::BadFrame(_) => "bad_frame",
+            ReplyFrame::BulkFailed { .. } => "bulk_failed",
         }
     }
 
@@ -426,6 +444,9 @@ impl ReplyFrame {
             ReplyFrame::Failed(msg) => (status::MACHINE_FAILED, msg.len() as u64, 0),
             ReplyFrame::ServiceClosed => (status::SERVICE_CLOSED, 0, 0),
             ReplyFrame::BadFrame(code) => (status::BAD_FRAME, u64::from(*code), 0),
+            ReplyFrame::BulkFailed { shard, reason } => {
+                (status::BULK_FAILED, *shard, reason.len() as u64)
+            }
         }
     }
 
@@ -436,6 +457,7 @@ impl ReplyFrame {
         let body: Vec<u8> = match self {
             ReplyFrame::Sorted(keys) => keys.iter().flat_map(|k| k.to_le_bytes()).collect(),
             ReplyFrame::Failed(msg) => msg.as_bytes().to_vec(),
+            ReplyFrame::BulkFailed { reason, .. } => reason.as_bytes().to_vec(),
             _ => Vec::new(),
         };
         let payload = REPLY_HEADER + body.len();
@@ -524,6 +546,18 @@ impl ReplyFrame {
             }
             status::SERVICE_CLOSED => ReplyFrame::ServiceClosed,
             status::BAD_FRAME => ReplyFrame::BadFrame(a.min(255) as u8),
+            status::BULK_FAILED => {
+                if body.len() != b as usize {
+                    return Err(FrameError::CountMismatch {
+                        declared: b as usize,
+                        body_bytes: body.len(),
+                    });
+                }
+                ReplyFrame::BulkFailed {
+                    shard: a,
+                    reason: String::from_utf8_lossy(body).into_owned(),
+                }
+            }
             other => return Err(FrameError::BadStatus(other)),
         })
     }
@@ -685,6 +719,10 @@ mod tests {
             ReplyFrame::Failed("rank 2 stalled".into()),
             ReplyFrame::ServiceClosed,
             ReplyFrame::BadFrame(FrameError::BadMagic(*b"nope").code()),
+            ReplyFrame::BulkFailed {
+                shard: 3,
+                reason: "bulk partition on shard 3 was shed: queue full".into(),
+            },
         ] {
             let bytes = reply.encode();
             let back = ReplyFrame::decode(&bytes[LEN_PREFIX..]).unwrap();

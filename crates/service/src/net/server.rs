@@ -28,10 +28,11 @@
 //! totals against `ServiceStats` and the registry in one snapshot.
 
 use crate::admission::Rejection;
-use crate::config::ServiceConfig;
+use crate::config::{ServiceConfig, ShardedConfig};
 use crate::metrics::{ServiceMetrics, WireMetrics};
 use crate::net::frame::{FrameError, ReplyFrame, RequestFrame, LEN_PREFIX};
-use crate::server::{ServiceReport, ServiceStats, SortService};
+use crate::server::{ServiceReport, ServiceStats, SortRequest, SortService, Ticket};
+use crate::shard::{ShardedReport, ShardedService};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -188,6 +189,9 @@ pub struct WireStats {
     pub failed: u64,
     /// `service_closed` replies formed.
     pub closed_replies: u64,
+    /// `bulk_failed` replies formed (a bulk sub-request sank on one
+    /// shard; the connection stayed open).
+    pub bulk_failed: u64,
     /// Rejection replies formed, indexed by [`REJECTION_LABELS`].
     pub rejections: [u64; 5],
     /// Malformed frames seen (by any [`FrameError`]).
@@ -233,8 +237,39 @@ impl WireStats {
 pub struct WireReport {
     /// Final wire-side counters.
     pub wire: WireStats,
-    /// The inner service's final report.
+    /// The inner single-pool service's final report. A server started
+    /// with [`WireServer::start_sharded`] has no single pool; this is
+    /// then an empty placeholder and [`WireReport::sharded`] carries
+    /// the real report.
     pub service: ServiceReport,
+    /// The inner sharded service's final report, for servers started
+    /// with [`WireServer::start_sharded`].
+    pub sharded: Option<ShardedReport>,
+}
+
+/// The service behind the listener: one warm pool, or the sharded
+/// router stack (which is what makes wire-level bulk requests
+/// answerable instead of `too_large`).
+#[derive(Clone)]
+enum Backend {
+    Single(Arc<SortService>),
+    Sharded(Arc<ShardedService>),
+}
+
+impl Backend {
+    fn submit(&self, request: SortRequest) -> Result<Ticket, Rejection> {
+        match self {
+            Backend::Single(s) => s.submit(request),
+            Backend::Sharded(s) => s.submit(request),
+        }
+    }
+
+    fn metrics(&self) -> Option<Arc<ServiceMetrics>> {
+        match self {
+            Backend::Single(s) => s.metrics(),
+            Backend::Sharded(s) => s.metrics(),
+        }
+    }
 }
 
 struct WireShared {
@@ -285,6 +320,7 @@ impl WireShared {
                 ReplyFrame::Failed(_) => s.failed += 1,
                 ReplyFrame::ServiceClosed => s.closed_replies += 1,
                 ReplyFrame::BadFrame(_) => {}
+                ReplyFrame::BulkFailed { .. } => s.bulk_failed += 1,
             }
         }
         if let Some(m) = &self.metrics {
@@ -319,7 +355,7 @@ impl WireShared {
 /// [`WireServer::local_addr`] (bind to port 0 for loopback tests), and
 /// finish with [`WireServer::shutdown`] for the final [`WireReport`].
 pub struct WireServer {
-    service: Option<Arc<SortService>>,
+    service: Option<Backend>,
     shared: Arc<WireShared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
@@ -342,10 +378,35 @@ impl WireServer {
     /// # Panics
     /// Panics if `config` fails [`ServiceConfig::validate`].
     pub fn start(config: ServiceConfig, wire: WireConfig, addr: &str) -> std::io::Result<Self> {
+        Self::boot(Backend::Single(Arc::new(SortService::start(config))), wire, addr)
+    }
+
+    /// [`WireServer::start`] over a sharded service: requests route by
+    /// size class, and — when `config.bulk` is enabled — requests
+    /// larger than every band are answered via split/scatter/merge
+    /// instead of being refused `too_large`.
+    ///
+    /// # Errors
+    /// The bind error, when the address is unusable.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`ShardedConfig::validate`].
+    pub fn start_sharded(
+        config: ShardedConfig,
+        wire: WireConfig,
+        addr: &str,
+    ) -> std::io::Result<Self> {
+        Self::boot(
+            Backend::Sharded(Arc::new(ShardedService::start(config))),
+            wire,
+            addr,
+        )
+    }
+
+    fn boot(backend: Backend, wire: WireConfig, addr: &str) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let service = Arc::new(SortService::start(config));
-        let metrics = service.metrics().map(|m| m.wire_handles());
+        let metrics = backend.metrics().map(|m| m.wire_handles());
         let shared = Arc::new(WireShared {
             cfg: wire,
             stats: Mutex::new(WireStats::default()),
@@ -354,12 +415,12 @@ impl WireServer {
             shutdown: AtomicBool::new(false),
             metrics,
         });
-        let accept_service = Arc::clone(&service);
+        let accept_backend = backend.clone();
         let accept_shared = Arc::clone(&shared);
         let accept =
-            std::thread::spawn(move || accept_loop(&listener, &accept_service, &accept_shared));
+            std::thread::spawn(move || accept_loop(&listener, &accept_backend, &accept_shared));
         Ok(WireServer {
-            service: Some(service),
+            service: Some(backend),
             shared,
             addr: local,
             accept: Some(accept),
@@ -378,10 +439,25 @@ impl WireServer {
         self.shared.stats.lock().expect("wire stats").clone()
     }
 
-    /// Snapshot of the inner service's counters.
+    /// Snapshot of the inner single-pool service's counters. For a
+    /// server started with [`WireServer::start_sharded`] this is an
+    /// empty placeholder; use [`WireServer::sharded_stats`] there.
     #[must_use]
     pub fn service_stats(&self) -> ServiceStats {
-        self.service.as_ref().expect("service running").stats()
+        match self.service.as_ref().expect("service running") {
+            Backend::Single(s) => s.stats(),
+            Backend::Sharded(_) => ServiceStats::default(),
+        }
+    }
+
+    /// Snapshot of the inner sharded service's counters, when the
+    /// server was started with [`WireServer::start_sharded`].
+    #[must_use]
+    pub fn sharded_stats(&self) -> Option<crate::shard::ShardedStats> {
+        match self.service.as_ref().expect("service running") {
+            Backend::Single(_) => None,
+            Backend::Sharded(s) => Some(s.stats()),
+        }
     }
 
     /// The inner service's metrics plane, when enabled.
@@ -423,11 +499,27 @@ impl WireServer {
         for h in handlers {
             let _ = h.join();
         }
-        let service = Arc::try_unwrap(service).expect("all connection handlers joined");
-        let report = service.shutdown();
-        Some(WireReport {
-            wire: self.shared.stats.lock().expect("wire stats").clone(),
-            service: report,
+        let wire = self.shared.stats.lock().expect("wire stats").clone();
+        Some(match service {
+            Backend::Single(s) => {
+                let s = Arc::try_unwrap(s).expect("all connection handlers joined");
+                WireReport {
+                    wire,
+                    service: s.shutdown(),
+                    sharded: None,
+                }
+            }
+            Backend::Sharded(s) => {
+                let s = Arc::try_unwrap(s).expect("all connection handlers joined");
+                WireReport {
+                    wire,
+                    service: ServiceReport {
+                        stats: ServiceStats::default(),
+                        trace: obs::RankTrace::default(),
+                    },
+                    sharded: Some(s.shutdown()),
+                }
+            }
         })
     }
 }
@@ -438,7 +530,7 @@ impl Drop for WireServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, service: &Arc<SortService>, shared: &Arc<WireShared>) {
+fn accept_loop(listener: &TcpListener, backend: &Backend, shared: &Arc<WireShared>) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -448,24 +540,24 @@ fn accept_loop(listener: &TcpListener, service: &Arc<SortService>, shared: &Arc<
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().expect("conn list").push(clone);
         }
-        let service = Arc::clone(service);
+        let backend = backend.clone();
         let shared_for_conn = Arc::clone(shared);
-        let handle = std::thread::spawn(move || handle_conn(stream, &service, &shared_for_conn));
+        let handle = std::thread::spawn(move || handle_conn(stream, &backend, &shared_for_conn));
         shared.handlers.lock().expect("handler list").push(handle);
     }
 }
 
-fn handle_conn(mut stream: TcpStream, service: &SortService, shared: &WireShared) {
+fn handle_conn(mut stream: TcpStream, backend: &Backend, shared: &WireShared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.cfg.poll_tick));
     let _ = stream.set_write_timeout(Some(shared.cfg.poll_tick));
-    let why = serve_conn(&mut stream, service, shared);
+    let why = serve_conn(&mut stream, backend, shared);
     let _ = stream.shutdown(Shutdown::Both);
     shared.note_conn_closed(&why);
 }
 
 /// Serve one connection until it ends; returns how it ended.
-fn serve_conn(stream: &mut TcpStream, service: &SortService, shared: &WireShared) -> Disconnect {
+fn serve_conn(stream: &mut TcpStream, backend: &Backend, shared: &WireShared) -> Disconnect {
     loop {
         let payload = match read_frame(stream, shared) {
             Ok(p) => p,
@@ -486,7 +578,7 @@ fn serve_conn(stream: &mut TcpStream, service: &SortService, shared: &WireShared
             }
         };
         shared.note_frame();
-        let reply = match service.submit(request) {
+        let reply = match backend.submit(request) {
             Ok(ticket) => match ticket.wait() {
                 Ok(keys) => ReplyFrame::Sorted(keys),
                 Err(err) => ReplyFrame::from_error(&err),

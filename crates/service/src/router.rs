@@ -12,6 +12,7 @@
 //! shards the buckets, and the decision is a binary scan of a handful
 //! of bounds — pure and allocation-free.
 
+use crate::admission::Rejection;
 use crate::config::ShardedConfig;
 
 /// One routable size band: requests of up to `max_keys` keys.
@@ -82,6 +83,27 @@ impl Router {
     pub fn max_keys(&self) -> usize {
         self.classes.last().map_or(0, |c| c.max_keys)
     }
+
+    /// The rejection for a `keys`-key request beyond every band. Both
+    /// shed paths (live service and virtual-time engine) build their
+    /// `TooLarge` here so the reported limit is always the *widest*
+    /// admitting band — the wire `detail` fields stay consistent no
+    /// matter which path shed the request.
+    #[must_use]
+    pub fn too_large(&self, keys: usize) -> Rejection {
+        Rejection::TooLarge {
+            keys,
+            limit: self.max_keys(),
+        }
+    }
+
+    /// The per-band key capacities, in shard order — the weights the
+    /// splitter selector uses to give each shard a share of a bulk
+    /// request proportional to what its band admits.
+    #[must_use]
+    pub fn band_capacities(&self) -> Vec<usize> {
+        self.classes.iter().map(|c| c.max_keys).collect()
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +122,7 @@ mod tests {
             steal_after: None,
             autoscale: None,
             trace: obs::TraceConfig::off(),
+            bulk: crate::config::BulkConfig::default(),
         })
     }
 
@@ -120,6 +143,19 @@ mod tests {
     }
 
     #[test]
+    fn too_large_reports_the_widest_band_limit() {
+        let r = router();
+        assert_eq!(
+            r.too_large(99_999),
+            Rejection::TooLarge {
+                keys: 99_999,
+                limit: 16384
+            }
+        );
+        assert_eq!(r.band_capacities(), vec![64, 1024, 16384]);
+    }
+
+    #[test]
     #[should_panic(expected = "must exceed the previous band")]
     fn non_increasing_bands_are_rejected() {
         let base = ServiceConfig::new(4);
@@ -131,6 +167,7 @@ mod tests {
             steal_after: None,
             autoscale: None,
             trace: obs::TraceConfig::off(),
+            bulk: crate::config::BulkConfig::default(),
         });
     }
 

@@ -85,6 +85,10 @@ pub enum SortError {
     MachineFailed(String),
     /// The service shut down before the request could be answered.
     ServiceClosed,
+    /// A bulk request's sub-request sank on one shard; the failure
+    /// names the shard and the reason, and every surviving partition
+    /// was discarded (a partial bulk sort is not a sort).
+    Bulk(crate::split::BulkFailure),
 }
 
 impl std::fmt::Display for SortError {
@@ -95,6 +99,7 @@ impl std::fmt::Display for SortError {
             }
             SortError::MachineFailed(msg) => write!(f, "batch failed: {msg}"),
             SortError::ServiceClosed => write!(f, "service closed"),
+            SortError::Bulk(failure) => write!(f, "bulk sort failed: {failure}"),
         }
     }
 }

@@ -29,6 +29,13 @@
 //!   time overshoots the class's deadline budget and shrinking it after
 //!   sustained idleness (never below one machine).
 //!
+//! When [`crate::BulkConfig::enabled`], a third mechanism lifts the
+//! shard layer from isolation to aggregate capacity: a request larger
+//! than every band is split by [`crate::split`] into per-shard in-band
+//! sub-requests (one oversampled splitter-selection round), each rides
+//! the normal admission/coalesce/pool path above, and a coordinator
+//! k-way merges the sorted partitions into the parent's reply.
+//!
 //! Both services here answer identically to a single pool — the
 //! property tests in `tests/shard.rs` prove replies are byte-identical.
 //! [`ShardedService`] is the production front door (one worker thread
@@ -41,12 +48,14 @@
 use crate::admission::{Admission, Rejection};
 use crate::autoscale::{Autoscaler, ScaleVerdict};
 use crate::coalescer::{Coalescer, Verdict};
-use crate::config::{ServiceConfig, ShardedConfig};
+use crate::config::{BulkConfig, ServiceConfig, ShardedConfig};
 use crate::metrics::ServiceMetrics;
 use crate::pool::{PoolStats, WarmPool};
 use crate::router::Router;
 use crate::server::{process_batch, take_prefix, Pending, SortError, SortRequest, Ticket};
+use crate::split::{self, BulkFailure, BulkReason};
 use bitonic_core::tagged::TaggedBatch;
+use bitonic_network::Direction;
 use obs::{RankTrace, TracePhase, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, VecDeque};
@@ -119,6 +128,12 @@ pub struct ShardedStats {
     pub shards: Vec<ShardStats>,
     /// Requests larger than every band (shed at the router).
     pub unroutable: u64,
+    /// Over-band requests admitted through the bulk split path.
+    pub bulk_submitted: u64,
+    /// Bulk requests answered with a merged sorted reply.
+    pub bulk_completed: u64,
+    /// Bulk requests failed by a sub-request (shed/expired/failed).
+    pub bulk_failed: u64,
 }
 
 impl ShardedStats {
@@ -180,6 +195,9 @@ struct MultiQueue {
     shards: Vec<ShardQueue>,
     closed: bool,
     unroutable: u64,
+    bulk_submitted: u64,
+    bulk_completed: u64,
+    bulk_failed: u64,
     router_sink: TraceSink,
 }
 
@@ -199,8 +217,13 @@ pub struct ShardedService {
     router: Router,
     admissions: Vec<Admission>,
     deadlines: Vec<Duration>,
+    bulk: BulkConfig,
+    bands: Vec<usize>,
     metrics: Option<Arc<ServiceMetrics>>,
     workers: Vec<std::thread::JoinHandle<RankTrace>>,
+    /// One coordinator per in-flight bulk request, joined at shutdown so
+    /// the final stats include every scatter/merge in flight.
+    bulk_workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for ShardedService {
@@ -239,6 +262,9 @@ impl ShardedService {
                 shards,
                 closed: false,
                 unroutable: 0,
+                bulk_submitted: 0,
+                bulk_completed: 0,
+                bulk_failed: 0,
                 router_sink: TraceSink::new(cfg.classes.len(), cfg.trace, epoch),
             }),
             cv: Condvar::new(),
@@ -267,12 +293,15 @@ impl ShardedService {
             })
             .collect();
         ShardedService {
+            bulk: cfg.bulk,
+            bands: router.band_capacities(),
             shared,
             router,
             admissions,
             deadlines,
             metrics,
             workers,
+            bulk_workers: Mutex::new(Vec::new()),
         }
     }
 
@@ -287,7 +316,9 @@ impl ShardedService {
 
     /// Submit a request: route it to its size class, apply that shard's
     /// admission control, and enqueue it. Requests larger than every
-    /// band are shed as [`Rejection::TooLarge`] against the widest band.
+    /// band are shed as [`Rejection::TooLarge`] against the widest band —
+    /// unless [`crate::BulkConfig::enabled`], in which case they are
+    /// split across the shards and merged on reply (see [`crate::split`]).
     ///
     /// # Errors
     /// The [`Rejection`] naming the limit the request hit.
@@ -298,14 +329,15 @@ impl ShardedService {
             return Err(Rejection::Closed);
         }
         let Some(shard) = self.router.route(request.keys.len()) else {
+            if self.bulk.enabled {
+                drop(q);
+                return self.submit_bulk(request);
+            }
             q.unroutable += 1;
             if let Some(m) = self.metrics.as_deref() {
                 m.unroutable.inc();
             }
-            return Err(Rejection::TooLarge {
-                keys: request.keys.len(),
-                limit: self.router.max_keys(),
-            });
+            return Err(self.router.too_large(request.keys.len()));
         };
         let cm = self.metrics.as_deref().map(|m| m.class(shard));
         let deadline = request.deadline.unwrap_or(self.deadlines[shard]);
@@ -347,6 +379,109 @@ impl ShardedService {
         Ok(Ticket { rx })
     }
 
+    /// The bulk path: split an over-band request into per-shard in-band
+    /// sub-requests, enqueue them through each shard's normal admission,
+    /// and hand reassembly to a coordinator thread. The parent's ticket
+    /// resolves to the merged keys, or to [`SortError::Bulk`] naming the
+    /// first shard whose partition sank.
+    fn submit_bulk(&self, request: SortRequest) -> Result<Ticket, Rejection> {
+        let t0 = Instant::now();
+        // Splitter selection is pure CPU over the keys; keep it outside
+        // the queue lock.
+        let plan = split::plan(&request.keys, &self.bands, &self.bulk);
+        let nparts = plan.parts.len();
+        let dir = request.dir;
+        let parent_deadline = request
+            .deadline
+            .unwrap_or_else(|| *self.deadlines.last().expect("at least one shard"));
+        let sub_deadline = parent_deadline.saturating_sub(self.bulk.merge_budget);
+        let (parent_tx, parent_rx) = mpsc::channel();
+        let mut q = self.shared.q.lock().expect("shard queues lock");
+        if q.closed {
+            return Err(Rejection::Closed);
+        }
+        q.bulk_submitted += 1;
+        if let Some(m) = self.metrics.as_deref() {
+            m.bulk_submitted.inc();
+            m.bulk_parts.add(nparts as u64);
+            m.bulk_samples.add(plan.samples as u64);
+            for s in &plan.skew {
+                m.bulk_skew_permille.observe((s * 1000.0).round() as u64);
+            }
+        }
+        // Two-phase scatter: admission-check every partition (each check
+        // accounting for the ones before it) before enqueuing any, so a
+        // shed leaves no orphaned sub-requests behind.
+        let mut extra_len = vec![0usize; q.shards.len()];
+        let mut extra_keys = vec![0usize; q.shards.len()];
+        let mut refused = None;
+        for part in &plan.parts {
+            let sq = &q.shards[part.shard];
+            if let Err(r) = self.admissions[part.shard].admit(
+                sq.pending.len() + extra_len[part.shard],
+                sq.pending_keys + extra_keys[part.shard],
+                part.keys.len(),
+                sub_deadline,
+            ) {
+                refused = Some(BulkFailure {
+                    shard: part.shard,
+                    reason: BulkReason::Shed(r),
+                });
+                break;
+            }
+            extra_len[part.shard] += 1;
+            extra_keys[part.shard] += part.keys.len();
+        }
+        if let Some(failure) = refused {
+            q.bulk_failed += 1;
+            if let Some(m) = self.metrics.as_deref() {
+                m.bulk_failed.inc();
+            }
+            drop(q);
+            let _ = parent_tx.send(Err(SortError::Bulk(failure)));
+            return Ok(Ticket { rx: parent_rx });
+        }
+        let mut subs = Vec::with_capacity(nparts);
+        for part in plan.parts {
+            let sq = &mut q.shards[part.shard];
+            sq.stats.submitted += 1;
+            sq.stats.admitted += 1;
+            sq.pending_keys += part.keys.len();
+            if let Some(m) = self.metrics.as_deref() {
+                let cm = m.class(part.shard);
+                cm.submitted.inc();
+                cm.admitted.inc();
+                cm.set_queue(sq.pending.len() + 1, sq.pending_keys);
+            }
+            let (reply, rx) = mpsc::channel();
+            sq.pending.push_back(Pending {
+                keys: part.keys,
+                dir,
+                deadline: sub_deadline,
+                enqueued: t0,
+                reply,
+            });
+            subs.push((part.shard, rx));
+        }
+        q.router_sink.set_step(nparts as u32);
+        q.router_sink.span(TracePhase::Split, t0, Instant::now());
+        // Register the coordinator while still holding the queue lock
+        // (where `closed` is known false), so a concurrent shutdown
+        // cannot drain the worker list before this one is on it.
+        let shared = Arc::clone(&self.shared);
+        let metrics = self.metrics.clone();
+        let worker = std::thread::spawn(move || {
+            bulk_coordinator(&shared, metrics.as_deref(), dir, subs, &parent_tx);
+        });
+        self.bulk_workers
+            .lock()
+            .expect("bulk worker list")
+            .push(worker);
+        drop(q);
+        self.shared.cv.notify_all();
+        Ok(Ticket { rx: parent_rx })
+    }
+
     /// A snapshot of every shard's counters (pool counters as of each
     /// shard's most recently finished batch).
     #[must_use]
@@ -355,6 +490,9 @@ impl ShardedService {
         ShardedStats {
             shards: q.shards.iter().map(|s| s.stats.clone()).collect(),
             unroutable: q.unroutable,
+            bulk_submitted: q.bulk_submitted,
+            bulk_completed: q.bulk_completed,
+            bulk_failed: q.bulk_failed,
         }
     }
 
@@ -367,10 +505,22 @@ impl ShardedService {
     pub fn shutdown(mut self) -> ShardedReport {
         let workers = std::mem::take(&mut self.workers);
         self.close();
-        let shard_traces = workers
+        let shard_traces: Vec<RankTrace> = workers
             .into_iter()
             .map(|w| w.join().expect("shard worker panicked"))
             .collect();
+        // The drained queues have answered every sub-request by now, so
+        // the coordinators all finish; join them before taking the final
+        // counters so in-flight merges are counted.
+        let bulk: Vec<_> = self
+            .bulk_workers
+            .lock()
+            .expect("bulk worker list")
+            .drain(..)
+            .collect();
+        for w in bulk {
+            let _ = w.join();
+        }
         let mut q = self.shared.q.lock().expect("shard queues lock");
         let router_sink = std::mem::replace(
             &mut q.router_sink,
@@ -380,6 +530,9 @@ impl ShardedService {
             stats: ShardedStats {
                 shards: q.shards.iter().map(|s| s.stats.clone()).collect(),
                 unroutable: q.unroutable,
+                bulk_submitted: q.bulk_submitted,
+                bulk_completed: q.bulk_completed,
+                bulk_failed: q.bulk_failed,
             },
             shard_traces,
             router_trace: router_sink.finish(),
@@ -401,7 +554,81 @@ impl Drop for ShardedService {
         for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
         }
+        let bulk: Vec<_> = self
+            .bulk_workers
+            .lock()
+            .expect("bulk worker list")
+            .drain(..)
+            .collect();
+        for w in bulk {
+            let _ = w.join();
+        }
     }
+}
+
+/// Reassemble one bulk request: wait for every per-shard sub-reply, then
+/// k-way merge the sorted partitions into the parent's answer. The first
+/// failing sub-request fails the parent with a structured
+/// [`BulkFailure`] naming the shard and reason; the surviving partitions
+/// are discarded (their shard stats still settle as their batches run).
+fn bulk_coordinator(
+    shared: &SharedShards,
+    metrics: Option<&ServiceMetrics>,
+    dir: Direction,
+    subs: Vec<(usize, mpsc::Receiver<Result<Vec<u32>, SortError>>)>,
+    parent: &mpsc::Sender<Result<Vec<u32>, SortError>>,
+) {
+    let mut parts: Vec<Vec<u32>> = Vec::with_capacity(subs.len());
+    let mut failure: Option<BulkFailure> = None;
+    for (shard, rx) in subs {
+        if failure.is_some() {
+            // Parent already doomed; drain the rest so nothing dangles.
+            let _ = rx.recv();
+            continue;
+        }
+        match rx.recv() {
+            Ok(Ok(keys)) => parts.push(keys),
+            Ok(Err(e)) => {
+                failure = Some(BulkFailure {
+                    shard,
+                    reason: BulkReason::from_sub_error(&e),
+                });
+            }
+            Err(_) => {
+                failure = Some(BulkFailure {
+                    shard,
+                    reason: BulkReason::Closed,
+                });
+            }
+        }
+    }
+    let reply = match failure {
+        Some(f) => {
+            shared.q.lock().expect("shard queues lock").bulk_failed += 1;
+            if let Some(m) = metrics {
+                m.bulk_failed.inc();
+            }
+            Err(SortError::Bulk(f))
+        }
+        None => {
+            let m0 = Instant::now();
+            let merged = split::merge_parts(&parts, dir);
+            let m1 = Instant::now();
+            {
+                let mut q = shared.q.lock().expect("shard queues lock");
+                q.bulk_completed += 1;
+                q.router_sink.span(TracePhase::Merge, m0, m1);
+            }
+            if let Some(m) = metrics {
+                m.bulk_completed.inc();
+                m.bulk_merge_us.observe(
+                    u64::try_from(m1.duration_since(m0).as_micros()).unwrap_or(u64::MAX),
+                );
+            }
+            Ok(merged)
+        }
+    };
+    let _ = parent.send(reply);
 }
 
 /// What a worker pulled out of the queues in one pass.
@@ -646,14 +873,45 @@ pub enum EngineEvent {
         /// The lost request.
         request: u64,
     },
+    /// An over-band request was split: one splitter-selection round
+    /// scattered it into per-shard sub-requests (which then appear as
+    /// [`EngineEvent::Routed`] entries of their own).
+    Split {
+        /// The parent request.
+        request: u64,
+        /// Shard of each scattered partition, in partition order.
+        parts: Vec<usize>,
+        /// Keys sampled by splitter selection.
+        samples: u64,
+    },
+    /// Every partition of a bulk request completed and the k-way merge
+    /// produced the parent's reply.
+    Merged {
+        /// The parent request.
+        request: u64,
+        /// Keys in the merged reply.
+        keys: u64,
+    },
 }
 
 struct EnginePending {
     id: u64,
     keys: Vec<u32>,
-    dir: bitonic_network::Direction,
+    dir: Direction,
     deadline: Duration,
     enqueued: Duration,
+    /// `(parent id, partition index)` when this pending is one scattered
+    /// partition of a bulk request.
+    bulk: Option<(u64, usize)>,
+}
+
+/// One in-flight bulk request inside the engine: completed partitions
+/// accumulate here until the merge (or the first failure).
+struct EngineBulk {
+    dir: Direction,
+    total: usize,
+    parts: BTreeMap<usize, Vec<u32>>,
+    failed: bool,
 }
 
 struct EngineShard {
@@ -696,10 +954,13 @@ pub struct ShardEngine {
     router: Router,
     admissions: Vec<Admission>,
     steal_after: Option<Duration>,
+    bulk_cfg: BulkConfig,
+    bands: Vec<usize>,
     shards: Vec<EngineShard>,
     next_id: u64,
     events: Vec<EngineEvent>,
     replies: BTreeMap<u64, Result<Vec<u32>, SortError>>,
+    bulk: BTreeMap<u64, EngineBulk>,
 }
 
 impl std::fmt::Debug for ShardEngine {
@@ -744,6 +1005,8 @@ impl ShardEngine {
             .collect();
         ShardEngine {
             now: Duration::ZERO,
+            bulk_cfg: cfg.bulk,
+            bands: router.band_capacities(),
             router,
             admissions,
             steal_after: cfg.steal_after,
@@ -751,6 +1014,7 @@ impl ShardEngine {
             next_id: 0,
             events: Vec::new(),
             replies: BTreeMap::new(),
+            bulk: BTreeMap::new(),
         }
     }
 
@@ -802,10 +1066,10 @@ impl ShardEngine {
     /// The [`Rejection`] naming the limit the request hit.
     pub fn submit(&mut self, request: SortRequest) -> Result<u64, Rejection> {
         let Some(shard) = self.router.route(request.keys.len()) else {
-            return Err(Rejection::TooLarge {
-                keys: request.keys.len(),
-                limit: self.router.max_keys(),
-            });
+            if self.bulk_cfg.enabled {
+                return self.submit_bulk(request);
+            }
+            return Err(self.router.too_large(request.keys.len()));
         };
         let deadline = request
             .deadline
@@ -826,9 +1090,129 @@ impl ShardEngine {
             dir: request.dir,
             deadline,
             enqueued: self.now,
+            bulk: None,
         });
         self.events.push(EngineEvent::Routed { request: id, shard });
         Ok(id)
+    }
+
+    /// The engine's bulk path: the identical pure split plan the
+    /// threaded service computes, scattered at the current virtual time.
+    /// A partition shed at admission fails the parent immediately (its
+    /// reply is [`SortError::Bulk`]); the parent id is returned either
+    /// way, mirroring the threaded ticket semantics.
+    fn submit_bulk(&mut self, request: SortRequest) -> Result<u64, Rejection> {
+        let plan = split::plan(&request.keys, &self.bands, &self.bulk_cfg);
+        let parent_deadline = request.deadline.unwrap_or_else(|| {
+            self.shards
+                .last()
+                .expect("at least one shard")
+                .cfg
+                .default_deadline
+        });
+        let sub_deadline = parent_deadline.saturating_sub(self.bulk_cfg.merge_budget);
+        let parent = self.next_id;
+        self.next_id += 1;
+        self.events.push(EngineEvent::Split {
+            request: parent,
+            parts: plan.parts.iter().map(|p| p.shard).collect(),
+            samples: plan.samples as u64,
+        });
+        // Two-phase scatter, as in the threaded service: check every
+        // partition before enqueuing any.
+        let mut extra_len = vec![0usize; self.shards.len()];
+        let mut extra_keys = vec![0usize; self.shards.len()];
+        let mut refused = None;
+        for part in &plan.parts {
+            let s = &self.shards[part.shard];
+            if let Err(r) = self.admissions[part.shard].admit(
+                s.queue.len() + extra_len[part.shard],
+                s.queue_keys + extra_keys[part.shard],
+                part.keys.len(),
+                sub_deadline,
+            ) {
+                refused = Some(BulkFailure {
+                    shard: part.shard,
+                    reason: BulkReason::Shed(r),
+                });
+                break;
+            }
+            extra_len[part.shard] += 1;
+            extra_keys[part.shard] += part.keys.len();
+        }
+        if let Some(failure) = refused {
+            self.events.push(EngineEvent::Failed { request: parent });
+            self.replies.insert(parent, Err(SortError::Bulk(failure)));
+            return Ok(parent);
+        }
+        self.bulk.insert(
+            parent,
+            EngineBulk {
+                dir: request.dir,
+                total: plan.parts.len(),
+                parts: BTreeMap::new(),
+                failed: false,
+            },
+        );
+        for (idx, part) in plan.parts.into_iter().enumerate() {
+            let id = self.next_id;
+            self.next_id += 1;
+            let sq = &mut self.shards[part.shard];
+            sq.queue_keys += part.keys.len();
+            sq.queue.push_back(EnginePending {
+                id,
+                keys: part.keys,
+                dir: request.dir,
+                deadline: sub_deadline,
+                enqueued: self.now,
+                bulk: Some((parent, idx)),
+            });
+            self.events.push(EngineEvent::Routed {
+                request: id,
+                shard: part.shard,
+            });
+        }
+        Ok(parent)
+    }
+
+    /// Record one completed bulk partition; when the last one lands, run
+    /// the k-way merge and answer the parent.
+    fn bulk_part_done(&mut self, parent: u64, idx: usize, keys: Vec<u32>) {
+        let Some(b) = self.bulk.get_mut(&parent) else {
+            return;
+        };
+        if b.failed {
+            return;
+        }
+        b.parts.insert(idx, keys);
+        if b.parts.len() == b.total {
+            let b = self.bulk.remove(&parent).expect("entry present");
+            let parts: Vec<Vec<u32>> = b.parts.into_values().collect();
+            let merged = split::merge_parts(&parts, b.dir);
+            self.events.push(EngineEvent::Merged {
+                request: parent,
+                keys: merged.len() as u64,
+            });
+            self.replies.insert(parent, Ok(merged));
+        }
+    }
+
+    /// Fail a bulk parent on its first sinking partition; later
+    /// partitions of the same parent are discarded as they complete.
+    fn bulk_part_failed(&mut self, parent: u64, shard: usize, reason: BulkReason) {
+        let Some(b) = self.bulk.get_mut(&parent) else {
+            return;
+        };
+        if b.failed {
+            return;
+        }
+        b.failed = true;
+        b.parts.clear();
+        self.events.push(EngineEvent::Failed { request: parent });
+        self.replies.insert(
+            parent,
+            Err(SortError::Bulk(BulkFailure { shard, reason })),
+        );
     }
 
     /// One decision pass at the current virtual time: autoscale every
@@ -1023,9 +1407,10 @@ impl ShardEngine {
         stolen_from: Option<usize>,
     ) {
         let now = self.now;
+        let origin = stolen_from.unwrap_or(runner);
         let requests = batch.len() as u64;
         let mut tagged = TaggedBatch::new();
-        let mut live: Vec<u64> = Vec::with_capacity(batch.len());
+        let mut live: Vec<(u64, Option<(u64, usize)>)> = Vec::with_capacity(batch.len());
         for p in batch {
             let waited = now.saturating_sub(p.enqueued);
             if waited > p.deadline {
@@ -1037,10 +1422,20 @@ impl ShardEngine {
                     }),
                 );
                 self.events.push(EngineEvent::Expired { request: p.id });
+                if let Some((parent, _)) = p.bulk {
+                    self.bulk_part_failed(
+                        parent,
+                        origin,
+                        BulkReason::Expired {
+                            waited,
+                            deadline: p.deadline,
+                        },
+                    );
+                }
                 continue;
             }
             tagged.push(&p.keys, p.dir);
-            live.push(p.id);
+            live.push((p.id, p.bulk));
         }
         let keys = tagged.total_keys() as u64;
         self.events.push(EngineEvent::Flushed {
@@ -1060,20 +1455,26 @@ impl ShardEngine {
         let (words, per_rank) = tagged.padded_words(s.cfg.procs);
         match s.pool.run_batch(words, per_rank) {
             Ok(sorted) => {
-                for (id, reply) in live.iter().zip(tagged.split(&sorted)) {
-                    self.replies.insert(*id, Ok(reply));
+                for ((id, bulk), reply) in live.iter().zip(tagged.split(&sorted)) {
+                    self.replies.insert(*id, Ok(reply.clone()));
                     self.events.push(EngineEvent::Completed {
                         request: *id,
                         shard: runner,
                     });
+                    if let Some((parent, idx)) = bulk {
+                        self.bulk_part_done(*parent, *idx, reply);
+                    }
                 }
             }
             Err(failure) => {
                 let msg = failure.to_string();
-                for id in &live {
+                for (id, bulk) in &live {
                     self.replies
                         .insert(*id, Err(SortError::MachineFailed(msg.clone())));
                     self.events.push(EngineEvent::Failed { request: *id });
+                    if let Some((parent, _)) = bulk {
+                        self.bulk_part_failed(*parent, runner, BulkReason::Failed(msg.clone()));
+                    }
                 }
             }
         }

@@ -9,8 +9,8 @@ use bitonic_network::Direction;
 use obs::{TraceConfig, TracePhase};
 use proptest::prelude::*;
 use sort_service::{
-    AutoscaleConfig, ClassConfig, EngineEvent, ServiceConfig, ShardEngine, ShardedConfig,
-    ShardedService, SortRequest, SortService,
+    AutoscaleConfig, BulkConfig, ClassConfig, EngineEvent, ServiceConfig, ShardEngine,
+    ShardedConfig, ShardedService, SortRequest, SortService,
 };
 use std::time::Duration;
 
@@ -28,6 +28,7 @@ fn two_bands() -> ShardedConfig {
         steal_after: Some(Duration::from_micros(300)),
         autoscale: None,
         trace: TraceConfig::off(),
+        bulk: BulkConfig::default(),
     };
     cfg.validate();
     cfg
@@ -140,6 +141,7 @@ fn an_idle_shard_steals_exactly_the_aged_batch_and_replays_bit_for_bit() {
         steal_after: Some(Duration::from_millis(1)),
         autoscale: None,
         trace: TraceConfig::off(),
+        bulk: BulkConfig::default(),
     };
 
     let mut engine = ShardEngine::new(&cfg);
@@ -226,6 +228,7 @@ fn a_threaded_idle_shard_steals_from_a_stalled_neighbor_and_records_the_span() {
         steal_after: Some(Duration::from_micros(500)),
         autoscale: None,
         trace: TraceConfig::on(),
+        bulk: BulkConfig::default(),
     };
 
     let service = ShardedService::start(cfg);
@@ -291,6 +294,7 @@ fn the_autoscaler_walks_a_full_grow_and_shrink_cycle_under_virtual_time() {
             cooldown: Duration::from_micros(100),
         }),
         trace: TraceConfig::off(),
+        bulk: BulkConfig::default(),
     };
     // One request per batch, so the backlog drains over several waves
     // and the grow pressure persists across ticks.
@@ -371,6 +375,7 @@ fn a_rank_failure_in_one_shard_leaves_its_neighbors_unharmed() {
         steal_after: None,
         autoscale: None,
         trace: TraceConfig::off(),
+        bulk: BulkConfig::default(),
     };
 
     let service = ShardedService::start(cfg);

@@ -1,0 +1,325 @@
+//! Cross-shard bulk-sort guarantees: a request larger than every band,
+//! split by sampled splitters and merged back, answers byte-identically
+//! to a single pool and the independent oracle — on adversarial inputs
+//! as well as random ones — partition skew respects the configured
+//! bound on random input, a refused partition fails the whole request
+//! with a structured shard-and-reason failure, and the virtual-time
+//! engine twin replays scatter/merge bit for bit.
+
+use bitonic_bench::workloads::uniform_keys;
+use bitonic_core::tagged::sorted_independently;
+use bitonic_network::Direction;
+use obs::TraceConfig;
+use proptest::prelude::*;
+use sort_service::{
+    split, BulkConfig, BulkReason, ClassConfig, EngineEvent, Rejection, ServiceConfig,
+    ShardEngine, ShardedConfig, ShardedService, SortError, SortRequest, SortService,
+};
+use std::time::Duration;
+
+/// A two-band bulk-enabled topology small enough for tests: requests up
+/// to 64 keys are "small", up to 256 keys are "large", one 2-rank
+/// machine each; anything above 256 keys takes the split path.
+fn bulk_bands() -> ShardedConfig {
+    let base = ServiceConfig::new(2);
+    let mut small = base;
+    small.max_wait = Duration::from_micros(200);
+    let cfg = ShardedConfig {
+        classes: vec![
+            ClassConfig::new("small", 64, small),
+            ClassConfig::new("large", 256, base),
+        ],
+        steal_after: None,
+        autoscale: None,
+        trace: TraceConfig::off(),
+        bulk: BulkConfig::on(),
+    };
+    cfg.validate();
+    cfg
+}
+
+/// A single pool with admission opened wide enough to take any request
+/// these tests offer whole — the equal-answer baseline.
+fn wide_single_pool() -> SortService {
+    let mut cfg = ServiceConfig::new(2);
+    cfg.max_request_keys = 1 << 13;
+    cfg.max_batch_keys = cfg.max_batch_keys.max(1 << 13);
+    SortService::start(cfg)
+}
+
+/// Submit one request to each service and demand byte-identical replies
+/// that also match the oracle.
+fn assert_equivalent(
+    tag: &str,
+    sharded: &ShardedService,
+    single: &SortService,
+    keys: &[u32],
+    dir: Direction,
+) {
+    let expected = sorted_independently(keys, dir);
+    let bulk = sharded
+        .submit(SortRequest::new(keys.to_vec(), dir))
+        .unwrap_or_else(|r| panic!("{tag}: bulk submit refused: {r}"))
+        .wait()
+        .unwrap_or_else(|e| panic!("{tag}: bulk request failed: {e}"));
+    let pool = single
+        .submit(SortRequest::new(keys.to_vec(), dir))
+        .unwrap_or_else(|r| panic!("{tag}: single-pool submit refused: {r}"))
+        .wait()
+        .unwrap_or_else(|e| panic!("{tag}: single-pool request failed: {e}"));
+    assert_eq!(bulk, expected, "{tag}: bulk reply differs from the oracle");
+    assert_eq!(bulk, pool, "{tag}: bulk and single-pool replies differ");
+}
+
+/// The adversarial fixed corpus: inputs chosen to break splitter
+/// selection — no key diversity at all, already sorted either way, and
+/// heavy duplication straddling every splitter boundary.
+#[test]
+fn adversarial_bulk_inputs_match_oracle_and_single_pool() {
+    let sharded = ShardedService::start(bulk_bands());
+    let single = wide_single_pool();
+    let cases: Vec<(&str, Vec<u32>, Direction)> = vec![
+        ("all-equal", vec![7; 700], Direction::Ascending),
+        ("all-equal desc", vec![3; 400], Direction::Descending),
+        ("presorted", (0..600).collect(), Direction::Ascending),
+        (
+            "reverse-sorted",
+            (0..600).rev().collect(),
+            Direction::Ascending,
+        ),
+        (
+            "dups across splitters",
+            (0..900).map(|i| i % 8).collect(),
+            Direction::Ascending,
+        ),
+        (
+            "dups descending",
+            (0..900).map(|i| i % 8).collect(),
+            Direction::Descending,
+        ),
+        ("random desc", uniform_keys(1111, 42), Direction::Descending),
+    ];
+    let total = cases.len() as u64;
+    for (tag, keys, dir) in &cases {
+        assert_equivalent(tag, &sharded, &single, keys, *dir);
+    }
+    let stats = sharded.shutdown().stats;
+    assert_eq!(stats.bulk_submitted, total, "every case took the split path");
+    assert_eq!(stats.bulk_completed, total);
+    assert_eq!(stats.bulk_failed, 0);
+    let _ = single.shutdown();
+}
+
+/// Plan-level degenerate shapes: fewer keys than shards still scatter,
+/// sort, and merge to the oracle (the service never sees these — they
+/// route in-band — but the plan must not assume `n >= shards`).
+#[test]
+fn split_plan_handles_fewer_keys_than_shards() {
+    let bands = vec![64, 256, 1024];
+    let cfg = BulkConfig::on();
+    for n in 1..=4usize {
+        let keys: Vec<u32> = (0..n as u32).map(|i| 1000 - i).collect();
+        let plan = split::plan(&keys, &bands, &cfg);
+        let mut scattered: Vec<u32> = plan.parts.iter().flat_map(|p| p.keys.clone()).collect();
+        scattered.sort_unstable();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(scattered, expect, "n={n}: scatter loses or invents keys");
+        let sorted_parts: Vec<Vec<u32>> = plan
+            .parts
+            .iter()
+            .map(|p| {
+                let mut s = p.keys.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        assert_eq!(
+            split::merge_parts(&sorted_parts, Direction::Ascending),
+            expect,
+            "n={n}: merge differs from the oracle"
+        );
+    }
+}
+
+/// Satellite regression: with the split path disabled, an over-band
+/// request is refused with `TooLarge` reporting the *widest* admitting
+/// band's limit — not the first band's — so the wire `detail` names the
+/// real ceiling.
+#[test]
+fn disabled_bulk_reports_the_widest_band_limit() {
+    let mut cfg = bulk_bands();
+    cfg.bulk = BulkConfig::default();
+    let sharded = ShardedService::start(cfg);
+    match sharded.submit(SortRequest::new(vec![1; 300], Direction::Ascending)) {
+        Err(Rejection::TooLarge { keys, limit }) => {
+            assert_eq!(keys, 300);
+            assert_eq!(limit, 256, "limit names the widest band");
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    let stats = sharded.shutdown().stats;
+    assert_eq!(stats.unroutable, 1);
+    assert_eq!(stats.bulk_submitted, 0);
+}
+
+/// Partial-failure semantics: when one partition cannot be admitted the
+/// parent fails with a structured `BulkFailure` naming the shard and the
+/// shed reason, no partition is left behind on any queue, and the
+/// service keeps serving.
+#[test]
+fn a_refused_partition_fails_the_parent_with_shard_and_reason() {
+    let mut cfg = bulk_bands();
+    for c in &mut cfg.classes {
+        // Smaller than any partition chunk the 700-key request scatters,
+        // so admission must refuse the first partition it checks.
+        c.pool.max_queue_keys = 16;
+    }
+    let sharded = ShardedService::start(cfg);
+    let ticket = sharded
+        .submit(SortRequest::new(vec![5; 700], Direction::Ascending))
+        .expect("bulk submit returns a ticket; the failure arrives on it");
+    match ticket.wait() {
+        Err(SortError::Bulk(failure)) => {
+            assert!(failure.shard < 2, "failure names a real shard");
+            assert!(
+                matches!(failure.reason, BulkReason::Shed(_)),
+                "reason is the admission shed, got {:?}",
+                failure.reason
+            );
+            let text = failure.to_string();
+            assert!(text.contains("shed"), "display names the reason: {text}");
+        }
+        other => panic!("expected a structured bulk failure, got {other:?}"),
+    }
+    // Surviving partitions were discarded, not leaked: the service still
+    // answers in-band requests and counts exactly one failed bulk sort.
+    let reply = sharded
+        .submit(SortRequest::new(vec![9, 1, 5], Direction::Ascending))
+        .expect("in-band submit")
+        .wait()
+        .expect("in-band request completes");
+    assert_eq!(reply, vec![1, 5, 9]);
+    let stats = sharded.shutdown().stats;
+    assert_eq!(stats.bulk_submitted, 1);
+    assert_eq!(stats.bulk_failed, 1);
+    assert_eq!(stats.bulk_completed, 0);
+    assert_eq!(stats.expired(), 0, "no orphan partition expired later");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole's correctness core on random input: any over-band
+    /// request — random, duplicate-heavy, or tiny-spread — answers
+    /// byte-identically to a single pool and the oracle through the
+    /// split path, in both directions.
+    #[test]
+    fn bulk_replies_match_oracle_and_single_pool(
+        n in 257usize..1500,
+        seed in any::<u64>(),
+        dup in any::<bool>(),
+        desc in any::<bool>(),
+    ) {
+        let mut keys = uniform_keys(n, seed);
+        if dup {
+            for k in &mut keys {
+                *k %= 16;
+            }
+        }
+        let dir = if desc {
+            Direction::Descending
+        } else {
+            Direction::Ascending
+        };
+        let sharded = ShardedService::start(bulk_bands());
+        let single = wide_single_pool();
+        assert_equivalent("random", &sharded, &single, &keys, dir);
+        let stats = sharded.shutdown().stats;
+        prop_assert_eq!(stats.bulk_submitted, 1);
+        prop_assert_eq!(stats.bulk_completed, 1);
+        let _ = single.shutdown();
+    }
+
+    /// The balance leg on random input: the sampled splitters keep every
+    /// partition within the configured skew bound of its shard's
+    /// capacity-fair share, at the real banded topology's shape.
+    #[test]
+    fn partition_skew_respects_the_bound_on_random_input(
+        seed in any::<u64>(),
+        mult in 2usize..6,
+    ) {
+        let cfg = ShardedConfig::banded_bulk(4, 2);
+        let bands: Vec<usize> = cfg
+            .classes
+            .iter()
+            .map(|c| c.pool.max_request_keys)
+            .collect();
+        let widest = *bands.last().unwrap();
+        let keys = uniform_keys(widest * mult + 17, seed);
+        let plan = split::plan(&keys, &bands, &cfg.bulk);
+        prop_assert!(
+            plan.max_skew() <= cfg.bulk.skew_bound,
+            "max skew {} exceeds the bound {}",
+            plan.max_skew(),
+            cfg.bulk.skew_bound
+        );
+        // And the plan is a pure function of its inputs.
+        prop_assert_eq!(plan, split::plan(&keys, &bands, &cfg.bulk));
+    }
+
+    /// The determinism leg: two engine twins fed the same submissions at
+    /// the same virtual times produce bit-for-bit identical event logs —
+    /// scatter, per-shard batches, and merge included — and identical
+    /// oracle-correct replies.
+    #[test]
+    fn engine_twins_replay_scatter_and_merge_bit_for_bit(
+        loads in proptest::collection::vec(
+            (proptest::collection::vec(any::<u32>(), 1..700), any::<bool>()),
+            1..6,
+        ),
+    ) {
+        let cfg = bulk_bands();
+        let run = || {
+            let mut engine = ShardEngine::new(&cfg);
+            let mut ids = Vec::new();
+            for (keys, desc) in &loads {
+                let dir = if *desc {
+                    Direction::Descending
+                } else {
+                    Direction::Ascending
+                };
+                let id = engine
+                    .submit(SortRequest::new(keys.clone(), dir))
+                    .expect("engine admits the whole mix");
+                ids.push(id);
+                engine.advance(Duration::from_millis(1));
+                engine.run_until_idle();
+            }
+            let replies: Vec<_> = ids
+                .iter()
+                .map(|id| engine.reply(*id).cloned().expect("every request answered"))
+                .collect();
+            (engine.events().to_vec(), replies)
+        };
+        let (events_a, replies_a) = run();
+        let (events_b, replies_b) = run();
+        prop_assert_eq!(&events_a, &events_b, "event logs diverged");
+        prop_assert_eq!(&replies_a, &replies_b, "replies diverged");
+        let split_requests = loads.iter().filter(|(k, _)| k.len() > 256).count();
+        let merges = events_a
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::Merged { .. }))
+            .count();
+        prop_assert_eq!(merges, split_requests, "one merge per over-band request");
+        for ((keys, desc), reply) in loads.iter().zip(&replies_a) {
+            let dir = if *desc {
+                Direction::Descending
+            } else {
+                Direction::Ascending
+            };
+            let out = reply.as_ref().expect("request completed");
+            prop_assert_eq!(out, &sorted_independently(keys, dir));
+        }
+    }
+}

@@ -27,7 +27,10 @@ use sort_service::net::{
     parse_text_request, FrameError, ReplyFrame, RequestFrame, WireClient, WireConfig, WireServer,
     DISCONNECT_LABELS, LEN_PREFIX, REJECTION_LABELS, REQUEST_HEADER, SUPPORTED_WIDTHS, VERSION,
 };
-use sort_service::{Rejection, ServiceConfig};
+use obs::TraceConfig;
+use sort_service::{
+    BulkConfig, ClassConfig, Rejection, ServiceConfig, ShardedConfig,
+};
 use std::net::TcpListener;
 use std::time::{Duration, Instant};
 
@@ -43,6 +46,25 @@ fn service_config() -> ServiceConfig {
 
 fn server(wire: WireConfig) -> WireServer {
     WireServer::start(service_config(), wire, "127.0.0.1:0").expect("bind loopback")
+}
+
+/// A two-band bulk-enabled sharded topology for wire tests: requests up
+/// to 64 keys are "small", up to 256 keys are "large", one 2-rank
+/// machine each; anything above 256 keys takes the split path.
+fn bulk_sharded_config() -> ShardedConfig {
+    let base = ServiceConfig::new(2);
+    let cfg = ShardedConfig {
+        classes: vec![
+            ClassConfig::new("small", 64, base),
+            ClassConfig::new("large", 256, base),
+        ],
+        steal_after: None,
+        autoscale: None,
+        trace: TraceConfig::off(),
+        bulk: BulkConfig::on(),
+    };
+    cfg.validate();
+    cfg
 }
 
 /// Poll `done` until it holds or `patience` runs out; returns whether it
@@ -262,6 +284,10 @@ fn every_reply_variant_round_trips_over_a_socket() {
             deadline_us: 500,
         },
         ReplyFrame::Failed("rank 1 wedged".into()),
+        ReplyFrame::BulkFailed {
+            shard: 1,
+            reason: "bulk partition on shard 1 was shed: queue full".into(),
+        },
         ReplyFrame::ServiceClosed,
         ReplyFrame::BadFrame(FrameError::BadWidth(3).code()),
     ];
@@ -274,6 +300,7 @@ fn every_reply_variant_round_trips_over_a_socket() {
         "deadline_unmeetable",
         "expired",
         "machine_failed",
+        "bulk_failed",
         "service_closed",
         "bad_frame",
     ];
@@ -357,6 +384,129 @@ fn live_rejections_reconcile_with_shed_reason_counters() {
             "reason {reason} vs WireStats"
         );
     }
+}
+
+/// An over-band request — refused `too_large` at the seed — now
+/// round-trips a correct fully-merged bulk reply over a real socket,
+/// and the same connection keeps serving in-band sorts.
+#[test]
+fn over_band_requests_round_trip_a_bulk_reply() {
+    let srv = WireServer::start_sharded(bulk_sharded_config(), WireConfig::default(), "127.0.0.1:0")
+        .expect("bind loopback");
+    let mut client = WireClient::connect(srv.local_addr()).expect("connect");
+
+    // Larger than the widest (256-key) band: only the split path answers.
+    let keys: Vec<u32> = (0..700u32).rev().map(|k| k.wrapping_mul(2_654_435_761)).collect();
+    match client
+        .sort(&keys, Direction::Ascending, None)
+        .expect("reply")
+    {
+        ReplyFrame::Sorted(out) => assert_eq!(out, sorted(&keys, Direction::Ascending)),
+        other => panic!("expected a merged bulk reply, got {other:?}"),
+    }
+    match client
+        .sort(&keys, Direction::Descending, None)
+        .expect("reply")
+    {
+        ReplyFrame::Sorted(out) => assert_eq!(out, sorted(&keys, Direction::Descending)),
+        other => panic!("expected a merged bulk reply, got {other:?}"),
+    }
+    // The same connection still serves in-band requests.
+    let small = [9u32, 4, 6];
+    match client
+        .sort(&small, Direction::Ascending, None)
+        .expect("reply")
+    {
+        ReplyFrame::Sorted(out) => assert_eq!(out, vec![4, 6, 9]),
+        other => panic!("expected sorted keys, got {other:?}"),
+    }
+
+    drop(client);
+    let report = srv.shutdown();
+    assert_eq!(report.wire.replies_ok, 3);
+    assert_eq!(report.wire.bulk_failed, 0);
+    let sharded = report.sharded.expect("sharded backend reports its stats");
+    assert_eq!(sharded.stats.bulk_submitted, 2);
+    assert_eq!(sharded.stats.bulk_completed, 2);
+    assert_eq!(sharded.stats.bulk_failed, 0);
+    assert_eq!(sharded.stats.unroutable, 0);
+}
+
+/// A bulk sub-request failure surfaces as a structured `bulk_failed`
+/// reply naming the shard and reason — not a disconnect — and the
+/// connection keeps serving.
+#[test]
+fn a_failed_partition_surfaces_as_a_structured_bulk_reply() {
+    let mut cfg = bulk_sharded_config();
+    for c in &mut cfg.classes {
+        // Smaller than any partition chunk, so admission must refuse one.
+        c.pool.max_queue_keys = 16;
+    }
+    let srv =
+        WireServer::start_sharded(cfg, WireConfig::default(), "127.0.0.1:0").expect("bind loopback");
+    let mut client = WireClient::connect(srv.local_addr()).expect("connect");
+
+    match client
+        .sort(&vec![5u32; 700], Direction::Ascending, None)
+        .expect("a structured reply, not a disconnect")
+    {
+        ReplyFrame::BulkFailed { shard, reason } => {
+            assert!(shard < 2, "failure names a real shard, got {shard}");
+            assert!(reason.contains("shed"), "reason names the cause: {reason}");
+        }
+        other => panic!("expected bulk_failed, got {other:?}"),
+    }
+    // The connection survived the failure: a small sort still works.
+    match client
+        .sort(&[3u32, 1, 2], Direction::Ascending, None)
+        .expect("reply")
+    {
+        ReplyFrame::Sorted(out) => assert_eq!(out, vec![1, 2, 3]),
+        other => panic!("expected sorted keys, got {other:?}"),
+    }
+
+    drop(client);
+    let report = srv.shutdown();
+    assert_eq!(report.wire.bulk_failed, 1);
+    assert_eq!(report.wire.replies_ok, 1);
+    let sharded = report.sharded.expect("sharded backend reports its stats");
+    assert_eq!(sharded.stats.bulk_submitted, 1);
+    assert_eq!(sharded.stats.bulk_failed, 1);
+    assert_eq!(sharded.stats.bulk_completed, 0);
+}
+
+/// Satellite regression: with the split path disabled, an over-band
+/// request is refused `too_large` whose numeric detail names the
+/// *widest* band's limit — the real admission ceiling — in both the
+/// frame fields and the rendered detail words.
+#[test]
+fn sharded_too_large_reports_the_widest_band_limit_on_the_wire() {
+    let mut cfg = bulk_sharded_config();
+    cfg.bulk = BulkConfig::default();
+    let srv =
+        WireServer::start_sharded(cfg, WireConfig::default(), "127.0.0.1:0").expect("bind loopback");
+    let mut client = WireClient::connect(srv.local_addr()).expect("connect");
+
+    match client
+        .sort(&vec![1u32; 300], Direction::Ascending, None)
+        .expect("reply")
+    {
+        ReplyFrame::Rejected(r @ Rejection::TooLarge { keys, limit }) => {
+            assert_eq!(keys, 300);
+            assert_eq!(limit, 256, "limit names the widest band, not the first");
+            let detail = r.to_string();
+            assert!(
+                detail.contains("300 keys") && detail.contains("256-key limit"),
+                "detail words diverged: {detail}"
+            );
+        }
+        other => panic!("expected too_large, got {other:?}"),
+    }
+    drop(client);
+    let report = srv.shutdown();
+    assert_eq!(report.wire.rejection("too_large"), 1);
+    let sharded = report.sharded.expect("sharded backend reports its stats");
+    assert_eq!(sharded.stats.unroutable, 1);
 }
 
 // ---------------------------------------------------------------------
