@@ -277,6 +277,113 @@ pub mod collection {
     }
 }
 
+/// Strategies for record-sort tuples — keys at one of the serving
+/// stack's wire widths (4, 8 or 16 bytes) plus an opaque payload of
+/// `stride` bytes per key. Shared by `tests/records.rs` and
+/// `tests/wire.rs` so both suites draw the same input distribution.
+pub mod record {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// One generated record request, width-agnostic: keys are held as
+    /// `u128` values masked to the width, and the payload holds
+    /// `keys.len() * stride` bytes (row `i` belongs to `keys[i]`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct RecordCase {
+        /// Key width in bytes: 4, 8 or 16.
+        pub width: u8,
+        /// Keys, each below `2^(8*width)`.
+        pub keys: Vec<u128>,
+        /// Payload bytes per key.
+        pub stride: usize,
+        /// `keys.len() * stride` payload bytes.
+        pub payload: Vec<u8>,
+        /// Sort direction for the case.
+        pub descending: bool,
+    }
+
+    impl RecordCase {
+        /// Largest key the case's width admits.
+        #[must_use]
+        pub fn key_mask(&self) -> u128 {
+            width_mask(self.width)
+        }
+    }
+
+    fn width_mask(width: u8) -> u128 {
+        if width == 16 {
+            u128::MAX
+        } else {
+            (1u128 << (8 * u32::from(width))) - 1
+        }
+    }
+
+    /// Strategy behind [`record_cases`] / [`dup_heavy_record_cases`].
+    #[derive(Debug, Clone)]
+    pub struct RecordCaseStrategy {
+        max_keys: usize,
+        max_stride: usize,
+        dup_heavy: bool,
+    }
+
+    impl Strategy for RecordCaseStrategy {
+        type Value = RecordCase;
+        fn generate(&self, rng: &mut TestRng) -> RecordCase {
+            use rand::Rng as _;
+            let width = [4u8, 8, 16][rng.gen_range(0..3usize)];
+            let mask = width_mask(width);
+            let n = rng.gen_range(0..self.max_keys + 1);
+            let stride = rng.gen_range(0..self.max_stride + 1);
+            let keys: Vec<u128> = if self.dup_heavy && n > 0 {
+                // Draw from a tiny pool so nearly every key collides —
+                // the stability-stressing distribution.
+                let pool: Vec<u128> = (0..rng.gen_range(1..5usize))
+                    .map(|_| u128::arbitrary(rng) & mask)
+                    .collect();
+                (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+            } else {
+                (0..n).map(|_| u128::arbitrary(rng) & mask).collect()
+            };
+            let payload: Vec<u8> = (0..n * stride).map(|_| u8::arbitrary(rng)).collect();
+            RecordCase {
+                width,
+                keys,
+                stride,
+                payload,
+                descending: bool::arbitrary(rng),
+            }
+        }
+    }
+
+    /// Record cases with up to `max_keys` uniformly random keys and up
+    /// to `max_stride` payload bytes per key, across all three widths
+    /// and both directions (stride 0 and the empty request included).
+    #[must_use]
+    pub fn record_cases(max_keys: usize, max_stride: usize) -> RecordCaseStrategy {
+        RecordCaseStrategy {
+            max_keys,
+            max_stride,
+            dup_heavy: false,
+        }
+    }
+
+    /// [`record_cases`] drawing keys from a pool of at most four
+    /// distinct values, so ties dominate and stability bugs surface.
+    #[must_use]
+    pub fn dup_heavy_record_cases(max_keys: usize, max_stride: usize) -> RecordCaseStrategy {
+        RecordCaseStrategy {
+            max_keys,
+            max_stride,
+            dup_heavy: true,
+        }
+    }
+
+    impl Arbitrary for RecordCase {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            record_cases(48, 8).generate(rng)
+        }
+    }
+}
+
 /// The glob-import surface test modules use.
 pub mod prelude {
     pub use crate::test_runner::TestRng;
@@ -410,6 +517,24 @@ mod tests {
         fn early_return_ok_compiles(x in 0u32..10) {
             if x < 100 { return Ok(()); }
             prop_assert!(false);
+        }
+
+        #[test]
+        fn record_cases_are_well_formed(case in crate::record::record_cases(12, 5)) {
+            prop_assert!([4u8, 8, 16].contains(&case.width));
+            prop_assert!(case.keys.len() <= 12);
+            prop_assert!(case.stride <= 5);
+            prop_assert_eq!(case.payload.len(), case.keys.len() * case.stride);
+            let mask = case.key_mask();
+            prop_assert!(case.keys.iter().all(|k| *k <= mask));
+        }
+
+        #[test]
+        fn dup_heavy_cases_actually_collide(case in crate::record::dup_heavy_record_cases(32, 2)) {
+            let mut distinct = case.keys.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert!(distinct.len() <= 4);
         }
     }
 

@@ -64,10 +64,22 @@
 //! wire counters, the service counters, and the metrics registry.
 //! `bench7` wraps the same run into the committed `BENCH_7.json`
 //! artifact.
+//!
+//! The `records` id proves record sorting end to end over loopback TCP:
+//! every cell of the key-width × payload-stride grid ({4, 8, 16} bytes ×
+//! {0, 8, 64, 256} bytes) sends duplicate-heavy keys with payload rows
+//! and checks each reply byte-for-byte against the stable record oracle.
+//! `--procs N`, `--requests N` (per cell), `--conns N`, and `--seed N`
+//! shape the load, `--quick` runs the reduced CI grid, `--out FILE`
+//! writes the bare `RECORD_1` JSON document, and `--check` exits
+//! non-zero on any oracle mismatch (keys *or* payload), shed, expiry,
+//! frame error, or reconciliation gap — per-width record counters
+//! included. `bench9` wraps the same run into the committed
+//! `BENCH_9.json` artifact.
 
 use bitonic_bench::experiments::{
-    all, bulk_bench, by_id, chaos, kernels, net_bench, remap_bench, serve_bench, shard_bench,
-    trace, Scale, IDS,
+    all, bulk_bench, by_id, chaos, kernels, net_bench, record_bench, remap_bench, serve_bench,
+    shard_bench, trace, Scale, IDS,
 };
 use bitonic_bench::report::bench_json;
 use spmd::MessageMode;
@@ -173,7 +185,9 @@ fn main() {
                      experiments bulk [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
                      experiments bench8 [--procs N] [--shards N] [--requests N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
                      experiments net [--procs N] [--requests N] [--conns N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
-                     experiments bench7 [--procs N] [--requests N] [--conns N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]",
+                     experiments bench7 [--procs N] [--requests N] [--conns N] [--seed N] [--out FILE] [--metrics-out FILE] [--check]\n       \
+                     experiments records [--procs N] [--requests N] [--conns N] [--seed N] [--quick] [--out FILE] [--metrics-out FILE] [--check]\n       \
+                     experiments bench9 [--procs N] [--requests N] [--conns N] [--seed N] [--quick] [--out FILE] [--metrics-out FILE] [--check]",
                     IDS.join(" | ")
                 );
                 return;
@@ -539,6 +553,82 @@ fn main() {
         }
         return;
     }
+    // The records subcommand: the key-width × payload-stride grid over
+    // loopback TCP, every reply checked against the stable record oracle.
+    if ids.iter().any(|id| id == "records") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| {
+            if quick {
+                8
+            } else {
+                record_bench::default_requests(scale)
+            }
+        });
+        let seed = seed.unwrap_or(serve_bench::DEFAULT_SEED);
+        let conns = conns.unwrap_or(record_bench::DEFAULT_CONNS);
+        let run = record_bench::run_records(procs, requests, conns, seed);
+        println!("## Record sorting over the wire [records]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &run.json) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("RECORD_1 document written to {path}.");
+        }
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
+        }
+        if check {
+            if run.passed {
+                println!(
+                    "check: every record reply matched the stable oracle \
+                     byte-for-byte across all widths and payload strides; \
+                     wire, service, and registry counters reconcile exactly."
+                );
+            } else {
+                eprintln!("check failed: see report above.");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // bench9: the committed record-sorting artifact wrapping RECORD_1.
+    if ids.iter().any(|id| id == "bench9") && ids.len() == 1 {
+        let requests = requests.unwrap_or_else(|| {
+            if quick {
+                8
+            } else {
+                record_bench::default_requests(scale)
+            }
+        });
+        let seed = seed.unwrap_or(serve_bench::DEFAULT_SEED);
+        let conns = conns.unwrap_or(record_bench::DEFAULT_CONNS);
+        let run = record_bench::run_records(procs, requests, conns, seed);
+        let doc = format!(
+            "{{\n\"schema\": \"BENCH_9\",\n\"records\": {}}}\n",
+            run.json
+        );
+        println!("## BENCH_9 composition [bench9]\n");
+        println!("{}", run.report);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("BENCH_9 document written to {path}.");
+        } else {
+            println!("```json\n{doc}```");
+        }
+        if let Some(path) = metrics_out {
+            write_metrics(&path, run.metrics_json.as_ref(), run.prometheus.as_ref());
+        }
+        if check && !run.passed {
+            eprintln!("check failed: see report above.");
+            std::process::exit(1);
+        }
+        return;
+    }
     if out.is_some()
         || metrics_out.is_some()
         || check
@@ -552,7 +642,7 @@ fn main() {
         eprintln!(
             "--out/--metrics-out/--check/--quick/--keys/--seed/--requests/--shards/--conns only \
              apply to the `trace`, `chaos`, `serve`, `bench4`, `shard`, `bench5`, `bench6`, \
-             `bulk`, `net`, `bench7`, or `bench8` subcommands"
+             `bulk`, `net`, `bench7`, `bench8`, `records`, or `bench9` subcommands"
         );
         std::process::exit(2);
     }

@@ -8,6 +8,7 @@ pub mod kernels;
 pub mod messages;
 pub mod net_bench;
 pub mod other_sorts;
+pub mod record_bench;
 pub mod remap_bench;
 pub mod scaling;
 pub mod serve_bench;
@@ -100,6 +101,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         shard_bench::shard(scale),
         bulk_bench::bulk(scale),
         net_bench::net(scale),
+        record_bench::records(scale),
     ]
 }
 
@@ -128,12 +130,13 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "shard" => Some(shard_bench::shard(scale)),
         "bulk" => Some(bulk_bench::bulk(scale)),
         "net" => Some(net_bench::net(scale)),
+        "records" => Some(record_bench::records(scale)),
         _ => None,
     }
 }
 
 /// All experiment ids accepted by [`by_id`].
-pub const IDS: [&str; 21] = [
+pub const IDS: [&str; 22] = [
     "table5_1",
     "table5_2",
     "strategies_measured",
@@ -155,4 +158,5 @@ pub const IDS: [&str; 21] = [
     "shard",
     "bulk",
     "net",
+    "records",
 ];

@@ -1,0 +1,583 @@
+//! `experiments records` / `bench9` — record sorting over real sockets.
+//!
+//! Where `net_bench` proves the wire can carry bare `u32` sorts, this
+//! benchmark proves it can carry *records*: every cell of a key-width ×
+//! payload-stride grid ({4, 8, 16} bytes × {0, 8, 64, 256} bytes) sends
+//! duplicate-heavy keys with attached payload rows through the `SORT_1`
+//! codec, a loopback `TcpListener`, and back. Each reply is checked
+//! byte-for-byte against the *stable* record oracle
+//! ([`bitonic_core::tagged::records_sorted_independently`]): keys must
+//! come back sorted in the requested direction and payload rows must
+//! ride their keys, with equal keys keeping submission order — in both
+//! directions. The duplicate-heavy pools make ties the common case, so
+//! a sort that is merely correct on keys but unstable on payload order
+//! cannot pass.
+//!
+//! The `(width 4, stride 0)` cell deliberately rides the legacy plain
+//! path — `is_record()` is false for payload-free u32 frames — and acts
+//! as the baseline: its replies are `ok`, every other cell's are
+//! `ok_record`, and the final three-way reconciliation demands that
+//! [`sort_service::WireStats`], the service's `ServiceStats`, and the
+//! metrics registry agree counter-for-counter, including the per-width
+//! `bitonic_record_requests_total` counters and the
+//! `bitonic_record_payload_bytes` histogram count.
+//!
+//! The report ends with a machine-readable `RECORD_1` block
+//! ([`crate::report::record_json`]); `bench9` wraps it into the
+//! committed `BENCH_9.json`.
+
+use super::serve_bench::{percentile, DEFAULT_PROCS, DEFAULT_SEED};
+use super::{Experiment, Scale};
+use crate::report::{f2, metrics_json, record_json, RecordCell, RecordSummary, Table};
+use bitonic_core::tagged::records_sorted_independently;
+use bitonic_network::Direction;
+use sort_service::{
+    RecordKeys, ReplyFrame, RequestFrame, ServiceConfig, WireClient, WireConfig, WireServer,
+};
+use std::time::{Duration, Instant};
+
+/// Key widths under test, in bytes (every sortable wire width).
+pub const WIDTHS: [u8; 3] = [4, 8, 16];
+
+/// Payload strides under test, in bytes per key.
+pub const STRIDES: [usize; 4] = [0, 8, 64, 256];
+
+/// Default concurrent client connections. Striping the grid across
+/// connections keeps different widths in flight at once, so the
+/// dispatcher's same-width-only coalescing is actually exercised.
+pub const DEFAULT_CONNS: usize = 4;
+
+/// Request sizes cycled within each cell; 3 < P at the acceptance
+/// configuration (P = 4), so the n < P path crosses the wire too.
+const SIZES: [usize; 4] = [3, 8, 64, 257];
+
+/// Record requests per grid cell at a given scale.
+#[must_use]
+pub fn default_requests(scale: Scale) -> usize {
+    if scale.shrink > 1 {
+        12
+    } else {
+        48
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One finished record-grid run.
+#[derive(Debug, Clone)]
+pub struct RecordRun {
+    /// Human-readable report (tables + the `RECORD_1` block).
+    pub report: String,
+    /// The bare `RECORD_1` JSON document, for composition into `BENCH_9`.
+    pub json: String,
+    /// The final registry as a `METRICS_1` document.
+    pub metrics_json: Option<String>,
+    /// The final registry in Prometheus text exposition format.
+    pub prometheus: Option<String>,
+    /// Whether every acceptance check held.
+    pub passed: bool,
+}
+
+/// One scripted request: which cell it belongs to, the frame to send,
+/// and the oracle's expected reply.
+struct Scripted {
+    cell: usize,
+    frame: RequestFrame,
+    expect_keys: Vec<u128>,
+    expect_payload: Vec<u8>,
+    has_dup: bool,
+    record: bool,
+}
+
+/// One request's outcome: `(cell, latency µs, had duplicate keys,
+/// verdict)` where `None` means the reply matched the oracle.
+type WorkerOut = Vec<(usize, f64, bool, Option<String>)>;
+
+/// A duplicate-heavy key pool spanning `width` bytes: a handful of
+/// distinct values including 0 and the width's maximum, so ties are the
+/// common case and the full key domain is touched.
+fn key_pool(width: u8, rng: &mut u64) -> Vec<u128> {
+    let max = if width == 16 {
+        u128::MAX
+    } else {
+        (1u128 << (8 * u32::from(width))) - 1
+    };
+    let mut pool = vec![0, max, max / 2];
+    for _ in 0..5 {
+        let hi = u128::from(splitmix(rng));
+        let lo = u128::from(splitmix(rng));
+        pool.push(((hi << 64) | lo) & max);
+    }
+    pool
+}
+
+fn widen_reply(keys: &RecordKeys) -> Vec<u128> {
+    match keys {
+        RecordKeys::U32(v) => v.iter().map(|&k| u128::from(k)).collect(),
+        RecordKeys::U64(v) => v.iter().map(|&k| u128::from(k)).collect(),
+        RecordKeys::U128(v) => v.clone(),
+    }
+}
+
+/// Build one cell's worth of scripted requests.
+fn script_cell(cell: usize, width: u8, stride: usize, requests: usize, seed: u64) -> Vec<Scripted> {
+    let mut rng = seed
+        .wrapping_mul(0x5851_F42D_4C95_7F2D)
+        .wrapping_add(cell as u64);
+    let pool = key_pool(width, &mut rng);
+    (0..requests)
+        .map(|r| {
+            let n = SIZES[r % SIZES.len()];
+            let keys: Vec<u128> = (0..n)
+                .map(|_| pool[(splitmix(&mut rng) % pool.len() as u64) as usize])
+                .collect();
+            let dir = if splitmix(&mut rng) & 1 == 0 {
+                Direction::Ascending
+            } else {
+                Direction::Descending
+            };
+            let payload: Vec<u8> = (0..n * stride).map(|_| splitmix(&mut rng) as u8).collect();
+            let oracle = records_sorted_independently(&keys, dir);
+            let expect_payload: Vec<u8> = oracle
+                .perm
+                .iter()
+                .flat_map(|&i| payload[i as usize * stride..(i as usize + 1) * stride].to_vec())
+                .collect();
+            let mut frame = match width {
+                4 => {
+                    let narrow: Vec<u32> = keys.iter().map(|&k| k as u32).collect();
+                    RequestFrame::from_u32_keys(&narrow, dir, None)
+                }
+                8 => {
+                    let narrow: Vec<u64> = keys.iter().map(|&k| k as u64).collect();
+                    RequestFrame::from_u64_keys(&narrow, dir, None)
+                }
+                _ => RequestFrame::from_u128_keys(&keys, dir, None),
+            };
+            if stride > 0 {
+                frame = frame.with_payload(stride as u32, payload);
+            }
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            Scripted {
+                cell,
+                frame,
+                expect_keys: oracle.keys,
+                expect_payload,
+                has_dup: sorted.len() < n,
+                record: frame_is_record(width, stride),
+            }
+        })
+        .collect()
+}
+
+fn frame_is_record(width: u8, stride: usize) -> bool {
+    width != 4 || stride > 0
+}
+
+fn check_reply(s: &Scripted, reply: &ReplyFrame) -> Option<String> {
+    match (s.record, reply) {
+        (false, ReplyFrame::Sorted(got)) => {
+            let got: Vec<u128> = got.iter().map(|&k| u128::from(k)).collect();
+            (got != s.expect_keys).then(|| "keys differ from the stable oracle".into())
+        }
+        (true, ReplyFrame::Record { keys, payload, .. }) => {
+            if widen_reply(keys) != s.expect_keys {
+                Some("keys differ from the stable oracle".into())
+            } else if *payload != s.expect_payload {
+                Some("payload differs from the stable oracle".into())
+            } else {
+                None
+            }
+        }
+        (_, other) => Some(format!("{} reply", other.label())),
+    }
+}
+
+/// Drive the record grid at `procs` ranks with `requests` requests per
+/// cell over `conns` loopback connections and render the report.
+/// Deterministic in `seed` up to host timing.
+///
+/// # Panics
+/// Panics if `procs` is not a power of two, `conns` is zero, or the
+/// loopback listener cannot bind.
+#[must_use]
+pub fn run_records(procs: usize, requests: usize, conns: usize, seed: u64) -> RecordRun {
+    assert!(procs.is_power_of_two(), "machine sizes are powers of two");
+    assert!(conns >= 1, "at least one connection");
+    let cfg = ServiceConfig::new(procs);
+    cfg.validate();
+
+    let srv = WireServer::start(cfg, WireConfig::default(), "127.0.0.1:0")
+        .expect("bind loopback listener");
+    let addr = srv.local_addr();
+    let handle = srv.metrics();
+
+    // The grid, scripted up front: cells in (width, stride) order, then
+    // requests striped round-robin across connections so different
+    // widths are in flight concurrently (records only coalesce with
+    // same-width peers — make the dispatcher prove it).
+    let grid: Vec<(u8, usize)> = WIDTHS
+        .iter()
+        .flat_map(|&w| STRIDES.iter().map(move |&s| (w, s)))
+        .collect();
+    let mut cell_iters: Vec<_> = grid
+        .iter()
+        .enumerate()
+        .map(|(cell, &(width, stride))| {
+            script_cell(cell, width, stride, requests, seed).into_iter()
+        })
+        .collect();
+    let mut scripted: Vec<Scripted> = Vec::new();
+    for _ in 0..requests {
+        for it in &mut cell_iters {
+            scripted.push(it.next().expect("each cell scripts `requests` requests"));
+        }
+    }
+    let total_requests = scripted.len() as u64;
+    let record_requests = scripted.iter().filter(|s| s.record).count() as u64;
+    let plain_requests = total_requests - record_requests;
+    let mut per_width_records = [0u64; 3];
+    let mut cell_keys = vec![0u64; grid.len()];
+    let mut cell_payload = vec![0u64; grid.len()];
+    let mut cell_requests = vec![0u64; grid.len()];
+    for s in &scripted {
+        let (width, _) = grid[s.cell];
+        if s.record {
+            let wi = WIDTHS.iter().position(|&w| w == width).expect("grid width");
+            per_width_records[wi] += 1;
+        }
+        cell_requests[s.cell] += 1;
+        cell_keys[s.cell] += s.expect_keys.len() as u64;
+        cell_payload[s.cell] += s.expect_payload.len() as u64;
+    }
+    let mut scripts: Vec<Vec<Scripted>> = (0..conns).map(|_| Vec::new()).collect();
+    for (i, s) in scripted.into_iter().enumerate() {
+        scripts[i % conns].push(s);
+    }
+
+    let workers: Vec<std::thread::JoinHandle<WorkerOut>> = scripts
+        .into_iter()
+        .map(|script| {
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(addr).expect("loopback connect");
+                let mut out = Vec::with_capacity(script.len());
+                for s in script {
+                    let sent = Instant::now();
+                    let verdict = match client.exchange(&s.frame) {
+                        Ok(reply) => check_reply(&s, &reply),
+                        Err(e) => Some(format!("wire error: {e}")),
+                    };
+                    out.push((
+                        s.cell,
+                        sent.elapsed().as_secs_f64() * 1e6,
+                        s.has_dup,
+                        verdict,
+                    ));
+                }
+                out
+            })
+        })
+        .collect();
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut per_cell_us: Vec<Vec<f64>> = vec![Vec::new(); grid.len()];
+    let mut per_cell_mismatch = vec![0u64; grid.len()];
+    let mut duplicate_key_requests = 0u64;
+    for w in workers {
+        for (cell, latency_us, has_dup, verdict) in w.join().expect("client thread") {
+            if has_dup {
+                duplicate_key_requests += 1;
+            }
+            match verdict {
+                None => per_cell_us[cell].push(latency_us),
+                Some(e) => {
+                    per_cell_mismatch[cell] += 1;
+                    let (width, stride) = grid[cell];
+                    failures.push(format!("width {width} stride {stride}: {e}"));
+                }
+            }
+        }
+    }
+
+    // Let the server observe every client's clean close before the final
+    // snapshot, so the disconnect tally is complete.
+    let t = Instant::now();
+    while t.elapsed() < Duration::from_secs(5) {
+        let w = srv.wire_stats();
+        if w.connections_closed == w.connections_opened {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let report = srv.shutdown();
+    let wire = report.wire;
+    let stats = report.service.stats;
+    let mismatches: u64 = per_cell_mismatch.iter().sum();
+
+    // Three-way reconciliation: the wire's tallies, the service's
+    // counters, and the metrics registry must agree event-for-event —
+    // including the record/plain reply split and the per-width record
+    // counters.
+    let mut reconcile_failures: Vec<String> = Vec::new();
+    let mut check = |name: &str, a: u64, b: u64| {
+        if a != b {
+            reconcile_failures.push(format!("record reconcile: {name}: {a} != {b}"));
+        }
+    };
+    check("frames vs submitted", wire.frames_read, stats.submitted);
+    check(
+        "frames vs scripted requests",
+        wire.frames_read,
+        total_requests,
+    );
+    check(
+        "ok + ok_record replies vs completed",
+        wire.replies_ok + wire.replies_record,
+        stats.completed,
+    );
+    check(
+        "ok_record replies vs record requests",
+        wire.replies_record,
+        record_requests,
+    );
+    check(
+        "ok replies vs plain baseline cell",
+        wire.replies_ok,
+        plain_requests,
+    );
+    check(
+        "connections closed vs opened",
+        wire.connections_closed,
+        wire.connections_opened,
+    );
+
+    let mut metrics_doc = None;
+    let mut prometheus_doc = None;
+    if let Some(m) = handle {
+        let snap = m.snapshot();
+        let mut check = |name: &str, a: u64, b: u64| {
+            if a != b {
+                reconcile_failures.push(format!("registry reconcile: {name}: {a} != {b}"));
+            }
+        };
+        check(
+            "wire frames",
+            snap.counter_total("bitonic_wire_frames_total"),
+            wire.frames_read,
+        );
+        check(
+            "ok_record replies",
+            snap.counter_labeled("bitonic_wire_replies_total", "status", "ok_record"),
+            wire.replies_record,
+        );
+        check(
+            "ok replies",
+            snap.counter_labeled("bitonic_wire_replies_total", "status", "ok"),
+            wire.replies_ok,
+        );
+        check(
+            "record requests total",
+            snap.counter_total("bitonic_record_requests_total"),
+            record_requests,
+        );
+        for (wi, &width) in WIDTHS.iter().enumerate() {
+            let label = match width {
+                4 => "4",
+                8 => "8",
+                _ => "16",
+            };
+            check(
+                &format!("record requests[width={width}]"),
+                snap.counter_labeled("bitonic_record_requests_total", "width", label),
+                per_width_records[wi],
+            );
+        }
+        check(
+            "payload histogram count vs record requests",
+            snap.histogram_count("bitonic_record_payload_bytes"),
+            record_requests,
+        );
+        check(
+            "completed",
+            snap.counter_total("bitonic_requests_completed_total"),
+            stats.completed,
+        );
+        metrics_doc = Some(metrics_json(&snap));
+        prometheus_doc = Some(obs::encode_prometheus(&snap));
+    }
+    let reconciled = reconcile_failures.is_empty();
+    failures.extend(reconcile_failures);
+
+    if stats.shed > 0 {
+        failures.push(format!("{} requests shed at nominal load", stats.shed));
+    }
+    if stats.expired > 0 {
+        failures.push(format!("{} requests expired", stats.expired));
+    }
+    if stats.failed > 0 {
+        failures.push(format!("{} requests lost to failed batches", stats.failed));
+    }
+    if wire.frame_errors > 0 {
+        failures.push(format!(
+            "{} malformed frames under a clean load",
+            wire.frame_errors
+        ));
+    }
+    if duplicate_key_requests < total_requests / 2 {
+        failures.push(format!(
+            "only {duplicate_key_requests} of {total_requests} requests carried \
+             duplicate keys — the stability check has no teeth"
+        ));
+    }
+
+    let cells: Vec<RecordCell> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, &(width, stride))| {
+            let us = &mut per_cell_us[i];
+            us.sort_by(f64::total_cmp);
+            RecordCell {
+                width,
+                stride,
+                requests: cell_requests[i],
+                keys: cell_keys[i],
+                payload_bytes: cell_payload[i],
+                mismatches: per_cell_mismatch[i],
+                p50_us: percentile(us, 50.0),
+                p95_us: percentile(us, 95.0),
+                p99_us: percentile(us, 99.0),
+            }
+        })
+        .collect();
+
+    let summary = RecordSummary {
+        procs,
+        requests: total_requests,
+        frames: wire.frames_read,
+        replies_record: wire.replies_record,
+        mismatches,
+        duplicate_key_requests,
+        reconciled,
+        cells,
+    };
+
+    let mut t = Table::new(vec![
+        "width",
+        "stride",
+        "requests",
+        "keys",
+        "payload B",
+        "mismatch",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+    ]);
+    for c in &summary.cells {
+        t.row(vec![
+            c.width.to_string(),
+            c.stride.to_string(),
+            c.requests.to_string(),
+            c.keys.to_string(),
+            c.payload_bytes.to_string(),
+            c.mismatches.to_string(),
+            f2(c.p50_us),
+            f2(c.p95_us),
+            f2(c.p99_us),
+        ]);
+    }
+
+    let json = record_json(&summary);
+    let passed = failures.is_empty();
+    let verdict = if passed {
+        format!(
+            "All {total_requests} record replies over {conns} connections match the \
+             stable record oracle byte-for-byte ({duplicate_key_requests} requests \
+             carried duplicate keys, proving payload stability in both directions); \
+             WireStats, ServiceStats, and the metrics registry reconcile exactly, \
+             per-width record counters included."
+        )
+    } else {
+        let mut v = String::from("FAILED:\n");
+        for f in &failures {
+            v.push_str("  - ");
+            v.push_str(f);
+            v.push('\n');
+        }
+        v
+    };
+    let report = format!(
+        "Key-width x payload-stride grid over loopback TCP (P = {procs}):\n\n\
+         {}\n{verdict}\n\n```json\n{json}```\n",
+        t.render()
+    );
+    RecordRun {
+        report,
+        json,
+        metrics_json: metrics_doc,
+        prometheus: prometheus_doc,
+        passed,
+    }
+}
+
+/// Run the record grid and render it as an experiment.
+#[must_use]
+pub fn records(scale: Scale) -> Experiment {
+    let run = run_records(
+        DEFAULT_PROCS,
+        default_requests(scale),
+        DEFAULT_CONNS,
+        DEFAULT_SEED,
+    );
+    Experiment {
+        id: "records",
+        title: "Record sorting over the wire: wide keys + payload carriage",
+        body: run.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_record_grid_passes_every_check() {
+        // Smaller than the CI configuration, same checks — oracle
+        // conformance per cell plus the three-way WireStats /
+        // ServiceStats / registry reconciliation with per-width record
+        // counters.
+        let run = run_records(4, 8, 4, DEFAULT_SEED);
+        assert!(run.passed, "{}", run.report);
+        assert!(run.json.contains("\"schema\": \"RECORD_1\""));
+        assert!(run.json.contains("\"reconciled\": true"));
+        assert!(run.json.contains("\"mismatches\": 0"));
+        let metrics = run.metrics_json.expect("metrics are on");
+        assert!(metrics.contains("bitonic_record_requests_total"));
+        assert!(metrics.contains("bitonic_record_payload_bytes"));
+    }
+
+    #[test]
+    fn scripted_cells_are_deterministic_and_duplicate_heavy() {
+        let a = script_cell(3, 8, 64, 8, DEFAULT_SEED);
+        let b = script_cell(3, 8, 64, 8, DEFAULT_SEED);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.frame, y.frame);
+            assert_eq!(x.expect_keys, y.expect_keys);
+            assert_eq!(x.expect_payload, y.expect_payload);
+        }
+        // Requests bigger than the key pool must contain ties.
+        assert!(a.iter().filter(|s| s.has_dup).count() >= 6);
+        // The oracle's payload permutation carries full rows.
+        for s in &a {
+            assert_eq!(s.expect_payload.len(), s.expect_keys.len() * 64);
+        }
+    }
+}

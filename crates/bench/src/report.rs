@@ -553,6 +553,102 @@ pub fn net_json(s: &NetSummary) -> String {
     out
 }
 
+/// Schema tag for the record-sorting benchmark's machine-readable
+/// output. Like [`BENCH_SCHEMA`], the suffix is bumped when any field
+/// changes meaning.
+pub const RECORD_SCHEMA: &str = "RECORD_1";
+
+/// One `(key width, payload stride)` cell of the record-sorting grid in
+/// the stable `RECORD_1` schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordCell {
+    /// Key width in bytes (4, 8 or 16).
+    pub width: u8,
+    /// Payload bytes per key (0 means key-only records).
+    pub stride: usize,
+    /// Record requests sent in this cell.
+    pub requests: u64,
+    /// Keys across those requests.
+    pub keys: u64,
+    /// Payload bytes carried across those requests.
+    pub payload_bytes: u64,
+    /// Replies that differed from the stable-sort oracle (keys *or*
+    /// payload bytes).
+    pub mismatches: u64,
+    /// Median send-to-reply latency over the socket, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// One record-sorting wire run in the stable `RECORD_1` schema: the
+/// width × payload-stride grid, each cell checked reply-for-reply
+/// against a *stable* sort oracle (duplicate keys keep submission
+/// order in both directions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordSummary {
+    /// Ranks per warm machine (`P`).
+    pub procs: usize,
+    /// Record requests across all cells.
+    pub requests: u64,
+    /// Well-formed request frames the server accepted.
+    pub frames: u64,
+    /// `ok_record` replies written.
+    pub replies_record: u64,
+    /// Replies that differed from the stable oracle, across all cells.
+    pub mismatches: u64,
+    /// Requests that contained at least one duplicated key — the ones
+    /// whose payload order actually proves stability.
+    pub duplicate_key_requests: u64,
+    /// Whether wire counters reconciled exactly against `ServiceStats`
+    /// and the metrics registry (per-width counters included).
+    pub reconciled: bool,
+    /// Per-cell results, in `(width, stride)` grid order.
+    pub cells: Vec<RecordCell>,
+}
+
+/// Render a record-sorting summary as a complete `RECORD_1` JSON
+/// document.
+#[must_use]
+pub fn record_json(s: &RecordSummary) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"{RECORD_SCHEMA}\",\n  \
+         \"procs\": {}, \"requests\": {}, \"frames\": {},\n  \
+         \"replies_record\": {}, \"mismatches\": {}, \
+         \"duplicate_key_requests\": {},\n  \
+         \"reconciled\": {},\n  \
+         \"cells\": [\n",
+        s.procs,
+        s.requests,
+        s.frames,
+        s.replies_record,
+        s.mismatches,
+        s.duplicate_key_requests,
+        s.reconciled,
+    );
+    for (i, c) in s.cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"width\": {}, \"stride\": {}, \"requests\": {}, \
+             \"keys\": {}, \"payload_bytes\": {}, \"mismatches\": {}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
+            c.width,
+            c.stride,
+            c.requests,
+            c.keys,
+            c.payload_bytes,
+            c.mismatches,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            if i + 1 == s.cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Schema tag for the local-kernel benchmark's machine-readable output.
 /// Like [`BENCH_SCHEMA`], the suffix is bumped when any field changes
 /// meaning.

@@ -544,8 +544,11 @@ pub fn serve_usage() -> String {
     "usage: bitonic-sort serve [-p PROCS] [--shards N] [--bulk] [--stats]\n\
      \u{20}                         [--metrics-every SECS] [-i FILE|-] [-o FILE|-]\n\
      Each input line is one sort request: an optional 'asc' or 'desc' token,\n\
-     an optional 'deadline=MICROS' token, then decimal keys — the same\n\
-     grammar the TCP wire frontend's text parser accepts. All requests are\n\
+     optional 'deadline=MICROS', 'width=1|2|4|8|16' (default 4) and\n\
+     'payload=HEX' tokens, then decimal keys — the same grammar the TCP wire\n\
+     frontend's text parser accepts. A width above 4 or a payload makes the\n\
+     line a record request: the payload is carried opaquely (stride = bytes /\n\
+     key count) and echoed back in key order as 'payload=HEX'. All requests are\n\
      submitted to one warm-pool sort service, which coalesces them into\n\
      tagged batches; each output line is the matching request's keys in its\n\
      requested order.\n\
@@ -608,24 +611,36 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     Ok(opts)
 }
 
-/// Parse one request line: an optional `asc`/`desc` token, an optional
-/// `deadline=<µs>` token, then keys. Delegates to the wire codec's text
-/// parser so the stdin and TCP frontends share one validation path —
-/// every stdin request round-trips through the exact `SORT_1` frame
-/// checks a socket peer's request would face.
-fn parse_request(
-    line: &str,
-) -> Result<
-    (
-        Vec<u32>,
-        bitonic_network::Direction,
-        Option<std::time::Duration>,
-    ),
-    String,
-> {
-    let frame = sort_service::net::parse_text_request(line)?;
-    let keys = frame.keys_u32().expect("text requests are width 4");
-    Ok((keys, frame.dir, frame.deadline()))
+/// Parse one request line: an optional `asc`/`desc` token, optional
+/// `deadline=<µs>`, `width=<1|2|4|8|16>` and `payload=<hex>` tokens,
+/// then keys. Delegates to the wire codec's text parser so the stdin
+/// and TCP frontends share one validation path — every stdin request
+/// round-trips through the exact `SORT_1` frame checks a socket peer's
+/// request would face.
+fn parse_request(line: &str) -> Result<sort_service::RequestFrame, String> {
+    sort_service::net::parse_text_request(line)
+}
+
+/// Render bytes as lowercase hex (the `payload=` output token).
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Render one record reply line: decimal keys in their sorted order,
+/// then a `payload=<hex>` token when the request carried one.
+fn record_reply_line(reply: &sort_service::RecordReply) -> String {
+    use sort_service::RecordKeys;
+    let keys: Vec<String> = match &reply.keys {
+        RecordKeys::U32(k) => k.iter().map(u32::to_string).collect(),
+        RecordKeys::U64(k) => k.iter().map(u64::to_string).collect(),
+        RecordKeys::U128(k) => k.iter().map(u128::to_string).collect(),
+    };
+    let mut line = keys.join(" ");
+    if reply.stride > 0 {
+        line.push_str(" payload=");
+        line.push_str(&to_hex(&reply.payload));
+    }
+    line
 }
 
 /// Render the `serve --stats` report.
@@ -694,13 +709,11 @@ pub fn sharded_stats_report(stats: &sort_service::ShardedStats) -> String {
 /// # Errors
 /// A malformed request line, a shed request, or a failed batch.
 pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, String> {
-    use sort_service::{ServiceConfig, ShardedConfig, ShardedService, SortRequest, SortService};
-    #[allow(clippy::type_complexity)]
-    let requests: Vec<(
-        Vec<u32>,
-        bitonic_network::Direction,
-        Option<std::time::Duration>,
-    )> = String::from_utf8_lossy(raw_input)
+    use sort_service::{
+        RecordTicket, RequestFrame, ServiceConfig, ShardedConfig, ShardedService, SortService,
+        Ticket,
+    };
+    let requests: Vec<RequestFrame> = String::from_utf8_lossy(raw_input)
         .lines()
         .filter(|l| !l.trim().is_empty())
         .map(parse_request)
@@ -743,14 +756,31 @@ pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, Str
         });
         (stop, handle)
     });
-    let tickets: Vec<_> = requests
+    enum AnyTicket {
+        Plain(Ticket),
+        Record(RecordTicket),
+    }
+    let tickets: Vec<AnyTicket> = requests
         .into_iter()
-        .map(|(keys, dir, deadline)| {
-            let mut request = SortRequest::new(keys, dir);
-            request.deadline = deadline;
-            match &front {
-                Front::Single(s) => s.submit(request),
-                Front::Sharded(s) => s.submit(request),
+        .map(|frame| {
+            if frame.is_record() {
+                let request = frame
+                    .into_record_request()
+                    .map_err(|e| format!("invalid request: {e}"))?;
+                match &front {
+                    Front::Single(s) => s.submit_record(request),
+                    Front::Sharded(s) => s.submit_record(request),
+                }
+                .map(AnyTicket::Record)
+            } else {
+                let request = frame
+                    .into_request()
+                    .map_err(|e| format!("invalid request: {e}"))?;
+                match &front {
+                    Front::Single(s) => s.submit(request),
+                    Front::Sharded(s) => s.submit(request),
+                }
+                .map(AnyTicket::Plain)
             }
             .map_err(|r| format!("request shed: {r}"))
         })
@@ -758,9 +788,17 @@ pub fn run_serve(opts: &ServeOptions, raw_input: &[u8]) -> Result<RunOutput, Str
 
     let mut out = String::new();
     for ticket in tickets {
-        let sorted = ticket.wait().map_err(|e| format!("request failed: {e}"))?;
-        let line: Vec<String> = sorted.iter().map(u32::to_string).collect();
-        out.push_str(&line.join(" "));
+        match ticket {
+            AnyTicket::Plain(t) => {
+                let sorted = t.wait().map_err(|e| format!("request failed: {e}"))?;
+                let line: Vec<String> = sorted.iter().map(u32::to_string).collect();
+                out.push_str(&line.join(" "));
+            }
+            AnyTicket::Record(t) => {
+                let reply = t.wait().map_err(|e| format!("request failed: {e}"))?;
+                out.push_str(&record_reply_line(&reply));
+            }
+        }
         out.push('\n');
     }
     if let Some((stop, handle)) = ticker {
@@ -1088,12 +1126,17 @@ mod tests {
             .split_whitespace()
             .map(|t| t.parse().unwrap())
             .collect();
-        let mut expect: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2_654_435_761).rotate_left(7)).collect();
+        let mut expect: Vec<u32> = (0..n)
+            .map(|i| i.wrapping_mul(2_654_435_761).rotate_left(7))
+            .collect();
         expect.sort_unstable();
         assert_eq!(big, expect, "bulk reply is oracle-identical");
         assert_eq!(lines.next().unwrap(), "1 3 5");
         let report = out.report.unwrap();
-        assert!(report.contains("bulk: 1 submitted, 1 completed"), "{report}");
+        assert!(
+            report.contains("bulk: 1 submitted, 1 completed"),
+            "{report}"
+        );
     }
 
     #[test]
@@ -1104,6 +1147,31 @@ mod tests {
         // parser was unified with the wire codec's.
         assert!(run_serve(&opts, b"1 asc 2\n").is_err());
         assert!(run_serve(&opts, b"deadline=abc 1 2\n").is_err());
+    }
+
+    /// Record lines — wide keys and/or payload tokens — ride the record
+    /// path and come back with their payload permuted into key order.
+    #[test]
+    fn serve_answers_record_lines_with_payload_in_key_order() {
+        let opts = ServeOptions {
+            procs: 2,
+            ..Default::default()
+        };
+        let input = b"width=8 payload=61626364 2 1\n\
+                      desc width=16 340282366920938463463374607431768211455 7\n\
+                      payload=aabb 9 3\n";
+        let out = run_serve(&opts, input).unwrap();
+        assert_eq!(
+            String::from_utf8(out.bytes).unwrap(),
+            "1 2 payload=63646162\n\
+             340282366920938463463374607431768211455 7\n\
+             3 9 payload=bbaa\n"
+        );
+        assert!(run_serve(&opts, b"payload=abc 1 2\n").is_err(), "odd hex");
+        assert!(
+            run_serve(&opts, b"width=2 5 1\n").is_err(),
+            "width 2 decodes but the service refuses it"
+        );
     }
 
     /// The stdin frontend shares the wire codec's parser: the deadline

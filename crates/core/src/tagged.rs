@@ -20,6 +20,7 @@
 //! pure boundary check, [`TaggedBatch::push`] the enforcing caller.
 
 use bitonic_network::Direction;
+use local_sorts::W192;
 
 /// The padding sentinel: sorts after every encoded word.
 pub const PAD: u64 = u64::MAX;
@@ -174,6 +175,256 @@ pub fn sorted_independently(keys: &[u32], dir: Direction) -> Vec<u32> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Records: (key, record-id) words for u32/u64/u128 keys.
+// ---------------------------------------------------------------------------
+
+/// A machine word carrying one *record*: a batch tag, a key, and the
+/// record's index within its request (`rid`).
+///
+/// The rid rides in the word's least significant bits, below the key, so
+/// an ascending sort of the words yields each request's records in
+/// *stable* key order — equal keys keep their input order (the oracle is
+/// a stable `sort_by_key`) — and the rid sequence read off the sorted
+/// segment **is** the payload permutation: reply payload row `i` is
+/// request payload row `perm[i]`. Two word shapes cover the three wire
+/// key widths:
+///
+/// * `u128` — `[tag:32][key:64][rid:32]`, serving u32 (zero-extended)
+///   and u64 keys;
+/// * [`W192`] — `[tag:32][key:128][rid:32]`, serving u128 keys.
+///
+/// Both munge descending keys by bitwise negation exactly like
+/// [`encode_key`]; the rid is never munged, so ties stay input-ordered
+/// under either direction. The all-ones `PAD` carries the reserved tag
+/// `u32::MAX`, so every word with a usable tag (`<= MAX_TAG`) sorts
+/// strictly below it regardless of key and rid.
+pub trait RecordWord: Copy + Ord + Send + Sync + 'static {
+    /// The widest key this word carries (narrower keys zero-extend).
+    type Key: Copy + Ord + Send + Sync + 'static;
+    /// The padding sentinel: sorts strictly after every encoded word.
+    const PAD: Self;
+    /// Lift `(tag, key, rid)` into a word (key munged for `dir`).
+    ///
+    /// # Panics
+    /// Panics if `tag` exceeds [`MAX_TAG`] (reserved for `PAD`).
+    fn encode(tag: u32, key: Self::Key, rid: u32, dir: Direction) -> Self;
+    /// The tag field.
+    fn tag(self) -> u32;
+    /// The record-id field.
+    fn rid(self) -> u32;
+    /// Recover the key (inverse of [`RecordWord::encode`] for `dir`).
+    fn key(self, dir: Direction) -> Self::Key;
+}
+
+impl RecordWord for u128 {
+    type Key = u64;
+    const PAD: u128 = u128::MAX;
+
+    #[inline]
+    fn encode(tag: u32, key: u64, rid: u32, dir: Direction) -> u128 {
+        assert!(tag <= MAX_TAG, "tag {tag} is reserved for the PAD sentinel");
+        let munged = match dir {
+            Direction::Ascending => key,
+            Direction::Descending => !key,
+        };
+        (u128::from(tag) << 96) | (u128::from(munged) << 32) | u128::from(rid)
+    }
+
+    #[inline]
+    fn tag(self) -> u32 {
+        (self >> 96) as u32
+    }
+
+    #[inline]
+    fn rid(self) -> u32 {
+        self as u32
+    }
+
+    #[inline]
+    fn key(self, dir: Direction) -> u64 {
+        let munged = (self >> 32) as u64;
+        match dir {
+            Direction::Ascending => munged,
+            Direction::Descending => !munged,
+        }
+    }
+}
+
+impl RecordWord for W192 {
+    type Key = u128;
+    const PAD: W192 = W192::MAX;
+
+    #[inline]
+    fn encode(tag: u32, key: u128, rid: u32, dir: Direction) -> W192 {
+        assert!(tag <= MAX_TAG, "tag {tag} is reserved for the PAD sentinel");
+        let munged = match dir {
+            Direction::Ascending => key,
+            Direction::Descending => !key,
+        };
+        W192 {
+            hi: (u64::from(tag) << 32) | (munged >> 96) as u64,
+            mid: (munged >> 32) as u64,
+            lo: ((munged as u32 as u64) << 32) | u64::from(rid),
+        }
+    }
+
+    #[inline]
+    fn tag(self) -> u32 {
+        (self.hi >> 32) as u32
+    }
+
+    #[inline]
+    fn rid(self) -> u32 {
+        self.lo as u32
+    }
+
+    #[inline]
+    fn key(self, dir: Direction) -> u128 {
+        let munged = (u128::from(self.hi & 0xFFFF_FFFF) << 96)
+            | (u128::from(self.mid) << 32)
+            | u128::from(self.lo >> 32);
+        match dir {
+            Direction::Ascending => munged,
+            Direction::Descending => !munged,
+        }
+    }
+}
+
+/// One request's slice of a sorted record batch: the keys in the
+/// requested (stable) order, and the permutation that reorders the
+/// request's payload rows to match (`reply row i` ← `request row
+/// perm[i]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordSegment<K> {
+    /// The request's keys, sorted stably in its requested direction.
+    pub keys: Vec<K>,
+    /// The payload permutation in sorted order.
+    pub perm: Vec<u32>,
+}
+
+/// [`TaggedBatch`] for records: coalesces requests of `(key, rid)`
+/// words and splits the sorted run back into per-request
+/// [`RecordSegment`]s. Generic over the word shape — `RecordBatch<u128>`
+/// serves u32/u64 keys, `RecordBatch<W192>` serves u128 keys.
+#[derive(Debug, Clone)]
+pub struct RecordBatch<W: RecordWord> {
+    words: Vec<W>,
+    /// Per request, in tag order: key count and requested order.
+    requests: Vec<(usize, Direction)>,
+}
+
+impl<W: RecordWord> Default for RecordBatch<W> {
+    fn default() -> Self {
+        RecordBatch {
+            words: Vec::new(),
+            requests: Vec::new(),
+        }
+    }
+}
+
+impl<W: RecordWord> RecordBatch<W> {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        RecordBatch::default()
+    }
+
+    /// Append a request, returning its tag. Record ids are the key
+    /// positions `0..keys.len()` — the identity permutation at encode
+    /// time.
+    ///
+    /// # Panics
+    /// Panics if the batch already holds [`MAX_REQUESTS`] requests, or
+    /// if one request holds more than `u32::MAX` keys (the rid field).
+    pub fn push(&mut self, keys: &[W::Key], dir: Direction) -> u32 {
+        let tag = tag_for(self.requests.len())
+            .expect("too many requests in one batch: the next tag is reserved for PAD");
+        assert!(
+            u32::try_from(keys.len()).is_ok(),
+            "a record request's rid field is 32 bits"
+        );
+        self.words.extend(
+            keys.iter()
+                .enumerate()
+                .map(|(rid, &k)| W::encode(tag, k, rid as u32, dir)),
+        );
+        self.requests.push((keys.len(), dir));
+        tag
+    }
+
+    /// Number of requests coalesced so far.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Total keys across all requests (excluding padding).
+    #[must_use]
+    pub fn total_keys(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no requests have been coalesced.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The batch's words padded with `W::PAD` to a machine-runnable
+    /// shape, exactly as [`TaggedBatch::padded_words`].
+    #[must_use]
+    pub fn padded_words(&self, procs: usize) -> (Vec<W>, usize) {
+        let per_rank = self.words.len().div_ceil(procs).next_power_of_two().max(2);
+        let mut words = self.words.clone();
+        words.resize(per_rank * procs, W::PAD);
+        (words, per_rank)
+    }
+
+    /// Split the globally sorted batch back into per-request segments in
+    /// tag order, each carrying its stable-sorted keys and the payload
+    /// permutation. Trailing `W::PAD` sentinels are ignored.
+    ///
+    /// # Panics
+    /// Panics (debug assertions) if a word lands under the wrong tag.
+    #[must_use]
+    pub fn split(&self, sorted: &[W]) -> Vec<RecordSegment<W::Key>> {
+        let mut out = Vec::with_capacity(self.requests.len());
+        let mut cursor = 0usize;
+        for (tag, &(len, dir)) in self.requests.iter().enumerate() {
+            let segment = &sorted[cursor..cursor + len];
+            debug_assert!(
+                segment.iter().all(|&w| w.tag() as usize == tag),
+                "segment words must carry their request's tag"
+            );
+            out.push(RecordSegment {
+                keys: segment.iter().map(|&w| w.key(dir)).collect(),
+                perm: segment.iter().map(|&w| w.rid()).collect(),
+            });
+            cursor += len;
+        }
+        out
+    }
+}
+
+/// The record oracle: `keys` sorted *stably* in `dir` plus the payload
+/// permutation a correct record sort must produce — equal keys keep
+/// their input order.
+#[must_use]
+pub fn records_sorted_independently<K: Ord + Copy>(keys: &[K], dir: Direction) -> RecordSegment<K> {
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    match dir {
+        Direction::Ascending => order.sort_by_key(|&i| keys[i as usize]),
+        Direction::Descending => {
+            order.sort_by_key(|&i| std::cmp::Reverse(keys[i as usize]));
+        }
+    }
+    RecordSegment {
+        keys: order.iter().map(|&i| keys[i as usize]).collect(),
+        perm: order,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +495,70 @@ mod tests {
     #[should_panic(expected = "reserved for the PAD sentinel")]
     fn encoding_with_the_reserved_tag_is_rejected() {
         let _ = encode_key(u32::MAX, 0, Direction::Ascending);
+    }
+
+    #[test]
+    fn record_words_round_trip_both_shapes() {
+        for dir in [Direction::Ascending, Direction::Descending] {
+            for key in [0u64, 1, 7, u64::from(u32::MAX), u64::MAX] {
+                let w = <u128 as RecordWord>::encode(42, key, 9, dir);
+                assert_eq!(RecordWord::tag(w), 42);
+                assert_eq!(RecordWord::rid(w), 9);
+                assert_eq!(RecordWord::key(w, dir), key);
+                assert!(w < <u128 as RecordWord>::PAD);
+            }
+            for key in [0u128, 1, u128::from(u64::MAX), u128::MAX] {
+                let w = <W192 as RecordWord>::encode(MAX_TAG, key, u32::MAX, dir);
+                assert_eq!(RecordWord::tag(w), MAX_TAG);
+                assert_eq!(RecordWord::rid(w), u32::MAX);
+                assert_eq!(RecordWord::key(w, dir), key);
+                assert!(w < <W192 as RecordWord>::PAD);
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_record_words_are_stable_and_carry_the_permutation() {
+        // Duplicate-heavy keys: stability is the whole point.
+        let keys: Vec<u64> = vec![5, 1, 5, 5, 0, 1, 5, u64::MAX, 0];
+        for dir in [Direction::Ascending, Direction::Descending] {
+            let mut batch = RecordBatch::<u128>::new();
+            batch.push(&keys, dir);
+            let mut words = batch.padded_words(2).0;
+            words.sort_unstable();
+            let seg = &batch.split(&words)[0];
+            let oracle = records_sorted_independently(&keys, dir);
+            assert_eq!(seg, &oracle, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn record_batch_through_the_machine_matches_the_stable_oracle() {
+        let reqs: Vec<(Vec<u128>, Direction)> = vec![
+            (vec![9, 3, 3, 3, 7], Direction::Ascending),
+            (vec![], Direction::Ascending),
+            (vec![u128::MAX, 2, 2, 1], Direction::Descending),
+            (vec![1 << 100, 1 << 40, 1 << 100, 5], Direction::Ascending),
+            (vec![8], Direction::Descending),
+        ];
+        let mut batch = RecordBatch::<W192>::new();
+        for (keys, dir) in &reqs {
+            batch.push(keys, *dir);
+        }
+        let (words, per_rank) = batch.padded_words(4);
+        assert_eq!(words.len(), per_rank * 4);
+        let run = run_parallel_sort(
+            &words,
+            4,
+            MessageMode::Long,
+            Algorithm::Smart,
+            LocalStrategy::Merges,
+        );
+        let segments = batch.split(&run.output);
+        assert_eq!(segments.len(), reqs.len());
+        for ((keys, dir), seg) in reqs.iter().zip(&segments) {
+            assert_eq!(seg, &records_sorted_independently(keys, *dir));
+        }
     }
 
     #[test]

@@ -78,8 +78,11 @@ pub use net::{
 };
 pub use pool::{PoolStats, WarmPool};
 pub use router::{Router, SizeClass};
-pub use server::{ServiceReport, ServiceStats, SortError, SortRequest, SortService, Ticket};
+pub use server::{
+    RecordKeys, RecordReply, RecordRequest, RecordTicket, ServiceReport, ServiceStats, SortError,
+    SortRequest, SortService, Ticket,
+};
 pub use shard::{
     EngineEvent, ShardEngine, ShardStats, ShardedReport, ShardedService, ShardedStats,
 };
-pub use split::{BulkFailure, BulkReason, SplitPart, SplitPlan};
+pub use split::{BulkFailure, BulkReason, RecordPart, RecordSplitPlan, SplitPart, SplitPlan};

@@ -88,6 +88,8 @@ pub struct ClassMetrics {
     pub(crate) batch_keys: Arc<Histogram>,
     /// Requests per batch.
     pub(crate) batch_requests: Arc<Histogram>,
+    /// Payload bytes carried per completed record request.
+    pub(crate) record_payload_bytes: Arc<Histogram>,
     /// Rolling-window SLO state for this class.
     pub(crate) slo: SloTracker,
     /// EWMA of measured/LogP-predicted batch runtime.
@@ -218,6 +220,11 @@ impl ClassMetrics {
             ),
             batch_keys: r.histogram("bitonic_batch_keys", "Useful keys per batch", l),
             batch_requests: r.histogram("bitonic_batch_requests", "Requests per batch", l),
+            record_payload_bytes: r.histogram(
+                "bitonic_record_payload_bytes",
+                "Payload bytes carried per completed record request",
+                l,
+            ),
             slo: SloTracker::new(SLO_WINDOW, SLO_SLOTS, cfg.default_deadline),
             drift: DriftGauge::default(),
         }
@@ -273,6 +280,24 @@ impl ClassMetrics {
                 )
                 .add(count);
         }
+    }
+
+    /// Count one completed record request: the per-width counter plus
+    /// the payload-bytes histogram. Width is the key width in bytes.
+    pub(crate) fn record_record_request(&self, width: u8, payload_bytes: u64) {
+        let width = match width {
+            4 => "4",
+            8 => "8",
+            _ => "16",
+        };
+        self.registry
+            .counter(
+                "bitonic_record_requests_total",
+                "Record requests completed, by key width in bytes",
+                &[("class", &self.class), ("width", width)],
+            )
+            .inc();
+        self.record_payload_bytes.observe(payload_bytes);
     }
 
     /// Total sheds across all reasons (for brief reports).

@@ -95,6 +95,16 @@ impl WireClient {
         self.read_reply()
     }
 
+    /// One full exchange with an arbitrary (e.g. record) request frame:
+    /// send it, read its reply.
+    ///
+    /// # Errors
+    /// Any [`WireError`] along the way.
+    pub fn exchange(&mut self, frame: &RequestFrame) -> Result<ReplyFrame, WireError> {
+        self.send(frame)?;
+        self.read_reply()
+    }
+
     /// Send one encoded request frame.
     ///
     /// # Errors

@@ -23,7 +23,7 @@ mod server;
 pub use client::{WireClient, WireError};
 pub use frame::{
     parse_text_request, FrameError, ReplyFrame, RequestFrame, LEN_PREFIX, MAGIC, REPLY_HEADER,
-    REQUEST_HEADER, SUPPORTED_WIDTHS, VERSION,
+    REQUEST_HEADER, SORTABLE_WIDTHS, SUPPORTED_WIDTHS, VERSION,
 };
 pub use server::{
     Disconnect, WireConfig, WireReport, WireServer, WireStats, DISCONNECT_LABELS, REJECTION_LABELS,

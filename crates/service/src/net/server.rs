@@ -31,7 +31,9 @@ use crate::admission::Rejection;
 use crate::config::{ServiceConfig, ShardedConfig};
 use crate::metrics::{ServiceMetrics, WireMetrics};
 use crate::net::frame::{FrameError, ReplyFrame, RequestFrame, LEN_PREFIX};
-use crate::server::{ServiceReport, ServiceStats, SortRequest, SortService, Ticket};
+use crate::server::{
+    RecordRequest, RecordTicket, ServiceReport, ServiceStats, SortRequest, SortService, Ticket,
+};
 use crate::shard::{ShardedReport, ShardedService};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -166,8 +168,8 @@ fn rejection_idx(r: &Rejection) -> usize {
 /// The reconciliation contract (asserted by `tests/wire.rs` and
 /// `experiments bench7 --check`): when every request reaches the service
 /// through the wire, `frames_read == ServiceStats::submitted`,
-/// `replies_ok == completed`, `expired`/`failed` match, and
-/// `rejections[i]` equals the registry's
+/// `replies_ok + replies_record == completed`, `expired`/`failed`
+/// match, and `rejections[i]` equals the registry's
 /// `bitonic_requests_shed_total{reason=REJECTION_LABELS[i]}`.
 #[derive(Debug, Clone, Default)]
 pub struct WireStats {
@@ -175,7 +177,8 @@ pub struct WireStats {
     pub connections_opened: u64,
     /// Connections fully closed (handler exited).
     pub connections_closed: u64,
-    /// Well-formed width-4 request frames accepted for submission.
+    /// Well-formed request frames accepted for submission (plain and
+    /// record alike).
     pub frames_read: u64,
     /// Bytes read off all sockets.
     pub bytes_read: u64,
@@ -183,6 +186,8 @@ pub struct WireStats {
     pub bytes_written: u64,
     /// `ok` replies (sorted keys) formed.
     pub replies_ok: u64,
+    /// `ok_record` replies (sorted keys plus payload) formed.
+    pub replies_record: u64,
     /// `expired` replies formed.
     pub expired: u64,
     /// `machine_failed` replies formed.
@@ -264,6 +269,13 @@ impl Backend {
         }
     }
 
+    fn submit_record(&self, request: RecordRequest) -> Result<RecordTicket, Rejection> {
+        match self {
+            Backend::Single(s) => s.submit_record(request),
+            Backend::Sharded(s) => s.submit_record(request),
+        }
+    }
+
     fn metrics(&self) -> Option<Arc<ServiceMetrics>> {
         match self {
             Backend::Single(s) => s.metrics(),
@@ -315,6 +327,7 @@ impl WireShared {
             let mut s = self.stats.lock().expect("wire stats");
             match reply {
                 ReplyFrame::Sorted(_) => s.replies_ok += 1,
+                ReplyFrame::Record { .. } => s.replies_record += 1,
                 ReplyFrame::Rejected(r) => s.rejections[rejection_idx(r)] += 1,
                 ReplyFrame::Expired { .. } => s.expired += 1,
                 ReplyFrame::Failed(_) => s.failed += 1,
@@ -378,7 +391,11 @@ impl WireServer {
     /// # Panics
     /// Panics if `config` fails [`ServiceConfig::validate`].
     pub fn start(config: ServiceConfig, wire: WireConfig, addr: &str) -> std::io::Result<Self> {
-        Self::boot(Backend::Single(Arc::new(SortService::start(config))), wire, addr)
+        Self::boot(
+            Backend::Single(Arc::new(SortService::start(config))),
+            wire,
+            addr,
+        )
     }
 
     /// [`WireServer::start`] over a sharded service: requests route by
@@ -569,21 +586,53 @@ fn serve_conn(stream: &mut TcpStream, backend: &Backend, shared: &WireShared) ->
                 return why;
             }
         };
-        let request = match RequestFrame::decode(&payload).and_then(RequestFrame::into_request) {
-            Ok(r) => r,
+        let frame = match RequestFrame::decode(&payload) {
+            Ok(f) => f,
             Err(e) => {
                 shared.note_frame_error(&e);
                 let _ = write_reply(stream, &ReplyFrame::BadFrame(e.code()), shared);
                 return Disconnect::BadFrame(e);
             }
         };
-        shared.note_frame();
-        let reply = match backend.submit(request) {
-            Ok(ticket) => match ticket.wait() {
-                Ok(keys) => ReplyFrame::Sorted(keys),
-                Err(err) => ReplyFrame::from_error(&err),
-            },
-            Err(rejection) => ReplyFrame::Rejected(rejection),
+        let reply = if frame.is_record() {
+            // Wide keys and/or a payload section: the record path.
+            let request = match frame.into_record_request() {
+                Ok(r) => r,
+                Err(e) => {
+                    shared.note_frame_error(&e);
+                    let _ = write_reply(stream, &ReplyFrame::BadFrame(e.code()), shared);
+                    return Disconnect::BadFrame(e);
+                }
+            };
+            shared.note_frame();
+            match backend.submit_record(request) {
+                Ok(ticket) => match ticket.wait() {
+                    Ok(reply) => ReplyFrame::Record {
+                        keys: reply.keys,
+                        payload: reply.payload,
+                        stride: reply.stride as u32,
+                    },
+                    Err(err) => ReplyFrame::from_error(&err),
+                },
+                Err(rejection) => ReplyFrame::Rejected(rejection),
+            }
+        } else {
+            let request = match frame.into_request() {
+                Ok(r) => r,
+                Err(e) => {
+                    shared.note_frame_error(&e);
+                    let _ = write_reply(stream, &ReplyFrame::BadFrame(e.code()), shared);
+                    return Disconnect::BadFrame(e);
+                }
+            };
+            shared.note_frame();
+            match backend.submit(request) {
+                Ok(ticket) => match ticket.wait() {
+                    Ok(keys) => ReplyFrame::Sorted(keys),
+                    Err(err) => ReplyFrame::from_error(&err),
+                },
+                Err(rejection) => ReplyFrame::Rejected(rejection),
+            }
         };
         shared.note_reply(&reply);
         if let Err(why) = write_reply(stream, &reply, shared) {
@@ -743,6 +792,42 @@ mod tests {
         );
         assert_eq!(report.wire.frames_read, report.service.stats.submitted);
         assert_eq!(report.wire.replies_ok, report.service.stats.completed);
+    }
+
+    #[test]
+    fn record_frames_round_trip_with_their_payload_over_loopback() {
+        use crate::server::RecordKeys;
+        let srv = server();
+        let mut client = WireClient::connect(srv.local_addr()).unwrap();
+        let frame = RequestFrame::from_u64_keys(&[40, 10, 30, 20], Direction::Ascending, None)
+            .with_payload(2, vec![4, 4, 1, 1, 3, 3, 2, 2]);
+        let reply = client.exchange(&frame).unwrap();
+        assert_eq!(
+            reply,
+            ReplyFrame::Record {
+                keys: RecordKeys::U64(vec![10, 20, 30, 40]),
+                payload: vec![1, 1, 2, 2, 3, 3, 4, 4],
+                stride: 2,
+            }
+        );
+        // Width-4 with a payload rides the record path too.
+        let frame = RequestFrame::from_u32_keys(&[2, 1], Direction::Descending, None)
+            .with_payload(1, vec![b'b', b'a']);
+        let reply = client.exchange(&frame).unwrap();
+        assert_eq!(
+            reply,
+            ReplyFrame::Record {
+                keys: RecordKeys::U32(vec![2, 1]),
+                payload: vec![b'b', b'a'],
+                stride: 1,
+            }
+        );
+        drop(client);
+        let report = srv.shutdown();
+        assert_eq!(report.wire.frames_read, 2);
+        assert_eq!(report.wire.replies_record, 2);
+        assert_eq!(report.wire.replies_ok, 0);
+        assert_eq!(report.service.stats.completed, 2);
     }
 
     #[test]

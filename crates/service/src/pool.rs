@@ -18,6 +18,7 @@ use crate::config::ServiceConfig;
 use crate::metrics::ClassMetrics;
 use bitonic_core::algorithms::smart_sort_ctx;
 use bitonic_core::{LocalStrategy, SortContext};
+use local_sorts::{RadixKey, W192};
 use spmd::fault::FaultStats;
 use spmd::{MachineConfig, MachineFailure, SpmdMachine};
 use std::sync::Arc;
@@ -26,6 +27,12 @@ use std::time::Duration;
 /// The machine type the pool manages: `u64` tagged words through ranks
 /// retaining a `SortContext`, each job returning its rank's sorted slice.
 pub type SortMachine = SpmdMachine<u64, SortContext<u64>, Vec<u64>>;
+
+/// A record machine over 128-bit words (`[tag:32][key:64][rid:32]`).
+pub type Record128Machine = SpmdMachine<u128, SortContext<u128>, Vec<u128>>;
+
+/// A record machine over 192-bit words (`[tag:32][key:128][rid:32]`).
+pub type Record192Machine = SpmdMachine<W192, SortContext<W192>, Vec<W192>>;
 
 /// What the pool has done so far.
 #[derive(Debug, Clone, Copy, Default)]
@@ -88,11 +95,18 @@ impl PoolStats {
     }
 }
 
-/// A rotation of warm [`SortMachine`]s.
+/// A rotation of warm [`SortMachine`]s, plus (lazily booted) one record
+/// machine per record word shape. The record machines sit outside the
+/// autoscaled rotation — they exist only once a record batch arrives,
+/// and like the rotation they retain their `SortContext` so record
+/// batch shapes warm the same remap plan cache. They are not counted in
+/// the `machines` gauge, which measures plain-lane capacity.
 pub struct WarmPool {
     machine_config: MachineConfig,
     strategy: LocalStrategy,
     machines: Vec<SortMachine>,
+    rec128: Option<Record128Machine>,
+    rec192: Option<Record192Machine>,
     next: usize,
     stats: PoolStats,
     metrics: Option<Arc<ClassMetrics>>,
@@ -140,6 +154,8 @@ impl WarmPool {
             machine_config,
             strategy: LocalStrategy::Merges,
             machines,
+            rec128: None,
+            rec192: None,
             next: 0,
             stats: PoolStats::default(),
             metrics: None,
@@ -264,6 +280,110 @@ impl WarmPool {
                 self.machines[idx].set_pool_machines(self.machines.len() as u64);
                 Err(failure)
             }
+        }
+    }
+
+    /// Sort 128-bit record words (u32/u64 keys) on the pool's lazily
+    /// booted record machine; same padding contract and failure policy
+    /// as [`WarmPool::run_batch`].
+    ///
+    /// # Errors
+    /// The [`MachineFailure`] that broke the batch.
+    ///
+    /// # Panics
+    /// Panics if `words.len() != per_rank * procs`.
+    pub fn run_record128_batch(
+        &mut self,
+        words: Vec<u128>,
+        per_rank: usize,
+    ) -> Result<Vec<u128>, MachineFailure> {
+        let metrics = self.metrics.clone();
+        run_record_words(
+            &mut self.rec128,
+            self.machine_config,
+            self.strategy,
+            &mut self.stats,
+            metrics.as_deref(),
+            words,
+            per_rank,
+        )
+    }
+
+    /// Sort 192-bit record words (u128 keys) on the pool's lazily
+    /// booted record machine; same padding contract and failure policy
+    /// as [`WarmPool::run_batch`].
+    ///
+    /// # Errors
+    /// The [`MachineFailure`] that broke the batch.
+    ///
+    /// # Panics
+    /// Panics if `words.len() != per_rank * procs`.
+    pub fn run_record192_batch(
+        &mut self,
+        words: Vec<W192>,
+        per_rank: usize,
+    ) -> Result<Vec<W192>, MachineFailure> {
+        let metrics = self.metrics.clone();
+        run_record_words(
+            &mut self.rec192,
+            self.machine_config,
+            self.strategy,
+            &mut self.stats,
+            metrics.as_deref(),
+            words,
+            per_rank,
+        )
+    }
+}
+
+/// Run one record batch on the (lazily booted) machine in `slot`,
+/// harvesting plan-cache, fault, and kernel stats into the shared pool
+/// counters exactly like the plain path. A failed batch drops the
+/// machine; the next record batch of this shape boots a fresh one.
+fn run_record_words<K: RadixKey>(
+    slot: &mut Option<SpmdMachine<K, SortContext<K>, Vec<K>>>,
+    config: MachineConfig,
+    strategy: LocalStrategy,
+    stats: &mut PoolStats,
+    metrics: Option<&ClassMetrics>,
+    words: Vec<K>,
+    per_rank: usize,
+) -> Result<Vec<K>, MachineFailure> {
+    let procs = config.procs;
+    assert_eq!(words.len(), per_rank * procs, "batch must be padded");
+    let machine = slot.get_or_insert_with(|| SpmdMachine::boot(config, |_| SortContext::new()));
+    let words = Arc::new(words);
+    let result = machine.run(move |comm, ctx| {
+        let me = comm.rank();
+        let local = words[me * per_rank..(me + 1) * per_rank].to_vec();
+        smart_sort_ctx(comm, local, strategy, ctx)
+    });
+    match result {
+        Ok(ranks) => {
+            stats.batches_run += 1;
+            let mut batch_misses = 0;
+            let mut out = Vec::with_capacity(per_rank * procs);
+            for r in ranks {
+                stats.plan_hits += r.stats.plan_hits;
+                stats.plan_misses += r.stats.plan_misses;
+                stats.faults.sum_merge(&r.stats.faults);
+                batch_misses += r.stats.plan_misses;
+                if let Some(m) = metrics {
+                    m.record_rank_stats(&r.stats);
+                }
+                out.extend_from_slice(&r.output);
+            }
+            stats.last_batch_plan_misses = batch_misses;
+            Ok(out)
+        }
+        Err(failure) => {
+            stats.batches_failed += 1;
+            stats.machines_rebuilt += 1;
+            if let Some(m) = metrics {
+                m.machines_rebuilt.inc();
+            }
+            *slot = None;
+            Err(failure)
         }
     }
 }
@@ -395,6 +515,47 @@ mod tests {
         assert_eq!(warm.last_batch_plan_misses, 100);
         assert_eq!(warm.faults.retries, 12);
         assert_eq!(warm.faults.drops_injected, 3);
+    }
+
+    #[test]
+    fn record_batches_sort_stably_and_warm_their_own_plan_cache() {
+        use bitonic_core::tagged::{records_sorted_independently, RecordBatch};
+        let mut p = pool(2);
+        // Duplicate-heavy keys so stability is load-bearing.
+        let keys: Vec<u64> = (0..64u64).map(|i| (i * 37) % 16).collect();
+        for round in 0..3 {
+            let mut batch = RecordBatch::<u128>::new();
+            batch.push(&keys, Direction::Ascending);
+            let (words, per_rank) = batch.padded_words(2);
+            let sorted = p
+                .run_record128_batch(words, per_rank)
+                .expect("record batch");
+            let seg = batch.split(&sorted).remove(0);
+            let oracle = records_sorted_independently(&keys, Direction::Ascending);
+            assert_eq!(seg.keys, oracle.keys);
+            assert_eq!(seg.perm, oracle.perm, "stable permutation");
+            if round > 0 {
+                assert_eq!(
+                    p.stats().last_batch_plan_misses,
+                    0,
+                    "record shapes warm too"
+                );
+            }
+        }
+        // The 192-bit machine is independent and handles >64-bit keys.
+        let wide: Vec<u128> = keys.iter().map(|&k| u128::from(k) << 80).collect();
+        let mut batch = RecordBatch::<W192>::new();
+        batch.push(&wide, Direction::Descending);
+        let (words, per_rank) = batch.padded_words(2);
+        let sorted = p
+            .run_record192_batch(words, per_rank)
+            .expect("192-bit batch");
+        let seg = batch.split(&sorted).remove(0);
+        let oracle = records_sorted_independently(&wide, Direction::Descending);
+        assert_eq!(seg.keys, oracle.keys);
+        assert_eq!(seg.perm, oracle.perm);
+        // Record machines live outside the plain rotation's gauge.
+        assert_eq!(p.machines(), 1);
     }
 
     #[test]

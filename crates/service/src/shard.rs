@@ -52,10 +52,14 @@ use crate::config::{BulkConfig, ServiceConfig, ShardedConfig};
 use crate::metrics::ServiceMetrics;
 use crate::pool::{PoolStats, WarmPool};
 use crate::router::Router;
-use crate::server::{process_batch, take_prefix, Pending, SortError, SortRequest, Ticket};
+use crate::server::{
+    gather_rows, process_batch, take_prefix, Lane, Pending, PendingWork, RecordKeys, RecordReply,
+    RecordRequest, RecordTicket, SortError, SortRequest, Ticket,
+};
 use crate::split::{self, BulkFailure, BulkReason};
-use bitonic_core::tagged::TaggedBatch;
+use bitonic_core::tagged::{RecordBatch, RecordWord, TaggedBatch};
 use bitonic_network::Direction;
+use local_sorts::W192;
 use obs::{RankTrace, TracePhase, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, VecDeque};
@@ -366,17 +370,259 @@ impl ShardedService {
         }
         let (reply, rx) = mpsc::channel();
         sq.pending.push_back(Pending {
-            keys: request.keys,
+            work: PendingWork::Plain {
+                keys: request.keys,
+                reply,
+            },
             dir: request.dir,
             deadline,
             enqueued: t0,
-            reply,
         });
         q.router_sink.set_step(shard as u32);
         q.router_sink.span(TracePhase::Route, t0, Instant::now());
         drop(q);
         self.shared.cv.notify_all();
         Ok(Ticket { rx })
+    }
+
+    /// Submit a record request: same routing and admission as
+    /// [`ShardedService::submit`] (a record counts its keys), with the
+    /// payload riding the queue and coming back in key order. Over-band
+    /// record requests take the bulk split path when enabled — payload
+    /// rows are scattered with their keys and merged stably on reply.
+    ///
+    /// # Errors
+    /// The [`Rejection`] naming the limit the request hit.
+    pub fn submit_record(&self, request: RecordRequest) -> Result<RecordTicket, Rejection> {
+        assert_eq!(
+            request.payload.len(),
+            request.stride * request.keys.len(),
+            "payload must hold exactly stride bytes per key"
+        );
+        let t0 = Instant::now();
+        let mut q = self.shared.q.lock().expect("shard queues lock");
+        if q.closed {
+            return Err(Rejection::Closed);
+        }
+        let Some(shard) = self.router.route(request.keys.len()) else {
+            if self.bulk.enabled {
+                drop(q);
+                return self.submit_record_bulk(request);
+            }
+            q.unroutable += 1;
+            if let Some(m) = self.metrics.as_deref() {
+                m.unroutable.inc();
+            }
+            return Err(self.router.too_large(request.keys.len()));
+        };
+        let cm = self.metrics.as_deref().map(|m| m.class(shard));
+        let deadline = request.deadline.unwrap_or(self.deadlines[shard]);
+        let sq = &mut q.shards[shard];
+        sq.stats.submitted += 1;
+        if let Some(m) = &cm {
+            m.submitted.inc();
+        }
+        if let Err(r) = self.admissions[shard].admit(
+            sq.pending.len(),
+            sq.pending_keys,
+            request.keys.len(),
+            deadline,
+        ) {
+            sq.stats.shed += 1;
+            if let Some(m) = &cm {
+                m.record_shed(&r);
+            }
+            return Err(r);
+        }
+        sq.stats.admitted += 1;
+        sq.pending_keys += request.keys.len();
+        if let Some(m) = &cm {
+            m.admitted.inc();
+            m.set_queue(sq.pending.len() + 1, sq.pending_keys);
+        }
+        let (reply, rx) = mpsc::channel();
+        sq.pending.push_back(Pending {
+            work: PendingWork::Record {
+                keys: request.keys,
+                payload: request.payload,
+                stride: request.stride,
+                reply,
+            },
+            dir: request.dir,
+            deadline,
+            enqueued: t0,
+        });
+        q.router_sink.set_step(shard as u32);
+        q.router_sink.span(TracePhase::Route, t0, Instant::now());
+        drop(q);
+        self.shared.cv.notify_all();
+        Ok(RecordTicket { rx })
+    }
+
+    /// Dispatch an over-band record request to the width-typed bulk
+    /// scatter path.
+    fn submit_record_bulk(&self, request: RecordRequest) -> Result<RecordTicket, Rejection> {
+        let RecordRequest {
+            keys,
+            payload,
+            stride,
+            dir,
+            deadline,
+        } = request;
+        match keys {
+            RecordKeys::U32(k) => self.record_bulk(
+                k,
+                payload,
+                stride,
+                dir,
+                deadline,
+                RecordKeys::U32,
+                |rk| match rk {
+                    RecordKeys::U32(v) => v,
+                    _ => unreachable!("width is fixed per bulk request"),
+                },
+            ),
+            RecordKeys::U64(k) => self.record_bulk(
+                k,
+                payload,
+                stride,
+                dir,
+                deadline,
+                RecordKeys::U64,
+                |rk| match rk {
+                    RecordKeys::U64(v) => v,
+                    _ => unreachable!("width is fixed per bulk request"),
+                },
+            ),
+            RecordKeys::U128(k) => self.record_bulk(
+                k,
+                payload,
+                stride,
+                dir,
+                deadline,
+                RecordKeys::U128,
+                |rk| match rk {
+                    RecordKeys::U128(v) => v,
+                    _ => unreachable!("width is fixed per bulk request"),
+                },
+            ),
+        }
+    }
+
+    /// The record bulk path: [`split::plan_records`] scatters keys and
+    /// their payload rows into per-shard in-band record sub-requests
+    /// under the same two-phase admission as the plain bulk path; a
+    /// coordinator merges the sorted partitions stably (key ties break
+    /// toward the earlier partition) into the parent's reply.
+    #[allow(clippy::too_many_arguments)]
+    fn record_bulk<K: Copy + Ord + Send + Sync + 'static>(
+        &self,
+        keys: Vec<K>,
+        payload: Vec<u8>,
+        stride: usize,
+        dir: Direction,
+        deadline: Option<Duration>,
+        wrap: impl Fn(Vec<K>) -> RecordKeys + Send + 'static,
+        unwrap: impl Fn(RecordKeys) -> Vec<K> + Send + 'static,
+    ) -> Result<RecordTicket, Rejection> {
+        let t0 = Instant::now();
+        let plan = split::plan_records(&keys, &self.bands, &self.bulk);
+        let nparts = plan.parts.len();
+        let parent_deadline =
+            deadline.unwrap_or_else(|| *self.deadlines.last().expect("at least one shard"));
+        let sub_deadline = parent_deadline.saturating_sub(self.bulk.merge_budget);
+        let (parent_tx, parent_rx) = mpsc::channel();
+        let mut q = self.shared.q.lock().expect("shard queues lock");
+        if q.closed {
+            return Err(Rejection::Closed);
+        }
+        q.bulk_submitted += 1;
+        if let Some(m) = self.metrics.as_deref() {
+            m.bulk_submitted.inc();
+            m.bulk_parts.add(nparts as u64);
+            m.bulk_samples.add(plan.samples as u64);
+            for s in &plan.skew {
+                m.bulk_skew_permille.observe((s * 1000.0).round() as u64);
+            }
+        }
+        let mut extra_len = vec![0usize; q.shards.len()];
+        let mut extra_keys = vec![0usize; q.shards.len()];
+        let mut refused = None;
+        for part in &plan.parts {
+            let sq = &q.shards[part.shard];
+            if let Err(r) = self.admissions[part.shard].admit(
+                sq.pending.len() + extra_len[part.shard],
+                sq.pending_keys + extra_keys[part.shard],
+                part.keys.len(),
+                sub_deadline,
+            ) {
+                refused = Some(BulkFailure {
+                    shard: part.shard,
+                    reason: BulkReason::Shed(r),
+                });
+                break;
+            }
+            extra_len[part.shard] += 1;
+            extra_keys[part.shard] += part.keys.len();
+        }
+        if let Some(failure) = refused {
+            q.bulk_failed += 1;
+            if let Some(m) = self.metrics.as_deref() {
+                m.bulk_failed.inc();
+            }
+            drop(q);
+            let _ = parent_tx.send(Err(SortError::Bulk(failure)));
+            return Ok(RecordTicket { rx: parent_rx });
+        }
+        let mut subs = Vec::with_capacity(nparts);
+        for part in plan.parts {
+            let sq = &mut q.shards[part.shard];
+            sq.stats.submitted += 1;
+            sq.stats.admitted += 1;
+            sq.pending_keys += part.keys.len();
+            if let Some(m) = self.metrics.as_deref() {
+                let cm = m.class(part.shard);
+                cm.submitted.inc();
+                cm.admitted.inc();
+                cm.set_queue(sq.pending.len() + 1, sq.pending_keys);
+            }
+            let (reply, rx) = mpsc::channel();
+            sq.pending.push_back(Pending {
+                work: PendingWork::Record {
+                    keys: wrap(part.keys),
+                    payload: gather_rows(&payload, stride, &part.rows),
+                    stride,
+                    reply,
+                },
+                dir,
+                deadline: sub_deadline,
+                enqueued: t0,
+            });
+            subs.push((part.shard, rx));
+        }
+        q.router_sink.set_step(nparts as u32);
+        q.router_sink.span(TracePhase::Split, t0, Instant::now());
+        let shared = Arc::clone(&self.shared);
+        let metrics = self.metrics.clone();
+        let worker = std::thread::spawn(move || {
+            record_bulk_coordinator(
+                &shared,
+                metrics.as_deref(),
+                dir,
+                stride,
+                subs,
+                &parent_tx,
+                wrap,
+                unwrap,
+            );
+        });
+        self.bulk_workers
+            .lock()
+            .expect("bulk worker list")
+            .push(worker);
+        drop(q);
+        self.shared.cv.notify_all();
+        Ok(RecordTicket { rx: parent_rx })
     }
 
     /// The bulk path: split an over-band request into per-shard in-band
@@ -455,11 +701,13 @@ impl ShardedService {
             }
             let (reply, rx) = mpsc::channel();
             sq.pending.push_back(Pending {
-                keys: part.keys,
+                work: PendingWork::Plain {
+                    keys: part.keys,
+                    reply,
+                },
                 dir,
                 deadline: sub_deadline,
                 enqueued: t0,
-                reply,
             });
             subs.push((part.shard, rx));
         }
@@ -566,6 +814,9 @@ impl Drop for ShardedService {
     }
 }
 
+/// One shard's sub-reply channel within a bulk scatter.
+type SubReplyRx = mpsc::Receiver<Result<Vec<u32>, SortError>>;
+
 /// Reassemble one bulk request: wait for every per-shard sub-reply, then
 /// k-way merge the sorted partitions into the parent's answer. The first
 /// failing sub-request fails the parent with a structured
@@ -575,7 +826,7 @@ fn bulk_coordinator(
     shared: &SharedShards,
     metrics: Option<&ServiceMetrics>,
     dir: Direction,
-    subs: Vec<(usize, mpsc::Receiver<Result<Vec<u32>, SortError>>)>,
+    subs: Vec<(usize, SubReplyRx)>,
     parent: &mpsc::Sender<Result<Vec<u32>, SortError>>,
 ) {
     let mut parts: Vec<Vec<u32>> = Vec::with_capacity(subs.len());
@@ -621,11 +872,81 @@ fn bulk_coordinator(
             }
             if let Some(m) = metrics {
                 m.bulk_completed.inc();
-                m.bulk_merge_us.observe(
-                    u64::try_from(m1.duration_since(m0).as_micros()).unwrap_or(u64::MAX),
-                );
+                m.bulk_merge_us
+                    .observe(u64::try_from(m1.duration_since(m0).as_micros()).unwrap_or(u64::MAX));
             }
             Ok(merged)
+        }
+    };
+    let _ = parent.send(reply);
+}
+
+/// [`bulk_coordinator`] for record requests: collect every partition's
+/// [`RecordReply`], then merge keys *and* payload rows stably — key
+/// ties break toward the earlier partition, which together with
+/// [`split::plan_records`]'s ties-left scatter keeps the whole bulk
+/// record sort stable.
+#[allow(clippy::too_many_arguments)]
+fn record_bulk_coordinator<K: Copy + Ord>(
+    shared: &SharedShards,
+    metrics: Option<&ServiceMetrics>,
+    dir: Direction,
+    stride: usize,
+    subs: Vec<(usize, mpsc::Receiver<Result<RecordReply, SortError>>)>,
+    parent: &mpsc::Sender<Result<RecordReply, SortError>>,
+    wrap: impl Fn(Vec<K>) -> RecordKeys,
+    unwrap: impl Fn(RecordKeys) -> Vec<K>,
+) {
+    let mut parts: Vec<(Vec<K>, Vec<u8>)> = Vec::with_capacity(subs.len());
+    let mut failure: Option<BulkFailure> = None;
+    for (shard, rx) in subs {
+        if failure.is_some() {
+            let _ = rx.recv();
+            continue;
+        }
+        match rx.recv() {
+            Ok(Ok(reply)) => parts.push((unwrap(reply.keys), reply.payload)),
+            Ok(Err(e)) => {
+                failure = Some(BulkFailure {
+                    shard,
+                    reason: BulkReason::from_sub_error(&e),
+                });
+            }
+            Err(_) => {
+                failure = Some(BulkFailure {
+                    shard,
+                    reason: BulkReason::Closed,
+                });
+            }
+        }
+    }
+    let reply = match failure {
+        Some(f) => {
+            shared.q.lock().expect("shard queues lock").bulk_failed += 1;
+            if let Some(m) = metrics {
+                m.bulk_failed.inc();
+            }
+            Err(SortError::Bulk(f))
+        }
+        None => {
+            let m0 = Instant::now();
+            let (keys, payload) = split::merge_record_parts(&parts, stride, dir);
+            let m1 = Instant::now();
+            {
+                let mut q = shared.q.lock().expect("shard queues lock");
+                q.bulk_completed += 1;
+                q.router_sink.span(TracePhase::Merge, m0, m1);
+            }
+            if let Some(m) = metrics {
+                m.bulk_completed.inc();
+                m.bulk_merge_us
+                    .observe(u64::try_from(m1.duration_since(m0).as_micros()).unwrap_or(u64::MAX));
+            }
+            Ok(RecordReply {
+                keys: wrap(keys),
+                payload,
+                stride,
+            })
         }
     };
     let _ = parent.send(reply);
@@ -713,7 +1034,7 @@ fn shard_worker(
                             .filter(|(v, _)| *v != me)
                             .filter_map(|(v, sq)| {
                                 sq.pending.front().map(|p| {
-                                    (v, now.duration_since(p.enqueued), p.keys.len(), sq.busy)
+                                    (v, now.duration_since(p.enqueued), p.key_count(), sq.busy)
                                 })
                             })
                             .collect();
@@ -894,15 +1215,45 @@ pub enum EngineEvent {
     },
 }
 
+/// What one engine pending sorts: bare keys or a record request.
+enum EngineWork {
+    Plain(Vec<u32>),
+    Record {
+        keys: RecordKeys,
+        payload: Vec<u8>,
+        stride: usize,
+    },
+}
+
 struct EnginePending {
     id: u64,
-    keys: Vec<u32>,
+    work: EngineWork,
     dir: Direction,
     deadline: Duration,
     enqueued: Duration,
     /// `(parent id, partition index)` when this pending is one scattered
     /// partition of a bulk request.
     bulk: Option<(u64, usize)>,
+}
+
+impl EnginePending {
+    fn key_count(&self) -> usize {
+        match &self.work {
+            EngineWork::Plain(keys) => keys.len(),
+            EngineWork::Record { keys, .. } => keys.len(),
+        }
+    }
+
+    fn lane(&self) -> Lane {
+        match &self.work {
+            EngineWork::Plain(_) => Lane::Plain,
+            EngineWork::Record { keys, .. } => match keys {
+                RecordKeys::U32(_) => Lane::Rec32,
+                RecordKeys::U64(_) => Lane::Rec64,
+                RecordKeys::U128(_) => Lane::Rec128,
+            },
+        }
+    }
 }
 
 /// One in-flight bulk request inside the engine: completed partitions
@@ -960,6 +1311,7 @@ pub struct ShardEngine {
     next_id: u64,
     events: Vec<EngineEvent>,
     replies: BTreeMap<u64, Result<Vec<u32>, SortError>>,
+    record_replies: BTreeMap<u64, Result<RecordReply, SortError>>,
     bulk: BTreeMap<u64, EngineBulk>,
 }
 
@@ -1014,6 +1366,7 @@ impl ShardEngine {
             next_id: 0,
             events: Vec::new(),
             replies: BTreeMap::new(),
+            record_replies: BTreeMap::new(),
             bulk: BTreeMap::new(),
         }
     }
@@ -1059,6 +1412,56 @@ impl ShardEngine {
         self.replies.get(&id)
     }
 
+    /// The record reply recorded for request `id`, if its batch has run.
+    #[must_use]
+    pub fn record_reply(&self, id: u64) -> Option<&Result<RecordReply, SortError>> {
+        self.record_replies.get(&id)
+    }
+
+    /// Route and admit a record request at the current virtual time,
+    /// returning its id. In-band only — the engine twin replays record
+    /// batches, not record bulk scatters.
+    ///
+    /// # Errors
+    /// The [`Rejection`] naming the limit the request hit.
+    pub fn submit_record(&mut self, request: RecordRequest) -> Result<u64, Rejection> {
+        assert_eq!(
+            request.payload.len(),
+            request.stride * request.keys.len(),
+            "payload must hold exactly stride bytes per key"
+        );
+        let Some(shard) = self.router.route(request.keys.len()) else {
+            return Err(self.router.too_large(request.keys.len()));
+        };
+        let deadline = request
+            .deadline
+            .unwrap_or(self.shards[shard].cfg.default_deadline);
+        let sq = &mut self.shards[shard];
+        self.admissions[shard].admit(
+            sq.queue.len(),
+            sq.queue_keys,
+            request.keys.len(),
+            deadline,
+        )?;
+        let id = self.next_id;
+        self.next_id += 1;
+        sq.queue_keys += request.keys.len();
+        sq.queue.push_back(EnginePending {
+            id,
+            work: EngineWork::Record {
+                keys: request.keys,
+                payload: request.payload,
+                stride: request.stride,
+            },
+            dir: request.dir,
+            deadline,
+            enqueued: self.now,
+            bulk: None,
+        });
+        self.events.push(EngineEvent::Routed { request: id, shard });
+        Ok(id)
+    }
+
     /// Route and admit a request at the current virtual time, returning
     /// its id.
     ///
@@ -1086,7 +1489,7 @@ impl ShardEngine {
         sq.queue_keys += request.keys.len();
         sq.queue.push_back(EnginePending {
             id,
-            keys: request.keys,
+            work: EngineWork::Plain(request.keys),
             dir: request.dir,
             deadline,
             enqueued: self.now,
@@ -1161,7 +1564,7 @@ impl ShardEngine {
             sq.queue_keys += part.keys.len();
             sq.queue.push_back(EnginePending {
                 id,
-                keys: part.keys,
+                work: EngineWork::Plain(part.keys),
                 dir: request.dir,
                 deadline: sub_deadline,
                 enqueued: self.now,
@@ -1209,10 +1612,8 @@ impl ShardEngine {
         b.failed = true;
         b.parts.clear();
         self.events.push(EngineEvent::Failed { request: parent });
-        self.replies.insert(
-            parent,
-            Err(SortError::Bulk(BulkFailure { shard, reason })),
-        );
+        self.replies
+            .insert(parent, Err(SortError::Bulk(BulkFailure { shard, reason })));
     }
 
     /// One decision pass at the current virtual time: autoscale every
@@ -1370,7 +1771,7 @@ impl ShardEngine {
                     (
                         v,
                         now.saturating_sub(p.enqueued),
-                        p.keys.len(),
+                        p.key_count(),
                         s.machine_free(now).is_none(),
                     )
                 })
@@ -1384,13 +1785,19 @@ impl ShardEngine {
         true
     }
 
-    /// [`crate::server::take_prefix`] over engine pendings.
+    /// [`crate::server::take_prefix`] over engine pendings — including
+    /// its single-lane rule: the prefix stops at the first request in a
+    /// different coalescing lane than the head.
     fn take_engine_prefix(s: &mut EngineShard, max_batch_keys: usize) -> Vec<EnginePending> {
         let mut batch = Vec::new();
         let mut keys = 0usize;
+        let mut lane = None;
         while let Some(front) = s.queue.front() {
-            let k = front.keys.len();
+            let k = front.key_count();
             if !batch.is_empty() && keys + k > max_batch_keys {
+                break;
+            }
+            if *lane.get_or_insert(front.lane()) != front.lane() {
                 break;
             }
             keys += k;
@@ -1409,18 +1816,22 @@ impl ShardEngine {
         let now = self.now;
         let origin = stolen_from.unwrap_or(runner);
         let requests = batch.len() as u64;
-        let mut tagged = TaggedBatch::new();
-        let mut live: Vec<(u64, Option<(u64, usize)>)> = Vec::with_capacity(batch.len());
+        let mut live: Vec<EnginePending> = Vec::with_capacity(batch.len());
         for p in batch {
             let waited = now.saturating_sub(p.enqueued);
             if waited > p.deadline {
-                self.replies.insert(
-                    p.id,
-                    Err(SortError::Expired {
-                        waited,
-                        deadline: p.deadline,
-                    }),
-                );
+                let err = SortError::Expired {
+                    waited,
+                    deadline: p.deadline,
+                };
+                match p.work {
+                    EngineWork::Plain(_) => {
+                        self.replies.insert(p.id, Err(err));
+                    }
+                    EngineWork::Record { .. } => {
+                        self.record_replies.insert(p.id, Err(err));
+                    }
+                }
                 self.events.push(EngineEvent::Expired { request: p.id });
                 if let Some((parent, _)) = p.bulk {
                     self.bulk_part_failed(
@@ -1434,10 +1845,9 @@ impl ShardEngine {
                 }
                 continue;
             }
-            tagged.push(&p.keys, p.dir);
-            live.push((p.id, p.bulk));
+            live.push(p);
         }
-        let keys = tagged.total_keys() as u64;
+        let keys = live.iter().map(EnginePending::key_count).sum::<usize>() as u64;
         self.events.push(EngineEvent::Flushed {
             shard: runner,
             requests,
@@ -1452,29 +1862,129 @@ impl ShardEngine {
             .machine_free(now)
             .expect("caller checked a machine is free");
         s.busy[slot] = now + s.coalescer.cost().predicted_run(keys as usize);
+        match live[0].lane() {
+            Lane::Plain => self.run_engine_plain(runner, &live),
+            Lane::Rec32 => self.run_engine_records::<u128>(
+                runner,
+                &live,
+                |keys| match keys {
+                    RecordKeys::U32(k) => k.iter().copied().map(u64::from).collect(),
+                    _ => unreachable!("single-lane batch"),
+                },
+                |keys| RecordKeys::U32(keys.into_iter().map(|k| k as u32).collect()),
+                WarmPool::run_record128_batch,
+            ),
+            Lane::Rec64 => self.run_engine_records::<u128>(
+                runner,
+                &live,
+                |keys| match keys {
+                    RecordKeys::U64(k) => k.clone(),
+                    _ => unreachable!("single-lane batch"),
+                },
+                RecordKeys::U64,
+                WarmPool::run_record128_batch,
+            ),
+            Lane::Rec128 => self.run_engine_records::<W192>(
+                runner,
+                &live,
+                |keys| match keys {
+                    RecordKeys::U128(k) => k.clone(),
+                    _ => unreachable!("single-lane batch"),
+                },
+                RecordKeys::U128,
+                WarmPool::run_record192_batch,
+            ),
+        }
+    }
+
+    /// The engine's plain batch body: [`TaggedBatch`] encode, run, split.
+    fn run_engine_plain(&mut self, runner: usize, live: &[EnginePending]) {
+        let mut tagged = TaggedBatch::new();
+        for p in live {
+            let EngineWork::Plain(keys) = &p.work else {
+                unreachable!("single-lane batch");
+            };
+            tagged.push(keys, p.dir);
+        }
+        let s = &mut self.shards[runner];
         let (words, per_rank) = tagged.padded_words(s.cfg.procs);
         match s.pool.run_batch(words, per_rank) {
             Ok(sorted) => {
-                for ((id, bulk), reply) in live.iter().zip(tagged.split(&sorted)) {
-                    self.replies.insert(*id, Ok(reply.clone()));
+                for (p, reply) in live.iter().zip(tagged.split(&sorted)) {
+                    self.replies.insert(p.id, Ok(reply.clone()));
                     self.events.push(EngineEvent::Completed {
-                        request: *id,
+                        request: p.id,
                         shard: runner,
                     });
-                    if let Some((parent, idx)) = bulk {
-                        self.bulk_part_done(*parent, *idx, reply);
+                    if let Some((parent, idx)) = p.bulk {
+                        self.bulk_part_done(parent, idx, reply);
                     }
                 }
             }
             Err(failure) => {
                 let msg = failure.to_string();
-                for (id, bulk) in &live {
+                for p in live {
                     self.replies
-                        .insert(*id, Err(SortError::MachineFailed(msg.clone())));
-                    self.events.push(EngineEvent::Failed { request: *id });
-                    if let Some((parent, _)) = bulk {
-                        self.bulk_part_failed(*parent, runner, BulkReason::Failed(msg.clone()));
+                        .insert(p.id, Err(SortError::MachineFailed(msg.clone())));
+                    self.events.push(EngineEvent::Failed { request: p.id });
+                    if let Some((parent, _)) = p.bulk {
+                        self.bulk_part_failed(parent, runner, BulkReason::Failed(msg.clone()));
                     }
+                }
+            }
+        }
+    }
+
+    /// The engine's record batch body, generic over the machine word —
+    /// the deterministic twin of `server::run_record_batch`. Record
+    /// pendings are never bulk partitions (the engine's record path is
+    /// in-band only), so there is no bulk bookkeeping here.
+    fn run_engine_records<W: RecordWord>(
+        &mut self,
+        runner: usize,
+        live: &[EnginePending],
+        widen: impl Fn(&RecordKeys) -> Vec<W::Key>,
+        narrow: impl Fn(Vec<W::Key>) -> RecordKeys,
+        run: impl FnOnce(&mut WarmPool, Vec<W>, usize) -> Result<Vec<W>, spmd::MachineFailure>,
+    ) {
+        let mut rec = RecordBatch::<W>::new();
+        for p in live {
+            let EngineWork::Record { keys, .. } = &p.work else {
+                unreachable!("single-lane batch");
+            };
+            rec.push(&widen(keys), p.dir);
+        }
+        let s = &mut self.shards[runner];
+        let (words, per_rank) = rec.padded_words(s.cfg.procs);
+        match run(&mut s.pool, words, per_rank) {
+            Ok(sorted) => {
+                for (p, seg) in live.iter().zip(rec.split(&sorted)) {
+                    let EngineWork::Record {
+                        payload, stride, ..
+                    } = &p.work
+                    else {
+                        unreachable!("single-lane batch");
+                    };
+                    self.record_replies.insert(
+                        p.id,
+                        Ok(RecordReply {
+                            keys: narrow(seg.keys),
+                            payload: gather_rows(payload, *stride, &seg.perm),
+                            stride: *stride,
+                        }),
+                    );
+                    self.events.push(EngineEvent::Completed {
+                        request: p.id,
+                        shard: runner,
+                    });
+                }
+            }
+            Err(failure) => {
+                let msg = failure.to_string();
+                for p in live {
+                    self.record_replies
+                        .insert(p.id, Err(SortError::MachineFailed(msg.clone())));
+                    self.events.push(EngineEvent::Failed { request: p.id });
                 }
             }
         }

@@ -263,6 +263,152 @@ pub fn plan(keys: &[u32], bands: &[usize], cfg: &BulkConfig) -> SplitPlan {
     }
 }
 
+/// One in-band sub-request of a record scatter plan: the partition's
+/// keys plus each key's original row index, so the caller can gather
+/// the matching payload rows for the sub-request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordPart<K> {
+    /// The shard this partition (chunk) is bound for.
+    pub shard: usize,
+    /// The partition's keys, in input order.
+    pub keys: Vec<K>,
+    /// `rows[i]` is the original request row of `keys[i]`.
+    pub rows: Vec<u32>,
+}
+
+/// A deterministic scatter plan for one record bulk request — the
+/// record analogue of [`SplitPlan`], generic over the key width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordSplitPlan<K> {
+    /// The sub-requests, grouped by shard in shard order (chunked and
+    /// filtered exactly like [`SplitPlan::parts`]).
+    pub parts: Vec<RecordPart<K>>,
+    /// Keys sampled by the splitter-selection round.
+    pub samples: usize,
+    /// Per-shard skew, indexed by shard (see [`SplitPlan::skew`]).
+    pub skew: Vec<f64>,
+}
+
+/// [`plan`] generalized to record keys of any width: the same sampling
+/// round, capacity-weighted splitters, ties-left scatter, and band
+/// chunking, additionally carrying each key's original row index so
+/// payload rows can follow their keys. Scatter order preserves input
+/// order within a bucket, and equal keys always land in one bucket
+/// (ties go left) — chunks of one bucket are consecutive input slices
+/// — so a merge that breaks key ties by part order is stable overall.
+///
+/// # Panics
+/// Panics if `bands` is empty or `keys` is empty.
+#[must_use]
+pub fn plan_records<K: Copy + Ord>(
+    keys: &[K],
+    bands: &[usize],
+    cfg: &BulkConfig,
+) -> RecordSplitPlan<K> {
+    assert!(!bands.is_empty(), "cannot split across zero shards");
+    assert!(!keys.is_empty(), "cannot split an empty request");
+    let shards = bands.len();
+    let n = keys.len();
+    let capacity: usize = bands.iter().sum();
+
+    let per_splitter = oversample_factor(shards, cfg.skew_bound);
+    let want = (per_splitter * shards).min(n);
+    let mut state = cfg.seed | 1;
+    let mut sample: Vec<K> = (0..want)
+        .map(|_| keys[(xorshift(&mut state) % n as u64) as usize])
+        .collect();
+    sample.sort_unstable();
+
+    let mut splitters = Vec::with_capacity(shards - 1);
+    let mut cum = 0usize;
+    for band in &bands[..shards - 1] {
+        cum += band;
+        let q = (cum as f64 / capacity as f64 * sample.len() as f64).round() as usize;
+        splitters.push(sample[q.min(sample.len() - 1)]);
+    }
+
+    let mut buckets: Vec<(Vec<K>, Vec<u32>)> = vec![(Vec::new(), Vec::new()); shards];
+    for (row, &k) in keys.iter().enumerate() {
+        let shard = splitters.partition_point(|&s| s < k);
+        buckets[shard].0.push(k);
+        buckets[shard].1.push(row as u32);
+    }
+
+    let skew = buckets
+        .iter()
+        .zip(bands)
+        .map(|((b, _), band)| {
+            let share = n as f64 * (*band as f64 / capacity as f64);
+            b.len() as f64 / share
+        })
+        .collect();
+
+    let mut parts = Vec::with_capacity(shards);
+    for (shard, (bucket, rows)) in buckets.into_iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        for (chunk, row_chunk) in bucket.chunks(bands[shard]).zip(rows.chunks(bands[shard])) {
+            parts.push(RecordPart {
+                shard,
+                keys: chunk.to_vec(),
+                rows: row_chunk.to_vec(),
+            });
+        }
+    }
+
+    RecordSplitPlan {
+        parts,
+        samples: want,
+        skew,
+    }
+}
+
+/// Reassemble sorted record partitions — `(keys, payload rows)` pairs,
+/// each already sorted in `dir` with payload in key order — into one
+/// merged reply. Key ties break toward the earlier part, which makes
+/// the whole bulk sort stable given [`plan_records`]'s scatter (equal
+/// keys share a bucket and its chunks are input-ordered).
+#[must_use]
+pub fn merge_record_parts<K: Copy + Ord>(
+    parts: &[(Vec<K>, Vec<u8>)],
+    stride: usize,
+    dir: Direction,
+) -> (Vec<K>, Vec<u8>) {
+    let total: usize = parts.iter().map(|(k, _)| k.len()).sum();
+    let mut keys = Vec::with_capacity(total);
+    let mut payload = Vec::with_capacity(total * stride);
+    let mut idx = vec![0usize; parts.len()];
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (p, (ks, _)) in parts.iter().enumerate() {
+            if idx[p] >= ks.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(p),
+                Some(b) => {
+                    let better = match dir {
+                        Direction::Ascending => ks[idx[p]] < parts[b].0[idx[b]],
+                        Direction::Descending => ks[idx[p]] > parts[b].0[idx[b]],
+                    };
+                    if better {
+                        Some(p)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let p = best.expect("total keys remain");
+        let (ks, rows) = &parts[p];
+        keys.push(ks[idx[p]]);
+        payload.extend_from_slice(&rows[idx[p] * stride..(idx[p] + 1) * stride]);
+        idx[p] += 1;
+    }
+    (keys, payload)
+}
+
 /// Reassemble sorted partitions into one ordered reply: a k-way merge
 /// of runs each sorted in `dir`, producing `dir` order. Correct for
 /// any partition quality — overlapping ranges (chunked partitions)
@@ -371,6 +517,49 @@ mod tests {
         assert!(oversample_factor(8, 1.2) >= oversample_factor(2, 1.2));
         assert_eq!(oversample_factor(2, 100.0), 64, "floor holds");
         assert_eq!(oversample_factor(64, 1.001), 512, "ceiling holds");
+    }
+
+    #[test]
+    fn record_plans_scatter_rows_with_their_keys_and_merge_stably() {
+        use bitonic_core::tagged::records_sorted_independently;
+        // Duplicate-heavy u64 keys, payload row = the original index.
+        let keys: Vec<u64> = (0..1_000u64).map(|i| (i * 7) % 16).collect();
+        let bands = [64, 256];
+        let p = plan_records(&keys, &bands, &cfg());
+        let total: usize = p.parts.iter().map(|x| x.keys.len()).sum();
+        assert_eq!(total, keys.len());
+        for part in &p.parts {
+            assert!(part.keys.len() <= bands[part.shard]);
+            for (k, &row) in part.keys.iter().zip(&part.rows) {
+                assert_eq!(*k, keys[row as usize], "rows point at their keys");
+            }
+        }
+        for dir in [Direction::Ascending, Direction::Descending] {
+            // Stable sub-sorts per part, then a tie-to-earlier-part merge:
+            // the payload must come back in exactly the stable oracle's
+            // permutation of the whole request.
+            let sorted: Vec<(Vec<u64>, Vec<u8>)> = p
+                .parts
+                .iter()
+                .map(|part| {
+                    let seg = records_sorted_independently(&part.keys, dir);
+                    let payload: Vec<u8> = seg
+                        .perm
+                        .iter()
+                        .flat_map(|&i| part.rows[i as usize].to_le_bytes())
+                        .collect();
+                    (seg.keys, payload)
+                })
+                .collect();
+            let (got_keys, got_payload) = merge_record_parts(&sorted, 4, dir);
+            let oracle = records_sorted_independently(&keys, dir);
+            assert_eq!(got_keys, oracle.keys);
+            let got_rows: Vec<u32> = got_payload
+                .chunks(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            assert_eq!(got_rows, oracle.perm, "{dir:?} payload order is stable");
+        }
     }
 
     #[test]

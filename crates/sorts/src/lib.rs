@@ -83,6 +83,46 @@ impl RadixKey for u128 {
     }
 }
 
+/// A 192-bit unsigned word: three `u64` limbs compared lexicographically
+/// (`hi`, then `mid`, then `lo`).
+///
+/// The record-sorting layer needs one machine word wide enough to carry
+/// `[tag:32][key:128][rid:32]` — a u128 key plus the batch tag and the
+/// record id that threads the payload permutation through the sort. No
+/// primitive holds 192 bits, so this struct does; the derived `Ord` is
+/// limb-lexicographic, which is exactly unsigned 192-bit integer order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct W192 {
+    /// Bits 191..128.
+    pub hi: u64,
+    /// Bits 127..64.
+    pub mid: u64,
+    /// Bits 63..0.
+    pub lo: u64,
+}
+
+impl W192 {
+    /// The all-ones word — sorts after every other `W192`.
+    pub const MAX: W192 = W192 {
+        hi: u64::MAX,
+        mid: u64::MAX,
+        lo: u64::MAX,
+    };
+}
+
+impl RadixKey for W192 {
+    const PASSES: u32 = 24;
+    #[inline]
+    fn digit(self, pass: u32) -> usize {
+        let limb = match pass / 8 {
+            0 => self.lo,
+            1 => self.mid,
+            _ => self.hi,
+        };
+        ((limb >> ((pass % 8) * Self::DIGIT_BITS)) & 0xFF) as usize
+    }
+}
+
 // Signed keys: flipping the sign bit maps i32/i64 order-preservingly onto
 // u32/u64, so the same byte-wise digits sort them correctly.
 impl RadixKey for i32 {
@@ -186,6 +226,54 @@ mod tests {
         local_sort(&mut v, Direction::Descending);
         expect.reverse();
         assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn w192_digits_cover_all_three_limbs() {
+        let w = W192 {
+            hi: 0xAB00_0000_0000_00CD,
+            mid: 0x0000_00EF_0000_0000,
+            lo: 0x1200_0000_0000_0034,
+        };
+        assert_eq!(w.digit(0), 0x34);
+        assert_eq!(w.digit(7), 0x12);
+        assert_eq!(w.digit(12), 0xEF);
+        assert_eq!(w.digit(16), 0xCD);
+        assert_eq!(w.digit(23), 0xAB);
+        assert_eq!(W192::MAX.digit(23), 0xFF);
+    }
+
+    #[test]
+    fn w192_sorts_like_a_192_bit_integer() {
+        let mk = |hi, mid, lo| W192 { hi, mid, lo };
+        let mut v = vec![
+            W192::MAX,
+            mk(0, 0, 0),
+            mk(0, u64::MAX, u64::MAX),
+            mk(1, 0, 0),
+            mk(0, 1, u64::MAX),
+            mk(0, 2, 0),
+            mk(u64::MAX, 0, 0),
+        ];
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        // Small n: the bitonic network kernel path.
+        local_sort(&mut v, Direction::Ascending);
+        assert_eq!(v, expect);
+        // Large n: the radix path, exercising every one of the 24 passes.
+        let mut big: Vec<W192> = (0..4096u64)
+            .map(|i| {
+                let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                mk(x & 0xFF, x.rotate_left(17), x.rotate_left(39))
+            })
+            .collect();
+        let mut expect = big.clone();
+        expect.sort_unstable();
+        local_sort(&mut big, Direction::Ascending);
+        assert_eq!(big, expect);
+        local_sort(&mut big, Direction::Descending);
+        expect.reverse();
+        assert_eq!(big, expect);
     }
 
     #[test]

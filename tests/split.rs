@@ -12,8 +12,8 @@ use bitonic_network::Direction;
 use obs::TraceConfig;
 use proptest::prelude::*;
 use sort_service::{
-    split, BulkConfig, BulkReason, ClassConfig, EngineEvent, Rejection, ServiceConfig,
-    ShardEngine, ShardedConfig, ShardedService, SortError, SortRequest, SortService,
+    split, BulkConfig, BulkReason, ClassConfig, EngineEvent, Rejection, ServiceConfig, ShardEngine,
+    ShardedConfig, ShardedService, SortError, SortRequest, SortService,
 };
 use std::time::Duration;
 
@@ -104,7 +104,10 @@ fn adversarial_bulk_inputs_match_oracle_and_single_pool() {
         assert_equivalent(tag, &sharded, &single, keys, *dir);
     }
     let stats = sharded.shutdown().stats;
-    assert_eq!(stats.bulk_submitted, total, "every case took the split path");
+    assert_eq!(
+        stats.bulk_submitted, total,
+        "every case took the split path"
+    );
     assert_eq!(stats.bulk_completed, total);
     assert_eq!(stats.bulk_failed, 0);
     let _ = single.shutdown();

@@ -5,8 +5,10 @@
 //! 1. the `SORT_1` frame codec — property-tested round-trips over every
 //!    supported key width, direction, deadline, and length (including
 //!    the empty sort and n < P), plus a fuzz corpus of truncated,
-//!    oversized, bad-magic, and otherwise malformed frames that must
-//!    yield structured [`FrameError`]s, never panics;
+//!    oversized, bad-magic, and otherwise malformed frames — payload
+//!    sections included — that must yield structured [`FrameError`]s,
+//!    never panics, and narrow widths (1 and 2) that decode but are
+//!    refused as record requests before admission;
 //! 2. structured replies — every [`Rejection`] variant survives a real
 //!    socket with its numeric fields and `label()` intact, and live
 //!    rejections reconcile counter-for-counter with the service's
@@ -20,6 +22,7 @@
 //!    identical per-reason disconnect tallies on a fresh server.
 
 use bitonic_network::Direction;
+use obs::TraceConfig;
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use sort_service::net::chaos::{self, ConnFault};
@@ -27,10 +30,8 @@ use sort_service::net::{
     parse_text_request, FrameError, ReplyFrame, RequestFrame, WireClient, WireConfig, WireServer,
     DISCONNECT_LABELS, LEN_PREFIX, REJECTION_LABELS, REQUEST_HEADER, SUPPORTED_WIDTHS, VERSION,
 };
-use obs::TraceConfig;
-use sort_service::{
-    BulkConfig, ClassConfig, Rejection, ServiceConfig, ShardedConfig,
-};
+use sort_service::{BulkConfig, ClassConfig, RecordKeys, Rejection, ServiceConfig, ShardedConfig};
+use std::io::Write;
 use std::net::TcpListener;
 use std::time::{Duration, Instant};
 
@@ -115,6 +116,8 @@ proptest! {
             width,
             deadline_us,
             key_bytes,
+            payload_stride: 0,
+            payload: Vec::new(),
         };
         let encoded = frame.encode();
         prop_assert_eq!(encoded.len(), LEN_PREFIX + REQUEST_HEADER + frame.key_bytes.len());
@@ -391,12 +394,16 @@ fn live_rejections_reconcile_with_shed_reason_counters() {
 /// and the same connection keeps serving in-band sorts.
 #[test]
 fn over_band_requests_round_trip_a_bulk_reply() {
-    let srv = WireServer::start_sharded(bulk_sharded_config(), WireConfig::default(), "127.0.0.1:0")
-        .expect("bind loopback");
+    let srv =
+        WireServer::start_sharded(bulk_sharded_config(), WireConfig::default(), "127.0.0.1:0")
+            .expect("bind loopback");
     let mut client = WireClient::connect(srv.local_addr()).expect("connect");
 
     // Larger than the widest (256-key) band: only the split path answers.
-    let keys: Vec<u32> = (0..700u32).rev().map(|k| k.wrapping_mul(2_654_435_761)).collect();
+    let keys: Vec<u32> = (0..700u32)
+        .rev()
+        .map(|k| k.wrapping_mul(2_654_435_761))
+        .collect();
     match client
         .sort(&keys, Direction::Ascending, None)
         .expect("reply")
@@ -442,8 +449,8 @@ fn a_failed_partition_surfaces_as_a_structured_bulk_reply() {
         // Smaller than any partition chunk, so admission must refuse one.
         c.pool.max_queue_keys = 16;
     }
-    let srv =
-        WireServer::start_sharded(cfg, WireConfig::default(), "127.0.0.1:0").expect("bind loopback");
+    let srv = WireServer::start_sharded(cfg, WireConfig::default(), "127.0.0.1:0")
+        .expect("bind loopback");
     let mut client = WireClient::connect(srv.local_addr()).expect("connect");
 
     match client
@@ -483,8 +490,8 @@ fn a_failed_partition_surfaces_as_a_structured_bulk_reply() {
 fn sharded_too_large_reports_the_widest_band_limit_on_the_wire() {
     let mut cfg = bulk_sharded_config();
     cfg.bulk = BulkConfig::default();
-    let srv =
-        WireServer::start_sharded(cfg, WireConfig::default(), "127.0.0.1:0").expect("bind loopback");
+    let srv = WireServer::start_sharded(cfg, WireConfig::default(), "127.0.0.1:0")
+        .expect("bind loopback");
     let mut client = WireClient::connect(srv.local_addr()).expect("connect");
 
     match client
@@ -636,24 +643,27 @@ fn connection_faults_classify_and_leave_the_pool_serving() {
     assert_eq!(wire.frames_read, stats.submitted);
 }
 
-/// A frame the codec accepts but the sorter cannot serve (width 8) is
-/// answered `bad_frame` and never reaches the admission gate.
+/// A frame the codec accepts but the sorter cannot serve (narrow width
+/// 2 — width 8 sorts as a record now) is answered `bad_frame` and never
+/// reaches the admission gate.
 #[test]
 fn unsupported_width_is_refused_before_admission() {
     let srv = server(WireConfig::default());
     let mut client = WireClient::connect(srv.local_addr()).expect("connect");
     let frame = RequestFrame {
         dir: Direction::Ascending,
-        width: 8,
+        width: 2,
         deadline_us: 0,
         key_bytes: vec![0xAB; 16],
+        payload_stride: 0,
+        payload: Vec::new(),
     };
     client.send(&frame).expect("send");
     match client.read_reply().expect("reply") {
         ReplyFrame::BadFrame(code) => {
             assert_eq!(
                 FrameError::label_of_code(code),
-                FrameError::BadWidth(8).label()
+                FrameError::BadWidth(2).label()
             );
         }
         other => panic!("expected bad_frame, got {other:?}"),
@@ -663,6 +673,218 @@ fn unsupported_width_is_refused_before_admission() {
     assert_eq!(report.wire.frame_errors, 1);
     assert_eq!(report.wire.disconnect("bad_frame"), 1);
     assert_eq!(report.service.stats.submitted, 0);
+}
+
+/// Send raw bytes as one connection and read the single structured
+/// reply the server writes before it disconnects the offender.
+fn raw_bad_frame(addr: std::net::SocketAddr, bytes: &[u8]) -> ReplyFrame {
+    let mut client = WireClient::connect(addr).expect("connect");
+    {
+        let mut stream = client.stream();
+        stream.write_all(bytes).expect("write raw frame");
+        stream.flush().expect("flush");
+    }
+    match client.read_reply().expect("a structured reply, not a cut") {
+        ReplyFrame::BadFrame(code) => ReplyFrame::BadFrame(code),
+        other => panic!("expected bad_frame, got {other:?}"),
+    }
+}
+
+/// Malformed payload sections over a live socket: a truncated payload,
+/// a stride that disagrees with the row bytes, and a width-1 record
+/// each draw a structured `bad_frame` naming the precise error — the
+/// server never panics, and a fresh connection still sorts.
+#[test]
+fn malformed_payload_frames_draw_structured_bad_frames() {
+    let srv = server(WireConfig::default());
+    let addr = srv.local_addr();
+
+    let valid = RequestFrame::from_u64_keys(&[5, 1], Direction::Ascending, None)
+        .with_payload(4, vec![0xA0, 0xA1, 0xA2, 0xA3, 0xB0, 0xB1, 0xB2, 0xB3])
+        .encode();
+
+    // Truncated payload: drop the last three payload bytes and re-state
+    // the length prefix so the frame arrives whole but internally short.
+    let mut truncated = valid.clone();
+    truncated.truncate(valid.len() - 3);
+    let body_len = (truncated.len() - LEN_PREFIX) as u32;
+    truncated[..LEN_PREFIX].copy_from_slice(&body_len.to_le_bytes());
+    let payload_code = FrameError::PayloadMismatch {
+        declared: 0,
+        body_bytes: 0,
+    }
+    .code();
+    match raw_bad_frame(addr, &truncated) {
+        ReplyFrame::BadFrame(code) => assert_eq!(code, payload_code, "truncated payload"),
+        other => panic!("{other:?}"),
+    }
+
+    // Stride/count mismatch: inflate the stride word so declared rows
+    // exceed the bytes on the wire.
+    let mut inflated = valid.clone();
+    let stride_at = LEN_PREFIX + REQUEST_HEADER + 16;
+    inflated[stride_at..stride_at + 4].copy_from_slice(&100u32.to_le_bytes());
+    match raw_bad_frame(addr, &inflated) {
+        ReplyFrame::BadFrame(code) => assert_eq!(code, payload_code, "inflated stride"),
+        other => panic!("{other:?}"),
+    }
+
+    // Width 1 decodes (the codec carries it) but no sorter serves it.
+    let narrow = RequestFrame {
+        dir: Direction::Descending,
+        width: 1,
+        deadline_us: 0,
+        key_bytes: vec![9, 7, 8],
+        payload_stride: 0,
+        payload: Vec::new(),
+    }
+    .encode();
+    match raw_bad_frame(addr, &narrow) {
+        ReplyFrame::BadFrame(code) => {
+            assert_eq!(
+                FrameError::label_of_code(code),
+                FrameError::BadWidth(1).label(),
+                "narrow width"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // The pool outlived all three offenders: a fresh connection sorts.
+    let mut client = WireClient::connect(addr).expect("healthy connect");
+    match client
+        .sort(&[3u32, 1, 2], Direction::Ascending, None)
+        .expect("reply")
+    {
+        ReplyFrame::Sorted(out) => assert_eq!(out, vec![1, 2, 3]),
+        other => panic!("expected sorted keys, got {other:?}"),
+    }
+    drop(client);
+
+    assert!(wait_until(Duration::from_secs(5), || {
+        let w = srv.wire_stats();
+        w.connections_closed == w.connections_opened
+    }));
+    let report = srv.shutdown();
+    assert_eq!(report.wire.frame_errors, 3);
+    assert_eq!(report.wire.disconnect("bad_frame"), 3);
+    assert_eq!(report.wire.frames_read, 1, "only the healthy frame counts");
+    assert_eq!(report.service.stats.submitted, 1);
+    assert_eq!(report.service.stats.completed, 1);
+}
+
+/// Record frames over a live socket: payload rows come back in key
+/// order as `ok_record` replies, and the record counters reconcile
+/// three ways — WireStats, ServiceStats, and the metrics registry,
+/// per-width counters included.
+#[test]
+fn record_replies_reconcile_ok_record_counters_three_ways() {
+    let srv = server(WireConfig::default());
+    let mut client = WireClient::connect(srv.local_addr()).expect("connect");
+
+    // u64 keys with a tie: rows must follow their keys stably.
+    let frame = RequestFrame::from_u64_keys(&[5, 5, 1], Direction::Ascending, None)
+        .with_payload(2, vec![10, 11, 20, 21, 30, 31]);
+    match client.exchange(&frame).expect("reply") {
+        ReplyFrame::Record {
+            keys: RecordKeys::U64(keys),
+            payload,
+            stride,
+        } => {
+            assert_eq!(keys, vec![1, 5, 5]);
+            assert_eq!(payload, vec![30, 31, 10, 11, 20, 21]);
+            assert_eq!(stride, 2);
+        }
+        other => panic!("expected a u64 record reply, got {other:?}"),
+    }
+
+    // u128 keys, no payload: still a record reply (width routes it).
+    let frame = RequestFrame::from_u128_keys(&[u128::MAX, 0], Direction::Descending, None);
+    match client.exchange(&frame).expect("reply") {
+        ReplyFrame::Record {
+            keys: RecordKeys::U128(keys),
+            payload,
+            stride,
+        } => {
+            assert_eq!(keys, vec![u128::MAX, 0]);
+            assert!(payload.is_empty());
+            assert_eq!(stride, 0);
+        }
+        other => panic!("expected a u128 record reply, got {other:?}"),
+    }
+
+    // Width-4, payload-free frames still ride the legacy plain path.
+    match client
+        .sort(&[2u32, 1], Direction::Ascending, None)
+        .expect("reply")
+    {
+        ReplyFrame::Sorted(out) => assert_eq!(out, vec![1, 2]),
+        other => panic!("expected sorted keys, got {other:?}"),
+    }
+
+    drop(client);
+    assert!(wait_until(Duration::from_secs(5), || {
+        let w = srv.wire_stats();
+        w.connections_closed == w.connections_opened
+    }));
+    let metrics = srv.metrics().expect("metrics on");
+    let snap = metrics.snapshot();
+    let report = srv.shutdown();
+    let wire = report.wire;
+    let stats = report.service.stats;
+
+    assert_eq!(wire.frames_read, 3);
+    assert_eq!(wire.replies_record, 2);
+    assert_eq!(wire.replies_ok, 1);
+    assert_eq!(wire.frames_read, stats.submitted);
+    assert_eq!(wire.replies_ok + wire.replies_record, stats.completed);
+    assert_eq!(
+        snap.counter_labeled("bitonic_wire_replies_total", "status", "ok_record"),
+        wire.replies_record
+    );
+    assert_eq!(
+        snap.counter_labeled("bitonic_wire_replies_total", "status", "ok"),
+        wire.replies_ok
+    );
+    assert_eq!(
+        snap.counter_labeled("bitonic_record_requests_total", "width", "8"),
+        1
+    );
+    assert_eq!(
+        snap.counter_labeled("bitonic_record_requests_total", "width", "16"),
+        1
+    );
+    assert_eq!(snap.histogram_count("bitonic_record_payload_bytes"), 2);
+}
+
+/// The `width=` and `payload=` text tokens parse through the same codec
+/// the socket uses — one validation path for both frontends.
+#[test]
+fn text_width_and_payload_tokens_share_the_wire_codec() {
+    let frame = parse_text_request("desc width=8 payload=0a0b0c0d 300 7").expect("parses");
+    assert_eq!(frame.dir, Direction::Descending);
+    assert_eq!(frame.width, 8);
+    assert_eq!(frame.payload_stride, 2);
+    assert_eq!(frame.payload, vec![0x0A, 0x0B, 0x0C, 0x0D]);
+    let back = RequestFrame::decode(&frame.encode()[LEN_PREFIX..]).expect("round trip");
+    assert_eq!(back, frame);
+    let req = back.into_record_request().expect("record request");
+    assert_eq!(req.keys, RecordKeys::U64(vec![300, 7]));
+    assert_eq!(req.stride, 2);
+
+    // Width bounds the key range; payload hex and divisibility are
+    // validated before any frame exists.
+    assert!(parse_text_request("width=1 256").is_err(), "key over range");
+    assert!(parse_text_request("width=3 1").is_err(), "width 3 invalid");
+    assert!(parse_text_request("payload=abc 1 2").is_err(), "odd hex");
+    assert!(
+        parse_text_request("payload=aabb 1 2 3").is_err(),
+        "4 bytes over 3 keys does not divide"
+    );
+    assert!(
+        parse_text_request("payload=aabb").is_err(),
+        "payload with no keys"
+    );
 }
 
 /// Connections still open at shutdown close as `server_closed`.
